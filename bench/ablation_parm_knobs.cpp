@@ -1,0 +1,66 @@
+// Ablation: which of PARM's knobs buys what (DESIGN.md experiment index).
+//
+// PARM combines three mechanisms: (1) DVS — pick the lowest
+// deadline-feasible Vdd; (2) adaptive DoP — trade thread count against
+// voltage/tiles; (3) PSN-aware clustering/mapping. This ablation runs the
+// Fig. 6 mixed-workload setup with each knob disabled in turn:
+//   PARM full          — everything on (paper configuration)
+//   PARM fixed-Vdd=0.8 — no DVS: nominal supply like HM
+//   PARM fixed-DoP=16  — no DoP adaptation
+// All variants keep the PSN-aware mapper and PANR routing.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+
+int main() {
+  using namespace parm;
+  const std::vector<std::uint64_t> seeds{11, 23};
+  const sim::SimConfig base = exp::default_sim_config();
+
+  std::vector<core::FrameworkConfig> variants;
+  {
+    core::FrameworkConfig full;
+    full.mapping = "PARM";
+    full.routing = "PANR";
+    variants.push_back(full);
+
+    core::FrameworkConfig no_dvs = full;
+    no_dvs.parm_adapt_vdd = false;
+    no_dvs.parm_fixed_vdd = 0.8;
+    variants.push_back(no_dvs);
+
+    core::FrameworkConfig no_dop = full;
+    no_dop.parm_adapt_dop = false;
+    no_dop.parm_fixed_dop = 16;
+    variants.push_back(no_dop);
+  }
+  const char* labels[] = {"PARM full", "PARM fixed-Vdd=0.8",
+                          "PARM fixed-DoP=16"};
+
+  std::cout << "Ablation — PARM knob contributions (mixed workload, 20 "
+               "apps, 0.1 s arrivals, mean of "
+            << seeds.size() << " seeds)\n\n";
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 20;
+  seq.inter_arrival_s = 0.1;
+  const auto runs = exp::run_matrix_averaged(variants, seq, base, seeds);
+
+  Table table({"variant", "makespan (s)", "peak PSN (%)", "avg PSN (%)",
+               "apps completed", "VEs", "avg chip power (W)"});
+  table.set_precision(2);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    table.add_row({std::string(labels[i]), r.makespan_s,
+                   r.peak_psn_percent, r.avg_psn_percent, r.completed,
+                   r.ve_count, r.avg_chip_power_w});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: DVS is the dominant PSN lever (fixed 0.8 V "
+               "explodes peak PSN and voltage emergencies even with "
+               "PSN-aware mapping); DoP adaptation mainly buys admission "
+               "capacity under oversubscription.\n";
+  return 0;
+}

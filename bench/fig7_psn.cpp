@@ -1,0 +1,52 @@
+// Figure 7 reproduction: peak and average PSN (% of supply voltage)
+// observed with the six frameworks across workload types (same experiment
+// as Fig. 6: 20 applications, 0.1 s arrivals, mean of three seeds).
+//
+// Paper headline: PARM+PANR reduces peak PSN by up to 4.15× (compute) /
+// 4.5× (communication) versus HM+XY — driven by PARM's near-threshold
+// Vdd selection, same-activity clustering, and PANR steering traffic away
+// from stressed domains.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+
+int main() {
+  using namespace parm;
+  const std::vector<std::uint64_t> seeds{11, 23, 47};
+  const auto frameworks = core::paper_frameworks();
+  const sim::SimConfig base = exp::default_sim_config();
+
+  std::cout << "Fig. 7 — Peak and average PSN (% of Vdd) per framework "
+               "(20 apps, 0.1 s arrivals, mean of "
+            << seeds.size() << " seeds)\n\n";
+
+  for (auto kind : {appmodel::SequenceKind::Compute,
+                    appmodel::SequenceKind::Communication,
+                    appmodel::SequenceKind::Mixed}) {
+    appmodel::SequenceConfig seq;
+    seq.kind = kind;
+    seq.app_count = 20;
+    seq.inter_arrival_s = 0.1;
+    const auto runs =
+        exp::run_matrix_averaged(frameworks, seq, base, seeds);
+    const double base_peak = runs.front().peak_psn_percent;  // HM+XY
+    const double base_avg = runs.front().avg_psn_percent;
+
+    std::cout << "[" << to_string(kind) << " workload]\n";
+    Table table({"framework", "peak PSN (%)", "avg PSN (%)",
+                 "peak vs HM+XY (x)", "avg vs HM+XY (x)"});
+    table.set_precision(2);
+    for (const auto& r : runs) {
+      table.add_row({r.framework, r.peak_psn_percent, r.avg_psn_percent,
+                     base_peak / r.peak_psn_percent,
+                     base_avg / r.avg_psn_percent});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Paper shape: every PARM variant sits far below every HM "
+               "variant (up to 4.5×); PARM keeps peak PSN near the 5 % "
+               "voltage-emergency margin while HM exceeds it heavily.\n";
+  return 0;
+}

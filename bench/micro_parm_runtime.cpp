@@ -1,0 +1,103 @@
+// Microbenchmarks for PARM's runtime complexity (paper section 4.3).
+//
+// The paper argues PARM runs in O(V·D·max(Ʈ, T²)): clustering is linear
+// in APG edges (≤ T(T+1)/2), cluster-to-domain mapping linear in tiles,
+// and Vdd/DoP selection iterates a small V×D grid. These
+// google-benchmark fixtures measure:
+//   BM_Clustering/T        — Algorithm 2 clustering vs task count
+//   BM_ParmMapping/T       — full mapping heuristic vs task count
+//   BM_HmMapping/T         — harmonic baseline vs task count
+//   BM_Admission/mesh      — full Algorithm 1 admission vs CMP size
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "appmodel/application.hpp"
+#include "core/admission.hpp"
+#include "mapping/clustering.hpp"
+#include "mapping/hm_mapper.hpp"
+#include "mapping/parm_mapper.hpp"
+
+namespace {
+
+using namespace parm;
+
+const appmodel::ApplicationProfile& profile_for(const char* bench) {
+  static std::map<std::string, std::unique_ptr<appmodel::ApplicationProfile>>
+      cache;
+  auto& slot = cache[bench];
+  if (!slot) {
+    slot = std::make_unique<appmodel::ApplicationProfile>(
+        appmodel::benchmark_by_name(bench), 42);
+  }
+  return *slot;
+}
+
+void BM_Clustering(benchmark::State& state) {
+  const int dop = static_cast<int>(state.range(0));
+  const auto& variant = profile_for("fft").variant(dop);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::cluster_tasks(variant));
+  }
+  state.SetComplexityN(dop);
+}
+BENCHMARK(BM_Clustering)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_ParmMapping(benchmark::State& state) {
+  const int dop = static_cast<int>(state.range(0));
+  const auto& variant = profile_for("fft").variant(dop);
+  cmp::Platform platform{cmp::PlatformConfig{}};
+  const mapping::ParmMapper mapper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(platform, variant));
+  }
+  state.SetComplexityN(dop);
+}
+BENCHMARK(BM_ParmMapping)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_HmMapping(benchmark::State& state) {
+  const int dop = static_cast<int>(state.range(0));
+  const auto& variant = profile_for("fft").variant(dop);
+  cmp::Platform platform{cmp::PlatformConfig{}};
+  const mapping::HarmonicMapper mapper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(platform, variant));
+  }
+  state.SetComplexityN(dop);
+}
+BENCHMARK(BM_HmMapping)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_Admission(benchmark::State& state) {
+  // Scale the CMP mesh (tiles Ʈ) and run the full Algorithm 1 admission.
+  const int width = static_cast<int>(state.range(0));
+  cmp::PlatformConfig cfg;
+  cfg.mesh_width = width;
+  cfg.mesh_height = 6;
+  cfg.dark_silicon_budget_w = 65.0 * width / 10.0;
+  cmp::Platform platform{cfg};
+  const core::ParmAdmissionPolicy policy;
+
+  appmodel::AppArrival app;
+  app.id = 0;
+  app.bench = &appmodel::benchmark_by_name("fft");
+  app.profile =
+      std::make_shared<appmodel::ApplicationProfile>(*app.bench, 42);
+  app.arrival_s = 0.0;
+  app.deadline_s = 100.0;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.try_admit(app, 0.0, platform));
+  }
+  state.SetComplexityN(width * 6);
+}
+BENCHMARK(BM_Admission)
+    ->Arg(6)
+    ->Arg(10)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Complexity();
+
+}  // namespace

@@ -1,0 +1,47 @@
+// PDN impedance profile per technology node (extension analysis).
+//
+// The AC view of the Fig. 1 story: for each node, sweep the input
+// impedance a tile sees looking into its domain PDN and locate the
+// anti-resonance peak of the bump-inductance / decap tank. Scaling
+// shrinks the decap and stiffens nothing else, so the peak grows and
+// drifts toward the workload ripple band — quantifying *why* peak PSN
+// rises across nodes. The last column compares the node's dominant
+// workload ripple frequency with the resonance.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "pdn/ac_analysis.hpp"
+#include "pdn/pdn_netlist.hpp"
+#include "power/technology.hpp"
+
+int main() {
+  using namespace parm;
+  std::cout << "PDN input impedance per technology node (AC analysis of "
+               "the domain netlist, probe = tile 0)\n\n";
+
+  Table table({"node", "Z @10 MHz (mOhm)", "peak |Z| (mOhm)",
+               "anti-resonance (MHz)", "ripple freq (MHz)",
+               "ripple/resonance"});
+  table.set_precision(2);
+
+  for (const auto& tech : power::all_technology_nodes()) {
+    std::array<pdn::TileLoad, 4> no_loads{};
+    const pdn::DomainCircuit dom =
+        build_domain_circuit(tech, tech.vdd_ntc, no_loads);
+    const pdn::AcAnalysis ac(dom.circuit);
+    const auto sweep = ac.sweep(dom.tile_nodes[0], 1e6, 5e9, 160);
+    const pdn::ImpedancePoint peak = pdn::AcAnalysis::peak(sweep);
+    const double z10m =
+        std::abs(ac.input_impedance(dom.tile_nodes[0], 10e6));
+
+    table.add_row({tech.name, z10m * 1e3, peak.magnitude() * 1e3,
+                   peak.freq_hz / 1e6, tech.ripple_freq_hz / 1e6,
+                   tech.ripple_freq_hz / peak.freq_hz});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: with scaling, the anti-resonance peak impedance "
+               "rises (less decap, more wire resistance) while workload "
+               "ripple climbs toward it — the frequency-domain mechanism "
+               "behind the Fig. 1 PSN growth.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Sensitivity analysis: how much does the paper's domain-isolation
+// assumption matter?
+//
+// Paper section 3.3 assumes power domains are physically separated with
+// independent VRMs ("no interference between tiles from different
+// domains"). This bench solves a 4-domain chip as ONE circuit, sweeping
+// the impedance of a shared package rail upstream of the VRMs:
+//   - one "aggressor" domain runs 4 High-activity tiles in phase;
+//   - three "victim" domains run quiet Low-activity workloads.
+// With an ideal (zero-impedance) rail the victims see exactly their
+// isolated PSN; as the shared impedance grows, aggressor droop leaks into
+// the victims — the cross-domain interference the paper's architecture is
+// designed to exclude.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "pdn/chip_pdn.hpp"
+#include "power/core_power.hpp"
+#include "power/vf_model.hpp"
+
+int main() {
+  using namespace parm;
+  const auto& tech = power::technology_node(7);
+  const power::VoltageFrequencyModel vf(tech);
+  const power::CorePowerModel core(tech);
+  const double vdd = tech.vdd_ntc;
+  const double f = vf.fmax(vdd);
+
+  const double i_high = core.supply_current(vdd, f, 0.95);
+  const double i_low = core.supply_current(vdd, f, 0.25);
+
+  std::vector<std::array<pdn::TileLoad, 4>> loads(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    loads[0][k] = {i_high, pdn::activity_to_modulation(0.95), 0.0};
+    for (std::size_t d = 1; d < 4; ++d) {
+      loads[d][k] = {i_low, pdn::activity_to_modulation(0.25),
+                     0.25 * static_cast<double>(k)};
+    }
+  }
+
+  std::cout << "Shared-rail sensitivity (7 nm, 4 domains: 1 aggressor + 3 "
+               "victims at " << vdd << " V)\n\n";
+
+  Table table({"rail R (mOhm) / L (pH)", "aggressor peak PSN (%)",
+               "victim peak PSN (%)", "victim vs isolated (x)"});
+  table.set_precision(2);
+
+  double isolated_victim = 0.0;
+  for (const auto& [r_mohm, l_ph] :
+       {std::pair{0.0, 0.0}, std::pair{0.25, 1.5}, std::pair{0.5, 3.0},
+        std::pair{1.0, 6.0}, std::pair{2.0, 12.0}}) {
+    pdn::PackageRail rail;
+    rail.resistance = r_mohm * 1e-3;
+    rail.inductance = l_ph * 1e-12;
+    const pdn::ChipPdnModel chip(tech, 4, rail);
+    const pdn::ChipPsn psn = chip.estimate(vdd, loads);
+
+    double victim_peak = 0.0;
+    for (std::size_t d = 1; d < 4; ++d) {
+      victim_peak = std::max(victim_peak, psn.domains[d].peak_percent);
+    }
+    if (r_mohm == 0.0) isolated_victim = victim_peak;
+
+    std::ostringstream label;
+    label << std::fixed << std::setprecision(2) << r_mohm << " / "
+          << std::setprecision(1) << l_ph;
+    table.add_row({label.str(), psn.domains[0].peak_percent, victim_peak,
+                   victim_peak / isolated_victim});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: with independent VRMs (zero shared impedance) "
+               "victims only see their own noise — the paper's isolation "
+               "assumption. A realistic shared rail leaks aggressor droop "
+               "into every domain, growing victim PSN and coupling the "
+               "mapping problem chip-wide; per-domain VRMs are what make "
+               "PARM's domain-local reasoning sound.\n";
+  return 0;
+}

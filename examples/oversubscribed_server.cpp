@@ -1,0 +1,79 @@
+// Oversubscribed-server scenario: the workload of the paper's Fig. 8.
+//
+// A 60-core CMP receives 20 mixed applications every 50 ms — twice as
+// fast as it can comfortably serve. We run the full-system simulation
+// once with the state-of-the-art baseline (HM mapping + XY routing) and
+// once with PARM + PANR, then print a per-application timeline showing
+// who got admitted at which operating point, who was dropped, and the
+// resulting PSN/VE statistics.
+//
+// Build & run:  ./build/examples/oversubscribed_server [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+
+namespace {
+
+void report(const char* title, const parm::sim::SimResult& r) {
+  using parm::Table;
+  std::cout << "=== " << title << " ===\n";
+  Table table({"app", "bench", "arrive (s)", "outcome", "Vdd", "DoP",
+               "finish (s)", "VEs"});
+  table.set_precision(2);
+  for (const auto& o : r.apps) {
+    std::string outcome = o.dropped     ? "DROPPED"
+                          : o.completed ? "completed"
+                          : o.admitted  ? "running(cutoff)"
+                                        : "queued(cutoff)";
+    table.add_row({static_cast<std::int64_t>(o.id), o.bench, o.arrival_s,
+                   outcome, o.admitted ? o.vdd : 0.0,
+                   static_cast<std::int64_t>(o.admitted ? o.dop : 0),
+                   o.completed ? o.finish_s : 0.0,
+                   static_cast<std::int64_t>(o.ve_count)});
+  }
+  table.print(std::cout);
+  std::cout << "completed " << r.completed_count << "/20, dropped "
+            << r.dropped_count << ", makespan " << std::fixed
+            << std::setprecision(3) << r.makespan_s << " s, peak PSN "
+            << std::setprecision(1) << r.peak_psn_percent
+            << " %, voltage emergencies " << r.total_ve_count << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parm;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 20;
+  seq.inter_arrival_s = 0.05;  // heavy oversubscription
+  seq.seed = seed;
+
+  std::cout << "Oversubscribed server: 20 mixed apps, one every 50 ms "
+               "(seed " << seed << ")\n\n";
+
+  for (const auto& [mapping, routing] :
+       {std::pair{"HM", "XY"}, std::pair{"PARM", "PANR"}}) {
+    core::FrameworkConfig fw;
+    fw.mapping = mapping;
+    fw.routing = routing;
+    sim::SimConfig cfg = exp::default_sim_config();
+    cfg.framework = fw;
+    sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
+    const sim::SimResult result = simulator.run();
+    report(fw.display_name().c_str(), result);
+  }
+
+  std::cout << "Reading: HM admits at a fixed nominal 0.8 V — its domains "
+               "run far above the 5 % noise margin, every emergency costs "
+               "a rollback, and the queue overflows into drops. PARM "
+               "admits at near-threshold voltages with adapted DoP, so "
+               "more of the same workload completes.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Routing showdown: drive the cycle-level NoC directly.
+//
+// A synthetic scenario built for eyeballing routing behaviour: the west
+// third of the chip is electrically noisy (as if High-activity tasks run
+// there) while a hotspot of traffic sits in the quiet east. Each routing
+// policy (XY, WestFirst, ICON, PANR) serves the same offered load; we
+// report latency, throughput, and how much traffic each policy pushed
+// through the noisy region.
+//
+// Build & run:  ./build/examples/routing_showdown
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "noc/window_sim.hpp"
+
+int main() {
+  using namespace parm;
+  const MeshGeometry mesh(10, 6);
+
+  std::cout << "Routing showdown on a 10x6 mesh: noisy west third "
+               "(PSN 6.5 %), quiet east; uniform traffic + east hotspot.\n\n";
+
+  Table table({"routing", "avg latency (cycles)", "delivered flits",
+               "delivery ratio", "noisy-region traffic (%)"});
+  table.set_precision(2);
+
+  for (const char* algo : {"XY", "WestFirst", "ICON", "PANR"}) {
+    noc::NocConfig cfg;
+    cfg.buffer_depth = 8;
+    noc::Network net(mesh, cfg, noc::make_routing(algo));
+
+    std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()));
+    for (TileId t = 0; t < mesh.tile_count(); ++t) {
+      psn[static_cast<std::size_t>(t)] = mesh.coord(t).x < 3 ? 6.5 : 0.8;
+    }
+    net.set_tile_psn(psn);
+
+    Rng rng(7);
+    auto flows = noc::uniform_random_flows(mesh, 0.035, rng);
+    for (auto& f : noc::hotspot_flows(mesh, mesh.tile_id({7, 3}), 0.012)) {
+      flows.push_back(f);
+    }
+    noc::TrafficGenerator gen(flows);
+    const noc::WindowResult w =
+        noc::run_window(net, gen, noc::WindowConfig{512, 4096});
+
+    double noisy = 0.0, total = 0.0;
+    for (TileId t = 0; t < mesh.tile_count(); ++t) {
+      const double a = w.router_activity[static_cast<std::size_t>(t)];
+      total += a;
+      if (mesh.coord(t).x < 3) noisy += a;
+    }
+    table.add_row({std::string(algo), w.avg_latency,
+                   static_cast<std::int64_t>(w.delivered_flits),
+                   w.delivery_ratio, noisy / total * 100.0});
+  }
+  table.print(std::cout);
+  std::cout << "\nPANR keeps traffic out of the noisy region whenever a "
+               "west-first-legal alternative exists, without giving up "
+               "latency; ICON balances load but is blind to the noise.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "appmodel/application.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parm::appmodel {
+
+namespace {
+/// Average task-separation hops assumed by the offline profile when it
+/// measured communication stalls (tasks of a well-mapped app sit a few
+/// hops apart).
+constexpr double kProfiledAvgHops = 2.5;
+}  // namespace
+
+std::vector<int> permitted_dops(int max_dop) {
+  PARM_CHECK(max_dop >= 4 && max_dop <= 32 && max_dop % 4 == 0,
+             "max_dop must be a multiple of 4 in [4, 32]");
+  std::vector<int> d;
+  for (int v = 4; v <= max_dop; v += 4) d.push_back(v);
+  return d;
+}
+
+double DopVariant::high_activity_fraction() const {
+  if (tasks.empty()) return 0.0;
+  std::size_t high = 0;
+  for (const auto& t : tasks) {
+    if (t.activity_class() == power::ActivityClass::High) ++high;
+  }
+  return static_cast<double>(high) / static_cast<double>(tasks.size());
+}
+
+ApplicationProfile::ApplicationProfile(const BenchmarkProfile& bench,
+                                       std::uint64_t seed)
+    : bench_(&bench), dops_(permitted_dops(bench.max_dop)) {
+  Rng rng(seed);
+  const double total_work_cycles = bench.parallel_work_gcycles * 1e9;
+
+  variants_.reserve(dops_.size());
+  for (int dop : dops_) {
+    DopVariant v;
+    v.dop = dop;
+    v.critical_path_cycles =
+        total_work_cycles * (bench.serial_fraction +
+                             (1.0 - bench.serial_fraction) / dop +
+                             bench.sync_overhead * dop);
+
+    // Per-task compute work: equal split of the parallel portion with ±10 %
+    // variation; the serial portion lands on task 0 (the "main" thread).
+    const double parallel_share =
+        total_work_cycles * (1.0 - bench.serial_fraction) / dop;
+    double total_task_work = 0.0;
+    v.tasks.resize(static_cast<std::size_t>(dop));
+    for (int t = 0; t < dop; ++t) {
+      auto& task = v.tasks[static_cast<std::size_t>(t)];
+      task.work_cycles = parallel_share * rng.uniform(0.9, 1.1);
+      if (t == 0) {
+        task.work_cycles += total_work_cycles * bench.serial_fraction;
+      }
+      task.activity = std::clamp(
+          rng.uniform(bench.base_activity - bench.activity_spread,
+                      bench.base_activity + bench.activity_spread),
+          0.05, 0.98);
+      total_task_work += task.work_cycles;
+    }
+
+    // APG: generate the shape, then rescale edge volumes so the total
+    // matches comm_intensity flits per kilocycle of aggregate task work.
+    TaskGraph raw = TaskGraph::generate(bench.shape,
+                                        static_cast<TaskIndex>(dop), 1.0,
+                                        rng);
+    const double target_volume =
+        total_task_work * bench.comm_intensity / 1000.0;
+    const double factor = target_volume / raw.total_volume();
+    std::vector<ApgEdge> edges = raw.edges();
+    for (auto& e : edges) e.volume_flits *= factor;
+    v.graph = TaskGraph(static_cast<TaskIndex>(dop), std::move(edges));
+
+    variants_.push_back(std::move(v));
+  }
+}
+
+ApplicationProfile ApplicationProfile::from_parts(
+    const BenchmarkProfile& bench, std::vector<DopVariant> variants) {
+  PARM_CHECK(!variants.empty(), "profile needs at least one DoP variant");
+  std::sort(variants.begin(), variants.end(),
+            [](const DopVariant& a, const DopVariant& b) {
+              return a.dop < b.dop;
+            });
+  ApplicationProfile profile(bench);
+  for (const DopVariant& v : variants) {
+    PARM_CHECK(static_cast<int>(v.tasks.size()) == v.dop,
+               "variant task count must equal its DoP");
+    PARM_CHECK(v.graph.task_count() == v.dop,
+               "variant graph size must equal its DoP");
+    PARM_CHECK(v.critical_path_cycles > 0.0,
+               "variant needs a positive critical path");
+    PARM_CHECK(profile.dops_.empty() || profile.dops_.back() != v.dop,
+               "duplicate DoP variant");
+    profile.dops_.push_back(v.dop);
+  }
+  profile.variants_ = std::move(variants);
+  return profile;
+}
+
+const DopVariant& ApplicationProfile::variant(int dop) const {
+  for (std::size_t i = 0; i < dops_.size(); ++i) {
+    if (dops_[i] == dop) return variants_[i];
+  }
+  PARM_CHECK(false, "unsupported DoP: " + std::to_string(dop));
+}
+
+double ApplicationProfile::wcet_seconds(
+    double vdd, int dop, const power::VoltageFrequencyModel& vf) const {
+  const DopVariant& v = variant(dop);
+  const double f = vf.fmax(vdd);
+  const double stall =
+      1.0 + bench_->comm_stall_sensitivity * kProfiledAvgHops;
+  return v.critical_path_cycles / f * stall;
+}
+
+double ApplicationProfile::estimated_power_w(
+    double vdd, int dop, const power::VoltageFrequencyModel& vf,
+    const power::CorePowerModel& core,
+    const power::RouterPowerModel& router) const {
+  const DopVariant& v = variant(dop);
+  const double f = vf.fmax(vdd);
+  const double inj = task_injection_rate(vdd, dop, vf);
+  double total = 0.0;
+  for (const auto& t : v.tasks) {
+    total += core.total_power(vdd, f, t.activity);
+    // Each flit traverses kProfiledAvgHops routers on average; attribute
+    // that traffic to the injecting task's tile router plus downstream
+    // routers it keeps busy.
+    total += router.total_power(vdd, inj * kProfiledAvgHops);
+  }
+  return total;
+}
+
+double ApplicationProfile::task_injection_rate(
+    double vdd, int dop, const power::VoltageFrequencyModel& vf) const {
+  (void)dop;  // rate is per task; DoP only changes the task count
+  return bench_->comm_intensity / 1000.0 * vf.fmax(vdd);
+}
+
+}  // namespace parm::appmodel

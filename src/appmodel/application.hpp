@@ -1,0 +1,100 @@
+// Offline application profile: the per-(Vdd, DoP) data PARM's Algorithm 1
+// consumes (paper section 4, "offline profiling information").
+//
+// For each permitted DoP the profile instantiates a task graph and per-task
+// work/activity figures from the benchmark's workload model:
+//
+//   critical-path cycles(D) = W·1e9 · (serial + (1−serial)/D + sync·D)
+//
+// (Amdahl serial term, parallel term, synchronization overhead that makes
+// DoPs beyond 32 unprofitable — paper section 5.1). WCET at a Vdd divides
+// by fmax(Vdd) and applies the profiled communication-stall allowance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "appmodel/benchmarks.hpp"
+#include "appmodel/task_graph.hpp"
+#include "common/rng.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm::appmodel {
+
+/// Permitted DoP values: multiples of 4 from 4 to `max_dop` (paper
+/// sections 3.3 and 5.1). Multiples of 4 guarantee whole-domain occupancy
+/// so tasks of different applications never share a power domain.
+std::vector<int> permitted_dops(int max_dop = 32);
+
+/// Offline-profiled figures of one task at one DoP.
+struct TaskProfile {
+  double work_cycles = 0.0;  ///< Compute demand in reference-clock cycles.
+  double activity = 0.5;     ///< Core switching-activity factor [0, 1].
+
+  power::ActivityClass activity_class() const {
+    return power::classify_activity(activity);
+  }
+};
+
+/// Profile data of one application at one DoP.
+struct DopVariant {
+  int dop = 4;
+  TaskGraph graph;                  ///< APG over the `dop` tasks.
+  std::vector<TaskProfile> tasks;   ///< size == dop
+  double critical_path_cycles = 0.0;
+
+  /// Fraction of High-activity tasks (for tests/analysis).
+  double high_activity_fraction() const;
+};
+
+/// The complete offline profile of one benchmark across all DoPs.
+///
+/// Construction is deterministic in (benchmark, seed): the same seed yields
+/// the same graphs and activities, which stands in for "the profiling run".
+class ApplicationProfile {
+ public:
+  ApplicationProfile(const BenchmarkProfile& bench, std::uint64_t seed);
+
+  /// Reassembles a profile from externally produced variant data — the
+  /// deserialization path used by profile_io (normal construction
+  /// synthesizes variants from a seed). Variants must be non-empty with
+  /// consistent task counts; they are sorted by DoP.
+  static ApplicationProfile from_parts(const BenchmarkProfile& bench,
+                                       std::vector<DopVariant> variants);
+
+  const BenchmarkProfile& benchmark() const { return *bench_; }
+
+  const std::vector<int>& dops() const { return dops_; }
+  const DopVariant& variant(int dop) const;
+
+  /// Worst-case execution time (seconds) at a (Vdd, DoP) point, including
+  /// the profiled communication-stall allowance. This is what Algorithm 1
+  /// line 5 calls EstimateExecutionTime.
+  double wcet_seconds(double vdd, int dop,
+                      const power::VoltageFrequencyModel& vf) const;
+
+  /// Estimated steady-state power (W) of the whole application at a
+  /// (Vdd, DoP) point: per-task core power plus the NoC power its traffic
+  /// induces. This is what Algorithm 2 line 1 checks against the DsPB.
+  double estimated_power_w(double vdd, int dop,
+                           const power::VoltageFrequencyModel& vf,
+                           const power::CorePowerModel& core,
+                           const power::RouterPowerModel& router) const;
+
+  /// Average NoC injection rate of one task (flits/second) when the app
+  /// runs at `vdd`: comm_intensity flits per kilocycle at fmax(vdd).
+  double task_injection_rate(double vdd, int dop,
+                             const power::VoltageFrequencyModel& vf) const;
+
+ private:
+  explicit ApplicationProfile(const BenchmarkProfile& bench)
+      : bench_(&bench) {}
+
+  const BenchmarkProfile* bench_;
+  std::vector<int> dops_;
+  std::vector<DopVariant> variants_;
+};
+
+}  // namespace parm::appmodel

@@ -1,0 +1,90 @@
+#include "appmodel/benchmarks.hpp"
+
+#include "common/check.hpp"
+
+namespace parm::appmodel {
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::ComputeIntensive:
+      return "compute";
+    case WorkloadKind::CommunicationIntensive:
+      return "communication";
+    case WorkloadKind::Both:
+      return "both";
+  }
+  return "?";
+}
+
+namespace {
+
+BenchmarkProfile make(std::string name, WorkloadKind kind, GraphShape shape,
+                      double work_g, double serial, double sync,
+                      double activity, double spread, double comm,
+                      double stall_sens, int max_dop) {
+  BenchmarkProfile p;
+  p.name = std::move(name);
+  p.kind = kind;
+  p.shape = shape;
+  p.parallel_work_gcycles = work_g;
+  p.serial_fraction = serial;
+  p.sync_overhead = sync;
+  p.base_activity = activity;
+  p.activity_spread = spread;
+  p.comm_intensity = comm;
+  p.comm_stall_sensitivity = stall_sens;
+  p.max_dop = max_dop;
+  return p;
+}
+
+std::vector<BenchmarkProfile> make_suite() {
+  using K = WorkloadKind;
+  using S = GraphShape;
+  std::vector<BenchmarkProfile> v;
+  // --- communication-intensive group (paper section 5.1) ---
+  // Lower core activity (cores stall on the network), heavy APG edges.
+  v.push_back(make("cholesky", K::CommunicationIntensive, S::Random, 1.4, 0.06, 0.0012, 0.60, 0.24, 220.0, 0.045, 16));
+  v.push_back(make("fft", K::CommunicationIntensive, S::Butterfly, 0.9, 0.03, 0.0008, 0.64, 0.22, 280.0, 0.055, 32));
+  v.push_back(make("raytrace", K::CommunicationIntensive, S::Random, 2.0, 0.05, 0.0010, 0.56, 0.26, 180.0, 0.040, 16));
+  v.push_back(make("dedup", K::CommunicationIntensive, S::Pipeline, 1.2, 0.08, 0.0015, 0.54, 0.24, 240.0, 0.050, 12));
+  v.push_back(make("canneal", K::CommunicationIntensive, S::Random, 1.6, 0.04, 0.0010, 0.56, 0.22, 260.0, 0.055, 16));
+  v.push_back(make("vips", K::CommunicationIntensive, S::Pipeline, 1.1, 0.07, 0.0012, 0.58, 0.24, 200.0, 0.045, 12));
+  // --- both groups (paper: "radix has properties of both") ---
+  v.push_back(make("radix", K::Both, S::Tree, 1.0, 0.04, 0.0009, 0.62, 0.26, 160.0, 0.035, 16));
+  // --- compute-intensive group ---
+  // High core activity, light communication.
+  v.push_back(make("swaptions", K::ComputeIntensive, S::Random, 1.8, 0.02, 0.0006, 0.88, 0.10, 24.0, 0.010, 32));
+  v.push_back(make("fluidanimate", K::ComputeIntensive, S::Pipeline, 1.5, 0.05, 0.0010, 0.78, 0.16, 60.0, 0.018, 16));
+  v.push_back(make("streamcluster", K::ComputeIntensive, S::Pipeline, 1.3, 0.06, 0.0011, 0.72, 0.18, 70.0, 0.020, 16));
+  v.push_back(make("blackscholes", K::ComputeIntensive, S::Tree, 0.8, 0.02, 0.0005, 0.92, 0.07, 16.0, 0.008, 32));
+  v.push_back(make("bodytrack", K::ComputeIntensive, S::Random, 1.6, 0.07, 0.0012, 0.74, 0.18, 50.0, 0.016, 16));
+  v.push_back(make("radiosity", K::ComputeIntensive, S::Tree, 2.2, 0.05, 0.0009, 0.80, 0.14, 40.0, 0.014, 32));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& benchmark_suite() {
+  static const std::vector<BenchmarkProfile> suite = make_suite();
+  return suite;
+}
+
+std::vector<const BenchmarkProfile*> benchmarks_of_kind(WorkloadKind kind) {
+  std::vector<const BenchmarkProfile*> out;
+  for (const auto& b : benchmark_suite()) {
+    if (kind == WorkloadKind::Both || b.kind == kind ||
+        b.kind == WorkloadKind::Both) {
+      out.push_back(&b);
+    }
+  }
+  return out;
+}
+
+const BenchmarkProfile& benchmark_by_name(const std::string& name) {
+  for (const auto& b : benchmark_suite()) {
+    if (b.name == name) return b;
+  }
+  PARM_CHECK(false, "unknown benchmark: " + name);
+}
+
+}  // namespace parm::appmodel

@@ -1,0 +1,69 @@
+// The 13-benchmark suite of the paper (SPLASH-2 + PARSEC), as synthetic
+// profiles.
+//
+// The paper profiles these applications offline with gem5/McPAT; here each
+// benchmark is a parameterized workload model whose constants are chosen to
+// match the paper's categorization (section 5.1):
+//   communication-intensive: cholesky, fft, radix, raytrace, dedup,
+//                            canneal, vips
+//   compute-intensive:       swaptions, fluidanimate, streamcluster,
+//                            blackscholes, radix, bodytrack, radiosity
+// (radix has properties of both groups and appears in both.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/task_graph.hpp"
+
+namespace parm::appmodel {
+
+/// Workload category used to assemble the paper's sequences.
+enum class WorkloadKind { ComputeIntensive, CommunicationIntensive, Both };
+
+const char* to_string(WorkloadKind k);
+
+/// Static characterization of one benchmark (the "offline profile" inputs).
+struct BenchmarkProfile {
+  std::string name;
+  WorkloadKind kind = WorkloadKind::ComputeIntensive;
+  GraphShape shape = GraphShape::Random;
+
+  /// Total parallelizable work in reference-clock gigacycles (1 GHz).
+  double parallel_work_gcycles = 1.0;
+  /// Amdahl serial fraction of the work.
+  double serial_fraction = 0.05;
+  /// Per-thread synchronization overhead: each DoP step adds
+  /// sync_overhead × parallel work to the critical path.
+  double sync_overhead = 0.001;
+
+  /// Mean core switching-activity factor of the tasks ([0, 1]).
+  double base_activity = 0.8;
+  /// Half-width of the per-task activity spread around the mean.
+  double activity_spread = 0.1;
+
+  /// Flits injected into the NoC per kilocycle of a task's compute work
+  /// (drives both APG edge weights and the runtime NoC injection rate).
+  /// ~160-280 for communication-intensive apps, ~16-70 for compute ones.
+  double comm_intensity = 40.0;
+
+  /// Fraction added to the WCET estimate per average hop of task
+  /// separation (offline-profiled communication stall sensitivity).
+  double comm_stall_sensitivity = 0.02;
+
+  /// Largest useful thread count for this benchmark (multiple of 4, up to
+  /// 32); beyond it synchronization overheads win (paper section 5.1).
+  int max_dop = 32;
+};
+
+/// The full 13-benchmark suite in a stable order.
+const std::vector<BenchmarkProfile>& benchmark_suite();
+
+/// Benchmarks belonging to a sequence category (paper section 5.1).
+/// `Both` returns the whole suite. Radix is included in both groups.
+std::vector<const BenchmarkProfile*> benchmarks_of_kind(WorkloadKind kind);
+
+/// Finds a benchmark by name; throws CheckError if absent.
+const BenchmarkProfile& benchmark_by_name(const std::string& name);
+
+}  // namespace parm::appmodel

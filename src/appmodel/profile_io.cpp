@@ -1,0 +1,106 @@
+#include "appmodel/profile_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parm::appmodel {
+
+std::string to_text(const ApplicationProfile& profile) {
+  std::ostringstream os;
+  os << "parm-profile v1\n";
+  os << "benchmark " << profile.benchmark().name << "\n";
+  os << std::setprecision(17);
+  for (int dop : profile.dops()) {
+    const DopVariant& v = profile.variant(dop);
+    os << "variant " << v.dop << " " << v.critical_path_cycles << "\n";
+    for (std::size_t t = 0; t < v.tasks.size(); ++t) {
+      os << "task " << t << " " << v.tasks[t].work_cycles << " "
+         << v.tasks[t].activity << "\n";
+    }
+    for (const auto& e : v.graph.edges()) {
+      os << "edge " << e.src << " " << e.dst << " " << e.volume_flits
+         << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+ApplicationProfile from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  PARM_CHECK(static_cast<bool>(std::getline(is, line)) &&
+                 line == "parm-profile v1",
+             "missing/unsupported parm-profile header");
+  PARM_CHECK(static_cast<bool>(std::getline(is, line)) &&
+                 line.rfind("benchmark ", 0) == 0,
+             "missing benchmark line");
+  const BenchmarkProfile& bench =
+      benchmark_by_name(line.substr(std::string("benchmark ").size()));
+
+  std::vector<DopVariant> variants;
+  // In-progress variant state.
+  bool open = false;
+  int dop = 0;
+  double critical = 0.0;
+  std::vector<TaskProfile> tasks;
+  std::vector<ApgEdge> edges;
+  bool saw_end = false;
+
+  auto flush = [&] {
+    if (!open) return;
+    DopVariant v;
+    v.dop = dop;
+    v.critical_path_cycles = critical;
+    v.tasks = std::move(tasks);
+    v.graph = TaskGraph(static_cast<TaskIndex>(dop), std::move(edges));
+    variants.push_back(std::move(v));
+    tasks = {};
+    edges = {};
+    open = false;
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "variant") {
+      flush();
+      PARM_CHECK(static_cast<bool>(ls >> dop >> critical),
+                 "malformed variant line: " + line);
+      open = true;
+    } else if (kind == "task") {
+      PARM_CHECK(open, "task line outside a variant");
+      std::size_t index = 0;
+      TaskProfile t;
+      PARM_CHECK(
+          static_cast<bool>(ls >> index >> t.work_cycles >> t.activity),
+          "malformed task line: " + line);
+      PARM_CHECK(index == tasks.size(), "task indices must be dense");
+      PARM_CHECK(t.activity >= 0.0 && t.activity <= 1.0,
+                 "task activity out of range");
+      tasks.push_back(t);
+    } else if (kind == "edge") {
+      PARM_CHECK(open, "edge line outside a variant");
+      ApgEdge e;
+      PARM_CHECK(
+          static_cast<bool>(ls >> e.src >> e.dst >> e.volume_flits),
+          "malformed edge line: " + line);
+      edges.push_back(e);
+    } else if (kind == "end") {
+      flush();
+      saw_end = true;
+      break;
+    } else {
+      PARM_CHECK(false, "unknown profile line: " + line);
+    }
+  }
+  PARM_CHECK(saw_end, "profile not terminated with 'end'");
+  return ApplicationProfile::from_parts(bench, std::move(variants));
+}
+
+}  // namespace parm::appmodel

@@ -1,0 +1,35 @@
+// Offline-profile serialization.
+//
+// In the paper the application profiles are produced by a separate
+// gem5/McPAT profiling campaign and handed to the runtime manager as
+// data. This module gives the profile that artifact form: a plain-text,
+// line-oriented format that is diff-able, versioned, and stable across
+// platforms, so profiles can be generated once and shipped with a
+// deployment.
+//
+//   parm-profile v1
+//   benchmark <name>
+//   variant <dop> <critical_path_cycles>
+//   task <index> <work_cycles> <activity>
+//   edge <src> <dst> <volume_flits>
+//   end
+//
+// `from_text` validates structure, benchmark existence, and graph
+// well-formedness (via TaskGraph's own checks).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "appmodel/application.hpp"
+
+namespace parm::appmodel {
+
+/// Renders a profile in the parm-profile v1 text format.
+std::string to_text(const ApplicationProfile& profile);
+
+/// Parses a parm-profile v1 document. Throws CheckError on malformed
+/// input, unknown benchmarks, or invalid graphs.
+ApplicationProfile from_text(const std::string& text);
+
+}  // namespace parm::appmodel

@@ -1,0 +1,150 @@
+#include "appmodel/task_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace parm::appmodel {
+
+const char* to_string(GraphShape s) {
+  switch (s) {
+    case GraphShape::Pipeline:
+      return "pipeline";
+    case GraphShape::Butterfly:
+      return "butterfly";
+    case GraphShape::Tree:
+      return "tree";
+    case GraphShape::Random:
+      return "random";
+  }
+  return "?";
+}
+
+TaskGraph::TaskGraph(TaskIndex task_count, std::vector<ApgEdge> edges)
+    : task_count_(task_count), edges_(std::move(edges)) {
+  PARM_CHECK(task_count >= 1, "graph needs at least one task");
+  PARM_CHECK(validate(), "invalid task graph (ids/cycles/volumes)");
+}
+
+double TaskGraph::total_volume() const {
+  double acc = 0.0;
+  for (const auto& e : edges_) acc += e.volume_flits;
+  return acc;
+}
+
+std::vector<ApgEdge> TaskGraph::edges_by_decreasing_volume() const {
+  std::vector<ApgEdge> sorted = edges_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ApgEdge& a, const ApgEdge& b) {
+                     return a.volume_flits > b.volume_flits;
+                   });
+  return sorted;
+}
+
+double TaskGraph::incident_volume(TaskIndex t) const {
+  double acc = 0.0;
+  for (const auto& e : edges_) {
+    if (e.src == t || e.dst == t) acc += e.volume_flits;
+  }
+  return acc;
+}
+
+bool TaskGraph::validate() const {
+  // Range + self-loop + volume checks.
+  for (const auto& e : edges_) {
+    if (e.src < 0 || e.src >= task_count_) return false;
+    if (e.dst < 0 || e.dst >= task_count_) return false;
+    if (e.src == e.dst) return false;
+    if (e.volume_flits < 0.0) return false;
+  }
+  // Cycle check via iterative DFS coloring (generators emit src < dst, but
+  // hand-built graphs may not).
+  enum class Color : std::uint8_t { White, Gray, Black };
+  std::vector<std::vector<TaskIndex>> adj(
+      static_cast<std::size_t>(task_count_));
+  for (const auto& e : edges_)
+    adj[static_cast<std::size_t>(e.src)].push_back(e.dst);
+  std::vector<Color> color(static_cast<std::size_t>(task_count_),
+                           Color::White);
+  for (TaskIndex start = 0; start < task_count_; ++start) {
+    if (color[static_cast<std::size_t>(start)] != Color::White) continue;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<TaskIndex, std::size_t>> stack{{start, 0}};
+    color[static_cast<std::size_t>(start)] = Color::Gray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const auto& children = adj[static_cast<std::size_t>(node)];
+      if (idx < children.size()) {
+        const TaskIndex child = children[idx++];
+        Color& c = color[static_cast<std::size_t>(child)];
+        if (c == Color::Gray) return false;  // back edge → cycle
+        if (c == Color::White) {
+          c = Color::Gray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[static_cast<std::size_t>(node)] = Color::Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+TaskGraph TaskGraph::generate(GraphShape shape, TaskIndex tasks,
+                              double volume_scale, Rng& rng) {
+  PARM_CHECK(tasks >= 2, "generated graphs need at least two tasks");
+  PARM_CHECK(volume_scale > 0.0, "volume scale must be positive");
+  std::vector<ApgEdge> edges;
+  auto vol = [&] { return volume_scale * rng.uniform(0.5, 1.5); };
+
+  switch (shape) {
+    case GraphShape::Pipeline: {
+      for (TaskIndex i = 0; i + 1 < tasks; ++i) {
+        edges.push_back({i, i + 1, vol()});
+      }
+      // A few skip connections to make edge weights non-uniform.
+      for (TaskIndex i = 0; i + 2 < tasks; i += 3) {
+        edges.push_back({i, i + 2, 0.3 * vol()});
+      }
+      break;
+    }
+    case GraphShape::Butterfly: {
+      // log2(tasks) stages of stride exchanges (FFT-style); partner pairs
+      // only kept with src < dst to stay acyclic.
+      for (TaskIndex stride = 1; stride < tasks; stride *= 2) {
+        for (TaskIndex i = 0; i < tasks; ++i) {
+          const TaskIndex partner = i ^ stride;
+          if (partner > i && partner < tasks) {
+            edges.push_back({i, partner, vol()});
+          }
+        }
+      }
+      break;
+    }
+    case GraphShape::Tree: {
+      for (TaskIndex i = 1; i < tasks; ++i) {
+        const TaskIndex parent = (i - 1) / 2;
+        edges.push_back({parent, i, vol()});
+      }
+      break;
+    }
+    case GraphShape::Random: {
+      // Connected backbone + sparse extra edges.
+      for (TaskIndex i = 1; i < tasks; ++i) {
+        const TaskIndex src =
+            static_cast<TaskIndex>(rng.uniform_int(0, i - 1));
+        edges.push_back({src, i, vol()});
+      }
+      const double p_extra = 0.15;
+      for (TaskIndex i = 0; i < tasks; ++i) {
+        for (TaskIndex j = static_cast<TaskIndex>(i + 2); j < tasks; ++j) {
+          if (rng.bernoulli(p_extra)) edges.push_back({i, j, 0.5 * vol()});
+        }
+      }
+      break;
+    }
+  }
+  return TaskGraph(tasks, std::move(edges));
+}
+
+}  // namespace parm::appmodel

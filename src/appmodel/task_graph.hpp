@@ -1,0 +1,68 @@
+// Application graph (APG): a directed acyclic graph whose vertices are the
+// threads/tasks of an application and whose edges carry the communication
+// volume between them (paper section 3.2).
+//
+// Task ids are dense [0, task_count). Generators only produce edges with
+// src < dst, which guarantees acyclicity; `validate()` re-checks the DAG
+// property for graphs built by hand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace parm::appmodel {
+
+using TaskIndex = std::int32_t;
+
+/// One communication edge of the APG.
+struct ApgEdge {
+  TaskIndex src = 0;
+  TaskIndex dst = 0;
+  double volume_flits = 0.0;  ///< Total flits exchanged over the app's life.
+};
+
+/// Structural shape of a generated APG, loosely matching how the paper's
+/// benchmarks communicate.
+enum class GraphShape {
+  Pipeline,   ///< chain with stage-to-stage streams (streamcluster, dedup)
+  Butterfly,  ///< FFT-style log-stage exchange
+  Tree,       ///< reduction/scatter tree (radix, radiosity)
+  Random,     ///< sparse random DAG (canneal, raytrace)
+};
+
+const char* to_string(GraphShape s);
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(TaskIndex task_count, std::vector<ApgEdge> edges);
+
+  TaskIndex task_count() const { return task_count_; }
+  const std::vector<ApgEdge>& edges() const { return edges_; }
+
+  /// Sum of all edge volumes (flits).
+  double total_volume() const;
+
+  /// Edges sorted by decreasing volume — the order Algorithm 2 consumes.
+  std::vector<ApgEdge> edges_by_decreasing_volume() const;
+
+  /// Communication volume incident to a task (in + out).
+  double incident_volume(TaskIndex t) const;
+
+  /// True if every edge satisfies src < dst (generator invariant) or, more
+  /// generally, if the graph is acyclic and all ids are in range.
+  bool validate() const;
+
+  /// Generates an APG of `tasks` vertices with the given shape. Edge
+  /// volumes are `volume_scale` flits modulated per-edge by the RNG.
+  static TaskGraph generate(GraphShape shape, TaskIndex tasks,
+                            double volume_scale, Rng& rng);
+
+ private:
+  TaskIndex task_count_ = 0;
+  std::vector<ApgEdge> edges_;
+};
+
+}  // namespace parm::appmodel

@@ -1,0 +1,69 @@
+#include "appmodel/workload.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "power/technology.hpp"
+
+namespace parm::appmodel {
+
+const char* to_string(SequenceKind k) {
+  switch (k) {
+    case SequenceKind::Compute:
+      return "compute-intensive";
+    case SequenceKind::Communication:
+      return "communication-intensive";
+    case SequenceKind::Mixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::vector<AppArrival> make_sequence(const SequenceConfig& cfg) {
+  PARM_CHECK(cfg.app_count > 0, "sequence needs at least one app");
+  PARM_CHECK(cfg.inter_arrival_s > 0.0, "arrival period must be positive");
+  PARM_CHECK(cfg.deadline_slack_min > 1.0 &&
+                 cfg.deadline_slack_max >= cfg.deadline_slack_min,
+             "deadline slack range invalid");
+
+  Rng rng(cfg.seed);
+  std::vector<const BenchmarkProfile*> pool;
+  switch (cfg.kind) {
+    case SequenceKind::Compute:
+      pool = benchmarks_of_kind(WorkloadKind::ComputeIntensive);
+      break;
+    case SequenceKind::Communication:
+      pool = benchmarks_of_kind(WorkloadKind::CommunicationIntensive);
+      break;
+    case SequenceKind::Mixed:
+      pool = benchmarks_of_kind(WorkloadKind::Both);
+      break;
+  }
+  PARM_CHECK(!pool.empty(), "empty benchmark pool");
+
+  // Reference service level for deadlines: mid Vdd, mid DoP at 7 nm.
+  const power::VoltageFrequencyModel vf(power::technology_node(7));
+  constexpr double kRefVdd = 0.6;
+  constexpr int kRefDop = 16;
+
+  std::vector<AppArrival> seq;
+  seq.reserve(static_cast<std::size_t>(cfg.app_count));
+  for (int i = 0; i < cfg.app_count; ++i) {
+    AppArrival a;
+    a.id = i;
+    a.bench = pool[rng.pick_index(pool.size())];
+    a.profile_seed = rng.next_u64();
+    a.profile =
+        std::make_shared<ApplicationProfile>(*a.bench, a.profile_seed);
+    a.arrival_s = static_cast<double>(i) * cfg.inter_arrival_s;
+    const double slack =
+        rng.uniform(cfg.deadline_slack_min, cfg.deadline_slack_max);
+    const int ref_dop = std::min(kRefDop, a.bench->max_dop);
+    a.deadline_s =
+        a.arrival_s + slack * a.profile->wcet_seconds(kRefVdd, ref_dop, vf);
+    seq.push_back(std::move(a));
+  }
+  return seq;
+}
+
+}  // namespace parm::appmodel

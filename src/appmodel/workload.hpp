@@ -1,0 +1,50 @@
+// Workload-sequence generation (paper section 5.1).
+//
+// A sequence is up to 20 applications picked randomly from one of the two
+// benchmark groups (or both, for "mixed"), arriving at a fixed
+// inter-application period (0.2 / 0.1 / 0.05 s in the paper). Each arrival
+// carries an absolute performance deadline derived from a reference WCET
+// (0.6 V, DoP 16) times a random slack factor, so deadlines are demanding
+// but feasible for an adaptive framework.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "appmodel/application.hpp"
+#include "appmodel/benchmarks.hpp"
+
+namespace parm::appmodel {
+
+/// Category of a generated sequence.
+enum class SequenceKind { Compute, Communication, Mixed };
+
+const char* to_string(SequenceKind k);
+
+/// One application arrival in a sequence.
+struct AppArrival {
+  int id = 0;                             ///< Position in the sequence.
+  const BenchmarkProfile* bench = nullptr;
+  std::shared_ptr<const ApplicationProfile> profile;  ///< Offline profile.
+  std::uint64_t profile_seed = 0;         ///< Seed the profile came from
+                                          ///< (for serialization).
+  double arrival_s = 0.0;                 ///< Absolute arrival time.
+  double deadline_s = 0.0;                ///< Absolute completion deadline.
+};
+
+struct SequenceConfig {
+  SequenceKind kind = SequenceKind::Mixed;
+  int app_count = 20;
+  double inter_arrival_s = 0.1;
+  /// Deadline = arrival + slack × WCET(0.6 V, DoP 16); slack is drawn
+  /// uniformly from this range (covers queueing time too).
+  double deadline_slack_min = 2.8;
+  double deadline_slack_max = 4.2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a deterministic sequence for the given configuration.
+std::vector<AppArrival> make_sequence(const SequenceConfig& cfg);
+
+}  // namespace parm::appmodel

@@ -1,0 +1,63 @@
+#include "appmodel/workload_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parm::appmodel {
+
+std::string workload_to_text(const std::vector<AppArrival>& sequence) {
+  std::ostringstream os;
+  os << "parm-workload v1\n";
+  os << std::setprecision(17);
+  for (const AppArrival& a : sequence) {
+    PARM_CHECK(a.bench != nullptr, "arrival without a benchmark");
+    os << "app " << a.id << " " << a.bench->name << " " << a.profile_seed
+       << " " << a.arrival_s << " " << a.deadline_s << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::vector<AppArrival> workload_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  PARM_CHECK(static_cast<bool>(std::getline(is, line)) &&
+                 line == "parm-workload v1",
+             "missing/unsupported parm-workload header");
+
+  std::vector<AppArrival> out;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
+    PARM_CHECK(kind == "app", "unknown workload line: " + line);
+    AppArrival a;
+    std::string bench_name;
+    PARM_CHECK(static_cast<bool>(ls >> a.id >> bench_name >>
+                                 a.profile_seed >> a.arrival_s >>
+                                 a.deadline_s),
+               "malformed app line: " + line);
+    PARM_CHECK(a.deadline_s > a.arrival_s,
+               "deadline must lie after arrival: " + line);
+    a.bench = &benchmark_by_name(bench_name);
+    a.profile =
+        std::make_shared<ApplicationProfile>(*a.bench, a.profile_seed);
+    out.push_back(std::move(a));
+  }
+  PARM_CHECK(saw_end, "workload not terminated with 'end'");
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    PARM_CHECK(out[i].arrival_s >= out[i - 1].arrival_s,
+               "arrivals must be sorted by time");
+  }
+  return out;
+}
+
+}  // namespace parm::appmodel

@@ -1,0 +1,30 @@
+// Workload-schedule serialization (parm-workload v1 text format).
+//
+// A serialized sequence pins the exact experiment input — benchmark mix,
+// arrival instants, deadlines, and the per-application profile seeds —
+// so a run can be archived, shared, and replayed bit-for-bit:
+//
+//   parm-workload v1
+//   app <id> <benchmark> <profile_seed> <arrival_s> <deadline_s>
+//   end
+//
+// Profiles are reconstructed deterministically from (benchmark, seed) on
+// load, so files stay small regardless of profile size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+
+namespace parm::appmodel {
+
+/// Renders a sequence in the parm-workload v1 format.
+std::string workload_to_text(const std::vector<AppArrival>& sequence);
+
+/// Parses a parm-workload v1 document, rebuilding every profile. Throws
+/// CheckError on malformed input, unknown benchmarks, or unsorted
+/// arrivals.
+std::vector<AppArrival> workload_from_text(const std::string& text);
+
+}  // namespace parm::appmodel

@@ -1,0 +1,155 @@
+#include "cmp/platform.hpp"
+
+#include <algorithm>
+
+namespace parm::cmp {
+
+Platform::Platform(PlatformConfig cfg)
+    : cfg_(std::move(cfg)),
+      mesh_(cfg_.mesh_width, cfg_.mesh_height),
+      tech_(power::technology_node(cfg_.technology_nm)),
+      vf_(tech_),
+      ledger_(cfg_.dark_silicon_budget_w) {
+  PARM_CHECK(!cfg_.vdd_levels.empty(), "platform needs DVS levels");
+  PARM_CHECK(std::is_sorted(cfg_.vdd_levels.begin(), cfg_.vdd_levels.end()),
+             "vdd levels must be sorted increasing");
+  for (double v : cfg_.vdd_levels) {
+    PARM_CHECK(v > tech_.vth, "vdd level at or below threshold voltage");
+  }
+  tiles_.assign(static_cast<std::size_t>(mesh_.tile_count()), {});
+  domain_vdd_.assign(static_cast<std::size_t>(mesh_.domain_count()), 0.0);
+  domain_occupancy_.assign(static_cast<std::size_t>(mesh_.domain_count()),
+                           0);
+  tile_psn_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
+}
+
+std::int32_t Platform::free_tile_count() const {
+  std::int32_t n = 0;
+  for (const auto& t : tiles_) {
+    if (t.app == kNoApp) ++n;
+  }
+  return n;
+}
+
+std::vector<TileId> Platform::free_tiles() const {
+  std::vector<TileId> out;
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    if (tile_free(t)) out.push_back(t);
+  }
+  return out;
+}
+
+bool Platform::domain_free(DomainId d) const {
+  return domain_occupancy_[static_cast<std::size_t>(d)] == 0;
+}
+
+std::vector<DomainId> Platform::free_domains() const {
+  std::vector<DomainId> out;
+  for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
+    if (domain_free(d)) out.push_back(d);
+  }
+  return out;
+}
+
+std::int32_t Platform::free_domain_count() const {
+  std::int32_t n = 0;
+  for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
+    if (domain_free(d)) ++n;
+  }
+  return n;
+}
+
+std::optional<double> Platform::domain_vdd(DomainId d) const {
+  const double v = domain_vdd_[static_cast<std::size_t>(d)];
+  if (v <= 0.0) return std::nullopt;
+  return v;
+}
+
+void Platform::occupy(AppInstanceId app,
+                      const std::vector<Placement>& placements, double vdd) {
+  PARM_CHECK(app != kNoApp, "invalid app instance id");
+  PARM_CHECK(!placements.empty(), "empty placement list");
+  PARM_CHECK(std::find(cfg_.vdd_levels.begin(), cfg_.vdd_levels.end(),
+                       vdd) != cfg_.vdd_levels.end(),
+             "vdd is not a permitted DVS level");
+  // Validate before mutating (strong exception guarantee).
+  for (const auto& p : placements) {
+    PARM_CHECK(p.tile >= 0 && p.tile < mesh_.tile_count(),
+               "placement tile out of range");
+    PARM_CHECK(tile_free(p.tile), "placement tile already occupied");
+    const DomainId d = mesh_.domain_of(p.tile);
+    if (!domain_free(d)) {
+      PARM_CHECK(domain_vdd_[static_cast<std::size_t>(d)] == vdd,
+                 "domain already powered at a different vdd");
+    }
+  }
+  // Reject duplicate tiles within the request.
+  std::vector<TileId> seen;
+  for (const auto& p : placements) {
+    PARM_CHECK(std::find(seen.begin(), seen.end(), p.tile) == seen.end(),
+               "duplicate tile in placement list");
+    seen.push_back(p.tile);
+  }
+  for (const auto& p : placements) {
+    auto& t = tiles_[static_cast<std::size_t>(p.tile)];
+    t.app = app;
+    t.task_index = p.task_index;
+    t.activity = p.activity;
+    const DomainId d = mesh_.domain_of(p.tile);
+    domain_vdd_[static_cast<std::size_t>(d)] = vdd;
+    ++domain_occupancy_[static_cast<std::size_t>(d)];
+  }
+}
+
+void Platform::release(AppInstanceId app) {
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    auto& tile = tiles_[static_cast<std::size_t>(t)];
+    if (tile.app != app) continue;
+    tile = TileAssignment{};
+    const DomainId d = mesh_.domain_of(t);
+    if (--domain_occupancy_[static_cast<std::size_t>(d)] == 0) {
+      domain_vdd_[static_cast<std::size_t>(d)] = 0.0;  // power-gate
+    }
+  }
+}
+
+void Platform::migrate(AppInstanceId app, TileId from, TileId to) {
+  PARM_CHECK(from >= 0 && from < mesh_.tile_count(), "bad source tile");
+  PARM_CHECK(to >= 0 && to < mesh_.tile_count(), "bad target tile");
+  auto& src = tiles_[static_cast<std::size_t>(from)];
+  PARM_CHECK(src.app == app, "source tile not owned by this app");
+  PARM_CHECK(tile_free(to), "target tile occupied");
+
+  const DomainId from_d = mesh_.domain_of(from);
+  const DomainId to_d = mesh_.domain_of(to);
+  const double vdd = domain_vdd_[static_cast<std::size_t>(from_d)];
+  if (!domain_free(to_d)) {
+    PARM_CHECK(domain_vdd_[static_cast<std::size_t>(to_d)] == vdd,
+               "target domain powered at a different vdd");
+  }
+
+  tiles_[static_cast<std::size_t>(to)] = src;
+  src = TileAssignment{};
+  domain_vdd_[static_cast<std::size_t>(to_d)] = vdd;
+  ++domain_occupancy_[static_cast<std::size_t>(to_d)];
+  if (--domain_occupancy_[static_cast<std::size_t>(from_d)] == 0) {
+    domain_vdd_[static_cast<std::size_t>(from_d)] = 0.0;  // power-gate
+  }
+}
+
+std::vector<TileId> Platform::tiles_of(AppInstanceId app) const {
+  std::vector<TileId> out;
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    if (tiles_[static_cast<std::size_t>(t)].app == app) out.push_back(t);
+  }
+  return out;
+}
+
+void Platform::set_tile_psn(std::vector<double> peak_percent) {
+  PARM_CHECK(peak_percent.size() ==
+                 static_cast<std::size_t>(mesh_.tile_count()),
+             "sensor vector size mismatch");
+  tile_psn_ = std::move(peak_percent);
+}
+
+}  // namespace parm::cmp

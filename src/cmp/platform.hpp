@@ -1,0 +1,127 @@
+// CMP platform model: the 10×6-tile mesh with 2×2-tile power-supply
+// domains, per-domain DVS, tile occupancy, on-die PSN sensors, and the
+// dark-silicon power ledger (paper sections 3.1, 3.3 and 5.1).
+//
+// The Platform owns bookkeeping only; execution dynamics live in
+// parm::sim. Mappers and the runtime manager query it for free resources
+// and commit admissions through occupy()/release().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "power/chip_power.hpp"
+#include "power/technology.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm::cmp {
+
+/// Identifier of an admitted application instance (unique per run).
+using AppInstanceId = std::int64_t;
+inline constexpr AppInstanceId kNoApp = -1;
+
+struct PlatformConfig {
+  std::int32_t mesh_width = 10;
+  std::int32_t mesh_height = 6;
+  int technology_nm = 7;
+  /// Permissible DVS levels, increasing (paper: 0.4-0.8 V in 0.1 steps).
+  std::vector<double> vdd_levels = {0.4, 0.5, 0.6, 0.7, 0.8};
+  double dark_silicon_budget_w = 65.0;
+  double ve_threshold_percent = 5.0;  ///< PSN above this is an emergency.
+};
+
+/// Per-tile occupancy record.
+struct TileAssignment {
+  AppInstanceId app = kNoApp;
+  std::int32_t task_index = -1;
+  double activity = 0.0;  ///< Switching-activity factor of the task.
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig cfg);
+
+  const PlatformConfig& config() const { return cfg_; }
+  const MeshGeometry& mesh() const { return mesh_; }
+  const power::TechnologyNode& technology() const { return tech_; }
+  const power::VoltageFrequencyModel& vf_model() const { return vf_; }
+
+  power::PowerLedger& ledger() { return ledger_; }
+  const power::PowerLedger& ledger() const { return ledger_; }
+
+  // --- Occupancy ---
+  bool tile_free(TileId t) const {
+    return tiles_[static_cast<std::size_t>(t)].app == kNoApp;
+  }
+  const TileAssignment& tile(TileId t) const {
+    return tiles_[static_cast<std::size_t>(t)];
+  }
+  std::int32_t free_tile_count() const;
+  std::vector<TileId> free_tiles() const;
+
+  /// True if no tile of the domain is occupied.
+  bool domain_free(DomainId d) const;
+  std::vector<DomainId> free_domains() const;
+  std::int32_t free_domain_count() const;
+
+  /// Supply voltage of a domain. Free domains are power-gated and report
+  /// nullopt.
+  std::optional<double> domain_vdd(DomainId d) const;
+
+  /// One (task_index, tile, activity) placement of an admission.
+  struct Placement {
+    std::int32_t task_index = -1;
+    TileId tile = kInvalidTile;
+    double activity = 0.0;
+  };
+
+  /// Commits an admission: marks tiles occupied by `app` and sets the
+  /// supply of every touched domain to `vdd`. Preconditions (checked):
+  /// all tiles free; any partially-occupied domain touched must already
+  /// run at `vdd` (different apps may share a domain only at the same
+  /// supply — PARM's mapper never shares, HM's may).
+  void occupy(AppInstanceId app, const std::vector<Placement>& placements,
+              double vdd);
+
+  /// Releases every tile held by `app` (no-op if it holds none); domains
+  /// left empty are power-gated.
+  void release(AppInstanceId app);
+
+  /// Moves one of `app`'s tasks from `from` to the free tile `to`,
+  /// keeping its supply voltage (thread migration, cf. [19]). The target
+  /// domain must be free or already powered at the same Vdd; the source
+  /// domain is power-gated if the move empties it. Preconditions checked.
+  void migrate(AppInstanceId app, TileId from, TileId to);
+
+  /// Tiles currently held by `app`.
+  std::vector<TileId> tiles_of(AppInstanceId app) const;
+
+  // --- PSN sensors (written by the simulator each sample interval) ---
+  void set_tile_psn(std::vector<double> peak_percent);
+  const std::vector<double>& tile_psn() const { return tile_psn_; }
+  double tile_psn_of(TileId t) const {
+    return tile_psn_[static_cast<std::size_t>(t)];
+  }
+
+  /// True when a tile's sensor reads above the voltage-emergency
+  /// threshold.
+  bool in_emergency(TileId t) const {
+    return tile_psn_of(t) > cfg_.ve_threshold_percent;
+  }
+
+ private:
+  PlatformConfig cfg_;
+  MeshGeometry mesh_;
+  power::TechnologyNode tech_;
+  power::VoltageFrequencyModel vf_;
+  power::PowerLedger ledger_;
+  std::vector<TileAssignment> tiles_;
+  std::vector<double> domain_vdd_;  ///< <= 0 when power-gated.
+  std::vector<std::int32_t> domain_occupancy_;  ///< occupied tiles/domain
+  std::vector<double> tile_psn_;
+};
+
+}  // namespace parm::cmp

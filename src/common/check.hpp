@@ -1,0 +1,48 @@
+// Runtime-checked preconditions and invariants for the PARM libraries.
+//
+// PARM_CHECK(cond, msg)   — always-on check; throws parm::CheckError.
+// PARM_DCHECK(cond, msg)  — debug-only check (compiled out in NDEBUG builds).
+//
+// The libraries use exceptions for contract violations (bad user input,
+// broken invariants) and return values / status enums for expected runtime
+// outcomes (e.g. "no mapping region available").
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parm {
+
+/// Thrown when a PARM_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PARM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace parm
+
+#define PARM_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::parm::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define PARM_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define PARM_DCHECK(cond, msg) PARM_CHECK(cond, msg)
+#endif

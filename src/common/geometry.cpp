@@ -1,0 +1,104 @@
+#include "common/geometry.hpp"
+
+#include <ostream>
+
+namespace parm {
+
+Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::East:
+      return Direction::West;
+    case Direction::West:
+      return Direction::East;
+    case Direction::North:
+      return Direction::South;
+    case Direction::South:
+      return Direction::North;
+    case Direction::Local:
+      return Direction::Local;
+  }
+  PARM_CHECK(false, "invalid direction");
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::East:
+      return "E";
+    case Direction::West:
+      return "W";
+    case Direction::North:
+      return "N";
+    case Direction::South:
+      return "S";
+    case Direction::Local:
+      return "L";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TileCoord& c) {
+  return os << "(" << c.x << "," << c.y << ")";
+}
+
+std::int32_t manhattan_distance(TileCoord a, TileCoord b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+MeshGeometry::MeshGeometry(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  PARM_CHECK(width >= 2 && height >= 2, "mesh must be at least 2x2");
+  PARM_CHECK(width % 2 == 0 && height % 2 == 0,
+             "mesh dimensions must be even (2x2 power domains)");
+}
+
+std::array<TileId, 4> MeshGeometry::domain_tiles(DomainId d) const {
+  const TileCoord dc = domain_coord(d);
+  const std::int32_t x0 = dc.x * 2;
+  const std::int32_t y0 = dc.y * 2;
+  return {tile_id({x0, y0}), tile_id({x0 + 1, y0}), tile_id({x0, y0 + 1}),
+          tile_id({x0 + 1, y0 + 1})};
+}
+
+TileId MeshGeometry::neighbor(TileId id, Direction d) const {
+  TileCoord c = coord(id);
+  switch (d) {
+    case Direction::East:
+      ++c.x;
+      break;
+    case Direction::West:
+      --c.x;
+      break;
+    case Direction::North:
+      ++c.y;
+      break;
+    case Direction::South:
+      --c.y;
+      break;
+    case Direction::Local:
+      return id;
+  }
+  return contains(c) ? tile_id(c) : kInvalidTile;
+}
+
+std::vector<TileId> MeshGeometry::neighbors(TileId id) const {
+  std::vector<TileId> out;
+  out.reserve(4);
+  for (Direction d : kCardinalDirections) {
+    const TileId n = neighbor(id, d);
+    if (n != kInvalidTile) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<Direction> MeshGeometry::productive_directions(
+    TileCoord src, TileCoord dst) const {
+  PARM_DCHECK(contains(src) && contains(dst), "coordinates must be on mesh");
+  std::vector<Direction> out;
+  if (dst.x > src.x) out.push_back(Direction::East);
+  if (dst.x < src.x) out.push_back(Direction::West);
+  if (dst.y > src.y) out.push_back(Direction::North);
+  if (dst.y < src.y) out.push_back(Direction::South);
+  return out;
+}
+
+}  // namespace parm

@@ -1,0 +1,127 @@
+// Mesh geometry for the 2D NoC-based CMP.
+//
+// Tiles are laid out in a W×H mesh; a TileCoord is an (x, y) pair with
+// x ∈ [0, W) growing east and y ∈ [0, H) growing north. Tile ids are
+// row-major: id = y*W + x. Power-supply domains are 2×2 tile blocks
+// (paper §3.3), so the mesh dimensions must be even.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parm {
+
+/// Identifier of a tile on the mesh (row-major index).
+using TileId = std::int32_t;
+/// Identifier of a 2×2 power-supply domain (row-major over domain grid).
+using DomainId = std::int32_t;
+
+inline constexpr TileId kInvalidTile = -1;
+inline constexpr DomainId kInvalidDomain = -1;
+
+/// Cardinal hop directions on the mesh plus "Local" (ejection port).
+enum class Direction : std::uint8_t { East = 0, West, North, South, Local };
+
+inline constexpr std::array<Direction, 4> kCardinalDirections = {
+    Direction::East, Direction::West, Direction::North, Direction::South};
+
+/// Returns the opposite cardinal direction (East<->West, North<->South).
+Direction opposite(Direction d);
+
+/// Short human-readable name ("E", "W", "N", "S", "L").
+const char* to_string(Direction d);
+
+/// An (x, y) coordinate on the tile mesh.
+struct TileCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const TileCoord& c);
+
+/// Manhattan (hop) distance between two coordinates.
+std::int32_t manhattan_distance(TileCoord a, TileCoord b);
+
+/// Geometry of a W×H tile mesh partitioned into 2×2 power domains.
+///
+/// The class is immutable after construction and provides all id/coordinate
+/// conversions used by the platform, mapping, and NoC layers.
+class MeshGeometry {
+ public:
+  /// Creates a mesh of `width` × `height` tiles. Both must be even and >= 2
+  /// so the mesh tiles exactly into 2×2 power domains.
+  MeshGeometry(std::int32_t width, std::int32_t height);
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::int32_t tile_count() const { return width_ * height_; }
+
+  /// Number of 2×2 power domains ((W/2) × (H/2)).
+  std::int32_t domain_count() const {
+    return (width_ / 2) * (height_ / 2);
+  }
+  std::int32_t domain_grid_width() const { return width_ / 2; }
+  std::int32_t domain_grid_height() const { return height_ / 2; }
+
+  bool contains(TileCoord c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  TileId tile_id(TileCoord c) const {
+    PARM_DCHECK(contains(c), "coordinate out of mesh");
+    return c.y * width_ + c.x;
+  }
+
+  TileCoord coord(TileId id) const {
+    PARM_DCHECK(id >= 0 && id < tile_count(), "tile id out of range");
+    return TileCoord{id % width_, id / width_};
+  }
+
+  /// Domain that owns a tile (2×2 blocks, row-major over the domain grid).
+  DomainId domain_of(TileId id) const {
+    const TileCoord c = coord(id);
+    return (c.y / 2) * domain_grid_width() + (c.x / 2);
+  }
+
+  /// The four tiles of a domain in row-major order (SW, SE, NW, NE).
+  std::array<TileId, 4> domain_tiles(DomainId d) const;
+
+  /// Coordinate of a domain on the domain grid.
+  TileCoord domain_coord(DomainId d) const {
+    PARM_DCHECK(d >= 0 && d < domain_count(), "domain id out of range");
+    return TileCoord{d % domain_grid_width(), d / domain_grid_width()};
+  }
+
+  /// Manhattan distance between two domains on the domain grid.
+  std::int32_t domain_distance(DomainId a, DomainId b) const {
+    return manhattan_distance(domain_coord(a), domain_coord(b));
+  }
+
+  /// Manhattan (hop) distance between two tiles.
+  std::int32_t hop_distance(TileId a, TileId b) const {
+    return manhattan_distance(coord(a), coord(b));
+  }
+
+  /// Neighbor of a tile in direction `d`, or kInvalidTile at the mesh edge.
+  TileId neighbor(TileId id, Direction d) const;
+
+  /// All valid cardinal neighbors of a tile.
+  std::vector<TileId> neighbors(TileId id) const;
+
+  /// Direction(s) that make progress from `src` toward `dst` (0, 1 or 2
+  /// cardinal directions; empty when src == dst).
+  std::vector<Direction> productive_directions(TileCoord src,
+                                               TileCoord dst) const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+};
+
+}  // namespace parm

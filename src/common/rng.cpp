@@ -1,0 +1,97 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace parm {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  PARM_CHECK(bound > 0, "bound must be positive");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PARM_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1ULL;  // hi-lo < 2^63
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PARM_CHECK(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::exponential(double rate) {
+  PARM_CHECK(rate > 0.0, "exponential rate must be positive");
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+bool Rng::bernoulli(double p) {
+  PARM_CHECK(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+  return uniform01() < p;
+}
+
+std::size_t Rng::pick_index(std::size_t size) {
+  PARM_CHECK(size > 0, "cannot pick from empty range");
+  return static_cast<std::size_t>(next_below(size));
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbULL); }
+
+}  // namespace parm

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for PARM.
+//
+// All stochastic model inputs (task phases, graph shapes, arrival jitter)
+// are drawn from an explicitly seeded Xoshiro256** generator so that every
+// experiment is reproducible bit-for-bit across runs and platforms.
+// SplitMix64 is used to expand a single 64-bit seed into generator state and
+// to derive independent child streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parm {
+
+/// SplitMix64: tiny, high-quality seed expander (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** PRNG (Blackman & Vigna) with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also drive <random>
+/// distributions if ever needed; the members below cover PARM's needs
+/// without libstdc++'s cross-platform distribution variance.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator state via SplitMix64 from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic pair caching).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate parameter λ (> 0).
+  double exponential(double rate);
+
+  /// Bernoulli trial with probability p of success.
+  bool bernoulli(double p);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t pick_index(std::size_t size);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace parm

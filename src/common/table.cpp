@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PARM_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::set_precision(int digits) {
+  PARM_CHECK(digits >= 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  PARM_CHECK(row.size() == headers_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c))
+    return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> f;
+    f.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      f.push_back(format_cell(row[i]));
+      widths[i] = std::max(widths[i], f.back().size());
+    }
+    formatted.push_back(std::move(f));
+  }
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  hline();
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << ' ' << std::setw(static_cast<int>(widths[i])) << std::left
+       << headers_[i] << " |";
+  os << '\n';
+  hline();
+  for (std::size_t r = 0; r < formatted.size(); ++r) {
+    os << '|';
+    for (std::size_t i = 0; i < formatted[r].size(); ++i) {
+      const bool numeric = !std::holds_alternative<std::string>(rows_[r][i]);
+      os << ' ' << std::setw(static_cast<int>(widths[i]))
+         << (numeric ? std::right : std::left) << formatted[r][i] << " |";
+    }
+    os << '\n';
+  }
+  hline();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << (i ? "," : "") << escape(headers_[i]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << (i ? "," : "") << escape(format_cell(row[i]));
+    os << '\n';
+  }
+}
+
+}  // namespace parm

@@ -1,0 +1,44 @@
+// ASCII table / CSV emitter used by the bench harnesses to print the rows
+// and series of the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace parm {
+
+/// A simple column-aligned table that can render as ASCII art or CSV.
+///
+/// Cells are strings, integers, or doubles (formatted with a configurable
+/// precision). Used by every bench binary so figure output is uniform.
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, double>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of digits after the decimal point for double cells (default 3).
+  void set_precision(int digits);
+
+  void add_row(std::vector<Cell> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// Renders with box-drawing separators and right-aligned numbers.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace parm

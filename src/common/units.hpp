@@ -1,0 +1,38 @@
+// Physical units and conversion helpers used throughout PARM.
+//
+// All quantities are stored as doubles in SI base units (volts, amperes,
+// watts, seconds, henries, farads, ohms). The helpers below exist to make
+// call sites self-documenting:  `3 * units::kMilli * units::kWatt` etc.
+// Cycle counts are stored as uint64_t at the tile's current frequency or at
+// the 1 GHz reference clock (documented per field).
+#pragma once
+
+#include <cstdint>
+
+namespace parm::units {
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// Reference clock used to express task work in cycles (1 GHz, paper §4.4).
+inline constexpr double kRefClockHz = 1.0 * kGiga;
+
+/// Seconds for one cycle at the reference clock.
+inline constexpr double kRefCyclePeriod = 1.0 / kRefClockHz;
+
+/// Convert seconds to reference-clock cycles (rounded down).
+constexpr std::uint64_t seconds_to_ref_cycles(double s) {
+  return static_cast<std::uint64_t>(s * kRefClockHz);
+}
+
+/// Convert reference-clock cycles to seconds.
+constexpr double ref_cycles_to_seconds(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / kRefClockHz;
+}
+
+}  // namespace parm::units

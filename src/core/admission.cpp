@@ -1,0 +1,116 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+
+namespace parm::core {
+
+namespace {
+
+/// Shared tail of both policies: power check (Algorithm 2 lines 1-2) and
+/// mapping attempt for one (vdd, dop) candidate. Returns the decision on
+/// success.
+std::optional<AdmissionDecision> attempt_point(
+    const appmodel::AppArrival& app, const cmp::Platform& platform,
+    const mapping::Mapper& mapper, double vdd, int dop, double wcet_s) {
+  const power::CorePowerModel core_model(platform.technology());
+  const power::RouterPowerModel router_model(platform.technology());
+  const double power = app.profile->estimated_power_w(
+      vdd, dop, platform.vf_model(), core_model, router_model);
+  if (!platform.ledger().fits(power)) return std::nullopt;
+
+  const appmodel::DopVariant& variant = app.profile->variant(dop);
+  std::optional<mapping::Mapping> m = mapper.map(platform, variant);
+  if (!m) return std::nullopt;
+
+  AdmissionDecision d;
+  d.vdd = vdd;
+  d.dop = dop;
+  d.mapping = std::move(*m);
+  d.estimated_power_w = power;
+  d.wcet_s = wcet_s;
+  return d;
+}
+
+}  // namespace
+
+ParmAdmissionPolicy::ParmAdmissionPolicy(Options opts) : opts_(opts) {}
+
+AdmissionResult ParmAdmissionPolicy::try_admit(
+    const appmodel::AppArrival& app, double now_s,
+    const cmp::Platform& platform) const {
+  PARM_CHECK(app.profile != nullptr, "arrival carries no profile");
+  AdmissionResult result;
+
+  // Candidate grids. Vdd ascending (peak PSN grows with Vdd, Fig. 3(a)),
+  // DoP descending (more threads at a lower voltage, Alg. 1 line 2).
+  std::vector<double> vdds = platform.config().vdd_levels;
+  if (!opts_.adapt_vdd) vdds = {opts_.fixed_vdd};
+  std::vector<int> dops = app.profile->dops();
+  std::sort(dops.begin(), dops.end(), std::greater<>());
+  if (!opts_.adapt_dop) {
+    dops = {std::min(opts_.fixed_dop,
+                     app.profile->benchmark().max_dop)};
+  }
+
+  bool any_deadline_feasible = false;
+  for (double vdd : vdds) {
+    bool deadline_met_at_this_vdd = false;
+    for (int dop : dops) {
+      const double wcet =
+          app.profile->wcet_seconds(vdd, dop, platform.vf_model());
+      if (now_s + wcet >= app.deadline_s) {
+        // Alg. 1 line 13: a lower DoP only increases WCET — skip the rest
+        // of the DoP list and move to the next (higher) Vdd.
+        break;
+      }
+      deadline_met_at_this_vdd = true;
+      any_deadline_feasible = true;
+      std::optional<AdmissionDecision> d =
+          attempt_point(app, platform, mapper_, vdd, dop, wcet);
+      if (d) {
+        result.decision = std::move(d);
+        return result;
+      }
+      // Mapping/power failed: Alg. 1 line 12 — try the next lower DoP.
+    }
+    (void)deadline_met_at_this_vdd;
+  }
+  result.failure = any_deadline_feasible ? AdmissionFailure::Stall
+                                         : AdmissionFailure::Drop;
+  return result;
+}
+
+HmAdmissionPolicy::HmAdmissionPolicy(double vdd, int dop)
+    : vdd_(vdd), dop_(dop) {
+  PARM_CHECK(vdd > 0.0, "invalid vdd");
+  PARM_CHECK(dop >= 4 && dop % 4 == 0, "DoP must be a positive multiple of 4");
+}
+
+AdmissionResult HmAdmissionPolicy::try_admit(
+    const appmodel::AppArrival& app, double now_s,
+    const cmp::Platform& platform) const {
+  PARM_CHECK(app.profile != nullptr, "arrival carries no profile");
+  AdmissionResult result;
+  // HM does not adapt DoP; an app simply spawns as many threads as it
+  // supports, up to the configured fixed count.
+  const int dop = std::min(dop_, app.profile->benchmark().max_dop);
+  const double wcet =
+      app.profile->wcet_seconds(vdd_, dop, platform.vf_model());
+  if (now_s + wcet >= app.deadline_s) {
+    result.failure = AdmissionFailure::Drop;
+    return result;
+  }
+  std::optional<AdmissionDecision> d =
+      attempt_point(app, platform, mapper_, vdd_, dop, wcet);
+  if (d) {
+    result.decision = std::move(d);
+  } else {
+    result.failure = AdmissionFailure::Stall;
+  }
+  return result;
+}
+
+}  // namespace parm::core

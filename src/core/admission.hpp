@@ -1,0 +1,100 @@
+// Admission control: the Vdd/DoP selection of PARM (Algorithm 1) and the
+// fixed-operating-point policy of the HM baseline.
+//
+// A policy inspects the platform (free tiles/domains, power headroom) and
+// an arrived application's offline profile and either produces a complete
+// admission decision — (Vdd, DoP, task-to-tile mapping, power
+// reservation) — or reports why it cannot:
+//   Stall — some (Vdd, DoP) meets the deadline but resources are missing
+//           right now; retry when an application exits (Alg. 1 line 9).
+//   Drop  — no (Vdd, DoP) can meet the deadline anymore; discard to avoid
+//           stagnating the FCFS queue (Alg. 1, last paragraph).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "appmodel/workload.hpp"
+#include "cmp/platform.hpp"
+#include "mapping/hm_mapper.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/parm_mapper.hpp"
+
+namespace parm::core {
+
+/// A committed operating point for one application.
+struct AdmissionDecision {
+  double vdd = 0.0;
+  int dop = 0;
+  mapping::Mapping mapping;
+  double estimated_power_w = 0.0;
+  double wcet_s = 0.0;
+};
+
+enum class AdmissionFailure { Stall, Drop };
+
+struct AdmissionResult {
+  std::optional<AdmissionDecision> decision;
+  AdmissionFailure failure = AdmissionFailure::Stall;  ///< valid if !decision
+
+  bool admitted() const { return decision.has_value(); }
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// Attempts to admit `app` at time `now_s`. Does not mutate the
+  /// platform; the caller commits via Platform::occupy + ledger.reserve.
+  virtual AdmissionResult try_admit(const appmodel::AppArrival& app,
+                                    double now_s,
+                                    const cmp::Platform& platform) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// PARM's Algorithm 1: iterate Vdd increasing and DoP decreasing, take the
+/// first (Vdd, DoP) whose WCET meets the deadline, fits the dark-silicon
+/// budget, and maps successfully via the PSN-aware heuristic.
+class ParmAdmissionPolicy final : public AdmissionPolicy {
+ public:
+  struct Options {
+    bool adapt_vdd = true;   ///< false: only `fixed_vdd` considered
+    bool adapt_dop = true;   ///< false: only `fixed_dop` considered
+    double fixed_vdd = 0.8;  ///< used when !adapt_vdd
+    int fixed_dop = 16;      ///< used when !adapt_dop
+  };
+
+  ParmAdmissionPolicy() : ParmAdmissionPolicy(Options{}) {}
+  explicit ParmAdmissionPolicy(Options opts);
+
+  AdmissionResult try_admit(const appmodel::AppArrival& app, double now_s,
+                            const cmp::Platform& platform) const override;
+
+  std::string name() const override { return "PARM"; }
+
+ private:
+  Options opts_;
+  mapping::ParmMapper mapper_;
+};
+
+/// HM baseline: fixed nominal Vdd and fixed DoP (no adaptation — the
+/// paper attributes HM's DsPB violations to exactly this), harmonic
+/// spread mapping.
+class HmAdmissionPolicy final : public AdmissionPolicy {
+ public:
+  explicit HmAdmissionPolicy(double vdd = 0.8, int dop = 16);
+
+  AdmissionResult try_admit(const appmodel::AppArrival& app, double now_s,
+                            const cmp::Platform& platform) const override;
+
+  std::string name() const override { return "HM"; }
+
+ private:
+  double vdd_;
+  int dop_;
+  mapping::HarmonicMapper mapper_;
+};
+
+}  // namespace parm::core

@@ -1,0 +1,34 @@
+#include "core/framework.hpp"
+
+namespace parm::core {
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const FrameworkConfig& cfg) {
+  if (cfg.mapping == "PARM") {
+    ParmAdmissionPolicy::Options o;
+    o.adapt_vdd = cfg.parm_adapt_vdd;
+    o.adapt_dop = cfg.parm_adapt_dop;
+    o.fixed_vdd = cfg.parm_fixed_vdd;
+    o.fixed_dop = cfg.parm_fixed_dop;
+    return std::make_unique<ParmAdmissionPolicy>(o);
+  }
+  if (cfg.mapping == "HM") {
+    return std::make_unique<HmAdmissionPolicy>(cfg.hm_vdd, cfg.hm_dop);
+  }
+  PARM_CHECK(false, "unknown mapping framework: " + cfg.mapping);
+}
+
+std::vector<FrameworkConfig> paper_frameworks() {
+  std::vector<FrameworkConfig> out;
+  for (const char* m : {"HM", "PARM"}) {
+    for (const char* r : {"XY", "ICON", "PANR"}) {
+      FrameworkConfig cfg;
+      cfg.mapping = m;
+      cfg.routing = r;
+      out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+}  // namespace parm::core

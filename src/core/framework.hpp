@@ -1,0 +1,40 @@
+// Framework matrix: the six mapping × routing combinations the paper
+// evaluates (HM/PARM × XY/ICON/PANR), plus ablation variants of PARM.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/admission.hpp"
+
+namespace parm::core {
+
+struct FrameworkConfig {
+  std::string mapping = "PARM";  ///< "PARM" or "HM"
+  std::string routing = "PANR";  ///< "XY", "WestFirst", "ICON" or "PANR"
+
+  // HM's fixed operating point (nominal supply, mid DoP).
+  double hm_vdd = 0.8;
+  int hm_dop = 16;
+
+  // PARM ablation knobs (bench/ablation_parm_knobs).
+  bool parm_adapt_vdd = true;
+  bool parm_adapt_dop = true;
+  double parm_fixed_vdd = 0.8;
+  int parm_fixed_dop = 16;
+
+  double panr_threshold = 0.5;  ///< Buffer-occupancy threshold B.
+
+  /// Display name, e.g. "PARM+PANR".
+  std::string display_name() const { return mapping + "+" + routing; }
+};
+
+/// Builds the admission policy for a framework configuration.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const FrameworkConfig& cfg);
+
+/// The six paper frameworks in presentation order:
+/// HM+XY, HM+ICON, HM+PANR, PARM+XY, PARM+ICON, PARM+PANR.
+std::vector<FrameworkConfig> paper_frameworks();
+
+}  // namespace parm::core

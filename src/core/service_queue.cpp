@@ -1,0 +1,35 @@
+#include "core/service_queue.hpp"
+
+namespace parm::core {
+
+ServiceQueue::ServiceQueue(int max_stalls) : max_stalls_(max_stalls) {
+  PARM_CHECK(max_stalls >= 1, "need at least one stall before dropping");
+}
+
+void ServiceQueue::enqueue(appmodel::AppArrival app) {
+  queue_.push_back(Waiting{std::move(app), 0});
+}
+
+std::optional<ServiceQueue::Admitted> ServiceQueue::pump(
+    double now_s, const cmp::Platform& platform,
+    const AdmissionPolicy& policy) {
+  while (!queue_.empty()) {
+    Waiting& head = queue_.front();
+    AdmissionResult r = policy.try_admit(head.app, now_s, platform);
+    if (r.admitted()) {
+      Admitted out{std::move(head.app), std::move(*r.decision)};
+      queue_.pop_front();
+      return out;
+    }
+    if (r.failure == AdmissionFailure::Drop ||
+        ++head.stall_count > max_stalls_) {
+      dropped_.push_back(std::move(head.app));
+      queue_.pop_front();
+      continue;  // try the next waiting app
+    }
+    break;  // head stalls: FCFS blocks until the next event
+  }
+  return std::nullopt;
+}
+
+}  // namespace parm::core

@@ -1,0 +1,58 @@
+// FCFS service queue with stall/drop semantics (paper sections 3.2, 4.1).
+//
+// Applications wait here after arrival. On every scheduling event (an
+// arrival or an application exit) the queue head is offered to the
+// admission policy:
+//   admitted → dequeued, returned to the caller for commitment;
+//   Drop     → dequeued and counted as dropped (deadline infeasible);
+//   Stall    → the head blocks the queue (FCFS) until the next event; an
+//              app that has stalled more than `max_stalls` times is
+//              dropped to avoid stagnation (Alg. 1, last paragraph).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/admission.hpp"
+
+namespace parm::core {
+
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(int max_stalls = 3);
+
+  void enqueue(appmodel::AppArrival app);
+
+  /// Runs the admission loop at time `now_s`: repeatedly offers the head
+  /// to `policy` until the queue empties or the head stalls. The caller
+  /// must commit each returned decision to the platform *before* the next
+  /// call (the loop stops after each admission so resources are charged).
+  ///
+  /// Returns the admitted (arrival, decision) pair for at most one app per
+  /// call; call again to continue draining after committing.
+  struct Admitted {
+    appmodel::AppArrival app;
+    AdmissionDecision decision;
+  };
+  std::optional<Admitted> pump(double now_s, const cmp::Platform& platform,
+                               const AdmissionPolicy& policy);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Applications dropped so far (deadline-infeasible or over-stalled).
+  const std::vector<appmodel::AppArrival>& dropped() const {
+    return dropped_;
+  }
+
+ private:
+  struct Waiting {
+    appmodel::AppArrival app;
+    int stall_count = 0;
+  };
+  std::deque<Waiting> queue_;
+  std::vector<appmodel::AppArrival> dropped_;
+  int max_stalls_;
+};
+
+}  // namespace parm::core

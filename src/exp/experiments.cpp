@@ -1,0 +1,73 @@
+#include "exp/experiments.hpp"
+
+#include "common/check.hpp"
+
+namespace parm::exp {
+
+sim::SimConfig default_sim_config() {
+  sim::SimConfig cfg;  // struct defaults already match the paper's setup
+  return cfg;
+}
+
+std::vector<FrameworkRun> run_framework_matrix(
+    const std::vector<core::FrameworkConfig>& frameworks,
+    const appmodel::SequenceConfig& seq_cfg, const sim::SimConfig& base) {
+  std::vector<FrameworkRun> out;
+  out.reserve(frameworks.size());
+  for (const core::FrameworkConfig& fw : frameworks) {
+    sim::SimConfig cfg = base;
+    cfg.framework = fw;
+    std::vector<appmodel::AppArrival> seq = appmodel::make_sequence(seq_cfg);
+    sim::SystemSimulator simulator(cfg, std::move(seq));
+    out.push_back(FrameworkRun{fw.display_name(), simulator.run()});
+  }
+  return out;
+}
+
+std::vector<AveragedRun> run_matrix_averaged(
+    const std::vector<core::FrameworkConfig>& frameworks,
+    appmodel::SequenceConfig seq_cfg, const sim::SimConfig& base,
+    const std::vector<std::uint64_t>& seeds) {
+  PARM_CHECK(!seeds.empty(), "need at least one seed");
+  std::vector<AveragedRun> out;
+  out.reserve(frameworks.size());
+  const double n = static_cast<double>(seeds.size());
+  for (const core::FrameworkConfig& fw : frameworks) {
+    AveragedRun avg;
+    avg.framework = fw.display_name();
+    for (std::uint64_t seed : seeds) {
+      seq_cfg.seed = seed;
+      sim::SimConfig cfg = base;
+      cfg.framework = fw;
+      sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq_cfg));
+      const sim::SimResult r = simulator.run();
+      avg.makespan_s += r.makespan_s / n;
+      avg.peak_psn_percent += r.peak_psn_percent / n;
+      avg.avg_psn_percent += r.avg_psn_percent / n;
+      avg.completed += r.completed_count / n;
+      avg.dropped += r.dropped_count / n;
+      avg.ve_count += static_cast<double>(r.total_ve_count) / n;
+      avg.noc_latency_cycles += r.avg_noc_latency_cycles / n;
+      avg.avg_chip_power_w += r.avg_chip_power_w / n;
+    }
+    out.push_back(avg);
+  }
+  return out;
+}
+
+std::vector<core::FrameworkConfig> fig8_frameworks() {
+  std::vector<core::FrameworkConfig> out;
+  for (const auto& [m, r] : std::initializer_list<
+           std::pair<const char*, const char*>>{{"HM", "XY"},
+                                                {"PARM", "XY"},
+                                                {"PARM", "ICON"},
+                                                {"PARM", "PANR"}}) {
+    core::FrameworkConfig cfg;
+    cfg.mapping = m;
+    cfg.routing = r;
+    out.push_back(cfg);
+  }
+  return out;
+}
+
+}  // namespace parm::exp

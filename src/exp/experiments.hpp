@@ -1,0 +1,56 @@
+// Experiment harness shared by the bench binaries.
+//
+// Runs the paper's framework matrix (HM/PARM × XY/ICON/PANR) over
+// identical workload sequences and collects the metrics Figs. 6-8 plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "core/framework.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::exp {
+
+/// Simulator defaults used by every paper experiment (60-core 10×6 CMP at
+/// 7 nm, DsPB 65 W, 1 ms epochs).
+sim::SimConfig default_sim_config();
+
+/// Result of one framework over one sequence.
+struct FrameworkRun {
+  std::string framework;  ///< e.g. "PARM+PANR"
+  sim::SimResult result;
+};
+
+/// Runs every framework in `frameworks` on the *same* sequence generated
+/// from `seq_cfg` (same seed → identical arrivals/deadlines/profiles).
+std::vector<FrameworkRun> run_framework_matrix(
+    const std::vector<core::FrameworkConfig>& frameworks,
+    const appmodel::SequenceConfig& seq_cfg, const sim::SimConfig& base);
+
+/// Convenience: the four frameworks Fig. 8 compares.
+std::vector<core::FrameworkConfig> fig8_frameworks();
+
+/// Seed-averaged metrics of one framework over one sequence configuration.
+struct AveragedRun {
+  std::string framework;
+  double makespan_s = 0.0;
+  double peak_psn_percent = 0.0;
+  double avg_psn_percent = 0.0;
+  double completed = 0.0;
+  double dropped = 0.0;
+  double ve_count = 0.0;
+  double noc_latency_cycles = 0.0;
+  double avg_chip_power_w = 0.0;
+};
+
+/// Runs each framework over `seeds` instances of the sequence (varying
+/// only the sequence seed) and averages the headline metrics. Every
+/// framework sees the identical set of sequences.
+std::vector<AveragedRun> run_matrix_averaged(
+    const std::vector<core::FrameworkConfig>& frameworks,
+    appmodel::SequenceConfig seq_cfg, const sim::SimConfig& base,
+    const std::vector<std::uint64_t>& seeds);
+
+}  // namespace parm::exp

@@ -1,0 +1,88 @@
+#include "mapping/clustering.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parm::mapping {
+
+std::vector<TaskCluster> cluster_tasks(const appmodel::DopVariant& variant) {
+  const auto& tasks = variant.tasks;
+  const std::size_t n = tasks.size();
+  PARM_CHECK(n >= 1, "variant has no tasks");
+
+  std::vector<bool> listed(n, false);
+  std::vector<appmodel::TaskIndex> high;
+  std::vector<appmodel::TaskIndex> low;
+
+  auto push = [&](appmodel::TaskIndex t) {
+    if (listed[static_cast<std::size_t>(t)]) return;
+    listed[static_cast<std::size_t>(t)] = true;
+    if (tasks[static_cast<std::size_t>(t)].activity_class() ==
+        power::ActivityClass::High) {
+      high.push_back(t);
+    } else {
+      low.push_back(t);
+    }
+  };
+
+  // Lines 4-8: walk edges by decreasing volume; endpoints enter their
+  // activity list in first-touch order, so each list is ordered by the
+  // communication weight that pulled the task in.
+  for (const auto& e : variant.graph.edges_by_decreasing_volume()) {
+    push(e.src);
+    push(e.dst);
+  }
+  // Tasks with no incident edges (possible in sparse shapes).
+  for (appmodel::TaskIndex t = 0; t < static_cast<appmodel::TaskIndex>(n);
+       ++t) {
+    push(t);
+  }
+
+  // Line 9: chop each list into clusters of 4; merge both tails into one
+  // final (possibly mixed) cluster.
+  std::vector<TaskCluster> clusters;
+  auto chop = [&](const std::vector<appmodel::TaskIndex>& list,
+                  std::vector<appmodel::TaskIndex>& tail) {
+    std::size_t i = 0;
+    for (; i + 4 <= list.size(); i += 4) {
+      TaskCluster c;
+      c.tasks.assign(list.begin() + static_cast<std::ptrdiff_t>(i),
+                     list.begin() + static_cast<std::ptrdiff_t>(i + 4));
+      clusters.push_back(std::move(c));
+    }
+    tail.insert(tail.end(), list.begin() + static_cast<std::ptrdiff_t>(i),
+                list.end());
+  };
+  std::vector<appmodel::TaskIndex> tail;
+  chop(high, tail);
+  chop(low, tail);
+  // The merged tail may exceed 4 for hand-built variants whose task count
+  // is not a multiple of 4; split it in order.
+  for (std::size_t i = 0; i < tail.size(); i += 4) {
+    TaskCluster c;
+    const std::size_t end = std::min(i + 4, tail.size());
+    c.tasks.assign(tail.begin() + static_cast<std::ptrdiff_t>(i),
+                   tail.begin() + static_cast<std::ptrdiff_t>(end));
+    c.mixed_activity = true;
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+double inter_cluster_volume(const appmodel::DopVariant& variant,
+                            const TaskCluster& a, const TaskCluster& b) {
+  auto contains = [](const TaskCluster& c, appmodel::TaskIndex t) {
+    return std::find(c.tasks.begin(), c.tasks.end(), t) != c.tasks.end();
+  };
+  double vol = 0.0;
+  for (const auto& e : variant.graph.edges()) {
+    if ((contains(a, e.src) && contains(b, e.dst)) ||
+        (contains(a, e.dst) && contains(b, e.src))) {
+      vol += e.volume_flits;
+    }
+  }
+  return vol;
+}
+
+}  // namespace parm::mapping

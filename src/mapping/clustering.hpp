@@ -1,0 +1,36 @@
+// Activity-aware task clustering (paper Algorithm 2, lines 3-9).
+//
+// Walking the APG edges in decreasing volume order, tasks are appended to
+// a High or a Low list according to their switching-activity class the
+// first time an edge touches them; tasks untouched by any edge are
+// appended afterwards. Each list is then chopped into clusters of four —
+// the size of a power-supply domain — in list order, which simultaneously
+// (1) groups similar-activity tasks into the same domain (less H-L
+// interference, Fig. 3(b)) and (2) keeps heavily-communicating tasks
+// together (they were adjacent in the list). The leftover tails of both
+// lists (< 4 each) merge into one final, possibly mixed-activity cluster;
+// with DoP a multiple of 4 that merged tail is itself exactly 0 or 4
+// tasks.
+#pragma once
+
+#include <vector>
+
+#include "appmodel/application.hpp"
+
+namespace parm::mapping {
+
+/// A group of up to four tasks destined for one power-supply domain.
+struct TaskCluster {
+  std::vector<appmodel::TaskIndex> tasks;
+  bool mixed_activity = false;  ///< true for the merged leftover cluster
+};
+
+/// Clusters the tasks of a DoP variant per Algorithm 2. Every task appears
+/// in exactly one cluster; cluster sizes are <= 4.
+std::vector<TaskCluster> cluster_tasks(const appmodel::DopVariant& variant);
+
+/// Communication volume between two clusters (sum of APG edges crossing).
+double inter_cluster_volume(const appmodel::DopVariant& variant,
+                            const TaskCluster& a, const TaskCluster& b);
+
+}  // namespace parm::mapping

@@ -1,0 +1,130 @@
+#include "mapping/hm_mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parm::mapping {
+
+namespace {
+
+/// Tiles (free or occupied) currently hosting a High-activity task.
+std::vector<TileId> high_activity_tiles(const cmp::Platform& platform) {
+  std::vector<TileId> out;
+  for (TileId t = 0; t < platform.mesh().tile_count(); ++t) {
+    const auto& a = platform.tile(t);
+    if (a.app != cmp::kNoApp &&
+        power::classify_activity(a.activity) ==
+            power::ActivityClass::High) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Mapping> HarmonicMapper::map(
+    const cmp::Platform& platform,
+    const appmodel::DopVariant& variant) const {
+  const MeshGeometry& mesh = platform.mesh();
+  const std::size_t n = variant.tasks.size();
+  if (static_cast<std::size_t>(platform.free_tile_count()) < n) {
+    return std::nullopt;
+  }
+
+  // Order tasks by decreasing activity: active tasks claim spread-out
+  // tiles first (harmonic placement), quieter tasks fill in near their
+  // communication partners.
+  std::vector<appmodel::TaskIndex> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<appmodel::TaskIndex>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](appmodel::TaskIndex a, appmodel::TaskIndex b) {
+                     return variant.tasks[static_cast<std::size_t>(a)]
+                                .activity >
+                            variant.tasks[static_cast<std::size_t>(b)]
+                                .activity;
+                   });
+
+  std::vector<TileId> free = platform.free_tiles();
+  // High tiles of other running apps also repel (chip-wide harmonic
+  // placement); our own placed High tasks join the set as we go.
+  std::vector<TileId> high_tiles = high_activity_tiles(platform);
+  std::vector<TileId> tile_of(n, kInvalidTile);
+  Mapping out;
+  out.reserve(n);
+
+  for (const appmodel::TaskIndex task : order) {
+    const auto& prof = variant.tasks[static_cast<std::size_t>(task)];
+    const bool is_high =
+        prof.activity_class() == power::ActivityClass::High;
+
+    TileId best = kInvalidTile;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (const TileId cand : free) {
+      double score;
+      if (is_high) {
+        // Maximize the minimum distance to every other High-activity
+        // tile on the chip.
+        double min_dist = std::numeric_limits<double>::infinity();
+        for (const TileId h : high_tiles) {
+          min_dist =
+              std::min<double>(min_dist, mesh.hop_distance(cand, h));
+        }
+        score = high_tiles.empty() ? 0.0 : min_dist;
+        // Tie-break: prefer shorter paths to placed partners.
+        double comm = 0.0;
+        for (const auto& e : variant.graph.edges()) {
+          const appmodel::TaskIndex other =
+              e.src == task ? e.dst : (e.dst == task ? e.src : -1);
+          if (other < 0) continue;
+          const TileId ot = tile_of[static_cast<std::size_t>(other)];
+          if (ot != kInvalidTile) {
+            comm += e.volume_flits * mesh.hop_distance(cand, ot);
+          }
+        }
+        score -= 1e-9 * comm;
+      } else {
+        // Low task: minimize communication-weighted distance to placed
+        // partners (score is the negative cost).
+        double cost = 0.0;
+        bool has_partner = false;
+        for (const auto& e : variant.graph.edges()) {
+          const appmodel::TaskIndex other =
+              e.src == task ? e.dst : (e.dst == task ? e.src : -1);
+          if (other < 0) continue;
+          const TileId ot = tile_of[static_cast<std::size_t>(other)];
+          if (ot != kInvalidTile) {
+            has_partner = true;
+            cost += e.volume_flits * mesh.hop_distance(cand, ot);
+          }
+        }
+        if (!has_partner) {
+          // No placed partner yet: any free tile; prefer central ones.
+          const TileCoord c = mesh.coord(cand);
+          cost = std::abs(c.x - mesh.width() / 2) +
+                 std::abs(c.y - mesh.height() / 2);
+        }
+        score = -cost;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    PARM_DCHECK(best != kInvalidTile, "no free tile despite count check");
+    tile_of[static_cast<std::size_t>(task)] = best;
+    free.erase(std::remove(free.begin(), free.end(), best), free.end());
+    if (is_high) high_tiles.push_back(best);
+
+    cmp::Platform::Placement p;
+    p.task_index = task;
+    p.tile = best;
+    p.activity = prof.activity;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace parm::mapping

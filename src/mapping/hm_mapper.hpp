@@ -1,0 +1,25 @@
+// Harmonic-mapping baseline (HM), after Dahir et al. [21].
+//
+// HM minimizes PSN by mapping highly active tasks at long Manhattan
+// distances from each other, on any free tiles of the CMP (regions may be
+// non-contiguous and are not domain-aligned). Low-activity tasks are
+// placed to minimize communication-weighted distance to their already
+// placed partners. This reproduces the behaviours the paper criticises:
+// scattering raises NoC traffic (more routers switch along longer paths)
+// and High/Low tasks frequently end up adjacent in the same domain.
+#pragma once
+
+#include "mapping/mapper.hpp"
+
+namespace parm::mapping {
+
+class HarmonicMapper final : public Mapper {
+ public:
+  std::optional<Mapping> map(
+      const cmp::Platform& platform,
+      const appmodel::DopVariant& variant) const override;
+
+  std::string name() const override { return "HM"; }
+};
+
+}  // namespace parm::mapping

@@ -1,0 +1,48 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+
+namespace parm::mapping {
+
+bool validate_mapping(const cmp::Platform& platform,
+                      const appmodel::DopVariant& variant,
+                      const Mapping& mapping) {
+  if (mapping.size() != variant.tasks.size()) return false;
+  std::vector<bool> task_seen(variant.tasks.size(), false);
+  std::vector<TileId> tiles;
+  for (const auto& p : mapping) {
+    if (p.task_index < 0 ||
+        p.task_index >= static_cast<std::int32_t>(variant.tasks.size())) {
+      return false;
+    }
+    if (task_seen[static_cast<std::size_t>(p.task_index)]) return false;
+    task_seen[static_cast<std::size_t>(p.task_index)] = true;
+    if (p.tile < 0 || p.tile >= platform.mesh().tile_count()) return false;
+    if (!platform.tile_free(p.tile)) return false;
+    if (std::find(tiles.begin(), tiles.end(), p.tile) != tiles.end()) {
+      return false;
+    }
+    tiles.push_back(p.tile);
+  }
+  return true;
+}
+
+double communication_cost(const MeshGeometry& mesh,
+                          const appmodel::DopVariant& variant,
+                          const Mapping& mapping) {
+  std::vector<TileId> tile_of(variant.tasks.size(), kInvalidTile);
+  for (const auto& p : mapping) {
+    tile_of[static_cast<std::size_t>(p.task_index)] = p.tile;
+  }
+  double cost = 0.0;
+  for (const auto& e : variant.graph.edges()) {
+    const TileId a = tile_of[static_cast<std::size_t>(e.src)];
+    const TileId b = tile_of[static_cast<std::size_t>(e.dst)];
+    PARM_CHECK(a != kInvalidTile && b != kInvalidTile,
+               "mapping does not cover all tasks");
+    cost += e.volume_flits * mesh.hop_distance(a, b);
+  }
+  return cost;
+}
+
+}  // namespace parm::mapping

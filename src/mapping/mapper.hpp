@@ -1,0 +1,45 @@
+// Task-to-tile mapping interface.
+//
+// A Mapper receives the platform (occupancy, geometry, sensors) and the
+// application's DoP variant (task graph + per-task profiles) and returns a
+// placement of every task onto free tiles — or nullopt when no viable
+// placement exists under its policy. Mappers never mutate the platform;
+// committing a mapping is the runtime manager's job (Platform::occupy).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appmodel/application.hpp"
+#include "cmp/platform.hpp"
+
+namespace parm::mapping {
+
+using Mapping = std::vector<cmp::Platform::Placement>;
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual std::optional<Mapping> map(
+      const cmp::Platform& platform,
+      const appmodel::DopVariant& variant) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Structural validity: every task of `variant` placed exactly once, every
+/// tile in range, free, and used once. Returns false instead of throwing
+/// (used in tests and debug assertions).
+bool validate_mapping(const cmp::Platform& platform,
+                      const appmodel::DopVariant& variant,
+                      const Mapping& mapping);
+
+/// Total communication cost of a mapping: sum over APG edges of
+/// volume × Manhattan distance between the endpoints' tiles.
+double communication_cost(const MeshGeometry& mesh,
+                          const appmodel::DopVariant& variant,
+                          const Mapping& mapping);
+
+}  // namespace parm::mapping

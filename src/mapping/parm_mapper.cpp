@@ -1,0 +1,118 @@
+#include "mapping/parm_mapper.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace parm::mapping {
+
+namespace {
+
+/// Slot visit order forming a ring around the 2×2 domain:
+/// 0 (SW) → 1 (SE) → 3 (NE) → 2 (NW). Consecutive ring positions are
+/// mesh-adjacent, so tasks placed in ring order keep same-class neighbors
+/// at 1 hop and push the class boundary toward the 2-hop diagonal.
+constexpr std::array<std::size_t, 4> kRingOrder = {0, 1, 3, 2};
+
+/// Places the (<=4) tasks of a cluster onto the tiles of a domain.
+/// Tasks are grouped by activity class (High first) and laid out along
+/// the ring so each class occupies contiguous, mesh-adjacent tiles.
+void place_cluster(const MeshGeometry& mesh, DomainId domain,
+                   const TaskCluster& cluster,
+                   const appmodel::DopVariant& variant, Mapping& out) {
+  const std::array<TileId, 4> tiles = mesh.domain_tiles(domain);
+  std::vector<appmodel::TaskIndex> ordered = cluster.tasks;
+  std::stable_partition(
+      ordered.begin(), ordered.end(), [&](appmodel::TaskIndex t) {
+        return variant.tasks[static_cast<std::size_t>(t)].activity_class() ==
+               power::ActivityClass::High;
+      });
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const appmodel::TaskIndex task = ordered[i];
+    cmp::Platform::Placement p;
+    p.task_index = task;
+    p.tile = tiles[kRingOrder[i]];
+    p.activity = variant.tasks[static_cast<std::size_t>(task)].activity;
+    out.push_back(p);
+  }
+}
+
+}  // namespace
+
+std::optional<Mapping> ParmMapper::map(
+    const cmp::Platform& platform,
+    const appmodel::DopVariant& variant) const {
+  const MeshGeometry& mesh = platform.mesh();
+  const std::vector<TaskCluster> clusters = cluster_tasks(variant);
+  std::vector<DomainId> free = platform.free_domains();
+  if (static_cast<std::size_t>(free.size()) < clusters.size()) {
+    return std::nullopt;  // Algorithm 2 lines 10-11
+  }
+
+  // Order clusters by total incident volume so the heaviest communicator
+  // anchors the region.
+  std::vector<std::size_t> order(clusters.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> incident(clusters.size(), 0.0);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = 0; j < clusters.size(); ++j) {
+      if (i != j) {
+        incident[i] +=
+            inter_cluster_volume(variant, clusters[i], clusters[j]);
+      }
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return incident[a] > incident[b];
+  });
+
+  // Greedy assignment: the anchor cluster takes the most central free
+  // domain (smallest total distance to the other free domains, so the
+  // region can grow contiguously); every next cluster takes the free
+  // domain minimizing communication-weighted distance to the already
+  // placed clusters, falling back to plain proximity when it exchanges
+  // no traffic with them.
+  std::vector<DomainId> assigned(clusters.size(), kInvalidDomain);
+  for (std::size_t step = 0; step < order.size(); ++step) {
+    const std::size_t ci = order[step];
+    DomainId best = kInvalidDomain;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (DomainId cand : free) {
+      double cost = 0.0;
+      if (step == 0) {
+        for (DomainId other : free) {
+          cost += mesh.domain_distance(cand, other);
+        }
+      } else {
+        double proximity = 0.0;
+        for (std::size_t prev = 0; prev < step; ++prev) {
+          const std::size_t pj = order[prev];
+          const double dist = mesh.domain_distance(cand, assigned[pj]);
+          cost += inter_cluster_volume(variant, clusters[ci],
+                                       clusters[pj]) *
+                  dist;
+          proximity += dist;
+        }
+        // Tie-break (and zero-traffic fallback): stay compact.
+        cost += proximity * 1e-6;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand;
+      }
+    }
+    PARM_DCHECK(best != kInvalidDomain, "no free domain despite count check");
+    assigned[ci] = best;
+    free.erase(std::remove(free.begin(), free.end(), best), free.end());
+  }
+
+  Mapping out;
+  out.reserve(variant.tasks.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    place_cluster(mesh, assigned[i], clusters[i], variant, out);
+  }
+  return out;
+}
+
+}  // namespace parm::mapping

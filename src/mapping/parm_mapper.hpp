@@ -1,0 +1,29 @@
+// PARM's PSN-aware mapping heuristic (paper Algorithm 2 + Fig. 5).
+//
+// Pipeline: cluster tasks by activity/communication (clustering.hpp), fail
+// if fewer free domains than clusters, then assign clusters to domains
+// greedily so heavily-communicating clusters land on nearby domains
+// (task-cluster-to-domain-mapping, Algorithm 2 line 13). Within a domain,
+// tasks of the same activity class are placed on mesh-adjacent tiles
+// (Fig. 5) so unlike-activity pairs sit at the 2-hop diagonal where
+// interference is weakest (Fig. 3(b)).
+//
+// Power-budget admission (Algorithm 2 lines 1-2) is the runtime manager's
+// responsibility — the mapper is purely spatial.
+#pragma once
+
+#include "mapping/clustering.hpp"
+#include "mapping/mapper.hpp"
+
+namespace parm::mapping {
+
+class ParmMapper final : public Mapper {
+ public:
+  std::optional<Mapping> map(
+      const cmp::Platform& platform,
+      const appmodel::DopVariant& variant) const override;
+
+  std::string name() const override { return "PARM"; }
+};
+
+}  // namespace parm::mapping

@@ -1,0 +1,43 @@
+#include "noc/load_sweep.hpp"
+
+namespace parm::noc {
+
+std::vector<LoadPoint> latency_load_sweep(const MeshGeometry& mesh,
+                                          const std::string& routing_name,
+                                          const FlowFactory& flows,
+                                          const LoadSweepConfig& cfg) {
+  PARM_CHECK(!cfg.loads.empty(), "sweep needs at least one load");
+  std::vector<LoadPoint> out;
+  out.reserve(cfg.loads.size());
+  for (double load : cfg.loads) {
+    PARM_CHECK(load > 0.0, "loads must be positive");
+    Network net(mesh, cfg.noc, make_routing(routing_name,
+                                            cfg.noc.panr_occupancy_threshold));
+    TrafficGenerator gen(flows(load));
+    const WindowResult w = run_window(net, gen, cfg.window);
+    LoadPoint p;
+    p.offered_flits_per_cycle_per_tile = load;
+    p.avg_latency_cycles = w.avg_latency;
+    p.accepted_flits_per_cycle =
+        static_cast<double>(w.delivered_flits) /
+        static_cast<double>(w.cycles);
+    p.delivery_ratio = w.delivery_ratio;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double saturation_load(const std::vector<LoadPoint>& sweep, double factor) {
+  PARM_CHECK(sweep.size() >= 2, "sweep needs at least two points");
+  PARM_CHECK(factor > 1.0, "saturation factor must exceed 1");
+  const double zero_load = sweep.front().avg_latency_cycles;
+  PARM_CHECK(zero_load > 0.0, "zero-load latency must be positive");
+  for (const LoadPoint& p : sweep) {
+    if (p.avg_latency_cycles > factor * zero_load) {
+      return p.offered_flits_per_cycle_per_tile;
+    }
+  }
+  return sweep.back().offered_flits_per_cycle_per_tile;
+}
+
+}  // namespace parm::noc

@@ -1,0 +1,49 @@
+// Latency-vs-offered-load characterization of a routing policy.
+//
+// The standard NoC evaluation curve: sweep the injection rate, measure
+// average packet latency and accepted throughput at each point, and find
+// the saturation load (where latency exceeds a multiple of the zero-load
+// latency). Used by tests to rank routing policies and by the PANR
+// threshold ablation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "noc/window_sim.hpp"
+
+namespace parm::noc {
+
+struct LoadPoint {
+  double offered_flits_per_cycle_per_tile = 0.0;
+  double avg_latency_cycles = 0.0;
+  double accepted_flits_per_cycle = 0.0;  ///< delivered / cycle, whole mesh
+  double delivery_ratio = 1.0;
+};
+
+struct LoadSweepConfig {
+  std::vector<double> loads;  ///< per-tile injection rates to test
+  WindowConfig window{512, 2048};
+  NocConfig noc;
+};
+
+/// Builds the flow set for a given per-tile load (e.g. a uniform-random
+/// or transpose pattern closure).
+using FlowFactory = std::function<std::vector<TrafficFlow>(double load)>;
+
+/// Runs the sweep with a *fresh* network per load point (no carry-over
+/// congestion), using `make_routing_name` for the routing policy.
+std::vector<LoadPoint> latency_load_sweep(const MeshGeometry& mesh,
+                                          const std::string& routing_name,
+                                          const FlowFactory& flows,
+                                          const LoadSweepConfig& cfg);
+
+/// First load whose latency exceeds `factor` × the zero-load latency
+/// (the sweep's first point), or the last load if none does — the usual
+/// saturation-throughput read-off.
+double saturation_load(const std::vector<LoadPoint>& sweep,
+                       double factor = 4.0);
+
+}  // namespace parm::noc

@@ -1,0 +1,210 @@
+#include "noc/network.hpp"
+
+#include "common/check.hpp"
+
+namespace parm::noc {
+
+Network::Network(const MeshGeometry& mesh, NocConfig cfg,
+                 std::unique_ptr<RoutingAlgorithm> routing)
+    : mesh_(mesh), cfg_(cfg), routing_(std::move(routing)) {
+  PARM_CHECK(routing_ != nullptr, "network needs a routing algorithm");
+  PARM_CHECK(cfg_.buffer_depth >= 2, "buffer depth must be at least 2");
+  PARM_CHECK(cfg_.flits_per_packet >= 1, "packets need at least one flit");
+  routers_.reserve(static_cast<std::size_t>(mesh_.tile_count()));
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    routers_.emplace_back(t, cfg_.buffer_depth);
+  }
+  tile_psn_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
+  incoming_rates_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
+}
+
+void Network::set_tile_psn(std::vector<double> psn_percent) {
+  PARM_CHECK(psn_percent.size() ==
+                 static_cast<std::size_t>(mesh_.tile_count()),
+             "PSN vector size must match tile count");
+  tile_psn_ = std::move(psn_percent);
+}
+
+void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
+  PARM_CHECK(src >= 0 && src < mesh_.tile_count(), "bad source tile");
+  PARM_CHECK(dst >= 0 && dst < mesh_.tile_count(), "bad destination tile");
+  PARM_CHECK(src != dst, "cannot inject to self");
+  const std::int64_t pid = next_packet_id_++;
+  if (tracing_) traces_[pid].push_back(src);
+  auto& queue = router(src).input(Direction::Local).buffer;
+  const int n = cfg_.flits_per_packet;
+  for (int i = 0; i < n; ++i) {
+    Flit f;
+    f.kind = (n == 1) ? FlitKind::HeadTail
+             : (i == 0) ? FlitKind::Head
+             : (i == n - 1) ? FlitKind::Tail
+                            : FlitKind::Body;
+    f.packet_id = pid;
+    f.src = src;
+    f.dst = dst;
+    f.app_id = app_id;
+    f.inject_cycle = cycle_;
+    f.last_hop_cycle = cycle_;  // cannot hop in the injection cycle
+    queue.push_back(f);
+    ++injected_flits_;
+  }
+}
+
+void Network::allocate_phase() {
+  for (Router& r : routers_) {
+    // Collect output requests from head flits lacking an allocation.
+    for (int in = 0; in < kPortCount; ++in) {
+      InputPort& port = r.input(in);
+      if (port.buffer.empty() || port.allocated_output.has_value()) continue;
+      const Flit& front = port.buffer.front();
+      if (!is_head(front.kind)) {
+        // A body/tail flit without an allocation can only occur
+        // transiently between packets in the same buffer; it waits for
+        // its head? — cannot happen: heads precede bodies in FIFO order
+        // and the allocation is released only after the tail leaves.
+        continue;
+      }
+      Direction out;
+      if (front.dst == r.id()) {
+        out = Direction::Local;
+      } else {
+        RoutingState state;
+        state.tile_psn_percent = &tile_psn_;
+        state.router_incoming_rate = &incoming_rates_;
+        state.input_buffer_occupancy =
+            r.occupancy(static_cast<Direction>(in));
+        out = routing_->route(mesh_, r.id(), front.dst, state);
+        PARM_DCHECK(out != Direction::Local,
+                    "routing returned Local for non-local destination");
+        PARM_DCHECK(mesh_.neighbor(r.id(), out) != kInvalidTile,
+                    "routing left the mesh");
+      }
+      OutputPort& oport = r.output(out);
+      // Round-robin arbitration: the input closest after rr_next wins.
+      if (oport.owner_input >= 0) continue;  // output busy (wormhole)
+      if (oport.requester < 0) {
+        oport.requester = in;
+      } else {
+        auto dist = [&](int i) {
+          return (i - oport.rr_next + kPortCount) % kPortCount;
+        };
+        if (dist(in) < dist(oport.requester)) oport.requester = in;
+      }
+    }
+    // Grant requests.
+    for (int d = 0; d < kPortCount; ++d) {
+      OutputPort& oport = r.output(static_cast<Direction>(d));
+      if (oport.requester < 0) continue;
+      const int in = oport.requester;
+      oport.requester = -1;
+      oport.owner_input = in;
+      oport.rr_next = (in + 1) % kPortCount;
+      r.input(in).allocated_output = static_cast<Direction>(d);
+    }
+  }
+}
+
+void Network::traversal_phase() {
+  for (Router& r : routers_) {
+    for (int d = 0; d < kPortCount; ++d) {
+      const Direction out = static_cast<Direction>(d);
+      OutputPort& oport = r.output(out);
+      if (oport.owner_input < 0) continue;
+      InputPort& iport = r.input(oport.owner_input);
+      if (iport.buffer.empty()) continue;
+      Flit& front = iport.buffer.front();
+      if (front.last_hop_cycle >= cycle_) continue;  // moved this cycle
+
+      if (out == Direction::Local) {
+        // Ejection: consume the flit.
+        const Flit f = front;
+        iport.buffer.pop_front();
+        ++delivered_flits_;
+        ++r.flits_forwarded;
+        AppLatencyStats& st = app_stats_[f.app_id];
+        ++st.flits_delivered;
+        if (is_tail(f.kind)) {
+          ++delivered_packets_;
+          ++st.packets_delivered;
+          const double lat = static_cast<double>(cycle_ - f.inject_cycle);
+          total_latency_cycles_ += lat;
+          st.total_packet_latency_cycles += lat;
+          iport.allocated_output.reset();
+          oport.owner_input = -1;
+        }
+        continue;
+      }
+
+      const TileId next = mesh_.neighbor(r.id(), out);
+      PARM_DCHECK(next != kInvalidTile, "allocated output leaves the mesh");
+      Router& nr = router(next);
+      const Direction in_dir = opposite(out);
+      if (!nr.has_space(in_dir)) continue;  // no credit
+
+      Flit f = front;
+      iport.buffer.pop_front();
+      f.last_hop_cycle = cycle_;
+      if (tracing_ && is_head(f.kind)) {
+        traces_[f.packet_id].push_back(next);
+      }
+      nr.input(in_dir).buffer.push_back(f);
+      ++r.flits_forwarded;
+      ++nr.flits_received;
+      if (is_tail(f.kind)) {
+        iport.allocated_output.reset();
+        oport.owner_input = -1;
+      }
+    }
+  }
+}
+
+void Network::step() {
+  ++cycle_;
+  allocate_phase();
+  traversal_phase();
+  // Update incoming-rate EWMAs from this cycle's link arrivals.
+  const double a = cfg_.rate_ewma_alpha;
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    Router& r = router(t);
+    const double arrivals = static_cast<double>(r.flits_received);
+    r.flits_received = 0;
+    r.incoming_rate_ewma = (1.0 - a) * r.incoming_rate_ewma + a * arrivals;
+    incoming_rates_[static_cast<std::size_t>(t)] = r.incoming_rate_ewma;
+  }
+}
+
+std::vector<TileId> Network::traced_route(std::int64_t packet_id) const {
+  const auto it = traces_.find(packet_id);
+  return it == traces_.end() ? std::vector<TileId>{} : it->second;
+}
+
+std::uint64_t Network::in_flight_flits() const {
+  std::uint64_t n = 0;
+  for (const Router& r : routers_) {
+    for (int d = 0; d < kPortCount; ++d) {
+      n += r.input(static_cast<Direction>(d)).buffer.size();
+    }
+  }
+  return n;
+}
+
+double Network::avg_packet_latency() const {
+  return delivered_packets_ == 0
+             ? 0.0
+             : total_latency_cycles_ /
+                   static_cast<double>(delivered_packets_);
+}
+
+void Network::reset_stats() {
+  injected_flits_ = 0;
+  delivered_flits_ = 0;
+  delivered_packets_ = 0;
+  total_latency_cycles_ = 0.0;
+  app_stats_.clear();
+  for (Router& r : routers_) {
+    r.flits_forwarded = 0;
+    r.flits_received = 0;
+  }
+}
+
+}  // namespace parm::noc

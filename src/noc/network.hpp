@@ -1,0 +1,125 @@
+// Cycle-level 2D-mesh wormhole NoC.
+//
+// One step() advances every router by one cycle in two phases:
+//   1. allocation — head flits at input-buffer fronts compute a route
+//      (via the installed RoutingAlgorithm) and arbitrate for output
+//      ports round-robin; a granted output stays allocated to the input
+//      until the packet's tail flit passes (wormhole switching);
+//   2. traversal — each allocated output forwards one flit per cycle to
+//      the downstream input buffer, subject to buffer space (credit flow
+//      control); Local outputs eject and record packet latency.
+//
+// A flit moved this cycle is stamped so it cannot hop twice in one cycle.
+// Links are 1 flit/cycle; per-hop latency is 1 cycle (route computation
+// and PANR hop selection run in parallel per the paper's section 4.4).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+
+namespace parm::noc {
+
+struct NocConfig {
+  std::int32_t buffer_depth = 8;    ///< Flits per input buffer.
+  std::int32_t flits_per_packet = 4;
+  double rate_ewma_alpha = 0.05;    ///< Incoming-rate smoothing constant.
+  double panr_occupancy_threshold = 0.5;  ///< B in Algorithm 3.
+};
+
+/// Latency accumulator for one application's traffic.
+struct AppLatencyStats {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  double total_packet_latency_cycles = 0.0;
+
+  double avg_packet_latency() const {
+    return packets_delivered == 0
+               ? 0.0
+               : total_packet_latency_cycles /
+                     static_cast<double>(packets_delivered);
+  }
+};
+
+class Network {
+ public:
+  Network(const MeshGeometry& mesh, NocConfig cfg,
+          std::unique_ptr<RoutingAlgorithm> routing);
+
+  const MeshGeometry& mesh() const { return mesh_; }
+  const NocConfig& config() const { return cfg_; }
+  const RoutingAlgorithm& routing() const { return *routing_; }
+
+  /// Updates the per-tile PSN sensor values PANR consults (percent).
+  void set_tile_psn(std::vector<double> psn_percent);
+
+  /// Enables per-packet route tracing: every router a head flit visits is
+  /// recorded, queryable via traced_route(). Costs memory per packet —
+  /// meant for tests and debugging, not measurement runs.
+  void enable_tracing(bool on) { tracing_ = on; }
+
+  /// The tile sequence a packet's head flit visited (starting at the
+  /// source), or an empty vector if unknown/not traced.
+  std::vector<TileId> traced_route(std::int64_t packet_id) const;
+
+  /// Enqueues a whole packet (config().flits_per_packet flits) into the
+  /// source queue of `src`. src == dst is rejected.
+  void inject_packet(TileId src, TileId dst, std::int32_t app_id);
+
+  /// Advances the network by one cycle.
+  void step();
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  const Router& router(TileId t) const {
+    return routers_[static_cast<std::size_t>(t)];
+  }
+  Router& router(TileId t) { return routers_[static_cast<std::size_t>(t)]; }
+
+  /// Current per-tile incoming-rate estimates (flits/cycle, EWMA).
+  const std::vector<double>& incoming_rates() const {
+    return incoming_rates_;
+  }
+
+  // --- Aggregate statistics ---
+  std::uint64_t total_injected_flits() const { return injected_flits_; }
+  std::uint64_t total_delivered_flits() const { return delivered_flits_; }
+  /// Flits currently buffered somewhere in the network (exact scan, so it
+  /// stays correct across reset_stats()).
+  std::uint64_t in_flight_flits() const;
+  const std::unordered_map<std::int32_t, AppLatencyStats>& app_stats() const {
+    return app_stats_;
+  }
+
+  /// Average packet latency over all delivered packets (cycles).
+  double avg_packet_latency() const;
+
+  /// Clears statistics counters (buffers/allocations are untouched).
+  void reset_stats();
+
+ private:
+  void allocate_phase();
+  void traversal_phase();
+
+  MeshGeometry mesh_;
+  NocConfig cfg_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::vector<Router> routers_;
+  std::vector<double> tile_psn_;
+  std::vector<double> incoming_rates_;
+  std::uint64_t cycle_ = 0;
+  std::int64_t next_packet_id_ = 0;
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t delivered_flits_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  double total_latency_cycles_ = 0.0;
+  bool tracing_ = false;
+  std::unordered_map<std::int64_t, std::vector<TileId>> traces_;
+  std::unordered_map<std::int32_t, AppLatencyStats> app_stats_;
+};
+
+}  // namespace parm::noc

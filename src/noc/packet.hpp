@@ -1,0 +1,34 @@
+// Flit-level data types for the wormhole NoC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace parm::noc {
+
+/// Position of a flit within its packet.
+enum class FlitKind : std::uint8_t { Head, Body, Tail, HeadTail };
+
+inline bool is_head(FlitKind k) {
+  return k == FlitKind::Head || k == FlitKind::HeadTail;
+}
+inline bool is_tail(FlitKind k) {
+  return k == FlitKind::Tail || k == FlitKind::HeadTail;
+}
+
+/// One flit. Packets are sequences of flits sharing a packet id; wormhole
+/// switching keeps them contiguous along the allocated path.
+struct Flit {
+  FlitKind kind = FlitKind::HeadTail;
+  std::int64_t packet_id = 0;
+  TileId src = kInvalidTile;
+  TileId dst = kInvalidTile;
+  std::int32_t app_id = -1;          ///< Owning application (-1 = none).
+  std::uint64_t inject_cycle = 0;    ///< Cycle the packet entered the
+                                     ///< source queue (measures queueing).
+  std::uint64_t last_hop_cycle = 0;  ///< Guards against double moves within
+                                     ///< a simulated cycle.
+};
+
+}  // namespace parm::noc

@@ -1,0 +1,139 @@
+#include "noc/routing.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace parm::noc {
+
+std::vector<Direction> west_first_directions(const MeshGeometry& mesh,
+                                             TileId current, TileId dst) {
+  PARM_CHECK(current != dst, "routing called with current == dst");
+  const TileCoord c = mesh.coord(current);
+  const TileCoord d = mesh.coord(dst);
+  std::vector<Direction> out;
+  if (d.x < c.x) {
+    // West-first: any westward progress must happen before other turns,
+    // so West is the only permitted direction while dst lies west.
+    out.push_back(Direction::West);
+    return out;
+  }
+  // No westward component remains: adaptively choose among the
+  // productive east/north/south directions.
+  if (d.x > c.x) out.push_back(Direction::East);
+  if (d.y > c.y) out.push_back(Direction::North);
+  if (d.y < c.y) out.push_back(Direction::South);
+  return out;
+}
+
+Direction XyRouting::route(const MeshGeometry& mesh, TileId current,
+                           TileId dst, const RoutingState&) const {
+  PARM_CHECK(current != dst, "routing called with current == dst");
+  const TileCoord c = mesh.coord(current);
+  const TileCoord d = mesh.coord(dst);
+  if (d.x > c.x) return Direction::East;
+  if (d.x < c.x) return Direction::West;
+  return d.y > c.y ? Direction::North : Direction::South;
+}
+
+Direction WestFirstRouting::route(const MeshGeometry& mesh, TileId current,
+                                  TileId dst,
+                                  const RoutingState& state) const {
+  const std::vector<Direction> dirs =
+      west_first_directions(mesh, current, dst);
+  (void)state;
+  return dirs.front();  // deterministic preference: E > N > S order
+}
+
+namespace {
+
+/// Picks, among the permitted directions, the one whose next-hop tile
+/// minimizes `cost(tile)`; ties resolve to the earlier direction.
+template <typename CostFn>
+Direction pick_min_cost(const MeshGeometry& mesh, TileId current,
+                        const std::vector<Direction>& dirs, CostFn cost) {
+  Direction best = dirs.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (Direction d : dirs) {
+    const TileId n = mesh.neighbor(current, d);
+    PARM_DCHECK(n != kInvalidTile, "productive direction left the mesh");
+    const double c = cost(n);
+    if (c < best_cost) {
+      best_cost = c;
+      best = d;
+    }
+  }
+  return best;
+}
+
+double rate_of(const RoutingState& s, TileId t) {
+  if (s.router_incoming_rate == nullptr) return 0.0;
+  return (*s.router_incoming_rate)[static_cast<std::size_t>(t)];
+}
+
+double psn_of(const RoutingState& s, TileId t) {
+  if (s.tile_psn_percent == nullptr) return 0.0;
+  return (*s.tile_psn_percent)[static_cast<std::size_t>(t)];
+}
+
+}  // namespace
+
+Direction IconRouting::route(const MeshGeometry& mesh, TileId current,
+                             TileId dst, const RoutingState& state) const {
+  const std::vector<Direction> dirs =
+      west_first_directions(mesh, current, dst);
+  // ICON only looks at router activity (incoming data rate); it is
+  // agnostic of the PSN of the cores underneath.
+  return pick_min_cost(mesh, current, dirs,
+                       [&](TileId n) { return rate_of(state, n); });
+}
+
+PanrRouting::PanrRouting(double occupancy_threshold, double psn_safe_percent)
+    : threshold_(occupancy_threshold), psn_safe_percent_(psn_safe_percent) {
+  PARM_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0,
+             "occupancy threshold must be in [0,1]");
+  PARM_CHECK(psn_safe_percent_ > 0.0, "PSN safety margin must be positive");
+}
+
+Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
+                             TileId dst, const RoutingState& state) const {
+  const std::vector<Direction> dirs =
+      west_first_directions(mesh, current, dst);
+  if (state.input_buffer_occupancy > threshold_) {
+    // Congested: relieve pressure via the least-loaded permitted next hop
+    // (Algorithm 3 line 5).
+    return pick_min_cost(mesh, current, dirs,
+                         [&](TileId n) { return rate_of(state, n); });
+  }
+  // Otherwise steer toward the quietest supply (Algorithm 3 line 6).
+  // PSN sensors refresh on the millisecond sampling scale — far slower
+  // than routing decisions — so selecting strictly by minimum PSN makes
+  // every packet herd into yesterday's quietest corridor and push it over
+  // the margin (dump-and-flee oscillation). Instead, PSN acts as a safety
+  // filter: next hops already near the voltage-emergency margin are
+  // excluded, and among the safe ones the least-loaded is chosen (the
+  // data-rate signal updates every cycle, giving stable feedback).
+  std::vector<Direction> safe;
+  for (Direction d : dirs) {
+    const TileId n = mesh.neighbor(current, d);
+    if (psn_of(state, n) < psn_safe_percent_) safe.push_back(d);
+  }
+  if (safe.empty()) {
+    // Every permitted hop is noisy: fall back to the least-noisy one.
+    return pick_min_cost(mesh, current, dirs,
+                         [&](TileId n) { return psn_of(state, n); });
+  }
+  return pick_min_cost(mesh, current, safe,
+                       [&](TileId n) { return rate_of(state, n); });
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
+                                               double panr_threshold) {
+  if (name == "XY") return std::make_unique<XyRouting>();
+  if (name == "WestFirst") return std::make_unique<WestFirstRouting>();
+  if (name == "ICON") return std::make_unique<IconRouting>();
+  if (name == "PANR") return std::make_unique<PanrRouting>(panr_threshold);
+  PARM_CHECK(false, "unknown routing algorithm: " + name);
+}
+
+}  // namespace parm::noc

@@ -1,0 +1,96 @@
+// Routing algorithms for the 2D-mesh wormhole NoC.
+//
+// All adaptive schemes restrict their choices to the west-first turn model
+// [32], which is provably deadlock-free with a single virtual channel:
+// a packet travelling west must do so first; once moving east/north/south
+// it may never turn back west.
+//
+// Implemented policies (paper section 5.2 evaluates all of them):
+//  - XY:        dimension-ordered, oblivious.
+//  - WestFirst: turn-model baseline with a deterministic tie-break.
+//  - ICON [22]: west-first + pick the permitted direction whose next-hop
+//               router has the lowest incoming data rate (router-activity
+//               aware, core-PSN agnostic).
+//  - PANR (ours, section 4.4): west-first + congestion/PSN hybrid — when
+//               the input buffer is filling (occupancy > B) pick the least
+//               loaded next hop, otherwise pick the next hop whose tile
+//               sensor reports the least PSN.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace parm::noc {
+
+/// Observable state a routing policy may consult at decision time.
+/// All vectors are indexed by TileId; rates are flits/cycle.
+struct RoutingState {
+  const std::vector<double>* tile_psn_percent = nullptr;  ///< Sensor data.
+  const std::vector<double>* router_incoming_rate = nullptr;
+  /// Occupancy (0..1) of the input buffer holding the flit being routed.
+  double input_buffer_occupancy = 0.0;
+};
+
+/// Strategy interface: pick the output direction for a head flit at
+/// router `current` destined for `dst`. `dst != current` is guaranteed
+/// (ejection is handled by the router).
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+  virtual Direction route(const MeshGeometry& mesh, TileId current,
+                          TileId dst, const RoutingState& state) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Directions allowed by the west-first turn model toward `dst`.
+/// Always non-empty for dst != current and always makes progress.
+std::vector<Direction> west_first_directions(const MeshGeometry& mesh,
+                                             TileId current, TileId dst);
+
+class XyRouting final : public RoutingAlgorithm {
+ public:
+  Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
+                  const RoutingState& state) const override;
+  std::string name() const override { return "XY"; }
+};
+
+class WestFirstRouting final : public RoutingAlgorithm {
+ public:
+  Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
+                  const RoutingState& state) const override;
+  std::string name() const override { return "WestFirst"; }
+};
+
+class IconRouting final : public RoutingAlgorithm {
+ public:
+  Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
+                  const RoutingState& state) const override;
+  std::string name() const override { return "ICON"; }
+};
+
+class PanrRouting final : public RoutingAlgorithm {
+ public:
+  /// `occupancy_threshold` is the buffer threshold B (0.5 in the paper);
+  /// `psn_safe_percent` is the sensor level above which a next hop is
+  /// treated as noisy and avoided (one point under the 5 % VE margin).
+  explicit PanrRouting(double occupancy_threshold = 0.5,
+                       double psn_safe_percent = 4.0);
+  Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
+                  const RoutingState& state) const override;
+  std::string name() const override { return "PANR"; }
+  double occupancy_threshold() const { return threshold_; }
+  double psn_safe_percent() const { return psn_safe_percent_; }
+
+ private:
+  double threshold_;
+  double psn_safe_percent_;
+};
+
+/// Factory by name ("XY", "WestFirst", "ICON", "PANR").
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
+                                               double panr_threshold = 0.5);
+
+}  // namespace parm::noc

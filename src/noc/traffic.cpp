@@ -1,0 +1,69 @@
+#include "noc/traffic.hpp"
+
+namespace parm::noc {
+
+TrafficGenerator::TrafficGenerator(std::vector<TrafficFlow> flows)
+    : flows_(std::move(flows)), accumulators_(flows_.size(), 0.0) {
+  for (const auto& f : flows_) {
+    PARM_CHECK(f.src != f.dst, "flow src and dst must differ");
+    PARM_CHECK(f.flits_per_cycle >= 0.0, "flow rate must be non-negative");
+  }
+}
+
+void TrafficGenerator::tick(Network& net) {
+  const double per_packet =
+      static_cast<double>(net.config().flits_per_packet);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    accumulators_[i] += flows_[i].flits_per_cycle;
+    while (accumulators_[i] >= per_packet) {
+      net.inject_packet(flows_[i].src, flows_[i].dst, flows_[i].app_id);
+      accumulators_[i] -= per_packet;
+    }
+  }
+}
+
+double TrafficGenerator::offered_load() const {
+  double acc = 0.0;
+  for (const auto& f : flows_) acc += f.flits_per_cycle;
+  return acc;
+}
+
+std::vector<TrafficFlow> uniform_random_flows(
+    const MeshGeometry& mesh, double flits_per_cycle_per_tile, Rng& rng) {
+  std::vector<TrafficFlow> flows;
+  flows.reserve(static_cast<std::size_t>(mesh.tile_count()));
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    TileId dst = t;
+    while (dst == t) {
+      dst = static_cast<TileId>(
+          rng.next_below(static_cast<std::uint64_t>(mesh.tile_count())));
+    }
+    flows.push_back({t, dst, flits_per_cycle_per_tile, -1});
+  }
+  return flows;
+}
+
+std::vector<TrafficFlow> hotspot_flows(const MeshGeometry& mesh,
+                                       TileId hotspot,
+                                       double flits_per_cycle_per_tile) {
+  std::vector<TrafficFlow> flows;
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    if (t == hotspot) continue;
+    flows.push_back({t, hotspot, flits_per_cycle_per_tile, -1});
+  }
+  return flows;
+}
+
+std::vector<TrafficFlow> transpose_flows(const MeshGeometry& mesh,
+                                         double flits_per_cycle_per_tile) {
+  std::vector<TrafficFlow> flows;
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    const TileCoord c = mesh.coord(t);
+    const TileCoord d{c.y % mesh.width(), c.x % mesh.height()};
+    if (d == c) continue;
+    flows.push_back({t, mesh.tile_id(d), flits_per_cycle_per_tile, -1});
+  }
+  return flows;
+}
+
+}  // namespace parm::noc

@@ -1,0 +1,60 @@
+// Rate-based traffic generation for the NoC.
+//
+// Each flow is a (src, dst) tile pair with an injection rate in
+// flits/cycle, derived at the system level from APG edge volumes and task
+// progress. A fractional accumulator per flow converts rates into whole
+// packets: every cycle the rate is accrued and whenever a full packet's
+// worth of flits is pending, one packet is injected. Synthetic patterns
+// (uniform random, hotspot, transpose) are provided for NoC-only tests
+// and the PANR threshold ablation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+
+namespace parm::noc {
+
+/// One unidirectional traffic flow.
+struct TrafficFlow {
+  TileId src = kInvalidTile;
+  TileId dst = kInvalidTile;
+  double flits_per_cycle = 0.0;
+  std::int32_t app_id = -1;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(std::vector<TrafficFlow> flows);
+
+  /// Accrues one cycle of every flow and injects due packets into `net`.
+  void tick(Network& net);
+
+  const std::vector<TrafficFlow>& flows() const { return flows_; }
+
+  /// Aggregate offered load in flits/cycle.
+  double offered_load() const;
+
+ private:
+  std::vector<TrafficFlow> flows_;
+  std::vector<double> accumulators_;
+};
+
+/// Uniform-random traffic: every tile sends to a random other tile at
+/// `flits_per_cycle_per_tile`.
+std::vector<TrafficFlow> uniform_random_flows(const MeshGeometry& mesh,
+                                              double flits_per_cycle_per_tile,
+                                              Rng& rng);
+
+/// Hotspot traffic: all tiles send toward `hotspot` at the given rate.
+std::vector<TrafficFlow> hotspot_flows(const MeshGeometry& mesh,
+                                       TileId hotspot,
+                                       double flits_per_cycle_per_tile);
+
+/// Transpose traffic: tile (x, y) sends to (y, x) (square region only;
+/// rectangular meshes map via modulo).
+std::vector<TrafficFlow> transpose_flows(const MeshGeometry& mesh,
+                                         double flits_per_cycle_per_tile);
+
+}  // namespace parm::noc

@@ -1,0 +1,44 @@
+#include "noc/window_sim.hpp"
+
+namespace parm::noc {
+
+WindowResult run_window(Network& net, TrafficGenerator& traffic,
+                        const WindowConfig& cfg) {
+  PARM_CHECK(cfg.measure_cycles > 0, "measurement window must be positive");
+
+  for (std::uint64_t c = 0; c < cfg.warmup_cycles; ++c) {
+    traffic.tick(net);
+    net.step();
+  }
+  net.reset_stats();
+  for (std::uint64_t c = 0; c < cfg.measure_cycles; ++c) {
+    traffic.tick(net);
+    net.step();
+  }
+
+  WindowResult out;
+  out.cycles = cfg.measure_cycles;
+  out.injected_flits = net.total_injected_flits();
+  out.delivered_flits = net.total_delivered_flits();
+  out.router_activity.resize(
+      static_cast<std::size_t>(net.mesh().tile_count()));
+  for (TileId t = 0; t < net.mesh().tile_count(); ++t) {
+    out.router_activity[static_cast<std::size_t>(t)] =
+        static_cast<double>(net.router(t).flits_forwarded) /
+        static_cast<double>(cfg.measure_cycles);
+  }
+  for (const auto& [app, st] : net.app_stats()) {
+    if (st.packets_delivered > 0) {
+      out.app_latency[app] = st.avg_packet_latency();
+    }
+  }
+  out.avg_latency = net.avg_packet_latency();
+  out.delivery_ratio =
+      out.injected_flits == 0
+          ? 1.0
+          : static_cast<double>(out.delivered_flits) /
+                static_cast<double>(out.injected_flits);
+  return out;
+}
+
+}  // namespace parm::noc

@@ -1,0 +1,48 @@
+// Windowed NoC simulation.
+//
+// The system simulator advances in millisecond-scale epochs but the NoC is
+// cycle-accurate; simulating every cycle of a multi-second experiment is
+// wasteful. Instead, each epoch runs a short representative window of the
+// NoC under the epoch's injection rates and extrapolates:
+//   - per-router flit activity      → router power → PDN currents,
+//   - per-app average packet latency → task stall factors,
+//   - delivery ratio                 → saturation detection.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+
+namespace parm::noc {
+
+struct WindowResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t injected_flits = 0;
+  std::uint64_t delivered_flits = 0;
+  /// Per-tile router activity: flits forwarded per cycle.
+  std::vector<double> router_activity;
+  /// Per-app average packet latency in cycles (apps with no delivered
+  /// packets are absent).
+  std::unordered_map<std::int32_t, double> app_latency;
+  /// Average packet latency over all apps (cycles).
+  double avg_latency = 0.0;
+  /// Delivered/injected flit ratio (saturation indicator; ~1 when stable).
+  double delivery_ratio = 1.0;
+};
+
+struct WindowConfig {
+  std::uint64_t warmup_cycles = 256;
+  std::uint64_t measure_cycles = 1024;
+};
+
+/// Runs `warmup + measure` cycles of `net` under `traffic` and reports
+/// measurement-window statistics. The network keeps its state (buffers,
+/// EWMAs) across calls, so consecutive windows model a continuously
+/// running NoC.
+WindowResult run_window(Network& net, TrafficGenerator& traffic,
+                        const WindowConfig& cfg);
+
+}  // namespace parm::noc

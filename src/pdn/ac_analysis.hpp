@@ -1,0 +1,56 @@
+// Small-signal AC analysis of the PDN: input impedance vs frequency.
+//
+// The classic PDN sign-off view: the impedance Z(f) a tile's switching
+// current sees, looking into the power-delivery network. The bump
+// inductance and the decoupling capacitance form a parallel resonant tank
+// whose anti-resonance peak is exactly where workload ripple is most
+// dangerous — if a task's dominant switching frequency lands on the peak,
+// PSN is maximal (this is why the transient results depend on
+// ripple_freq_hz). The analysis solves the complex-valued MNA system
+//   (G + jωC + branch terms) · x = b
+// at each frequency with a 1 A test current injected at the probe node;
+// the resulting node voltage is the input impedance.
+//
+// DC voltage sources are AC-shorted (ideal regulators); existing current
+// sources are AC-opened, per standard small-signal practice.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "pdn/circuit.hpp"
+
+namespace parm::pdn {
+
+/// One point of an impedance sweep.
+struct ImpedancePoint {
+  double freq_hz = 0.0;
+  std::complex<double> z;  ///< Input impedance at the probe node (ohm).
+
+  double magnitude() const { return std::abs(z); }
+  double phase_deg() const;
+};
+
+class AcAnalysis {
+ public:
+  /// Prepares the analysis for `circuit` (stores a reference; the circuit
+  /// must outlive the analysis).
+  explicit AcAnalysis(const Circuit& circuit);
+
+  /// Input impedance at `probe` for a single frequency (> 0).
+  std::complex<double> input_impedance(NodeId probe, double freq_hz) const;
+
+  /// Sweeps `points` frequencies, logarithmically spaced over
+  /// [f_lo, f_hi].
+  std::vector<ImpedancePoint> sweep(NodeId probe, double f_lo, double f_hi,
+                                    int points) const;
+
+  /// Frequency of the largest impedance magnitude in a sweep — the
+  /// anti-resonance peak of the bump-L / decap-C tank.
+  static ImpedancePoint peak(const std::vector<ImpedancePoint>& sweep);
+
+ private:
+  const Circuit& ckt_;
+};
+
+}  // namespace parm::pdn

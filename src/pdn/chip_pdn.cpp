@@ -1,0 +1,122 @@
+#include "pdn/chip_pdn.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace parm::pdn {
+
+ChipPdnModel::ChipPdnModel(const power::TechnologyNode& tech,
+                           int domain_count, PackageRail rail,
+                           PsnEstimatorConfig cfg)
+    : tech_(tech), domain_count_(domain_count), rail_(rail), cfg_(cfg) {
+  PARM_CHECK(domain_count >= 1, "need at least one domain");
+  PARM_CHECK(rail.resistance >= 0.0 && rail.inductance >= 0.0,
+             "rail impedance must be non-negative");
+}
+
+ChipPsn ChipPdnModel::estimate(
+    double vdd,
+    const std::vector<std::array<TileLoad, 4>>& loads) const {
+  PARM_CHECK(static_cast<int>(loads.size()) == domain_count_,
+             "loads size must match domain count");
+  PARM_CHECK(vdd > 0.0, "supply must be positive");
+
+  // Build one big circuit: source → optional shared rail → per-domain
+  // bump branch → per-domain tile grid (same topology as
+  // build_domain_circuit, inlined so all domains share the rail node).
+  Circuit ckt;
+  const NodeId src = ckt.add_node("src");
+  ckt.add_voltage_source(src, kGround, vdd);
+
+  NodeId rail = src;
+  const bool has_rail = rail_.resistance > 0.0 || rail_.inductance > 0.0;
+  if (has_rail) {
+    const NodeId mid = ckt.add_node("pkg_mid");
+    rail = ckt.add_node("rail");
+    if (rail_.resistance > 0.0) {
+      ckt.add_resistor(src, mid, rail_.resistance);
+    } else {
+      ckt.add_resistor(src, mid, 1e-9);  // keep the node connected
+    }
+    if (rail_.inductance > 0.0) {
+      ckt.add_inductor(mid, rail, rail_.inductance);
+    } else {
+      ckt.add_resistor(mid, rail, 1e-9);
+    }
+  }
+
+  std::vector<std::array<NodeId, 4>> tile_nodes(
+      static_cast<std::size_t>(domain_count_));
+  for (int d = 0; d < domain_count_; ++d) {
+    const std::string prefix = "d" + std::to_string(d) + "_";
+    const NodeId pkg = ckt.add_node(prefix + "pkg");
+    const NodeId bump = ckt.add_node(prefix + "bump");
+    ckt.add_resistor(rail, pkg, tech_.pdn_r_bump);
+    ckt.add_inductor(pkg, bump, tech_.pdn_l_bump);
+    auto& tn = tile_nodes[static_cast<std::size_t>(d)];
+    for (int k = 0; k < 4; ++k) {
+      tn[static_cast<std::size_t>(k)] =
+          ckt.add_node(prefix + "tile" + std::to_string(k));
+      ckt.add_resistor(bump, tn[static_cast<std::size_t>(k)],
+                       tech_.pdn_r_wire);
+      ckt.add_capacitor(tn[static_cast<std::size_t>(k)], kGround,
+                        tech_.pdn_c_decap);
+    }
+    ckt.add_resistor(tn[0], tn[1], tech_.pdn_r_wire);
+    ckt.add_resistor(tn[0], tn[2], tech_.pdn_r_wire);
+    ckt.add_resistor(tn[1], tn[3], tech_.pdn_r_wire);
+    ckt.add_resistor(tn[2], tn[3], tech_.pdn_r_wire);
+
+    for (int k = 0; k < 4; ++k) {
+      const TileLoad& load = loads[static_cast<std::size_t>(d)]
+                                  [static_cast<std::size_t>(k)];
+      PARM_CHECK(load.i_avg >= 0.0, "tile current must be non-negative");
+      if (load.i_avg <= 0.0) continue;
+      const CurrentWaveform w =
+          load.modulation > 0.0
+              ? CurrentWaveform::ripple(load.i_avg, load.modulation,
+                                        tech_.ripple_freq_hz, load.phase)
+              : CurrentWaveform::dc(load.i_avg);
+      ckt.add_current_source(tn[static_cast<std::size_t>(k)], kGround, w);
+    }
+  }
+
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double dt = period / cfg_.steps_per_period;
+  const double t_end = period * (cfg_.warmup_periods + cfg_.measure_periods);
+  const double record_from = period * cfg_.warmup_periods;
+
+  std::vector<NodeId> record;
+  record.reserve(static_cast<std::size_t>(domain_count_) * 4);
+  for (const auto& tn : tile_nodes) {
+    record.insert(record.end(), tn.begin(), tn.end());
+  }
+
+  TransientSolver solver(ckt, dt);
+  const TransientTrace trace = solver.run(t_end, record, record_from);
+
+  ChipPsn out;
+  out.domains.resize(static_cast<std::size_t>(domain_count_));
+  for (int d = 0; d < domain_count_; ++d) {
+    DomainPsn& dom = out.domains[static_cast<std::size_t>(d)];
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto& v =
+          trace.of(tile_nodes[static_cast<std::size_t>(d)][k]);
+      double peak = 0.0, sum = 0.0;
+      for (double volt : v) {
+        const double psn = (vdd - volt) / vdd * 100.0;
+        peak = std::max(peak, psn);
+        sum += psn;
+      }
+      dom.tiles[k].peak_percent = peak;
+      dom.tiles[k].avg_percent = sum / static_cast<double>(v.size());
+      dom.peak_percent = std::max(dom.peak_percent, peak);
+      dom.avg_percent += dom.tiles[k].avg_percent / 4.0;
+    }
+    out.peak_percent = std::max(out.peak_percent, dom.peak_percent);
+    out.avg_percent += dom.avg_percent / domain_count_;
+  }
+  return out;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,59 @@
+// Chip-level PDN with a shared package rail (sensitivity analysis).
+//
+// The paper assumes power domains are "physically separated so that there
+// is no interference between tiles from different domains" (section 3.3)
+// — each domain has its own VRM. Real packages still share impedance
+// upstream of the VRMs. This model quantifies how much that assumption
+// matters: all domains hang off one package node
+//
+//   Vsrc ──Rpkg──Lpkg──(rail)──[per-domain Rb+Lb──bump──...]×D
+//
+// so high current in one domain sags the rail every other domain feeds
+// from. With Rpkg = Lpkg = 0 the model degenerates to D independent
+// domains and must match the per-domain estimator exactly — that identity
+// is a regression test.
+#pragma once
+
+#include <vector>
+
+#include "pdn/psn_estimator.hpp"
+
+namespace parm::pdn {
+
+/// Shared-rail impedance upstream of the per-domain regulators.
+struct PackageRail {
+  double resistance = 0.5e-3;  ///< Rpkg (ohm)
+  double inductance = 3e-12;   ///< Lpkg (H)
+};
+
+/// Per-domain PSN results for a whole chip solved as one circuit.
+struct ChipPsn {
+  std::vector<DomainPsn> domains;
+  double peak_percent = 0.0;  ///< max over all domains
+  double avg_percent = 0.0;   ///< mean of domain averages
+};
+
+class ChipPdnModel {
+ public:
+  /// `domain_count` domains at the same supply, optionally coupled
+  /// through `rail`. Pass a zero-impedance rail for ideal isolation.
+  ChipPdnModel(const power::TechnologyNode& tech, int domain_count,
+               PackageRail rail, PsnEstimatorConfig cfg = {});
+
+  /// Estimates PSN for the whole chip. `loads[d][k]` is the load of slot
+  /// k in domain d; vdd applies to every domain (shared-rail analyses use
+  /// one DVS level to isolate the coupling effect).
+  ChipPsn estimate(double vdd,
+                   const std::vector<std::array<TileLoad, 4>>& loads) const;
+
+  int domain_count() const { return domain_count_; }
+  const PackageRail& rail() const { return rail_; }
+
+ private:
+  power::TechnologyNode tech_;
+  int domain_count_;
+  PackageRail rail_;
+  PsnEstimatorConfig cfg_;
+};
+
+}  // namespace parm::pdn

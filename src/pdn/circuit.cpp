@@ -1,0 +1,158 @@
+#include "pdn/circuit.hpp"
+
+namespace parm::pdn {
+
+Circuit::Circuit() { node_names_.push_back("gnd"); }
+
+NodeId Circuit::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+void Circuit::check_node(NodeId n) const {
+  PARM_CHECK(n >= 0 && n < node_count(), "unknown node id");
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  PARM_CHECK(ohms > 0.0, "resistance must be positive");
+  PARM_CHECK(a != b, "resistor terminals must differ");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+  check_node(a);
+  check_node(b);
+  PARM_CHECK(farads > 0.0, "capacitance must be positive");
+  PARM_CHECK(a != b, "capacitor terminals must differ");
+  capacitors_.push_back({a, b, farads});
+}
+
+void Circuit::add_inductor(NodeId a, NodeId b, double henries) {
+  check_node(a);
+  check_node(b);
+  PARM_CHECK(henries > 0.0, "inductance must be positive");
+  PARM_CHECK(a != b, "inductor terminals must differ");
+  inductors_.push_back({a, b, henries});
+}
+
+void Circuit::add_voltage_source(NodeId pos, NodeId neg, double volts) {
+  check_node(pos);
+  check_node(neg);
+  PARM_CHECK(pos != neg, "voltage source terminals must differ");
+  vsources_.push_back({pos, neg, volts});
+}
+
+void Circuit::add_current_source(NodeId pos, NodeId neg,
+                                 CurrentWaveform waveform) {
+  check_node(pos);
+  check_node(neg);
+  PARM_CHECK(pos != neg, "current source terminals must differ");
+  isources_.push_back({pos, neg, waveform});
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  check_node(n);
+  return node_names_[static_cast<std::size_t>(n)];
+}
+
+std::size_t Circuit::unknown_count() const {
+  return static_cast<std::size_t>(node_count() - 1) + inductors_.size() +
+         vsources_.size();
+}
+
+namespace {
+
+// Index of a node's voltage unknown, or SIZE_MAX for ground.
+inline std::size_t vidx(NodeId n) {
+  return n == kGround ? static_cast<std::size_t>(-1)
+                      : static_cast<std::size_t>(n - 1);
+}
+
+inline void stamp_conductance(Matrix& a, NodeId n1, NodeId n2, double g) {
+  const std::size_t i = vidx(n1);
+  const std::size_t j = vidx(n2);
+  if (i != static_cast<std::size_t>(-1)) a(i, i) += g;
+  if (j != static_cast<std::size_t>(-1)) a(j, j) += g;
+  if (i != static_cast<std::size_t>(-1) && j != static_cast<std::size_t>(-1)) {
+    a(i, j) -= g;
+    a(j, i) -= g;
+  }
+}
+
+inline void stamp_rhs_current(std::vector<double>& z, NodeId into,
+                              double amps) {
+  const std::size_t i = vidx(into);
+  if (i != static_cast<std::size_t>(-1)) z[i] += amps;
+}
+
+}  // namespace
+
+DcSolver::DcSolver(const Circuit& ckt) {
+  const std::size_t n_nodes = static_cast<std::size_t>(ckt.node_count() - 1);
+  const std::size_t n_l = ckt.inductors_.size();
+  const std::size_t n_v = ckt.vsources_.size();
+  const std::size_t n = n_nodes + n_l + n_v;
+  PARM_CHECK(n > 0, "empty circuit");
+
+  Matrix a(n, n);
+  std::vector<double> z(n, 0.0);
+
+  for (const auto& r : ckt.resistors_) {
+    stamp_conductance(a, r.a, r.b, 1.0 / r.ohms);
+  }
+  // Capacitors: open at DC — no stamp.
+  // Inductors: 0 V branch (short) with unknown current.
+  for (std::size_t k = 0; k < n_l; ++k) {
+    const auto& l = ckt.inductors_[k];
+    const std::size_t row = n_nodes + k;
+    const std::size_t i = vidx(l.a);
+    const std::size_t j = vidx(l.b);
+    if (i != static_cast<std::size_t>(-1)) {
+      a(i, row) += 1.0;  // branch current leaves node a
+      a(row, i) += 1.0;
+    }
+    if (j != static_cast<std::size_t>(-1)) {
+      a(j, row) -= 1.0;
+      a(row, j) -= 1.0;
+    }
+    // row equation: v_a − v_b = 0
+  }
+  for (std::size_t k = 0; k < n_v; ++k) {
+    const auto& v = ckt.vsources_[k];
+    const std::size_t row = n_nodes + n_l + k;
+    const std::size_t i = vidx(v.pos);
+    const std::size_t j = vidx(v.neg);
+    if (i != static_cast<std::size_t>(-1)) {
+      a(i, row) += 1.0;
+      a(row, i) += 1.0;
+    }
+    if (j != static_cast<std::size_t>(-1)) {
+      a(j, row) -= 1.0;
+      a(row, j) -= 1.0;
+    }
+    z[row] = v.volts;
+  }
+  for (const auto& s : ckt.isources_) {
+    const double i0 = s.waveform.average();
+    stamp_rhs_current(z, s.pos, -i0);
+    stamp_rhs_current(z, s.neg, +i0);
+  }
+
+  LuFactorization lu(std::move(a));
+  const std::vector<double> x = lu.solve(z);
+
+  voltages_.assign(static_cast<std::size_t>(ckt.node_count()), 0.0);
+  for (std::size_t i = 0; i < n_nodes; ++i) voltages_[i + 1] = x[i];
+  inductor_currents_.resize(n_l);
+  for (std::size_t k = 0; k < n_l; ++k) inductor_currents_[k] = x[n_nodes + k];
+}
+
+double DcSolver::voltage(NodeId n) const {
+  PARM_CHECK(n >= 0 && n < static_cast<NodeId>(voltages_.size()),
+             "unknown node id");
+  return voltages_[static_cast<std::size_t>(n)];
+}
+
+}  // namespace parm::pdn

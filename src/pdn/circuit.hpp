@@ -1,0 +1,117 @@
+// Linear circuit netlist with modified-nodal-analysis (MNA) stamps.
+//
+// This is the "SPICE-lite" substrate that replaces the SPICE PDN simulation
+// of the paper. Supported elements: resistors, capacitors, inductors, DC
+// voltage sources, and time-varying current sources (workloads). Node 0 is
+// ground. Unknowns are the non-ground node voltages plus one branch current
+// per inductor and per voltage source.
+//
+// Sign conventions:
+//  - add_current_source(pos, neg): the source pulls its instantaneous
+//    current out of `pos` and returns it into `neg` (a load hangs between
+//    the supply node and ground as (supply, ground)).
+//  - Voltage source branch current is positive when flowing from the +
+//    terminal through the external circuit back to the − terminal appears
+//    negative; only used internally / for tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdn/linalg.hpp"
+#include "pdn/waveform.hpp"
+
+namespace parm::pdn {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kGround = 0;
+
+/// Immutable-after-build linear circuit. Build with the add_* calls, then
+/// hand to DcSolver / TransientSolver.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Adds a named node and returns its id (> 0; ground is pre-created).
+  NodeId add_node(std::string name);
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  void add_inductor(NodeId a, NodeId b, double henries);
+  void add_voltage_source(NodeId pos, NodeId neg, double volts);
+  void add_current_source(NodeId pos, NodeId neg, CurrentWaveform waveform);
+
+  std::int32_t node_count() const {
+    return static_cast<std::int32_t>(node_names_.size());
+  }
+  const std::string& node_name(NodeId n) const;
+
+  std::size_t resistor_count() const { return resistors_.size(); }
+  std::size_t capacitor_count() const { return capacitors_.size(); }
+  std::size_t inductor_count() const { return inductors_.size(); }
+  std::size_t voltage_source_count() const { return vsources_.size(); }
+  std::size_t current_source_count() const { return isources_.size(); }
+
+  /// Number of MNA unknowns: (nodes − 1) + inductors + voltage sources.
+  std::size_t unknown_count() const;
+
+ private:
+  friend class DcSolver;
+  friend class TransientSolver;
+  friend class AcAnalysis;
+  friend std::string to_spice(const Circuit& circuit,
+                              const std::string& title);
+
+  struct Resistor {
+    NodeId a, b;
+    double ohms;
+  };
+  struct Capacitor {
+    NodeId a, b;
+    double farads;
+  };
+  struct Inductor {
+    NodeId a, b;
+    double henries;
+  };
+  struct VoltageSource {
+    NodeId pos, neg;
+    double volts;
+  };
+  struct CurrentSource {
+    NodeId pos, neg;
+    CurrentWaveform waveform;
+  };
+
+  void check_node(NodeId n) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<CurrentSource> isources_;
+};
+
+/// DC operating point: capacitors open, inductors shorted (0 V sources),
+/// current sources at their average value.
+class DcSolver {
+ public:
+  explicit DcSolver(const Circuit& circuit);
+
+  /// Node voltages indexed by NodeId (ground = 0.0).
+  const std::vector<double>& node_voltages() const { return voltages_; }
+  double voltage(NodeId n) const;
+
+  /// Branch currents of the inductors, in add order.
+  const std::vector<double>& inductor_currents() const {
+    return inductor_currents_;
+  }
+
+ private:
+  std::vector<double> voltages_;
+  std::vector<double> inductor_currents_;
+};
+
+}  // namespace parm::pdn

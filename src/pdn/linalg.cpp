@@ -1,0 +1,79 @@
+#include "pdn/linalg.hpp"
+
+#include <cmath>
+
+namespace parm::pdn {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
+  PARM_CHECK(x.size() == cols_, "dimension mismatch in multiply");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  PARM_CHECK(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  constexpr double kSingularTol = 1e-14;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: find the largest |entry| in column k at/below row k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    PARM_CHECK(best > kSingularTol,
+               "singular MNA matrix (floating node or V-source loop?)");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  const std::size_t n = size();
+  PARM_CHECK(b.size() == n, "dimension mismatch in solve");
+  std::vector<double> x(n);
+  // Forward substitution with permuted RHS (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,64 @@
+// Minimal dense linear algebra for the MNA circuit solver.
+//
+// PDN domain circuits are small (tens of unknowns), so a dense LU with
+// partial pivoting is the right tool: factorize the (constant) MNA matrix
+// once per transient analysis and back-substitute once per timestep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parm::pdn {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    PARM_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    PARM_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// y = A·x (sizes must agree).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Throws CheckError if the matrix is numerically singular (pivot below
+/// a tiny absolute tolerance), which for MNA means a floating node or a
+/// short-circuited voltage-source loop in the netlist.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  /// Solves A·x = b, returning x.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                ///< Combined L (unit diag) and U factors.
+  std::vector<std::size_t> perm_;  ///< Row permutation.
+};
+
+}  // namespace parm::pdn

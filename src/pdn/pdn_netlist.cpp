@@ -1,0 +1,53 @@
+#include "pdn/pdn_netlist.hpp"
+
+#include <string>
+
+namespace parm::pdn {
+
+DomainCircuit build_domain_circuit(const power::TechnologyNode& tech,
+                                   double vdd,
+                                   const std::array<TileLoad, 4>& loads) {
+  PARM_CHECK(vdd > 0.0, "supply must be positive");
+  DomainCircuit out;
+  Circuit& ckt = out.circuit;
+
+  const NodeId src = ckt.add_node("src");
+  const NodeId pkg = ckt.add_node("pkg");
+  const NodeId bump = ckt.add_node("bump");
+  out.bump_node = bump;
+
+  ckt.add_voltage_source(src, kGround, vdd);
+  ckt.add_resistor(src, pkg, tech.pdn_r_bump);
+  ckt.add_inductor(pkg, bump, tech.pdn_l_bump);
+
+  for (int k = 0; k < 4; ++k) {
+    const NodeId t = ckt.add_node("tile" + std::to_string(k));
+    out.tile_nodes[static_cast<std::size_t>(k)] = t;
+    ckt.add_resistor(bump, t, tech.pdn_r_wire);
+    ckt.add_capacitor(t, kGround, tech.pdn_c_decap);
+  }
+
+  // Lateral grid wires between mesh-adjacent tiles of the 2x2 block.
+  const auto tn = [&](int k) {
+    return out.tile_nodes[static_cast<std::size_t>(k)];
+  };
+  ckt.add_resistor(tn(0), tn(1), tech.pdn_r_wire);
+  ckt.add_resistor(tn(0), tn(2), tech.pdn_r_wire);
+  ckt.add_resistor(tn(1), tn(3), tech.pdn_r_wire);
+  ckt.add_resistor(tn(2), tn(3), tech.pdn_r_wire);
+
+  for (int k = 0; k < 4; ++k) {
+    const TileLoad& load = loads[static_cast<std::size_t>(k)];
+    PARM_CHECK(load.i_avg >= 0.0, "tile current must be non-negative");
+    if (load.i_avg <= 0.0) continue;
+    const CurrentWaveform w =
+        load.modulation > 0.0
+            ? CurrentWaveform::ripple(load.i_avg, load.modulation,
+                                      tech.ripple_freq_hz, load.phase)
+            : CurrentWaveform::dc(load.i_avg);
+    ckt.add_current_source(tn(k), kGround, w);
+  }
+  return out;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,62 @@
+// Per-domain PDN netlist builder (paper Fig. 2 topology).
+//
+// Each 2×2-tile power domain has its own voltage regulator and is
+// physically isolated from other domains, so the PDN is modeled one domain
+// at a time:
+//
+//   Vsrc ──Rb──┬──Lb──(bump)──Rc──(tile k)───┐   per tile k = 0..3
+//              │                             ├─ Cdecap to ground
+//              │                             └─ I_load(t) to ground
+//   lateral Rc between mesh-adjacent tiles of the domain
+//
+// Tile slots follow MeshGeometry::domain_tiles order: 0=SW, 1=SE, 2=NW,
+// 3=NE; slots (0,1), (0,2), (1,3), (2,3) are 1-hop adjacent, (0,3) and
+// (1,2) are the 2-hop diagonals. The lateral wire graph is what makes
+// tile-to-tile interference fall off with Manhattan distance (Fig. 3(b)).
+#pragma once
+
+#include <array>
+
+#include "pdn/circuit.hpp"
+#include "power/technology.hpp"
+
+namespace parm::pdn {
+
+/// Current load of one tile of a domain (core + router aggregated).
+struct TileLoad {
+  double i_avg = 0.0;      ///< Average supply current (A).
+  double modulation = 0.0; ///< Ripple depth in [0, 1): High≈0.7, Low≈0.25.
+  double phase = 0.0;      ///< Ripple phase offset in periods [0, 1).
+};
+
+/// A built domain circuit plus the node ids needed to observe it.
+struct DomainCircuit {
+  Circuit circuit;
+  NodeId bump_node = kGround;
+  std::array<NodeId, 4> tile_nodes{};
+};
+
+/// Maps a task's switching-activity factor (in [0, 1]) to the ripple
+/// modulation depth of its current waveform. More active tasks both draw
+/// more current (via the power model) and swing it harder; the affine map
+/// is calibrated so the Fig. 3(b) H-L interference excess lands near the
+/// paper's ~35 %.
+constexpr double activity_to_modulation(double activity) {
+  const double m = 0.3 + 0.5 * activity;
+  return m > 0.85 ? 0.85 : m;
+}
+
+/// Representative modulation depths of the two activity classes (used by
+/// worst-case characterization benches; runtime code uses the continuous
+/// mapping above).
+inline constexpr double kHighActivityModulation = activity_to_modulation(0.85);
+inline constexpr double kLowActivityModulation = activity_to_modulation(0.4);
+
+/// Builds the RLC circuit of one power domain at supply `vdd` with the
+/// given per-slot tile loads. Slots with i_avg == 0 (dark tiles) get no
+/// current source but keep their decap.
+DomainCircuit build_domain_circuit(const power::TechnologyNode& tech,
+                                   double vdd,
+                                   const std::array<TileLoad, 4>& loads);
+
+}  // namespace parm::pdn

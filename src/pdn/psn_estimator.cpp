@@ -1,0 +1,54 @@
+#include "pdn/psn_estimator.hpp"
+
+#include <algorithm>
+
+namespace parm::pdn {
+
+PsnEstimator::PsnEstimator(const power::TechnologyNode& tech,
+                           PsnEstimatorConfig cfg)
+    : tech_(tech), cfg_(cfg) {
+  PARM_CHECK(cfg.warmup_periods >= 0, "warmup must be non-negative");
+  PARM_CHECK(cfg.measure_periods > 0, "must measure at least one period");
+  PARM_CHECK(cfg.steps_per_period >= 8, "too few steps per period");
+}
+
+DomainPsn PsnEstimator::estimate(
+    double vdd, const std::array<TileLoad, 4>& loads) const {
+  DomainPsn out;
+  const bool any_active =
+      std::any_of(loads.begin(), loads.end(),
+                  [](const TileLoad& l) { return l.i_avg > 0.0; });
+  if (!any_active) return out;
+
+  DomainCircuit dom = build_domain_circuit(tech_, vdd, loads);
+
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double dt = period / cfg_.steps_per_period;
+  const double t_end =
+      period * (cfg_.warmup_periods + cfg_.measure_periods);
+  const double record_from = period * cfg_.warmup_periods;
+
+  TransientSolver solver(dom.circuit, dt);
+  const std::vector<NodeId> record(dom.tile_nodes.begin(),
+                                   dom.tile_nodes.end());
+  const TransientTrace trace = solver.run(t_end, record, record_from);
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::vector<double>& v = trace.of(dom.tile_nodes[k]);
+    PARM_CHECK(!v.empty(), "empty transient trace");
+    double peak = 0.0;
+    double sum = 0.0;
+    for (double volt : v) {
+      const double psn = (vdd - volt) / vdd * 100.0;
+      peak = std::max(peak, psn);
+      sum += psn;
+    }
+    out.tiles[k].peak_percent = peak;
+    out.tiles[k].avg_percent = sum / static_cast<double>(v.size());
+    out.peak_percent = std::max(out.peak_percent, peak);
+    out.avg_percent += out.tiles[k].avg_percent / 4.0;
+  }
+  return out;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,57 @@
+// Power-supply-noise estimation for one power domain.
+//
+// Runs a short transient analysis of the domain PDN circuit under the
+// given tile loads and reports per-tile and domain-level PSN as a
+// percentage of the supply:  PSN(t) = (Vdd − V_tile(t)) / Vdd · 100.
+// Peak PSN is the maximum over the measurement window after a warm-up
+// prefix is discarded; average PSN is the time average. This is the
+// quantity the paper's on-die sensors expose to PARM/PANR and the one
+// plotted in Figs. 1, 3 and 7.
+#pragma once
+
+#include <array>
+
+#include "pdn/pdn_netlist.hpp"
+#include "pdn/transient.hpp"
+
+namespace parm::pdn {
+
+/// PSN statistics for a single tile, in percent of Vdd.
+struct TilePsn {
+  double peak_percent = 0.0;
+  double avg_percent = 0.0;
+};
+
+/// PSN statistics for one domain (4 tiles).
+struct DomainPsn {
+  std::array<TilePsn, 4> tiles{};
+  double peak_percent = 0.0;  ///< max over tiles of tile peaks
+  double avg_percent = 0.0;   ///< mean over tiles of tile averages
+};
+
+/// Transient-analysis knobs for PSN estimation.
+struct PsnEstimatorConfig {
+  int warmup_periods = 2;      ///< ripple periods discarded before measuring
+  int measure_periods = 4;     ///< ripple periods measured
+  int steps_per_period = 96;   ///< timesteps per ripple period
+};
+
+class PsnEstimator {
+ public:
+  explicit PsnEstimator(const power::TechnologyNode& tech,
+                        PsnEstimatorConfig cfg = {});
+
+  /// Estimates PSN for one domain at supply `vdd` with the given loads.
+  /// All-dark domains (every i_avg == 0) report zero PSN without running
+  /// a transient.
+  DomainPsn estimate(double vdd, const std::array<TileLoad, 4>& loads) const;
+
+  const power::TechnologyNode& technology() const { return tech_; }
+  const PsnEstimatorConfig& config() const { return cfg_; }
+
+ private:
+  power::TechnologyNode tech_;
+  PsnEstimatorConfig cfg_;
+};
+
+}  // namespace parm::pdn

@@ -1,0 +1,54 @@
+#include "pdn/spice_export.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace parm::pdn {
+
+namespace {
+std::string node_name(const Circuit& ckt, NodeId n) {
+  return n == kGround ? "0" : ckt.node_name(n);
+}
+}  // namespace
+
+std::string to_spice(const Circuit& ckt, const std::string& title) {
+  std::ostringstream os;
+  os << "* " << title << "\n";
+  os << std::scientific << std::setprecision(6);
+
+  int idx = 1;
+  for (const auto& r : ckt.resistors_) {
+    os << "R" << idx++ << " " << node_name(ckt, r.a) << " "
+       << node_name(ckt, r.b) << " " << r.ohms << "\n";
+  }
+  idx = 1;
+  for (const auto& c : ckt.capacitors_) {
+    os << "C" << idx++ << " " << node_name(ckt, c.a) << " "
+       << node_name(ckt, c.b) << " " << c.farads << "\n";
+  }
+  idx = 1;
+  for (const auto& l : ckt.inductors_) {
+    os << "L" << idx++ << " " << node_name(ckt, l.a) << " "
+       << node_name(ckt, l.b) << " " << l.henries << "\n";
+  }
+  idx = 1;
+  for (const auto& v : ckt.vsources_) {
+    os << "V" << idx++ << " " << node_name(ckt, v.pos) << " "
+       << node_name(ckt, v.neg) << " DC " << v.volts << "\n";
+  }
+  idx = 1;
+  for (const auto& s : ckt.isources_) {
+    os << "I" << idx << " " << node_name(ckt, s.pos) << " "
+       << node_name(ckt, s.neg) << " DC " << s.waveform.average();
+    if (s.waveform.modulation() > 0.0) {
+      os << " ; ripple m=" << s.waveform.modulation()
+         << " f=" << s.waveform.frequency() << "Hz";
+    }
+    os << "\n";
+    ++idx;
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace parm::pdn

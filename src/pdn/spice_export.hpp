@@ -1,0 +1,21 @@
+// SPICE netlist export.
+//
+// Dumps a Circuit as a standard .sp deck so the PDN models built by this
+// library can be cross-checked in any external SPICE (ngspice, HSPICE,
+// Spectre). Time-varying current sources are emitted as their DC average
+// with the ripple parameters in a trailing comment (SPICE PWL/PULSE
+// equivalents depend on simulator dialect, so we leave the waveform
+// reconstruction to the reader — the parameters are complete).
+#pragma once
+
+#include <string>
+
+#include "pdn/circuit.hpp"
+
+namespace parm::pdn {
+
+/// Renders `circuit` as a SPICE deck titled `title`.
+std::string to_spice(const Circuit& circuit,
+                     const std::string& title = "parm pdn netlist");
+
+}  // namespace parm::pdn

@@ -1,0 +1,196 @@
+#include "pdn/transient.hpp"
+
+#include <algorithm>
+
+namespace parm::pdn {
+
+namespace {
+inline std::size_t vidx(NodeId n) {
+  return n == kGround ? static_cast<std::size_t>(-1)
+                      : static_cast<std::size_t>(n - 1);
+}
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
+
+const std::vector<double>& TransientTrace::of(NodeId n) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == n) return voltages[i];
+  }
+  PARM_CHECK(false, "node was not recorded in this trace");
+}
+
+TransientSolver::TransientSolver(const Circuit& ckt, double dt)
+    : ckt_(ckt), dt_(dt) {
+  PARM_CHECK(dt > 0.0, "timestep must be positive");
+  n_nodes_ = static_cast<std::size_t>(ckt.node_count() - 1);
+  n_l_ = ckt.inductor_count();
+  n_v_ = ckt.voltage_source_count();
+  const std::size_t n = n_nodes_ + n_l_ + n_v_;
+  PARM_CHECK(n > 0, "empty circuit");
+
+  Matrix a(n, n);
+  // Resistors.
+  for (const auto& r : ckt_.resistors_) {
+    const double g = 1.0 / r.ohms;
+    const std::size_t i = vidx(r.a);
+    const std::size_t j = vidx(r.b);
+    if (i != kNone) a(i, i) += g;
+    if (j != kNone) a(j, j) += g;
+    if (i != kNone && j != kNone) {
+      a(i, j) -= g;
+      a(j, i) -= g;
+    }
+  }
+  // Capacitor trapezoidal companions: conductance 2C/dt.
+  for (const auto& c : ckt_.capacitors_) {
+    const double g = 2.0 * c.farads / dt_;
+    const std::size_t i = vidx(c.a);
+    const std::size_t j = vidx(c.b);
+    if (i != kNone) a(i, i) += g;
+    if (j != kNone) a(j, j) += g;
+    if (i != kNone && j != kNone) {
+      a(i, j) -= g;
+      a(j, i) -= g;
+    }
+  }
+  // Inductor branches: i_{n+1} − (dt/2L)(v_a − v_b)_{n+1} = rhs.
+  for (std::size_t k = 0; k < n_l_; ++k) {
+    const auto& l = ckt_.inductors_[k];
+    const std::size_t row = n_nodes_ + k;
+    const std::size_t i = vidx(l.a);
+    const std::size_t j = vidx(l.b);
+    const double gl = dt_ / (2.0 * l.henries);
+    a(row, row) += 1.0;
+    if (i != kNone) {
+      a(i, row) += 1.0;  // branch current leaves node a
+      a(row, i) -= gl;
+    }
+    if (j != kNone) {
+      a(j, row) -= 1.0;
+      a(row, j) += gl;
+    }
+  }
+  // Voltage sources.
+  for (std::size_t k = 0; k < n_v_; ++k) {
+    const auto& v = ckt_.vsources_[k];
+    const std::size_t row = n_nodes_ + n_l_ + k;
+    const std::size_t i = vidx(v.pos);
+    const std::size_t j = vidx(v.neg);
+    if (i != kNone) {
+      a(i, row) += 1.0;
+      a(row, i) += 1.0;
+    }
+    if (j != kNone) {
+      a(j, row) -= 1.0;
+      a(row, j) -= 1.0;
+    }
+  }
+  lu_.emplace(std::move(a));
+}
+
+TransientTrace TransientSolver::run(double t_end,
+                                    const std::vector<NodeId>& record_nodes,
+                                    double record_from) {
+  PARM_CHECK(t_end > 0.0, "t_end must be positive");
+  PARM_CHECK(record_from >= 0.0 && record_from < t_end,
+             "record window must lie within the run");
+
+  // --- Initial conditions from the DC operating point. ---
+  DcSolver dc(ckt_);
+  std::vector<double> v_node(static_cast<std::size_t>(ckt_.node_count()));
+  for (NodeId n = 0; n < ckt_.node_count(); ++n)
+    v_node[static_cast<std::size_t>(n)] = dc.voltage(n);
+
+  // Capacitor state: voltage across and current through (0 at DC).
+  std::vector<double> cap_v(ckt_.capacitors_.size());
+  std::vector<double> cap_i(ckt_.capacitors_.size(), 0.0);
+  for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+    const auto& c = ckt_.capacitors_[k];
+    cap_v[k] = v_node[static_cast<std::size_t>(c.a)] -
+               v_node[static_cast<std::size_t>(c.b)];
+  }
+  // Inductor state: branch current and voltage across (0 at DC).
+  std::vector<double> ind_i = dc.inductor_currents();
+  std::vector<double> ind_v(ckt_.inductors_.size(), 0.0);
+
+  TransientTrace trace;
+  trace.nodes = record_nodes;
+  trace.voltages.resize(record_nodes.size());
+  const std::size_t n_steps = static_cast<std::size_t>(t_end / dt_);
+  const std::size_t est_rec = n_steps + 2;
+  trace.times.reserve(est_rec);
+  for (auto& v : trace.voltages) v.reserve(est_rec);
+
+  auto record = [&](double t) {
+    if (t < record_from) return;
+    trace.times.push_back(t);
+    for (std::size_t i = 0; i < record_nodes.size(); ++i) {
+      trace.voltages[i].push_back(
+          v_node[static_cast<std::size_t>(record_nodes[i])]);
+    }
+  };
+  record(0.0);
+
+  const std::size_t n = lu_->size();
+  std::vector<double> z(n);
+
+  double t = 0.0;
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    t += dt_;
+    std::fill(z.begin(), z.end(), 0.0);
+
+    // Capacitor companion RHS: Ieq = (2C/dt)·v_prev + i_prev into node a.
+    for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+      const auto& c = ckt_.capacitors_[k];
+      const double ieq = (2.0 * c.farads / dt_) * cap_v[k] + cap_i[k];
+      const std::size_t i = vidx(c.a);
+      const std::size_t j = vidx(c.b);
+      if (i != kNone) z[i] += ieq;
+      if (j != kNone) z[j] -= ieq;
+    }
+    // Inductor companion RHS.
+    for (std::size_t k = 0; k < ckt_.inductors_.size(); ++k) {
+      const auto& l = ckt_.inductors_[k];
+      const std::size_t row = n_nodes_ + k;
+      z[row] = ind_i[k] + (dt_ / (2.0 * l.henries)) * ind_v[k];
+    }
+    // Voltage sources (DC).
+    for (std::size_t k = 0; k < n_v_; ++k) {
+      z[n_nodes_ + n_l_ + k] = ckt_.vsources_[k].volts;
+    }
+    // Current sources at time t.
+    for (const auto& s : ckt_.isources_) {
+      const double i_t = s.waveform.value(t);
+      const std::size_t i = vidx(s.pos);
+      const std::size_t j = vidx(s.neg);
+      if (i != kNone) z[i] -= i_t;
+      if (j != kNone) z[j] += i_t;
+    }
+
+    const std::vector<double> x = lu_->solve(z);
+
+    // Unpack node voltages and update element state.
+    for (std::size_t i = 0; i < n_nodes_; ++i) v_node[i + 1] = x[i];
+    v_node[0] = 0.0;
+    for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+      const auto& c = ckt_.capacitors_[k];
+      const double v_new = v_node[static_cast<std::size_t>(c.a)] -
+                           v_node[static_cast<std::size_t>(c.b)];
+      const double i_new =
+          (2.0 * c.farads / dt_) * (v_new - cap_v[k]) - cap_i[k];
+      cap_v[k] = v_new;
+      cap_i[k] = i_new;
+    }
+    for (std::size_t k = 0; k < ckt_.inductors_.size(); ++k) {
+      const auto& l = ckt_.inductors_[k];
+      ind_i[k] = x[n_nodes_ + k];
+      ind_v[k] = v_node[static_cast<std::size_t>(l.a)] -
+                 v_node[static_cast<std::size_t>(l.b)];
+    }
+
+    record(t);
+  }
+  return trace;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,51 @@
+// Fixed-timestep transient analysis with trapezoidal integration.
+//
+// The MNA matrix is constant for a fixed timestep, so it is LU-factorized
+// once; each step only rebuilds the right-hand side from the companion
+// models (capacitor/inductor history) and the time-varying current sources.
+// Initial conditions come from the DC operating point (sources at their
+// average), which keeps the startup transient small; callers additionally
+// discard a warm-up prefix before measuring PSN.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pdn/circuit.hpp"
+
+namespace parm::pdn {
+
+/// Recorded node-voltage traces from a transient run.
+struct TransientTrace {
+  std::vector<double> times;                       ///< Recorded instants (s).
+  std::vector<NodeId> nodes;                       ///< Recorded node ids.
+  std::vector<std::vector<double>> voltages;       ///< [node index][step].
+
+  /// Trace row for a node id; throws if the node was not recorded.
+  const std::vector<double>& of(NodeId n) const;
+};
+
+class TransientSolver {
+ public:
+  /// Prepares (stamps + factorizes) the solver for circuit `ckt` with
+  /// timestep `dt` seconds.
+  TransientSolver(const Circuit& ckt, double dt);
+
+  /// Runs from t = 0 to `t_end`, recording voltages of `record_nodes` for
+  /// t >= record_from. Node voltages at t = 0 are the DC operating point.
+  TransientTrace run(double t_end, const std::vector<NodeId>& record_nodes,
+                     double record_from = 0.0);
+
+  double dt() const { return dt_; }
+
+ private:
+  const Circuit& ckt_;
+  double dt_;
+  std::size_t n_nodes_;  ///< non-ground node count
+  std::size_t n_l_;
+  std::size_t n_v_;
+  std::optional<LuFactorization> lu_;
+};
+
+}  // namespace parm::pdn

@@ -1,0 +1,71 @@
+#include "pdn/waveform.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parm::pdn {
+
+CurrentWaveform::CurrentWaveform(double i_avg, double m, double freq_hz,
+                                 double phase, double rise_fraction)
+    : i_avg_(i_avg),
+      m_(m),
+      freq_hz_(freq_hz),
+      phase_(phase),
+      rise_fraction_(rise_fraction) {
+  PARM_CHECK(i_avg >= 0.0, "average current must be non-negative");
+  PARM_CHECK(m >= 0.0 && m < 1.0, "modulation depth must be in [0,1)");
+  PARM_CHECK(m == 0.0 || freq_hz > 0.0, "ripple needs positive frequency");
+  PARM_CHECK(rise_fraction > 0.0 && rise_fraction < 0.25,
+             "rise fraction must be in (0, 0.25)");
+}
+
+CurrentWaveform CurrentWaveform::dc(double i_avg) {
+  return CurrentWaveform(i_avg, 0.0, 1.0, 0.0, 0.05);
+}
+
+CurrentWaveform CurrentWaveform::ripple(double i_avg, double m,
+                                        double freq_hz, double phase,
+                                        double rise_fraction) {
+  return CurrentWaveform(i_avg, m, freq_hz, phase, rise_fraction);
+}
+
+double CurrentWaveform::value(double t) const {
+  if (m_ == 0.0) return i_avg_;
+  // Normalized position within the period, shifted by phase.
+  double u = t * freq_hz_ + phase_;
+  u -= std::floor(u);
+  const double hi = i_avg_ * (1.0 + m_);
+  const double lo = i_avg_ * (1.0 - m_);
+  const double r = rise_fraction_;
+  // Piecewise: rise [0,r), high [r,0.5), fall [0.5,0.5+r), low [0.5+r,1).
+  if (u < r) {
+    return lo + (hi - lo) * (u / r);
+  }
+  if (u < 0.5) return hi;
+  if (u < 0.5 + r) {
+    return hi - (hi - lo) * ((u - 0.5) / r);
+  }
+  return lo;
+}
+
+double CurrentWaveform::max_slew() const {
+  if (m_ == 0.0) return 0.0;
+  const double swing = 2.0 * m_ * i_avg_;
+  const double edge_time = rise_fraction_ / freq_hz_;
+  return swing / edge_time;
+}
+
+double CompositeWaveform::value(double t) const {
+  double acc = 0.0;
+  for (const auto& p : parts_) acc += p.value(t);
+  return acc;
+}
+
+double CompositeWaveform::average() const {
+  double acc = 0.0;
+  for (const auto& p : parts_) acc += p.average();
+  return acc;
+}
+
+}  // namespace parm::pdn

@@ -1,0 +1,67 @@
+// Time-domain source waveforms for the PDN transient solver.
+//
+// A tile's workload appears to the PDN as a current source (paper
+// section 3.4, following [19]-[21]). We synthesize it as a DC component
+// (average supply current from the power model) modulated by a trapezoidal
+// square ripple whose depth reflects the task's switching-activity class:
+//
+//   i(t) = i_avg · (1 ± m)         alternating at ripple_freq,
+//   with linear edges of rise_fraction · period.
+//
+// The finite edge slew gives the inductive L·di/dt droop a well-defined
+// magnitude. Phase is per-task (random at runtime, aligned for worst-case
+// characterization benches).
+#pragma once
+
+#include <vector>
+
+namespace parm::pdn {
+
+/// Piecewise-trapezoidal periodic current waveform.
+class CurrentWaveform {
+ public:
+  /// DC-only waveform (no ripple).
+  static CurrentWaveform dc(double i_avg);
+
+  /// Ripple waveform: average `i_avg` (A), modulation depth `m` in [0, 1)
+  /// (high phase = i_avg·(1+m), low phase = i_avg·(1−m)), frequency
+  /// `freq_hz`, phase offset in [0, 1) periods, and linear transition edges
+  /// of `rise_fraction` of the period (must be < 0.25).
+  static CurrentWaveform ripple(double i_avg, double m, double freq_hz,
+                                double phase = 0.0,
+                                double rise_fraction = 0.05);
+
+  /// Instantaneous current at time t (seconds).
+  double value(double t) const;
+
+  double average() const { return i_avg_; }
+  double modulation() const { return m_; }
+  double frequency() const { return freq_hz_; }
+
+  /// Peak |di/dt| of the waveform (A/s); zero for DC.
+  double max_slew() const;
+
+ private:
+  CurrentWaveform(double i_avg, double m, double freq_hz, double phase,
+                  double rise_fraction);
+
+  double i_avg_;
+  double m_;
+  double freq_hz_;
+  double phase_;
+  double rise_fraction_;
+};
+
+/// Sum of waveforms (e.g. core + router share of a tile).
+class CompositeWaveform {
+ public:
+  void add(CurrentWaveform w) { parts_.push_back(w); }
+  double value(double t) const;
+  double average() const;
+  bool empty() const { return parts_.empty(); }
+
+ private:
+  std::vector<CurrentWaveform> parts_;
+};
+
+}  // namespace parm::pdn

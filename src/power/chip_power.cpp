@@ -1,0 +1,27 @@
+#include "power/chip_power.hpp"
+
+namespace parm::power {
+
+PowerLedger::PowerLedger(double budget_w) : budget_w_(budget_w) {
+  PARM_CHECK(budget_w > 0.0, "power budget must be positive");
+}
+
+bool PowerLedger::reserve(std::int64_t app_instance_id, double power_w) {
+  PARM_CHECK(power_w >= 0.0, "reservation must be non-negative");
+  PARM_CHECK(!reservations_.contains(app_instance_id),
+             "application already holds a reservation");
+  if (!fits(power_w)) return false;
+  reservations_.emplace(app_instance_id, power_w);
+  reserved_w_ += power_w;
+  return true;
+}
+
+void PowerLedger::release(std::int64_t app_instance_id) {
+  auto it = reservations_.find(app_instance_id);
+  if (it == reservations_.end()) return;
+  reserved_w_ -= it->second;
+  if (reserved_w_ < 0.0) reserved_w_ = 0.0;  // guard FP drift
+  reservations_.erase(it);
+}
+
+}  // namespace parm::power

@@ -1,0 +1,54 @@
+// Chip-level power accounting against the dark-silicon power budget (DsPB).
+//
+// The DsPB is the thermally safe chip power limit (65 W for the paper's
+// 60-tile CMP). PowerLedger tracks reserved power per running application
+// so the runtime manager (Algorithm 1/2) can reject mappings that would
+// exceed the budget. Idle tiles are power-gated and charged a small
+// retention power.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+
+namespace parm::power {
+
+/// Estimated steady-state power of one tile running one task.
+struct TilePowerEstimate {
+  double core_w = 0.0;
+  double router_w = 0.0;
+  double total() const { return core_w + router_w; }
+};
+
+/// Tracks power reservations of admitted applications against the DsPB.
+class PowerLedger {
+ public:
+  explicit PowerLedger(double budget_w);
+
+  double budget() const { return budget_w_; }
+  double reserved() const { return reserved_w_; }
+  double headroom() const { return budget_w_ - reserved_w_; }
+
+  /// True if `power_w` more watts still fit under the budget.
+  bool fits(double power_w) const { return power_w <= headroom() + 1e-12; }
+
+  /// Reserves power for an application. Returns false (and reserves
+  /// nothing) if the budget would be exceeded.
+  bool reserve(std::int64_t app_instance_id, double power_w);
+
+  /// Releases the reservation of a finished/dropped application.
+  /// No-op when the id holds no reservation.
+  void release(std::int64_t app_instance_id);
+
+  std::size_t reservation_count() const { return reservations_.size(); }
+
+ private:
+  double budget_w_;
+  double reserved_w_ = 0.0;
+  std::unordered_map<std::int64_t, double> reservations_;
+};
+
+}  // namespace parm::power

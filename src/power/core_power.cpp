@@ -1,0 +1,41 @@
+#include "power/core_power.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parm::power {
+
+const char* to_string(ActivityClass c) {
+  return c == ActivityClass::High ? "High" : "Low";
+}
+
+CorePowerModel::CorePowerModel(const TechnologyNode& node) : node_(node) {}
+
+double CorePowerModel::dynamic_power(double vdd, double f_hz,
+                                     double activity) const {
+  PARM_CHECK(vdd > 0.0 && f_hz >= 0.0, "invalid operating point");
+  PARM_CHECK(activity >= 0.0 && activity <= 1.0,
+             "activity factor must be in [0,1]");
+  return activity * node_.core_ceff * vdd * vdd * f_hz;
+}
+
+double CorePowerModel::leakage_power(double vdd) const {
+  PARM_CHECK(vdd > 0.0, "invalid supply");
+  const double ileak = node_.core_ileak_ref *
+                       std::exp(node_.leak_vdd_slope *
+                                (vdd - node_.vdd_nominal));
+  return vdd * ileak;
+}
+
+double CorePowerModel::total_power(double vdd, double f_hz,
+                                   double activity) const {
+  return dynamic_power(vdd, f_hz, activity) + leakage_power(vdd);
+}
+
+double CorePowerModel::supply_current(double vdd, double f_hz,
+                                      double activity) const {
+  return total_power(vdd, f_hz, activity) / vdd;
+}
+
+}  // namespace parm::power

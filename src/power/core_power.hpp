@@ -1,0 +1,52 @@
+// Analytical core power model (McPAT-style abstraction).
+//
+//   P_dyn  = activity · Ceff · Vdd² · f
+//   P_leak = Vdd · Ileak_ref · exp(slope · (Vdd − Vdd_nominal))
+//
+// `activity` is the task's switching-activity factor in [0, 1] from the
+// offline profile; it also decides the High/Low activity class used by the
+// mapping heuristic (paper section 3.5 bins tasks into two classes).
+#pragma once
+
+#include "power/technology.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm::power {
+
+/// Switching-activity class of a task (paper section 3.5, Fig. 3(b)).
+enum class ActivityClass { Low, High };
+
+/// Activity factor at or above which a task is classified High.
+inline constexpr double kHighActivityThreshold = 0.5;
+
+constexpr ActivityClass classify_activity(double activity_factor) {
+  return activity_factor >= kHighActivityThreshold ? ActivityClass::High
+                                                   : ActivityClass::Low;
+}
+
+const char* to_string(ActivityClass c);
+
+class CorePowerModel {
+ public:
+  explicit CorePowerModel(const TechnologyNode& node);
+
+  /// Dynamic power (W) at the given supply, clock, and activity factor.
+  double dynamic_power(double vdd, double f_hz, double activity) const;
+
+  /// Leakage power (W) at the given supply.
+  double leakage_power(double vdd) const;
+
+  /// Total core power (W).
+  double total_power(double vdd, double f_hz, double activity) const;
+
+  /// Average supply current (A) drawn by the core, I = P / Vdd; this is the
+  /// DC component of the tile's PDN current source.
+  double supply_current(double vdd, double f_hz, double activity) const;
+
+  const TechnologyNode& node() const { return node_; }
+
+ private:
+  TechnologyNode node_;
+};
+
+}  // namespace parm::power

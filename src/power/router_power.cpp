@@ -1,0 +1,36 @@
+#include "power/router_power.hpp"
+
+#include "common/check.hpp"
+
+namespace parm::power {
+
+RouterPowerModel::RouterPowerModel(const TechnologyNode& node)
+    : node_(node) {}
+
+double RouterPowerModel::energy_per_flit(double vdd) const {
+  PARM_CHECK(vdd > 0.0, "invalid supply");
+  const double scale = (vdd / node_.vdd_nominal);
+  return node_.router_eflit * scale * scale;
+}
+
+double RouterPowerModel::static_power(double vdd) const {
+  PARM_CHECK(vdd > 0.0, "invalid supply");
+  // Static power is dominated by leakage; scale linearly with Vdd around
+  // the reference point (adequate over the 0.4-0.8 V DVS range).
+  return node_.router_pstatic * (vdd / node_.vdd_nominal);
+}
+
+double RouterPowerModel::total_power(double vdd, double flit_rate,
+                                     bool panr_enabled) const {
+  PARM_CHECK(flit_rate >= 0.0, "flit rate must be non-negative");
+  double p = energy_per_flit(vdd) * flit_rate + static_power(vdd);
+  if (panr_enabled) p += panr_overhead_power();
+  return p;
+}
+
+double RouterPowerModel::supply_current(double vdd, double flit_rate,
+                                        bool panr_enabled) const {
+  return total_power(vdd, flit_rate, panr_enabled) / vdd;
+}
+
+}  // namespace parm::power

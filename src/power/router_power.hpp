@@ -1,0 +1,51 @@
+// Analytical NoC router power model.
+//
+//   P_router = E_flit(Vdd) · flit_rate + P_static(Vdd)
+//
+// E_flit covers buffer write/read, crossbar traversal, and the outgoing
+// link at the node's reference supply, scaled quadratically with Vdd.
+// Flit rate is measured by the cycle-level NoC simulator (flits/second
+// through the router). The model also exposes the PANR adaptive-logic
+// overhead numbers reported in paper section 4.4.
+#pragma once
+
+#include "power/technology.hpp"
+
+namespace parm::power {
+
+class RouterPowerModel {
+ public:
+  explicit RouterPowerModel(const TechnologyNode& node);
+
+  /// Energy per flit hop (J) at the given supply.
+  double energy_per_flit(double vdd) const;
+
+  /// Static (clock + leakage) router power (W) at the given supply.
+  double static_power(double vdd) const;
+
+  /// Total router power (W): `flit_rate` in flits/second through the router.
+  /// `panr_enabled` adds the adaptive route-selection logic overhead.
+  double total_power(double vdd, double flit_rate,
+                     bool panr_enabled = false) const;
+
+  /// Average supply current (A), the router's share of the tile's PDN
+  /// current source.
+  double supply_current(double vdd, double flit_rate,
+                        bool panr_enabled = false) const;
+
+  /// PANR logic power overhead (W) — ~1 mW at 7 nm (paper section 4.4).
+  double panr_overhead_power() const { return node_.panr_logic_power_w; }
+
+  /// PANR logic area overhead as a fraction of the baseline router area
+  /// (~0.5 % at 7 nm).
+  double panr_area_overhead_fraction() const {
+    return node_.panr_logic_area_um2 / node_.router_area_um2;
+  }
+
+  const TechnologyNode& node() const { return node_; }
+
+ private:
+  TechnologyNode node_;
+};
+
+}  // namespace parm::power

@@ -1,0 +1,64 @@
+// Per-technology-node device and PDN parameters.
+//
+// The paper evaluates a 7 nm FinFET CMP and motivates the problem (Fig. 1)
+// with PSN growth across process nodes. This table substitutes for the
+// McPAT + ITRS data used in the paper: each node carries the constants the
+// power models and the PDN netlist builder need. Values are calibrated so
+// that (i) the 7 nm core matches the paper's anchors (ARM Cortex-A73-class
+// mobile core, ~1.3 W at 0.8 V / 2 GHz, DsPB = 65 W binds for 60 tiles at
+// nominal Vdd), and (ii) peak PSN relative to the NTC supply grows across
+// nodes and crosses the 5 % noise margin near 14/10 nm (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parm::power {
+
+/// Device, power, and PDN constants for one fabrication node.
+struct TechnologyNode {
+  int feature_nm = 7;          ///< Feature size in nanometres.
+  std::string name;            ///< e.g. "7nm FinFET".
+
+  // --- Voltage / frequency ---
+  double vth = 0.25;           ///< Threshold voltage (V).
+  double vdd_nominal = 0.8;    ///< Nominal (super-threshold) supply (V).
+  double vdd_ntc = 0.4;        ///< Near-threshold operating point (V).
+  double f_at_nominal = 2.0e9; ///< Core f_max at vdd_nominal (Hz).
+
+  // --- Core power ---
+  double core_ceff = 1.0e-9;   ///< Effective switched capacitance (F).
+  double core_ileak_ref = 0.19;///< Leakage current at vdd_nominal (A).
+  double leak_vdd_slope = 2.0; ///< d(ln I_leak)/dV (1/V), DIBL-style.
+
+  // --- Router power (input-buffered 5-port wormhole router) ---
+  double router_eflit = 400e-12;  ///< Energy per flit hop at vdd_nominal (J).
+  double router_pstatic = 8e-3;   ///< Router static power at vdd_nominal (W).
+
+  // --- PDN (per 2x2-tile domain, Fig. 2 topology) ---
+  double pdn_r_bump = 2e-3;    ///< Bump resistance Rb (ohm).
+  double pdn_l_bump = 7.2e-12;  ///< Bump + package inductance Lb (H).
+  double pdn_r_wire = 15e-3;   ///< On-chip grid wire resistance Rc/segment (ohm).
+  double pdn_c_decap = 12e-9;  ///< Decoupling capacitance per tile (F).
+
+  // --- Workload current ripple ---
+  double ripple_freq_hz = 100e6;  ///< Dominant switching-ripple frequency.
+
+  // --- Area (for the overhead report, paper section 4.4) ---
+  double core_area_um2 = 4.0e6;      ///< ~4 mm^2 core.
+  double router_area_um2 = 71300.0;  ///< Baseline NoC router.
+  double panr_logic_area_um2 = 115.0;///< PANR comparators/registers.
+  double panr_logic_power_w = 1e-3;  ///< PANR added logic power.
+  double sensor_network_area_um2 = 413.0;  ///< Digital PSN sensors [16].
+};
+
+/// Returns the parameter set for a supported node (45/32/22/14/10/7 nm).
+/// Throws CheckError for unsupported feature sizes.
+const TechnologyNode& technology_node(int feature_nm);
+
+/// All supported nodes in decreasing feature size (45 ... 7 nm), the order
+/// used by the Fig. 1 reproduction.
+const std::vector<TechnologyNode>& all_technology_nodes();
+
+}  // namespace parm::power

@@ -1,0 +1,49 @@
+#include "power/vf_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parm::power {
+
+VoltageFrequencyModel::VoltageFrequencyModel(const TechnologyNode& node,
+                                             double alpha)
+    : vth_(node.vth), alpha_(alpha) {
+  PARM_CHECK(alpha > 0.0, "alpha must be positive");
+  PARM_CHECK(node.vdd_nominal > node.vth, "nominal vdd must exceed vth");
+  const double shape =
+      std::pow(node.vdd_nominal - vth_, alpha_) / node.vdd_nominal;
+  k_ = node.f_at_nominal / shape;
+}
+
+double VoltageFrequencyModel::fmax(double vdd) const {
+  PARM_CHECK(vdd > vth_, "supply must exceed threshold voltage");
+  return k_ * std::pow(vdd - vth_, alpha_) / vdd;
+}
+
+double VoltageFrequencyModel::min_vdd_for_frequency(double f_hz,
+                                                    double vdd_max) const {
+  PARM_CHECK(f_hz > 0.0, "frequency must be positive");
+  PARM_CHECK(vdd_max > vth_, "vdd_max must exceed threshold");
+  PARM_CHECK(fmax(vdd_max) >= f_hz,
+             "requested frequency unreachable at vdd_max");
+  double lo = vth_ + 1e-6;
+  double hi = vdd_max;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (fmax(mid) >= f_hz) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double VoltageFrequencyModel::frequency_sensitivity(double vdd) const {
+  PARM_CHECK(vdd > vth_, "supply must exceed threshold voltage");
+  // d/dV [ k (V-Vth)^a / V ] / fmax = a/(V-Vth) - 1/V
+  return alpha_ / (vdd - vth_) - 1.0 / vdd;
+}
+
+}  // namespace parm::power

@@ -1,0 +1,44 @@
+// Voltage–frequency model (alpha-power law).
+//
+// Near/sub-threshold frequency scaling follows the alpha-power law
+//   f_max(V) = k * (V - Vth)^alpha / V
+// with alpha ≈ 1.5 for FinFET nodes. k is calibrated per technology node so
+// that f_max(vdd_nominal) equals the node's rated frequency. This is the
+// model PARM uses both for WCET estimation (offline profiles) and to set
+// tile clock frequency after a DVS decision.
+#pragma once
+
+#include "power/technology.hpp"
+
+namespace parm::power {
+
+class VoltageFrequencyModel {
+ public:
+  /// Builds the model for a node, calibrating k to f_at_nominal.
+  explicit VoltageFrequencyModel(const TechnologyNode& node,
+                                 double alpha = 1.5);
+
+  /// Maximum stable clock frequency (Hz) at supply `vdd` (V).
+  /// vdd must exceed Vth; at or below threshold the core cannot run.
+  double fmax(double vdd) const;
+
+  /// Smallest supply that sustains frequency `f_hz`, found by bisection on
+  /// the (monotone) fmax curve. Returns vdd in (vth, vdd_max]; throws if
+  /// even vdd_max cannot reach f_hz.
+  double min_vdd_for_frequency(double f_hz, double vdd_max) const;
+
+  /// Relative slowdown of fmax per volt of supply droop around `vdd`
+  /// (d fmax / d vdd) * (1 / fmax); used to translate PSN into critical-path
+  /// latency degradation.
+  double frequency_sensitivity(double vdd) const;
+
+  double vth() const { return vth_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double vth_;
+  double alpha_;
+  double k_;  ///< Calibration constant (Hz · V^(1-alpha)).
+};
+
+}  // namespace parm::power

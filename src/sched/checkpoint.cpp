@@ -1,0 +1,32 @@
+#include "sched/checkpoint.hpp"
+
+#include <cmath>
+
+namespace parm::sched {
+
+CheckpointModel::CheckpointModel(CheckpointConfig cfg) : cfg_(cfg) {
+  PARM_CHECK(cfg.period_s > 0.0, "checkpoint period must be positive");
+  PARM_CHECK(cfg.checkpoint_cycles >= 0.0 && cfg.rollback_cycles >= 0.0,
+             "checkpoint costs must be non-negative");
+}
+
+double CheckpointModel::overhead_fraction(double f_hz) const {
+  PARM_CHECK(f_hz > 0.0, "frequency must be positive");
+  return cfg_.checkpoint_cycles / (cfg_.period_s * f_hz);
+}
+
+double CheckpointModel::rollback_cost_cycles(
+    double elapsed_since_checkpoint_s, double progress_rate_cps) const {
+  PARM_CHECK(elapsed_since_checkpoint_s >= 0.0, "negative elapsed time");
+  PARM_CHECK(progress_rate_cps >= 0.0, "negative progress rate");
+  return elapsed_since_checkpoint_s * progress_rate_cps +
+         cfg_.rollback_cycles;
+}
+
+double CheckpointModel::last_checkpoint_time(double start_s, double t) const {
+  PARM_CHECK(t >= start_s, "query before start");
+  const double k = std::floor((t - start_s) / cfg_.period_s);
+  return start_s + k * cfg_.period_s;
+}
+
+}  // namespace parm::sched

@@ -1,0 +1,46 @@
+// Checkpoint / rollback cost model (paper sections 4.5 and 5.1).
+//
+// Applications checkpoint every `period_s` (1 ms) at a cost of
+// `checkpoint_cycles` (256). A voltage emergency rolls the affected task
+// back to its last checkpoint: it loses all progress since then and pays a
+// `rollback_cycles` (10 000) restart penalty. The same machinery is
+// charged to every framework, including the HM/ICON baselines (paper
+// section 5.2, fairness assumption).
+#pragma once
+
+#include "common/check.hpp"
+
+namespace parm::sched {
+
+struct CheckpointConfig {
+  double period_s = 1e-3;
+  double checkpoint_cycles = 256.0;
+  double rollback_cycles = 10000.0;
+};
+
+class CheckpointModel {
+ public:
+  explicit CheckpointModel(CheckpointConfig cfg = {});
+
+  const CheckpointConfig& config() const { return cfg_; }
+
+  /// Fraction of throughput lost to periodic checkpointing at clock
+  /// `f_hz` (256 cycles per 1 ms ≈ 0.0256 % at 1 GHz).
+  double overhead_fraction(double f_hz) const;
+
+  /// Cycles of useful progress destroyed by a rollback that strikes
+  /// `elapsed_since_checkpoint_s` after the last checkpoint, for a task
+  /// progressing at `progress_rate_cps` useful cycles/second — plus the
+  /// restart penalty.
+  double rollback_cost_cycles(double elapsed_since_checkpoint_s,
+                              double progress_rate_cps) const;
+
+  /// Time of the last checkpoint at or before `t` (checkpoints at integer
+  /// multiples of the period, starting from `start_s`).
+  double last_checkpoint_time(double start_s, double t) const;
+
+ private:
+  CheckpointConfig cfg_;
+};
+
+}  // namespace parm::sched

@@ -1,0 +1,79 @@
+#include "sched/edf.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parm::sched {
+
+std::vector<double> assign_task_deadlines(
+    const appmodel::DopVariant& variant, double app_start_s,
+    double app_deadline_s) {
+  PARM_CHECK(app_deadline_s > app_start_s,
+             "application deadline must lie after its start");
+  const std::size_t n = variant.tasks.size();
+
+  // Longest (work-weighted) path from any source up to and including each
+  // task, via one topological sweep. Generator graphs have src < dst, and
+  // TaskGraph::validate() guarantees acyclicity for hand-built ones, so a
+  // repeated relaxation over edges sorted by src works; we instead do a
+  // proper Kahn ordering for generality.
+  std::vector<std::vector<std::pair<appmodel::TaskIndex, double>>> succ(n);
+  std::vector<int> indeg(n, 0);
+  for (const auto& e : variant.graph.edges()) {
+    succ[static_cast<std::size_t>(e.src)].emplace_back(e.dst,
+                                                       e.volume_flits);
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  std::vector<double> reach(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reach[i] = variant.tasks[i].work_cycles;
+  }
+  std::vector<appmodel::TaskIndex> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<appmodel::TaskIndex>(i));
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const appmodel::TaskIndex u = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const auto& [v, vol] : succ[static_cast<std::size_t>(u)]) {
+      reach[static_cast<std::size_t>(v)] = std::max(
+          reach[static_cast<std::size_t>(v)],
+          reach[static_cast<std::size_t>(u)] +
+              variant.tasks[static_cast<std::size_t>(v)].work_cycles);
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  PARM_CHECK(processed == n, "task graph contains a cycle");
+
+  const double critical = *std::max_element(reach.begin(), reach.end());
+  PARM_CHECK(critical > 0.0, "degenerate task graph (no work)");
+
+  // Deadline of task t: start + span × (critical-path prefix fraction).
+  const double span = app_deadline_s - app_start_s;
+  std::vector<double> deadlines(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deadlines[i] = app_start_s + span * (reach[i] / critical);
+  }
+  return deadlines;
+}
+
+void EdfQueue::push(std::int64_t id, double deadline_s) {
+  heap_.push(Item{{id, deadline_s}, next_seq_++});
+}
+
+EdfQueue::Entry EdfQueue::pop() {
+  PARM_CHECK(!heap_.empty(), "pop from empty EDF queue");
+  Entry e = heap_.top().entry;
+  heap_.pop();
+  return e;
+}
+
+const EdfQueue::Entry& EdfQueue::peek() const {
+  PARM_CHECK(!heap_.empty(), "peek at empty EDF queue");
+  return heap_.top().entry;
+}
+
+}  // namespace parm::sched

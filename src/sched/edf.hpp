@@ -1,0 +1,62 @@
+// Earliest-deadline-first scheduling support (paper section 4.2).
+//
+// After mapping, PARM schedules the tasks of an application with EDF,
+// assigning each task a deadline derived from the application deadline via
+// the task-graph technique of [23]: a task's deadline is the application
+// deadline scaled by its cumulative critical-path fraction, so upstream
+// tasks get proportionally earlier deadlines.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "appmodel/application.hpp"
+
+namespace parm::sched {
+
+/// Per-task absolute deadlines (seconds), index-aligned with the variant's
+/// tasks. `app_deadline_s` is the absolute application deadline;
+/// `app_start_s` is when execution begins.
+std::vector<double> assign_task_deadlines(
+    const appmodel::DopVariant& variant, double app_start_s,
+    double app_deadline_s);
+
+/// A generic EDF ready-queue: pop always returns the entry with the
+/// earliest deadline; FIFO among equal deadlines (stable).
+class EdfQueue {
+ public:
+  struct Entry {
+    std::int64_t id = 0;
+    double deadline_s = 0.0;
+  };
+
+  void push(std::int64_t id, double deadline_s);
+
+  /// Removes and returns the earliest-deadline entry. Queue must be
+  /// non-empty.
+  Entry pop();
+
+  const Entry& peek() const;
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Item {
+    Entry entry;
+    std::uint64_t seq = 0;  ///< insertion order for stable ties
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.entry.deadline_s != b.entry.deadline_s) {
+        return a.entry.deadline_s > b.entry.deadline_s;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace parm::sched

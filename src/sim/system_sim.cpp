@@ -1,0 +1,523 @@
+#include "sim/system_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/units.hpp"
+#include "noc/traffic.hpp"
+#include "sched/edf.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+
+namespace parm::sim {
+
+namespace {
+
+/// FNV-1a over a sequence of quantized integers (PSN memo keys).
+class KeyHasher {
+ public:
+  void add(std::int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xffULL;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_quantized(double x, double step) {
+    add(static_cast<std::int64_t>(std::llround(x / step)));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(SimConfig cfg,
+                                 std::vector<appmodel::AppArrival> arrivals)
+    : cfg_(std::move(cfg)),
+      platform_(cfg_.platform),
+      policy_(core::make_admission_policy(cfg_.framework)),
+      queue_(cfg_.queue_max_stalls),
+      arrivals_(std::move(arrivals)),
+      psn_estimator_(platform_.technology(), cfg_.psn),
+      checkpoint_(cfg_.checkpoint),
+      rng_(cfg_.seed) {
+  PARM_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.arrival_s < b.arrival_s;
+                            }),
+             "arrivals must be sorted by time");
+  PARM_CHECK(std::is_sorted(cfg_.fault_injections.begin(),
+                            cfg_.fault_injections.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.time_s < b.time_s;
+                            }),
+             "fault injections must be sorted by time");
+  cfg_.noc.panr_occupancy_threshold = cfg_.framework.panr_threshold;
+  network_ = std::make_unique<noc::Network>(
+      platform_.mesh(), cfg_.noc,
+      noc::make_routing(cfg_.framework.routing,
+                        cfg_.framework.panr_threshold));
+  const std::size_t n = static_cast<std::size_t>(platform_.mesh().tile_count());
+  router_activity_.assign(n, 0.0);
+  tile_psn_peak_.assign(n, 0.0);
+  tile_psn_avg_.assign(n, 0.0);
+  tile_throttled_.assign(n, false);
+  noc_psn_sensor_.assign(n, 0.0);
+  outcomes_.resize(arrivals_.size());
+}
+
+SystemSimulator::~SystemSimulator() = default;
+
+void SystemSimulator::commit(const core::ServiceQueue::Admitted& adm,
+                             double now) {
+  const cmp::AppInstanceId inst = next_instance_++;
+  PARM_CHECK(platform_.ledger().reserve(inst, adm.decision.estimated_power_w),
+             "admission committed without power headroom");
+  platform_.occupy(inst, adm.decision.mapping, adm.decision.vdd);
+
+  RunningApp app;
+  app.instance = inst;
+  app.profile = adm.app.profile;
+  app.vdd = adm.decision.vdd;
+  app.dop = adm.decision.dop;
+  app.outcome_index = adm.app.id;
+  const appmodel::DopVariant& variant =
+      adm.app.profile->variant(adm.decision.dop);
+  // EDF priorities: distribute the application deadline over the APG
+  // (paper section 4.2 via [23]).
+  const std::vector<double> task_deadlines =
+      sched::assign_task_deadlines(variant, now, adm.app.deadline_s);
+  app.tasks.reserve(adm.decision.mapping.size());
+  for (const auto& p : adm.decision.mapping) {
+    RunningTask t;
+    t.index = p.task_index;
+    t.tile = p.tile;
+    t.remaining_cycles =
+        variant.tasks[static_cast<std::size_t>(p.task_index)].work_cycles;
+    t.activity = p.activity;
+    t.phase = rng_.uniform01();
+    t.progress_rate_cps = platform_.vf_model().fmax(adm.decision.vdd);
+    t.edf_deadline_s =
+        task_deadlines[static_cast<std::size_t>(p.task_index)];
+    app.tasks.push_back(t);
+  }
+  running_.push_back(std::move(app));
+
+  AppOutcome& out = outcomes_[static_cast<std::size_t>(adm.app.id)];
+  out.admitted = true;
+  out.admit_s = now;
+  out.vdd = adm.decision.vdd;
+  out.dop = adm.decision.dop;
+}
+
+void SystemSimulator::admit_pending(double now) {
+  const std::size_t dropped_before = queue_.dropped().size();
+  while (auto adm = queue_.pump(now, platform_, *policy_)) {
+    commit(*adm, now);
+  }
+  // Mirror newly dropped apps into their outcome records.
+  for (std::size_t i = dropped_before; i < queue_.dropped().size(); ++i) {
+    const auto& app = queue_.dropped()[i];
+    AppOutcome& out = outcomes_[static_cast<std::size_t>(app.id)];
+    out.dropped = true;
+  }
+}
+
+std::vector<noc::TrafficFlow> SystemSimulator::build_flows() const {
+  std::vector<noc::TrafficFlow> flows;
+  for (const RunningApp& app : running_) {
+    const appmodel::DopVariant& variant = app.profile->variant(app.dop);
+    std::vector<TileId> tile_of(variant.tasks.size(), kInvalidTile);
+    std::vector<bool> done(variant.tasks.size(), false);
+    std::vector<double> rate_of(variant.tasks.size(), 0.0);
+    for (const RunningTask& t : app.tasks) {
+      tile_of[static_cast<std::size_t>(t.index)] = t.tile;
+      done[static_cast<std::size_t>(t.index)] = t.done();
+      rate_of[static_cast<std::size_t>(t.index)] = t.progress_rate_cps;
+    }
+    for (const auto& e : variant.graph.edges()) {
+      if (done[static_cast<std::size_t>(e.src)]) continue;
+      const TileId src = tile_of[static_cast<std::size_t>(e.src)];
+      const TileId dst = tile_of[static_cast<std::size_t>(e.dst)];
+      if (src == dst || src == kInvalidTile || dst == kInvalidTile) continue;
+      // The edge's total volume drains over the source task's lifetime:
+      // flits/s = volume × (source's achieved progress rate) / source
+      // work. Using the achieved rate (not fmax) models the core
+      // self-throttling when it stalls on the network — saturation
+      // lowers injection, which is what keeps real wormhole NoCs stable.
+      const double src_work =
+          variant.tasks[static_cast<std::size_t>(e.src)].work_cycles;
+      const double rate_fps =
+          e.volume_flits * rate_of[static_cast<std::size_t>(e.src)] /
+          src_work;
+      noc::TrafficFlow flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.flits_per_cycle = rate_fps / units::kRefClockHz;
+      flow.app_id = static_cast<std::int32_t>(app.instance);
+      flows.push_back(flow);
+    }
+  }
+  return flows;
+}
+
+void SystemSimulator::sample_noc() {
+  std::vector<noc::TrafficFlow> flows = build_flows();
+  if (flows.empty()) {
+    std::fill(router_activity_.begin(), router_activity_.end(), 0.0);
+    app_latency_.clear();
+    return;
+  }
+  network_->set_tile_psn(noc_psn_sensor_);
+  noc::TrafficGenerator traffic(std::move(flows));
+  const noc::WindowResult w =
+      noc::run_window(*network_, traffic, cfg_.noc_window);
+  router_activity_ = w.router_activity;
+  app_latency_ = w.app_latency;
+  if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);
+  epoch_noc_latency_ = w.avg_latency;
+  for (RunningApp& app : running_) {
+    auto it = app_latency_.find(static_cast<std::int32_t>(app.instance));
+    if (it != app_latency_.end()) app.latency_cycles = it->second;
+  }
+}
+
+void SystemSimulator::sample_psn() {
+  const power::CorePowerModel core_model(platform_.technology());
+  const power::RouterPowerModel router_model(platform_.technology());
+  const MeshGeometry& mesh = platform_.mesh();
+  const bool panr =
+      cfg_.framework.routing == "PANR";  // adds router logic power
+
+  // Proactive guard: last epoch's sensor readings decide which tiles run
+  // throttled during this epoch (both their current draw and progress).
+  if (cfg_.proactive_throttle) {
+    const double limit = platform_.config().ve_threshold_percent -
+                         cfg_.throttle_guard_percent;
+    for (std::size_t t = 0; t < tile_throttled_.size(); ++t) {
+      tile_throttled_[t] = tile_psn_peak_[t] > limit;
+      if (tile_throttled_[t]) ++total_throttle_epochs_;
+    }
+  }
+
+  double chip_power = 0.0;
+  epoch_peak_psn_ = 0.0;
+  RunningStats epoch_domain_psn;
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    const double vdd =
+        platform_.domain_vdd(d).value_or(cfg_.dark_router_vdd);
+
+    std::array<pdn::TileLoad, 4> loads{};
+    bool any_load = false;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const TileId t = tiles[k];
+      const auto& asg = platform_.tile(t);
+      double i_avg = 0.0;
+      double modulation = 0.0;
+      double phase = 0.25;
+      if (asg.app != cmp::kNoApp) {
+        const double f = platform_.vf_model().fmax(vdd);
+        double core_i = core_model.supply_current(vdd, f, asg.activity);
+        if (tile_throttled_[static_cast<std::size_t>(t)]) {
+          core_i *= cfg_.throttle_factor;
+        }
+        i_avg += core_i;
+        modulation = pdn::activity_to_modulation(asg.activity);
+        // Phase of the owning task's ripple.
+        for (const RunningApp& app : running_) {
+          if (app.instance != asg.app) continue;
+          for (const RunningTask& rt : app.tasks) {
+            if (rt.tile == t) phase = rt.phase;
+          }
+        }
+      }
+      const double flit_rate =
+          router_activity_[static_cast<std::size_t>(t)] *
+          units::kRefClockHz;
+      if (flit_rate > 0.0 || asg.app != cmp::kNoApp) {
+        i_avg += router_model.supply_current(vdd, flit_rate, panr);
+        if (modulation == 0.0 && flit_rate > 1e6) modulation = 0.2;
+      }
+      chip_power += i_avg * vdd;
+      if (i_avg > 0.0) any_load = true;
+      loads[k] = pdn::TileLoad{i_avg, modulation, phase};
+    }
+
+    pdn::DomainPsn psn;
+    if (any_load) {
+      KeyHasher key;
+      key.add_quantized(vdd, 0.01);
+      for (const auto& l : loads) {
+        key.add_quantized(l.i_avg, 0.002);
+        key.add_quantized(l.modulation, 0.02);
+        key.add_quantized(l.phase, 0.05);
+      }
+      auto it = psn_cache_.find(key.value());
+      if (it != psn_cache_.end()) {
+        psn = it->second;
+      } else {
+        // Quantize the loads the same way the key does, so cache hits and
+        // misses see identical physics.
+        std::array<pdn::TileLoad, 4> q = loads;
+        for (auto& l : q) {
+          l.i_avg = std::round(l.i_avg / 0.002) * 0.002;
+          l.modulation = std::round(l.modulation / 0.02) * 0.02;
+          l.phase = std::round(l.phase / 0.05) * 0.05;
+        }
+        psn = psn_estimator_.estimate(vdd, q);
+        psn_cache_.emplace(key.value(), psn);
+      }
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      tile_psn_peak_[static_cast<std::size_t>(tiles[k])] =
+          psn.tiles[k].peak_percent;
+      tile_psn_avg_[static_cast<std::size_t>(tiles[k])] =
+          psn.tiles[k].avg_percent;
+      noc_psn_sensor_[static_cast<std::size_t>(tiles[k])] =
+          psn.peak_percent;
+    }
+    // Only powered (occupied) domains contribute to the chip PSN figures,
+    // matching the paper's "PSN observed" in active regions.
+    if (platform_.domain_vdd(d).has_value()) {
+      psn_peak_stats_.add(psn.peak_percent);
+      psn_avg_stats_.add(psn.avg_percent);
+      epoch_peak_psn_ = std::max(epoch_peak_psn_, psn.peak_percent);
+      epoch_domain_psn.add(psn.avg_percent);
+    }
+  }
+  platform_.set_tile_psn(tile_psn_peak_);
+  chip_power_stats_.add(chip_power);
+  epoch_avg_psn_ = epoch_domain_psn.mean();
+  epoch_chip_power_ = chip_power;
+}
+
+void SystemSimulator::apply_emergencies_and_progress(double now) {
+  const double margin = platform_.config().ve_threshold_percent;
+  epoch_ves_ = 0;
+  // Collect the tiles with a forced (injected) emergency this epoch.
+  std::vector<TileId> forced;
+  while (next_fault_ < cfg_.fault_injections.size() &&
+         cfg_.fault_injections[next_fault_].time_s <
+             now + cfg_.epoch_s) {
+    if (cfg_.fault_injections[next_fault_].time_s >= now) {
+      forced.push_back(cfg_.fault_injections[next_fault_].tile);
+    }
+    ++next_fault_;
+  }
+  for (RunningApp& app : running_) {
+    const appmodel::BenchmarkProfile& bench = app.profile->benchmark();
+    const double f = platform_.vf_model().fmax(app.vdd);
+    const double packets_per_work_cycle =
+        bench.comm_intensity / 1000.0 /
+        static_cast<double>(cfg_.noc.flits_per_packet);
+    // Packet latency is measured in NoC cycles (1 GHz). A core running at
+    // f waits latency × f/1GHz of *its own* cycles per blocking packet —
+    // fast cores burn proportionally more cycles per network round trip.
+    const double stall_per_work = cfg_.stall_alpha * app.latency_cycles *
+                                  (f / units::kRefClockHz) *
+                                  packets_per_work_cycle;
+    AppOutcome& out = outcomes_[static_cast<std::size_t>(app.outcome_index)];
+
+    for (RunningTask& task : app.tasks) {
+      if (task.done()) continue;
+      const std::size_t ti = static_cast<std::size_t>(task.tile);
+      const double peak = tile_psn_peak_[ti];
+      const double avg = tile_psn_avg_[ti];
+
+      const bool injected =
+          std::find(forced.begin(), forced.end(), task.tile) !=
+          forced.end();
+      task.hot_epochs = peak > margin ? task.hot_epochs + 1 : 0;
+      if (injected || peak > margin) {
+        const double p =
+            injected ? 1.0
+                     : std::min(cfg_.ve_probability_cap,
+                                cfg_.ve_probability_slope *
+                                    (peak - margin));
+        if (rng_.bernoulli(p)) {
+          // Voltage emergency: roll back to the checkpoint taken at the
+          // start of this epoch — the epoch's progress is lost and the
+          // restart penalty is added. A restarting core barely injects.
+          task.remaining_cycles += checkpoint_.config().rollback_cycles;
+          task.progress_rate_cps = 0.05 * f;
+          ++out.ve_count;
+          ++total_ves_;
+          ++epoch_ves_;
+          continue;
+        }
+      }
+      double derate = std::max(
+          0.2, 1.0 - cfg_.psn_slowdown_per_percent * avg);
+      if (tile_throttled_[ti]) derate *= cfg_.throttle_factor;
+      const double progress_rate = f * derate / (1.0 + stall_per_work);
+      task.progress_rate_cps = progress_rate;
+      const double progress =
+          progress_rate * cfg_.epoch_s - checkpoint_.config().checkpoint_cycles;
+      task.remaining_cycles -= std::max(0.0, progress);
+      if (task.done() && task.finish_s < 0.0) {
+        task.finish_s = now + cfg_.epoch_s;
+      }
+    }
+  }
+}
+
+void SystemSimulator::migrate_hot_tasks() {
+  for (RunningApp& app : running_) {
+    // At most one migration per app per epoch: move the hottest
+    // persistently-stressed task to the coolest free domain.
+    RunningTask* worst = nullptr;
+    for (RunningTask& task : app.tasks) {
+      if (task.done() || task.hot_epochs < cfg_.migration_hot_epochs) {
+        continue;
+      }
+      if (worst == nullptr ||
+          tile_psn_peak_[static_cast<std::size_t>(task.tile)] >
+              tile_psn_peak_[static_cast<std::size_t>(worst->tile)]) {
+        worst = &task;
+      }
+    }
+    if (worst == nullptr) continue;
+    const std::vector<DomainId> free = platform_.free_domains();
+    if (free.empty()) continue;
+    // Closest free domain to the task's current one keeps paths short.
+    DomainId best = free.front();
+    double best_dist = 1e18;
+    const DomainId from_d = platform_.mesh().domain_of(worst->tile);
+    for (DomainId d : free) {
+      const double dist = platform_.mesh().domain_distance(d, from_d);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = d;
+      }
+    }
+    const TileId target = platform_.mesh().domain_tiles(best)[0];
+    platform_.migrate(app.instance, worst->tile, target);
+    worst->tile = target;
+    worst->remaining_cycles += cfg_.migration_cost_cycles;
+    worst->hot_epochs = 0;
+    ++total_migrations_;
+  }
+}
+
+bool SystemSimulator::finish_completed_apps(double now) {
+  bool any = false;
+  for (auto it = running_.begin(); it != running_.end();) {
+    const bool done = std::all_of(it->tasks.begin(), it->tasks.end(),
+                                  [](const RunningTask& t) {
+                                    return t.done();
+                                  });
+    if (!done) {
+      ++it;
+      continue;
+    }
+    platform_.release(it->instance);
+    platform_.ledger().release(it->instance);
+    AppOutcome& out = outcomes_[static_cast<std::size_t>(it->outcome_index)];
+    out.completed = true;
+    out.finish_s = now;
+    out.missed_deadline = now > out.deadline_s;
+    for (const RunningTask& task : it->tasks) {
+      if (task.finish_s > task.edf_deadline_s) ++out.task_deadline_misses;
+    }
+    it = running_.erase(it);
+    any = true;
+  }
+  return any;
+}
+
+SimResult SystemSimulator::run() {
+  // Initialize outcome records from the arrival list.
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    const auto& a = arrivals_[i];
+    PARM_CHECK(a.id >= 0 &&
+                   static_cast<std::size_t>(a.id) < outcomes_.size(),
+               "arrival ids must be dense 0..N-1");
+    AppOutcome& out = outcomes_[static_cast<std::size_t>(a.id)];
+    out.id = a.id;
+    out.bench = a.bench->name;
+    out.arrival_s = a.arrival_s;
+    out.deadline_s = a.deadline_s;
+  }
+
+  double t = 0.0;
+  std::uint64_t epoch = 0;
+  SimResult result;
+  while (true) {
+    while (next_arrival_ < arrivals_.size() &&
+           arrivals_[next_arrival_].arrival_s <= t + 1e-12) {
+      queue_.enqueue(arrivals_[next_arrival_]);
+      ++next_arrival_;
+      admit_pending(t);
+    }
+    admit_pending(t);
+
+    if (epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) == 0) {
+      sample_noc();
+    }
+    sample_psn();
+    apply_emergencies_and_progress(t);
+    if (cfg_.enable_migration) migrate_hot_tasks();
+
+    if (cfg_.record_telemetry) {
+      EpochSample sample;
+      sample.time_s = t;
+      sample.peak_psn_percent = epoch_peak_psn_;
+      sample.avg_psn_percent = epoch_avg_psn_;
+      sample.chip_power_w = epoch_chip_power_;
+      sample.running_apps = static_cast<std::int32_t>(running_.size());
+      sample.queued_apps = static_cast<std::int32_t>(queue_.size());
+      sample.busy_tiles = platform_.mesh().tile_count() -
+                          platform_.free_tile_count();
+      sample.noc_latency_cycles = epoch_noc_latency_;
+      sample.ve_count = epoch_ves_;
+      telemetry_.record(sample);
+    }
+
+    t += cfg_.epoch_s;
+    ++epoch;
+    if (finish_completed_apps(t)) {
+      admit_pending(t);  // Alg. 1 line 9: retry on app exit
+    }
+
+    const bool idle = next_arrival_ == arrivals_.size() &&
+                      queue_.empty() && running_.empty();
+    if (idle) break;
+    if (t >= cfg_.max_sim_time_s) {
+      result.timed_out = !running_.empty() || !queue_.empty() ||
+                         next_arrival_ < arrivals_.size();
+      break;
+    }
+  }
+
+  result.apps = outcomes_;
+  for (const AppOutcome& o : outcomes_) {
+    if (o.completed) {
+      ++result.completed_count;
+      result.makespan_s = std::max(result.makespan_s, o.finish_s);
+    }
+    if (o.dropped) ++result.dropped_count;
+  }
+  result.peak_psn_percent = psn_peak_stats_.max();
+  result.avg_psn_percent = psn_avg_stats_.mean();
+  result.total_ve_count = total_ves_;
+  result.avg_noc_latency_cycles = latency_stats_.mean();
+  result.peak_chip_power_w = chip_power_stats_.max();
+  result.avg_chip_power_w = chip_power_stats_.mean();
+  result.throttle_tile_epochs = total_throttle_epochs_;
+  result.migration_count = total_migrations_;
+  result.total_energy_j = chip_power_stats_.mean() *
+                          static_cast<double>(chip_power_stats_.count()) *
+                          cfg_.epoch_s;
+  result.energy_per_completed_app_j =
+      result.completed_count > 0
+          ? result.total_energy_j / result.completed_count
+          : 0.0;
+  result.telemetry = telemetry_;
+  return result;
+}
+
+}  // namespace parm::sim

@@ -1,0 +1,42 @@
+// Per-epoch telemetry of a system-simulation run.
+//
+// When enabled (SimConfig::record_telemetry) the simulator records one
+// sample per control epoch: the PSN envelope, chip power, queue and
+// occupancy state, and the epoch's voltage emergencies. The time series
+// is the raw material for plotting runs (see
+// examples/oversubscribed_server and TelemetryRecorder::write_csv).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace parm::sim {
+
+struct EpochSample {
+  double time_s = 0.0;
+  double peak_psn_percent = 0.0;  ///< max over powered domains this epoch
+  double avg_psn_percent = 0.0;   ///< mean over powered domains
+  double chip_power_w = 0.0;
+  std::int32_t running_apps = 0;
+  std::int32_t queued_apps = 0;
+  std::int32_t busy_tiles = 0;
+  double noc_latency_cycles = 0.0;  ///< last NoC window's average
+  std::int32_t ve_count = 0;        ///< emergencies raised this epoch
+};
+
+class TelemetryRecorder {
+ public:
+  void record(const EpochSample& sample) { samples_.push_back(sample); }
+
+  const std::vector<EpochSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Writes the series as CSV with a header row.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<EpochSample> samples_;
+};
+
+}  // namespace parm::sim

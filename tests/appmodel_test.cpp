@@ -1,0 +1,315 @@
+// Unit tests for parm_appmodel: task graphs, the 13-benchmark suite,
+// offline application profiles, and workload-sequence generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "appmodel/application.hpp"
+#include "appmodel/benchmarks.hpp"
+#include "appmodel/task_graph.hpp"
+#include "appmodel/workload.hpp"
+#include "common/check.hpp"
+#include "power/technology.hpp"
+
+namespace parm::appmodel {
+namespace {
+
+// -------------------------------------------------------------- task graph
+
+TEST(TaskGraph, GeneratorsProduceValidDags) {
+  Rng rng(42);
+  for (GraphShape shape : {GraphShape::Pipeline, GraphShape::Butterfly,
+                           GraphShape::Tree, GraphShape::Random}) {
+    for (TaskIndex n : {4, 8, 16, 32}) {
+      const TaskGraph g = TaskGraph::generate(shape, n, 100.0, rng);
+      EXPECT_EQ(g.task_count(), n);
+      EXPECT_TRUE(g.validate()) << to_string(shape) << " n=" << n;
+      EXPECT_GT(g.total_volume(), 0.0);
+      for (const auto& e : g.edges()) {
+        EXPECT_LT(e.src, e.dst);  // generator invariant
+      }
+    }
+  }
+}
+
+TEST(TaskGraph, ButterflyHasLogStages) {
+  Rng rng(1);
+  const TaskGraph g = TaskGraph::generate(GraphShape::Butterfly, 8, 1.0,
+                                          rng);
+  // 8 tasks → 3 stages × 4 pairs = 12 edges.
+  EXPECT_EQ(g.edges().size(), 12u);
+}
+
+TEST(TaskGraph, TreeHasNminus1Edges) {
+  Rng rng(1);
+  const TaskGraph g = TaskGraph::generate(GraphShape::Tree, 16, 1.0, rng);
+  EXPECT_EQ(g.edges().size(), 15u);
+}
+
+TEST(TaskGraph, EdgesSortedByDecreasingVolume) {
+  Rng rng(3);
+  const TaskGraph g =
+      TaskGraph::generate(GraphShape::Random, 16, 50.0, rng);
+  const auto sorted = g.edges_by_decreasing_volume();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i - 1].volume_flits, sorted[i].volume_flits);
+  }
+  EXPECT_EQ(sorted.size(), g.edges().size());
+}
+
+TEST(TaskGraph, ValidateRejectsCycles) {
+  std::vector<ApgEdge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  EXPECT_THROW(TaskGraph(3, edges), CheckError);
+}
+
+TEST(TaskGraph, ValidateRejectsBadIds) {
+  EXPECT_THROW(TaskGraph(2, {{0, 5, 1.0}}), CheckError);
+  EXPECT_THROW(TaskGraph(2, {{0, 0, 1.0}}), CheckError);
+  EXPECT_THROW(TaskGraph(2, {{0, 1, -1.0}}), CheckError);
+}
+
+TEST(TaskGraph, AcceptsNonTopologicalEdgeOrderWithoutCycle) {
+  // dst < src is fine as long as the graph is acyclic.
+  const TaskGraph g(3, {{2, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(TaskGraph, IncidentVolume) {
+  const TaskGraph g(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  EXPECT_DOUBLE_EQ(g.incident_volume(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.incident_volume(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.total_volume(), 5.0);
+}
+
+// -------------------------------------------------------------- benchmarks
+
+TEST(Benchmarks, SuiteHasThirteenApps) {
+  EXPECT_EQ(benchmark_suite().size(), 13u);
+  std::set<std::string> names;
+  for (const auto& b : benchmark_suite()) names.insert(b.name);
+  EXPECT_EQ(names.size(), 13u);  // unique names
+}
+
+TEST(Benchmarks, PaperGroupsMatch) {
+  // Paper section 5.1 group membership; radix appears in both.
+  const auto comm = benchmarks_of_kind(WorkloadKind::CommunicationIntensive);
+  const auto comp = benchmarks_of_kind(WorkloadKind::ComputeIntensive);
+  EXPECT_EQ(comm.size(), 7u);
+  EXPECT_EQ(comp.size(), 7u);
+  auto has = [](const auto& v, const std::string& n) {
+    for (const auto* b : v) {
+      if (b->name == n) return true;
+    }
+    return false;
+  };
+  for (const char* n :
+       {"cholesky", "fft", "radix", "raytrace", "dedup", "canneal", "vips"}) {
+    EXPECT_TRUE(has(comm, n)) << n;
+  }
+  for (const char* n : {"swaptions", "fluidanimate", "streamcluster",
+                        "blackscholes", "radix", "bodytrack", "radiosity"}) {
+    EXPECT_TRUE(has(comp, n)) << n;
+  }
+}
+
+TEST(Benchmarks, CommAppsInjectMoreThanComputeApps) {
+  double comm_min = 1e9, comp_max = 0.0;
+  for (const auto& b : benchmark_suite()) {
+    if (b.kind == WorkloadKind::CommunicationIntensive) {
+      comm_min = std::min(comm_min, b.comm_intensity);
+    }
+    if (b.kind == WorkloadKind::ComputeIntensive) {
+      comp_max = std::max(comp_max, b.comm_intensity);
+    }
+  }
+  EXPECT_GT(comm_min, comp_max);
+}
+
+TEST(Benchmarks, LookupByName) {
+  EXPECT_EQ(benchmark_by_name("fft").shape, GraphShape::Butterfly);
+  EXPECT_THROW(benchmark_by_name("doom"), CheckError);
+}
+
+TEST(Benchmarks, MaxDopsAreValid) {
+  for (const auto& b : benchmark_suite()) {
+    EXPECT_GE(b.max_dop, 4);
+    EXPECT_LE(b.max_dop, 32);
+    EXPECT_EQ(b.max_dop % 4, 0);
+  }
+}
+
+// ---------------------------------------------------------------- profiles
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  const BenchmarkProfile& bench_ = benchmark_by_name("fft");
+  ApplicationProfile profile_{bench_, 1234};
+  power::VoltageFrequencyModel vf_{power::technology_node(7)};
+  power::CorePowerModel core_{power::technology_node(7)};
+  power::RouterPowerModel router_{power::technology_node(7)};
+};
+
+TEST_F(ProfileTest, PermittedDopsAreMultiplesOf4) {
+  for (int d : profile_.dops()) {
+    EXPECT_EQ(d % 4, 0);
+    EXPECT_GE(d, 4);
+    EXPECT_LE(d, bench_.max_dop);
+  }
+  EXPECT_EQ(profile_.dops().front(), 4);
+  EXPECT_EQ(profile_.dops().back(), bench_.max_dop);
+}
+
+TEST_F(ProfileTest, VariantsMatchDop) {
+  for (int d : profile_.dops()) {
+    const DopVariant& v = profile_.variant(d);
+    EXPECT_EQ(v.dop, d);
+    EXPECT_EQ(static_cast<int>(v.tasks.size()), d);
+    EXPECT_EQ(v.graph.task_count(), d);
+    EXPECT_TRUE(v.graph.validate());
+  }
+  EXPECT_THROW(profile_.variant(5), CheckError);
+}
+
+TEST_F(ProfileTest, WcetDecreasesWithVdd) {
+  for (int d : profile_.dops()) {
+    double prev = 1e18;
+    for (double v : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+      const double w = profile_.wcet_seconds(v, d, vf_);
+      EXPECT_LT(w, prev);
+      prev = w;
+    }
+  }
+}
+
+TEST_F(ProfileTest, WcetDecreasesWithDopUpToMax) {
+  // With the paper's sync-overhead model, WCET improves monotonically up
+  // to the benchmark's max useful DoP.
+  double prev = 1e18;
+  for (int d : profile_.dops()) {
+    const double w = profile_.wcet_seconds(0.6, d, vf_);
+    EXPECT_LT(w, prev) << "dop " << d;
+    prev = w;
+  }
+}
+
+TEST_F(ProfileTest, PowerGrowsWithVddAndDop) {
+  EXPECT_LT(profile_.estimated_power_w(0.4, 8, vf_, core_, router_),
+            profile_.estimated_power_w(0.6, 8, vf_, core_, router_));
+  EXPECT_LT(profile_.estimated_power_w(0.5, 8, vf_, core_, router_),
+            profile_.estimated_power_w(0.5, 16, vf_, core_, router_));
+}
+
+TEST_F(ProfileTest, DeterministicInSeed) {
+  ApplicationProfile a(bench_, 777), b(bench_, 777), c(bench_, 778);
+  const auto& va = a.variant(8);
+  const auto& vb = b.variant(8);
+  const auto& vc = c.variant(8);
+  for (std::size_t i = 0; i < va.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(va.tasks[i].work_cycles, vb.tasks[i].work_cycles);
+    EXPECT_DOUBLE_EQ(va.tasks[i].activity, vb.tasks[i].activity);
+  }
+  // Different seed should perturb at least one task.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < va.tasks.size(); ++i) {
+    any_diff |= va.tasks[i].work_cycles != vc.tasks[i].work_cycles;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ProfileTest, GraphVolumeMatchesCommIntensity) {
+  const DopVariant& v = profile_.variant(16);
+  double total_work = 0;
+  for (const auto& t : v.tasks) total_work += t.work_cycles;
+  EXPECT_NEAR(v.graph.total_volume(),
+              total_work * bench_.comm_intensity / 1000.0,
+              v.graph.total_volume() * 1e-9);
+}
+
+TEST_F(ProfileTest, ActivitiesWithinConfiguredSpread) {
+  for (int d : profile_.dops()) {
+    for (const auto& t : profile_.variant(d).tasks) {
+      EXPECT_GE(t.activity,
+                bench_.base_activity - bench_.activity_spread - 1e-9);
+      EXPECT_LE(t.activity,
+                bench_.base_activity + bench_.activity_spread + 1e-9);
+    }
+  }
+}
+
+TEST_F(ProfileTest, InjectionRateScalesWithFrequency) {
+  const double r4 = profile_.task_injection_rate(0.4, 8, vf_);
+  const double r8 = profile_.task_injection_rate(0.8, 8, vf_);
+  EXPECT_NEAR(r8 / r4, vf_.fmax(0.8) / vf_.fmax(0.4), 1e-9);
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST(Workload, SequenceBasics) {
+  SequenceConfig cfg;
+  cfg.kind = SequenceKind::Compute;
+  cfg.app_count = 20;
+  cfg.inter_arrival_s = 0.1;
+  cfg.seed = 9;
+  const auto seq = make_sequence(cfg);
+  ASSERT_EQ(seq.size(), 20u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].id, static_cast<int>(i));
+    EXPECT_NEAR(seq[i].arrival_s, 0.1 * static_cast<double>(i), 1e-12);
+    EXPECT_GT(seq[i].deadline_s, seq[i].arrival_s);
+    ASSERT_NE(seq[i].bench, nullptr);
+    ASSERT_NE(seq[i].profile, nullptr);
+    // Compute sequences draw only from the compute group (or radix).
+    EXPECT_NE(seq[i].bench->kind, WorkloadKind::CommunicationIntensive);
+  }
+}
+
+TEST(Workload, CommunicationSequencesUseCommGroup) {
+  SequenceConfig cfg;
+  cfg.kind = SequenceKind::Communication;
+  cfg.app_count = 30;
+  const auto seq = make_sequence(cfg);
+  for (const auto& a : seq) {
+    EXPECT_NE(a.bench->kind, WorkloadKind::ComputeIntensive);
+  }
+}
+
+TEST(Workload, DeterministicInSeed) {
+  SequenceConfig cfg;
+  cfg.seed = 5;
+  const auto a = make_sequence(cfg);
+  const auto b = make_sequence(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bench->name, b[i].bench->name);
+    EXPECT_DOUBLE_EQ(a[i].deadline_s, b[i].deadline_s);
+  }
+}
+
+TEST(Workload, MixedDrawsFromBothGroups) {
+  SequenceConfig cfg;
+  cfg.kind = SequenceKind::Mixed;
+  cfg.app_count = 60;
+  cfg.seed = 31;
+  const auto seq = make_sequence(cfg);
+  bool any_comm = false, any_comp = false;
+  for (const auto& a : seq) {
+    any_comm |= a.bench->kind == WorkloadKind::CommunicationIntensive;
+    any_comp |= a.bench->kind == WorkloadKind::ComputeIntensive;
+  }
+  EXPECT_TRUE(any_comm);
+  EXPECT_TRUE(any_comp);
+}
+
+TEST(Workload, InvalidConfigThrows) {
+  SequenceConfig cfg;
+  cfg.app_count = 0;
+  EXPECT_THROW(make_sequence(cfg), CheckError);
+  cfg.app_count = 5;
+  cfg.inter_arrival_s = 0.0;
+  EXPECT_THROW(make_sequence(cfg), CheckError);
+  cfg.inter_arrival_s = 0.1;
+  cfg.deadline_slack_min = 0.5;
+  EXPECT_THROW(make_sequence(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace parm::appmodel

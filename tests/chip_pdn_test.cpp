@@ -1,0 +1,93 @@
+// Tests for the chip-level (shared-rail) PDN model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "pdn/chip_pdn.hpp"
+#include "power/technology.hpp"
+
+namespace parm::pdn {
+namespace {
+
+const power::TechnologyNode& tech7() {
+  return power::technology_node(7);
+}
+
+std::vector<std::array<TileLoad, 4>> aggressor_victims(int domains) {
+  std::vector<std::array<TileLoad, 4>> loads(
+      static_cast<std::size_t>(domains));
+  for (std::size_t k = 0; k < 4; ++k) {
+    loads[0][k] = {0.35, 0.75, 0.0};
+    for (std::size_t d = 1; d < loads.size(); ++d) {
+      loads[d][k] = {0.12, 0.35, 0.3};
+    }
+  }
+  return loads;
+}
+
+TEST(ChipPdn, ZeroRailMatchesIsolatedDomains) {
+  // With no shared impedance, each domain of the chip solve must agree
+  // with the standalone per-domain estimator (the regression identity).
+  const ChipPdnModel chip(tech7(), 3, PackageRail{0.0, 0.0});
+  const auto loads = aggressor_victims(3);
+  const ChipPsn chip_psn = chip.estimate(0.4, loads);
+
+  const PsnEstimator isolated(tech7());
+  for (std::size_t d = 0; d < 3; ++d) {
+    const DomainPsn alone = isolated.estimate(0.4, loads[d]);
+    EXPECT_NEAR(chip_psn.domains[d].peak_percent, alone.peak_percent,
+                0.05)
+        << "domain " << d;
+    EXPECT_NEAR(chip_psn.domains[d].avg_percent, alone.avg_percent, 0.05);
+  }
+}
+
+TEST(ChipPdn, SharedRailCouplesAggressorIntoVictims) {
+  const auto loads = aggressor_victims(4);
+  const ChipPdnModel ideal(tech7(), 4, PackageRail{0.0, 0.0});
+  const ChipPdnModel shared(tech7(), 4, PackageRail{1e-3, 6e-12});
+  const ChipPsn p_ideal = ideal.estimate(0.4, loads);
+  const ChipPsn p_shared = shared.estimate(0.4, loads);
+  // Victims get measurably noisier through the shared rail.
+  for (std::size_t d = 1; d < 4; ++d) {
+    EXPECT_GT(p_shared.domains[d].peak_percent,
+              p_ideal.domains[d].peak_percent * 1.3)
+        << "victim domain " << d;
+  }
+  // The aggressor also sees its own rail drop.
+  EXPECT_GT(p_shared.domains[0].peak_percent,
+            p_ideal.domains[0].peak_percent);
+}
+
+TEST(ChipPdn, CouplingGrowsWithRailImpedance) {
+  const auto loads = aggressor_victims(4);
+  double prev = 0.0;
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    const ChipPdnModel chip(
+        tech7(), 4, PackageRail{scale * 1e-3, scale * 6e-12});
+    const ChipPsn psn = chip.estimate(0.4, loads);
+    const double victim = psn.domains[1].peak_percent;
+    EXPECT_GT(victim, prev);
+    prev = victim;
+  }
+}
+
+TEST(ChipPdn, Validation) {
+  EXPECT_THROW(ChipPdnModel(tech7(), 0, PackageRail{}), CheckError);
+  EXPECT_THROW(ChipPdnModel(tech7(), 2, PackageRail{-1.0, 0.0}),
+               CheckError);
+  const ChipPdnModel chip(tech7(), 2, PackageRail{});
+  EXPECT_THROW(chip.estimate(0.4, aggressor_victims(3)), CheckError);
+  EXPECT_THROW(chip.estimate(-1.0, aggressor_victims(2)), CheckError);
+}
+
+TEST(ChipPdn, SingleDomainChipWorks) {
+  const ChipPdnModel chip(tech7(), 1, PackageRail{});
+  std::vector<std::array<TileLoad, 4>> loads(1);
+  loads[0][0] = {0.3, 0.6, 0.0};
+  const ChipPsn psn = chip.estimate(0.4, loads);
+  EXPECT_GT(psn.peak_percent, 0.0);
+  EXPECT_EQ(psn.domains.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parm::pdn

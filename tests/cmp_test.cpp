@@ -1,0 +1,159 @@
+// Unit tests for parm_cmp: platform occupancy, domain DVS bookkeeping,
+// dark-silicon ledger integration, and PSN sensors.
+#include <gtest/gtest.h>
+
+#include "cmp/platform.hpp"
+#include "common/check.hpp"
+
+namespace parm::cmp {
+namespace {
+
+Platform make_platform() { return Platform(PlatformConfig{}); }
+
+TEST(Platform, PaperDefaults) {
+  const Platform p = make_platform();
+  EXPECT_EQ(p.mesh().tile_count(), 60);
+  EXPECT_EQ(p.mesh().domain_count(), 15);
+  EXPECT_EQ(p.technology().feature_nm, 7);
+  EXPECT_DOUBLE_EQ(p.ledger().budget(), 65.0);
+  EXPECT_EQ(p.config().vdd_levels.size(), 5u);
+  EXPECT_EQ(p.free_tile_count(), 60);
+  EXPECT_EQ(p.free_domain_count(), 15);
+}
+
+TEST(Platform, OccupyAndRelease) {
+  Platform p = make_platform();
+  const auto tiles = p.mesh().domain_tiles(3);
+  std::vector<Platform::Placement> places;
+  for (int i = 0; i < 4; ++i) {
+    places.push_back({i, tiles[static_cast<std::size_t>(i)], 0.7});
+  }
+  p.occupy(1, places, 0.5);
+  EXPECT_EQ(p.free_tile_count(), 56);
+  EXPECT_FALSE(p.domain_free(3));
+  EXPECT_EQ(p.domain_vdd(3), 0.5);
+  EXPECT_EQ(p.tile(tiles[0]).app, 1);
+  EXPECT_EQ(p.tile(tiles[0]).task_index, 0);
+  EXPECT_EQ(p.tiles_of(1).size(), 4u);
+
+  p.release(1);
+  EXPECT_EQ(p.free_tile_count(), 60);
+  EXPECT_TRUE(p.domain_free(3));
+  EXPECT_FALSE(p.domain_vdd(3).has_value());  // power-gated again
+}
+
+TEST(Platform, RejectsDoubleOccupancy) {
+  Platform p = make_platform();
+  p.occupy(1, {{0, 0, 0.5}}, 0.4);
+  EXPECT_THROW(p.occupy(2, {{0, 0, 0.5}}, 0.4), CheckError);
+}
+
+TEST(Platform, RejectsMixedVddInOneDomain) {
+  Platform p = make_platform();
+  const auto tiles = p.mesh().domain_tiles(0);
+  p.occupy(1, {{0, tiles[0], 0.5}}, 0.4);
+  // Same domain, different supply → contract violation.
+  EXPECT_THROW(p.occupy(2, {{0, tiles[1], 0.5}}, 0.6), CheckError);
+  // Same supply is allowed (HM-style domain sharing).
+  p.occupy(2, {{0, tiles[1], 0.5}}, 0.4);
+  EXPECT_EQ(p.domain_vdd(0), 0.4);
+}
+
+TEST(Platform, PartialReleaseKeepsDomainPowered) {
+  Platform p = make_platform();
+  const auto tiles = p.mesh().domain_tiles(0);
+  p.occupy(1, {{0, tiles[0], 0.5}}, 0.4);
+  p.occupy(2, {{0, tiles[1], 0.5}}, 0.4);
+  p.release(1);
+  EXPECT_EQ(p.domain_vdd(0), 0.4);  // app 2 still there
+  p.release(2);
+  EXPECT_FALSE(p.domain_vdd(0).has_value());
+}
+
+TEST(Platform, RejectsNonLevelVdd) {
+  Platform p = make_platform();
+  EXPECT_THROW(p.occupy(1, {{0, 0, 0.5}}, 0.45), CheckError);
+}
+
+TEST(Platform, RejectsDuplicateTilesInRequest) {
+  Platform p = make_platform();
+  EXPECT_THROW(p.occupy(1, {{0, 5, 0.5}, {1, 5, 0.5}}, 0.4), CheckError);
+}
+
+TEST(Platform, OccupyIsAtomicOnFailure) {
+  Platform p = make_platform();
+  p.occupy(1, {{0, 7, 0.5}}, 0.4);
+  // Second placement in the request collides → nothing must be committed.
+  EXPECT_THROW(p.occupy(2, {{0, 6, 0.5}, {1, 7, 0.5}}, 0.4), CheckError);
+  EXPECT_TRUE(p.tile_free(6));
+}
+
+TEST(Platform, FreeDomainEnumeration) {
+  Platform p = make_platform();
+  const auto tiles = p.mesh().domain_tiles(7);
+  p.occupy(1, {{0, tiles[2], 0.9}}, 0.4);
+  const auto free = p.free_domains();
+  EXPECT_EQ(free.size(), 14u);
+  EXPECT_EQ(std::count(free.begin(), free.end(), 7), 0);
+}
+
+TEST(Platform, SensorsRoundTripAndEmergencyFlag) {
+  Platform p = make_platform();
+  std::vector<double> psn(60, 1.0);
+  psn[13] = 6.5;
+  p.set_tile_psn(psn);
+  EXPECT_DOUBLE_EQ(p.tile_psn_of(13), 6.5);
+  EXPECT_TRUE(p.in_emergency(13));
+  EXPECT_FALSE(p.in_emergency(12));
+  EXPECT_THROW(p.set_tile_psn(std::vector<double>(59, 0.0)), CheckError);
+}
+
+TEST(Platform, MigrateMovesTaskAndRepowersDomains) {
+  Platform p = make_platform();
+  const auto from_tiles = p.mesh().domain_tiles(0);
+  p.occupy(1, {{0, from_tiles[0], 0.9}}, 0.4);
+  const auto to_tiles = p.mesh().domain_tiles(5);
+
+  p.migrate(1, from_tiles[0], to_tiles[2]);
+  EXPECT_TRUE(p.tile_free(from_tiles[0]));
+  EXPECT_EQ(p.tile(to_tiles[2]).app, 1);
+  EXPECT_EQ(p.tile(to_tiles[2]).task_index, 0);
+  EXPECT_DOUBLE_EQ(p.tile(to_tiles[2]).activity, 0.9);
+  // Source domain power-gated, target powered at the app's Vdd.
+  EXPECT_FALSE(p.domain_vdd(0).has_value());
+  EXPECT_EQ(p.domain_vdd(5), 0.4);
+}
+
+TEST(Platform, MigratePreconditions) {
+  Platform p = make_platform();
+  p.occupy(1, {{0, 0, 0.9}}, 0.4);
+  p.occupy(2, {{0, 8, 0.9}}, 0.5);
+  // Not the owner.
+  EXPECT_THROW(p.migrate(2, 0, 1), CheckError);
+  // Target occupied.
+  EXPECT_THROW(p.migrate(1, 0, 8), CheckError);
+  // Target domain powered at a different Vdd (tile 9 shares app 2's
+  // domain at 0.5 V; app 1 runs at 0.4 V).
+  EXPECT_THROW(p.migrate(1, 0, 9), CheckError);
+  // Valid move within a compatible domain.
+  p.migrate(1, 0, 1);
+  EXPECT_EQ(p.tile(1).app, 1);
+}
+
+TEST(Platform, ReleaseOfUnknownAppIsNoop) {
+  Platform p = make_platform();
+  p.release(99);
+  EXPECT_EQ(p.free_tile_count(), 60);
+}
+
+TEST(Platform, ConfigValidation) {
+  PlatformConfig bad;
+  bad.vdd_levels = {0.8, 0.4};  // unsorted
+  EXPECT_THROW(Platform{bad}, CheckError);
+  PlatformConfig below;
+  below.vdd_levels = {0.1};  // below Vth
+  EXPECT_THROW(Platform{below}, CheckError);
+}
+
+}  // namespace
+}  // namespace parm::cmp

@@ -1,0 +1,298 @@
+// Unit tests for parm_common: geometry, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace parm {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Geometry, TileIdRoundTrip) {
+  const MeshGeometry mesh(10, 6);
+  EXPECT_EQ(mesh.tile_count(), 60);
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    EXPECT_EQ(mesh.tile_id(mesh.coord(t)), t);
+  }
+}
+
+TEST(Geometry, RejectsOddDimensions) {
+  EXPECT_THROW(MeshGeometry(9, 6), CheckError);
+  EXPECT_THROW(MeshGeometry(10, 5), CheckError);
+  EXPECT_THROW(MeshGeometry(0, 6), CheckError);
+}
+
+TEST(Geometry, DomainCountAndMembership) {
+  const MeshGeometry mesh(10, 6);
+  EXPECT_EQ(mesh.domain_count(), 15);
+  // Every tile belongs to exactly one domain; each domain has 4 tiles.
+  std::vector<int> seen(static_cast<std::size_t>(mesh.tile_count()), 0);
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    for (TileId t : tiles) {
+      EXPECT_EQ(mesh.domain_of(t), d);
+      ++seen[static_cast<std::size_t>(t)];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Geometry, DomainTilesAreA2x2Block) {
+  const MeshGeometry mesh(10, 6);
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    // Slots: 0=SW, 1=SE, 2=NW, 3=NE.
+    EXPECT_EQ(mesh.hop_distance(tiles[0], tiles[1]), 1);
+    EXPECT_EQ(mesh.hop_distance(tiles[0], tiles[2]), 1);
+    EXPECT_EQ(mesh.hop_distance(tiles[1], tiles[3]), 1);
+    EXPECT_EQ(mesh.hop_distance(tiles[2], tiles[3]), 1);
+    EXPECT_EQ(mesh.hop_distance(tiles[0], tiles[3]), 2);
+    EXPECT_EQ(mesh.hop_distance(tiles[1], tiles[2]), 2);
+  }
+}
+
+TEST(Geometry, NeighborsRespectEdges) {
+  const MeshGeometry mesh(4, 4);
+  // Corner (0,0): only east + north.
+  const TileId corner = mesh.tile_id({0, 0});
+  EXPECT_EQ(mesh.neighbor(corner, Direction::West), kInvalidTile);
+  EXPECT_EQ(mesh.neighbor(corner, Direction::South), kInvalidTile);
+  EXPECT_EQ(mesh.neighbors(corner).size(), 2u);
+  // Interior tile has 4 neighbors.
+  EXPECT_EQ(mesh.neighbors(mesh.tile_id({1, 1})).size(), 4u);
+}
+
+TEST(Geometry, NeighborIsOneHopAway) {
+  const MeshGeometry mesh(6, 6);
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    for (Direction d : kCardinalDirections) {
+      const TileId n = mesh.neighbor(t, d);
+      if (n != kInvalidTile) {
+        EXPECT_EQ(mesh.hop_distance(t, n), 1);
+        EXPECT_EQ(mesh.neighbor(n, opposite(d)), t);
+      }
+    }
+  }
+}
+
+TEST(Geometry, ProductiveDirectionsMakeProgress) {
+  const MeshGeometry mesh(8, 6);
+  const TileCoord src{3, 2};
+  for (TileId t = 0; t < mesh.tile_count(); ++t) {
+    const TileCoord dst = mesh.coord(t);
+    const auto dirs = mesh.productive_directions(src, dst);
+    if (src == dst) {
+      EXPECT_TRUE(dirs.empty());
+      continue;
+    }
+    EXPECT_FALSE(dirs.empty());
+    for (Direction d : dirs) {
+      const TileId n = mesh.neighbor(mesh.tile_id(src), d);
+      ASSERT_NE(n, kInvalidTile);
+      EXPECT_LT(manhattan_distance(mesh.coord(n), dst),
+                manhattan_distance(src, dst));
+    }
+  }
+}
+
+TEST(Geometry, ManhattanDistanceProperties) {
+  EXPECT_EQ(manhattan_distance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan_distance({2, 2}, {2, 2}), 0);
+  EXPECT_EQ(manhattan_distance({5, 1}, {1, 5}), 8);
+}
+
+TEST(Geometry, DomainDistance) {
+  const MeshGeometry mesh(10, 6);
+  EXPECT_EQ(mesh.domain_distance(0, 0), 0);
+  // Domain grid is 5x3; domains 0 and 4 sit at opposite row ends.
+  EXPECT_EQ(mesh.domain_distance(0, 4), 4);
+  EXPECT_EQ(mesh.domain_distance(0, 14), 4 + 2);
+}
+
+TEST(Direction, OppositeIsInvolution) {
+  for (Direction d : kCardinalDirections) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+  EXPECT_EQ(opposite(Direction::Local), Direction::Local);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBelowIsUnbiasedAcrossBuckets) {
+  Rng rng(99);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) ++buckets[rng.next_below(10)];
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 500);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(st.mean(), 2.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 50000, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The child stream must not mirror the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), CheckError);
+  EXPECT_THROW(rng.uniform_int(3, 1), CheckError);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+  EXPECT_THROW(rng.bernoulli(1.5), CheckError);
+  EXPECT_THROW(rng.pick_index(0), CheckError);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(21);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    if (i % 2 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats st;
+  EXPECT_TRUE(st.empty());
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsAndFormats) {
+  Table t({"name", "value"});
+  t.set_precision(2);
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), std::int64_t{42}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("he said \"hi\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), CheckError);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, CycleConversions) {
+  EXPECT_EQ(units::seconds_to_ref_cycles(1e-3), 1000000u);
+  EXPECT_DOUBLE_EQ(units::ref_cycles_to_seconds(2000000000ull), 2.0);
+}
+
+}  // namespace
+}  // namespace parm

@@ -1,0 +1,255 @@
+// Unit tests for parm_core: Algorithm-1 Vdd/DoP selection, the HM fixed
+// policy, the FCFS service queue, and the framework factory.
+#include <gtest/gtest.h>
+
+#include "appmodel/workload.hpp"
+#include "common/check.hpp"
+#include "core/admission.hpp"
+#include "core/framework.hpp"
+#include "core/service_queue.hpp"
+
+namespace parm::core {
+namespace {
+
+using appmodel::AppArrival;
+using cmp::Platform;
+using cmp::PlatformConfig;
+
+AppArrival make_arrival(const char* bench, double arrival, double deadline,
+                        std::uint64_t seed = 7, int id = 0) {
+  AppArrival a;
+  a.id = id;
+  a.bench = &appmodel::benchmark_by_name(bench);
+  a.profile = std::make_shared<appmodel::ApplicationProfile>(*a.bench, seed);
+  a.arrival_s = arrival;
+  a.deadline_s = deadline;
+  return a;
+}
+
+// -------------------------------------------------------- PARM Algorithm 1
+
+TEST(ParmAdmission, PicksLowestVddWithGenerousDeadline) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("fft", 0.0, 100.0);  // deadline far away
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_DOUBLE_EQ(r.decision->vdd, 0.4);  // lowest DVS level
+  EXPECT_EQ(r.decision->dop, app.bench->max_dop);  // highest DoP first
+  EXPECT_GT(r.decision->estimated_power_w, 0.0);
+  EXPECT_LT(r.decision->wcet_s, 100.0);
+}
+
+TEST(ParmAdmission, RaisesVddWhenDeadlineTight) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  const power::VoltageFrequencyModel& vf = platform.vf_model();
+  const auto probe = make_arrival("fft", 0.0, 1.0);
+  const int dmax = probe.bench->max_dop;
+  // Deadline between WCET(0.6) and WCET(0.5) at max DoP forces 0.6 V.
+  const double w05 = probe.profile->wcet_seconds(0.5, dmax, vf);
+  const double w06 = probe.profile->wcet_seconds(0.6, dmax, vf);
+  const auto app = make_arrival("fft", 0.0, (w05 + w06) / 2.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_DOUBLE_EQ(r.decision->vdd, 0.6);
+}
+
+TEST(ParmAdmission, DropsWhenNoOperatingPointMeetsDeadline) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("fft", 0.0, 1e-6);  // hopeless deadline
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_FALSE(r.admitted());
+  EXPECT_EQ(r.failure, AdmissionFailure::Drop);
+}
+
+TEST(ParmAdmission, StallsWhenResourcesMissing) {
+  Platform platform{PlatformConfig{}};
+  // Occupy every domain so no mapping can succeed.
+  for (DomainId d = 0; d < platform.mesh().domain_count(); ++d) {
+    const auto tiles = platform.mesh().domain_tiles(d);
+    platform.occupy(100 + d, {{0, tiles[0], 0.5}}, 0.4);
+  }
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("fft", 0.0, 100.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_FALSE(r.admitted());
+  EXPECT_EQ(r.failure, AdmissionFailure::Stall);
+}
+
+TEST(ParmAdmission, LowersDopWhenDomainsScarce) {
+  Platform platform{PlatformConfig{}};
+  // Leave only 2 domains free: an app whose max DoP needs more clusters
+  // must fall back to 8 tasks (2 clusters).
+  for (DomainId d = 0; d < 13; ++d) {
+    const auto tiles = platform.mesh().domain_tiles(d);
+    platform.occupy(100 + d, {{0, tiles[0], 0.5}}, 0.4);
+  }
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("fft", 0.0, 100.0);  // max_dop = 32
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_EQ(r.decision->dop, 8);
+  EXPECT_DOUBLE_EQ(r.decision->vdd, 0.4);  // Vdd stays minimal
+}
+
+TEST(ParmAdmission, RespectsPowerBudget) {
+  PlatformConfig cfg;
+  cfg.dark_silicon_budget_w = 0.2;  // absurdly tight budget
+  Platform platform{cfg};
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("swaptions", 0.0, 100.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  // Even DoP 4 at 0.4 V needs more than 0.5 W for a compute app.
+  ASSERT_FALSE(r.admitted());
+}
+
+TEST(ParmAdmission, FixedVddAblation) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy::Options opts;
+  opts.adapt_vdd = false;
+  opts.fixed_vdd = 0.7;
+  ParmAdmissionPolicy policy(opts);
+  const auto app = make_arrival("fft", 0.0, 100.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_DOUBLE_EQ(r.decision->vdd, 0.7);
+}
+
+TEST(ParmAdmission, MappingIsValidAndCommittable) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  const auto app = make_arrival("cholesky", 0.0, 100.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_TRUE(mapping::validate_mapping(
+      platform, app.profile->variant(r.decision->dop), r.decision->mapping));
+  // Committing must succeed end to end.
+  ASSERT_TRUE(platform.ledger().reserve(1, r.decision->estimated_power_w));
+  platform.occupy(1, r.decision->mapping, r.decision->vdd);
+  EXPECT_EQ(platform.tiles_of(1).size(),
+            static_cast<std::size_t>(r.decision->dop));
+}
+
+// ---------------------------------------------------------------- HM policy
+
+TEST(HmAdmission, UsesFixedOperatingPoint) {
+  Platform platform{PlatformConfig{}};
+  HmAdmissionPolicy policy(0.8, 16);
+  const auto app = make_arrival("fft", 0.0, 100.0);
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_DOUBLE_EQ(r.decision->vdd, 0.8);
+  EXPECT_EQ(r.decision->dop, 16);
+}
+
+TEST(HmAdmission, ClampsDopToAppMaximum) {
+  Platform platform{PlatformConfig{}};
+  HmAdmissionPolicy policy(0.8, 16);
+  const auto app = make_arrival("dedup", 0.0, 100.0);  // max_dop = 12
+  const auto r = policy.try_admit(app, 0.0, platform);
+  ASSERT_TRUE(r.admitted());
+  EXPECT_EQ(r.decision->dop, 12);
+}
+
+TEST(HmAdmission, DropsOnImpossibleDeadlineStallsOnResources) {
+  Platform platform{PlatformConfig{}};
+  HmAdmissionPolicy policy(0.8, 16);
+  const auto hopeless = make_arrival("fft", 0.0, 1e-6);
+  EXPECT_EQ(policy.try_admit(hopeless, 0.0, platform).failure,
+            AdmissionFailure::Drop);
+  // Fill the chip.
+  std::vector<Platform::Placement> filler;
+  for (TileId t = 0; t < 50; ++t) filler.push_back({0, t, 0.5});
+  platform.occupy(1, filler, 0.8);
+  const auto ok = make_arrival("fft", 0.0, 100.0);
+  EXPECT_EQ(policy.try_admit(ok, 0.0, platform).failure,
+            AdmissionFailure::Stall);
+}
+
+TEST(HmAdmission, ValidatesConstruction) {
+  EXPECT_THROW(HmAdmissionPolicy(0.8, 10), CheckError);  // not multiple of 4
+  EXPECT_THROW(HmAdmissionPolicy(-1.0, 16), CheckError);
+}
+
+// ------------------------------------------------------------ service queue
+
+TEST(ServiceQueue, FcfsAdmissionOrder) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  ServiceQueue q;
+  q.enqueue(make_arrival("fft", 0.0, 100.0, 1, 0));
+  q.enqueue(make_arrival("radix", 0.0, 100.0, 2, 1));
+  auto first = q.pump(0.0, platform, policy);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->app.id, 0);
+  // Caller must commit before pumping again; commit then continue.
+  platform.ledger().reserve(1, first->decision.estimated_power_w);
+  platform.occupy(1, first->decision.mapping, first->decision.vdd);
+  auto second = q.pump(0.0, platform, policy);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->app.id, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServiceQueue, HeadOfLineBlocksOnStall) {
+  Platform platform{PlatformConfig{}};
+  // Fill all domains so everything stalls.
+  for (DomainId d = 0; d < platform.mesh().domain_count(); ++d) {
+    const auto tiles = platform.mesh().domain_tiles(d);
+    platform.occupy(100 + d, {{0, tiles[0], 0.5}}, 0.4);
+  }
+  ParmAdmissionPolicy policy;
+  ServiceQueue q(/*max_stalls=*/2);
+  q.enqueue(make_arrival("fft", 0.0, 100.0, 1, 0));
+  q.enqueue(make_arrival("radix", 0.0, 100.0, 2, 1));
+  EXPECT_FALSE(q.pump(0.0, platform, policy).has_value());
+  EXPECT_EQ(q.size(), 2u);  // head stalled, line blocked
+  EXPECT_FALSE(q.pump(0.0, platform, policy).has_value());
+  // Third failed attempt exceeds max_stalls=2 → head dropped; the next
+  // app stalls in turn (and records its first stall).
+  EXPECT_FALSE(q.pump(0.0, platform, policy).has_value());
+  EXPECT_EQ(q.dropped().size(), 1u);
+  EXPECT_EQ(q.dropped()[0].id, 0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ServiceQueue, DeadlineInfeasibleDroppedImmediately) {
+  Platform platform{PlatformConfig{}};
+  ParmAdmissionPolicy policy;
+  ServiceQueue q;
+  q.enqueue(make_arrival("fft", 0.0, 1e-6, 1, 0));   // hopeless
+  q.enqueue(make_arrival("radix", 0.0, 100.0, 2, 1));  // fine
+  auto adm = q.pump(0.0, platform, policy);
+  ASSERT_TRUE(adm.has_value());  // the hopeless head was dropped, radix in
+  EXPECT_EQ(adm->app.id, 1);
+  EXPECT_EQ(q.dropped().size(), 1u);
+}
+
+TEST(ServiceQueue, ValidatesMaxStalls) {
+  EXPECT_THROW(ServiceQueue(0), CheckError);
+}
+
+// ---------------------------------------------------------------- framework
+
+TEST(Framework, FactoryBuildsAllSixPaperConfigs) {
+  const auto frameworks = paper_frameworks();
+  ASSERT_EQ(frameworks.size(), 6u);
+  EXPECT_EQ(frameworks[0].display_name(), "HM+XY");
+  EXPECT_EQ(frameworks[5].display_name(), "PARM+PANR");
+  for (const auto& cfg : frameworks) {
+    const auto policy = make_admission_policy(cfg);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), cfg.mapping);
+  }
+}
+
+TEST(Framework, UnknownMappingThrows) {
+  FrameworkConfig cfg;
+  cfg.mapping = "MAGIC";
+  EXPECT_THROW(make_admission_policy(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace parm::core

@@ -1,0 +1,154 @@
+// Tests for the experiment harness (parm_exp) and the proactive-throttle
+// extension of the simulator.
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+
+namespace parm::exp {
+namespace {
+
+TEST(Experiments, DefaultConfigMatchesPaperSetup) {
+  const sim::SimConfig cfg = default_sim_config();
+  EXPECT_EQ(cfg.platform.mesh_width, 10);
+  EXPECT_EQ(cfg.platform.mesh_height, 6);
+  EXPECT_EQ(cfg.platform.technology_nm, 7);
+  EXPECT_DOUBLE_EQ(cfg.platform.dark_silicon_budget_w, 65.0);
+  EXPECT_DOUBLE_EQ(cfg.platform.ve_threshold_percent, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.epoch_s, 1e-3);  // checkpoint period
+  EXPECT_DOUBLE_EQ(cfg.checkpoint.period_s, 1e-3);
+  EXPECT_DOUBLE_EQ(cfg.checkpoint.checkpoint_cycles, 256.0);
+  EXPECT_DOUBLE_EQ(cfg.checkpoint.rollback_cycles, 10000.0);
+  EXPECT_DOUBLE_EQ(cfg.framework.panr_threshold, 0.5);
+  EXPECT_FALSE(cfg.proactive_throttle);
+}
+
+TEST(Experiments, AveragedMatrixAggregatesSeeds) {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 3;
+  seq.inter_arrival_s = 0.2;
+
+  core::FrameworkConfig fw;
+  fw.mapping = "PARM";
+  fw.routing = "XY";
+
+  const auto avg = run_matrix_averaged({fw}, seq, default_sim_config(),
+                                       {1ull, 2ull});
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_EQ(avg[0].framework, "PARM+XY");
+  EXPECT_GT(avg[0].makespan_s, 0.0);
+  EXPECT_GT(avg[0].completed, 0.0);
+  EXPECT_LE(avg[0].completed, 3.0);
+
+  // The average of two runs must lie between the per-seed extremes.
+  double lo = 1e18, hi = -1e18;
+  for (std::uint64_t s : {1ull, 2ull}) {
+    const auto one = run_matrix_averaged({fw}, seq, default_sim_config(),
+                                         {s});
+    lo = std::min(lo, one[0].makespan_s);
+    hi = std::max(hi, one[0].makespan_s);
+  }
+  EXPECT_GE(avg[0].makespan_s, lo - 1e-12);
+  EXPECT_LE(avg[0].makespan_s, hi + 1e-12);
+}
+
+TEST(Experiments, AveragedMatrixRejectsEmptySeeds) {
+  appmodel::SequenceConfig seq;
+  core::FrameworkConfig fw;
+  EXPECT_THROW(run_matrix_averaged({fw}, seq, default_sim_config(), {}),
+               CheckError);
+}
+
+TEST(Throttle, ReducesEmergenciesForHm) {
+  // HM at nominal Vdd is the VE-heavy configuration; the reactive
+  // throttle must cut its emergencies substantially.
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.1;
+  seq.seed = 11;
+
+  sim::SimConfig base = default_sim_config();
+  base.framework.mapping = "HM";
+  base.framework.routing = "XY";
+
+  sim::SimConfig throttled = base;
+  throttled.proactive_throttle = true;
+
+  sim::SystemSimulator plain(base, appmodel::make_sequence(seq));
+  sim::SystemSimulator guarded(throttled, appmodel::make_sequence(seq));
+  const sim::SimResult r_plain = plain.run();
+  const sim::SimResult r_guarded = guarded.run();
+
+  EXPECT_EQ(r_plain.throttle_tile_epochs, 0u);
+  EXPECT_GT(r_guarded.throttle_tile_epochs, 0u);
+  EXPECT_LT(r_guarded.total_ve_count, r_plain.total_ve_count / 2);
+}
+
+TEST(Throttle, NearlyInertForParm) {
+  // PARM already sits below the guard band most of the time: the
+  // throttle must fire far less than under HM and not derail results.
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.1;
+  seq.seed = 11;
+
+  sim::SimConfig hm = default_sim_config();
+  hm.framework.mapping = "HM";
+  hm.framework.routing = "XY";
+  hm.proactive_throttle = true;
+
+  sim::SimConfig parm = default_sim_config();
+  parm.framework.mapping = "PARM";
+  parm.framework.routing = "PANR";
+  parm.proactive_throttle = true;
+
+  sim::SystemSimulator hm_sim(hm, appmodel::make_sequence(seq));
+  sim::SystemSimulator parm_sim(parm, appmodel::make_sequence(seq));
+  const sim::SimResult r_hm = hm_sim.run();
+  const sim::SimResult r_parm = parm_sim.run();
+
+  EXPECT_LT(r_parm.throttle_tile_epochs * 2,
+            r_hm.throttle_tile_epochs + 1);
+  EXPECT_GE(r_parm.completed_count, r_hm.completed_count - 1);
+}
+
+TEST(Migration, MovesHotTasksAndIsAccounted) {
+  // Force persistent over-margin readings with fault-free HM at 0.8 V:
+  // its hot tiles stay hot, so migrations must fire when domains are
+  // free (small workload leaves plenty).
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 2;
+  seq.inter_arrival_s = 0.3;
+  seq.seed = 5;
+
+  sim::SimConfig cfg = default_sim_config();
+  cfg.framework.mapping = "HM";
+  cfg.framework.routing = "XY";
+  cfg.enable_migration = true;
+
+  sim::SystemSimulator sim(cfg, appmodel::make_sequence(seq));
+  const sim::SimResult r = sim.run();
+  EXPECT_GT(r.migration_count, 0u);
+  EXPECT_EQ(r.completed_count, 2);
+  // Resources still fully released after migrations.
+  EXPECT_EQ(sim.platform().free_tile_count(), 60);
+}
+
+TEST(Migration, DisabledMeansZero) {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 2;
+  seq.inter_arrival_s = 0.3;
+  seq.seed = 5;
+  sim::SimConfig cfg = default_sim_config();
+  cfg.framework.mapping = "HM";
+  cfg.framework.routing = "XY";
+  sim::SystemSimulator sim(cfg, appmodel::make_sequence(seq));
+  EXPECT_EQ(sim.run().migration_count, 0u);
+}
+
+}  // namespace
+}  // namespace parm::exp

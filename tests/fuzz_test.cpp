@@ -1,0 +1,180 @@
+// Randomized (seeded, reproducible) stress tests of stateful components:
+//  - Platform occupy/migrate/release fuzz against a reference model;
+//  - EDF queue fuzz against a sorted-reference implementation;
+//  - benchmark-suite profile sanity across every benchmark (TEST_P).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "appmodel/application.hpp"
+#include "cmp/platform.hpp"
+#include "common/rng.hpp"
+#include "power/technology.hpp"
+#include "power/vf_model.hpp"
+#include "sched/edf.hpp"
+
+namespace parm {
+namespace {
+
+// ------------------------------------------------------ platform fuzzing
+
+TEST(PlatformFuzz, RandomOpsPreserveInvariants) {
+  cmp::Platform platform{cmp::PlatformConfig{}};
+  Rng rng(20260707);
+
+  // Reference model: app -> set of tiles; tile -> app; domain vdd.
+  std::map<cmp::AppInstanceId, std::vector<TileId>> ref_apps;
+  std::map<TileId, cmp::AppInstanceId> ref_tiles;
+  cmp::AppInstanceId next_app = 1;
+  const std::vector<double> vdds = {0.4, 0.5, 0.6, 0.7, 0.8};
+
+  for (int step = 0; step < 3000; ++step) {
+    const double op = rng.uniform01();
+    if (op < 0.45) {
+      // Occupy: a random free domain entirely, at a random vdd.
+      const auto free = platform.free_domains();
+      if (free.empty()) continue;
+      const DomainId d = free[rng.pick_index(free.size())];
+      const double vdd = vdds[rng.pick_index(vdds.size())];
+      std::vector<cmp::Platform::Placement> places;
+      const auto tiles = platform.mesh().domain_tiles(d);
+      for (int k = 0; k < 4; ++k) {
+        places.push_back({k, tiles[static_cast<std::size_t>(k)],
+                          rng.uniform(0.1, 0.9)});
+      }
+      platform.occupy(next_app, places, vdd);
+      for (const auto& p : places) {
+        ref_apps[next_app].push_back(p.tile);
+        ref_tiles[p.tile] = next_app;
+      }
+      ++next_app;
+    } else if (op < 0.75) {
+      // Release a random live app.
+      if (ref_apps.empty()) continue;
+      auto it = ref_apps.begin();
+      std::advance(it, static_cast<long>(rng.pick_index(ref_apps.size())));
+      platform.release(it->first);
+      for (TileId t : it->second) ref_tiles.erase(t);
+      ref_apps.erase(it);
+    } else {
+      // Migrate one task of a random app to a random free tile whose
+      // domain is free (guaranteed-compatible move).
+      if (ref_apps.empty()) continue;
+      auto it = ref_apps.begin();
+      std::advance(it, static_cast<long>(rng.pick_index(ref_apps.size())));
+      const auto free_domains = platform.free_domains();
+      if (free_domains.empty() || it->second.empty()) continue;
+      const TileId from =
+          it->second[rng.pick_index(it->second.size())];
+      const TileId to = platform.mesh().domain_tiles(
+          free_domains[rng.pick_index(free_domains.size())])[0];
+      platform.migrate(it->first, from, to);
+      *std::find(it->second.begin(), it->second.end(), from) = to;
+      ref_tiles.erase(from);
+      ref_tiles[to] = it->first;
+    }
+
+    // Invariants after every operation.
+    std::size_t occupied = 0;
+    for (TileId t = 0; t < platform.mesh().tile_count(); ++t) {
+      const auto& asg = platform.tile(t);
+      if (asg.app == cmp::kNoApp) {
+        EXPECT_EQ(ref_tiles.count(t), 0u);
+      } else {
+        ++occupied;
+        ASSERT_EQ(ref_tiles.at(t), asg.app);
+        // Occupied tile implies a powered domain.
+        EXPECT_TRUE(
+            platform.domain_vdd(platform.mesh().domain_of(t)).has_value());
+      }
+    }
+    EXPECT_EQ(occupied, ref_tiles.size());
+    EXPECT_EQ(platform.free_tile_count(),
+              platform.mesh().tile_count() -
+                  static_cast<std::int32_t>(occupied));
+  }
+}
+
+// ----------------------------------------------------------- EDF fuzzing
+
+TEST(EdfFuzz, MatchesReferenceSortUnderRandomOps) {
+  Rng rng(424242);
+  sched::EdfQueue queue;
+  // Reference: multiset-like vector of (deadline, seq, id), popped in
+  // (deadline, insertion-order) order.
+  std::vector<std::tuple<double, int, std::int64_t>> ref;
+  int seq = 0;
+  std::int64_t next_id = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    if (ref.empty() || rng.bernoulli(0.6)) {
+      const double deadline = rng.uniform(0.0, 10.0);
+      queue.push(next_id, deadline);
+      ref.emplace_back(deadline, seq++, next_id);
+      ++next_id;
+    } else {
+      const auto best = std::min_element(ref.begin(), ref.end());
+      const auto popped = queue.pop();
+      EXPECT_EQ(popped.id, std::get<2>(*best));
+      EXPECT_DOUBLE_EQ(popped.deadline_s, std::get<0>(*best));
+      ref.erase(best);
+    }
+    EXPECT_EQ(queue.size(), ref.size());
+  }
+}
+
+// ------------------------------------------- per-benchmark profile sanity
+
+class BenchmarkSuiteSweep
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkSuiteSweep, ProfileIsWellFormedAtEveryDop) {
+  const auto& bench = appmodel::benchmark_by_name(GetParam());
+  const appmodel::ApplicationProfile profile(bench, 20260707);
+  const power::VoltageFrequencyModel vf(power::technology_node(7));
+
+  for (int dop : profile.dops()) {
+    const auto& v = profile.variant(dop);
+    ASSERT_EQ(static_cast<int>(v.tasks.size()), dop);
+    EXPECT_TRUE(v.graph.validate());
+    EXPECT_GT(v.critical_path_cycles, 0.0);
+
+    double total_work = 0.0;
+    for (const auto& t : v.tasks) {
+      EXPECT_GT(t.work_cycles, 0.0);
+      EXPECT_GE(t.activity, 0.05);
+      EXPECT_LE(t.activity, 0.98);
+      total_work += t.work_cycles;
+    }
+    // Critical path can never exceed the total work nor undercut the
+    // biggest single task.
+    double max_task = 0.0;
+    for (const auto& t : v.tasks) max_task = std::max(max_task, t.work_cycles);
+    EXPECT_LE(max_task, total_work);
+    EXPECT_GT(v.critical_path_cycles, 0.5 * max_task);
+
+    // WCET is positive and finite at every DVS level.
+    for (double vdd : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+      const double w = profile.wcet_seconds(vdd, dop, vf);
+      EXPECT_GT(w, 0.0);
+      EXPECT_LT(w, 100.0);
+    }
+  }
+  // The high-activity fraction should reflect the benchmark's class:
+  // compute-intensive suites are High-dominated.
+  if (bench.kind == appmodel::WorkloadKind::ComputeIntensive) {
+    EXPECT_GT(profile.variant(bench.max_dop).high_activity_fraction(),
+              0.75);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, BenchmarkSuiteSweep,
+    ::testing::Values("cholesky", "fft", "raytrace", "dedup", "canneal",
+                      "vips", "radix", "swaptions", "fluidanimate",
+                      "streamcluster", "blackscholes", "bodytrack",
+                      "radiosity"));
+
+}  // namespace
+}  // namespace parm

@@ -1,0 +1,83 @@
+// Tests for the NoC latency-vs-load characterization utility.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "noc/load_sweep.hpp"
+
+namespace parm::noc {
+namespace {
+
+LoadSweepConfig sweep_cfg(std::initializer_list<double> loads) {
+  LoadSweepConfig cfg;
+  cfg.loads = loads;
+  cfg.window = WindowConfig{256, 1024};
+  return cfg;
+}
+
+TEST(LoadSweep, LatencyMonotoneUnderUniformTraffic) {
+  const MeshGeometry mesh(8, 4);
+  Rng rng(5);
+  const auto flows_for = [&](double load) {
+    Rng local(42);  // same pattern per load, scaled rate
+    return uniform_random_flows(mesh, load, local);
+  };
+  const auto sweep = latency_load_sweep(
+      mesh, "XY", flows_for, sweep_cfg({0.01, 0.05, 0.15, 0.3, 0.5}));
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].avg_latency_cycles,
+              sweep[i - 1].avg_latency_cycles * 0.95);
+  }
+  // Accepted throughput grows with offered load until saturation.
+  EXPECT_GT(sweep[2].accepted_flits_per_cycle,
+            sweep[0].accepted_flits_per_cycle * 2.0);
+}
+
+TEST(LoadSweep, SaturationLoadDetected) {
+  const MeshGeometry mesh(8, 4);
+  const auto flows_for = [&](double load) {
+    Rng local(42);
+    return uniform_random_flows(mesh, load, local);
+  };
+  const auto sweep = latency_load_sweep(
+      mesh, "XY", flows_for,
+      sweep_cfg({0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7}));
+  const double sat = saturation_load(sweep, 4.0);
+  // A 8x4 mesh saturates well before 0.7 flits/cycle/tile uniform.
+  EXPECT_GT(sat, 0.01);
+  EXPECT_LT(sat, 0.7);
+}
+
+TEST(LoadSweep, AdaptiveRoutingSaturatesNoEarlierThanXyOnTranspose) {
+  // Transpose concentrates XY traffic on the diagonal; the adaptive
+  // west-first schemes can spread it and should not saturate earlier.
+  const MeshGeometry mesh(6, 6);
+  const auto flows_for = [&](double load) {
+    return transpose_flows(mesh, load);
+  };
+  const auto cfg = sweep_cfg({0.02, 0.1, 0.2, 0.35, 0.5, 0.75});
+  const double sat_xy =
+      saturation_load(latency_load_sweep(mesh, "XY", flows_for, cfg));
+  const double sat_icon =
+      saturation_load(latency_load_sweep(mesh, "ICON", flows_for, cfg));
+  EXPECT_GE(sat_icon, sat_xy * 0.99);
+}
+
+TEST(LoadSweep, Validation) {
+  const MeshGeometry mesh(4, 4);
+  const auto flows_for = [&](double load) {
+    Rng local(1);
+    return uniform_random_flows(mesh, load, local);
+  };
+  EXPECT_THROW(
+      latency_load_sweep(mesh, "XY", flows_for, sweep_cfg({})),
+      CheckError);
+  EXPECT_THROW(saturation_load({}, 4.0), CheckError);
+  const auto sweep =
+      latency_load_sweep(mesh, "XY", flows_for, sweep_cfg({0.01, 0.02}));
+  EXPECT_THROW(saturation_load(sweep, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace parm::noc

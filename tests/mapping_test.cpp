@@ -1,0 +1,307 @@
+// Unit tests for parm_mapping: Algorithm-2 clustering invariants, the
+// PARM PSN-aware mapper, and the HM harmonic baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "appmodel/application.hpp"
+#include "appmodel/benchmarks.hpp"
+#include "mapping/clustering.hpp"
+#include "mapping/hm_mapper.hpp"
+#include "mapping/parm_mapper.hpp"
+
+namespace parm::mapping {
+namespace {
+
+using appmodel::ApplicationProfile;
+using appmodel::benchmark_by_name;
+using appmodel::DopVariant;
+using appmodel::TaskIndex;
+using cmp::Platform;
+using cmp::PlatformConfig;
+
+const DopVariant& variant_of(const char* bench, int dop,
+                             std::uint64_t seed = 99) {
+  static std::vector<std::unique_ptr<ApplicationProfile>> keep;
+  keep.push_back(std::make_unique<ApplicationProfile>(
+      benchmark_by_name(bench), seed));
+  return keep.back()->variant(dop);
+}
+
+// -------------------------------------------------------------- clustering
+
+TEST(Clustering, EveryTaskInExactlyOneCluster) {
+  for (int dop : {4, 8, 12, 16}) {
+    const DopVariant& v = variant_of("cholesky", dop);
+    const auto clusters = cluster_tasks(v);
+    std::vector<int> seen(static_cast<std::size_t>(dop), 0);
+    for (const auto& c : clusters) {
+      EXPECT_LE(c.tasks.size(), 4u);
+      EXPECT_FALSE(c.tasks.empty());
+      for (TaskIndex t : c.tasks) ++seen[static_cast<std::size_t>(t)];
+    }
+    for (int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(Clustering, AtMostOneMixedClusterForMultipleOf4Dops) {
+  for (const char* bench : {"cholesky", "fft", "swaptions", "radix"}) {
+    for (int dop : {8, 16}) {
+      const DopVariant& v = variant_of(bench, dop);
+      const auto clusters = cluster_tasks(v);
+      int mixed = 0;
+      for (const auto& c : clusters) mixed += c.mixed_activity;
+      EXPECT_LE(mixed, 1) << bench << " dop=" << dop;
+    }
+  }
+}
+
+TEST(Clustering, NonMixedClustersAreActivityPure) {
+  const DopVariant& v = variant_of("radix", 16);
+  for (const auto& c : cluster_tasks(v)) {
+    if (c.mixed_activity) continue;
+    const auto cls =
+        v.tasks[static_cast<std::size_t>(c.tasks[0])].activity_class();
+    for (TaskIndex t : c.tasks) {
+      EXPECT_EQ(v.tasks[static_cast<std::size_t>(t)].activity_class(), cls);
+    }
+  }
+}
+
+TEST(Clustering, HeavyCommunicatorsShareAClusterWhenSameClass) {
+  // Hand-built variant: one dominant edge between two High tasks must put
+  // them in the same cluster.
+  DopVariant v;
+  v.dop = 8;
+  v.tasks.resize(8);
+  for (auto& t : v.tasks) {
+    t.work_cycles = 1e6;
+    t.activity = 0.9;  // all High
+  }
+  std::vector<appmodel::ApgEdge> edges{{2, 6, 100.0}, {0, 1, 1.0},
+                                       {3, 4, 1.0},   {5, 7, 1.0}};
+  v.graph = appmodel::TaskGraph(8, edges);
+  const auto clusters = cluster_tasks(v);
+  // Tasks 2 and 6 entered the High list first (heaviest edge), so they
+  // land in the first cluster together.
+  auto in_same = [&](TaskIndex a, TaskIndex b) {
+    for (const auto& c : clusters) {
+      const bool ha =
+          std::find(c.tasks.begin(), c.tasks.end(), a) != c.tasks.end();
+      const bool hb =
+          std::find(c.tasks.begin(), c.tasks.end(), b) != c.tasks.end();
+      if (ha || hb) return ha && hb;
+    }
+    return false;
+  };
+  EXPECT_TRUE(in_same(2, 6));
+}
+
+TEST(Clustering, InterClusterVolume) {
+  DopVariant v;
+  v.dop = 8;
+  v.tasks.resize(8);
+  for (auto& t : v.tasks) {
+    t.work_cycles = 1e6;
+    t.activity = 0.9;
+  }
+  v.graph = appmodel::TaskGraph(
+      8, {{0, 4, 10.0}, {1, 5, 20.0}, {0, 1, 5.0}});
+  TaskCluster a{{0, 1}, false};
+  TaskCluster b{{4, 5}, false};
+  EXPECT_DOUBLE_EQ(inter_cluster_volume(v, a, b), 30.0);
+}
+
+// ------------------------------------------------------------- PARM mapper
+
+class ParmMapperTest : public ::testing::Test {
+ protected:
+  Platform platform_{PlatformConfig{}};
+  ParmMapper mapper_;
+};
+
+TEST_F(ParmMapperTest, ProducesValidDomainAlignedMappings) {
+  for (const char* bench : {"fft", "cholesky", "swaptions"}) {
+    for (int dop : {4, 8, 16}) {
+      const DopVariant& v = variant_of(bench, dop);
+      const auto m = mapper_.map(platform_, v);
+      ASSERT_TRUE(m.has_value()) << bench << " dop=" << dop;
+      EXPECT_TRUE(validate_mapping(platform_, v, *m));
+    }
+  }
+}
+
+TEST_F(ParmMapperTest, DomainsAreExclusivePerCluster) {
+  const DopVariant& v = variant_of("fft", 16);
+  const auto m = mapper_.map(platform_, v);
+  ASSERT_TRUE(m.has_value());
+  // Group placements by domain; each domain must hold tasks of one
+  // cluster only — in particular no more than 4 tasks.
+  std::map<DomainId, std::vector<TaskIndex>> by_domain;
+  for (const auto& p : *m) {
+    by_domain[platform_.mesh().domain_of(p.tile)].push_back(p.task_index);
+  }
+  EXPECT_EQ(by_domain.size(), 4u);  // 16 tasks → 4 clusters
+  for (const auto& [d, tasks] : by_domain) {
+    EXPECT_LE(tasks.size(), 4u);
+  }
+}
+
+TEST_F(ParmMapperTest, SameActivityTasksAdjacentWithinDomain) {
+  // For a 2H+2L cluster, the two same-class pairs must be 1 hop apart and
+  // the unlike pairs pushed to >= 1 hop (diagonal preferred), per Fig. 5.
+  DopVariant v;
+  v.dop = 4;
+  v.tasks.resize(4);
+  v.tasks[0].activity = v.tasks[1].activity = 0.9;  // High
+  v.tasks[2].activity = v.tasks[3].activity = 0.2;  // Low
+  for (auto& t : v.tasks) t.work_cycles = 1e6;
+  v.graph = appmodel::TaskGraph(
+      4, {{0, 1, 5.0}, {2, 3, 5.0}, {0, 2, 1.0}, {1, 3, 1.0}});
+  const auto m = mapper_.map(platform_, v);
+  ASSERT_TRUE(m.has_value());
+  std::vector<TileId> tile_of(4);
+  for (const auto& p : *m) {
+    tile_of[static_cast<std::size_t>(p.task_index)] = p.tile;
+  }
+  EXPECT_EQ(platform_.mesh().hop_distance(tile_of[0], tile_of[1]), 1);
+  EXPECT_EQ(platform_.mesh().hop_distance(tile_of[2], tile_of[3]), 1);
+}
+
+TEST_F(ParmMapperTest, FailsWhenDomainsInsufficient) {
+  // Occupy 13 of 15 domains; a 16-task app needs 4 clusters → fail.
+  for (DomainId d = 0; d < 13; ++d) {
+    const auto tiles = platform_.mesh().domain_tiles(d);
+    platform_.occupy(100 + d, {{0, tiles[0], 0.5}}, 0.4);
+  }
+  const DopVariant& v = variant_of("fft", 16);
+  EXPECT_FALSE(mapper_.map(platform_, v).has_value());
+  // An 8-task app (2 clusters) still fits.
+  const DopVariant& v8 = variant_of("fft", 8);
+  EXPECT_TRUE(mapper_.map(platform_, v8).has_value());
+}
+
+TEST_F(ParmMapperTest, PlacesClustersCompactly) {
+  const DopVariant& v = variant_of("fft", 16);
+  const auto m = mapper_.map(platform_, v);
+  ASSERT_TRUE(m.has_value());
+  // The used domains should form a tight region: max pairwise domain
+  // distance well below the mesh diameter (4+2=6 on the 5x3 domain grid).
+  std::set<DomainId> used;
+  for (const auto& p : *m) used.insert(platform_.mesh().domain_of(p.tile));
+  int maxd = 0;
+  for (DomainId a : used) {
+    for (DomainId b : used) {
+      maxd = std::max(maxd, platform_.mesh().domain_distance(a, b));
+    }
+  }
+  EXPECT_LE(maxd, 3);
+}
+
+// --------------------------------------------------------------- HM mapper
+
+class HmMapperTest : public ::testing::Test {
+ protected:
+  Platform platform_{PlatformConfig{}};
+  HarmonicMapper mapper_;
+};
+
+TEST_F(HmMapperTest, ProducesValidMappings) {
+  for (int dop : {4, 8, 16}) {
+    const DopVariant& v = variant_of("radix", dop);
+    const auto m = mapper_.map(platform_, v);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(validate_mapping(platform_, v, *m));
+  }
+}
+
+TEST_F(HmMapperTest, SpreadsHighActivityTasks) {
+  // All-High variant: HM must place tasks far apart, PARM packs them.
+  DopVariant v;
+  v.dop = 8;
+  v.tasks.resize(8);
+  for (auto& t : v.tasks) {
+    t.activity = 0.9;
+    t.work_cycles = 1e6;
+  }
+  v.graph = appmodel::TaskGraph(8, {{0, 1, 1.0}});
+  const auto hm = mapper_.map(platform_, v);
+  const auto parm = ParmMapper().map(platform_, v);
+  ASSERT_TRUE(hm.has_value());
+  ASSERT_TRUE(parm.has_value());
+  auto min_pair_distance = [&](const Mapping& m) {
+    int best = 1000;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      for (std::size_t j = i + 1; j < m.size(); ++j) {
+        best = std::min(best, platform_.mesh().hop_distance(m[i].tile,
+                                                            m[j].tile));
+      }
+    }
+    return best;
+  };
+  EXPECT_GE(min_pair_distance(*hm), 3);
+  EXPECT_EQ(min_pair_distance(*parm), 1);
+}
+
+TEST_F(HmMapperTest, ParmBeatsHmOnCommunicationCost) {
+  // The paper's central criticism of HM: scattering inflates total
+  // communication distance.
+  for (const char* bench : {"fft", "cholesky", "canneal"}) {
+    const DopVariant& v = variant_of(bench, 16);
+    const auto hm = mapper_.map(platform_, v);
+    const auto parm = ParmMapper().map(platform_, v);
+    ASSERT_TRUE(hm && parm);
+    EXPECT_LT(communication_cost(platform_.mesh(), v, *parm),
+              communication_cost(platform_.mesh(), v, *hm))
+        << bench;
+  }
+}
+
+TEST_F(HmMapperTest, FailsWhenTilesInsufficient) {
+  // Fill 50 tiles; a 16-task app cannot fit in the 10 left.
+  std::vector<Platform::Placement> filler;
+  for (TileId t = 0; t < 50; ++t) filler.push_back({0, t, 0.3});
+  platform_.occupy(1, filler, 0.4);
+  const DopVariant& v = variant_of("fft", 16);
+  EXPECT_FALSE(mapper_.map(platform_, v).has_value());
+  const DopVariant& v8 = variant_of("fft", 8);
+  EXPECT_TRUE(mapper_.map(platform_, v8).has_value());
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(MappingValidation, CatchesDefects) {
+  Platform platform{PlatformConfig{}};
+  const DopVariant& v = variant_of("fft", 4);
+  Mapping ok{{0, 0, 0.5}, {1, 1, 0.5}, {2, 2, 0.5}, {3, 3, 0.5}};
+  EXPECT_TRUE(validate_mapping(platform, v, ok));
+  Mapping dup_tile{{0, 0, 0.5}, {1, 0, 0.5}, {2, 2, 0.5}, {3, 3, 0.5}};
+  EXPECT_FALSE(validate_mapping(platform, v, dup_tile));
+  Mapping dup_task{{0, 0, 0.5}, {0, 1, 0.5}, {2, 2, 0.5}, {3, 3, 0.5}};
+  EXPECT_FALSE(validate_mapping(platform, v, dup_task));
+  Mapping missing{{0, 0, 0.5}};
+  EXPECT_FALSE(validate_mapping(platform, v, missing));
+}
+
+TEST(MappingValidation, CommunicationCost) {
+  Platform platform{PlatformConfig{}};
+  DopVariant v;
+  v.dop = 4;
+  v.tasks.resize(4);
+  for (auto& t : v.tasks) {
+    t.work_cycles = 1;
+    t.activity = 0.5;
+  }
+  v.graph = appmodel::TaskGraph(4, {{0, 1, 10.0}, {2, 3, 2.0}});
+  // Tiles 0,1 adjacent (distance 1); tiles 2, 12 distance... mesh is
+  // 10 wide: tile 2=(2,0), tile 12=(2,1) → distance 1.
+  Mapping m{{0, 0, 0.5}, {1, 1, 0.5}, {2, 2, 0.5}, {3, 12, 0.5}};
+  EXPECT_DOUBLE_EQ(communication_cost(platform.mesh(), v, m),
+                   10.0 * 1 + 2.0 * 1);
+}
+
+}  // namespace
+}  // namespace parm::mapping

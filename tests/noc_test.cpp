@@ -1,0 +1,419 @@
+// Unit tests for parm_noc: routing algorithms (turn-model correctness),
+// the cycle-level wormhole network (delivery, latency, flow control,
+// wormhole ordering), traffic generation and windowed simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+#include "noc/window_sim.hpp"
+
+namespace parm::noc {
+namespace {
+
+MeshGeometry mesh10x6() { return MeshGeometry(10, 6); }
+
+NocConfig small_cfg() {
+  NocConfig cfg;
+  cfg.buffer_depth = 4;
+  cfg.flits_per_packet = 4;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- routing
+
+TEST(WestFirst, WestIsExclusiveWhenDstIsWest) {
+  const MeshGeometry mesh = mesh10x6();
+  const TileId cur = mesh.tile_id({5, 3});
+  for (const TileCoord d : {TileCoord{2, 3}, TileCoord{2, 0},
+                            TileCoord{0, 5}}) {
+    const auto dirs = west_first_directions(mesh, cur, mesh.tile_id(d));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], Direction::West);
+  }
+}
+
+TEST(WestFirst, AdaptiveWhenNoWestComponent) {
+  const MeshGeometry mesh = mesh10x6();
+  const TileId cur = mesh.tile_id({2, 2});
+  const auto dirs =
+      west_first_directions(mesh, cur, mesh.tile_id({5, 4}));
+  ASSERT_EQ(dirs.size(), 2u);  // east + north both productive
+  EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction::East),
+            dirs.end());
+  EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction::North),
+            dirs.end());
+}
+
+TEST(WestFirst, AlwaysProductive) {
+  const MeshGeometry mesh = mesh10x6();
+  for (TileId a = 0; a < mesh.tile_count(); ++a) {
+    for (TileId b = 0; b < mesh.tile_count(); ++b) {
+      if (a == b) continue;
+      for (Direction d : west_first_directions(mesh, a, b)) {
+        const TileId n = mesh.neighbor(a, d);
+        ASSERT_NE(n, kInvalidTile);
+        EXPECT_LT(mesh.hop_distance(n, b), mesh.hop_distance(a, b));
+      }
+    }
+  }
+}
+
+TEST(XyRouting, FollowsDimensionOrder) {
+  const MeshGeometry mesh = mesh10x6();
+  XyRouting xy;
+  RoutingState state;
+  // East first when x differs, regardless of y.
+  EXPECT_EQ(xy.route(mesh, mesh.tile_id({1, 1}), mesh.tile_id({4, 5}),
+                     state),
+            Direction::East);
+  EXPECT_EQ(xy.route(mesh, mesh.tile_id({4, 1}), mesh.tile_id({1, 5}),
+                     state),
+            Direction::West);
+  // Same column: go vertically.
+  EXPECT_EQ(xy.route(mesh, mesh.tile_id({4, 1}), mesh.tile_id({4, 5}),
+                     state),
+            Direction::North);
+}
+
+TEST(IconRouting, PicksLeastLoadedPermittedHop) {
+  const MeshGeometry mesh = mesh10x6();
+  IconRouting icon;
+  std::vector<double> rates(static_cast<std::size_t>(mesh.tile_count()),
+                            0.0);
+  const TileId cur = mesh.tile_id({2, 2});
+  const TileId east = mesh.neighbor(cur, Direction::East);
+  const TileId north = mesh.neighbor(cur, Direction::North);
+  rates[static_cast<std::size_t>(east)] = 2.0;
+  rates[static_cast<std::size_t>(north)] = 0.1;
+  RoutingState state;
+  state.router_incoming_rate = &rates;
+  EXPECT_EQ(icon.route(mesh, cur, mesh.tile_id({5, 4}), state),
+            Direction::North);
+  rates[static_cast<std::size_t>(north)] = 3.0;
+  EXPECT_EQ(icon.route(mesh, cur, mesh.tile_id({5, 4}), state),
+            Direction::East);
+}
+
+TEST(PanrRouting, PsnSafetyFilterThenLeastLoaded) {
+  const MeshGeometry mesh = mesh10x6();
+  PanrRouting panr(0.5, 4.0);
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()), 0.0);
+  std::vector<double> rates(static_cast<std::size_t>(mesh.tile_count()),
+                            0.0);
+  const TileId cur = mesh.tile_id({2, 2});
+  const TileId east = mesh.neighbor(cur, Direction::East);
+  const TileId north = mesh.neighbor(cur, Direction::North);
+  // East is noisy (above the safety margin) → go north even though east
+  // is less loaded.
+  psn[static_cast<std::size_t>(east)] = 6.0;
+  rates[static_cast<std::size_t>(east)] = 0.0;
+  rates[static_cast<std::size_t>(north)] = 1.0;
+  RoutingState state;
+  state.tile_psn_percent = &psn;
+  state.router_incoming_rate = &rates;
+  state.input_buffer_occupancy = 0.1;
+  EXPECT_EQ(panr.route(mesh, cur, mesh.tile_id({5, 4}), state),
+            Direction::North);
+}
+
+TEST(PanrRouting, AllNoisyFallsBackToLeastNoisy) {
+  const MeshGeometry mesh = mesh10x6();
+  PanrRouting panr(0.5, 4.0);
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()), 9.0);
+  const TileId cur = mesh.tile_id({2, 2});
+  psn[static_cast<std::size_t>(mesh.neighbor(cur, Direction::North))] = 7.0;
+  RoutingState state;
+  state.tile_psn_percent = &psn;
+  state.input_buffer_occupancy = 0.1;
+  EXPECT_EQ(panr.route(mesh, cur, mesh.tile_id({5, 4}), state),
+            Direction::North);
+}
+
+TEST(PanrRouting, CongestionModeIgnoresPsn) {
+  const MeshGeometry mesh = mesh10x6();
+  PanrRouting panr(0.5, 4.0);
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()), 0.0);
+  std::vector<double> rates(static_cast<std::size_t>(mesh.tile_count()),
+                            0.0);
+  const TileId cur = mesh.tile_id({2, 2});
+  const TileId east = mesh.neighbor(cur, Direction::East);
+  const TileId north = mesh.neighbor(cur, Direction::North);
+  psn[static_cast<std::size_t>(north)] = 0.0;
+  psn[static_cast<std::size_t>(east)] = 3.0;
+  rates[static_cast<std::size_t>(north)] = 2.0;
+  rates[static_cast<std::size_t>(east)] = 0.2;
+  RoutingState state;
+  state.tile_psn_percent = &psn;
+  state.router_incoming_rate = &rates;
+  state.input_buffer_occupancy = 0.9;  // above B → congestion mode
+  EXPECT_EQ(panr.route(mesh, cur, mesh.tile_id({5, 4}), state),
+            Direction::East);
+}
+
+TEST(RoutingFactory, KnownNamesAndErrors) {
+  EXPECT_EQ(make_routing("XY")->name(), "XY");
+  EXPECT_EQ(make_routing("WestFirst")->name(), "WestFirst");
+  EXPECT_EQ(make_routing("ICON")->name(), "ICON");
+  EXPECT_EQ(make_routing("PANR")->name(), "PANR");
+  EXPECT_THROW(make_routing("banana"), CheckError);
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(Network, SinglePacketDeliveryAndLatency) {
+  const MeshGeometry mesh = mesh10x6();
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  const TileId src = mesh.tile_id({1, 1});
+  const TileId dst = mesh.tile_id({6, 4});
+  net.inject_packet(src, dst, 7);
+  for (int i = 0; i < 100; ++i) net.step();
+  EXPECT_EQ(net.total_delivered_flits(), 4u);
+  EXPECT_EQ(net.in_flight_flits(), 0u);
+  const auto& st = net.app_stats().at(7);
+  EXPECT_EQ(st.packets_delivered, 1u);
+  // 8 hops + 3 trailing flits + pipeline overheads; latency must be at
+  // least hops+flits-1 and not absurdly larger under zero load.
+  EXPECT_GE(st.avg_packet_latency(), 11.0);
+  EXPECT_LE(st.avg_packet_latency(), 30.0);
+}
+
+TEST(Network, AllPairsDeliveredUnderEveryRouting) {
+  const MeshGeometry mesh(6, 4);
+  for (const char* algo : {"XY", "WestFirst", "ICON", "PANR"}) {
+    Network net(mesh, small_cfg(), make_routing(algo));
+    std::uint64_t expected = 0;
+    for (TileId s = 0; s < mesh.tile_count(); ++s) {
+      for (TileId d = 0; d < mesh.tile_count(); ++d) {
+        if (s == d) continue;
+        net.inject_packet(s, d, 0);
+        expected += 4;
+      }
+    }
+    for (int i = 0; i < 5000 && net.in_flight_flits() > 0; ++i) net.step();
+    EXPECT_EQ(net.total_delivered_flits(), expected) << algo;
+    EXPECT_EQ(net.in_flight_flits(), 0u) << algo;
+  }
+}
+
+TEST(Network, WormholeKeepsPacketsContiguous) {
+  // Two packets from the same source to the same destination must arrive
+  // as two complete packets (tail counts equal packet count).
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.inject_packet(0, 15, 1);
+  net.inject_packet(0, 15, 1);
+  for (int i = 0; i < 200; ++i) net.step();
+  const auto& st = net.app_stats().at(1);
+  EXPECT_EQ(st.packets_delivered, 2u);
+  EXPECT_EQ(st.flits_delivered, 8u);
+}
+
+TEST(Network, BackpressureNeverOverflowsBuffers) {
+  const MeshGeometry mesh(6, 4);
+  NocConfig cfg = small_cfg();
+  cfg.buffer_depth = 2;
+  Network net(mesh, cfg, std::make_unique<XyRouting>());
+  Rng rng(77);
+  // Hammer a single column to force heavy contention.
+  for (int round = 0; round < 50; ++round) {
+    for (TileId s = 0; s < mesh.tile_count(); ++s) {
+      if (s != 21) net.inject_packet(s, 21, 0);
+    }
+    for (int i = 0; i < 5; ++i) net.step();
+    // Non-local buffers must respect their capacity.
+    for (TileId t = 0; t < mesh.tile_count(); ++t) {
+      for (Direction d : kCardinalDirections) {
+        EXPECT_LE(net.router(t).input(d).buffer.size(),
+                  static_cast<std::size_t>(cfg.buffer_depth));
+      }
+    }
+  }
+  for (int i = 0; i < 20000 && net.in_flight_flits() > 0; ++i) net.step();
+  EXPECT_EQ(net.in_flight_flits(), 0u);  // drains without deadlock
+}
+
+TEST(Network, FlitConservation) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), make_routing("PANR"));
+  Rng rng(5);
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const TileId s = static_cast<TileId>(rng.next_below(24));
+    TileId d = s;
+    while (d == s) d = static_cast<TileId>(rng.next_below(24));
+    net.inject_packet(s, d, static_cast<std::int32_t>(i % 5));
+    injected += 4;
+    net.step();
+  }
+  for (int i = 0; i < 20000 && net.in_flight_flits() > 0; ++i) net.step();
+  EXPECT_EQ(net.total_injected_flits(), injected);
+  EXPECT_EQ(net.total_delivered_flits(), injected);
+}
+
+TEST(Network, IncomingRateTracksLoad) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  // Steady stream through the middle of row 1.
+  for (int i = 0; i < 400; ++i) {
+    net.inject_packet(mesh.tile_id({0, 1}), mesh.tile_id({5, 1}), 0);
+    net.step();
+  }
+  const double mid_rate =
+      net.incoming_rates()[static_cast<std::size_t>(mesh.tile_id({3, 1}))];
+  const double far_rate =
+      net.incoming_rates()[static_cast<std::size_t>(mesh.tile_id({3, 3}))];
+  EXPECT_GT(mid_rate, 0.5);
+  EXPECT_NEAR(far_rate, 0.0, 1e-6);
+}
+
+TEST(Network, InvalidInjectionThrows) {
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  EXPECT_THROW(net.inject_packet(0, 0, 0), CheckError);
+  EXPECT_THROW(net.inject_packet(-1, 3, 0), CheckError);
+  EXPECT_THROW(net.inject_packet(0, 99, 0), CheckError);
+}
+
+TEST(Network, ResetStatsClearsCountersOnly) {
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.inject_packet(0, 15, 0);
+  for (int i = 0; i < 3; ++i) net.step();  // packet still in flight
+  const std::uint64_t in_flight = net.in_flight_flits();
+  EXPECT_GT(in_flight, 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_injected_flits(), 0u);
+  EXPECT_EQ(net.in_flight_flits(), in_flight);  // buffers untouched
+  for (int i = 0; i < 100; ++i) net.step();
+  EXPECT_EQ(net.in_flight_flits(), 0u);
+}
+
+// ---------------------------------------------------------------- traffic
+
+TEST(Traffic, RateAccuracy) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  TrafficGenerator gen({{0, 5, 0.25, 0}});  // 0.25 flits/cycle
+  for (int i = 0; i < 1600; ++i) {
+    gen.tick(net);
+    net.step();
+  }
+  // 1600 cycles × 0.25 = 400 flits injected (integral packets of 4).
+  EXPECT_NEAR(static_cast<double>(net.total_injected_flits()), 400.0, 4.0);
+}
+
+TEST(Traffic, PatternsHaveExpectedShape) {
+  const MeshGeometry mesh = mesh10x6();
+  Rng rng(3);
+  const auto uni = uniform_random_flows(mesh, 0.1, rng);
+  EXPECT_EQ(uni.size(), 60u);
+  for (const auto& f : uni) EXPECT_NE(f.src, f.dst);
+  const auto hot = hotspot_flows(mesh, 30, 0.1);
+  EXPECT_EQ(hot.size(), 59u);
+  for (const auto& f : hot) EXPECT_EQ(f.dst, 30);
+  const auto tr = transpose_flows(mesh, 0.1);
+  for (const auto& f : tr) EXPECT_NE(f.src, f.dst);
+}
+
+TEST(Traffic, OfferedLoad) {
+  TrafficGenerator gen({{0, 1, 0.25, 0}, {1, 2, 0.5, 0}});
+  EXPECT_DOUBLE_EQ(gen.offered_load(), 0.75);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(Tracing, XyRouteMatchesDimensionOrderPath) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.enable_tracing(true);
+  const TileId src = mesh.tile_id({1, 1});
+  const TileId dst = mesh.tile_id({4, 3});
+  net.inject_packet(src, dst, 0);  // packet id 0
+  for (int i = 0; i < 100; ++i) net.step();
+  const auto route = net.traced_route(0);
+  // XY: east along row 1, then north along column 4.
+  const std::vector<TileId> expect{
+      mesh.tile_id({1, 1}), mesh.tile_id({2, 1}), mesh.tile_id({3, 1}),
+      mesh.tile_id({4, 1}), mesh.tile_id({4, 2}), mesh.tile_id({4, 3})};
+  EXPECT_EQ(route, expect);
+}
+
+TEST(Tracing, TracedPathsAreMinimalForAdaptiveRouting) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), make_routing("PANR"));
+  net.enable_tracing(true);
+  Rng rng(3);
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()));
+  for (auto& x : psn) x = rng.uniform(0.0, 6.0);
+  net.set_tile_psn(psn);
+  std::vector<std::pair<std::int64_t, std::pair<TileId, TileId>>> pkts;
+  std::int64_t pid = 0;
+  for (int i = 0; i < 40; ++i) {
+    const TileId s = static_cast<TileId>(rng.next_below(24));
+    TileId d = s;
+    while (d == s) d = static_cast<TileId>(rng.next_below(24));
+    net.inject_packet(s, d, 0);
+    pkts.push_back({pid++, {s, d}});
+  }
+  for (int i = 0; i < 3000 && net.in_flight_flits() > 0; ++i) net.step();
+  for (const auto& [id, sd] : pkts) {
+    const auto route = net.traced_route(id);
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.front(), sd.first);
+    EXPECT_EQ(route.back(), sd.second);
+    // Minimal: hop count equals the Manhattan distance.
+    EXPECT_EQ(static_cast<int>(route.size()) - 1,
+              mesh.hop_distance(sd.first, sd.second));
+  }
+}
+
+TEST(Tracing, DisabledByDefault) {
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.inject_packet(0, 5, 0);
+  for (int i = 0; i < 50; ++i) net.step();
+  EXPECT_TRUE(net.traced_route(0).empty());
+}
+
+// --------------------------------------------------------------- window sim
+
+TEST(WindowSim, ReportsActivityAndLatency) {
+  const MeshGeometry mesh = mesh10x6();
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  TrafficGenerator gen({{0, 9, 0.5, 3}, {50, 59, 0.5, 4}});
+  WindowConfig cfg{128, 512};
+  const WindowResult w = run_window(net, gen, cfg);
+  EXPECT_EQ(w.cycles, 512u);
+  EXPECT_GT(w.injected_flits, 0u);
+  EXPECT_GT(w.delivery_ratio, 0.9);
+  EXPECT_TRUE(w.app_latency.contains(3));
+  EXPECT_TRUE(w.app_latency.contains(4));
+  // Row-0 middle routers forward the first flow's traffic.
+  EXPECT_GT(w.router_activity[static_cast<std::size_t>(
+                mesh.tile_id({5, 0}))],
+            0.2);
+  // An untouched router is quiet.
+  EXPECT_NEAR(w.router_activity[static_cast<std::size_t>(
+                  mesh.tile_id({5, 3}))],
+              0.0, 1e-9);
+}
+
+TEST(WindowSim, CongestionRaisesLatency) {
+  const MeshGeometry mesh = mesh10x6();
+  Network light(mesh, small_cfg(), std::make_unique<XyRouting>());
+  Network heavy(mesh, small_cfg(), std::make_unique<XyRouting>());
+  TrafficGenerator light_gen(hotspot_flows(mesh, 33, 0.01));
+  TrafficGenerator heavy_gen(hotspot_flows(mesh, 33, 0.2));
+  WindowConfig cfg{256, 1024};
+  const double l1 = run_window(light, light_gen, cfg).avg_latency;
+  const double l2 = run_window(heavy, heavy_gen, cfg).avg_latency;
+  EXPECT_GT(l2, l1 * 2.0);
+}
+
+}  // namespace
+}  // namespace parm::noc

@@ -1,0 +1,145 @@
+// Tests for the PDN AC analysis and the SPICE netlist export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "pdn/ac_analysis.hpp"
+#include "pdn/pdn_netlist.hpp"
+#include "pdn/spice_export.hpp"
+#include "power/technology.hpp"
+
+namespace parm::pdn {
+namespace {
+
+TEST(AcAnalysis, PureResistorIsFlat) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  ckt.add_resistor(n, kGround, 42.0);
+  AcAnalysis ac(ckt);
+  for (double f : {1e3, 1e6, 1e9}) {
+    const auto z = ac.input_impedance(n, f);
+    EXPECT_NEAR(z.real(), 42.0, 1e-9);
+    EXPECT_NEAR(z.imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(AcAnalysis, CapacitorImpedanceMatchesFormula) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  const double C = 1e-9;
+  ckt.add_capacitor(n, kGround, C);
+  AcAnalysis ac(ckt);
+  for (double f : {1e6, 1e7, 1e8}) {
+    const auto z = ac.input_impedance(n, f);
+    const double expect = 1.0 / (2.0 * std::numbers::pi * f * C);
+    EXPECT_NEAR(std::abs(z), expect, expect * 1e-9);
+    EXPECT_NEAR(z.real(), 0.0, 1e-9);
+    EXPECT_LT(z.imag(), 0.0);  // capacitive
+  }
+}
+
+TEST(AcAnalysis, InductorImpedanceMatchesFormula) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  const double L = 10e-12;
+  // Inductor to ground, with a tiny series R to keep DC defined.
+  const NodeId m = ckt.add_node("m");
+  ckt.add_resistor(n, m, 1e-6);
+  ckt.add_inductor(m, kGround, L);
+  AcAnalysis ac(ckt);
+  for (double f : {1e8, 1e9}) {
+    const auto z = ac.input_impedance(n, f);
+    const double expect = 2.0 * std::numbers::pi * f * L;
+    EXPECT_NEAR(std::abs(z), expect, expect * 1e-3);
+    EXPECT_GT(z.imag(), 0.0);  // inductive
+  }
+}
+
+TEST(AcAnalysis, VoltageSourceIsAcShort) {
+  // Probe behind a source: R to an ideal source → Z = R (source shorted).
+  Circuit ckt;
+  const NodeId s = ckt.add_node("s");
+  const NodeId n = ckt.add_node("n");
+  ckt.add_voltage_source(s, kGround, 0.8);
+  ckt.add_resistor(s, n, 5.0);
+  AcAnalysis ac(ckt);
+  const auto z = ac.input_impedance(n, 1e6);
+  EXPECT_NEAR(std::abs(z), 5.0, 1e-9);
+}
+
+TEST(AcAnalysis, DomainPdnShowsAntiResonance) {
+  // The bump inductance and decap tank must produce an impedance peak at
+  //   f0 ≈ 1 / (2π sqrt(Lb · C_total)),
+  // with low impedance on both sides — the textbook PDN profile.
+  const auto& tech = power::technology_node(7);
+  std::array<TileLoad, 4> loads{};  // loads are AC-opened anyway
+  const DomainCircuit dom = build_domain_circuit(tech, 0.4, loads);
+  AcAnalysis ac(dom.circuit);
+  const auto sweep = ac.sweep(dom.tile_nodes[0], 1e6, 5e9, 120);
+  const ImpedancePoint peak = AcAnalysis::peak(sweep);
+
+  const double c_total = 4.0 * tech.pdn_c_decap;
+  const double f0 = 1.0 / (2.0 * std::numbers::pi *
+                           std::sqrt(tech.pdn_l_bump * c_total));
+  EXPECT_GT(peak.freq_hz, f0 * 0.4);
+  EXPECT_LT(peak.freq_hz, f0 * 2.5);
+  // Peak is a real resonance: visibly above both sweep endpoints.
+  EXPECT_GT(peak.magnitude(), 1.5 * sweep.front().magnitude());
+  EXPECT_GT(peak.magnitude(), 1.5 * sweep.back().magnitude());
+}
+
+TEST(AcAnalysis, SweepIsLogSpacedAndOrdered) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  ckt.add_resistor(n, kGround, 1.0);
+  AcAnalysis ac(ckt);
+  const auto sweep = ac.sweep(n, 1e3, 1e6, 4);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_NEAR(sweep[0].freq_hz, 1e3, 1e-6);
+  EXPECT_NEAR(sweep[1].freq_hz, 1e4, 1.0);
+  EXPECT_NEAR(sweep[3].freq_hz, 1e6, 1e-3);
+}
+
+TEST(AcAnalysis, InvalidInputsThrow) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  ckt.add_resistor(n, kGround, 1.0);
+  AcAnalysis ac(ckt);
+  EXPECT_THROW(ac.input_impedance(n, 0.0), CheckError);
+  EXPECT_THROW(ac.input_impedance(kGround, 1e6), CheckError);
+  EXPECT_THROW(ac.sweep(n, 1e6, 1e3, 10), CheckError);
+}
+
+TEST(SpiceExport, EmitsEveryElement) {
+  const auto& tech = power::technology_node(7);
+  std::array<TileLoad, 4> loads{};
+  loads[0] = {0.3, 0.6, 0.0};
+  loads[1] = {0.1, 0.0, 0.0};
+  const DomainCircuit dom = build_domain_circuit(tech, 0.4, loads);
+  const std::string deck = to_spice(dom.circuit, "domain under test");
+
+  EXPECT_NE(deck.find("* domain under test"), std::string::npos);
+  // 9 resistors, 4 caps, 1 inductor, 1 source, 2 loads.
+  EXPECT_NE(deck.find("R9 "), std::string::npos);
+  EXPECT_EQ(deck.find("R10 "), std::string::npos);
+  EXPECT_NE(deck.find("C4 "), std::string::npos);
+  EXPECT_NE(deck.find("L1 "), std::string::npos);
+  EXPECT_NE(deck.find("V1 src 0 DC"), std::string::npos);
+  EXPECT_NE(deck.find("I1 tile0 0 DC"), std::string::npos);
+  EXPECT_NE(deck.find("ripple m="), std::string::npos);  // load 0 has m>0
+  EXPECT_NE(deck.find("I2 tile1 0 DC"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, GroundRendersAsZero) {
+  Circuit ckt;
+  const NodeId a = ckt.add_node("a");
+  ckt.add_resistor(a, kGround, 2.0);
+  const std::string deck = to_spice(ckt);
+  EXPECT_NE(deck.find("R1 a 0 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parm::pdn

@@ -1,0 +1,218 @@
+// Unit tests for parm_power: technology table, V/f model, core and router
+// power models, dark-silicon power ledger.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "power/chip_power.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+#include "power/technology.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm::power {
+namespace {
+
+// ------------------------------------------------------------- technology
+
+TEST(Technology, AllNodesPresentInOrder) {
+  const auto& nodes = all_technology_nodes();
+  ASSERT_EQ(nodes.size(), 6u);
+  const int expect[] = {45, 32, 22, 14, 10, 7};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].feature_nm, expect[i]);
+  }
+}
+
+TEST(Technology, LookupByFeatureSize) {
+  EXPECT_EQ(technology_node(7).feature_nm, 7);
+  EXPECT_EQ(technology_node(45).vdd_nominal, 1.0);
+  EXPECT_THROW(technology_node(5), CheckError);
+}
+
+TEST(Technology, ScalingTrendsHoldAcrossNodes) {
+  const auto& nodes = all_technology_nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    // Shrinking node: NTC supply drops, wires get more resistive,
+    // per-tile decap shrinks — the drivers of the Fig. 1 trend.
+    EXPECT_LT(nodes[i].vdd_ntc, nodes[i - 1].vdd_ntc);
+    EXPECT_GT(nodes[i].pdn_r_wire, nodes[i - 1].pdn_r_wire);
+    EXPECT_LT(nodes[i].pdn_c_decap, nodes[i - 1].pdn_c_decap);
+    EXPECT_LT(nodes[i].vth, nodes[i - 1].vth);
+  }
+}
+
+TEST(Technology, SevenNmMatchesPaperAnchors) {
+  const auto& n7 = technology_node(7);
+  EXPECT_DOUBLE_EQ(n7.vdd_ntc, 0.40);          // NTC point (section 5.1)
+  EXPECT_DOUBLE_EQ(n7.vdd_nominal, 0.80);      // top DVS level
+  EXPECT_NEAR(n7.router_area_um2, 71300, 1);   // section 4.4
+  EXPECT_NEAR(n7.panr_logic_area_um2, 115, 1);
+  EXPECT_NEAR(n7.sensor_network_area_um2, 413, 1);
+  EXPECT_NEAR(n7.core_area_um2, 4.0e6, 1);
+}
+
+// ---------------------------------------------------------------- vfmodel
+
+TEST(VfModel, CalibratedAtNominal) {
+  const auto& n7 = technology_node(7);
+  const VoltageFrequencyModel vf(n7);
+  EXPECT_NEAR(vf.fmax(n7.vdd_nominal), n7.f_at_nominal, 1.0);
+}
+
+TEST(VfModel, MonotonicallyIncreasing) {
+  const VoltageFrequencyModel vf(technology_node(7));
+  double prev = 0.0;
+  for (double v = 0.30; v <= 0.85; v += 0.01) {
+    const double f = vf.fmax(v);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(VfModel, NearThresholdIsSteep) {
+  // Near threshold, a 0.1 V step changes frequency much more than at
+  // nominal — the NTC premise.
+  const VoltageFrequencyModel vf(technology_node(7));
+  const double low_gain = vf.fmax(0.5) / vf.fmax(0.4);
+  const double high_gain = vf.fmax(0.8) / vf.fmax(0.7);
+  EXPECT_GT(low_gain, high_gain);
+  EXPECT_GT(low_gain, 1.4);
+}
+
+TEST(VfModel, MinVddInvertsFmax) {
+  const VoltageFrequencyModel vf(technology_node(7));
+  for (double v : {0.45, 0.55, 0.65, 0.75}) {
+    const double f = vf.fmax(v);
+    EXPECT_NEAR(vf.min_vdd_for_frequency(f, 0.8), v, 1e-6);
+  }
+  EXPECT_THROW(vf.min_vdd_for_frequency(10e9, 0.8), CheckError);
+}
+
+TEST(VfModel, SensitivityIsPositiveAndDropsWithVdd) {
+  const VoltageFrequencyModel vf(technology_node(7));
+  const double s_low = vf.frequency_sensitivity(0.4);
+  const double s_high = vf.frequency_sensitivity(0.8);
+  EXPECT_GT(s_low, s_high);
+  EXPECT_GT(s_high, 0.0);
+}
+
+TEST(VfModel, BelowThresholdThrows) {
+  const VoltageFrequencyModel vf(technology_node(7));
+  EXPECT_THROW(vf.fmax(0.2), CheckError);
+}
+
+// --------------------------------------------------------------- corepower
+
+TEST(CorePower, SevenNmCoreAnchor) {
+  // ~1.3 W mobile core at nominal 0.8 V / 2 GHz, high activity.
+  const auto& n7 = technology_node(7);
+  const CorePowerModel cp(n7);
+  const double p = cp.total_power(0.8, 2.0e9, 0.9);
+  EXPECT_GT(p, 1.0);
+  EXPECT_LT(p, 1.6);
+}
+
+TEST(CorePower, DarkSiliconBindsAtNominalNotAtNtc) {
+  // 60 tiles at nominal exceed the 65 W DsPB; at NTC they fit easily —
+  // the premise of the paper's dark-silicon setting.
+  const auto& n7 = technology_node(7);
+  const VoltageFrequencyModel vf(n7);
+  const CorePowerModel cp(n7);
+  const double at_nominal = 60 * cp.total_power(0.8, vf.fmax(0.8), 0.9);
+  const double at_ntc = 60 * cp.total_power(0.4, vf.fmax(0.4), 0.9);
+  EXPECT_GT(at_nominal, 65.0);
+  EXPECT_LT(at_ntc, 65.0 * 0.5);
+}
+
+TEST(CorePower, MonotonicInOperatingPoint) {
+  const CorePowerModel cp(technology_node(7));
+  EXPECT_LT(cp.dynamic_power(0.5, 1e9, 0.5), cp.dynamic_power(0.6, 1e9, 0.5));
+  EXPECT_LT(cp.dynamic_power(0.5, 1e9, 0.5), cp.dynamic_power(0.5, 2e9, 0.5));
+  EXPECT_LT(cp.dynamic_power(0.5, 1e9, 0.4), cp.dynamic_power(0.5, 1e9, 0.8));
+  EXPECT_LT(cp.leakage_power(0.4), cp.leakage_power(0.8));
+}
+
+TEST(CorePower, SupplyCurrentIsPowerOverVdd) {
+  const CorePowerModel cp(technology_node(7));
+  const double p = cp.total_power(0.6, 1.2e9, 0.7);
+  EXPECT_NEAR(cp.supply_current(0.6, 1.2e9, 0.7), p / 0.6, 1e-12);
+}
+
+TEST(CorePower, ActivityClassification) {
+  EXPECT_EQ(classify_activity(0.2), ActivityClass::Low);
+  EXPECT_EQ(classify_activity(0.49), ActivityClass::Low);
+  EXPECT_EQ(classify_activity(0.5), ActivityClass::High);
+  EXPECT_EQ(classify_activity(0.95), ActivityClass::High);
+  EXPECT_STREQ(to_string(ActivityClass::High), "High");
+}
+
+TEST(CorePower, InvalidInputsThrow) {
+  const CorePowerModel cp(technology_node(7));
+  EXPECT_THROW(cp.dynamic_power(0.5, 1e9, 1.5), CheckError);
+  EXPECT_THROW(cp.dynamic_power(-0.1, 1e9, 0.5), CheckError);
+}
+
+// ------------------------------------------------------------- routerpower
+
+TEST(RouterPower, AnchorNearPaperOverheadBase) {
+  // Paper section 4.4: PANR logic is ~1 mW ≈ 3 % of router power, so the
+  // busy router should burn a few tens of mW at nominal.
+  const RouterPowerModel rp(technology_node(7));
+  const double p = rp.total_power(0.8, 0.1e9);  // 0.1 flits/ns
+  EXPECT_GT(p, 0.02);
+  EXPECT_LT(p, 0.1);
+}
+
+TEST(RouterPower, PanrOverheadMatchesPaper) {
+  const RouterPowerModel rp(technology_node(7));
+  EXPECT_NEAR(rp.panr_overhead_power(), 1e-3, 1e-9);
+  EXPECT_NEAR(rp.panr_area_overhead_fraction(), 115.0 / 71300.0, 1e-9);
+  const double base = rp.total_power(0.8, 0.05e9, false);
+  const double with = rp.total_power(0.8, 0.05e9, true);
+  EXPECT_NEAR(with - base, 1e-3, 1e-12);
+}
+
+TEST(RouterPower, EnergyScalesQuadraticallyWithVdd) {
+  const RouterPowerModel rp(technology_node(7));
+  EXPECT_NEAR(rp.energy_per_flit(0.4) / rp.energy_per_flit(0.8), 0.25,
+              1e-9);
+}
+
+TEST(RouterPower, ZeroTrafficIsStaticOnly) {
+  const RouterPowerModel rp(technology_node(7));
+  EXPECT_DOUBLE_EQ(rp.total_power(0.8, 0.0), rp.static_power(0.8));
+}
+
+// ----------------------------------------------------------------- ledger
+
+TEST(PowerLedger, ReserveAndRelease) {
+  PowerLedger ledger(65.0);
+  EXPECT_TRUE(ledger.reserve(1, 30.0));
+  EXPECT_TRUE(ledger.reserve(2, 30.0));
+  EXPECT_FALSE(ledger.reserve(3, 10.0));  // would exceed 65 W
+  EXPECT_NEAR(ledger.headroom(), 5.0, 1e-12);
+  ledger.release(1);
+  EXPECT_TRUE(ledger.reserve(3, 10.0));
+  EXPECT_EQ(ledger.reservation_count(), 2u);
+}
+
+TEST(PowerLedger, DoubleReserveThrows) {
+  PowerLedger ledger(65.0);
+  EXPECT_TRUE(ledger.reserve(1, 10.0));
+  EXPECT_THROW(ledger.reserve(1, 5.0), CheckError);
+}
+
+TEST(PowerLedger, ReleaseUnknownIsNoop) {
+  PowerLedger ledger(65.0);
+  ledger.release(42);
+  EXPECT_EQ(ledger.reserved(), 0.0);
+}
+
+TEST(PowerLedger, ExactFitAllowed) {
+  PowerLedger ledger(10.0);
+  EXPECT_TRUE(ledger.reserve(1, 10.0));
+  EXPECT_FALSE(ledger.fits(0.1));
+}
+
+}  // namespace
+}  // namespace parm::power

@@ -1,0 +1,117 @@
+// Tests for offline-profile serialization (parm-profile v1 text format).
+#include <gtest/gtest.h>
+
+#include "appmodel/profile_io.hpp"
+#include "common/check.hpp"
+#include "power/technology.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm::appmodel {
+namespace {
+
+TEST(ProfileIo, RoundTripPreservesEverything) {
+  for (const char* name : {"fft", "swaptions", "dedup"}) {
+    const ApplicationProfile original(benchmark_by_name(name), 321);
+    const std::string text = to_text(original);
+    const ApplicationProfile restored = from_text(text);
+
+    EXPECT_EQ(restored.benchmark().name, name);
+    ASSERT_EQ(restored.dops(), original.dops());
+    for (int dop : original.dops()) {
+      const DopVariant& a = original.variant(dop);
+      const DopVariant& b = restored.variant(dop);
+      EXPECT_DOUBLE_EQ(a.critical_path_cycles, b.critical_path_cycles);
+      ASSERT_EQ(a.tasks.size(), b.tasks.size());
+      for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+        EXPECT_DOUBLE_EQ(a.tasks[t].work_cycles, b.tasks[t].work_cycles);
+        EXPECT_DOUBLE_EQ(a.tasks[t].activity, b.tasks[t].activity);
+      }
+      ASSERT_EQ(a.graph.edges().size(), b.graph.edges().size());
+      for (std::size_t e = 0; e < a.graph.edges().size(); ++e) {
+        EXPECT_EQ(a.graph.edges()[e].src, b.graph.edges()[e].src);
+        EXPECT_EQ(a.graph.edges()[e].dst, b.graph.edges()[e].dst);
+        EXPECT_DOUBLE_EQ(a.graph.edges()[e].volume_flits,
+                         b.graph.edges()[e].volume_flits);
+      }
+    }
+  }
+}
+
+TEST(ProfileIo, RestoredProfileComputesIdenticalWcet) {
+  const ApplicationProfile original(benchmark_by_name("cholesky"), 7);
+  const ApplicationProfile restored = from_text(to_text(original));
+  const power::VoltageFrequencyModel vf(power::technology_node(7));
+  for (int dop : original.dops()) {
+    for (double vdd : {0.4, 0.6, 0.8}) {
+      EXPECT_DOUBLE_EQ(original.wcet_seconds(vdd, dop, vf),
+                       restored.wcet_seconds(vdd, dop, vf));
+    }
+  }
+}
+
+TEST(ProfileIo, TextFormatIsStable) {
+  const ApplicationProfile p(benchmark_by_name("fft"), 1);
+  const std::string text = to_text(p);
+  EXPECT_EQ(text.rfind("parm-profile v1\n", 0), 0u);
+  EXPECT_NE(text.find("benchmark fft\n"), std::string::npos);
+  EXPECT_NE(text.find("variant 4 "), std::string::npos);
+  EXPECT_NE(text.find("task 0 "), std::string::npos);
+  EXPECT_NE(text.find("edge "), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 4), "end\n");
+}
+
+TEST(ProfileIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(from_text(""), CheckError);
+  EXPECT_THROW(from_text("wrong header\n"), CheckError);
+  EXPECT_THROW(from_text("parm-profile v1\nbenchmark nosuchapp\nend\n"),
+               CheckError);
+  // Task line outside a variant.
+  EXPECT_THROW(from_text("parm-profile v1\nbenchmark fft\n"
+                         "task 0 1.0 0.5\nend\n"),
+               CheckError);
+  // Missing 'end'.
+  EXPECT_THROW(from_text("parm-profile v1\nbenchmark fft\n"
+                         "variant 4 1e8\n"
+                         "task 0 1e6 0.5\ntask 1 1e6 0.5\n"
+                         "task 2 1e6 0.5\ntask 3 1e6 0.5\n"),
+               CheckError);
+  // Non-dense task indices.
+  EXPECT_THROW(from_text("parm-profile v1\nbenchmark fft\n"
+                         "variant 4 1e8\n"
+                         "task 1 1e6 0.5\nend\n"),
+               CheckError);
+  // Cyclic edge set.
+  EXPECT_THROW(from_text("parm-profile v1\nbenchmark fft\n"
+                         "variant 4 1e8\n"
+                         "task 0 1e6 0.5\ntask 1 1e6 0.5\n"
+                         "task 2 1e6 0.5\ntask 3 1e6 0.5\n"
+                         "edge 0 1 1.0\nedge 1 0 1.0\nend\n"),
+               CheckError);
+}
+
+TEST(ProfileIo, FromPartsValidates) {
+  const auto& bench = benchmark_by_name("fft");
+  std::vector<DopVariant> variants;
+  EXPECT_THROW(ApplicationProfile::from_parts(bench, variants), CheckError);
+
+  DopVariant v;
+  v.dop = 4;
+  v.critical_path_cycles = 1e8;
+  v.tasks.resize(4);
+  for (auto& t : v.tasks) {
+    t.work_cycles = 1e6;
+    t.activity = 0.5;
+  }
+  v.graph = TaskGraph(4, {{0, 1, 1.0}});
+  variants.push_back(v);
+  variants.push_back(v);  // duplicate DoP
+  EXPECT_THROW(ApplicationProfile::from_parts(bench, variants), CheckError);
+
+  variants.pop_back();
+  const ApplicationProfile ok =
+      ApplicationProfile::from_parts(bench, variants);
+  EXPECT_EQ(ok.dops(), std::vector<int>{4});
+}
+
+}  // namespace
+}  // namespace parm::appmodel

@@ -1,0 +1,253 @@
+// Property-based tests (parameterized sweeps) over the core invariants:
+//  - every routing policy delivers all traffic, deadlock-free, under every
+//    synthetic pattern and load level;
+//  - simulated paths never violate the west-first turn model;
+//  - PSN grows monotonically with Vdd at fixed relative workload
+//    (Fig. 3(a)'s premise);
+//  - both mappers produce structurally valid mappings for every
+//    (benchmark, DoP, seed) combination;
+//  - clustering covers all tasks with ≤4-task clusters for random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "appmodel/application.hpp"
+#include "common/rng.hpp"
+#include "mapping/clustering.hpp"
+#include "mapping/hm_mapper.hpp"
+#include "mapping/parm_mapper.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "noc/window_sim.hpp"
+#include "pdn/psn_estimator.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+#include "power/vf_model.hpp"
+
+namespace parm {
+namespace {
+
+// ------------------------------------------------- routing delivery sweep
+
+using RoutingCase = std::tuple<const char* /*algo*/, const char* /*pattern*/,
+                               double /*load*/>;
+
+class RoutingDelivery : public ::testing::TestWithParam<RoutingCase> {};
+
+TEST_P(RoutingDelivery, AllTrafficDeliveredNoDeadlock) {
+  const auto [algo, pattern, load] = GetParam();
+  const MeshGeometry mesh(8, 4);
+  noc::NocConfig cfg;
+  cfg.buffer_depth = 4;
+  noc::Network net(mesh, cfg, noc::make_routing(algo));
+
+  Rng rng(1234);
+  std::vector<noc::TrafficFlow> flows;
+  const std::string p = pattern;
+  if (p == "uniform") {
+    flows = noc::uniform_random_flows(mesh, load, rng);
+  } else if (p == "hotspot") {
+    flows = noc::hotspot_flows(mesh, mesh.tile_id({4, 2}), load);
+  } else {
+    flows = noc::transpose_flows(mesh, load);
+  }
+  // Give PANR some PSN texture to react to.
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()));
+  for (auto& x : psn) x = rng.uniform(0.0, 6.0);
+  net.set_tile_psn(psn);
+
+  noc::TrafficGenerator gen(flows);
+  for (int i = 0; i < 2000; ++i) {
+    gen.tick(net);
+    net.step();
+  }
+  // Stop injecting and drain; everything injected must be delivered.
+  for (int i = 0; i < 60000 && net.in_flight_flits() > 0; ++i) net.step();
+  EXPECT_EQ(net.in_flight_flits(), 0u)
+      << algo << "/" << pattern << " load=" << load;
+  EXPECT_EQ(net.total_delivered_flits(), net.total_injected_flits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoPatternLoad, RoutingDelivery,
+    ::testing::Combine(::testing::Values("XY", "WestFirst", "ICON", "PANR"),
+                       ::testing::Values("uniform", "hotspot", "transpose"),
+                       ::testing::Values(0.02, 0.1, 0.3)),
+    [](const ::testing::TestParamInfo<RoutingCase>& param_info) {
+      const double load = std::get<2>(param_info.param);
+      return std::string(std::get<0>(param_info.param)) + "_" +
+             std::get<1>(param_info.param) + "_" +
+             (load < 0.05 ? "light" : load < 0.2 ? "medium" : "heavy");
+    });
+
+// ------------------------------------------------- west-first turn model
+
+class TurnModelProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TurnModelProperty, NoWestTurnAfterLeavingWest) {
+  // Walk every (src, dst) pair hop by hop under the policy with randomized
+  // state inputs: once a packet moves E/N/S it must never turn W again
+  // (the west-first deadlock-freedom condition), and every hop must make
+  // progress (minimal routing, bounded path length).
+  const MeshGeometry mesh(6, 6);
+  const auto routing = noc::make_routing(GetParam());
+  Rng rng(7);
+  std::vector<double> psn(static_cast<std::size_t>(mesh.tile_count()));
+  std::vector<double> rate(static_cast<std::size_t>(mesh.tile_count()));
+  for (auto& x : psn) x = rng.uniform(0.0, 8.0);
+  for (auto& x : rate) x = rng.uniform(0.0, 2.0);
+  noc::RoutingState state;
+  state.tile_psn_percent = &psn;
+  state.router_incoming_rate = &rate;
+
+  for (TileId src = 0; src < mesh.tile_count(); ++src) {
+    for (TileId dst = 0; dst < mesh.tile_count(); ++dst) {
+      if (src == dst) continue;
+      TileId cur = src;
+      bool moved_non_west = false;
+      int hops = 0;
+      const int max_hops = mesh.hop_distance(src, dst);
+      while (cur != dst) {
+        state.input_buffer_occupancy = rng.uniform01();
+        const Direction d = routing->route(mesh, cur, dst, state);
+        if (d == Direction::West) {
+          EXPECT_FALSE(moved_non_west)
+          << GetParam() << ": west turn after leaving west, src=" << src
+          << " dst=" << dst;
+        } else {
+          moved_non_west = true;
+        }
+        const TileId next = mesh.neighbor(cur, d);
+        ASSERT_NE(next, kInvalidTile);
+        ASSERT_LT(mesh.hop_distance(next, dst), mesh.hop_distance(cur, dst))
+            << GetParam() << " must route minimally";
+        cur = next;
+        ASSERT_LE(++hops, max_hops);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, TurnModelProperty,
+                         ::testing::Values("XY", "WestFirst", "ICON",
+                                           "PANR"));
+
+// ------------------------------------------------------ PSN monotonicity
+
+class PsnVsVdd : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(PsnVsVdd, PeakPsnGrowsWithVdd) {
+  // Fig. 3(a): at any activity level, raising the domain supply raises
+  // peak PSN percent (current grows ~V·f while the margin grows only ~V).
+  const auto [v_lo, v_hi] = GetParam();
+  const auto& tech = power::technology_node(7);
+  const power::VoltageFrequencyModel vf(tech);
+  const power::CorePowerModel cp(tech);
+  pdn::PsnEstimator est(tech);
+  auto run = [&](double vdd) {
+    std::array<pdn::TileLoad, 4> loads{};
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double act = 0.5 + 0.1 * static_cast<double>(k);
+      loads[k] = {cp.supply_current(vdd, vf.fmax(vdd), act),
+                  pdn::activity_to_modulation(act),
+                  0.25 * static_cast<double>(k)};
+    }
+    return est.estimate(vdd, loads).peak_percent;
+  };
+  EXPECT_LT(run(v_lo), run(v_hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VddPairs, PsnVsVdd,
+    ::testing::Values(std::tuple(0.4, 0.5), std::tuple(0.5, 0.6),
+                      std::tuple(0.6, 0.7), std::tuple(0.7, 0.8),
+                      std::tuple(0.4, 0.8)));
+
+// ------------------------------------------------------- mapper validity
+
+using MapperCase = std::tuple<const char* /*bench*/, int /*dop*/,
+                              std::uint64_t /*seed*/>;
+
+class MapperValidity : public ::testing::TestWithParam<MapperCase> {};
+
+TEST_P(MapperValidity, BothMappersProduceValidMappings) {
+  const auto [bench, dop, seed] = GetParam();
+  const appmodel::ApplicationProfile profile(
+      appmodel::benchmark_by_name(bench), seed);
+  if (std::find(profile.dops().begin(), profile.dops().end(), dop) ==
+      profile.dops().end()) {
+    GTEST_SKIP() << bench << " caps DoP below " << dop;
+  }
+  const auto& variant = profile.variant(dop);
+  cmp::Platform platform{cmp::PlatformConfig{}};
+
+  const auto pm = mapping::ParmMapper().map(platform, variant);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_TRUE(mapping::validate_mapping(platform, variant, *pm));
+
+  const auto hm = mapping::HarmonicMapper().map(platform, variant);
+  ASSERT_TRUE(hm.has_value());
+  EXPECT_TRUE(mapping::validate_mapping(platform, variant, *hm));
+
+  // PARM never splits an app's domain with another app: each used domain
+  // hosts at most 4 of its tasks by construction.
+  std::map<DomainId, int> count;
+  for (const auto& p : *pm) {
+    ++count[platform.mesh().domain_of(p.tile)];
+  }
+  for (const auto& [d, n] : count) EXPECT_LE(n, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchDopSeed, MapperValidity,
+    ::testing::Combine(::testing::Values("fft", "cholesky", "swaptions",
+                                         "dedup", "radix"),
+                       ::testing::Values(4, 8, 12, 16, 32),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<MapperCase>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_d" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// -------------------------------------------------- clustering invariants
+
+class ClusteringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusteringProperty, CoversAllTasksInSmallPureClusters) {
+  const int dop = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dop) * 131);
+  for (int trial = 0; trial < 10; ++trial) {
+    appmodel::DopVariant v;
+    v.dop = dop;
+    v.tasks.resize(static_cast<std::size_t>(dop));
+    for (auto& t : v.tasks) {
+      t.work_cycles = rng.uniform(1e5, 1e7);
+      t.activity = rng.uniform(0.05, 0.95);
+    }
+    v.graph = appmodel::TaskGraph::generate(
+        appmodel::GraphShape::Random, dop, rng.uniform(1.0, 100.0), rng);
+    const auto clusters = mapping::cluster_tasks(v);
+    std::vector<int> seen(static_cast<std::size_t>(dop), 0);
+    int mixed = 0;
+    for (const auto& c : clusters) {
+      EXPECT_GE(c.tasks.size(), 1u);
+      EXPECT_LE(c.tasks.size(), 4u);
+      mixed += c.mixed_activity;
+      for (auto t : c.tasks) ++seen[static_cast<std::size_t>(t)];
+    }
+    for (int s : seen) EXPECT_EQ(s, 1);
+    EXPECT_LE(mixed, 1);  // dop is a multiple of 4 → one merged tail max
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dops, ClusteringProperty,
+                         ::testing::Values(4, 8, 12, 16, 20, 24, 28, 32));
+
+}  // namespace
+}  // namespace parm

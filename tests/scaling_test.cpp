@@ -1,0 +1,107 @@
+// Portability of the stack beyond the paper's 10×6 CMP: alternative mesh
+// geometries end to end, router arbitration fairness, and NoC state
+// persistence across measurement windows.
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+#include "exp/experiments.hpp"
+#include "noc/traffic.hpp"
+#include "noc/window_sim.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm {
+namespace {
+
+TEST(Scaling, AdmissionWorksOnLargerAndSmallerMeshes) {
+  for (const auto& [w, h] : {std::pair{4, 4}, std::pair{8, 8},
+                             std::pair{16, 6}}) {
+    cmp::PlatformConfig cfg;
+    cfg.mesh_width = w;
+    cfg.mesh_height = h;
+    cfg.dark_silicon_budget_w = 65.0 * w * h / 60.0;
+    cmp::Platform platform{cfg};
+    core::ParmAdmissionPolicy policy;
+
+    appmodel::AppArrival app;
+    app.id = 0;
+    app.bench = &appmodel::benchmark_by_name("radix");  // max_dop = 16
+    app.profile =
+        std::make_shared<appmodel::ApplicationProfile>(*app.bench, 3);
+    app.arrival_s = 0.0;
+    app.deadline_s = 100.0;
+
+    const auto r = policy.try_admit(app, 0.0, platform);
+    ASSERT_TRUE(r.admitted()) << w << "x" << h;
+    // The chosen DoP fits the platform's domain count.
+    EXPECT_LE(r.decision->dop / 4, platform.mesh().domain_count());
+    EXPECT_TRUE(mapping::validate_mapping(
+        platform, app.profile->variant(r.decision->dop),
+        r.decision->mapping));
+  }
+}
+
+TEST(Scaling, FullSimulationOnAn8x8Cmp) {
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.platform.mesh_width = 8;
+  cfg.platform.mesh_height = 8;
+  cfg.platform.dark_silicon_budget_w = 70.0;
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 5;
+  seq.inter_arrival_s = 0.1;
+  seq.seed = 77;
+
+  sim::SystemSimulator sim(cfg, appmodel::make_sequence(seq));
+  const sim::SimResult r = sim.run();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.completed_count + r.dropped_count, 5);
+  EXPECT_GE(r.completed_count, 4);
+  EXPECT_EQ(sim.platform().free_tile_count(), 64);
+}
+
+TEST(Arbitration, OutputPortSharesBandwidthFairly) {
+  // Two steady flows from opposite sides merging into one ejection port:
+  // round-robin arbitration must deliver both within a reasonable factor
+  // of each other.
+  const MeshGeometry mesh(6, 4);
+  noc::NocConfig cfg;
+  cfg.buffer_depth = 4;
+  noc::Network net(mesh, cfg, std::make_unique<noc::XyRouting>());
+  const TileId sink = mesh.tile_id({3, 1});
+  noc::TrafficGenerator gen({{mesh.tile_id({0, 1}), sink, 0.45, 1},
+                             {mesh.tile_id({5, 1}), sink, 0.45, 2}});
+  for (int i = 0; i < 4000; ++i) {
+    gen.tick(net);
+    net.step();
+  }
+  const auto& a = net.app_stats().at(1);
+  const auto& b = net.app_stats().at(2);
+  ASSERT_GT(a.packets_delivered, 100u);
+  ASSERT_GT(b.packets_delivered, 100u);
+  const double ratio = static_cast<double>(a.packets_delivered) /
+                       static_cast<double>(b.packets_delivered);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(WindowSim, StatePersistsAcrossWindows) {
+  // A congested network must stay congested into the next window (the
+  // system simulator relies on this when it re-samples every epoch).
+  const MeshGeometry mesh(6, 4);
+  noc::NocConfig cfg;
+  cfg.buffer_depth = 4;
+  noc::Network net(mesh, cfg, std::make_unique<noc::XyRouting>());
+  noc::TrafficGenerator heavy(noc::hotspot_flows(mesh, 9, 0.1));
+  const noc::WindowConfig wcfg{128, 512};
+  const auto w1 = noc::run_window(net, heavy, wcfg);
+  const auto w2 = noc::run_window(net, heavy, wcfg);
+  // Second window starts warm: latency at least as high as the first's.
+  EXPECT_GE(w2.avg_latency, w1.avg_latency * 0.8);
+  EXPECT_GT(net.cycle(), 2 * (wcfg.warmup_cycles + wcfg.measure_cycles) - 1);
+}
+
+}  // namespace
+}  // namespace parm

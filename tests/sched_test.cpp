@@ -1,0 +1,150 @@
+// Unit tests for parm_sched: EDF queue semantics, task-deadline
+// distribution over the APG, and the checkpoint/rollback cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "appmodel/application.hpp"
+#include "common/check.hpp"
+#include "sched/checkpoint.hpp"
+#include "sched/edf.hpp"
+
+namespace parm::sched {
+namespace {
+
+// -------------------------------------------------------------------- EDF
+
+TEST(EdfQueue, PopsEarliestDeadline) {
+  EdfQueue q;
+  q.push(1, 5.0);
+  q.push(2, 1.0);
+  q.push(3, 3.0);
+  EXPECT_EQ(q.pop().id, 2);
+  EXPECT_EQ(q.pop().id, 3);
+  EXPECT_EQ(q.pop().id, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfQueue, StableAmongEqualDeadlines) {
+  EdfQueue q;
+  q.push(10, 2.0);
+  q.push(11, 2.0);
+  q.push(12, 2.0);
+  EXPECT_EQ(q.pop().id, 10);
+  EXPECT_EQ(q.pop().id, 11);
+  EXPECT_EQ(q.pop().id, 12);
+}
+
+TEST(EdfQueue, PeekDoesNotRemove) {
+  EdfQueue q;
+  q.push(1, 1.0);
+  EXPECT_EQ(q.peek().id, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EdfQueue, EmptyAccessThrows) {
+  EdfQueue q;
+  EXPECT_THROW(q.pop(), CheckError);
+  EXPECT_THROW(q.peek(), CheckError);
+}
+
+TEST(EdfQueue, InterleavedOperations) {
+  EdfQueue q;
+  q.push(1, 9.0);
+  q.push(2, 4.0);
+  EXPECT_EQ(q.pop().id, 2);
+  q.push(3, 1.0);
+  q.push(4, 20.0);
+  EXPECT_EQ(q.pop().id, 3);
+  EXPECT_EQ(q.pop().id, 1);
+  EXPECT_EQ(q.pop().id, 4);
+}
+
+// ----------------------------------------------------- deadline assignment
+
+appmodel::DopVariant chain_variant() {
+  // 0 → 1 → 2 → 3 with equal work: deadlines must grow linearly.
+  appmodel::DopVariant v;
+  v.dop = 4;
+  v.tasks.resize(4);
+  for (auto& t : v.tasks) {
+    t.work_cycles = 1e6;
+    t.activity = 0.5;
+  }
+  v.graph = appmodel::TaskGraph(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  return v;
+}
+
+TEST(DeadlineAssignment, ChainIsLinearAndEndsAtAppDeadline) {
+  const auto v = chain_variant();
+  const auto d = assign_task_deadlines(v, 1.0, 5.0);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_NEAR(d[0], 2.0, 1e-9);  // 1/4 of the span after start
+  EXPECT_NEAR(d[1], 3.0, 1e-9);
+  EXPECT_NEAR(d[2], 4.0, 1e-9);
+  EXPECT_NEAR(d[3], 5.0, 1e-9);
+}
+
+TEST(DeadlineAssignment, MonotoneAlongEveryEdge) {
+  appmodel::ApplicationProfile profile(
+      appmodel::benchmark_by_name("cholesky"), 4);
+  for (int dop : {8, 16}) {
+    const auto& v = profile.variant(dop);
+    const auto d = assign_task_deadlines(v, 0.0, 1.0);
+    for (const auto& e : v.graph.edges()) {
+      EXPECT_LE(d[static_cast<std::size_t>(e.src)],
+                d[static_cast<std::size_t>(e.dst)] + 1e-12);
+    }
+    for (double x : d) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LE(x, 1.0 + 1e-12);
+    }
+    EXPECT_NEAR(*std::max_element(d.begin(), d.end()), 1.0, 1e-9);
+  }
+}
+
+TEST(DeadlineAssignment, InvalidSpanThrows) {
+  const auto v = chain_variant();
+  EXPECT_THROW(assign_task_deadlines(v, 2.0, 1.0), CheckError);
+}
+
+// ------------------------------------------------------------- checkpoint
+
+TEST(Checkpoint, PaperDefaults) {
+  const CheckpointModel m;
+  EXPECT_DOUBLE_EQ(m.config().period_s, 1e-3);
+  EXPECT_DOUBLE_EQ(m.config().checkpoint_cycles, 256.0);
+  EXPECT_DOUBLE_EQ(m.config().rollback_cycles, 10000.0);
+}
+
+TEST(Checkpoint, OverheadFractionAt1GHz) {
+  const CheckpointModel m;
+  // 256 cycles per 1 ms at 1 GHz = 256 / 1e6.
+  EXPECT_NEAR(m.overhead_fraction(1e9), 2.56e-4, 1e-12);
+  // Faster clock → relatively cheaper checkpoints.
+  EXPECT_LT(m.overhead_fraction(2e9), m.overhead_fraction(1e9));
+}
+
+TEST(Checkpoint, RollbackCostCombinesLostWorkAndRestart) {
+  const CheckpointModel m;
+  // 0.5 ms since checkpoint at 1e9 useful cycles/s → 5e5 lost + 1e4.
+  EXPECT_NEAR(m.rollback_cost_cycles(0.5e-3, 1e9), 5.1e5, 1.0);
+  EXPECT_NEAR(m.rollback_cost_cycles(0.0, 1e9), 1e4, 1e-9);
+}
+
+TEST(Checkpoint, LastCheckpointTime) {
+  const CheckpointModel m;
+  EXPECT_NEAR(m.last_checkpoint_time(0.0, 3.4e-3), 3e-3, 1e-12);
+  EXPECT_NEAR(m.last_checkpoint_time(0.2e-3, 3.4e-3), 3.2e-3, 1e-12);
+  EXPECT_THROW(m.last_checkpoint_time(1.0, 0.5), CheckError);
+}
+
+TEST(Checkpoint, ConfigValidation) {
+  CheckpointConfig bad;
+  bad.period_s = 0.0;
+  EXPECT_THROW(CheckpointModel{bad}, CheckError);
+}
+
+}  // namespace
+}  // namespace parm::sched

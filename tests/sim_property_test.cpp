@@ -1,0 +1,92 @@
+// Parameterized integration sweep: every framework × workload kind must
+// satisfy the simulator's global invariants on a moderate scenario.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/experiments.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::sim {
+namespace {
+
+using Case = std::tuple<const char* /*mapping*/, const char* /*routing*/,
+                        const char* /*workload*/>;
+
+class FrameworkWorkloadSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FrameworkWorkloadSweep, GlobalInvariantsHold) {
+  const auto [mapping, routing, workload] = GetParam();
+
+  appmodel::SequenceConfig seq;
+  seq.kind = std::string(workload) == "compute"
+                 ? appmodel::SequenceKind::Compute
+             : std::string(workload) == "comm"
+                 ? appmodel::SequenceKind::Communication
+                 : appmodel::SequenceKind::Mixed;
+  seq.app_count = 8;
+  seq.inter_arrival_s = 0.08;
+  seq.seed = 19;
+
+  SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = mapping;
+  cfg.framework.routing = routing;
+  cfg.record_telemetry = true;
+
+  SystemSimulator sim(cfg, appmodel::make_sequence(seq));
+  const SimResult r = sim.run();
+
+  // 1. No lost applications: every arrival resolves.
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.completed_count + r.dropped_count, 8);
+
+  // 2. Resources fully returned.
+  EXPECT_EQ(sim.platform().free_tile_count(), 60);
+  EXPECT_NEAR(sim.platform().ledger().reserved(), 0.0, 1e-9);
+
+  // 3. Outcome consistency.
+  for (const auto& o : r.apps) {
+    if (o.completed) {
+      EXPECT_TRUE(o.admitted);
+      EXPECT_GE(o.finish_s, o.admit_s);
+      EXPECT_GT(o.dop, 0);
+      EXPECT_EQ(o.dop % 4, 0);  // whole power domains
+      EXPECT_GE(o.vdd, 0.4);
+      EXPECT_LE(o.vdd, 0.8);
+      EXPECT_GE(o.task_deadline_misses, 0);
+      EXPECT_LE(o.task_deadline_misses, o.dop);
+    }
+    EXPECT_FALSE(o.completed && o.dropped);
+  }
+
+  // 4. Physical sanity: PSN non-negative and bounded; power under a
+  //    loose multiple of the budget; telemetry covers the whole run.
+  EXPECT_GE(r.peak_psn_percent, 0.0);
+  EXPECT_LT(r.peak_psn_percent, 40.0);
+  EXPECT_GE(r.peak_psn_percent, r.avg_psn_percent);
+  EXPECT_LT(r.peak_chip_power_w, 65.0 * 1.2);
+  EXPECT_FALSE(r.telemetry.empty());
+  EXPECT_NEAR(r.telemetry.samples().back().time_s, r.makespan_s,
+              50 * cfg.epoch_s);
+
+  // 5. Determinism: a second identical run agrees exactly.
+  SystemSimulator again(cfg, appmodel::make_sequence(seq));
+  const SimResult r2 = again.run();
+  EXPECT_DOUBLE_EQ(r2.makespan_s, r.makespan_s);
+  EXPECT_EQ(r2.total_ve_count, r.total_ve_count);
+  EXPECT_EQ(r2.completed_count, r.completed_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrameworkWorkloadSweep,
+    ::testing::Combine(::testing::Values("HM", "PARM"),
+                       ::testing::Values("XY", "ICON", "PANR"),
+                       ::testing::Values("compute", "comm", "mixed")),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_" +
+             std::get<1>(param_info.param) + "_" +
+             std::get<2>(param_info.param);
+    });
+
+}  // namespace
+}  // namespace parm::sim

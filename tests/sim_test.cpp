@@ -1,0 +1,200 @@
+// Integration tests for the full-system simulator: end-to-end execution,
+// determinism, accounting invariants, and the paper's headline orderings
+// on small workloads.
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::sim {
+namespace {
+
+appmodel::SequenceConfig small_sequence(appmodel::SequenceKind kind,
+                                        int count, double arrival,
+                                        std::uint64_t seed) {
+  appmodel::SequenceConfig cfg;
+  cfg.kind = kind;
+  cfg.app_count = count;
+  cfg.inter_arrival_s = arrival;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimConfig fast_sim(const core::FrameworkConfig& fw) {
+  SimConfig cfg = exp::default_sim_config();
+  cfg.framework = fw;
+  cfg.max_sim_time_s = 20.0;
+  return cfg;
+}
+
+core::FrameworkConfig fw(const char* mapping, const char* routing) {
+  core::FrameworkConfig cfg;
+  cfg.mapping = mapping;
+  cfg.routing = routing;
+  return cfg;
+}
+
+TEST(SystemSim, SmallSequenceRunsToCompletion) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 4, 0.2, 3));
+  SystemSimulator sim(fast_sim(fw("PARM", "PANR")), seq);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.completed_count + r.dropped_count, 4);
+  EXPECT_EQ(r.completed_count, 4);  // light load: everything completes
+  EXPECT_GT(r.makespan_s, 0.6);     // at least the arrival span
+  for (const auto& o : r.apps) {
+    EXPECT_TRUE(o.admitted);
+    EXPECT_TRUE(o.completed);
+    EXPECT_GT(o.finish_s, o.arrival_s);
+    EXPECT_GE(o.admit_s, o.arrival_s);
+    EXPECT_GT(o.dop, 0);
+    EXPECT_GT(o.vdd, 0.0);
+  }
+}
+
+TEST(SystemSim, DeterministicForSameConfiguration) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Mixed, 5, 0.1, 17));
+  SystemSimulator a(fast_sim(fw("PARM", "PANR")), seq);
+  SystemSimulator b(fast_sim(fw("PARM", "PANR")), seq);
+  const SimResult ra = a.run();
+  const SimResult rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.makespan_s, rb.makespan_s);
+  EXPECT_DOUBLE_EQ(ra.peak_psn_percent, rb.peak_psn_percent);
+  EXPECT_EQ(ra.total_ve_count, rb.total_ve_count);
+  EXPECT_EQ(ra.completed_count, rb.completed_count);
+}
+
+TEST(SystemSim, EveryAppAccountedExactlyOnce) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Communication, 8, 0.05, 29));
+  SystemSimulator sim(fast_sim(fw("HM", "XY")), seq);
+  const SimResult r = sim.run();
+  ASSERT_EQ(r.apps.size(), 8u);
+  for (const auto& o : r.apps) {
+    // An app is exactly one of: completed, dropped, or cut off by the
+    // simulation horizon (only when timed_out).
+    const int states = int(o.completed) + int(o.dropped);
+    if (r.timed_out) {
+      EXPECT_LE(states, 1);
+    } else {
+      EXPECT_EQ(states, 1);
+    }
+    // (braced branches above silence -Wdangling-else from EXPECT macros)
+    EXPECT_FALSE(o.completed && o.dropped);
+    if (o.completed) EXPECT_TRUE(o.admitted);
+  }
+}
+
+TEST(SystemSim, PlatformFullyReleasedAfterRun) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 4, 0.1, 5));
+  SystemSimulator sim(fast_sim(fw("PARM", "XY")), seq);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(sim.platform().free_tile_count(),
+            sim.platform().mesh().tile_count());
+  EXPECT_NEAR(sim.platform().ledger().reserved(), 0.0, 1e-9);
+}
+
+TEST(SystemSim, PowerStaysWithinDarkSiliconBudget) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 10, 0.05, 13));
+  for (const char* mapping : {"HM", "PARM"}) {
+    SystemSimulator sim(fast_sim(fw(mapping, "XY")), seq);
+    const SimResult r = sim.run();
+    // Reserved estimates respect the budget; the physical peak may exceed
+    // the estimate slightly (routing detours), but not wildly.
+    EXPECT_LT(r.peak_chip_power_w, 65.0 * 1.15) << mapping;
+  }
+}
+
+TEST(SystemSim, ParmSelectsLowerVddThanHm) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 6, 0.1, 21));
+  SystemSimulator parm(fast_sim(fw("PARM", "XY")), seq);
+  SystemSimulator hm(fast_sim(fw("HM", "XY")), seq);
+  const SimResult rp = parm.run();
+  const SimResult rh = hm.run();
+  double parm_max_vdd = 0.0, hm_min_vdd = 1.0;
+  for (const auto& o : rp.apps) {
+    if (o.admitted) parm_max_vdd = std::max(parm_max_vdd, o.vdd);
+  }
+  for (const auto& o : rh.apps) {
+    if (o.admitted) hm_min_vdd = std::min(hm_min_vdd, o.vdd);
+  }
+  EXPECT_LT(parm_max_vdd, hm_min_vdd);
+}
+
+TEST(SystemSim, ParmKeepsPsnFarBelowHm) {
+  // The paper's headline (Fig. 7): PARM's PSN is a small fraction of HM's.
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 8, 0.1, 37));
+  SystemSimulator parm(fast_sim(fw("PARM", "PANR")), seq);
+  SystemSimulator hm(fast_sim(fw("HM", "XY")), seq);
+  const SimResult rp = parm.run();
+  const SimResult rh = hm.run();
+  EXPECT_LT(rp.peak_psn_percent * 1.5, rh.peak_psn_percent);
+  EXPECT_LT(rp.avg_psn_percent, rh.avg_psn_percent);
+  EXPECT_LT(rp.total_ve_count * 10, rh.total_ve_count + 10);
+}
+
+TEST(SystemSim, OversubscriptionCausesDropsForHm) {
+  // At a 0.05 s arrival rate HM's fixed operating point cannot keep up.
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 16, 0.05, 41));
+  SystemSimulator hm(fast_sim(fw("HM", "XY")), seq);
+  SystemSimulator parm(fast_sim(fw("PARM", "PANR")), seq);
+  const SimResult rh = hm.run();
+  const SimResult rp = parm.run();
+  EXPECT_GT(rh.dropped_count, 0);
+  EXPECT_GE(rp.completed_count, rh.completed_count);
+}
+
+TEST(SystemSim, TimeoutReportedWhenHorizonTooShort) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 6, 0.05, 9));
+  SimConfig cfg = fast_sim(fw("PARM", "XY"));
+  cfg.max_sim_time_s = 0.05;  // far too short
+  SystemSimulator sim(cfg, seq);
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(SystemSim, RejectsUnsortedArrivals) {
+  auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 3, 0.1, 2));
+  std::swap(seq[0], seq[2]);
+  EXPECT_THROW(SystemSimulator(fast_sim(fw("PARM", "XY")), seq),
+               CheckError);
+}
+
+TEST(Experiments, MatrixRunsAllFrameworksOnSameSequence) {
+  appmodel::SequenceConfig seq =
+      small_sequence(appmodel::SequenceKind::Mixed, 3, 0.2, 55);
+  const auto runs = exp::run_framework_matrix(core::paper_frameworks(), seq,
+                                              exp::default_sim_config());
+  ASSERT_EQ(runs.size(), 6u);
+  EXPECT_EQ(runs[0].framework, "HM+XY");
+  EXPECT_EQ(runs[5].framework, "PARM+PANR");
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.result.apps.size(), 3u);
+    // Same sequence across frameworks: identical arrivals/deadlines.
+    EXPECT_DOUBLE_EQ(run.result.apps[1].arrival_s, 0.2);
+    EXPECT_DOUBLE_EQ(run.result.apps[1].deadline_s,
+                     runs[0].result.apps[1].deadline_s);
+  }
+}
+
+TEST(Experiments, Fig8FrameworkList) {
+  const auto fws = exp::fig8_frameworks();
+  ASSERT_EQ(fws.size(), 4u);
+  EXPECT_EQ(fws[0].display_name(), "HM+XY");
+  EXPECT_EQ(fws[1].display_name(), "PARM+XY");
+  EXPECT_EQ(fws[2].display_name(), "PARM+ICON");
+  EXPECT_EQ(fws[3].display_name(), "PARM+PANR");
+}
+
+}  // namespace
+}  // namespace parm::sim

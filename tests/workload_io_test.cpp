@@ -1,0 +1,88 @@
+// Tests for workload-schedule serialization (parm-workload v1) and its
+// replay guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "appmodel/workload_io.hpp"
+#include "common/check.hpp"
+
+namespace parm::appmodel {
+namespace {
+
+std::vector<AppArrival> sample_sequence() {
+  SequenceConfig cfg;
+  cfg.kind = SequenceKind::Mixed;
+  cfg.app_count = 8;
+  cfg.inter_arrival_s = 0.07;
+  cfg.seed = 99;
+  return make_sequence(cfg);
+}
+
+TEST(WorkloadIo, RoundTripPreservesSchedule) {
+  const auto original = sample_sequence();
+  const auto restored = workload_from_text(workload_to_text(original));
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].id, original[i].id);
+    EXPECT_EQ(restored[i].bench->name, original[i].bench->name);
+    EXPECT_EQ(restored[i].profile_seed, original[i].profile_seed);
+    EXPECT_DOUBLE_EQ(restored[i].arrival_s, original[i].arrival_s);
+    EXPECT_DOUBLE_EQ(restored[i].deadline_s, original[i].deadline_s);
+  }
+}
+
+TEST(WorkloadIo, ProfilesRebuildIdentically) {
+  const auto original = sample_sequence();
+  const auto restored = workload_from_text(workload_to_text(original));
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_NE(restored[i].profile, nullptr);
+    for (int dop : original[i].profile->dops()) {
+      const auto& a = original[i].profile->variant(dop);
+      const auto& b = restored[i].profile->variant(dop);
+      EXPECT_DOUBLE_EQ(a.critical_path_cycles, b.critical_path_cycles);
+      for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+        EXPECT_DOUBLE_EQ(a.tasks[t].work_cycles, b.tasks[t].work_cycles);
+      }
+    }
+  }
+}
+
+TEST(WorkloadIo, FormatIsStable) {
+  const auto seq = sample_sequence();
+  const std::string text = workload_to_text(seq);
+  EXPECT_EQ(text.rfind("parm-workload v1\n", 0), 0u);
+  EXPECT_EQ(text.substr(text.size() - 4), "end\n");
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            seq.size() + 2);
+}
+
+TEST(WorkloadIo, RejectsMalformedInput) {
+  EXPECT_THROW(workload_from_text(""), CheckError);
+  EXPECT_THROW(workload_from_text("wrong\nend\n"), CheckError);
+  EXPECT_THROW(
+      workload_from_text("parm-workload v1\napp 0 nosuchapp 1 0 1\nend\n"),
+      CheckError);
+  // Missing end.
+  EXPECT_THROW(
+      workload_from_text("parm-workload v1\napp 0 fft 1 0 1\n"),
+      CheckError);
+  // Deadline before arrival.
+  EXPECT_THROW(
+      workload_from_text("parm-workload v1\napp 0 fft 1 2.0 1.0\nend\n"),
+      CheckError);
+  // Unsorted arrivals.
+  EXPECT_THROW(workload_from_text("parm-workload v1\n"
+                                  "app 0 fft 1 1.0 2.0\n"
+                                  "app 1 fft 2 0.5 2.0\nend\n"),
+               CheckError);
+}
+
+TEST(WorkloadIo, EmptyScheduleRoundTrips) {
+  const auto restored = workload_from_text("parm-workload v1\nend\n");
+  EXPECT_TRUE(restored.empty());
+}
+
+}  // namespace
+}  // namespace parm::appmodel
