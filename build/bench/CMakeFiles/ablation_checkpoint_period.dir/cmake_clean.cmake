@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_period.dir/ablation_checkpoint_period.cpp.o"
+  "CMakeFiles/ablation_checkpoint_period.dir/ablation_checkpoint_period.cpp.o.d"
+  "ablation_checkpoint_period"
+  "ablation_checkpoint_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

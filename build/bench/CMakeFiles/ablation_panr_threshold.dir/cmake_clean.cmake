@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_panr_threshold.dir/ablation_panr_threshold.cpp.o"
+  "CMakeFiles/ablation_panr_threshold.dir/ablation_panr_threshold.cpp.o.d"
+  "ablation_panr_threshold"
+  "ablation_panr_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_panr_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parm_knobs.dir/ablation_parm_knobs.cpp.o"
+  "CMakeFiles/ablation_parm_knobs.dir/ablation_parm_knobs.cpp.o.d"
+  "ablation_parm_knobs"
+  "ablation_parm_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parm_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_throttle.dir/ablation_throttle.cpp.o"
+  "CMakeFiles/ablation_throttle.dir/ablation_throttle.cpp.o.d"
+  "ablation_throttle"
+  "ablation_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_psn_tech_scaling.dir/fig1_psn_tech_scaling.cpp.o"
+  "CMakeFiles/fig1_psn_tech_scaling.dir/fig1_psn_tech_scaling.cpp.o.d"
+  "fig1_psn_tech_scaling"
+  "fig1_psn_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_psn_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

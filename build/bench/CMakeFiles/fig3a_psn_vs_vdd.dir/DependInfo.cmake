@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3a_psn_vs_vdd.cpp" "bench/CMakeFiles/fig3a_psn_vs_vdd.dir/fig3a_psn_vs_vdd.cpp.o" "gcc" "bench/CMakeFiles/fig3a_psn_vs_vdd.dir/fig3a_psn_vs_vdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdn/CMakeFiles/parm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/parm_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_psn_vs_vdd.dir/fig3a_psn_vs_vdd.cpp.o"
+  "CMakeFiles/fig3a_psn_vs_vdd.dir/fig3a_psn_vs_vdd.cpp.o.d"
+  "fig3a_psn_vs_vdd"
+  "fig3a_psn_vs_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_psn_vs_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3a_psn_vs_vdd.
+# This may be replaced when dependencies are built.

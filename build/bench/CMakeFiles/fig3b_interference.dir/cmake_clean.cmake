@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_interference.dir/fig3b_interference.cpp.o"
+  "CMakeFiles/fig3b_interference.dir/fig3b_interference.cpp.o.d"
+  "fig3b_interference"
+  "fig3b_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_psn.dir/fig7_psn.cpp.o"
+  "CMakeFiles/fig7_psn.dir/fig7_psn.cpp.o.d"
+  "fig7_psn"
+  "fig7_psn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_psn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

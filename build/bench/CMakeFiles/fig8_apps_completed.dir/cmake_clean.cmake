@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_apps_completed.dir/fig8_apps_completed.cpp.o"
+  "CMakeFiles/fig8_apps_completed.dir/fig8_apps_completed.cpp.o.d"
+  "fig8_apps_completed"
+  "fig8_apps_completed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_apps_completed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_quality_report.dir/mapping_quality_report.cpp.o"
+  "CMakeFiles/mapping_quality_report.dir/mapping_quality_report.cpp.o.d"
+  "mapping_quality_report"
+  "mapping_quality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_quality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parm_runtime.dir/micro_parm_runtime.cpp.o"
+  "CMakeFiles/micro_parm_runtime.dir/micro_parm_runtime.cpp.o.d"
+  "micro_parm_runtime"
+  "micro_parm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overheads_report.dir/overheads_report.cpp.o"
+  "CMakeFiles/overheads_report.dir/overheads_report.cpp.o.d"
+  "overheads_report"
+  "overheads_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overheads_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_impedance_report.dir/pdn_impedance_report.cpp.o"
+  "CMakeFiles/pdn_impedance_report.dir/pdn_impedance_report.cpp.o.d"
+  "pdn_impedance_report"
+  "pdn_impedance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_impedance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

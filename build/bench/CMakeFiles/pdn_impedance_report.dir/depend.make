@@ -1,0 +1,2 @@
+# Empty dependencies file for pdn_impedance_report.
+# This may be replaced when dependencies are built.

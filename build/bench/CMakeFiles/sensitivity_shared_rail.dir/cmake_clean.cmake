@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_shared_rail.dir/sensitivity_shared_rail.cpp.o"
+  "CMakeFiles/sensitivity_shared_rail.dir/sensitivity_shared_rail.cpp.o.d"
+  "sensitivity_shared_rail"
+  "sensitivity_shared_rail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_shared_rail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sensitivity_shared_rail.
+# This may be replaced when dependencies are built.

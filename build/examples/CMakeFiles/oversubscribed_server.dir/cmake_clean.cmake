@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscribed_server.dir/oversubscribed_server.cpp.o"
+  "CMakeFiles/oversubscribed_server.dir/oversubscribed_server.cpp.o.d"
+  "oversubscribed_server"
+  "oversubscribed_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscribed_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_runner.dir/parm_runner.cpp.o"
+  "CMakeFiles/parm_runner.dir/parm_runner.cpp.o.d"
+  "parm_runner"
+  "parm_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

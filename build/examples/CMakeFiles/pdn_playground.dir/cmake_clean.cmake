@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_playground.dir/pdn_playground.cpp.o"
+  "CMakeFiles/pdn_playground.dir/pdn_playground.cpp.o.d"
+  "pdn_playground"
+  "pdn_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

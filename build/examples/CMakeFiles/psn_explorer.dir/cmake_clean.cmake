@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psn_explorer.dir/psn_explorer.cpp.o"
+  "CMakeFiles/psn_explorer.dir/psn_explorer.cpp.o.d"
+  "psn_explorer"
+  "psn_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psn_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

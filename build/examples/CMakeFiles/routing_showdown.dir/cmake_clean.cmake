@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_showdown.dir/routing_showdown.cpp.o"
+  "CMakeFiles/routing_showdown.dir/routing_showdown.cpp.o.d"
+  "routing_showdown"
+  "routing_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

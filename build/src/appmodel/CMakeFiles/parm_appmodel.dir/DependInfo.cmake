@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appmodel/application.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/application.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/application.cpp.o.d"
+  "/root/repo/src/appmodel/benchmarks.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/benchmarks.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/appmodel/profile_io.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/profile_io.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/profile_io.cpp.o.d"
+  "/root/repo/src/appmodel/task_graph.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/task_graph.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/task_graph.cpp.o.d"
+  "/root/repo/src/appmodel/workload.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/workload.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/workload.cpp.o.d"
+  "/root/repo/src/appmodel/workload_io.cpp" "src/appmodel/CMakeFiles/parm_appmodel.dir/workload_io.cpp.o" "gcc" "src/appmodel/CMakeFiles/parm_appmodel.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_appmodel.dir/application.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/application.cpp.o.d"
+  "CMakeFiles/parm_appmodel.dir/benchmarks.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/parm_appmodel.dir/profile_io.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/profile_io.cpp.o.d"
+  "CMakeFiles/parm_appmodel.dir/task_graph.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/task_graph.cpp.o.d"
+  "CMakeFiles/parm_appmodel.dir/workload.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/workload.cpp.o.d"
+  "CMakeFiles/parm_appmodel.dir/workload_io.cpp.o"
+  "CMakeFiles/parm_appmodel.dir/workload_io.cpp.o.d"
+  "libparm_appmodel.a"
+  "libparm_appmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_appmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parm_appmodel.
+# This may be replaced when dependencies are built.

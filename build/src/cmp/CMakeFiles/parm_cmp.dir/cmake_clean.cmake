@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_cmp.dir/platform.cpp.o"
+  "CMakeFiles/parm_cmp.dir/platform.cpp.o.d"
+  "libparm_cmp.a"
+  "libparm_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

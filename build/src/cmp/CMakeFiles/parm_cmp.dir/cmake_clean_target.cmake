@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparm_cmp.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_common.dir/geometry.cpp.o"
+  "CMakeFiles/parm_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/parm_common.dir/rng.cpp.o"
+  "CMakeFiles/parm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/parm_common.dir/stats.cpp.o"
+  "CMakeFiles/parm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/parm_common.dir/table.cpp.o"
+  "CMakeFiles/parm_common.dir/table.cpp.o.d"
+  "libparm_common.a"
+  "libparm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/parm_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/parm_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/parm_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/parm_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/service_queue.cpp" "src/core/CMakeFiles/parm_core.dir/service_queue.cpp.o" "gcc" "src/core/CMakeFiles/parm_core.dir/service_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/parm_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/parm_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/parm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

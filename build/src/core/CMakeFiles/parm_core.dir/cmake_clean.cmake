@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_core.dir/admission.cpp.o"
+  "CMakeFiles/parm_core.dir/admission.cpp.o.d"
+  "CMakeFiles/parm_core.dir/framework.cpp.o"
+  "CMakeFiles/parm_core.dir/framework.cpp.o.d"
+  "CMakeFiles/parm_core.dir/service_queue.cpp.o"
+  "CMakeFiles/parm_core.dir/service_queue.cpp.o.d"
+  "libparm_core.a"
+  "libparm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

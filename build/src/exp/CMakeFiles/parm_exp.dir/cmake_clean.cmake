@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_exp.dir/experiments.cpp.o"
+  "CMakeFiles/parm_exp.dir/experiments.cpp.o.d"
+  "libparm_exp.a"
+  "libparm_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

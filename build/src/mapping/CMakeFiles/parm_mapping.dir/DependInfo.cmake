@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/clustering.cpp" "src/mapping/CMakeFiles/parm_mapping.dir/clustering.cpp.o" "gcc" "src/mapping/CMakeFiles/parm_mapping.dir/clustering.cpp.o.d"
+  "/root/repo/src/mapping/hm_mapper.cpp" "src/mapping/CMakeFiles/parm_mapping.dir/hm_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/parm_mapping.dir/hm_mapper.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/parm_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/parm_mapping.dir/mapper.cpp.o.d"
+  "/root/repo/src/mapping/parm_mapper.cpp" "src/mapping/CMakeFiles/parm_mapping.dir/parm_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/parm_mapping.dir/parm_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/parm_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/parm_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_mapping.dir/clustering.cpp.o"
+  "CMakeFiles/parm_mapping.dir/clustering.cpp.o.d"
+  "CMakeFiles/parm_mapping.dir/hm_mapper.cpp.o"
+  "CMakeFiles/parm_mapping.dir/hm_mapper.cpp.o.d"
+  "CMakeFiles/parm_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/parm_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/parm_mapping.dir/parm_mapper.cpp.o"
+  "CMakeFiles/parm_mapping.dir/parm_mapper.cpp.o.d"
+  "libparm_mapping.a"
+  "libparm_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/load_sweep.cpp" "src/noc/CMakeFiles/parm_noc.dir/load_sweep.cpp.o" "gcc" "src/noc/CMakeFiles/parm_noc.dir/load_sweep.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/parm_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/parm_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/parm_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/parm_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/parm_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/parm_noc.dir/traffic.cpp.o.d"
+  "/root/repo/src/noc/window_sim.cpp" "src/noc/CMakeFiles/parm_noc.dir/window_sim.cpp.o" "gcc" "src/noc/CMakeFiles/parm_noc.dir/window_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

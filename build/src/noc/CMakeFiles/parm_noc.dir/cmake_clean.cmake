@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_noc.dir/load_sweep.cpp.o"
+  "CMakeFiles/parm_noc.dir/load_sweep.cpp.o.d"
+  "CMakeFiles/parm_noc.dir/network.cpp.o"
+  "CMakeFiles/parm_noc.dir/network.cpp.o.d"
+  "CMakeFiles/parm_noc.dir/routing.cpp.o"
+  "CMakeFiles/parm_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/parm_noc.dir/traffic.cpp.o"
+  "CMakeFiles/parm_noc.dir/traffic.cpp.o.d"
+  "CMakeFiles/parm_noc.dir/window_sim.cpp.o"
+  "CMakeFiles/parm_noc.dir/window_sim.cpp.o.d"
+  "libparm_noc.a"
+  "libparm_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

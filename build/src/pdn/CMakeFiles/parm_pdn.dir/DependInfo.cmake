@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/ac_analysis.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/ac_analysis.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/ac_analysis.cpp.o.d"
+  "/root/repo/src/pdn/chip_pdn.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/chip_pdn.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/chip_pdn.cpp.o.d"
+  "/root/repo/src/pdn/circuit.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/circuit.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/circuit.cpp.o.d"
+  "/root/repo/src/pdn/linalg.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/linalg.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/linalg.cpp.o.d"
+  "/root/repo/src/pdn/pdn_netlist.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/pdn_netlist.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/pdn_netlist.cpp.o.d"
+  "/root/repo/src/pdn/psn_estimator.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/psn_estimator.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/psn_estimator.cpp.o.d"
+  "/root/repo/src/pdn/spice_export.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/spice_export.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/spice_export.cpp.o.d"
+  "/root/repo/src/pdn/transient.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/transient.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/transient.cpp.o.d"
+  "/root/repo/src/pdn/waveform.cpp" "src/pdn/CMakeFiles/parm_pdn.dir/waveform.cpp.o" "gcc" "src/pdn/CMakeFiles/parm_pdn.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_pdn.dir/ac_analysis.cpp.o"
+  "CMakeFiles/parm_pdn.dir/ac_analysis.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/chip_pdn.cpp.o"
+  "CMakeFiles/parm_pdn.dir/chip_pdn.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/circuit.cpp.o"
+  "CMakeFiles/parm_pdn.dir/circuit.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/linalg.cpp.o"
+  "CMakeFiles/parm_pdn.dir/linalg.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/pdn_netlist.cpp.o"
+  "CMakeFiles/parm_pdn.dir/pdn_netlist.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/psn_estimator.cpp.o"
+  "CMakeFiles/parm_pdn.dir/psn_estimator.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/spice_export.cpp.o"
+  "CMakeFiles/parm_pdn.dir/spice_export.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/transient.cpp.o"
+  "CMakeFiles/parm_pdn.dir/transient.cpp.o.d"
+  "CMakeFiles/parm_pdn.dir/waveform.cpp.o"
+  "CMakeFiles/parm_pdn.dir/waveform.cpp.o.d"
+  "libparm_pdn.a"
+  "libparm_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chip_power.cpp" "src/power/CMakeFiles/parm_power.dir/chip_power.cpp.o" "gcc" "src/power/CMakeFiles/parm_power.dir/chip_power.cpp.o.d"
+  "/root/repo/src/power/core_power.cpp" "src/power/CMakeFiles/parm_power.dir/core_power.cpp.o" "gcc" "src/power/CMakeFiles/parm_power.dir/core_power.cpp.o.d"
+  "/root/repo/src/power/router_power.cpp" "src/power/CMakeFiles/parm_power.dir/router_power.cpp.o" "gcc" "src/power/CMakeFiles/parm_power.dir/router_power.cpp.o.d"
+  "/root/repo/src/power/technology.cpp" "src/power/CMakeFiles/parm_power.dir/technology.cpp.o" "gcc" "src/power/CMakeFiles/parm_power.dir/technology.cpp.o.d"
+  "/root/repo/src/power/vf_model.cpp" "src/power/CMakeFiles/parm_power.dir/vf_model.cpp.o" "gcc" "src/power/CMakeFiles/parm_power.dir/vf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_power.dir/chip_power.cpp.o"
+  "CMakeFiles/parm_power.dir/chip_power.cpp.o.d"
+  "CMakeFiles/parm_power.dir/core_power.cpp.o"
+  "CMakeFiles/parm_power.dir/core_power.cpp.o.d"
+  "CMakeFiles/parm_power.dir/router_power.cpp.o"
+  "CMakeFiles/parm_power.dir/router_power.cpp.o.d"
+  "CMakeFiles/parm_power.dir/technology.cpp.o"
+  "CMakeFiles/parm_power.dir/technology.cpp.o.d"
+  "CMakeFiles/parm_power.dir/vf_model.cpp.o"
+  "CMakeFiles/parm_power.dir/vf_model.cpp.o.d"
+  "libparm_power.a"
+  "libparm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_sched.dir/checkpoint.cpp.o"
+  "CMakeFiles/parm_sched.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/parm_sched.dir/edf.cpp.o"
+  "CMakeFiles/parm_sched.dir/edf.cpp.o.d"
+  "libparm_sched.a"
+  "libparm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

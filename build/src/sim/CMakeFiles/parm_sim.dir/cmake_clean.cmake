@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parm_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/parm_sim.dir/system_sim.cpp.o.d"
+  "CMakeFiles/parm_sim.dir/telemetry.cpp.o"
+  "CMakeFiles/parm_sim.dir/telemetry.cpp.o.d"
+  "libparm_sim.a"
+  "libparm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

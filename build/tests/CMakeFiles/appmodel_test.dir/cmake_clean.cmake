@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appmodel_test.dir/appmodel_test.cpp.o"
+  "CMakeFiles/appmodel_test.dir/appmodel_test.cpp.o.d"
+  "appmodel_test"
+  "appmodel_test.pdb"
+  "appmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_pdn_test.dir/chip_pdn_test.cpp.o"
+  "CMakeFiles/chip_pdn_test.dir/chip_pdn_test.cpp.o.d"
+  "chip_pdn_test"
+  "chip_pdn_test.pdb"
+  "chip_pdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_pdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

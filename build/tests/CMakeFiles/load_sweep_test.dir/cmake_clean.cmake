@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_sweep_test.dir/load_sweep_test.cpp.o"
+  "CMakeFiles/load_sweep_test.dir/load_sweep_test.cpp.o.d"
+  "load_sweep_test"
+  "load_sweep_test.pdb"
+  "load_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_ac_test.dir/pdn_ac_test.cpp.o"
+  "CMakeFiles/pdn_ac_test.dir/pdn_ac_test.cpp.o.d"
+  "pdn_ac_test"
+  "pdn_ac_test.pdb"
+  "pdn_ac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_ac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

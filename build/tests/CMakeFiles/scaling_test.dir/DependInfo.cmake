@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scaling_test.cpp" "tests/CMakeFiles/scaling_test.dir/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/scaling_test.dir/scaling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/parm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/parm_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/parm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/parm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/parm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/parm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/parm_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/parm_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

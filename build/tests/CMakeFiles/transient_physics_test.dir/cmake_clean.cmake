@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_physics_test.dir/transient_physics_test.cpp.o"
+  "CMakeFiles/transient_physics_test.dir/transient_physics_test.cpp.o.d"
+  "transient_physics_test"
+  "transient_physics_test.pdb"
+  "transient_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
