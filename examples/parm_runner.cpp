@@ -10,10 +10,20 @@
 //               [--arrival SECONDS] [--seed N]
 //               [--save-workload FILE | --load-workload FILE]
 //               [--telemetry FILE.csv] [--throttle]
+//               [--metrics FILE.json] [--trace FILE.json]
+//               [--trace-jsonl FILE.jsonl]
+//
+// Observability:
+//   --metrics writes the process metrics registry (solver/mapper/NoC
+//   counters and latency percentiles) as JSON and prints the text report
+//   after the run; --trace writes a Chrome trace-event file (open in
+//   Perfetto or chrome://tracing); --trace-jsonl streams the same events
+//   one JSON object per line.
 //
 // Examples:
 //   parm_runner --mapping PARM --routing PANR --workload comm --arrival 0.05
 //   parm_runner --load-workload run.wl --telemetry run.csv
+//   parm_runner --trace run.json --metrics metrics.json
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,6 +31,8 @@
 
 #include "appmodel/workload_io.hpp"
 #include "exp/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -44,6 +56,7 @@ int main(int argc, char** argv) {
   seq.inter_arrival_s = 0.1;
   seq.seed = 1;
   std::string save_workload, load_workload, telemetry_file;
+  std::string metrics_file, trace_file, trace_jsonl_file;
   bool throttle = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +92,12 @@ int main(int argc, char** argv) {
       load_workload = value();
     } else if (arg == "--telemetry") {
       telemetry_file = value();
+    } else if (arg == "--metrics") {
+      metrics_file = value();
+    } else if (arg == "--trace") {
+      trace_file = value();
+    } else if (arg == "--trace-jsonl") {
+      trace_jsonl_file = value();
     } else if (arg == "--throttle") {
       throttle = true;
     } else {
@@ -109,6 +128,16 @@ int main(int argc, char** argv) {
   cfg.proactive_throttle = throttle;
   cfg.record_telemetry = !telemetry_file.empty();
 
+  // Open trace sinks before the simulator exists so construction-time
+  // events (first factorizations) are captured too.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!trace_file.empty() && !tracer.open_chrome(trace_file)) {
+    usage("cannot open trace file for writing");
+  }
+  if (!trace_jsonl_file.empty() && !tracer.open_jsonl(trace_jsonl_file)) {
+    usage("cannot open trace JSONL file for writing");
+  }
+
   std::cout << "running " << framework.display_name() << " on "
             << arrivals.size() << " apps...\n";
   sim::SystemSimulator simulator(cfg, std::move(arrivals));
@@ -132,6 +161,24 @@ int main(int argc, char** argv) {
     r.telemetry.write_csv(out);
     std::cout << "telemetry (" << r.telemetry.samples().size()
               << " epochs) written to " << telemetry_file << "\n";
+  }
+
+  tracer.close();
+  if (!trace_file.empty()) {
+    std::cout << "trace written to " << trace_file
+              << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (!trace_jsonl_file.empty()) {
+    std::cout << "trace events streamed to " << trace_jsonl_file << "\n";
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) usage("cannot open metrics file for writing");
+    obs::Registry::instance().write_json(out);
+    out << '\n';
+    std::cout << "metrics written to " << metrics_file << "\n";
+    std::cout << "\n--- metrics summary ---\n";
+    obs::Registry::instance().write_text(std::cout);
   }
   return 0;
 }

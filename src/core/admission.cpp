@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "power/core_power.hpp"
 #include "power/router_power.hpp"
 
@@ -9,22 +10,62 @@ namespace parm::core {
 
 namespace {
 
+/// Admission metrics, resolved once. Rejection counters split Algorithm 1
+/// failures by constraint: deadline (WCET misses), DsPB (dark-silicon
+/// power budget, ledger refusal), and PSN-aware mapping (no spatial
+/// region with acceptable noise coupling).
+struct AdmissionMetrics {
+  obs::Counter& candidates;
+  obs::Counter& reject_deadline;
+  obs::Counter& reject_dspb;
+  obs::Counter& reject_psn_map;
+  obs::Counter& admitted;
+  obs::Histogram& chosen_vdd;
+  obs::Histogram& chosen_dop;
+
+  static AdmissionMetrics& get() {
+    static AdmissionMetrics m{
+        obs::Registry::instance().counter("admission.candidates"),
+        obs::Registry::instance().counter("admission.reject_deadline"),
+        obs::Registry::instance().counter("admission.reject_dspb"),
+        obs::Registry::instance().counter("admission.reject_psn_map"),
+        obs::Registry::instance().counter("admission.admitted"),
+        obs::Registry::instance().histogram(
+            "admission.chosen_vdd",
+            {0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}),
+        obs::Registry::instance().histogram("admission.chosen_dop",
+                                            {4, 8, 16, 32, 64})};
+    return m;
+  }
+};
+
 /// Shared tail of both policies: power check (Algorithm 2 lines 1-2) and
 /// mapping attempt for one (vdd, dop) candidate. Returns the decision on
 /// success.
 std::optional<AdmissionDecision> attempt_point(
     const appmodel::AppArrival& app, const cmp::Platform& platform,
     const mapping::Mapper& mapper, double vdd, int dop, double wcet_s) {
+  AdmissionMetrics& metrics = AdmissionMetrics::get();
+  metrics.candidates.inc();
   const power::CorePowerModel core_model(platform.technology());
   const power::RouterPowerModel router_model(platform.technology());
   const double power = app.profile->estimated_power_w(
       vdd, dop, platform.vf_model(), core_model, router_model);
-  if (!platform.ledger().fits(power)) return std::nullopt;
+  if (!platform.ledger().fits(power)) {
+    metrics.reject_dspb.inc();
+    return std::nullopt;
+  }
 
   const appmodel::DopVariant& variant = app.profile->variant(dop);
   std::optional<mapping::Mapping> m = mapper.map(platform, variant);
-  if (!m) return std::nullopt;
+  if (!m) {
+    metrics.reject_psn_map.inc();
+    return std::nullopt;
+  }
 
+  metrics.admitted.inc();
+  metrics.chosen_vdd.observe(vdd);
+  metrics.chosen_dop.observe(static_cast<double>(dop));
   AdmissionDecision d;
   d.vdd = vdd;
   d.dop = dop;
@@ -64,6 +105,7 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
       if (now_s + wcet >= app.deadline_s) {
         // Alg. 1 line 13: a lower DoP only increases WCET — skip the rest
         // of the DoP list and move to the next (higher) Vdd.
+        AdmissionMetrics::get().reject_deadline.inc();
         break;
       }
       deadline_met_at_this_vdd = true;
@@ -100,6 +142,7 @@ AdmissionResult HmAdmissionPolicy::try_admit(
   const double wcet =
       app.profile->wcet_seconds(vdd_, dop, platform.vf_model());
   if (now_s + wcet >= app.deadline_s) {
+    AdmissionMetrics::get().reject_deadline.inc();
     result.failure = AdmissionFailure::Drop;
     return result;
   }

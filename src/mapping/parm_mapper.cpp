@@ -4,6 +4,10 @@
 #include <array>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace parm::mapping {
 
 namespace {
@@ -42,10 +46,22 @@ void place_cluster(const MeshGeometry& mesh, DomainId domain,
 std::optional<Mapping> ParmMapper::map(
     const cmp::Platform& platform,
     const appmodel::DopVariant& variant) const {
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& place_calls = reg.counter("mapper.place_calls");
+  static obs::Counter& candidates =
+      reg.counter("mapper.candidates_evaluated");
+  static obs::Counter& region_rejects =
+      reg.counter("mapper.reject_no_region");
+  static obs::Histogram& place_us = reg.histogram("mapper.place_us");
+  place_calls.inc();
+  obs::ScopedTimer place_timer(place_us);
+  obs::ScopedTrace place_trace("mapper", "mapper.place");
+
   const MeshGeometry& mesh = platform.mesh();
   const std::vector<TaskCluster> clusters = cluster_tasks(variant);
   std::vector<DomainId> free = platform.free_domains();
   if (static_cast<std::size_t>(free.size()) < clusters.size()) {
+    region_rejects.inc();
     return std::nullopt;  // Algorithm 2 lines 10-11
   }
 
@@ -78,6 +94,7 @@ std::optional<Mapping> ParmMapper::map(
     const std::size_t ci = order[step];
     DomainId best = kInvalidDomain;
     double best_cost = std::numeric_limits<double>::infinity();
+    candidates.inc(free.size());
     for (DomainId cand : free) {
       double cost = 0.0;
       if (step == 0) {

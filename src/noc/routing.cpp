@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace parm::noc {
 
@@ -95,6 +96,20 @@ PanrRouting::PanrRouting(double occupancy_threshold, double psn_safe_percent)
   PARM_CHECK(psn_safe_percent_ > 0.0, "PSN safety margin must be positive");
 }
 
+namespace {
+
+/// A PANR "reroute" is any decision that deviates from the deterministic
+/// west-first preference (what WestFirstRouting would have picked) —
+/// i.e. the congestion/PSN feedback actually changed the path.
+void count_panr_reroute(Direction chosen, Direction preferred) {
+  if (chosen == preferred) return;
+  static obs::Counter& reroutes =
+      obs::Registry::instance().counter("noc.panr_reroutes");
+  reroutes.inc();
+}
+
+}  // namespace
+
 Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
                              TileId dst, const RoutingState& state) const {
   const std::vector<Direction> dirs =
@@ -102,8 +117,10 @@ Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
   if (state.input_buffer_occupancy > threshold_) {
     // Congested: relieve pressure via the least-loaded permitted next hop
     // (Algorithm 3 line 5).
-    return pick_min_cost(mesh, current, dirs,
-                         [&](TileId n) { return rate_of(state, n); });
+    const Direction d = pick_min_cost(
+        mesh, current, dirs, [&](TileId n) { return rate_of(state, n); });
+    count_panr_reroute(d, dirs.front());
+    return d;
   }
   // Otherwise steer toward the quietest supply (Algorithm 3 line 6).
   // PSN sensors refresh on the millisecond sampling scale — far slower
@@ -120,11 +137,15 @@ Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
   }
   if (safe.empty()) {
     // Every permitted hop is noisy: fall back to the least-noisy one.
-    return pick_min_cost(mesh, current, dirs,
-                         [&](TileId n) { return psn_of(state, n); });
+    const Direction d = pick_min_cost(
+        mesh, current, dirs, [&](TileId n) { return psn_of(state, n); });
+    count_panr_reroute(d, dirs.front());
+    return d;
   }
-  return pick_min_cost(mesh, current, safe,
-                       [&](TileId n) { return rate_of(state, n); });
+  const Direction d = pick_min_cost(
+      mesh, current, safe, [&](TileId n) { return rate_of(state, n); });
+  count_panr_reroute(d, dirs.front());
+  return d;
 }
 
 std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,

@@ -1,10 +1,25 @@
 #include "noc/window_sim.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace parm::noc {
 
 WindowResult run_window(Network& net, TrafficGenerator& traffic,
                         const WindowConfig& cfg) {
   PARM_CHECK(cfg.measure_cycles > 0, "measurement window must be positive");
+
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& windows = reg.counter("noc.windows");
+  static obs::Counter& injected = reg.counter("noc.flits_injected");
+  static obs::Counter& delivered = reg.counter("noc.flits_delivered");
+  static obs::Histogram& window_us = reg.histogram("noc.window_us");
+  static obs::Histogram& latency_hist =
+      reg.histogram("noc.window_latency_cycles");
+  windows.inc();
+  obs::ScopedTimer window_timer(window_us);
+  obs::ScopedTrace window_trace("noc", "noc.window");
 
   for (std::uint64_t c = 0; c < cfg.warmup_cycles; ++c) {
     traffic.tick(net);
@@ -32,7 +47,10 @@ WindowResult run_window(Network& net, TrafficGenerator& traffic,
       out.app_latency[app] = st.avg_packet_latency();
     }
   }
+  injected.inc(out.injected_flits);
+  delivered.inc(out.delivered_flits);
   out.avg_latency = net.avg_packet_latency();
+  if (out.avg_latency > 0.0) latency_hist.observe(out.avg_latency);
   out.delivery_ratio =
       out.injected_flits == 0
           ? 1.0

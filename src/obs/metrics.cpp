@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace parm::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  PARM_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  PARM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end(),
+             "histogram bounds must be strictly ascending");
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  PARM_CHECK(start > 0.0 && factor > 1.0 && count > 0,
+             "invalid exponential bucket spec");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (static_cast<double>(cum) + in_bucket < target) {
+      cum += counts_[i];
+      continue;
+    }
+    // Clamp the bucket edges to the observed range so a histogram whose
+    // observations sit strictly inside a bucket still reports exact
+    // extremes (the overflow bucket has no upper bound at all).
+    double lo = i == 0 ? min_ : bounds_[i - 1];
+    double hi = i == bounds_.size() ? max_ : bounds_[i];
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi < lo) hi = lo;
+    const double frac =
+        std::clamp((target - static_cast<double>(cum)) / in_bucket, 0.0, 1.0);
+    return lo + frac * (hi - lo);
+  }
+  return max_;  // p == 100 with rounding dust
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) {
+      upper_bounds = Histogram::exponential_bounds(1.0, 2.0, 26);
+    }
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void Registry::write_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge   " << name << " = " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "hist    " << name << "  count=" << h->count();
+    if (h->count() > 0) {
+      os << " mean=" << h->mean() << " min=" << h->min()
+         << " p50=" << h->percentile(50.0) << " p90=" << h->percentile(90.0)
+         << " p99=" << h->percentile(99.0) << " max=" << h->max();
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+/// JSON has no Infinity/NaN literals; metrics never legitimately produce
+/// them, but a defensive 0 keeps the export parseable either way.
+double json_num(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto old_precision = os.precision(15);
+  const auto key = [&](std::string_view name) {
+    os << '"';
+    json_escape(os, name);
+    os << "\":";
+  };
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << json_num(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << "{\"count\":" << h->count() << ",\"sum\":" << json_num(h->sum())
+       << ",\"min\":" << json_num(h->min())
+       << ",\"max\":" << json_num(h->max())
+       << ",\"mean\":" << json_num(h->mean())
+       << ",\"p50\":" << json_num(h->percentile(50.0))
+       << ",\"p90\":" << json_num(h->percentile(90.0))
+       << ",\"p99\":" << json_num(h->percentile(99.0)) << '}';
+  }
+  os << "}}";
+  os.precision(old_precision);
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,139 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with percentile summaries.
+//
+// Designed to be cheap enough to leave on in production runs: a metric is
+// a plain uint64_t/double slot owned by the registry; call sites resolve
+// the name once (function-local static reference) and afterwards pay only
+// an increment or a bucket walk. Registration is mutex-protected; metric
+// *mutation* is not synchronized — the simulator is single-threaded, and
+// two simulators in one process share (and interleave into) the same
+// registry. Epoch-delta consumers (sim::TelemetryRecorder) are therefore
+// delta-based, never absolute.
+//
+// Exports: a human-readable text report (parm_runner's end-of-run summary)
+// and a machine-readable JSON document (--metrics file).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parm::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with interpolated percentiles.
+///
+/// Buckets are defined by ascending upper bounds; an implicit overflow
+/// bucket catches everything above the last bound. Alongside the bucket
+/// counts the histogram tracks count/sum/min/max, so percentile edges can
+/// be clamped to the observed range.
+///
+/// percentile(p) is defined as: find the bucket containing the
+/// p/100·count-th observation (1-based cumulative rank), then linearly
+/// interpolate within that bucket between its clamped edges
+/// [max(lower_bound, min_observed), min(upper_bound, max_observed)]
+/// assuming uniform spread. The result is exact whenever observations are
+/// uniform within each bucket (see tests/obs_test.cpp).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds at start, start·factor, start·factor², …
+  /// The default registry histogram uses exponential_bounds(1, 2, 26):
+  /// 1 µs … ~33.5 s when fed microsecond timings.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// p in [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double p) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// bucket_counts().size() == upper_bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Global name → metric table. Returned references stay valid (and keep
+/// their identity) for the life of the process; reset_values() zeroes
+/// every slot but never invalidates them.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registers (or returns) a histogram. `upper_bounds` is only consulted
+  /// on first registration; empty means the default exponential µs-scale
+  /// buckets.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Value of a counter if registered, 0 otherwise (never registers).
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Human-readable report, one metric per line, sorted by name.
+  void write_text(std::ostream& os) const;
+  /// Machine-readable export:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  ///  max,mean,p50,p90,p99}}}
+  void write_json(std::ostream& os) const;
+
+  /// Zeroes every registered metric (test isolation, per-run baselines).
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace parm::obs

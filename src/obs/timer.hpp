@@ -1,0 +1,38 @@
+// RAII wall-clock timer feeding a metrics histogram (microseconds).
+//
+// Usage at a hot call site:
+//   static obs::Histogram& h =
+//       obs::Registry::instance().histogram("pdn.solve_us");
+//   obs::ScopedTimer timer(h);
+//
+// The histogram reference is resolved once; each scope then costs two
+// steady_clock reads and one bucket walk.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : hist_(&h), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { hist_->observe(elapsed_us()); }
+
+  /// Microseconds since construction.
+  double elapsed_us() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(d).count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace parm::obs

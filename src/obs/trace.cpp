@@ -1,0 +1,163 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace parm::obs {
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
+             << "0123456789abcdef"[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  json_escape(os, s);
+  os << '"';
+}
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::open_chrome(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path);
+  if (!*f) return false;
+  *f << "{\"traceEvents\":[\n";
+  chrome_ = std::move(f);
+  chrome_first_event_ = true;
+  // Re-announce track names for sinks opened after tracks were created.
+  const auto tracks = track_tids_;
+  for (const auto& [track, tid] : tracks) {
+    std::ostringstream ev;
+    ev << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":";
+    json_string(ev, track);
+    ev << "}}";
+    emit(ev.str());
+  }
+  return true;
+}
+
+bool Tracer::open_jsonl(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path);
+  if (!*f) return false;
+  jsonl_ = std::move(f);
+  return true;
+}
+
+void Tracer::close() {
+  if (chrome_) {
+    *chrome_ << "\n]}\n";
+    chrome_.reset();
+  }
+  jsonl_.reset();
+}
+
+double Tracer::now_us() const {
+  const auto d = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+int Tracer::tid_for(std::string_view track) {
+  const auto it = track_tids_.find(track);
+  if (it != track_tids_.end()) return it->second;
+  const int tid = static_cast<int>(track_tids_.size()) + 1;
+  track_tids_.emplace(std::string(track), tid);
+  std::ostringstream ev;
+  ev << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+     << ",\"args\":{\"name\":";
+  json_string(ev, track);
+  ev << "}}";
+  emit(ev.str());
+  return tid;
+}
+
+void Tracer::emit(const std::string& line) {
+  if (chrome_) {
+    if (!chrome_first_event_) *chrome_ << ",\n";
+    chrome_first_event_ = false;
+    *chrome_ << line;
+  }
+  if (jsonl_) *jsonl_ << line << '\n';
+}
+
+void Tracer::emit_event(std::string_view track, std::string_view name,
+                        char phase, double ts_us, double dur_us,
+                        std::initializer_list<TraceArg> args) {
+  const int tid = tid_for(track);
+  std::ostringstream ev;
+  ev.precision(15);  // keep µs timestamps exact over multi-minute runs
+  ev << "{\"ph\":\"" << phase << "\",\"name\":";
+  json_string(ev, name);
+  ev << ",\"cat\":";
+  json_string(ev, track);
+  ev << ",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":" << finite_or_zero(ts_us);
+  if (phase == 'X') ev << ",\"dur\":" << finite_or_zero(dur_us);
+  if (phase == 'i') ev << ",\"s\":\"t\"";  // instant scope: thread
+  if (args.size() > 0) {
+    ev << ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& a : args) {
+      if (!first) ev << ',';
+      first = false;
+      json_string(ev, a.key);
+      ev << ':';
+      if (a.is_string) {
+        json_string(ev, a.str);
+      } else {
+        ev << finite_or_zero(a.num);
+      }
+    }
+    ev << '}';
+  }
+  ev << '}';
+  emit(ev.str());
+}
+
+void Tracer::complete(std::string_view track, std::string_view name,
+                      double ts_us, double dur_us,
+                      std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  emit_event(track, name, 'X', ts_us, dur_us, args);
+}
+
+void Tracer::instant(std::string_view track, std::string_view name,
+                     std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  emit_event(track, name, 'i', now_us(), 0.0, args);
+}
+
+}  // namespace parm::obs

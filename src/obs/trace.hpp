@@ -1,0 +1,125 @@
+// Event tracer emitting Chrome trace-event JSON (load in Perfetto or
+// chrome://tracing) and/or a JSONL stream (one event object per line).
+//
+// Two event kinds cover the PARM stack:
+//   - complete ("ph":"X") duration events — solver solves, mapper
+//     placements, NoC windows, whole simulator epochs — each on a named
+//     track (pdn / mapper / noc / sim), and
+//   - instant ("ph":"i") events — voltage emergencies, app arrivals /
+//     admissions / completions / drops, migrations.
+//
+// Timestamps are wall-clock microseconds since the tracer was created
+// (Chrome's expected unit); events carry simulation time as an arg where
+// it matters. Tracks map to Chrome "threads" of one process, named via
+// thread_name metadata events.
+//
+// Zero-cost when disabled: with no sink open, enabled() is false and
+// every emit path returns before touching the clock or formatting
+// anything. ScopedTrace latches enabled() at construction so a scope
+// costs a single bool test when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace parm::obs {
+
+/// One key/value pair for an event's "args" object. Values are numbers or
+/// strings; string_views must outlive the emit call only.
+struct TraceArg {
+  TraceArg(std::string_view k, double v)
+      : key(k), num(v), is_string(false) {}
+  TraceArg(std::string_view k, int v)
+      : key(k), num(static_cast<double>(v)), is_string(false) {}
+  TraceArg(std::string_view k, std::int64_t v)
+      : key(k), num(static_cast<double>(v)), is_string(false) {}
+  TraceArg(std::string_view k, std::uint64_t v)
+      : key(k), num(static_cast<double>(v)), is_string(false) {}
+  TraceArg(std::string_view k, std::string_view v)
+      : key(k), str(v), is_string(true) {}
+  TraceArg(std::string_view k, const char* v)
+      : key(k), str(v), is_string(true) {}
+
+  std::string_view key;
+  double num = 0.0;
+  std::string_view str;
+  bool is_string;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// True iff at least one sink is open. Emit calls short-circuit on
+  /// false before any formatting work.
+  bool enabled() const { return chrome_ != nullptr || jsonl_ != nullptr; }
+
+  /// Opens the Chrome-format sink ({"traceEvents":[...]}). Returns false
+  /// if the file cannot be created.
+  bool open_chrome(const std::string& path);
+  /// Opens the JSONL sink (one event object per line).
+  bool open_jsonl(const std::string& path);
+  /// Finalizes and closes both sinks (writes the Chrome array footer).
+  /// Safe to call repeatedly; also runs at process exit.
+  void close();
+
+  /// Wall-clock microseconds since the tracer singleton was created.
+  double now_us() const;
+
+  /// Complete duration event ("ph":"X") on `track`.
+  void complete(std::string_view track, std::string_view name, double ts_us,
+                double dur_us, std::initializer_list<TraceArg> args = {});
+  /// Instant event ("ph":"i") stamped now.
+  void instant(std::string_view track, std::string_view name,
+               std::initializer_list<TraceArg> args = {});
+
+ private:
+  Tracer() : start_(std::chrono::steady_clock::now()) {}
+  ~Tracer() { close(); }
+
+  int tid_for(std::string_view track);
+  void emit(const std::string& line);
+  void emit_event(std::string_view track, std::string_view name, char phase,
+                  double ts_us, double dur_us,
+                  std::initializer_list<TraceArg> args);
+
+  std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<std::ofstream> chrome_;
+  std::unique_ptr<std::ofstream> jsonl_;
+  bool chrome_first_event_ = true;
+  std::map<std::string, int, std::less<>> track_tids_;
+};
+
+/// RAII complete-event emitter: measures its scope and emits one "X"
+/// event on destruction. No-op (one bool read) when tracing is off at
+/// construction. The track/name string data must outlive the scope —
+/// pass string literals.
+class ScopedTrace {
+ public:
+  ScopedTrace(std::string_view track, std::string_view name)
+      : track_(track), name_(name), armed_(Tracer::instance().enabled()) {
+    if (armed_) start_us_ = Tracer::instance().now_us();
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  ~ScopedTrace() {
+    if (!armed_) return;
+    Tracer& t = Tracer::instance();
+    t.complete(track_, name_, start_us_, t.now_us() - start_us_);
+  }
+
+ private:
+  std::string_view track_;
+  std::string_view name_;
+  bool armed_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace parm::obs

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace parm::pdn {
 
 namespace {
@@ -86,6 +90,9 @@ TransientSolver::TransientSolver(const Circuit& ckt, double dt)
     }
   }
   lu_.emplace(std::move(a));
+  static obs::Counter& factorizations =
+      obs::Registry::instance().counter("pdn.factorizations");
+  factorizations.inc();
 }
 
 TransientTrace TransientSolver::run(double t_end,
@@ -94,6 +101,15 @@ TransientTrace TransientSolver::run(double t_end,
   PARM_CHECK(t_end > 0.0, "t_end must be positive");
   PARM_CHECK(record_from >= 0.0 && record_from < t_end,
              "record window must lie within the run");
+
+  static obs::Counter& solves =
+      obs::Registry::instance().counter("pdn.solves");
+  static obs::Counter& steps = obs::Registry::instance().counter("pdn.steps");
+  static obs::Histogram& solve_us =
+      obs::Registry::instance().histogram("pdn.solve_us");
+  solves.inc();
+  obs::ScopedTimer solve_timer(solve_us);
+  obs::ScopedTrace solve_trace("pdn", "pdn.solve");
 
   // --- Initial conditions from the DC operating point. ---
   DcSolver dc(ckt_);
@@ -190,6 +206,7 @@ TransientTrace TransientSolver::run(double t_end,
 
     record(t);
   }
+  steps.inc(n_steps);
   return trace;
 }
 

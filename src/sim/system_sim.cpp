@@ -6,6 +6,8 @@
 
 #include "common/units.hpp"
 #include "noc/traffic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/edf.hpp"
 #include "power/core_power.hpp"
 #include "power/router_power.hpp"
@@ -111,6 +113,14 @@ void SystemSimulator::commit(const core::ServiceQueue::Admitted& adm,
   out.admit_s = now;
   out.vdd = adm.decision.vdd;
   out.dop = adm.decision.dop;
+
+  obs::Tracer::instance().instant(
+      "sim", "app.admit",
+      {{"app", adm.app.id},
+       {"bench", std::string_view(adm.app.bench->name)},
+       {"vdd", adm.decision.vdd},
+       {"dop", adm.decision.dop},
+       {"sim_time_s", now}});
 }
 
 void SystemSimulator::admit_pending(double now) {
@@ -123,6 +133,8 @@ void SystemSimulator::admit_pending(double now) {
     const auto& app = queue_.dropped()[i];
     AppOutcome& out = outcomes_[static_cast<std::size_t>(app.id)];
     out.dropped = true;
+    obs::Tracer::instance().instant(
+        "sim", "app.drop", {{"app", app.id}, {"sim_time_s", now}});
   }
 }
 
@@ -347,6 +359,13 @@ void SystemSimulator::apply_emergencies_and_progress(double now) {
           ++out.ve_count;
           ++total_ves_;
           ++epoch_ves_;
+          obs::Tracer::instance().instant(
+              "sim", "voltage_emergency",
+              {{"app", out.id},
+               {"tile", static_cast<int>(task.tile)},
+               {"psn_percent", peak},
+               {"injected", injected ? 1 : 0},
+               {"sim_time_s", now}});
           continue;
         }
       }
@@ -395,6 +414,11 @@ void SystemSimulator::migrate_hot_tasks() {
       }
     }
     const TileId target = platform_.mesh().domain_tiles(best)[0];
+    obs::Tracer::instance().instant(
+        "sim", "app.migrate",
+        {{"app", app.outcome_index},
+         {"from_tile", static_cast<int>(worst->tile)},
+         {"to_tile", static_cast<int>(target)}});
     platform_.migrate(app.instance, worst->tile, target);
     worst->tile = target;
     worst->remaining_cycles += cfg_.migration_cost_cycles;
@@ -419,6 +443,9 @@ bool SystemSimulator::finish_completed_apps(double now) {
     AppOutcome& out = outcomes_[static_cast<std::size_t>(it->outcome_index)];
     out.completed = true;
     out.finish_s = now;
+    obs::Tracer::instance().instant(
+        "sim", "app.complete",
+        {{"app", out.id}, {"ve_count", out.ve_count}, {"sim_time_s", now}});
     out.missed_deadline = now > out.deadline_s;
     for (const RunningTask& task : it->tasks) {
       if (task.finish_s > task.edf_deadline_s) ++out.task_deadline_misses;
@@ -443,12 +470,28 @@ SimResult SystemSimulator::run() {
     out.deadline_s = a.deadline_s;
   }
 
+  // Registry handles for the per-epoch activity deltas telemetry snapshots.
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& pdn_solves_c = reg.counter("pdn.solves");
+  obs::Counter& mapper_cand_c = reg.counter("mapper.candidates_evaluated");
+  obs::Counter& panr_reroutes_c = reg.counter("noc.panr_reroutes");
+  std::uint64_t prev_solves = pdn_solves_c.value();
+  std::uint64_t prev_cands = mapper_cand_c.value();
+  std::uint64_t prev_reroutes = panr_reroutes_c.value();
+
   double t = 0.0;
   std::uint64_t epoch = 0;
   SimResult result;
   while (true) {
+    obs::ScopedTrace epoch_trace("sim", "sim.epoch");
     while (next_arrival_ < arrivals_.size() &&
            arrivals_[next_arrival_].arrival_s <= t + 1e-12) {
+      obs::Tracer::instance().instant(
+          "sim", "app.arrival",
+          {{"app", arrivals_[next_arrival_].id},
+           {"bench",
+            std::string_view(arrivals_[next_arrival_].bench->name)},
+           {"sim_time_s", arrivals_[next_arrival_].arrival_s}});
       queue_.enqueue(arrivals_[next_arrival_]);
       ++next_arrival_;
       admit_pending(t);
@@ -474,8 +517,17 @@ SimResult SystemSimulator::run() {
                           platform_.free_tile_count();
       sample.noc_latency_cycles = epoch_noc_latency_;
       sample.ve_count = epoch_ves_;
+      sample.pdn_solves =
+          static_cast<std::int64_t>(pdn_solves_c.value() - prev_solves);
+      sample.mapper_candidates =
+          static_cast<std::int64_t>(mapper_cand_c.value() - prev_cands);
+      sample.panr_reroutes =
+          static_cast<std::int64_t>(panr_reroutes_c.value() - prev_reroutes);
       telemetry_.record(sample);
     }
+    prev_solves = pdn_solves_c.value();
+    prev_cands = mapper_cand_c.value();
+    prev_reroutes = panr_reroutes_c.value();
 
     t += cfg_.epoch_s;
     ++epoch;

@@ -7,12 +7,14 @@ namespace parm::sim {
 void TelemetryRecorder::write_csv(std::ostream& os) const {
   os << "time_s,peak_psn_percent,avg_psn_percent,chip_power_w,"
         "running_apps,queued_apps,busy_tiles,noc_latency_cycles,"
-        "ve_count\n";
+        "ve_count,pdn_solves,mapper_candidates,panr_reroutes\n";
   for (const EpochSample& s : samples_) {
     os << s.time_s << ',' << s.peak_psn_percent << ','
        << s.avg_psn_percent << ',' << s.chip_power_w << ','
        << s.running_apps << ',' << s.queued_apps << ',' << s.busy_tiles
-       << ',' << s.noc_latency_cycles << ',' << s.ve_count << '\n';
+       << ',' << s.noc_latency_cycles << ',' << s.ve_count << ','
+       << s.pdn_solves << ',' << s.mapper_candidates << ','
+       << s.panr_reroutes << '\n';
   }
 }
 

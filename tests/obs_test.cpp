@@ -1,0 +1,343 @@
+// Tests for the observability layer: histogram percentile math, registry
+// lookup semantics, scoped timers, and Chrome-trace / JSONL output shape.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace parm::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON validator (recursive descent, no value extraction). Good
+// enough to prove the exporters emit structurally valid JSON.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), CheckError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), CheckError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), CheckError);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h({10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  h.observe(25.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 45.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(Histogram, PercentileExactOnUniformAlignedInput) {
+  // 1..100 with bucket bounds at 25/50/75/100: each bucket holds exactly
+  // 25 observations spread uniformly, so the interpolated percentile
+  // equals the percentile rank itself.
+  Histogram h({25.0, 50.0, 75.0, 100.0});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90.0), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(Histogram, PercentileExactWithClampedEdges) {
+  // Bucket edges clamp to the observed range: 5 obs at 2 (bucket [.,10])
+  // and 5 at 15 (bucket (10,20]) with min 2, max 15.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 5; ++i) h.observe(2.0);
+  for (int i = 0; i < 5; ++i) h.observe(15.0);
+  // p25 → rank 2.5 of 5 in [2,10]: 2 + 0.5·8 = 6.
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 6.0);
+  // p50 → rank 5 of 5 in [2,10]: upper edge.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+  // p100 → observed maximum, not the bucket bound 20.
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 15.0);
+}
+
+TEST(Histogram, SingleValuePercentilesCollapse) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 7; ++i) h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto b = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(Registry, CounterLookupAndIncrement) {
+  Counter& c = Registry::instance().counter("test.obs.counter");
+  c.reset();
+  c.inc();
+  c.inc(41);
+  // A second lookup resolves to the same slot.
+  EXPECT_EQ(Registry::instance().counter("test.obs.counter").value(), 42u);
+  EXPECT_EQ(&Registry::instance().counter("test.obs.counter"), &c);
+  EXPECT_EQ(Registry::instance().counter_value("test.obs.counter"), 42u);
+  EXPECT_EQ(Registry::instance().counter_value("test.obs.absent"), 0u);
+}
+
+TEST(Registry, GaugeLookupAndSet) {
+  Gauge& g = Registry::instance().gauge("test.obs.gauge");
+  g.set(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(Registry::instance().gauge("test.obs.gauge").value(),
+                   4.0);
+}
+
+TEST(Registry, HistogramBoundsFixedAtFirstRegistration) {
+  Histogram& h =
+      Registry::instance().histogram("test.obs.hist", {1.0, 2.0});
+  // Later registrations ignore their bounds argument.
+  Histogram& again =
+      Registry::instance().histogram("test.obs.hist", {9.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, TextAndJsonReports) {
+  Registry::instance().counter("test.obs.report").inc(7);
+  std::ostringstream text;
+  Registry::instance().write_text(text);
+  EXPECT_NE(text.str().find("test.obs.report = 7"), std::string::npos);
+
+  std::ostringstream json;
+  Registry::instance().write_json(json);
+  EXPECT_TRUE(JsonValidator(json.str()).valid()) << json.str();
+  EXPECT_NE(json.str().find("\"test.obs.report\":7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ScopedTimer
+
+TEST(ScopedTimer, FeedsHistogram) {
+  Histogram h({1e6});
+  {
+    ScopedTimer t(h);
+  }
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, DisabledSinkIsInert) {
+  Tracer& t = Tracer::instance();
+  ASSERT_FALSE(t.enabled());
+  // Must be no-ops, not crashes.
+  t.instant("test", "nothing", {{"k", 1}});
+  t.complete("test", "nothing", 0.0, 1.0);
+  ScopedTrace s("test", "nothing");
+}
+
+TEST(Tracer, ChromeAndJsonlOutput) {
+  const std::string chrome_path =
+      ::testing::TempDir() + "obs_test_trace.json";
+  const std::string jsonl_path =
+      ::testing::TempDir() + "obs_test_trace.jsonl";
+  Tracer& t = Tracer::instance();
+  ASSERT_TRUE(t.open_chrome(chrome_path));
+  ASSERT_TRUE(t.open_jsonl(jsonl_path));
+  EXPECT_TRUE(t.enabled());
+
+  t.instant("sim", "voltage_emergency",
+            {{"tile", 3}, {"bench", "fft \"quoted\""}});
+  {
+    ScopedTrace s("pdn", "pdn.solve");
+  }
+  t.complete("noc", "noc.window", 10.0, 5.0, {{"flits", 123}});
+  t.close();
+  EXPECT_FALSE(t.enabled());
+
+  const std::string chrome = read_file(chrome_path);
+  EXPECT_TRUE(JsonValidator(chrome).valid()) << chrome;
+  // Required trace-event fields and our event names.
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"voltage_emergency\""),
+            std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"pdn.solve\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"noc.window\""), std::string::npos);
+  // String args are escaped.
+  EXPECT_NE(chrome.find("fft \\\"quoted\\\""), std::string::npos);
+
+  // Every JSONL line is standalone valid JSON.
+  std::ifstream in(jsonl_path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 3);
+
+  std::remove(chrome_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+}  // namespace
+}  // namespace parm::obs

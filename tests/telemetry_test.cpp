@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "exp/experiments.hpp"
+#include "obs/metrics.hpp"
 #include "sim/system_sim.hpp"
 
 namespace parm::sim {
@@ -73,6 +76,89 @@ TEST(Telemetry, CsvHasHeaderAndRows) {
   const auto lines =
       static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(lines, r.telemetry.samples().size() + 1);
+}
+
+TEST(Telemetry, CsvRoundTrip) {
+  // write_csv output parses back to the recorded samples: header column
+  // count matches every row, and numeric fields survive the trip.
+  TelemetryRecorder rec;
+  EpochSample a;
+  a.time_s = 0.001;
+  a.peak_psn_percent = 4.25;
+  a.avg_psn_percent = 1.5;
+  a.chip_power_w = 12.5;
+  a.running_apps = 3;
+  a.queued_apps = 1;
+  a.busy_tiles = 24;
+  a.noc_latency_cycles = 7.75;
+  a.ve_count = 2;
+  a.pdn_solves = 15;
+  a.mapper_candidates = 40;
+  a.panr_reroutes = 9;
+  EpochSample b;
+  b.time_s = 0.002;
+  rec.record(a);
+  rec.record(b);
+
+  std::ostringstream os;
+  rec.write_csv(os);
+  std::istringstream in(os.str());
+
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto split = [](const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) out.push_back(cell);
+    return out;
+  };
+  const std::vector<std::string> cols = split(header);
+  ASSERT_EQ(cols.size(), 12u);
+  EXPECT_EQ(cols.front(), "time_s");
+  EXPECT_EQ(cols.back(), "panr_reroutes");
+
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(split(line));
+  }
+  ASSERT_EQ(rows.size(), rec.samples().size());
+  for (const auto& row : rows) EXPECT_EQ(row.size(), cols.size());
+
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), a.time_s);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), a.peak_psn_percent);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][3]), a.chip_power_w);
+  EXPECT_EQ(std::stoi(rows[0][4]), a.running_apps);
+  EXPECT_EQ(std::stoi(rows[0][8]), a.ve_count);
+  EXPECT_EQ(std::stol(rows[0][9]), a.pdn_solves);
+  EXPECT_EQ(std::stol(rows[0][10]), a.mapper_candidates);
+  EXPECT_EQ(std::stol(rows[0][11]), a.panr_reroutes);
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][0]), b.time_s);
+}
+
+TEST(Telemetry, EpochSamplesCarryRegistryDeltas) {
+  // A telemetry run must see solver invocations in its per-epoch deltas,
+  // and the deltas must sum to the registry growth over the run.
+  SimConfig cfg = base_cfg();
+  cfg.record_telemetry = true;
+  const std::uint64_t solves_before =
+      obs::Registry::instance().counter_value("pdn.solves");
+  SystemSimulator sim(cfg, appmodel::make_sequence(tiny_sequence(6)));
+  const SimResult r = sim.run();
+  const std::uint64_t solves_after =
+      obs::Registry::instance().counter_value("pdn.solves");
+
+  std::int64_t total_solves = 0;
+  for (const auto& s : r.telemetry.samples()) {
+    EXPECT_GE(s.pdn_solves, 0);
+    EXPECT_GE(s.mapper_candidates, 0);
+    EXPECT_GE(s.panr_reroutes, 0);
+    total_solves += s.pdn_solves;
+  }
+  EXPECT_GT(total_solves, 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(total_solves),
+            solves_after - solves_before);
 }
 
 TEST(FaultInjection, ForcedEmergencyRollsTaskBack) {
