@@ -1,0 +1,157 @@
+// PDN hot-path microbenchmark: cold rebuild vs cached factorization vs
+// PsnCache memoization vs thread-pool fan-out.
+//
+// The simulator calls PsnEstimator::estimate once per active domain per
+// epoch with the same topology every time — only vdd and the tile loads
+// change, and those are RHS-only (see transient.hpp). This bench
+// quantifies each layer of the hot-path overhaul:
+//   cold      — rebuild the netlist and LU-factorize per call (old path)
+//   cached    — shared LU factorizations, rebound sources, reused scratch
+//   memoized  — cached engines behind the quantized-key PsnCache, on the
+//               repeating load signatures an epoch loop actually produces
+//   parallel  — independent cached estimates fanned out on the pool
+//
+// Emits BENCH_pdn_hotpath.json (path overridable via argv[1]) for CI to
+// archive, alongside a human-readable table on stdout.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "pdn/psn_cache.hpp"
+#include "pdn/psn_estimator.hpp"
+#include "power/technology.hpp"
+
+namespace {
+
+using namespace parm;
+using Clock = std::chrono::steady_clock;
+
+/// Load signatures mimicking an epoch loop: a small working set of
+/// quantized operating points that recurs epoch after epoch.
+struct Workload {
+  double vdd;
+  std::array<pdn::TileLoad, 4> loads;
+};
+
+std::vector<Workload> make_working_set() {
+  std::vector<Workload> ws;
+  const double vdds[] = {0.4, 0.55, 0.7, 0.8};
+  const double currents[] = {0.1, 0.4, 0.9};
+  for (double vdd : vdds) {
+    for (double i : currents) {
+      Workload w;
+      w.vdd = vdd;
+      w.loads = {pdn::TileLoad{i, 0.7, 0.0}, pdn::TileLoad{i * 0.5, 0.25, 0.3},
+                 pdn::TileLoad{0.0, 0.0, 0.0}, pdn::TileLoad{i * 1.3, 0.7, 0.6}};
+      ws.push_back(w);
+    }
+  }
+  return ws;
+}
+
+/// Median-of-repeats wall time per estimate() call, in microseconds.
+template <typename Fn>
+double time_per_call_us(int calls, int repeats, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn(calls);
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / calls);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_pdn_hotpath.json";
+  const auto& tech = power::technology_node(7);
+  const auto ws = make_working_set();
+  double sink = 0.0;  // defeat dead-code elimination
+
+  constexpr int kCalls = 48;  // one "epoch" worth of estimates
+  constexpr int kRepeats = 9;
+
+  pdn::PsnEstimator est(tech);
+  // Warm the factorization cache and the thread pool once up front.
+  sink += est.estimate(ws[0].vdd, ws[0].loads).peak_percent;
+
+  const double cold_us = time_per_call_us(kCalls, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const Workload& w = ws[static_cast<std::size_t>(i) % ws.size()];
+      sink += est.estimate_cold(w.vdd, w.loads).peak_percent;
+    }
+  });
+
+  const double cached_us = time_per_call_us(kCalls, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const Workload& w = ws[static_cast<std::size_t>(i) % ws.size()];
+      sink += est.estimate(w.vdd, w.loads).peak_percent;
+    }
+  });
+
+  pdn::PsnCache memo;
+  const double memo_us = time_per_call_us(kCalls, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const Workload& w = ws[static_cast<std::size_t>(i) % ws.size()];
+      const std::uint64_t key = pdn::PsnCache::key(w.vdd, w.loads);
+      pdn::DomainPsn psn;
+      if (!memo.get(key, psn)) {
+        psn = est.estimate(w.vdd, pdn::PsnCache::quantize(w.loads));
+        memo.put(key, psn);
+      }
+      sink += psn.peak_percent;
+    }
+  });
+
+  std::vector<double> peaks(static_cast<std::size_t>(kCalls));
+  const double parallel_us = time_per_call_us(kCalls, kRepeats, [&](int n) {
+    ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(n), [&](std::size_t i) {
+          const Workload& w = ws[i % ws.size()];
+          peaks[i] = est.estimate(w.vdd, w.loads).peak_percent;
+        });
+    for (int i = 0; i < n; ++i) sink += peaks[static_cast<std::size_t>(i)];
+  });
+
+  const std::size_t threads = ThreadPool::shared().thread_count() + 1;
+
+  std::cout << "PDN hot-path throughput (" << kCalls
+            << " estimates/run, median of " << kRepeats << " runs, "
+            << threads << " thread(s))\n\n";
+  Table table({"path", "us/call", "speedup vs cold"});
+  table.set_precision(2);
+  table.add_row({"cold (rebuild + refactorize)", cold_us, 1.0});
+  table.add_row({"cached factorization", cached_us, cold_us / cached_us});
+  table.add_row({"cached + PsnCache memo", memo_us, cold_us / memo_us});
+  table.add_row({"cached + thread pool", parallel_us, cold_us / parallel_us});
+  table.print(std::cout);
+  std::cout << "\n(sink " << sink << ")\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"pdn_hotpath\",\n"
+       << "  \"calls_per_run\": " << kCalls << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"cold_us_per_call\": " << cold_us << ",\n"
+       << "  \"cached_us_per_call\": " << cached_us << ",\n"
+       << "  \"memoized_us_per_call\": " << memo_us << ",\n"
+       << "  \"parallel_us_per_call\": " << parallel_us << ",\n"
+       << "  \"cached_speedup\": " << cold_us / cached_us << ",\n"
+       << "  \"memoized_speedup\": " << cold_us / memo_us << ",\n"
+       << "  \"parallel_speedup\": " << cold_us / parallel_us << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace parm {
+
+namespace {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PARM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0 && v <= 1024) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_available_.wait(lk, [&] {
+        // Drop batches whose indices are all claimed; they finish on the
+        // threads already running them.
+        while (!pending_.empty() &&
+               pending_.front()->next.load(std::memory_order_relaxed) >=
+                   pending_.front()->n) {
+          pending_.pop_front();
+        }
+        return stop_ || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stop_ set and nothing left to claim
+      batch = pending_.front();
+    }
+    run_batch(*batch);
+  }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(batch.mu);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      std::lock_guard<std::mutex> lk(batch.mu);
+      batch.finished.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.push_back(batch);
+  }
+  work_available_.notify_all();
+  run_batch(*batch);  // the caller works too
+  {
+    std::unique_lock<std::mutex> lk(batch->mu);
+    batch->finished.wait(lk, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  {
+    // Retire the batch eagerly; `fn` dies with this call frame.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == batch.get()) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace parm

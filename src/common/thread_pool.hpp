@@ -1,0 +1,77 @@
+// Fixed-size worker pool for the PDN hot path.
+//
+// The PARM stack's parallelism is simple fork/join over small, independent
+// work items: per-domain PSN estimates within one epoch, (Vdd, DoP)
+// admission candidates for one arrival, benchmark sweeps. parallel_for
+// covers all of them: indices are claimed from a shared atomic counter, the
+// *calling* thread participates in the work (so a busy or single-core pool
+// degrades gracefully to serial execution and nested calls cannot
+// deadlock), and the call blocks until every index has completed.
+//
+// Determinism contract: parallel_for guarantees each index runs exactly
+// once but says nothing about order or thread assignment. Callers that
+// need reproducible aggregates (the simulator's PSN statistics, admission
+// winner selection) must write per-index results into pre-sized slots and
+// reduce them serially afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parm {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers. Zero is allowed: every parallel_for
+  /// then runs entirely on the calling thread.
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware (at least one worker).
+  /// Override the size with the PARM_THREADS environment variable.
+  static ThreadPool& shared();
+
+  /// Runs fn(0), …, fn(n-1), distributing indices across the workers and
+  /// the calling thread, and returns once all have completed. The first
+  /// exception thrown by `fn` is rethrown in the caller (remaining
+  /// indices still run so the batch always drains).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One parallel_for invocation: indices are claimed via `next`; the
+  /// batch is finished when `done` reaches `n`.
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable finished;
+    std::exception_ptr error;  ///< first failure, guarded by `mu`
+  };
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Batch>> pending_;
+  bool stop_ = false;
+};
+
+}  // namespace parm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "power/core_power.hpp"
 #include "power/router_power.hpp"
@@ -41,7 +42,10 @@ struct AdmissionMetrics {
 
 /// Shared tail of both policies: power check (Algorithm 2 lines 1-2) and
 /// mapping attempt for one (vdd, dop) candidate. Returns the decision on
-/// success.
+/// success. Thread-safe (the platform is read-only, the mappers are
+/// stateless, metrics are atomic) so candidates can be probed
+/// speculatively in parallel; winner-only metrics are recorded separately
+/// via record_winner once the priority-order scan picks a decision.
 std::optional<AdmissionDecision> attempt_point(
     const appmodel::AppArrival& app, const cmp::Platform& platform,
     const mapping::Mapper& mapper, double vdd, int dop, double wcet_s) {
@@ -63,9 +67,6 @@ std::optional<AdmissionDecision> attempt_point(
     return std::nullopt;
   }
 
-  metrics.admitted.inc();
-  metrics.chosen_vdd.observe(vdd);
-  metrics.chosen_dop.observe(static_cast<double>(dop));
   AdmissionDecision d;
   d.vdd = vdd;
   d.dop = dop;
@@ -73,6 +74,15 @@ std::optional<AdmissionDecision> attempt_point(
   d.estimated_power_w = power;
   d.wcet_s = wcet_s;
   return d;
+}
+
+/// Winner-only metrics: recorded exactly once per admitted application,
+/// never for speculative losers.
+void record_winner(const AdmissionDecision& d) {
+  AdmissionMetrics& metrics = AdmissionMetrics::get();
+  metrics.admitted.inc();
+  metrics.chosen_vdd.observe(d.vdd);
+  metrics.chosen_dop.observe(static_cast<double>(d.dop));
 }
 
 }  // namespace
@@ -96,9 +106,17 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
                      app.profile->benchmark().max_dop)};
   }
 
+  // Enumerate the deadline-feasible candidates in Algorithm 1 priority
+  // order (cheap: wcet_seconds is closed-form; the expensive part is the
+  // PSN-aware mapping attempt, deferred to the wave evaluation below).
+  struct Candidate {
+    double vdd;
+    int dop;
+    double wcet_s;
+  };
+  std::vector<Candidate> candidates;
   bool any_deadline_feasible = false;
   for (double vdd : vdds) {
-    bool deadline_met_at_this_vdd = false;
     for (int dop : dops) {
       const double wcet =
           app.profile->wcet_seconds(vdd, dop, platform.vf_model());
@@ -108,17 +126,41 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
         AdmissionMetrics::get().reject_deadline.inc();
         break;
       }
-      deadline_met_at_this_vdd = true;
       any_deadline_feasible = true;
-      std::optional<AdmissionDecision> d =
-          attempt_point(app, platform, mapper_, vdd, dop, wcet);
-      if (d) {
-        result.decision = std::move(d);
+      candidates.push_back({vdd, dop, wcet});
+    }
+  }
+
+  // Evaluate candidates in speculative waves: each wave probes up to
+  // `width` candidates concurrently (power fit + mapping are read-only),
+  // then the wave is scanned in priority order and the first success
+  // wins — exactly the candidate the serial loop would have chosen.
+  std::size_t width = opts_.speculation > 0
+                          ? static_cast<std::size_t>(opts_.speculation)
+                          : ThreadPool::shared().thread_count() + 1;
+  width = std::max<std::size_t>(width, 1);
+  for (std::size_t base = 0; base < candidates.size(); base += width) {
+    const std::size_t wave =
+        std::min(width, candidates.size() - base);
+    std::vector<std::optional<AdmissionDecision>> slots(wave);
+    const auto probe = [&](std::size_t i) {
+      const Candidate& c = candidates[base + i];
+      slots[i] = attempt_point(app, platform, mapper_, c.vdd, c.dop,
+                               c.wcet_s);
+    };
+    if (wave == 1) {
+      probe(0);
+    } else {
+      ThreadPool::shared().parallel_for(wave, probe);
+    }
+    for (std::size_t i = 0; i < wave; ++i) {
+      if (slots[i]) {
+        record_winner(*slots[i]);
+        result.decision = std::move(slots[i]);
         return result;
       }
-      // Mapping/power failed: Alg. 1 line 12 — try the next lower DoP.
+      // Mapping/power failed: Alg. 1 line 12 — next candidate.
     }
-    (void)deadline_met_at_this_vdd;
   }
   result.failure = any_deadline_feasible ? AdmissionFailure::Stall
                                          : AdmissionFailure::Drop;
@@ -149,6 +191,7 @@ AdmissionResult HmAdmissionPolicy::try_admit(
   std::optional<AdmissionDecision> d =
       attempt_point(app, platform, mapper_, vdd_, dop, wcet);
   if (d) {
+    record_winner(*d);
     result.decision = std::move(d);
   } else {
     result.failure = AdmissionFailure::Stall;

@@ -64,6 +64,13 @@ class ParmAdmissionPolicy final : public AdmissionPolicy {
     bool adapt_dop = true;   ///< false: only `fixed_dop` considered
     double fixed_vdd = 0.8;  ///< used when !adapt_vdd
     int fixed_dop = 16;      ///< used when !adapt_dop
+    /// Candidate (Vdd, DoP) evaluations in flight: 0 sizes the wave to
+    /// the shared thread pool, 1 evaluates strictly serially. The
+    /// admitted decision is identical either way — waves are scanned in
+    /// Algorithm 1 priority order and the first success wins — but
+    /// speculative losers in the winner's wave do tick the candidate /
+    /// rejection counters.
+    int speculation = 0;
   };
 
   ParmAdmissionPolicy() : ParmAdmissionPolicy(Options{}) {}

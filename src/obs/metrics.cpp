@@ -38,6 +38,7 @@ std::vector<double> Histogram::exponential_bounds(double start, double factor,
 
 void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  std::lock_guard<std::mutex> lk(mu_);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += v;
@@ -73,6 +74,7 @@ double Histogram::percentile(double p) const {
 }
 
 void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;

@@ -2,18 +2,24 @@
 // histograms with percentile summaries.
 //
 // Designed to be cheap enough to leave on in production runs: a metric is
-// a plain uint64_t/double slot owned by the registry; call sites resolve
-// the name once (function-local static reference) and afterwards pay only
-// an increment or a bucket walk. Registration is mutex-protected; metric
-// *mutation* is not synchronized — the simulator is single-threaded, and
-// two simulators in one process share (and interleave into) the same
-// registry. Epoch-delta consumers (sim::TelemetryRecorder) are therefore
-// delta-based, never absolute.
+// a slot owned by the registry; call sites resolve the name once
+// (function-local static reference) and afterwards pay only an increment
+// or a bucket walk. Registration is mutex-protected. Metric *mutation* is
+// thread-safe — counters and gauges are relaxed atomics and histogram
+// observation takes a per-histogram lock — because the PDN hot path
+// (parallel per-domain PSN estimates, speculative admission candidates)
+// increments counters from ThreadPool workers. Two simulators in one
+// process still share (and interleave into) the same registry, so
+// epoch-delta consumers (sim::TelemetryRecorder) are delta-based, never
+// absolute. Histogram read accessors are unsynchronized snapshots:
+// exact once mutation has quiesced (end-of-run exports), approximate if
+// read mid-flight.
 //
 // Exports: a human-readable text report (parm_runner's end-of-run summary)
 // and a machine-readable JSON document (--metrics file).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -25,27 +31,38 @@
 
 namespace parm::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Increments are relaxed atomics:
+/// safe from any thread, with no ordering implied between metrics.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. Thread-safe; add() is a CAS loop
+/// so concurrent adds never lose updates.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double v) { value_ += v; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram with interpolated percentiles.
@@ -72,6 +89,7 @@ class Histogram {
   static std::vector<double> exponential_bounds(double start, double factor,
                                                 std::size_t count);
 
+  /// Thread-safe (per-histogram lock).
   void observe(double v);
 
   std::uint64_t count() const { return count_; }
@@ -91,6 +109,7 @@ class Histogram {
   void reset();
 
  private:
+  mutable std::mutex mu_;  ///< guards mutation (observe/reset)
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;

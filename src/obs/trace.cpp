@@ -54,6 +54,7 @@ Tracer& Tracer::instance() {
 bool Tracer::open_chrome(const std::string& path) {
   auto f = std::make_unique<std::ofstream>(path);
   if (!*f) return false;
+  std::lock_guard<std::mutex> lk(mu_);
   *f << "{\"traceEvents\":[\n";
   chrome_ = std::move(f);
   chrome_first_event_ = true;
@@ -73,11 +74,13 @@ bool Tracer::open_chrome(const std::string& path) {
 bool Tracer::open_jsonl(const std::string& path) {
   auto f = std::make_unique<std::ofstream>(path);
   if (!*f) return false;
+  std::lock_guard<std::mutex> lk(mu_);
   jsonl_ = std::move(f);
   return true;
 }
 
 void Tracer::close() {
+  std::lock_guard<std::mutex> lk(mu_);
   if (chrome_) {
     *chrome_ << "\n]}\n";
     chrome_.reset();
@@ -116,6 +119,9 @@ void Tracer::emit(const std::string& line) {
 void Tracer::emit_event(std::string_view track, std::string_view name,
                         char phase, double ts_us, double dur_us,
                         std::initializer_list<TraceArg> args) {
+  // One lock per event covers track-id assignment and the sink write, so
+  // concurrent emitters never interleave partial lines.
+  std::lock_guard<std::mutex> lk(mu_);
   const int tid = tid_for(track);
   std::ostringstream ev;
   ev.precision(15);  // keep µs timestamps exact over multi-minute runs

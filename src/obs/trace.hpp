@@ -17,6 +17,11 @@
 // every emit path returns before touching the clock or formatting
 // anything. ScopedTrace latches enabled() at construction so a scope
 // costs a single bool test when tracing is off.
+//
+// Thread-safe: events may be emitted from ThreadPool workers (the PDN
+// solver traces its solves, and per-domain PSN estimates run in
+// parallel); a single mutex serializes sink writes and track-id
+// assignment. Event formatting happens outside the lock.
 #pragma once
 
 #include <chrono>
@@ -25,6 +30,7 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -90,6 +96,7 @@ class Tracer {
                   std::initializer_list<TraceArg> args);
 
   std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;  ///< guards the sinks and the track table
   std::unique_ptr<std::ofstream> chrome_;
   std::unique_ptr<std::ofstream> jsonl_;
   bool chrome_first_event_ = true;

@@ -3,105 +3,124 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace parm::pdn {
 
-ChipPdnModel::ChipPdnModel(const power::TechnologyNode& tech,
-                           int domain_count, PackageRail rail,
-                           PsnEstimatorConfig cfg)
-    : tech_(tech), domain_count_(domain_count), rail_(rail), cfg_(cfg) {
-  PARM_CHECK(domain_count >= 1, "need at least one domain");
-  PARM_CHECK(rail.resistance >= 0.0 && rail.inductance >= 0.0,
-             "rail impedance must be non-negative");
+namespace {
+
+obs::Counter& cache_hits() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.factorization_cache_hits");
+  return c;
 }
 
-ChipPsn ChipPdnModel::estimate(
-    double vdd,
-    const std::vector<std::array<TileLoad, 4>>& loads) const {
-  PARM_CHECK(static_cast<int>(loads.size()) == domain_count_,
-             "loads size must match domain count");
-  PARM_CHECK(vdd > 0.0, "supply must be positive");
+obs::Counter& cache_misses() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.factorization_cache_misses");
+  return c;
+}
 
-  // Build one big circuit: source → optional shared rail → per-domain
-  // bump branch → per-domain tile grid (same topology as
-  // build_domain_circuit, inlined so all domains share the rail node).
-  Circuit ckt;
+struct ChipTopology {
+  Circuit circuit;
+  std::vector<std::array<NodeId, 4>> tile_nodes;
+};
+
+CurrentWaveform slot_waveform(const TileLoad& load, double ripple_freq_hz) {
+  PARM_CHECK(load.i_avg >= 0.0, "tile current must be non-negative");
+  if (load.i_avg <= 0.0) return CurrentWaveform::dc(0.0);
+  return load.modulation > 0.0
+             ? CurrentWaveform::ripple(load.i_avg, load.modulation,
+                                       ripple_freq_hz, load.phase)
+             : CurrentWaveform::dc(load.i_avg);
+}
+
+/// Builds the chip circuit: source → optional shared rail → per-domain
+/// bump branch → per-domain tile grid (same topology as
+/// build_domain_circuit, inlined so all domains share the rail node).
+///
+/// Degenerate rails collapse structurally instead of via placeholder
+/// resistors: a zero-R or zero-L branch is simply omitted (direct
+/// connection), and a fully zero-impedance rail aliases the source node,
+/// making "ideal isolation" exact rather than approximated through 1 nΩ.
+///
+/// `loads == nullptr` builds the reusable engine form, where every slot
+/// gets a (dummy) current source so source index d·4+k always maps to
+/// slot k of domain d; values are rebound per estimate.
+ChipTopology build_chip_circuit(
+    const power::TechnologyNode& tech, int domain_count,
+    const PackageRail& rail_cfg, double vdd,
+    const std::vector<std::array<TileLoad, 4>>* loads) {
+  ChipTopology out;
+  Circuit& ckt = out.circuit;
   const NodeId src = ckt.add_node("src");
   ckt.add_voltage_source(src, kGround, vdd);
 
   NodeId rail = src;
-  const bool has_rail = rail_.resistance > 0.0 || rail_.inductance > 0.0;
-  if (has_rail) {
+  const bool has_r = rail_cfg.resistance > 0.0;
+  const bool has_l = rail_cfg.inductance > 0.0;
+  if (has_r && has_l) {
     const NodeId mid = ckt.add_node("pkg_mid");
     rail = ckt.add_node("rail");
-    if (rail_.resistance > 0.0) {
-      ckt.add_resistor(src, mid, rail_.resistance);
-    } else {
-      ckt.add_resistor(src, mid, 1e-9);  // keep the node connected
-    }
-    if (rail_.inductance > 0.0) {
-      ckt.add_inductor(mid, rail, rail_.inductance);
-    } else {
-      ckt.add_resistor(mid, rail, 1e-9);
-    }
+    ckt.add_resistor(src, mid, rail_cfg.resistance);
+    ckt.add_inductor(mid, rail, rail_cfg.inductance);
+  } else if (has_r) {
+    rail = ckt.add_node("rail");
+    ckt.add_resistor(src, rail, rail_cfg.resistance);
+  } else if (has_l) {
+    rail = ckt.add_node("rail");
+    ckt.add_inductor(src, rail, rail_cfg.inductance);
   }
 
-  std::vector<std::array<NodeId, 4>> tile_nodes(
-      static_cast<std::size_t>(domain_count_));
-  for (int d = 0; d < domain_count_; ++d) {
+  out.tile_nodes.resize(static_cast<std::size_t>(domain_count));
+  for (int d = 0; d < domain_count; ++d) {
     const std::string prefix = "d" + std::to_string(d) + "_";
     const NodeId pkg = ckt.add_node(prefix + "pkg");
     const NodeId bump = ckt.add_node(prefix + "bump");
-    ckt.add_resistor(rail, pkg, tech_.pdn_r_bump);
-    ckt.add_inductor(pkg, bump, tech_.pdn_l_bump);
-    auto& tn = tile_nodes[static_cast<std::size_t>(d)];
+    ckt.add_resistor(rail, pkg, tech.pdn_r_bump);
+    ckt.add_inductor(pkg, bump, tech.pdn_l_bump);
+    auto& tn = out.tile_nodes[static_cast<std::size_t>(d)];
     for (int k = 0; k < 4; ++k) {
       tn[static_cast<std::size_t>(k)] =
           ckt.add_node(prefix + "tile" + std::to_string(k));
       ckt.add_resistor(bump, tn[static_cast<std::size_t>(k)],
-                       tech_.pdn_r_wire);
+                       tech.pdn_r_wire);
       ckt.add_capacitor(tn[static_cast<std::size_t>(k)], kGround,
-                        tech_.pdn_c_decap);
+                        tech.pdn_c_decap);
     }
-    ckt.add_resistor(tn[0], tn[1], tech_.pdn_r_wire);
-    ckt.add_resistor(tn[0], tn[2], tech_.pdn_r_wire);
-    ckt.add_resistor(tn[1], tn[3], tech_.pdn_r_wire);
-    ckt.add_resistor(tn[2], tn[3], tech_.pdn_r_wire);
+    ckt.add_resistor(tn[0], tn[1], tech.pdn_r_wire);
+    ckt.add_resistor(tn[0], tn[2], tech.pdn_r_wire);
+    ckt.add_resistor(tn[1], tn[3], tech.pdn_r_wire);
+    ckt.add_resistor(tn[2], tn[3], tech.pdn_r_wire);
 
     for (int k = 0; k < 4; ++k) {
-      const TileLoad& load = loads[static_cast<std::size_t>(d)]
-                                  [static_cast<std::size_t>(k)];
+      if (loads == nullptr) {
+        ckt.add_current_source(tn[static_cast<std::size_t>(k)], kGround,
+                               CurrentWaveform::dc(1.0));
+        continue;
+      }
+      const TileLoad& load = (*loads)[static_cast<std::size_t>(d)]
+                                     [static_cast<std::size_t>(k)];
       PARM_CHECK(load.i_avg >= 0.0, "tile current must be non-negative");
       if (load.i_avg <= 0.0) continue;
-      const CurrentWaveform w =
-          load.modulation > 0.0
-              ? CurrentWaveform::ripple(load.i_avg, load.modulation,
-                                        tech_.ripple_freq_hz, load.phase)
-              : CurrentWaveform::dc(load.i_avg);
-      ckt.add_current_source(tn[static_cast<std::size_t>(k)], kGround, w);
+      ckt.add_current_source(tn[static_cast<std::size_t>(k)], kGround,
+                             slot_waveform(load, tech.ripple_freq_hz));
     }
   }
+  return out;
+}
 
-  const double period = 1.0 / tech_.ripple_freq_hz;
-  const double dt = period / cfg_.steps_per_period;
-  const double t_end = period * (cfg_.warmup_periods + cfg_.measure_periods);
-  const double record_from = period * cfg_.warmup_periods;
-
-  std::vector<NodeId> record;
-  record.reserve(static_cast<std::size_t>(domain_count_) * 4);
-  for (const auto& tn : tile_nodes) {
-    record.insert(record.end(), tn.begin(), tn.end());
-  }
-
-  TransientSolver solver(ckt, dt);
-  const TransientTrace trace = solver.run(t_end, record, record_from);
-
+/// Shared per-tile reduction; accumulation order matches the original
+/// implementation exactly (equivalence tests compare bitwise-close).
+ChipPsn reduce_chip_psn(double vdd, int domain_count,
+                        const std::vector<std::array<NodeId, 4>>& tile_nodes,
+                        const TransientTrace& trace) {
   ChipPsn out;
-  out.domains.resize(static_cast<std::size_t>(domain_count_));
-  for (int d = 0; d < domain_count_; ++d) {
+  out.domains.resize(static_cast<std::size_t>(domain_count));
+  for (int d = 0; d < domain_count; ++d) {
     DomainPsn& dom = out.domains[static_cast<std::size_t>(d)];
     for (std::size_t k = 0; k < 4; ++k) {
-      const auto& v =
-          trace.of(tile_nodes[static_cast<std::size_t>(d)][k]);
+      const auto& v = trace.of(tile_nodes[static_cast<std::size_t>(d)][k]);
       double peak = 0.0, sum = 0.0;
       for (double volt : v) {
         const double psn = (vdd - volt) / vdd * 100.0;
@@ -114,9 +133,109 @@ ChipPsn ChipPdnModel::estimate(
       dom.avg_percent += dom.tiles[k].avg_percent / 4.0;
     }
     out.peak_percent = std::max(out.peak_percent, dom.peak_percent);
-    out.avg_percent += dom.avg_percent / domain_count_;
+    out.avg_percent += dom.avg_percent / domain_count;
   }
   return out;
+}
+
+}  // namespace
+
+/// Cached chip solver: all-sources circuit plus the shared factorizations
+/// (valid for every (vdd, loads) because those are RHS-only).
+struct ChipPdnModel::Engine {
+  ChipTopology topo;
+  TransientSolver solver;
+
+  Engine(ChipTopology t, double dt)
+      : topo(std::move(t)),
+        solver(topo.circuit, dt,
+               std::make_shared<const LuFactorization>(
+                   TransientSolver::factorize(topo.circuit, dt)),
+               std::make_shared<const LuFactorization>(
+                   DcSolver::factorize(topo.circuit))) {}
+};
+
+ChipPdnModel::ChipPdnModel(const power::TechnologyNode& tech,
+                           int domain_count, PackageRail rail,
+                           PsnEstimatorConfig cfg)
+    : tech_(tech), domain_count_(domain_count), rail_(rail), cfg_(cfg) {
+  PARM_CHECK(domain_count >= 1, "need at least one domain");
+  PARM_CHECK(rail.resistance >= 0.0 && rail.inductance >= 0.0,
+             "rail impedance must be non-negative");
+}
+
+ChipPdnModel::~ChipPdnModel() = default;
+
+ChipPsn ChipPdnModel::estimate(
+    double vdd,
+    const std::vector<std::array<TileLoad, 4>>& loads) const {
+  PARM_CHECK(static_cast<int>(loads.size()) == domain_count_,
+             "loads size must match domain count");
+  PARM_CHECK(vdd > 0.0, "supply must be positive");
+  if (!cfg_.reuse_factorization) return estimate_cold(vdd, loads);
+
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double dt = period / cfg_.steps_per_period;
+  const double t_end = period * (cfg_.warmup_periods + cfg_.measure_periods);
+  const double record_from = period * cfg_.warmup_periods;
+
+  // One engine serialized by the model's mutex: chip-level analyses solve
+  // one big circuit, so the win is the cached factorization, not
+  // intra-model parallelism.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (engine_ == nullptr) {
+    cache_misses().inc();
+    engine_ = std::make_unique<Engine>(
+        build_chip_circuit(tech_, domain_count_, rail_, 1.0, nullptr), dt);
+  } else {
+    cache_hits().inc();
+  }
+
+  Circuit& ckt = engine_->topo.circuit;
+  ckt.set_voltage_source(0, vdd);
+  for (int d = 0; d < domain_count_; ++d) {
+    for (int k = 0; k < 4; ++k) {
+      ckt.set_current_source(
+          static_cast<std::size_t>(d * 4 + k),
+          slot_waveform(loads[static_cast<std::size_t>(d)]
+                             [static_cast<std::size_t>(k)],
+                        tech_.ripple_freq_hz));
+    }
+  }
+
+  std::vector<NodeId> record;
+  record.reserve(static_cast<std::size_t>(domain_count_) * 4);
+  for (const auto& tn : engine_->topo.tile_nodes) {
+    record.insert(record.end(), tn.begin(), tn.end());
+  }
+  const TransientTrace trace = engine_->solver.run(t_end, record, record_from);
+  return reduce_chip_psn(vdd, domain_count_, engine_->topo.tile_nodes, trace);
+}
+
+ChipPsn ChipPdnModel::estimate_cold(
+    double vdd,
+    const std::vector<std::array<TileLoad, 4>>& loads) const {
+  PARM_CHECK(static_cast<int>(loads.size()) == domain_count_,
+             "loads size must match domain count");
+  PARM_CHECK(vdd > 0.0, "supply must be positive");
+
+  ChipTopology topo =
+      build_chip_circuit(tech_, domain_count_, rail_, vdd, &loads);
+
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double dt = period / cfg_.steps_per_period;
+  const double t_end = period * (cfg_.warmup_periods + cfg_.measure_periods);
+  const double record_from = period * cfg_.warmup_periods;
+
+  std::vector<NodeId> record;
+  record.reserve(static_cast<std::size_t>(domain_count_) * 4);
+  for (const auto& tn : topo.tile_nodes) {
+    record.insert(record.end(), tn.begin(), tn.end());
+  }
+
+  TransientSolver solver(topo.circuit, dt);
+  const TransientTrace trace = solver.run(t_end, record, record_from);
+  return reduce_chip_psn(vdd, domain_count_, topo.tile_nodes, trace);
 }
 
 }  // namespace parm::pdn

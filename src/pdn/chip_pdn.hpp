@@ -14,6 +14,8 @@
 // is a regression test.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pdn/psn_estimator.hpp"
@@ -39,21 +41,36 @@ class ChipPdnModel {
   /// through `rail`. Pass a zero-impedance rail for ideal isolation.
   ChipPdnModel(const power::TechnologyNode& tech, int domain_count,
                PackageRail rail, PsnEstimatorConfig cfg = {});
+  ~ChipPdnModel();
 
   /// Estimates PSN for the whole chip. `loads[d][k]` is the load of slot
   /// k in domain d; vdd applies to every domain (shared-rail analyses use
   /// one DVS level to isolate the coupling effect).
+  ///
+  /// The chip MNA matrices depend only on (tech, rail, domain_count, dt),
+  /// so the factorizations are computed on first use and reused for every
+  /// later call (unless the config disables reuse). Thread-safe.
   ChipPsn estimate(double vdd,
                    const std::vector<std::array<TileLoad, 4>>& loads) const;
+
+  /// The pre-cache path: rebuilds and refactorizes the chip circuit from
+  /// scratch. Kept as the golden reference for equivalence tests.
+  ChipPsn estimate_cold(
+      double vdd, const std::vector<std::array<TileLoad, 4>>& loads) const;
 
   int domain_count() const { return domain_count_; }
   const PackageRail& rail() const { return rail_; }
 
  private:
+  struct Engine;
+
   power::TechnologyNode tech_;
   int domain_count_;
   PackageRail rail_;
   PsnEstimatorConfig cfg_;
+
+  mutable std::mutex mu_;                   ///< guards engine_
+  mutable std::unique_ptr<Engine> engine_;  ///< lazily built cached solver
 };
 
 }  // namespace parm::pdn

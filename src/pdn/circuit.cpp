@@ -52,6 +52,16 @@ void Circuit::add_current_source(NodeId pos, NodeId neg,
   isources_.push_back({pos, neg, waveform});
 }
 
+void Circuit::set_voltage_source(std::size_t index, double volts) {
+  PARM_CHECK(index < vsources_.size(), "voltage source index out of range");
+  vsources_[index].volts = volts;
+}
+
+void Circuit::set_current_source(std::size_t index, CurrentWaveform waveform) {
+  PARM_CHECK(index < isources_.size(), "current source index out of range");
+  isources_[index].waveform = waveform;
+}
+
 const std::string& Circuit::node_name(NodeId n) const {
   check_node(n);
   return node_names_[static_cast<std::size_t>(n)];
@@ -89,7 +99,7 @@ inline void stamp_rhs_current(std::vector<double>& z, NodeId into,
 
 }  // namespace
 
-DcSolver::DcSolver(const Circuit& ckt) {
+LuFactorization DcSolver::factorize(const Circuit& ckt) {
   const std::size_t n_nodes = static_cast<std::size_t>(ckt.node_count() - 1);
   const std::size_t n_l = ckt.inductors_.size();
   const std::size_t n_v = ckt.vsources_.size();
@@ -97,8 +107,6 @@ DcSolver::DcSolver(const Circuit& ckt) {
   PARM_CHECK(n > 0, "empty circuit");
 
   Matrix a(n, n);
-  std::vector<double> z(n, 0.0);
-
   for (const auto& r : ckt.resistors_) {
     stamp_conductance(a, r.a, r.b, 1.0 / r.ohms);
   }
@@ -132,7 +140,22 @@ DcSolver::DcSolver(const Circuit& ckt) {
       a(j, row) -= 1.0;
       a(row, j) -= 1.0;
     }
-    z[row] = v.volts;
+  }
+  return LuFactorization(std::move(a));
+}
+
+DcSolver::DcSolver(const Circuit& ckt) : DcSolver(ckt, factorize(ckt)) {}
+
+DcSolver::DcSolver(const Circuit& ckt, const LuFactorization& lu) {
+  const std::size_t n_nodes = static_cast<std::size_t>(ckt.node_count() - 1);
+  const std::size_t n_l = ckt.inductors_.size();
+  const std::size_t n_v = ckt.vsources_.size();
+  const std::size_t n = n_nodes + n_l + n_v;
+  PARM_CHECK(lu.size() == n, "factorization does not match this circuit");
+
+  std::vector<double> z(n, 0.0);
+  for (std::size_t k = 0; k < n_v; ++k) {
+    z[n_nodes + n_l + k] = ckt.vsources_[k].volts;
   }
   for (const auto& s : ckt.isources_) {
     const double i0 = s.waveform.average();
@@ -140,7 +163,6 @@ DcSolver::DcSolver(const Circuit& ckt) {
     stamp_rhs_current(z, s.neg, +i0);
   }
 
-  LuFactorization lu(std::move(a));
   const std::vector<double> x = lu.solve(z);
 
   voltages_.assign(static_cast<std::size_t>(ckt.node_count()), 0.0);

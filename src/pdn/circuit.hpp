@@ -42,6 +42,15 @@ class Circuit {
   void add_voltage_source(NodeId pos, NodeId neg, double volts);
   void add_current_source(NodeId pos, NodeId neg, CurrentWaveform waveform);
 
+  /// Updates the value of voltage source `index` (in add order). Source
+  /// values enter the MNA system only through the right-hand side, so any
+  /// cached LU factorization of this circuit stays valid.
+  void set_voltage_source(std::size_t index, double volts);
+  /// Replaces the waveform of current source `index` (in add order).
+  /// Current sources stamp nothing into the MNA matrix, so any cached LU
+  /// factorization of this circuit stays valid.
+  void set_current_source(std::size_t index, CurrentWaveform waveform);
+
   std::int32_t node_count() const {
     return static_cast<std::int32_t>(node_names_.size());
   }
@@ -99,6 +108,17 @@ class Circuit {
 class DcSolver {
  public:
   explicit DcSolver(const Circuit& circuit);
+
+  /// Operating point reusing a factorization obtained from factorize().
+  /// Valid across set_voltage_source / set_current_source updates, since
+  /// source values only reach the right-hand side.
+  DcSolver(const Circuit& circuit, const LuFactorization& lu);
+
+  /// Stamps and factorizes the DC MNA matrix of `circuit`. The matrix
+  /// depends only on the topology and element values, never on source
+  /// values, so one factorization serves every operating point of a
+  /// fixed-topology circuit.
+  static LuFactorization factorize(const Circuit& circuit);
 
   /// Node voltages indexed by NodeId (ground = 0.0).
   const std::vector<double>& node_voltages() const { return voltages_; }

@@ -58,9 +58,17 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 }
 
 std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  std::vector<double> x;
+  solve_inplace(b, x);
+  return x;
+}
+
+void LuFactorization::solve_inplace(const std::vector<double>& b,
+                                    std::vector<double>& x) const {
   const std::size_t n = size();
   PARM_CHECK(b.size() == n, "dimension mismatch in solve");
-  std::vector<double> x(n);
+  PARM_DCHECK(&b != &x, "solve_inplace aliasing");
+  x.resize(n);
   // Forward substitution with permuted RHS (L has unit diagonal).
   for (std::size_t r = 0; r < n; ++r) {
     double acc = b[perm_[r]];
@@ -73,7 +81,6 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
     for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
   }
-  return x;
 }
 
 }  // namespace parm::pdn

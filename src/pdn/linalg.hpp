@@ -54,6 +54,13 @@ class LuFactorization {
   /// Solves A·x = b, returning x.
   std::vector<double> solve(const std::vector<double>& b) const;
 
+  /// Solves A·x = b into caller-provided `x` (resized to n) without
+  /// allocating when x already has capacity. `x` must not alias `b` —
+  /// forward substitution reads b through the row permutation while x is
+  /// being written. This is the transient solver's per-timestep path.
+  void solve_inplace(const std::vector<double>& b,
+                     std::vector<double>& x) const;
+
   std::size_t size() const { return lu_.rows(); }
 
  private:

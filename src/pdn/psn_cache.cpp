@@ -1,0 +1,112 @@
+#include "pdn/psn_cache.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace parm::pdn {
+
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.psn_cache_hits");
+  return c;
+}
+
+obs::Counter& misses_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.psn_cache_misses");
+  return c;
+}
+
+obs::Counter& evictions_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.psn_cache_evictions");
+  return c;
+}
+
+/// FNV-1a over the bytes of one quantized integer.
+inline void fnv_add(std::uint64_t& h, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+inline void fnv_add_quantized(std::uint64_t& h, double x, double step) {
+  fnv_add(h, static_cast<std::int64_t>(std::llround(x / step)));
+}
+
+}  // namespace
+
+PsnCache::PsnCache(std::size_t capacity) : capacity_(capacity) {
+  PARM_CHECK(capacity_ > 0, "cache capacity must be positive");
+}
+
+std::uint64_t PsnCache::key(double vdd,
+                            const std::array<TileLoad, 4>& loads) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_add_quantized(h, vdd, kVddStep);
+  for (const TileLoad& l : loads) {
+    fnv_add_quantized(h, l.i_avg, kCurrentStep);
+    fnv_add_quantized(h, l.modulation, kModulationStep);
+    fnv_add_quantized(h, l.phase, kPhaseStep);
+  }
+  return h;
+}
+
+std::array<TileLoad, 4> PsnCache::quantize(
+    const std::array<TileLoad, 4>& loads) {
+  std::array<TileLoad, 4> q = loads;
+  for (TileLoad& l : q) {
+    l.i_avg = std::round(l.i_avg / kCurrentStep) * kCurrentStep;
+    l.modulation = std::round(l.modulation / kModulationStep) *
+                   kModulationStep;
+    l.phase = std::round(l.phase / kPhaseStep) * kPhaseStep;
+  }
+  return q;
+}
+
+bool PsnCache::get(std::uint64_t key, DomainPsn& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_counter().inc();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->value;
+  hits_counter().inc();
+  return true;
+}
+
+void PsnCache::put(std::uint64_t key, const DomainPsn& value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_counter().inc();
+  }
+  lru_.push_front(Entry{key, value});
+  index_.emplace(key, lru_.begin());
+}
+
+std::size_t PsnCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+void PsnCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace parm::pdn

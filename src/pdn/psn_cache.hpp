@@ -1,0 +1,75 @@
+// Shared bounded LRU memo for domain PSN estimates.
+//
+// A domain's PSN depends only on (vdd, per-slot loads). Quantizing that
+// signature — supply to 10 mV, currents to 2 mA, modulation to 0.02,
+// phase to 0.05 periods — collapses the continuum of nearly identical
+// operating points onto a small set of keys, so steady phases of a run
+// (and admission's repeated candidate probes) hit the memo instead of
+// re-running a transient. Loads must be quantized with quantize() before
+// estimating on a miss, so hits and misses see identical physics.
+//
+// Thread-safe (single mutex; the protected work is pointer shuffling, far
+// cheaper than the transient solve it saves) and bounded: least recently
+// used entries are evicted at capacity. Hit/miss/eviction counts are
+// exported as pdn.psn_cache_{hits,misses,evictions}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "pdn/psn_estimator.hpp"
+
+namespace parm::pdn {
+
+class PsnCache {
+ public:
+  /// Quantization steps of the key signature.
+  static constexpr double kVddStep = 0.01;
+  static constexpr double kCurrentStep = 0.002;
+  static constexpr double kModulationStep = 0.02;
+  static constexpr double kPhaseStep = 0.05;
+
+  /// Default capacity: comfortably covers the distinct operating points
+  /// of a long mixed-workload run while bounding memory to a few MB.
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  explicit PsnCache(std::size_t capacity = kDefaultCapacity);
+
+  /// FNV-1a over the quantized (vdd, loads) signature. Stable across
+  /// platforms and runs — safe to persist alongside results.
+  static std::uint64_t key(double vdd, const std::array<TileLoad, 4>& loads);
+
+  /// Loads rounded onto the key grid; estimate these on a miss so the
+  /// stored result is exact for every later hit of the same key.
+  static std::array<TileLoad, 4> quantize(
+      const std::array<TileLoad, 4>& loads);
+
+  /// Looks up `key`, refreshing its recency. True (and fills `out`) on a
+  /// hit. Counts pdn.psn_cache_hits / _misses.
+  bool get(std::uint64_t key, DomainPsn& out);
+
+  /// Inserts or refreshes `key`, evicting the least recently used entry
+  /// at capacity. Concurrent puts of the same key are benign (the values
+  /// are identical by construction).
+  void put(std::uint64_t key, const DomainPsn& value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    DomainPsn value;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace parm::pdn

@@ -2,7 +2,89 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace parm::pdn {
+
+namespace {
+
+/// Waveform for one tile slot. Dark slots (i_avg == 0) become dc(0)
+/// sources, which contribute exactly nothing to the RHS at every instant
+/// and to the DC average — bitwise identical to omitting the source, but
+/// they keep the engine circuit's source count fixed so one factorization
+/// serves every load pattern.
+CurrentWaveform slot_waveform(const TileLoad& load, double ripple_freq_hz) {
+  PARM_CHECK(load.i_avg >= 0.0, "tile current must be non-negative");
+  if (load.i_avg <= 0.0) return CurrentWaveform::dc(0.0);
+  return load.modulation > 0.0
+             ? CurrentWaveform::ripple(load.i_avg, load.modulation,
+                                       ripple_freq_hz, load.phase)
+             : CurrentWaveform::dc(load.i_avg);
+}
+
+/// Per-tile PSN reduction shared by the cold and cached paths; the
+/// accumulation order matches the original implementation exactly.
+void accumulate_psn(double vdd, const std::array<NodeId, 4>& tile_nodes,
+                    const TransientTrace& trace, DomainPsn& out) {
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::vector<double>& v = trace.of(tile_nodes[k]);
+    PARM_CHECK(!v.empty(), "empty transient trace");
+    double peak = 0.0;
+    double sum = 0.0;
+    for (double volt : v) {
+      const double psn = (vdd - volt) / vdd * 100.0;
+      peak = std::max(peak, psn);
+      sum += psn;
+    }
+    out.tiles[k].peak_percent = peak;
+    out.tiles[k].avg_percent = sum / static_cast<double>(v.size());
+    out.peak_percent = std::max(out.peak_percent, peak);
+    out.avg_percent += out.tiles[k].avg_percent / 4.0;
+  }
+}
+
+obs::Counter& cache_hits() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.factorization_cache_hits");
+  return c;
+}
+
+obs::Counter& cache_misses() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdn.factorization_cache_misses");
+  return c;
+}
+
+}  // namespace
+
+namespace {
+
+/// Engine circuit: every tile slot gets a (dummy) current source so that
+/// source index k always maps to tile slot k; the values are rebound per
+/// estimate. The placeholder vdd/current values never survive to a solve.
+DomainCircuit build_engine_circuit(const power::TechnologyNode& tech) {
+  const std::array<TileLoad, 4> dummy{TileLoad{1.0, 0.0, 0.0},
+                                      TileLoad{1.0, 0.0, 0.0},
+                                      TileLoad{1.0, 0.0, 0.0},
+                                      TileLoad{1.0, 0.0, 0.0}};
+  return build_domain_circuit(tech, 1.0, dummy);
+}
+
+}  // namespace
+
+/// One reusable solve context: a domain circuit with all four current
+/// sources present (source k ↔ tile slot k) whose values are rebound per
+/// estimate, plus a solver adopting the shared factorizations.
+struct PsnEstimator::Engine {
+  DomainCircuit dom;
+  TransientSolver solver;
+
+  Engine(DomainCircuit d, double dt,
+         std::shared_ptr<const LuFactorization> transient_lu,
+         std::shared_ptr<const LuFactorization> dc_lu)
+      : dom(std::move(d)),
+        solver(dom.circuit, dt, std::move(transient_lu), std::move(dc_lu)) {}
+};
 
 PsnEstimator::PsnEstimator(const power::TechnologyNode& tech,
                            PsnEstimatorConfig cfg)
@@ -12,7 +94,102 @@ PsnEstimator::PsnEstimator(const power::TechnologyNode& tech,
   PARM_CHECK(cfg.steps_per_period >= 8, "too few steps per period");
 }
 
+PsnEstimator::~PsnEstimator() = default;
+
+PsnEstimator::PsnEstimator(const PsnEstimator& other)
+    : PsnEstimator(other.tech_, other.cfg_) {}
+
+PsnEstimator& PsnEstimator::operator=(const PsnEstimator& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lk(mu_);
+  tech_ = other.tech_;
+  cfg_ = other.cfg_;
+  idle_engines_.clear();
+  transient_lu_.reset();
+  dc_lu_.reset();
+  return *this;
+}
+
+std::unique_ptr<PsnEstimator::Engine> PsnEstimator::acquire_engine() const {
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double dt = period / cfg_.steps_per_period;
+
+  std::shared_ptr<const LuFactorization> transient_lu;
+  std::shared_ptr<const LuFactorization> dc_lu;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!idle_engines_.empty()) {
+      std::unique_ptr<Engine> engine = std::move(idle_engines_.back());
+      idle_engines_.pop_back();
+      cache_hits().inc();
+      return engine;
+    }
+    transient_lu = transient_lu_;
+    dc_lu = dc_lu_;
+  }
+
+  DomainCircuit dom = build_engine_circuit(tech_);
+  if (transient_lu && dc_lu) {
+    // New engine for a busy pool: cached factorizations, no O(n³) work,
+    // just stamping a fresh circuit for this caller.
+    cache_hits().inc();
+  } else {
+    // First use: factorize outside the lock. Concurrent first calls may
+    // race here; the factorizations are identical, the first publisher
+    // wins, and losers adopt the published copy.
+    cache_misses().inc();
+    transient_lu = std::make_shared<const LuFactorization>(
+        TransientSolver::factorize(dom.circuit, dt));
+    dc_lu = std::make_shared<const LuFactorization>(
+        DcSolver::factorize(dom.circuit));
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!transient_lu_) {
+      transient_lu_ = transient_lu;
+      dc_lu_ = dc_lu;
+    } else {
+      transient_lu = transient_lu_;
+      dc_lu = dc_lu_;
+    }
+  }
+  return std::make_unique<Engine>(std::move(dom), dt, std::move(transient_lu),
+                                  std::move(dc_lu));
+}
+
+void PsnEstimator::release_engine(std::unique_ptr<Engine> engine) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  idle_engines_.push_back(std::move(engine));
+}
+
 DomainPsn PsnEstimator::estimate(
+    double vdd, const std::array<TileLoad, 4>& loads) const {
+  DomainPsn out;
+  const bool any_active =
+      std::any_of(loads.begin(), loads.end(),
+                  [](const TileLoad& l) { return l.i_avg > 0.0; });
+  if (!any_active) return out;
+  if (!cfg_.reuse_factorization) return estimate_cold(vdd, loads);
+
+  std::unique_ptr<Engine> engine = acquire_engine();
+  Circuit& ckt = engine->dom.circuit;
+  ckt.set_voltage_source(0, vdd);
+  for (std::size_t k = 0; k < 4; ++k) {
+    ckt.set_current_source(k, slot_waveform(loads[k], tech_.ripple_freq_hz));
+  }
+
+  const double period = 1.0 / tech_.ripple_freq_hz;
+  const double t_end =
+      period * (cfg_.warmup_periods + cfg_.measure_periods);
+  const double record_from = period * cfg_.warmup_periods;
+
+  const std::vector<NodeId> record(engine->dom.tile_nodes.begin(),
+                                   engine->dom.tile_nodes.end());
+  const TransientTrace trace = engine->solver.run(t_end, record, record_from);
+  accumulate_psn(vdd, engine->dom.tile_nodes, trace, out);
+  release_engine(std::move(engine));
+  return out;
+}
+
+DomainPsn PsnEstimator::estimate_cold(
     double vdd, const std::array<TileLoad, 4>& loads) const {
   DomainPsn out;
   const bool any_active =
@@ -32,22 +209,7 @@ DomainPsn PsnEstimator::estimate(
   const std::vector<NodeId> record(dom.tile_nodes.begin(),
                                    dom.tile_nodes.end());
   const TransientTrace trace = solver.run(t_end, record, record_from);
-
-  for (std::size_t k = 0; k < 4; ++k) {
-    const std::vector<double>& v = trace.of(dom.tile_nodes[k]);
-    PARM_CHECK(!v.empty(), "empty transient trace");
-    double peak = 0.0;
-    double sum = 0.0;
-    for (double volt : v) {
-      const double psn = (vdd - volt) / vdd * 100.0;
-      peak = std::max(peak, psn);
-      sum += psn;
-    }
-    out.tiles[k].peak_percent = peak;
-    out.tiles[k].avg_percent = sum / static_cast<double>(v.size());
-    out.peak_percent = std::max(out.peak_percent, peak);
-    out.avg_percent += out.tiles[k].avg_percent / 4.0;
-  }
+  accumulate_psn(vdd, dom.tile_nodes, trace, out);
   return out;
 }
 

@@ -7,9 +7,20 @@
 // prefix is discarded; average PSN is the time average. This is the
 // quantity the paper's on-die sensors expose to PARM/PANR and the one
 // plotted in Figs. 1, 3 and 7.
+//
+// Hot path: the domain topology is fixed per technology node, and the MNA
+// matrices depend only on (tech, dt) — never on vdd or the tile loads
+// (those are RHS-only; see transient.hpp). The estimator therefore stamps
+// and LU-factorizes the transient + DC systems once, and every estimate()
+// call just rebinds the source values on a pooled per-thread engine and
+// re-runs the (allocation-free) stepping loop. Cache effectiveness is
+// exported as pdn.factorization_cache_hits / _misses.
 #pragma once
 
 #include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "pdn/pdn_netlist.hpp"
 #include "pdn/transient.hpp"
@@ -34,24 +45,53 @@ struct PsnEstimatorConfig {
   int warmup_periods = 2;      ///< ripple periods discarded before measuring
   int measure_periods = 4;     ///< ripple periods measured
   int steps_per_period = 96;   ///< timesteps per ripple period
+  /// Reuse the cached LU factorizations across estimate() calls (the
+  /// default hot path). false forces the cold rebuild-and-refactorize
+  /// path on every call — for golden-equivalence tests and benchmarks.
+  bool reuse_factorization = true;
 };
 
 class PsnEstimator {
  public:
   explicit PsnEstimator(const power::TechnologyNode& tech,
                         PsnEstimatorConfig cfg = {});
+  ~PsnEstimator();
+
+  /// Copying shares nothing: the copy starts with an empty engine pool
+  /// and factorizes on first use (the mutex and pool are not copyable).
+  PsnEstimator(const PsnEstimator& other);
+  PsnEstimator& operator=(const PsnEstimator& other);
 
   /// Estimates PSN for one domain at supply `vdd` with the given loads.
   /// All-dark domains (every i_avg == 0) report zero PSN without running
-  /// a transient.
+  /// a transient. Thread-safe: concurrent calls draw distinct engines
+  /// from the pool and share only the immutable LU factorizations.
   DomainPsn estimate(double vdd, const std::array<TileLoad, 4>& loads) const;
+
+  /// The pre-cache path: builds the domain circuit and factorizes from
+  /// scratch. Kept as the golden reference for equivalence tests.
+  DomainPsn estimate_cold(double vdd,
+                          const std::array<TileLoad, 4>& loads) const;
 
   const power::TechnologyNode& technology() const { return tech_; }
   const PsnEstimatorConfig& config() const { return cfg_; }
 
  private:
+  struct Engine;
+
+  std::unique_ptr<Engine> acquire_engine() const;
+  void release_engine(std::unique_ptr<Engine> engine) const;
+
   power::TechnologyNode tech_;
   PsnEstimatorConfig cfg_;
+
+  // Engine pool. The LU factorizations are computed once (first estimate)
+  // and shared by every engine; each engine owns a mutable circuit whose
+  // source values are rebound per call, plus the solver's scratch state.
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<Engine>> idle_engines_;
+  mutable std::shared_ptr<const LuFactorization> transient_lu_;
+  mutable std::shared_ptr<const LuFactorization> dc_lu_;
 };
 
 }  // namespace parm::pdn

@@ -1,6 +1,7 @@
 #include "pdn/transient.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -17,24 +18,36 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 }  // namespace
 
 const std::vector<double>& TransientTrace::of(NodeId n) const {
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i] == n) return voltages[i];
+  if (!node_row_.empty()) {
+    if (n >= 0 && static_cast<std::size_t>(n) < node_row_.size()) {
+      const std::int32_t row = node_row_[static_cast<std::size_t>(n)];
+      if (row >= 0) return voltages[static_cast<std::size_t>(row)];
+    }
+  } else {
+    // Hand-assembled trace without an index: scan the recorded ids.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == n) return voltages[i];
+    }
   }
-  PARM_CHECK(false, "node was not recorded in this trace");
+  std::string msg = "node " + std::to_string(n) +
+                    " was not recorded in this trace (recorded nodes:";
+  if (nodes.empty()) msg += " none";
+  for (const NodeId rec : nodes) msg += ' ' + std::to_string(rec);
+  msg += ')';
+  PARM_CHECK(false, msg);
 }
 
-TransientSolver::TransientSolver(const Circuit& ckt, double dt)
-    : ckt_(ckt), dt_(dt) {
+LuFactorization TransientSolver::factorize(const Circuit& ckt, double dt) {
   PARM_CHECK(dt > 0.0, "timestep must be positive");
-  n_nodes_ = static_cast<std::size_t>(ckt.node_count() - 1);
-  n_l_ = ckt.inductor_count();
-  n_v_ = ckt.voltage_source_count();
-  const std::size_t n = n_nodes_ + n_l_ + n_v_;
+  const std::size_t n_nodes = static_cast<std::size_t>(ckt.node_count() - 1);
+  const std::size_t n_l = ckt.inductor_count();
+  const std::size_t n_v = ckt.voltage_source_count();
+  const std::size_t n = n_nodes + n_l + n_v;
   PARM_CHECK(n > 0, "empty circuit");
 
   Matrix a(n, n);
   // Resistors.
-  for (const auto& r : ckt_.resistors_) {
+  for (const auto& r : ckt.resistors_) {
     const double g = 1.0 / r.ohms;
     const std::size_t i = vidx(r.a);
     const std::size_t j = vidx(r.b);
@@ -46,8 +59,8 @@ TransientSolver::TransientSolver(const Circuit& ckt, double dt)
     }
   }
   // Capacitor trapezoidal companions: conductance 2C/dt.
-  for (const auto& c : ckt_.capacitors_) {
-    const double g = 2.0 * c.farads / dt_;
+  for (const auto& c : ckt.capacitors_) {
+    const double g = 2.0 * c.farads / dt;
     const std::size_t i = vidx(c.a);
     const std::size_t j = vidx(c.b);
     if (i != kNone) a(i, i) += g;
@@ -58,12 +71,12 @@ TransientSolver::TransientSolver(const Circuit& ckt, double dt)
     }
   }
   // Inductor branches: i_{n+1} − (dt/2L)(v_a − v_b)_{n+1} = rhs.
-  for (std::size_t k = 0; k < n_l_; ++k) {
-    const auto& l = ckt_.inductors_[k];
-    const std::size_t row = n_nodes_ + k;
+  for (std::size_t k = 0; k < n_l; ++k) {
+    const auto& l = ckt.inductors_[k];
+    const std::size_t row = n_nodes + k;
     const std::size_t i = vidx(l.a);
     const std::size_t j = vidx(l.b);
-    const double gl = dt_ / (2.0 * l.henries);
+    const double gl = dt / (2.0 * l.henries);
     a(row, row) += 1.0;
     if (i != kNone) {
       a(i, row) += 1.0;  // branch current leaves node a
@@ -75,9 +88,9 @@ TransientSolver::TransientSolver(const Circuit& ckt, double dt)
     }
   }
   // Voltage sources.
-  for (std::size_t k = 0; k < n_v_; ++k) {
-    const auto& v = ckt_.vsources_[k];
-    const std::size_t row = n_nodes_ + n_l_ + k;
+  for (std::size_t k = 0; k < n_v; ++k) {
+    const auto& v = ckt.vsources_[k];
+    const std::size_t row = n_nodes + n_l + k;
     const std::size_t i = vidx(v.pos);
     const std::size_t j = vidx(v.neg);
     if (i != kNone) {
@@ -89,10 +102,37 @@ TransientSolver::TransientSolver(const Circuit& ckt, double dt)
       a(row, j) -= 1.0;
     }
   }
-  lu_.emplace(std::move(a));
+
   static obs::Counter& factorizations =
       obs::Registry::instance().counter("pdn.factorizations");
   factorizations.inc();
+  return LuFactorization(std::move(a));
+}
+
+TransientSolver::TransientSolver(const Circuit& ckt, double dt)
+    : TransientSolver(
+          ckt, dt,
+          std::make_shared<const LuFactorization>(factorize(ckt, dt)),
+          std::make_shared<const LuFactorization>(DcSolver::factorize(ckt))) {}
+
+TransientSolver::TransientSolver(const Circuit& ckt, double dt,
+                                 std::shared_ptr<const LuFactorization>
+                                     transient_lu,
+                                 std::shared_ptr<const LuFactorization> dc_lu)
+    : ckt_(ckt),
+      dt_(dt),
+      lu_(std::move(transient_lu)),
+      dc_lu_(std::move(dc_lu)) {
+  PARM_CHECK(dt > 0.0, "timestep must be positive");
+  PARM_CHECK(lu_ != nullptr && dc_lu_ != nullptr,
+             "prefactorized systems must be non-null");
+  n_nodes_ = static_cast<std::size_t>(ckt.node_count() - 1);
+  n_l_ = ckt.inductor_count();
+  n_v_ = ckt.voltage_source_count();
+  const std::size_t n = n_nodes_ + n_l_ + n_v_;
+  PARM_CHECK(n > 0, "empty circuit");
+  PARM_CHECK(lu_->size() == n && dc_lu_->size() == n,
+             "factorization does not match this circuit");
 }
 
 TransientTrace TransientSolver::run(double t_end,
@@ -112,26 +152,34 @@ TransientTrace TransientSolver::run(double t_end,
   obs::ScopedTrace solve_trace("pdn", "pdn.solve");
 
   // --- Initial conditions from the DC operating point. ---
-  DcSolver dc(ckt_);
-  std::vector<double> v_node(static_cast<std::size_t>(ckt_.node_count()));
+  // The DC factorization was computed once in the constructor; only the
+  // RHS depends on the current source values.
+  DcSolver dc(ckt_, *dc_lu_);
+  v_node_.resize(static_cast<std::size_t>(ckt_.node_count()));
   for (NodeId n = 0; n < ckt_.node_count(); ++n)
-    v_node[static_cast<std::size_t>(n)] = dc.voltage(n);
+    v_node_[static_cast<std::size_t>(n)] = dc.voltage(n);
 
   // Capacitor state: voltage across and current through (0 at DC).
-  std::vector<double> cap_v(ckt_.capacitors_.size());
-  std::vector<double> cap_i(ckt_.capacitors_.size(), 0.0);
-  for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+  const std::size_t n_c = ckt_.capacitors_.size();
+  cap_v_.resize(n_c);
+  cap_i_.assign(n_c, 0.0);
+  for (std::size_t k = 0; k < n_c; ++k) {
     const auto& c = ckt_.capacitors_[k];
-    cap_v[k] = v_node[static_cast<std::size_t>(c.a)] -
-               v_node[static_cast<std::size_t>(c.b)];
+    cap_v_[k] = v_node_[static_cast<std::size_t>(c.a)] -
+                v_node_[static_cast<std::size_t>(c.b)];
   }
   // Inductor state: branch current and voltage across (0 at DC).
-  std::vector<double> ind_i = dc.inductor_currents();
-  std::vector<double> ind_v(ckt_.inductors_.size(), 0.0);
+  ind_i_ = dc.inductor_currents();
+  ind_v_.assign(n_l_, 0.0);
 
   TransientTrace trace;
   trace.nodes = record_nodes;
   trace.voltages.resize(record_nodes.size());
+  trace.node_row_.assign(static_cast<std::size_t>(ckt_.node_count()), -1);
+  for (std::size_t i = 0; i < record_nodes.size(); ++i) {
+    auto& row = trace.node_row_[static_cast<std::size_t>(record_nodes[i])];
+    if (row < 0) row = static_cast<std::int32_t>(i);  // first mention wins
+  }
   const std::size_t n_steps = static_cast<std::size_t>(t_end / dt_);
   const std::size_t est_rec = n_steps + 2;
   trace.times.reserve(est_rec);
@@ -142,66 +190,66 @@ TransientTrace TransientSolver::run(double t_end,
     trace.times.push_back(t);
     for (std::size_t i = 0; i < record_nodes.size(); ++i) {
       trace.voltages[i].push_back(
-          v_node[static_cast<std::size_t>(record_nodes[i])]);
+          v_node_[static_cast<std::size_t>(record_nodes[i])]);
     }
   };
   record(0.0);
 
   const std::size_t n = lu_->size();
-  std::vector<double> z(n);
+  z_.resize(n);
 
   double t = 0.0;
   for (std::size_t step = 0; step < n_steps; ++step) {
     t += dt_;
-    std::fill(z.begin(), z.end(), 0.0);
+    std::fill(z_.begin(), z_.end(), 0.0);
 
     // Capacitor companion RHS: Ieq = (2C/dt)·v_prev + i_prev into node a.
-    for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+    for (std::size_t k = 0; k < n_c; ++k) {
       const auto& c = ckt_.capacitors_[k];
-      const double ieq = (2.0 * c.farads / dt_) * cap_v[k] + cap_i[k];
+      const double ieq = (2.0 * c.farads / dt_) * cap_v_[k] + cap_i_[k];
       const std::size_t i = vidx(c.a);
       const std::size_t j = vidx(c.b);
-      if (i != kNone) z[i] += ieq;
-      if (j != kNone) z[j] -= ieq;
+      if (i != kNone) z_[i] += ieq;
+      if (j != kNone) z_[j] -= ieq;
     }
     // Inductor companion RHS.
-    for (std::size_t k = 0; k < ckt_.inductors_.size(); ++k) {
+    for (std::size_t k = 0; k < n_l_; ++k) {
       const auto& l = ckt_.inductors_[k];
       const std::size_t row = n_nodes_ + k;
-      z[row] = ind_i[k] + (dt_ / (2.0 * l.henries)) * ind_v[k];
+      z_[row] = ind_i_[k] + (dt_ / (2.0 * l.henries)) * ind_v_[k];
     }
     // Voltage sources (DC).
     for (std::size_t k = 0; k < n_v_; ++k) {
-      z[n_nodes_ + n_l_ + k] = ckt_.vsources_[k].volts;
+      z_[n_nodes_ + n_l_ + k] = ckt_.vsources_[k].volts;
     }
     // Current sources at time t.
     for (const auto& s : ckt_.isources_) {
       const double i_t = s.waveform.value(t);
       const std::size_t i = vidx(s.pos);
       const std::size_t j = vidx(s.neg);
-      if (i != kNone) z[i] -= i_t;
-      if (j != kNone) z[j] += i_t;
+      if (i != kNone) z_[i] -= i_t;
+      if (j != kNone) z_[j] += i_t;
     }
 
-    const std::vector<double> x = lu_->solve(z);
+    lu_->solve_inplace(z_, x_);
 
     // Unpack node voltages and update element state.
-    for (std::size_t i = 0; i < n_nodes_; ++i) v_node[i + 1] = x[i];
-    v_node[0] = 0.0;
-    for (std::size_t k = 0; k < ckt_.capacitors_.size(); ++k) {
+    for (std::size_t i = 0; i < n_nodes_; ++i) v_node_[i + 1] = x_[i];
+    v_node_[0] = 0.0;
+    for (std::size_t k = 0; k < n_c; ++k) {
       const auto& c = ckt_.capacitors_[k];
-      const double v_new = v_node[static_cast<std::size_t>(c.a)] -
-                           v_node[static_cast<std::size_t>(c.b)];
+      const double v_new = v_node_[static_cast<std::size_t>(c.a)] -
+                           v_node_[static_cast<std::size_t>(c.b)];
       const double i_new =
-          (2.0 * c.farads / dt_) * (v_new - cap_v[k]) - cap_i[k];
-      cap_v[k] = v_new;
-      cap_i[k] = i_new;
+          (2.0 * c.farads / dt_) * (v_new - cap_v_[k]) - cap_i_[k];
+      cap_v_[k] = v_new;
+      cap_i_[k] = i_new;
     }
-    for (std::size_t k = 0; k < ckt_.inductors_.size(); ++k) {
+    for (std::size_t k = 0; k < n_l_; ++k) {
       const auto& l = ckt_.inductors_[k];
-      ind_i[k] = x[n_nodes_ + k];
-      ind_v[k] = v_node[static_cast<std::size_t>(l.a)] -
-                 v_node[static_cast<std::size_t>(l.b)];
+      ind_i_[k] = x_[n_nodes_ + k];
+      ind_v_[k] = v_node_[static_cast<std::size_t>(l.a)] -
+                  v_node_[static_cast<std::size_t>(l.b)];
     }
 
     record(t);

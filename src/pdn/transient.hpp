@@ -6,10 +6,20 @@
 // Initial conditions come from the DC operating point (sources at their
 // average), which keeps the startup transient small; callers additionally
 // discard a warm-up prefix before measuring PSN.
+//
+// Solver-reuse invariant: neither the transient nor the DC MNA matrix
+// depends on source *values* — voltage-source volts and current-source
+// waveforms enter only the right-hand side. Factorize once per
+// (topology, element values, dt) via factorize() / DcSolver::factorize(),
+// then rebind source values with Circuit::set_voltage_source /
+// set_current_source and reuse the factorizations for every run. The
+// prefactorized constructor below is that reusable form; run() itself is
+// allocation-free after the first call (scratch vectors are members).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "pdn/circuit.hpp"
@@ -22,8 +32,16 @@ struct TransientTrace {
   std::vector<NodeId> nodes;                       ///< Recorded node ids.
   std::vector<std::vector<double>> voltages;       ///< [node index][step].
 
-  /// Trace row for a node id; throws if the node was not recorded.
+  /// Trace row for a node id — O(1) via the node→row index built by the
+  /// solver. Throws CheckError listing the recorded nodes if `n` was not
+  /// recorded. Traces assembled by hand (no index) fall back to a scan.
   const std::vector<double>& of(NodeId n) const;
+
+ private:
+  friend class TransientSolver;
+  /// node id → row in `voltages`, −1 when the node was not recorded.
+  /// Empty for hand-assembled traces.
+  std::vector<std::int32_t> node_row_;
 };
 
 class TransientSolver {
@@ -31,6 +49,20 @@ class TransientSolver {
   /// Prepares (stamps + factorizes) the solver for circuit `ckt` with
   /// timestep `dt` seconds.
   TransientSolver(const Circuit& ckt, double dt);
+
+  /// Reusable form: adopts prefactorized transient and DC systems (from
+  /// factorize() and DcSolver::factorize() on an identically-shaped
+  /// circuit). Because source values are RHS-only, the same pair of
+  /// factorizations stays valid across Circuit::set_voltage_source /
+  /// set_current_source updates — this is the cached hot path.
+  TransientSolver(const Circuit& ckt, double dt,
+                  std::shared_ptr<const LuFactorization> transient_lu,
+                  std::shared_ptr<const LuFactorization> dc_lu);
+
+  /// Stamps and factorizes the trapezoidal MNA matrix for (ckt, dt).
+  /// Depends only on topology, element values, and dt — never on source
+  /// values (the solver-reuse invariant).
+  static LuFactorization factorize(const Circuit& ckt, double dt);
 
   /// Runs from t = 0 to `t_end`, recording voltages of `record_nodes` for
   /// t >= record_from. Node voltages at t = 0 are the DC operating point.
@@ -45,7 +77,13 @@ class TransientSolver {
   std::size_t n_nodes_;  ///< non-ground node count
   std::size_t n_l_;
   std::size_t n_v_;
-  std::optional<LuFactorization> lu_;
+  std::shared_ptr<const LuFactorization> lu_;
+  std::shared_ptr<const LuFactorization> dc_lu_;
+  // Scratch reused across steps and run() calls (allocation-free stepping).
+  std::vector<double> z_;       ///< RHS for the current step
+  std::vector<double> x_;       ///< solution of the current step
+  std::vector<double> v_node_;  ///< node voltages incl. ground
+  std::vector<double> cap_v_, cap_i_, ind_i_, ind_v_;
 };
 
 }  // namespace parm::pdn

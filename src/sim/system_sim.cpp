@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "noc/traffic.hpp"
 #include "obs/metrics.hpp"
@@ -13,28 +14,6 @@
 #include "power/router_power.hpp"
 
 namespace parm::sim {
-
-namespace {
-
-/// FNV-1a over a sequence of quantized integers (PSN memo keys).
-class KeyHasher {
- public:
-  void add(std::int64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xffULL;
-      h_ *= 0x100000001b3ULL;
-    }
-  }
-  void add_quantized(double x, double step) {
-    add(static_cast<std::int64_t>(std::llround(x / step)));
-  }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ULL;
-};
-
-}  // namespace
 
 SystemSimulator::SystemSimulator(SimConfig cfg,
                                  std::vector<appmodel::AppArrival> arrivals)
@@ -215,9 +194,15 @@ void SystemSimulator::sample_psn() {
     }
   }
 
+  // Phase 1 (serial): per-domain supply and loads from the power models,
+  // walked in domain order so the chip-power accumulation is
+  // deterministic.
+  const std::size_t n_domains =
+      static_cast<std::size_t>(mesh.domain_count());
+  std::vector<double> domain_vdd(n_domains);
+  std::vector<std::array<pdn::TileLoad, 4>> domain_loads(n_domains);
+  std::vector<char> domain_active(n_domains, 0);
   double chip_power = 0.0;
-  epoch_peak_psn_ = 0.0;
-  RunningStats epoch_domain_psn;
   for (DomainId d = 0; d < mesh.domain_count(); ++d) {
     const auto tiles = mesh.domain_tiles(d);
     const double vdd =
@@ -258,32 +243,43 @@ void SystemSimulator::sample_psn() {
       if (i_avg > 0.0) any_load = true;
       loads[k] = pdn::TileLoad{i_avg, modulation, phase};
     }
+    domain_vdd[static_cast<std::size_t>(d)] = vdd;
+    domain_loads[static_cast<std::size_t>(d)] = loads;
+    domain_active[static_cast<std::size_t>(d)] = any_load ? 1 : 0;
+  }
 
+  // Phase 2 (parallel): the per-domain estimates are independent — each
+  // writes only its own slot, the memo cache and estimator are
+  // thread-safe, and concurrent misses of the same key compute identical
+  // values. The serial path runs the same code in the same per-domain
+  // arithmetic, so results are bit-identical either way.
+  std::vector<pdn::DomainPsn> domain_psn(n_domains);
+  const auto evaluate_domain = [&](std::size_t d) {
+    if (!domain_active[d]) return;
+    const double vdd = domain_vdd[d];
+    const std::uint64_t key = pdn::PsnCache::key(vdd, domain_loads[d]);
     pdn::DomainPsn psn;
-    if (any_load) {
-      KeyHasher key;
-      key.add_quantized(vdd, 0.01);
-      for (const auto& l : loads) {
-        key.add_quantized(l.i_avg, 0.002);
-        key.add_quantized(l.modulation, 0.02);
-        key.add_quantized(l.phase, 0.05);
-      }
-      auto it = psn_cache_.find(key.value());
-      if (it != psn_cache_.end()) {
-        psn = it->second;
-      } else {
-        // Quantize the loads the same way the key does, so cache hits and
-        // misses see identical physics.
-        std::array<pdn::TileLoad, 4> q = loads;
-        for (auto& l : q) {
-          l.i_avg = std::round(l.i_avg / 0.002) * 0.002;
-          l.modulation = std::round(l.modulation / 0.02) * 0.02;
-          l.phase = std::round(l.phase / 0.05) * 0.05;
-        }
-        psn = psn_estimator_.estimate(vdd, q);
-        psn_cache_.emplace(key.value(), psn);
-      }
+    if (!psn_cache_.get(key, psn)) {
+      // Quantize the loads the same way the key does, so cache hits and
+      // misses see identical physics.
+      psn = psn_estimator_.estimate(
+          vdd, pdn::PsnCache::quantize(domain_loads[d]));
+      psn_cache_.put(key, psn);
     }
+    domain_psn[d] = psn;
+  };
+  if (cfg_.parallel_psn) {
+    ThreadPool::shared().parallel_for(n_domains, evaluate_domain);
+  } else {
+    for (std::size_t d = 0; d < n_domains; ++d) evaluate_domain(d);
+  }
+
+  // Phase 3 (serial): sensors and statistics reduced in domain order.
+  epoch_peak_psn_ = 0.0;
+  RunningStats epoch_domain_psn;
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
     for (std::size_t k = 0; k < 4; ++k) {
       tile_psn_peak_[static_cast<std::size_t>(tiles[k])] =
           psn.tiles[k].peak_percent;

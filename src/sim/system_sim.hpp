@@ -33,6 +33,7 @@
 #include "core/framework.hpp"
 #include "core/service_queue.hpp"
 #include "noc/window_sim.hpp"
+#include "pdn/psn_cache.hpp"
 #include "pdn/psn_estimator.hpp"
 #include "sched/checkpoint.hpp"
 #include "sched/edf.hpp"
@@ -53,6 +54,11 @@ struct SimConfig {
   noc::NocConfig noc;
   sched::CheckpointConfig checkpoint;
   pdn::PsnEstimatorConfig psn;
+  /// Evaluate the independent per-domain PSN estimates on the shared
+  /// thread pool. Results are bit-identical to the serial path (per-domain
+  /// slots, serial reduction); disable to pin the whole epoch to one
+  /// thread.
+  bool parallel_psn = true;
 
   double max_sim_time_s = 30.0;
 
@@ -221,8 +227,9 @@ class SystemSimulator {
   /// the domain's most-stressed tile through the shared PDN.
   std::vector<double> noc_psn_sensor_;
 
-  // PSN memoization: domain load signature -> result.
-  std::unordered_map<std::uint64_t, pdn::DomainPsn> psn_cache_;
+  // PSN memoization: quantized domain load signature -> result (bounded
+  // LRU, shared key scheme with admission via pdn::PsnCache).
+  pdn::PsnCache psn_cache_;
 
   // Per-epoch scratch for telemetry.
   double epoch_peak_psn_ = 0.0;

@@ -1,0 +1,283 @@
+// Hot-path regression tests for the cached PDN solve pipeline.
+//
+// Golden equivalence: the cached engines (shared LU factorizations,
+// rebound source values, allocation-free stepping) must reproduce the
+// cold rebuild-everything path to 1e-12 across a (vdd, load) sweep — the
+// MNA matrices do not depend on source values, so the two paths perform
+// the same arithmetic. Plus unit coverage for the PsnCache LRU memo and
+// the degenerate shared-rail aliasing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pdn/chip_pdn.hpp"
+#include "pdn/psn_cache.hpp"
+#include "pdn/psn_estimator.hpp"
+#include "pdn/transient.hpp"
+#include "power/technology.hpp"
+
+namespace parm::pdn {
+namespace {
+
+std::array<TileLoad, 4> loads_for(double base_i, double modulation) {
+  return {TileLoad{base_i, modulation, 0.0},
+          TileLoad{base_i * 0.6, modulation * 0.5, 0.25},
+          TileLoad{0.0, 0.0, 0.0},  // dark tile
+          TileLoad{base_i * 1.4, modulation, 0.6}};
+}
+
+TEST(PdnHotPath, CachedEstimateMatchesColdAcrossSweep) {
+  const auto& tech = power::technology_node(7);
+  const PsnEstimator est(tech);
+  for (double vdd : {0.4, 0.55, 0.7, 0.8, 0.95}) {
+    for (double base_i : {0.05, 0.3, 1.2}) {
+      for (double mod : {0.0, 0.3, 0.7}) {
+        const auto loads = loads_for(base_i, mod);
+        const DomainPsn cached = est.estimate(vdd, loads);
+        const DomainPsn cold = est.estimate_cold(vdd, loads);
+        EXPECT_NEAR(cached.peak_percent, cold.peak_percent, 1e-12)
+            << "vdd=" << vdd << " i=" << base_i << " mod=" << mod;
+        EXPECT_NEAR(cached.avg_percent, cold.avg_percent, 1e-12);
+        for (std::size_t k = 0; k < 4; ++k) {
+          EXPECT_NEAR(cached.tiles[k].peak_percent,
+                      cold.tiles[k].peak_percent, 1e-12);
+          EXPECT_NEAR(cached.tiles[k].avg_percent,
+                      cold.tiles[k].avg_percent, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(PdnHotPath, ReuseDisabledConfigTakesColdPath) {
+  const auto& tech = power::technology_node(7);
+  PsnEstimatorConfig cfg;
+  cfg.reuse_factorization = false;
+  const PsnEstimator est(tech, cfg);
+  const auto loads = loads_for(0.4, 0.5);
+  const DomainPsn a = est.estimate(0.7, loads);
+  const DomainPsn b = est.estimate_cold(0.7, loads);
+  EXPECT_DOUBLE_EQ(a.peak_percent, b.peak_percent);
+  EXPECT_DOUBLE_EQ(a.avg_percent, b.avg_percent);
+}
+
+TEST(PdnHotPath, AllDarkDomainSkipsSolveOnBothPaths) {
+  const auto& tech = power::technology_node(7);
+  const PsnEstimator est(tech);
+  const std::array<TileLoad, 4> dark{};
+  EXPECT_EQ(est.estimate(0.8, dark).peak_percent, 0.0);
+  EXPECT_EQ(est.estimate_cold(0.8, dark).peak_percent, 0.0);
+}
+
+TEST(PdnHotPath, ConcurrentEstimatesMatchSerial) {
+  const auto& tech = power::technology_node(7);
+  const PsnEstimator est(tech);
+  const std::vector<double> vdds{0.45, 0.6, 0.7, 0.8, 0.9, 0.5, 0.65, 0.85};
+  std::vector<DomainPsn> serial(vdds.size());
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    serial[i] = est.estimate(vdds[i], loads_for(0.2 + 0.1 * i, 0.4));
+  }
+  std::vector<DomainPsn> parallel(vdds.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    threads.emplace_back([&, i] {
+      parallel[i] = est.estimate(vdds[i], loads_for(0.2 + 0.1 * i, 0.4));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].peak_percent, serial[i].peak_percent);
+    EXPECT_DOUBLE_EQ(parallel[i].avg_percent, serial[i].avg_percent);
+  }
+}
+
+TEST(PdnHotPath, CopiedEstimatorIsIndependentAndEquivalent) {
+  const auto& tech = power::technology_node(7);
+  const PsnEstimator original(tech);
+  const auto loads = loads_for(0.5, 0.6);
+  const DomainPsn before = original.estimate(0.75, loads);
+  const PsnEstimator copy(original);
+  const DomainPsn after = copy.estimate(0.75, loads);
+  EXPECT_DOUBLE_EQ(before.peak_percent, after.peak_percent);
+  EXPECT_DOUBLE_EQ(before.avg_percent, after.avg_percent);
+}
+
+TEST(ChipPdnHotPath, CachedEstimateMatchesColdWithSharedRail) {
+  const auto& tech = power::technology_node(7);
+  const ChipPdnModel model(tech, 3, PackageRail{0.5e-3, 3e-12});
+  std::vector<std::array<TileLoad, 4>> loads{
+      loads_for(0.8, 0.7), loads_for(0.1, 0.2), loads_for(0.0, 0.0)};
+  for (double vdd : {0.5, 0.8}) {
+    const ChipPsn cached = model.estimate(vdd, loads);
+    const ChipPsn cold = model.estimate_cold(vdd, loads);
+    EXPECT_NEAR(cached.peak_percent, cold.peak_percent, 1e-12);
+    EXPECT_NEAR(cached.avg_percent, cold.avg_percent, 1e-12);
+    for (std::size_t d = 0; d < cached.domains.size(); ++d) {
+      EXPECT_NEAR(cached.domains[d].peak_percent,
+                  cold.domains[d].peak_percent, 1e-12);
+      EXPECT_NEAR(cached.domains[d].avg_percent,
+                  cold.domains[d].avg_percent, 1e-12);
+    }
+  }
+}
+
+TEST(ChipPdnHotPath, ZeroImpedanceRailMatchesDomainEstimator) {
+  // Degenerate rail collapses to direct node aliasing: D isolated domains
+  // must match the per-domain estimator exactly (no 1 nΩ placeholder).
+  const auto& tech = power::technology_node(7);
+  const ChipPdnModel model(tech, 2, PackageRail{0.0, 0.0});
+  const PsnEstimator est(tech);
+  const std::vector<std::array<TileLoad, 4>> loads{loads_for(0.6, 0.7),
+                                                   loads_for(0.15, 0.3)};
+  const ChipPsn chip = model.estimate(0.8, loads);
+  for (std::size_t d = 0; d < 2; ++d) {
+    const DomainPsn solo = est.estimate(0.8, loads[d]);
+    EXPECT_NEAR(chip.domains[d].peak_percent, solo.peak_percent, 1e-9);
+    EXPECT_NEAR(chip.domains[d].avg_percent, solo.avg_percent, 1e-9);
+  }
+}
+
+TEST(ChipPdnHotPath, ResistiveOnlyAndInductiveOnlyRailsSolve) {
+  // The degenerate single-element rails connect the source directly
+  // through the surviving element (no 1 nΩ placeholder impedances). Both
+  // aliasing paths must produce finite PSN and the cached engine must
+  // match the cold rebuild exactly.
+  const auto& tech = power::technology_node(7);
+  const std::vector<std::array<TileLoad, 4>> loads{loads_for(0.8, 0.7),
+                                                   loads_for(0.3, 0.4)};
+  for (const PackageRail rail :
+       {PackageRail{0.5e-3, 0.0}, PackageRail{0.0, 3e-12}}) {
+    const ChipPdnModel model(tech, 2, rail);
+    const ChipPsn cached = model.estimate(0.8, loads);
+    const ChipPsn cold = model.estimate_cold(0.8, loads);
+    EXPECT_TRUE(std::isfinite(cached.peak_percent));
+    EXPECT_GT(cached.peak_percent, 0.0);
+    EXPECT_NEAR(cached.peak_percent, cold.peak_percent, 1e-12);
+    EXPECT_NEAR(cached.avg_percent, cold.avg_percent, 1e-12);
+    for (std::size_t d = 0; d < cached.domains.size(); ++d) {
+      EXPECT_NEAR(cached.domains[d].peak_percent,
+                  cold.domains[d].peak_percent, 1e-12);
+    }
+  }
+}
+
+TEST(TransientTrace, OfRejectsUnrecordedNodeListingRecordedOnes) {
+  Circuit ckt;
+  const NodeId s = ckt.add_node("s");
+  const NodeId n = ckt.add_node("n");
+  ckt.add_voltage_source(s, kGround, 1.0);
+  ckt.add_resistor(s, n, 0.5);
+  ckt.add_capacitor(n, kGround, 1e-9);
+  TransientSolver solver(ckt, 1e-10);
+  const TransientTrace trace = solver.run(1e-8, {n});
+  EXPECT_NO_THROW(trace.of(n));
+  try {
+    trace.of(999);
+    FAIL() << "of(999) should have thrown";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("999"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("recorded"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(n)), std::string::npos) << msg;
+  }
+}
+
+TEST(PsnCache, KeyIsStableUnderSubQuantumPerturbation) {
+  const auto loads = loads_for(0.4, 0.5);
+  auto wiggled = loads;
+  wiggled[0].i_avg += PsnCache::kCurrentStep * 0.2;
+  wiggled[1].phase += PsnCache::kPhaseStep * 0.2;
+  EXPECT_EQ(PsnCache::key(0.8, loads), PsnCache::key(0.8, wiggled));
+  // A full quantum apart must differ.
+  auto moved = loads;
+  moved[0].i_avg += PsnCache::kCurrentStep * 1.5;
+  EXPECT_NE(PsnCache::key(0.8, loads), PsnCache::key(0.8, moved));
+  EXPECT_NE(PsnCache::key(0.8, loads), PsnCache::key(0.81, loads));
+}
+
+TEST(PsnCache, QuantizeSnapsLoadsOntoKeyGrid) {
+  const auto q = PsnCache::quantize(loads_for(0.4001, 0.501));
+  for (const TileLoad& l : q) {
+    EXPECT_NEAR(l.i_avg,
+                std::round(l.i_avg / PsnCache::kCurrentStep) *
+                    PsnCache::kCurrentStep,
+                1e-15);
+  }
+  EXPECT_EQ(PsnCache::key(0.8, q), PsnCache::key(0.8, loads_for(0.4001, 0.501)));
+}
+
+TEST(PsnCache, GetReturnsWhatPutStored) {
+  PsnCache cache(8);
+  DomainPsn psn;
+  psn.peak_percent = 3.25;
+  psn.avg_percent = 1.5;
+  cache.put(42, psn);
+  DomainPsn out;
+  ASSERT_TRUE(cache.get(42, out));
+  EXPECT_DOUBLE_EQ(out.peak_percent, 3.25);
+  EXPECT_DOUBLE_EQ(out.avg_percent, 1.5);
+  EXPECT_FALSE(cache.get(43, out));
+}
+
+TEST(PsnCache, EvictsLeastRecentlyUsedAtCapacity) {
+  PsnCache cache(3);
+  DomainPsn psn;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    psn.peak_percent = static_cast<double>(k);
+    cache.put(k, psn);
+  }
+  DomainPsn out;
+  ASSERT_TRUE(cache.get(1, out));  // refresh 1 → LRU order now 2, 3, 1
+  psn.peak_percent = 4.0;
+  cache.put(4, psn);  // evicts 2
+  EXPECT_FALSE(cache.get(2, out));
+  EXPECT_TRUE(cache.get(1, out));
+  EXPECT_TRUE(cache.get(3, out));
+  EXPECT_TRUE(cache.get(4, out));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PsnCache, PutRefreshesExistingKeyWithoutGrowth) {
+  PsnCache cache(2);
+  DomainPsn psn;
+  psn.peak_percent = 1.0;
+  cache.put(7, psn);
+  psn.peak_percent = 2.0;
+  cache.put(7, psn);
+  EXPECT_EQ(cache.size(), 1u);
+  DomainPsn out;
+  ASSERT_TRUE(cache.get(7, out));
+  EXPECT_DOUBLE_EQ(out.peak_percent, 2.0);
+}
+
+TEST(PsnCache, ConcurrentGetPutKeepsEveryValueConsistent) {
+  PsnCache cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(i % 32);
+        DomainPsn psn;
+        psn.peak_percent = static_cast<double>(key);  // value == key
+        cache.put(key, psn);
+        DomainPsn out;
+        if (cache.get(key, out)) {
+          // Whatever writer stored it, the value must match the key.
+          EXPECT_DOUBLE_EQ(out.peak_percent, static_cast<double>(key));
+        }
+      }
+      (void)t;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace parm::pdn

@@ -1,0 +1,79 @@
+// Determinism of the parallel PSN evaluation path: running the full-system
+// simulator with per-domain PSN estimates fanned out on the shared thread
+// pool must produce bit-identical results to the strictly serial path
+// (workers write per-domain slots; all floating-point reduction happens
+// serially in domain order).
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::sim {
+namespace {
+
+appmodel::SequenceConfig small_sequence(appmodel::SequenceKind kind,
+                                        int count, double arrival,
+                                        std::uint64_t seed) {
+  appmodel::SequenceConfig cfg;
+  cfg.kind = kind;
+  cfg.app_count = count;
+  cfg.inter_arrival_s = arrival;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimConfig fast_sim(bool parallel_psn) {
+  SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.max_sim_time_s = 20.0;
+  cfg.parallel_psn = parallel_psn;
+  return cfg;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.peak_psn_percent, b.peak_psn_percent);
+  EXPECT_DOUBLE_EQ(a.avg_psn_percent, b.avg_psn_percent);
+  EXPECT_DOUBLE_EQ(a.peak_chip_power_w, b.peak_chip_power_w);
+  EXPECT_DOUBLE_EQ(a.avg_chip_power_w, b.avg_chip_power_w);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.total_ve_count, b.total_ve_count);
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.dropped_count, b.dropped_count);
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].completed, b.apps[i].completed);
+    EXPECT_DOUBLE_EQ(a.apps[i].finish_s, b.apps[i].finish_s);
+    EXPECT_DOUBLE_EQ(a.apps[i].vdd, b.apps[i].vdd);
+    EXPECT_EQ(a.apps[i].dop, b.apps[i].dop);
+    EXPECT_EQ(a.apps[i].ve_count, b.apps[i].ve_count);
+  }
+}
+
+TEST(ParallelPsn, MixedWorkloadMatchesSerialBitForBit) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Mixed, 5, 0.1, 17));
+  SystemSimulator parallel(fast_sim(true), seq);
+  SystemSimulator serial(fast_sim(false), seq);
+  expect_identical(parallel.run(), serial.run());
+}
+
+TEST(ParallelPsn, CommHeavyWorkloadMatchesSerialBitForBit) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Communication, 4, 0.15, 91));
+  SystemSimulator parallel(fast_sim(true), seq);
+  SystemSimulator serial(fast_sim(false), seq);
+  expect_identical(parallel.run(), serial.run());
+}
+
+TEST(ParallelPsn, ParallelRunIsRepeatable) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 4, 0.2, 3));
+  SystemSimulator a(fast_sim(true), seq);
+  SystemSimulator b(fast_sim(true), seq);
+  expect_identical(a.run(), b.run());
+}
+
+}  // namespace
+}  // namespace parm::sim

@@ -1,0 +1,105 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace parm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersDegradesToSerialOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.parallel_for(seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, EmptyAndSingleItemBatches) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    // Caller participation means inner batches always make progress even
+    // when every worker is already busy with the outer batch.
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAndBatchDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The batch always drains: every index ran despite the failure.
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::runtime_error("once"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SharedPoolHasAtLeastOneWorker) {
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+  std::atomic<int> sum{0};
+  ThreadPool::shared().parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i) + 1);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, LargeBatchAggregatesCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  std::vector<double> out(kN, 0.0);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  // Serial reduction over per-index slots (the determinism contract).
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (kN - 1.0) * kN / 2.0);
+}
+
+}  // namespace
+}  // namespace parm
