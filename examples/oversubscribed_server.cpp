@@ -8,11 +8,16 @@
 // resulting PSN/VE statistics.
 //
 // Build & run:  ./build/examples/oversubscribed_server [seed] [telemetry.csv]
+//                                                      [snapshot-dir]
 //
 // Per-epoch telemetry is recorded for both runs; pass a CSV path as the
 // second argument to dump the PARM+PANR time series for plotting. The
 // run ends with the metrics-registry summary (solver/mapper/NoC counters
 // and latency percentiles) accumulated over both configurations.
+//
+// Pass a directory as the third argument to snapshot the PARM+PANR run
+// every 50 epochs (crash-safe epoch_<N>.parmsnap files, restorable with
+// parm_runner --resume given the same workload/configuration).
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
   const std::string telemetry_file = argc > 2 ? argv[2] : "";
+  const std::string snapshot_dir = argc > 3 ? argv[3] : "";
 
   appmodel::SequenceConfig seq;
   seq.kind = appmodel::SequenceKind::Mixed;
@@ -75,6 +81,9 @@ int main(int argc, char** argv) {
     cfg.framework = fw;
     cfg.record_telemetry = true;
     sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
+    if (fw.routing == std::string("PANR") && !snapshot_dir.empty()) {
+      simulator.enable_periodic_snapshots(50, snapshot_dir);
+    }
     const sim::SimResult result = simulator.run();
     report(fw.display_name().c_str(), result);
     if (fw.routing == std::string("PANR") && !telemetry_file.empty()) {

@@ -12,6 +12,17 @@
 //               [--telemetry FILE.csv] [--throttle]
 //               [--metrics FILE.json] [--trace FILE.json]
 //               [--trace-jsonl FILE.jsonl]
+//               [--snapshot-every N --snapshot-dir DIR]
+//               [--resume FILE.parmsnap] [--max-time SECONDS]
+//
+// Snapshot & resume:
+//   --snapshot-every N writes a crash-safe snapshot of the complete
+//   simulator state to --snapshot-dir (default ".") after every N-th
+//   epoch as epoch_<N>.parmsnap. --resume restores one of those files
+//   (the run must use the identical workload and configuration flags —
+//   enforced by an embedded fingerprint) and continues it; the resumed
+//   run's summary, telemetry, and metrics deltas are bit-identical to
+//   the uninterrupted run's.
 //
 // Observability:
 //   --metrics writes the process metrics registry (solver/mapper/NoC
@@ -24,6 +35,7 @@
 //   parm_runner --mapping PARM --routing PANR --workload comm --arrival 0.05
 //   parm_runner --load-workload run.wl --telemetry run.csv
 //   parm_runner --trace run.json --metrics metrics.json
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,6 +45,7 @@
 #include "exp/experiments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace {
 
@@ -58,6 +71,10 @@ int main(int argc, char** argv) {
   std::string save_workload, load_workload, telemetry_file;
   std::string metrics_file, trace_file, trace_jsonl_file;
   bool throttle = false;
+  std::uint64_t snapshot_every = 0;
+  std::string snapshot_dir = ".";
+  std::string resume_file;
+  double max_time_s = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +117,14 @@ int main(int argc, char** argv) {
       trace_jsonl_file = value();
     } else if (arg == "--throttle") {
       throttle = true;
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = std::stoull(value());
+    } else if (arg == "--snapshot-dir") {
+      snapshot_dir = value();
+    } else if (arg == "--resume") {
+      resume_file = value();
+    } else if (arg == "--max-time") {
+      max_time_s = std::stod(value());
     } else {
       usage(("unknown argument: " + arg).c_str());
     }
@@ -127,6 +152,7 @@ int main(int argc, char** argv) {
   cfg.framework = framework;
   cfg.proactive_throttle = throttle;
   cfg.record_telemetry = !telemetry_file.empty();
+  if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
 
   // Open trace sinks before the simulator exists so construction-time
   // events (first factorizations) are captured too.
@@ -141,6 +167,22 @@ int main(int argc, char** argv) {
   std::cout << "running " << framework.display_name() << " on "
             << arrivals.size() << " apps...\n";
   sim::SystemSimulator simulator(cfg, std::move(arrivals));
+  if (snapshot_every > 0) {
+    simulator.enable_periodic_snapshots(snapshot_every, snapshot_dir);
+    std::cout << "snapshotting every " << snapshot_every << " epoch(s) to "
+              << snapshot_dir << "\n";
+  }
+  if (!resume_file.empty()) {
+    try {
+      simulator.restore_snapshot(resume_file);
+    } catch (const snapshot::SnapshotError& e) {
+      std::cerr << "error: cannot resume from " << resume_file << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "resumed from " << resume_file << " (epoch "
+              << simulator.epoch() << ")\n";
+  }
   const sim::SimResult r = simulator.run();
 
   std::cout << "makespan            " << r.makespan_s << " s"

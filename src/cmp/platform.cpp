@@ -152,4 +152,51 @@ void Platform::set_tile_psn(std::vector<double> peak_percent) {
   tile_psn_ = std::move(peak_percent);
 }
 
+void Platform::save(snapshot::Writer& w) const {
+  w.begin_section("PLAT");
+  w.i32(mesh_.tile_count());
+  w.i32(mesh_.domain_count());
+  for (const TileAssignment& t : tiles_) {
+    w.i64(t.app);
+    w.i32(t.task_index);
+    w.f64(t.activity);
+  }
+  w.vec_f64(domain_vdd_);
+  w.u64(domain_occupancy_.size());
+  for (std::int32_t o : domain_occupancy_) w.i32(o);
+  w.vec_f64(tile_psn_);
+  ledger_.save(w);
+}
+
+void Platform::restore(snapshot::Reader& r) {
+  r.expect_section("PLAT");
+  const std::int32_t tiles = r.i32();
+  const std::int32_t domains = r.i32();
+  if (tiles != mesh_.tile_count() || domains != mesh_.domain_count()) {
+    throw snapshot::SnapshotError(
+        "platform mesh mismatch: snapshot was taken on a " +
+        std::to_string(tiles) + "-tile/" + std::to_string(domains) +
+        "-domain mesh, this platform has " +
+        std::to_string(mesh_.tile_count()) + "/" +
+        std::to_string(mesh_.domain_count()));
+  }
+  for (TileAssignment& t : tiles_) {
+    t.app = r.i64();
+    t.task_index = r.i32();
+    t.activity = r.f64();
+  }
+  domain_vdd_ = r.vec_f64();
+  const std::uint64_t n_occ = r.count(4);
+  if (domain_vdd_.size() != static_cast<std::size_t>(domains) ||
+      n_occ != static_cast<std::uint64_t>(domains)) {
+    throw snapshot::SnapshotError("platform domain vector size corrupt");
+  }
+  for (std::int32_t& o : domain_occupancy_) o = r.i32();
+  tile_psn_ = r.vec_f64();
+  if (tile_psn_.size() != static_cast<std::size_t>(tiles)) {
+    throw snapshot::SnapshotError("platform sensor vector size corrupt");
+  }
+  ledger_.restore(r);
+}
+
 }  // namespace parm::cmp

@@ -16,6 +16,7 @@
 #include "power/chip_power.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::cmp {
 
@@ -111,6 +112,15 @@ class Platform {
   bool in_emergency(TileId t) const {
     return tile_psn_of(t) > cfg_.ve_threshold_percent;
   }
+
+  // --- Snapshot hooks ---
+  /// Serializes occupancy, domain supplies, sensor values, and the power
+  /// ledger. The config/mesh/technology are NOT serialized — they are
+  /// construction inputs the restoring process must already agree on
+  /// (validated by tile/domain counts here and the config fingerprint at
+  /// the simulator level).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   PlatformConfig cfg_;

@@ -94,4 +94,18 @@ std::size_t Rng::pick_index(std::size_t size) {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbULL); }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = s_[i];
+  st.have_cached_normal = have_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::restore(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[static_cast<std::size_t>(i)];
+  have_cached_normal_ = st.have_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 }  // namespace parm

@@ -7,6 +7,7 @@
 // to derive independent child streams.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,17 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng fork();
+
+  /// Complete generator state — the Xoshiro words plus the Box–Muller
+  /// pair cache — for snapshot/resume. restore() makes the stream
+  /// continue exactly where state() was taken.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void restore(const State& st);
 
  private:
   std::uint64_t s_[4];

@@ -32,6 +32,24 @@ class RunningStats {
   }
   double stddev() const;
 
+  /// Raw accumulator state for snapshot/resume. restore() reproduces the
+  /// accumulator bit-for-bit (min/max keep their ±inf empty sentinels).
+  struct State {
+    std::uint64_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+  State state() const { return {n_, min_, max_, mean_, m2_}; }
+  void restore(const State& st) {
+    n_ = st.n;
+    min_ = st.min;
+    max_ = st.max;
+    mean_ = st.mean;
+    m2_ = st.m2;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double min_ = std::numeric_limits<double>::infinity();

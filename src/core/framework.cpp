@@ -1,6 +1,42 @@
 #include "core/framework.hpp"
 
+#include <bit>
+
 namespace parm::core {
+
+namespace {
+
+// FNV-1a, the shared digest primitive of the snapshot layer.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void mix(std::uint64_t& h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  mix(h, s.size());
+}
+
+}  // namespace
+
+std::uint64_t FrameworkConfig::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, mapping);
+  mix(h, routing);
+  mix(h, std::bit_cast<std::uint64_t>(hm_vdd));
+  mix(h, static_cast<std::uint64_t>(hm_dop));
+  mix(h, static_cast<std::uint64_t>(parm_adapt_vdd ? 1 : 0));
+  mix(h, static_cast<std::uint64_t>(parm_adapt_dop ? 1 : 0));
+  mix(h, std::bit_cast<std::uint64_t>(parm_fixed_vdd));
+  mix(h, static_cast<std::uint64_t>(parm_fixed_dop));
+  mix(h, std::bit_cast<std::uint64_t>(panr_threshold));
+  return h;
+}
 
 std::unique_ptr<AdmissionPolicy> make_admission_policy(
     const FrameworkConfig& cfg) {

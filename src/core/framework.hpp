@@ -2,6 +2,7 @@
 // evaluates (HM/PARM × XY/ICON/PANR), plus ablation variants of PARM.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -27,6 +28,11 @@ struct FrameworkConfig {
 
   /// Display name, e.g. "PARM+PANR".
   std::string display_name() const { return mapping + "+" + routing; }
+
+  /// Stable 64-bit digest of every behavior-affecting field. Snapshots
+  /// embed it so a resume under a different framework (which would
+  /// diverge from the original run) is rejected up front.
+  std::uint64_t fingerprint() const;
 };
 
 /// Builds the admission policy for a framework configuration.

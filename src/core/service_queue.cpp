@@ -34,6 +34,41 @@ void ServiceQueue::enqueue(appmodel::AppArrival app) {
   queue_.push_back(Waiting{std::move(app), 0});
 }
 
+void ServiceQueue::save(snapshot::Writer& w) const {
+  w.begin_section("QUEU");
+  w.i32(max_stalls_);
+  w.u64(queue_.size());
+  for (const Waiting& waiting : queue_) {
+    w.i32(waiting.app.id);
+    w.i32(waiting.stall_count);
+  }
+  w.u64(dropped_.size());
+  for (const appmodel::AppArrival& app : dropped_) w.i32(app.id);
+}
+
+void ServiceQueue::restore(
+    snapshot::Reader& r,
+    const std::function<const appmodel::AppArrival&(int)>& arrival_by_id) {
+  r.expect_section("QUEU");
+  const std::int32_t max_stalls = r.i32();
+  if (max_stalls != max_stalls_) {
+    throw snapshot::SnapshotError(
+        "service queue max_stalls mismatch between snapshot and config");
+  }
+  queue_.clear();
+  const std::uint64_t n_waiting = r.count(8);
+  for (std::uint64_t i = 0; i < n_waiting; ++i) {
+    const int id = r.i32();
+    const int stalls = r.i32();
+    queue_.push_back(Waiting{arrival_by_id(id), stalls});
+  }
+  dropped_.clear();
+  const std::uint64_t n_dropped = r.count(4);
+  for (std::uint64_t i = 0; i < n_dropped; ++i) {
+    dropped_.push_back(arrival_by_id(r.i32()));
+  }
+}
+
 std::optional<ServiceQueue::Admitted> ServiceQueue::pump(
     double now_s, const cmp::Platform& platform,
     const AdmissionPolicy& policy) {

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/admission.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::core {
 
@@ -44,6 +46,16 @@ class ServiceQueue {
   const std::vector<appmodel::AppArrival>& dropped() const {
     return dropped_;
   }
+
+  // --- Snapshot hooks ---
+  /// Waiting and dropped apps are serialized as (arrival id, stall count)
+  /// pairs — the heavyweight profiles are reconstruction inputs the
+  /// restoring process resolves through `arrival_by_id` (the simulator's
+  /// immutable arrival list), not snapshot payload.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r,
+               const std::function<const appmodel::AppArrival&(int)>&
+                   arrival_by_id);
 
  private:
   struct Waiting {

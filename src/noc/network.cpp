@@ -1,8 +1,44 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace parm::noc {
+
+namespace {
+
+void save_flit(snapshot::Writer& w, const Flit& f) {
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.i64(f.packet_id);
+  w.i32(f.src);
+  w.i32(f.dst);
+  w.i32(f.app_id);
+  w.u64(f.inject_cycle);
+  w.u64(f.last_hop_cycle);
+}
+
+Flit load_flit(snapshot::Reader& r, std::int32_t tile_count) {
+  Flit f;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(FlitKind::HeadTail)) {
+    throw snapshot::SnapshotError("network snapshot holds an invalid flit kind");
+  }
+  f.kind = static_cast<FlitKind>(kind);
+  f.packet_id = r.i64();
+  f.src = r.i32();
+  f.dst = r.i32();
+  if (f.src < 0 || f.src >= tile_count || f.dst < 0 || f.dst >= tile_count) {
+    throw snapshot::SnapshotError(
+        "network snapshot holds a flit with an off-mesh src/dst tile");
+  }
+  f.app_id = r.i32();
+  f.inject_cycle = r.u64();
+  f.last_hop_cycle = r.u64();
+  return f;
+}
+
+}  // namespace
 
 Network::Network(const MeshGeometry& mesh, NocConfig cfg,
                  std::unique_ptr<RoutingAlgorithm> routing)
@@ -193,6 +229,122 @@ double Network::avg_packet_latency() const {
              ? 0.0
              : total_latency_cycles_ /
                    static_cast<double>(delivered_packets_);
+}
+
+void Network::save(snapshot::Writer& w) const {
+  PARM_CHECK(!tracing_, "cannot snapshot a network with route tracing on");
+  w.begin_section("NOC0");
+  w.i32(mesh_.tile_count());
+  w.i32(cfg_.buffer_depth);
+  w.i32(cfg_.flits_per_packet);
+  for (const Router& r : routers_) {
+    for (int p = 0; p < kPortCount; ++p) {
+      const InputPort& in = r.input(static_cast<Direction>(p));
+      w.u64(in.buffer.size());
+      for (const Flit& f : in.buffer) save_flit(w, f);
+      w.b(in.allocated_output.has_value());
+      if (in.allocated_output.has_value()) {
+        w.u8(static_cast<std::uint8_t>(*in.allocated_output));
+      }
+    }
+    for (int p = 0; p < kPortCount; ++p) {
+      const OutputPort& out = r.output(static_cast<Direction>(p));
+      w.i32(out.owner_input);
+      w.i32(out.rr_next);
+      w.i32(out.requester);
+    }
+    w.u64(r.flits_forwarded);
+    w.u64(r.flits_received);
+    w.f64(r.incoming_rate_ewma);
+  }
+  w.vec_f64(tile_psn_);
+  w.vec_f64(incoming_rates_);
+  w.u64(cycle_);
+  w.i64(next_packet_id_);
+  w.u64(injected_flits_);
+  w.u64(delivered_flits_);
+  w.u64(delivered_packets_);
+  w.f64(total_latency_cycles_);
+  std::vector<std::pair<std::int32_t, AppLatencyStats>> stats(
+      app_stats_.begin(), app_stats_.end());
+  std::sort(stats.begin(), stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(stats.size());
+  for (const auto& [app, st] : stats) {
+    w.i32(app);
+    w.u64(st.packets_delivered);
+    w.u64(st.flits_delivered);
+    w.f64(st.total_packet_latency_cycles);
+  }
+}
+
+void Network::restore(snapshot::Reader& r) {
+  r.expect_section("NOC0");
+  const std::int32_t tiles = r.i32();
+  const std::int32_t depth = r.i32();
+  const std::int32_t fpp = r.i32();
+  if (tiles != mesh_.tile_count() || depth != cfg_.buffer_depth ||
+      fpp != cfg_.flits_per_packet) {
+    throw snapshot::SnapshotError(
+        "network snapshot was taken under a different NoC configuration "
+        "(tile count / buffer depth / flits per packet mismatch)");
+  }
+  for (Router& router : routers_) {
+    for (int p = 0; p < kPortCount; ++p) {
+      InputPort& in = router.input(p);
+      in.buffer.clear();
+      const std::uint64_t n = r.count(30);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        in.buffer.push_back(load_flit(r, tiles));
+      }
+      in.allocated_output.reset();
+      if (r.b()) {
+        const std::uint8_t d = r.u8();
+        if (d >= kPortCount) {
+          throw snapshot::SnapshotError(
+              "network snapshot holds an invalid allocated output port");
+        }
+        in.allocated_output = static_cast<Direction>(d);
+      }
+    }
+    for (int p = 0; p < kPortCount; ++p) {
+      OutputPort& out = router.output(static_cast<Direction>(p));
+      out.owner_input = r.i32();
+      out.rr_next = r.i32();
+      out.requester = r.i32();
+      if (out.owner_input < -1 || out.owner_input >= kPortCount ||
+          out.rr_next < 0 || out.rr_next >= kPortCount) {
+        throw snapshot::SnapshotError(
+            "network snapshot holds invalid arbitration state");
+      }
+    }
+    router.flits_forwarded = r.u64();
+    router.flits_received = r.u64();
+    router.incoming_rate_ewma = r.f64();
+  }
+  tile_psn_ = r.vec_f64();
+  incoming_rates_ = r.vec_f64();
+  if (tile_psn_.size() != static_cast<std::size_t>(tiles) ||
+      incoming_rates_.size() != static_cast<std::size_t>(tiles)) {
+    throw snapshot::SnapshotError("network per-tile vector size corrupt");
+  }
+  cycle_ = r.u64();
+  next_packet_id_ = r.i64();
+  injected_flits_ = r.u64();
+  delivered_flits_ = r.u64();
+  delivered_packets_ = r.u64();
+  total_latency_cycles_ = r.f64();
+  app_stats_.clear();
+  const std::uint64_t n_apps = r.count(28);
+  for (std::uint64_t i = 0; i < n_apps; ++i) {
+    const std::int32_t app = r.i32();
+    AppLatencyStats st;
+    st.packets_delivered = r.u64();
+    st.flits_delivered = r.u64();
+    st.total_packet_latency_cycles = r.f64();
+    app_stats_.emplace(app, st);
+  }
+  traces_.clear();
 }
 
 void Network::reset_stats() {

@@ -21,6 +21,7 @@
 #include "common/geometry.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::noc {
 
@@ -100,6 +101,16 @@ class Network {
 
   /// Clears statistics counters (buffers/allocations are untouched).
   void reset_stats();
+
+  // --- Snapshot hooks ---
+  /// Serializes the complete cycle-level state: every input buffer's
+  /// flits, wormhole allocations, round-robin arbiter pointers, rate
+  /// EWMAs, the cycle/packet-id counters, and the latency accounting.
+  /// Per-packet route traces are debug state and are not serialized
+  /// (tracing must be off when saving). app_stats_ is written sorted by
+  /// app id so the byte stream is hash-order independent.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   void allocate_phase();

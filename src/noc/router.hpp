@@ -58,6 +58,9 @@ class Router {
   OutputPort& output(Direction d) {
     return outputs_[static_cast<std::size_t>(port_index(d))];
   }
+  const OutputPort& output(Direction d) const {
+    return outputs_[static_cast<std::size_t>(port_index(d))];
+  }
 
   /// Occupancy of an input buffer in [0, 1]. The unbounded Local source
   /// queue saturates at 1.

@@ -42,6 +42,8 @@ WindowResult run_window(Network& net, TrafficGenerator& traffic,
         static_cast<double>(net.router(t).flits_forwarded) /
         static_cast<double>(cfg.measure_cycles);
   }
+  // Insert via the ordered map so the result (and everything that walks
+  // it) is independent of the unordered app_stats iteration order.
   for (const auto& [app, st] : net.app_stats()) {
     if (st.packets_delivered > 0) {
       out.app_latency[app] = st.avg_packet_latency();

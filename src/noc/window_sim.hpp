@@ -9,8 +9,8 @@
 //   - delivery ratio                 → saturation detection.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "noc/network.hpp"
@@ -25,8 +25,9 @@ struct WindowResult {
   /// Per-tile router activity: flits forwarded per cycle.
   std::vector<double> router_activity;
   /// Per-app average packet latency in cycles (apps with no delivered
-  /// packets are absent).
-  std::unordered_map<std::int32_t, double> app_latency;
+  /// packets are absent). Ordered map: consumers walk it in app-id order,
+  /// so downstream iteration is deterministic by construction.
+  std::map<std::int32_t, double> app_latency;
   /// Average packet latency over all apps (cycles).
   double avg_latency = 0.0;
   /// Delivered/injected flit ratio (saturation indicator; ~1 when stable).

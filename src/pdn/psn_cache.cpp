@@ -109,4 +109,53 @@ void PsnCache::clear() {
   index_.clear();
 }
 
+void PsnCache::save(snapshot::Writer& w) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  w.begin_section("PSNC");
+  w.u64(capacity_);
+  w.u64(lru_.size());
+  for (const Entry& e : lru_) {  // most recently used first
+    w.u64(e.key);
+    for (const TilePsn& t : e.value.tiles) {
+      w.f64(t.peak_percent);
+      w.f64(t.avg_percent);
+    }
+    w.f64(e.value.peak_percent);
+    w.f64(e.value.avg_percent);
+  }
+}
+
+void PsnCache::restore(snapshot::Reader& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  r.expect_section("PSNC");
+  const std::uint64_t capacity = r.u64();
+  if (capacity != capacity_) {
+    throw snapshot::SnapshotError(
+        "PSN cache capacity mismatch between snapshot and config (the "
+        "eviction sequence would diverge)");
+  }
+  const std::uint64_t n = r.count(88);
+  if (n > capacity_) {
+    throw snapshot::SnapshotError("PSN cache snapshot exceeds its capacity");
+  }
+  lru_.clear();
+  index_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.key = r.u64();
+    for (TilePsn& t : e.value.tiles) {
+      t.peak_percent = r.f64();
+      t.avg_percent = r.f64();
+    }
+    e.value.peak_percent = r.f64();
+    e.value.avg_percent = r.f64();
+    // Entries were written most-recent-first; appending at the back
+    // reproduces the exact recency order.
+    lru_.push_back(e);
+    if (!index_.emplace(e.key, std::prev(lru_.end())).second) {
+      throw snapshot::SnapshotError("PSN cache snapshot holds a duplicate key");
+    }
+  }
+}
+
 }  // namespace parm::pdn

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "pdn/psn_estimator.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::pdn {
 
@@ -59,6 +60,14 @@ class PsnCache {
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   void clear();
+
+  // --- Snapshot hooks ---
+  /// Serializes the entries in exact LRU order (most recent first), so a
+  /// restored cache produces the identical hit/miss/eviction sequence —
+  /// and therefore identical pdn.solves telemetry — as the original run.
+  /// Neither path ticks the hit/miss metrics.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   struct Entry {

@@ -1,5 +1,8 @@
 #include "power/chip_power.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace parm::power {
 
 PowerLedger::PowerLedger(double budget_w) : budget_w_(budget_w) {
@@ -22,6 +25,38 @@ void PowerLedger::release(std::int64_t app_instance_id) {
   reserved_w_ -= it->second;
   if (reserved_w_ < 0.0) reserved_w_ = 0.0;  // guard FP drift
   reservations_.erase(it);
+}
+
+void PowerLedger::save(snapshot::Writer& w) const {
+  w.begin_section("LDGR");
+  w.f64(budget_w_);
+  w.f64(reserved_w_);
+  std::vector<std::pair<std::int64_t, double>> entries(
+      reservations_.begin(), reservations_.end());
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [id, watts] : entries) {
+    w.i64(id);
+    w.f64(watts);
+  }
+}
+
+void PowerLedger::restore(snapshot::Reader& r) {
+  r.expect_section("LDGR");
+  const double budget = r.f64();
+  if (budget != budget_w_) {
+    throw snapshot::SnapshotError(
+        "power ledger budget mismatch: snapshot was taken under a "
+        "different dark-silicon budget");
+  }
+  reserved_w_ = r.f64();
+  reservations_.clear();
+  const std::uint64_t n = r.count(16);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t id = r.i64();
+    const double watts = r.f64();
+    reservations_.emplace(id, watts);
+  }
 }
 
 }  // namespace parm::power

@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "power/core_power.hpp"
 #include "power/router_power.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::power {
 
@@ -44,6 +45,13 @@ class PowerLedger {
   void release(std::int64_t app_instance_id);
 
   std::size_t reservation_count() const { return reservations_.size(); }
+
+  /// Snapshot hooks. Reservations are serialized sorted by instance id so
+  /// the byte stream is independent of hash-map iteration order; the
+  /// accumulated reserved_w_ double is stored verbatim (not re-summed) so
+  /// restore is bit-identical regardless of reservation history order.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   double budget_w_;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "snapshot/snapshot_file.hpp"
 #include "common/units.hpp"
 #include "noc/traffic.hpp"
 #include "obs/metrics.hpp"
@@ -14,6 +16,40 @@
 #include "power/router_power.hpp"
 
 namespace parm::sim {
+
+namespace {
+
+// FNV-1a mixing, shared digest primitive of the snapshot layer.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void mix_f64(std::uint64_t& h, double v) {
+  mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void mix_str(std::uint64_t& h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  mix(h, s.size());
+}
+
+obs::Counter& solves_counter() {
+  return obs::Registry::instance().counter("pdn.solves");
+}
+obs::Counter& candidates_counter() {
+  return obs::Registry::instance().counter("mapper.candidates_evaluated");
+}
+obs::Counter& reroutes_counter() {
+  return obs::Registry::instance().counter("noc.panr_reroutes");
+}
+
+}  // namespace
 
 SystemSimulator::SystemSimulator(SimConfig cfg,
                                  std::vector<appmodel::AppArrival> arrivals)
@@ -452,6 +488,342 @@ bool SystemSimulator::finish_completed_apps(double now) {
   return any;
 }
 
+std::uint64_t SystemSimulator::config_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, cfg_.framework.fingerprint());
+  mix(h, static_cast<std::uint64_t>(cfg_.platform.mesh_width));
+  mix(h, static_cast<std::uint64_t>(cfg_.platform.mesh_height));
+  mix(h, static_cast<std::uint64_t>(cfg_.platform.technology_nm));
+  mix(h, cfg_.platform.vdd_levels.size());
+  for (double v : cfg_.platform.vdd_levels) mix_f64(h, v);
+  mix_f64(h, cfg_.platform.dark_silicon_budget_w);
+  mix_f64(h, cfg_.platform.ve_threshold_percent);
+  mix_f64(h, cfg_.epoch_s);
+  mix(h, static_cast<std::uint64_t>(cfg_.noc_every_epochs));
+  mix(h, cfg_.noc_window.warmup_cycles);
+  mix(h, cfg_.noc_window.measure_cycles);
+  mix(h, static_cast<std::uint64_t>(cfg_.noc.buffer_depth));
+  mix(h, static_cast<std::uint64_t>(cfg_.noc.flits_per_packet));
+  mix_f64(h, cfg_.noc.rate_ewma_alpha);
+  mix_f64(h, cfg_.checkpoint.period_s);
+  mix_f64(h, cfg_.checkpoint.checkpoint_cycles);
+  mix_f64(h, cfg_.checkpoint.rollback_cycles);
+  mix(h, static_cast<std::uint64_t>(cfg_.psn.warmup_periods));
+  mix(h, static_cast<std::uint64_t>(cfg_.psn.measure_periods));
+  mix(h, static_cast<std::uint64_t>(cfg_.psn.steps_per_period));
+  // cfg_.parallel_psn deliberately excluded: both paths are bit-identical.
+  mix_f64(h, cfg_.max_sim_time_s);
+  mix_f64(h, cfg_.ve_probability_slope);
+  mix_f64(h, cfg_.ve_probability_cap);
+  mix_f64(h, cfg_.psn_slowdown_per_percent);
+  mix_f64(h, cfg_.stall_alpha);
+  mix_f64(h, cfg_.dark_router_vdd);
+  mix(h, static_cast<std::uint64_t>(cfg_.queue_max_stalls));
+  mix(h, cfg_.seed);
+  mix(h, cfg_.proactive_throttle ? 1u : 0u);
+  mix_f64(h, cfg_.throttle_guard_percent);
+  mix_f64(h, cfg_.throttle_factor);
+  mix(h, cfg_.enable_migration ? 1u : 0u);
+  mix(h, static_cast<std::uint64_t>(cfg_.migration_hot_epochs));
+  mix_f64(h, cfg_.migration_cost_cycles);
+  mix(h, cfg_.record_telemetry ? 1u : 0u);
+  mix(h, cfg_.fault_injections.size());
+  for (const auto& f : cfg_.fault_injections) {
+    mix_f64(h, f.time_s);
+    mix(h, static_cast<std::uint64_t>(f.tile));
+  }
+  mix(h, arrivals_.size());
+  for (const auto& a : arrivals_) {
+    mix(h, static_cast<std::uint64_t>(a.id));
+    mix_str(h, a.bench->name);
+    mix(h, a.profile_seed);
+    mix_f64(h, a.arrival_s);
+    mix_f64(h, a.deadline_s);
+  }
+  return h;
+}
+
+void SystemSimulator::save_state(snapshot::Writer& w) const {
+  w.begin_section("SIMS");
+  w.u64(config_fingerprint());
+  w.f64(t_);
+  w.u64(epoch_);
+  w.u64(next_arrival_);
+  w.i64(next_instance_);
+  w.u64(next_fault_);
+  w.f64(epoch_peak_psn_);
+  w.f64(epoch_avg_psn_);
+  w.f64(epoch_chip_power_);
+  w.f64(epoch_noc_latency_);
+  w.i32(epoch_ves_);
+  w.u64(total_ves_);
+  w.u64(total_throttle_epochs_);
+  w.u64(total_migrations_);
+  // Pending per-epoch counter deltas (see the member comment): ticks of
+  // the process-wide counters that belong to the *next* telemetry sample.
+  w.u64(solves_counter().value() - prev_solves_);
+  w.u64(candidates_counter().value() - prev_cands_);
+  w.u64(reroutes_counter().value() - prev_reroutes_);
+
+  w.begin_section("RNG0");
+  const Rng::State rs = rng_.state();
+  for (std::uint64_t word : rs.s) w.u64(word);
+  w.b(rs.have_cached_normal);
+  w.f64(rs.cached_normal);
+
+  w.begin_section("STAT");
+  for (const RunningStats* st :
+       {&psn_peak_stats_, &psn_avg_stats_, &latency_stats_,
+        &chip_power_stats_}) {
+    const RunningStats::State s = st->state();
+    w.u64(s.n);
+    w.f64(s.min);
+    w.f64(s.max);
+    w.f64(s.mean);
+    w.f64(s.m2);
+  }
+
+  platform_.save(w);
+  queue_.save(w);
+  network_->save(w);
+  psn_cache_.save(w);
+  telemetry_.save(w);
+
+  w.begin_section("EPCH");
+  w.vec_f64(router_activity_);
+  w.vec_f64(tile_psn_peak_);
+  w.vec_f64(tile_psn_avg_);
+  w.vec_bool(tile_throttled_);
+  w.vec_f64(noc_psn_sensor_);
+  w.u64(app_latency_.size());
+  for (const auto& [app, lat] : app_latency_) {  // std::map: sorted
+    w.i32(app);
+    w.f64(lat);
+  }
+
+  w.begin_section("APPS");
+  w.u64(running_.size());
+  for (const RunningApp& app : running_) {
+    w.i64(app.instance);
+    w.i32(app.outcome_index);
+    w.f64(app.vdd);
+    w.i32(app.dop);
+    w.f64(app.latency_cycles);
+    w.u64(app.tasks.size());
+    for (const RunningTask& task : app.tasks) {
+      w.i32(task.index);
+      w.i32(task.tile);
+      w.f64(task.remaining_cycles);
+      w.f64(task.activity);
+      w.f64(task.phase);
+      w.f64(task.progress_rate_cps);
+      w.f64(task.edf_deadline_s);
+      w.f64(task.finish_s);
+      w.i32(task.hot_epochs);
+    }
+  }
+
+  w.begin_section("OUTC");
+  w.u64(outcomes_.size());
+  for (const AppOutcome& o : outcomes_) {
+    w.b(o.admitted);
+    w.b(o.completed);
+    w.b(o.dropped);
+    w.f64(o.admit_s);
+    w.f64(o.finish_s);
+    w.b(o.missed_deadline);
+    w.i32(o.task_deadline_misses);
+    w.f64(o.vdd);
+    w.i32(o.dop);
+    w.i32(o.ve_count);
+  }
+}
+
+void SystemSimulator::restore_state(snapshot::Reader& r) {
+  r.expect_section("SIMS");
+  const std::uint64_t fp = r.u64();
+  if (fp != config_fingerprint()) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken under a different configuration or workload "
+        "(fingerprint mismatch) — resume requires the identical SimConfig "
+        "and arrival list");
+  }
+  t_ = r.f64();
+  epoch_ = r.u64();
+  next_arrival_ = r.u64();
+  if (next_arrival_ > arrivals_.size()) {
+    throw snapshot::SnapshotError("snapshot arrival cursor out of range");
+  }
+  next_instance_ = r.i64();
+  next_fault_ = r.u64();
+  if (next_fault_ > cfg_.fault_injections.size()) {
+    throw snapshot::SnapshotError("snapshot fault cursor out of range");
+  }
+  epoch_peak_psn_ = r.f64();
+  epoch_avg_psn_ = r.f64();
+  epoch_chip_power_ = r.f64();
+  epoch_noc_latency_ = r.f64();
+  epoch_ves_ = r.i32();
+  total_ves_ = r.u64();
+  total_throttle_epochs_ = r.u64();
+  total_migrations_ = r.u64();
+  pending_solves_ = r.u64();
+  pending_cands_ = r.u64();
+  pending_reroutes_ = r.u64();
+
+  r.expect_section("RNG0");
+  Rng::State rs;
+  for (std::uint64_t& word : rs.s) word = r.u64();
+  rs.have_cached_normal = r.b();
+  rs.cached_normal = r.f64();
+  rng_.restore(rs);
+
+  r.expect_section("STAT");
+  for (RunningStats* st : {&psn_peak_stats_, &psn_avg_stats_,
+                           &latency_stats_, &chip_power_stats_}) {
+    RunningStats::State s;
+    s.n = r.u64();
+    s.min = r.f64();
+    s.max = r.f64();
+    s.mean = r.f64();
+    s.m2 = r.f64();
+    st->restore(s);
+  }
+
+  // Arrival lookup shared by the queue and the running-app rebuild: the
+  // profiles are reconstruction inputs resolved from this simulator's
+  // immutable arrival list, never snapshot payload.
+  const auto arrival_by_id =
+      [this](int id) -> const appmodel::AppArrival& {
+    for (const appmodel::AppArrival& a : arrivals_) {
+      if (a.id == id) return a;
+    }
+    throw snapshot::SnapshotError(
+        "snapshot references arrival id " + std::to_string(id) +
+        " absent from this workload");
+  };
+
+  platform_.restore(r);
+  queue_.restore(r, arrival_by_id);
+  network_->restore(r);
+  psn_cache_.restore(r);
+  telemetry_.restore(r);
+
+  const std::size_t n_tiles =
+      static_cast<std::size_t>(platform_.mesh().tile_count());
+  r.expect_section("EPCH");
+  router_activity_ = r.vec_f64();
+  tile_psn_peak_ = r.vec_f64();
+  tile_psn_avg_ = r.vec_f64();
+  tile_throttled_ = r.vec_bool();
+  noc_psn_sensor_ = r.vec_f64();
+  if (router_activity_.size() != n_tiles ||
+      tile_psn_peak_.size() != n_tiles || tile_psn_avg_.size() != n_tiles ||
+      tile_throttled_.size() != n_tiles ||
+      noc_psn_sensor_.size() != n_tiles) {
+    throw snapshot::SnapshotError(
+        "snapshot per-tile state does not match the platform's tile count");
+  }
+  app_latency_.clear();
+  const std::uint64_t n_lat = r.count(12);
+  for (std::uint64_t i = 0; i < n_lat; ++i) {
+    const std::int32_t app = r.i32();
+    app_latency_[app] = r.f64();
+  }
+
+  r.expect_section("APPS");
+  running_.clear();
+  const std::uint64_t n_apps = r.count(32);
+  running_.reserve(n_apps);
+  for (std::uint64_t i = 0; i < n_apps; ++i) {
+    RunningApp app;
+    app.instance = r.i64();
+    app.outcome_index = r.i32();
+    if (app.outcome_index < 0 ||
+        static_cast<std::size_t>(app.outcome_index) >= outcomes_.size()) {
+      throw snapshot::SnapshotError(
+          "snapshot running app references an out-of-range outcome");
+    }
+    app.profile = arrival_by_id(app.outcome_index).profile;
+    app.vdd = r.f64();
+    app.dop = r.i32();
+    app.latency_cycles = r.f64();
+    const std::uint64_t n_tasks = r.count(48);
+    app.tasks.reserve(n_tasks);
+    for (std::uint64_t k = 0; k < n_tasks; ++k) {
+      RunningTask task;
+      task.index = r.i32();
+      task.tile = r.i32();
+      if (task.tile < 0 ||
+          static_cast<std::size_t>(task.tile) >= n_tiles) {
+        throw snapshot::SnapshotError(
+            "snapshot running task references an out-of-range tile");
+      }
+      task.remaining_cycles = r.f64();
+      task.activity = r.f64();
+      task.phase = r.f64();
+      task.progress_rate_cps = r.f64();
+      task.edf_deadline_s = r.f64();
+      task.finish_s = r.f64();
+      task.hot_epochs = r.i32();
+      app.tasks.push_back(task);
+    }
+    running_.push_back(std::move(app));
+  }
+
+  r.expect_section("OUTC");
+  const std::uint64_t n_out = r.count(23);
+  if (n_out != outcomes_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot outcome count does not match the workload size");
+  }
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    AppOutcome& o = outcomes_[i];
+    o.admitted = r.b();
+    o.completed = r.b();
+    o.dropped = r.b();
+    o.admit_s = r.f64();
+    o.finish_s = r.f64();
+    o.missed_deadline = r.b();
+    o.task_deadline_misses = r.i32();
+    o.vdd = r.f64();
+    o.dop = r.i32();
+    o.ve_count = r.i32();
+  }
+  // The immutable outcome fields are reconstruction inputs, filled from
+  // the arrival list (run() repeats this; doing it here makes the
+  // restored state complete on its own).
+  for (const appmodel::AppArrival& a : arrivals_) {
+    PARM_CHECK(a.id >= 0 &&
+                   static_cast<std::size_t>(a.id) < outcomes_.size(),
+               "arrival ids must be dense 0..N-1");
+    AppOutcome& o = outcomes_[static_cast<std::size_t>(a.id)];
+    o.id = a.id;
+    o.bench = a.bench->name;
+    o.arrival_s = a.arrival_s;
+    o.deadline_s = a.deadline_s;
+  }
+}
+
+void SystemSimulator::enable_periodic_snapshots(std::uint64_t every_epochs,
+                                                std::string dir) {
+  snapshot_every_ = every_epochs;
+  snapshot_dir_ = std::move(dir);
+}
+
+void SystemSimulator::save_snapshot(const std::string& path) const {
+  snapshot::Writer w;
+  save_state(w);
+  snapshot::write_file(path, w);
+}
+
+void SystemSimulator::restore_snapshot(const std::string& path) {
+  snapshot::Reader r = snapshot::read_file(path);
+  restore_state(r);
+  r.expect_end();
+  restored_ = true;
+}
+
 SimResult SystemSimulator::run() {
   // Initialize outcome records from the arrival list.
   for (std::size_t i = 0; i < arrivals_.size(); ++i) {
@@ -467,21 +839,22 @@ SimResult SystemSimulator::run() {
   }
 
   // Registry handles for the per-epoch activity deltas telemetry snapshots.
-  obs::Registry& reg = obs::Registry::instance();
-  obs::Counter& pdn_solves_c = reg.counter("pdn.solves");
-  obs::Counter& mapper_cand_c = reg.counter("mapper.candidates_evaluated");
-  obs::Counter& panr_reroutes_c = reg.counter("noc.panr_reroutes");
-  std::uint64_t prev_solves = pdn_solves_c.value();
-  std::uint64_t prev_cands = mapper_cand_c.value();
-  std::uint64_t prev_reroutes = panr_reroutes_c.value();
+  // On a fresh run the pending deltas are zero, so the watermarks start at
+  // the live counter values; on a resumed run they re-anchor so the next
+  // sample's deltas match the uninterrupted run.
+  obs::Counter& pdn_solves_c = solves_counter();
+  obs::Counter& mapper_cand_c = candidates_counter();
+  obs::Counter& panr_reroutes_c = reroutes_counter();
+  prev_solves_ = pdn_solves_c.value() - pending_solves_;
+  prev_cands_ = mapper_cand_c.value() - pending_cands_;
+  prev_reroutes_ = panr_reroutes_c.value() - pending_reroutes_;
+  pending_solves_ = pending_cands_ = pending_reroutes_ = 0;
 
-  double t = 0.0;
-  std::uint64_t epoch = 0;
   SimResult result;
   while (true) {
     obs::ScopedTrace epoch_trace("sim", "sim.epoch");
     while (next_arrival_ < arrivals_.size() &&
-           arrivals_[next_arrival_].arrival_s <= t + 1e-12) {
+           arrivals_[next_arrival_].arrival_s <= t_ + 1e-12) {
       obs::Tracer::instance().instant(
           "sim", "app.arrival",
           {{"app", arrivals_[next_arrival_].id},
@@ -490,20 +863,20 @@ SimResult SystemSimulator::run() {
            {"sim_time_s", arrivals_[next_arrival_].arrival_s}});
       queue_.enqueue(arrivals_[next_arrival_]);
       ++next_arrival_;
-      admit_pending(t);
+      admit_pending(t_);
     }
-    admit_pending(t);
+    admit_pending(t_);
 
-    if (epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) == 0) {
+    if (epoch_ % static_cast<std::uint64_t>(cfg_.noc_every_epochs) == 0) {
       sample_noc();
     }
     sample_psn();
-    apply_emergencies_and_progress(t);
+    apply_emergencies_and_progress(t_);
     if (cfg_.enable_migration) migrate_hot_tasks();
 
     if (cfg_.record_telemetry) {
       EpochSample sample;
-      sample.time_s = t;
+      sample.time_s = t_;
       sample.peak_psn_percent = epoch_peak_psn_;
       sample.avg_psn_percent = epoch_avg_psn_;
       sample.chip_power_w = epoch_chip_power_;
@@ -514,30 +887,38 @@ SimResult SystemSimulator::run() {
       sample.noc_latency_cycles = epoch_noc_latency_;
       sample.ve_count = epoch_ves_;
       sample.pdn_solves =
-          static_cast<std::int64_t>(pdn_solves_c.value() - prev_solves);
+          static_cast<std::int64_t>(pdn_solves_c.value() - prev_solves_);
       sample.mapper_candidates =
-          static_cast<std::int64_t>(mapper_cand_c.value() - prev_cands);
+          static_cast<std::int64_t>(mapper_cand_c.value() - prev_cands_);
       sample.panr_reroutes =
-          static_cast<std::int64_t>(panr_reroutes_c.value() - prev_reroutes);
+          static_cast<std::int64_t>(panr_reroutes_c.value() - prev_reroutes_);
       telemetry_.record(sample);
     }
-    prev_solves = pdn_solves_c.value();
-    prev_cands = mapper_cand_c.value();
-    prev_reroutes = panr_reroutes_c.value();
+    prev_solves_ = pdn_solves_c.value();
+    prev_cands_ = mapper_cand_c.value();
+    prev_reroutes_ = panr_reroutes_c.value();
 
-    t += cfg_.epoch_s;
-    ++epoch;
-    if (finish_completed_apps(t)) {
-      admit_pending(t);  // Alg. 1 line 9: retry on app exit
+    t_ += cfg_.epoch_s;
+    ++epoch_;
+    if (finish_completed_apps(t_)) {
+      admit_pending(t_);  // Alg. 1 line 9: retry on app exit
     }
 
     const bool idle = next_arrival_ == arrivals_.size() &&
                       queue_.empty() && running_.empty();
     if (idle) break;
-    if (t >= cfg_.max_sim_time_s) {
+    if (t_ >= cfg_.max_sim_time_s) {
       result.timed_out = !running_.empty() || !queue_.empty() ||
                          next_arrival_ < arrivals_.size();
       break;
+    }
+
+    // Snapshot point: "epoch_ epochs completed" — after the epoch's exits
+    // and exit-triggered admissions, before the next epoch begins. A
+    // resumed process re-enters the loop top in exactly this state.
+    if (snapshot_every_ != 0 && epoch_ % snapshot_every_ == 0) {
+      save_snapshot(snapshot_dir_ + "/epoch_" + std::to_string(epoch_) +
+                    ".parmsnap");
     }
   }
 

@@ -21,9 +21,9 @@
 // PSN, completed/dropped app counts, VE totals, and per-app outcomes.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "appmodel/workload.hpp"
@@ -38,6 +38,7 @@
 #include "sched/checkpoint.hpp"
 #include "sched/edf.hpp"
 #include "sim/telemetry.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::sim {
 
@@ -159,11 +160,38 @@ class SystemSimulator {
   SystemSimulator(SimConfig cfg, std::vector<appmodel::AppArrival> arrivals);
   ~SystemSimulator();
 
-  /// Runs the whole experiment and returns the aggregated result.
+  /// Runs the whole experiment and returns the aggregated result. After a
+  /// restore_snapshot() the run resumes from the snapshotted epoch and
+  /// produces exactly the telemetry and result of the uninterrupted run.
   SimResult run();
 
   /// The platform (sensors, occupancy) — exposed for tests and examples.
   const cmp::Platform& platform() const { return platform_; }
+
+  // --- Snapshot / resume ---
+  /// During run(), write `dir`/epoch_<N>.parmsnap after every
+  /// `every_epochs`-th completed epoch (crash-safe atomic replace; `dir`
+  /// must already exist). 0 disables.
+  void enable_periodic_snapshots(std::uint64_t every_epochs,
+                                 std::string dir);
+
+  /// Serializes the full mutable simulator state to `path`. Derived state
+  /// (LU factorizations, traffic generators, solver scratch) is excluded
+  /// and rebuilt lazily after restore. Throws snapshot::SnapshotError on
+  /// I/O failure. Requires route tracing to be off.
+  void save_snapshot(const std::string& path) const;
+
+  /// Restores state saved by save_snapshot() into this simulator, which
+  /// must have been constructed with the identical SimConfig and arrival
+  /// list (enforced via an embedded fingerprint; parallel_psn may differ —
+  /// the two paths are bit-identical). Call before run(). Throws
+  /// snapshot::SnapshotError on any mismatch or corruption, leaving no
+  /// silently half-restored state behind (the simulator must be discarded
+  /// after a failed restore).
+  void restore_snapshot(const std::string& path);
+
+  /// Completed control epochs so far (advances during run()).
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   struct RunningTask {
@@ -191,6 +219,12 @@ class SystemSimulator {
 
   void admit_pending(double now);
   void commit(const core::ServiceQueue::Admitted& adm, double now);
+  /// FNV-1a over every determinism-relevant SimConfig field and the
+  /// arrival list (excluding parallel_psn, whose two paths are
+  /// bit-identical) — embedded in snapshots to reject mismatched resumes.
+  std::uint64_t config_fingerprint() const;
+  void save_state(snapshot::Writer& w) const;
+  void restore_state(snapshot::Reader& r);
   std::vector<noc::TrafficFlow> build_flows() const;
   void sample_noc();
   void sample_psn();
@@ -216,7 +250,9 @@ class SystemSimulator {
 
   // Epoch-state caches.
   std::vector<double> router_activity_;   ///< flits/cycle per tile
-  std::unordered_map<std::int32_t, double> app_latency_;
+  /// Ordered so snapshot serialization and any future iteration are
+  /// deterministic regardless of hash seeding.
+  std::map<std::int32_t, double> app_latency_;
   std::vector<double> tile_psn_peak_;
   std::vector<double> tile_psn_avg_;
   /// Tiles throttled this epoch by the proactive guard (from last
@@ -248,6 +284,27 @@ class SystemSimulator {
   std::uint64_t total_ves_ = 0;
   std::uint64_t total_throttle_epochs_ = 0;
   std::uint64_t total_migrations_ = 0;
+
+  // Simulation clock — members (not run() locals) so snapshots taken at
+  // the bottom of an epoch capture "epoch_ epochs completed at t_".
+  double t_ = 0.0;
+  std::uint64_t epoch_ = 0;
+  /// The per-epoch telemetry deltas track the process-wide obs counters
+  /// against a "previous value" watermark. The watermarks themselves are
+  /// process-local (other simulations tick the same counters), so
+  /// snapshots store only the *pending* delta (counter − watermark) and
+  /// run() re-anchors the watermark against the live counter on resume.
+  std::uint64_t prev_solves_ = 0;
+  std::uint64_t prev_cands_ = 0;
+  std::uint64_t prev_reroutes_ = 0;
+  std::uint64_t pending_solves_ = 0;
+  std::uint64_t pending_cands_ = 0;
+  std::uint64_t pending_reroutes_ = 0;
+  bool restored_ = false;
+
+  // Periodic-snapshot configuration (off unless enabled).
+  std::uint64_t snapshot_every_ = 0;
+  std::string snapshot_dir_;
 };
 
 }  // namespace parm::sim

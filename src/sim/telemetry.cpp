@@ -18,4 +18,46 @@ void TelemetryRecorder::write_csv(std::ostream& os) const {
   }
 }
 
+void TelemetryRecorder::save(snapshot::Writer& w) const {
+  w.begin_section("TELE");
+  w.u64(samples_.size());
+  for (const EpochSample& s : samples_) {
+    w.f64(s.time_s);
+    w.f64(s.peak_psn_percent);
+    w.f64(s.avg_psn_percent);
+    w.f64(s.chip_power_w);
+    w.i32(s.running_apps);
+    w.i32(s.queued_apps);
+    w.i32(s.busy_tiles);
+    w.f64(s.noc_latency_cycles);
+    w.i32(s.ve_count);
+    w.i64(s.pdn_solves);
+    w.i64(s.mapper_candidates);
+    w.i64(s.panr_reroutes);
+  }
+}
+
+void TelemetryRecorder::restore(snapshot::Reader& r) {
+  r.expect_section("TELE");
+  const std::uint64_t n = r.count(80);
+  samples_.clear();
+  samples_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EpochSample s;
+    s.time_s = r.f64();
+    s.peak_psn_percent = r.f64();
+    s.avg_psn_percent = r.f64();
+    s.chip_power_w = r.f64();
+    s.running_apps = r.i32();
+    s.queued_apps = r.i32();
+    s.busy_tiles = r.i32();
+    s.noc_latency_cycles = r.f64();
+    s.ve_count = r.i32();
+    s.pdn_solves = r.i64();
+    s.mapper_candidates = r.i64();
+    s.panr_reroutes = r.i64();
+    samples_.push_back(s);
+  }
+}
+
 }  // namespace parm::sim

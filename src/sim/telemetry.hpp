@@ -14,6 +14,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "snapshot/serializer.hpp"
+
 namespace parm::sim {
 
 struct EpochSample {
@@ -41,6 +43,10 @@ class TelemetryRecorder {
 
   /// Writes the series as CSV with a header row.
   void write_csv(std::ostream& os) const;
+
+  // --- Snapshot hooks ---
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   std::vector<EpochSample> samples_;

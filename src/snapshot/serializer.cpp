@@ -1,0 +1,150 @@
+#include "snapshot/serializer.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace parm::snapshot {
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void Writer::vec_bool(const std::vector<bool>& v) {
+  u64(v.size());
+  for (bool x : v) b(x);
+}
+
+void Writer::begin_section(const char tag[4]) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(tag[i]));
+}
+
+void Reader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n) {
+    std::ostringstream os;
+    os << "snapshot truncated: need " << n << " bytes at offset " << pos_
+       << " but only " << (buf_.size() - pos_) << " remain";
+    throw SnapshotError(os.str());
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+bool Reader::b() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    std::ostringstream os;
+    os << "snapshot corrupt: boolean byte holds " << static_cast<int>(v)
+       << " at offset " << (pos_ - 1);
+    throw SnapshotError(os.str());
+  }
+  return v != 0;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint64_t n = count(1);
+  need(static_cast<std::size_t>(n));
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<double> Reader::vec_f64() {
+  const std::uint64_t n = count(8);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+std::vector<bool> Reader::vec_bool() {
+  const std::uint64_t n = count(1);
+  std::vector<bool> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(b());
+  return v;
+}
+
+void Reader::expect_section(const char tag[4]) {
+  need(4);
+  char found[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    found[i] = static_cast<char>(buf_[pos_ + static_cast<std::size_t>(i)]);
+  }
+  if (found[0] != tag[0] || found[1] != tag[1] || found[2] != tag[2] ||
+      found[3] != tag[3]) {
+    std::ostringstream os;
+    os << "snapshot corrupt: expected section '" << tag[0] << tag[1]
+       << tag[2] << tag[3] << "' at offset " << pos_ << " but found '"
+       << found << "'";
+    throw SnapshotError(os.str());
+  }
+  pos_ += 4;
+}
+
+std::uint64_t Reader::count(std::uint64_t min_element_bytes) {
+  const std::uint64_t n = u64();
+  const std::uint64_t cap = remaining() / (min_element_bytes ? min_element_bytes : 1);
+  if (n > cap) {
+    std::ostringstream os;
+    os << "snapshot corrupt: count " << n << " at offset " << (pos_ - 8)
+       << " exceeds the " << cap << " elements the remaining "
+       << remaining() << " bytes could hold";
+    throw SnapshotError(os.str());
+  }
+  return n;
+}
+
+void Reader::expect_end() const {
+  if (pos_ != buf_.size()) {
+    std::ostringstream os;
+    os << "snapshot corrupt: " << (buf_.size() - pos_)
+       << " trailing bytes after the final section";
+    throw SnapshotError(os.str());
+  }
+}
+
+}  // namespace parm::snapshot

@@ -1,0 +1,100 @@
+// Binary serialization primitives for simulator snapshots.
+//
+// A snapshot is a flat little-endian byte stream assembled by Writer and
+// decoded by Reader. Every stateful subsystem appends its state between a
+// begin_section / end_section pair; the section tags double as structural
+// checks when reading (a reader that drifts out of sync fails loudly on
+// the next tag instead of silently misinterpreting bytes).
+//
+// All multi-byte values are written little-endian regardless of host
+// order, and doubles are written as their IEEE-754 bit patterns, so a
+// snapshot restores bit-identically across processes. Reader never reads
+// past the end of its buffer: every accessor bounds-checks and throws
+// SnapshotError with a diagnostic message on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parm::snapshot {
+
+/// Thrown for every malformed-snapshot condition: truncation, bad section
+/// tag, out-of-range counts, CRC/header mismatches (see snapshot_file.hpp).
+/// Loading never crashes and never half-applies silently — a failed load
+/// always surfaces as this exception.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern; restores bit-identically (including ±inf).
+  void f64(double v);
+  /// Length-prefixed UTF-8 bytes.
+  void str(const std::string& s);
+
+  void vec_f64(const std::vector<double>& v);
+  void vec_bool(const std::vector<bool>& v);
+
+  /// Writes a 4-char section tag (e.g. "RNG0"). Readers must consume the
+  /// same tags in the same order.
+  void begin_section(const char tag[4]);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte buffer.
+class Reader {
+ public:
+  explicit Reader(std::vector<std::uint8_t> bytes)
+      : buf_(std::move(bytes)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b();
+  double f64();
+  std::string str();
+
+  std::vector<double> vec_f64();
+  std::vector<bool> vec_bool();
+
+  /// Consumes a section tag and throws SnapshotError (naming both the
+  /// expected and the found tag) on mismatch.
+  void expect_section(const char tag[4]);
+
+  /// Length prefix sanity guard: throws unless n <= remaining bytes /
+  /// min_element_bytes (prevents huge allocations from corrupt counts).
+  std::uint64_t count(std::uint64_t min_element_bytes = 1);
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool at_end() const { return pos_ == buf_.size(); }
+  /// Throws unless the whole buffer was consumed (trailing-garbage guard).
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace parm::snapshot

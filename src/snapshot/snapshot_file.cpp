@@ -1,0 +1,171 @@
+#include "snapshot/snapshot_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace parm::snapshot {
+
+namespace {
+
+std::array<std::uint64_t, 256> make_crc64_table() {
+  // Reflected CRC-64/ECMA: process with the reversed polynomial.
+  constexpr std::uint64_t poly = 0xC96C5795D7870F42ULL;
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw SnapshotError("snapshot file '" + path + "': " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& path,
+                             const std::string& what) {
+  fail(path, what + ": " + std::strerror(errno));
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash + 1);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t seed) {
+  static const std::array<std::uint64_t, 256> table = make_crc64_table();
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void write_file(const std::string& path, const Writer& payload) {
+  std::vector<std::uint8_t> out(kHeaderBytes + payload.size());
+  std::memcpy(out.data(), kMagic, 8);
+  put_u32(out.data() + 8, kFormatVersion);
+  put_u64(out.data() + 12, payload.size());
+  put_u64(out.data() + 20,
+          crc64(payload.bytes().data(), payload.size()));
+  if (!payload.bytes().empty()) {
+    std::memcpy(out.data() + kHeaderBytes, payload.bytes().data(),
+                payload.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno(tmp, "cannot create temp file");
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n =
+        ::write(fd, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail_errno(tmp, "write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail_errno(tmp, "fsync failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno(tmp, "close failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno(path, "atomic rename failed");
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const std::string dir = dirname_of(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; the data and the rename are already done
+    ::close(dfd);
+  }
+}
+
+Reader read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) fail(path, "read error");
+
+  if (bytes.size() < kHeaderBytes) {
+    std::ostringstream os;
+    os << "truncated header: " << bytes.size() << " bytes, need at least "
+       << kHeaderBytes;
+    fail(path, os.str());
+  }
+  if (std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    fail(path, "bad magic (not a PARM snapshot)");
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    std::ostringstream os;
+    os << "unsupported format version " << version << " (this build reads "
+       << kFormatVersion << ")";
+    fail(path, os.str());
+  }
+  const std::uint64_t payload_size = get_u64(bytes.data() + 12);
+  if (payload_size != bytes.size() - kHeaderBytes) {
+    std::ostringstream os;
+    os << "payload size mismatch: header claims " << payload_size
+       << " bytes but the file holds " << (bytes.size() - kHeaderBytes);
+    fail(path, os.str());
+  }
+  const std::uint64_t expected_crc = get_u64(bytes.data() + 20);
+  const std::uint64_t actual_crc =
+      crc64(bytes.data() + kHeaderBytes, payload_size);
+  if (expected_crc != actual_crc) {
+    std::ostringstream os;
+    os << "CRC mismatch: header " << std::hex << expected_crc
+       << ", payload " << actual_crc << " (file corrupt)";
+    fail(path, os.str());
+  }
+  return Reader(std::vector<std::uint8_t>(
+      bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+      bytes.end()));
+}
+
+}  // namespace parm::snapshot

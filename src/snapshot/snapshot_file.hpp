@@ -1,0 +1,44 @@
+// Crash-safe, integrity-checked snapshot files.
+//
+// Layout (all little-endian):
+//   bytes 0-7   magic "PARMSNP1"
+//   bytes 8-11  format version (u32, kFormatVersion)
+//   bytes 12-19 payload size in bytes (u64)
+//   bytes 20-27 CRC-64/ECMA of the payload (u64)
+//   bytes 28-   payload (a serializer::Writer byte stream)
+//
+// write_file() is atomic and durable: the bytes go to a temp file in the
+// destination directory, are fsync'd, and the temp file is rename(2)'d
+// over the final path (then the directory is fsync'd), so a crash at any
+// point leaves either the previous file or the complete new one — never a
+// torn snapshot. read_file() validates magic, version, size, and CRC
+// before returning a Reader, so every form of truncation or corruption is
+// reported as SnapshotError instead of being parsed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/serializer.hpp"
+
+namespace parm::snapshot {
+
+inline constexpr char kMagic[8] = {'P', 'A', 'R', 'M', 'S', 'N', 'P', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 28;
+
+/// CRC-64/ECMA-182 (poly 0x42F0E1EBA9EA3693, reflected), as used by xz.
+std::uint64_t crc64(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t seed = 0);
+
+/// Atomically writes header + payload to `path` (temp file + fsync +
+/// rename + directory fsync). Throws SnapshotError on any I/O failure.
+void write_file(const std::string& path, const Writer& payload);
+
+/// Loads and validates `path`; returns a Reader positioned at the start
+/// of the payload. Throws SnapshotError naming the exact defect (missing
+/// file, short header, bad magic, unsupported version, size mismatch,
+/// CRC mismatch).
+Reader read_file(const std::string& path);
+
+}  // namespace parm::snapshot

@@ -1,18 +1,30 @@
 // Randomized (seeded, reproducible) stress tests of stateful components:
 //  - Platform occupy/migrate/release fuzz against a reference model;
 //  - EDF queue fuzz against a sorted-reference implementation;
-//  - benchmark-suite profile sanity across every benchmark (TEST_P).
+//  - benchmark-suite profile sanity across every benchmark (TEST_P);
+//  - snapshot-loader robustness: truncations, byte flips, and header
+//    corruptions of a real simulator snapshot must all surface as
+//    snapshot::SnapshotError — never a crash, never a silent
+//    half-restore.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <vector>
 
 #include "appmodel/application.hpp"
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
+#include "exp/experiments.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
 #include "sched/edf.hpp"
+#include "sim/system_sim.hpp"
+#include "snapshot/snapshot_file.hpp"
 
 namespace parm {
 namespace {
@@ -175,6 +187,184 @@ INSTANTIATE_TEST_SUITE_P(
                       "vips", "radix", "swaptions", "fluidanimate",
                       "streamcluster", "blackscholes", "bodytrack",
                       "radiosity"));
+
+// ----------------------------------------------- snapshot loader fuzzing
+
+class SnapshotLoaderFuzz : public ::testing::Test {
+ protected:
+  static sim::SimConfig fuzz_config() {
+    sim::SimConfig cfg = exp::default_sim_config();
+    cfg.framework.mapping = "PARM";
+    cfg.framework.routing = "PANR";
+    cfg.max_sim_time_s = 0.010;  // keep the donor run tiny
+    cfg.seed = 5;
+    return cfg;
+  }
+
+  static std::vector<appmodel::AppArrival> fuzz_workload() {
+    appmodel::SequenceConfig seq;
+    seq.kind = appmodel::SequenceKind::Mixed;
+    seq.app_count = 3;
+    seq.inter_arrival_s = 0.003;
+    seq.seed = 5;
+    return appmodel::make_sequence(seq);
+  }
+
+  /// Bytes of a valid snapshot taken from a short live run.
+  static const std::vector<std::uint8_t>& valid_file() {
+    static const std::vector<std::uint8_t> bytes = [] {
+      const std::string dir = scratch_dir();
+      sim::SystemSimulator simulator(fuzz_config(), fuzz_workload());
+      simulator.enable_periodic_snapshots(5, dir);
+      (void)simulator.run();
+      std::ifstream in(dir + "/epoch_5.parmsnap", std::ios::binary);
+      return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                       std::istreambuf_iterator<char>());
+    }();
+    return bytes;
+  }
+
+  // Per-process scratch directory: ctest runs each TEST in its own
+  // process, concurrently, so a shared path would race on the mutant
+  // file.
+  static std::string scratch_dir() {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("parm_loader_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    return dir.string();
+  }
+
+  static std::string write_bytes(const std::vector<std::uint8_t>& bytes) {
+    const std::string path = scratch_dir() + "/mutant.parmsnap";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  /// Rewrites the header (payload size + CRC) so it is consistent with
+  /// `payload` — used to smuggle structural corruption past the CRC and
+  /// exercise the Reader's own validation.
+  static std::vector<std::uint8_t> file_around(
+      const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> f(valid_file().begin(),
+                                valid_file().begin() +
+                                    snapshot::kHeaderBytes);
+    const std::uint64_t size = payload.size();
+    const std::uint64_t crc = snapshot::crc64(payload.data(),
+                                              payload.size());
+    for (int i = 0; i < 8; ++i) {
+      f[12 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(size >> (8 * i));
+      f[20 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    f.insert(f.end(), payload.begin(), payload.end());
+    return f;
+  }
+
+  /// Every mutated file must fail with SnapshotError — never crash, never
+  /// restore anything into the simulator.
+  static void expect_rejected(const std::vector<std::uint8_t>& bytes,
+                              const char* what) {
+    const std::string path = write_bytes(bytes);
+    sim::SystemSimulator victim(fuzz_config(), fuzz_workload());
+    try {
+      victim.restore_snapshot(path);
+      FAIL() << what << ": corrupt snapshot was accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_FALSE(std::string(e.what()).empty())
+          << what << ": error must carry a diagnostic message";
+    }
+  }
+};
+
+TEST_F(SnapshotLoaderFuzz, ValidDonorFileRestores) {
+  const std::string path = write_bytes(valid_file());
+  sim::SystemSimulator victim(fuzz_config(), fuzz_workload());
+  EXPECT_NO_THROW(victim.restore_snapshot(path));
+  EXPECT_EQ(victim.epoch(), 5u);
+}
+
+TEST_F(SnapshotLoaderFuzz, TruncationsAtEveryRegionAreRejected) {
+  const auto& file = valid_file();
+  ASSERT_GT(file.size(), snapshot::kHeaderBytes);
+  // Empty file, mid-header, just past the header, and a spread of cuts
+  // through the payload.
+  std::vector<std::size_t> cuts = {0, 7, 12, 20, 27, 28, 29};
+  for (int k = 1; k < 16; ++k) {
+    cuts.push_back(file.size() * static_cast<std::size_t>(k) / 16);
+  }
+  cuts.push_back(file.size() - 1);
+  for (const std::size_t cut : cuts) {
+    if (cut >= file.size()) continue;
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+    expect_rejected({file.begin(), file.begin() + static_cast<long>(cut)},
+                    "truncation");
+  }
+}
+
+TEST_F(SnapshotLoaderFuzz, RandomBitFlipsAreRejected) {
+  const auto& file = valid_file();
+  Rng rng(20260805);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> mutant = file;
+    const std::size_t pos = rng.pick_index(mutant.size());
+    mutant[pos] ^= static_cast<std::uint8_t>(1u << rng.pick_index(8));
+    SCOPED_TRACE("bit flip at byte " + std::to_string(pos));
+    // A flip anywhere is caught: header flips break magic/version/size,
+    // payload flips break the CRC.
+    expect_rejected(mutant, "bit flip");
+  }
+}
+
+TEST_F(SnapshotLoaderFuzz, WrongMagicAndVersionAreRejected) {
+  std::vector<std::uint8_t> wrong_magic = valid_file();
+  wrong_magic[0] = 'X';
+  expect_rejected(wrong_magic, "magic");
+
+  std::vector<std::uint8_t> wrong_version = valid_file();
+  wrong_version[8] = static_cast<std::uint8_t>(snapshot::kFormatVersion + 1);
+  expect_rejected(wrong_version, "version");
+}
+
+TEST_F(SnapshotLoaderFuzz, CorruptCrcIsRejected) {
+  std::vector<std::uint8_t> mutant = valid_file();
+  mutant[20] ^= 0xFF;
+  expect_rejected(mutant, "crc");
+}
+
+TEST_F(SnapshotLoaderFuzz, StructuralCorruptionBehindValidCrcIsRejected) {
+  // Rebuild a consistent header around a damaged payload so the file-level
+  // checks pass and the Reader's structural validation must catch it.
+  const auto& file = valid_file();
+  const std::vector<std::uint8_t> payload(
+      file.begin() + snapshot::kHeaderBytes, file.end());
+
+  // Payload cut mid-structure.
+  for (const std::size_t frac : {1u, 2u, 3u}) {
+    const std::size_t cut = payload.size() * frac / 4;
+    SCOPED_TRACE("payload truncated to " + std::to_string(cut));
+    expect_rejected(
+        file_around({payload.begin(),
+                     payload.begin() + static_cast<long>(cut)}),
+        "payload truncation");
+  }
+
+  // Section tag overwritten: the reader must fail on the tag, not wander.
+  std::vector<std::uint8_t> bad_tag = payload;
+  const char tag[] = {'R', 'N', 'G', '0'};
+  auto it = std::search(bad_tag.begin(), bad_tag.end(), tag, tag + 4);
+  ASSERT_NE(it, bad_tag.end());
+  *it = 'Z';
+  expect_rejected(file_around(bad_tag), "section tag");
+
+  // Fingerprint overwritten (first payload field after the SIMS tag):
+  // resume against a mismatched run must be refused.
+  std::vector<std::uint8_t> bad_fp = payload;
+  bad_fp[4] ^= 0xFF;  // byte 0-3: "SIMS", byte 4: fingerprint LSB
+  expect_rejected(file_around(bad_fp), "fingerprint");
+}
 
 }  // namespace
 }  // namespace parm

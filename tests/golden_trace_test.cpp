@@ -1,0 +1,258 @@
+// Golden-trace regression test.
+//
+// Runs the fixed seed-42 mixed workload under PARM+PANR for 40 control
+// epochs and folds every telemetry sample into an FNV-1a hash *chain*
+// (one chained digest per epoch, plus a final digest over the SimResult).
+// The chain is compared against tests/golden/seed42_mixed_telemetry.txt;
+// because each link depends on all previous samples, the first mismatching
+// epoch pinpoints exactly where a behavioral change entered the run, and
+// the test prints that epoch's full actual sample as a readable
+// first-divergence report.
+//
+// When simulator behavior changes intentionally, regenerate the file:
+//   ./build/tests/golden_trace_test --update-golden
+//   (or PARM_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test)
+//
+// The digests fold IEEE-754 bit patterns, so they are exact but assume one
+// toolchain/libm: regenerate the golden file when changing compilers.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "sim/system_sim.hpp"
+
+#ifndef PARM_GOLDEN_DIR
+#error "PARM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace parm {
+
+bool g_update_golden = false;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix_f64(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t fold_sample(std::uint64_t h, const sim::EpochSample& s) {
+  h = mix_f64(h, s.time_s);
+  h = mix_f64(h, s.peak_psn_percent);
+  h = mix_f64(h, s.avg_psn_percent);
+  h = mix_f64(h, s.chip_power_w);
+  h = mix(h, static_cast<std::uint64_t>(s.running_apps));
+  h = mix(h, static_cast<std::uint64_t>(s.queued_apps));
+  h = mix(h, static_cast<std::uint64_t>(s.busy_tiles));
+  h = mix_f64(h, s.noc_latency_cycles);
+  h = mix(h, static_cast<std::uint64_t>(s.ve_count));
+  h = mix(h, static_cast<std::uint64_t>(s.pdn_solves));
+  h = mix(h, static_cast<std::uint64_t>(s.mapper_candidates));
+  h = mix(h, static_cast<std::uint64_t>(s.panr_reroutes));
+  return h;
+}
+
+std::uint64_t fold_result(std::uint64_t h, const sim::SimResult& r) {
+  h = mix_f64(h, r.makespan_s);
+  h = mix_f64(h, r.peak_psn_percent);
+  h = mix_f64(h, r.avg_psn_percent);
+  h = mix(h, static_cast<std::uint64_t>(r.completed_count));
+  h = mix(h, static_cast<std::uint64_t>(r.dropped_count));
+  h = mix(h, r.total_ve_count);
+  h = mix_f64(h, r.avg_noc_latency_cycles);
+  h = mix_f64(h, r.peak_chip_power_w);
+  h = mix_f64(h, r.avg_chip_power_w);
+  h = mix_f64(h, r.total_energy_j);
+  h = mix(h, r.timed_out ? 1u : 0u);
+  for (const sim::AppOutcome& o : r.apps) {
+    h = mix(h, static_cast<std::uint64_t>(o.id));
+    h = mix(h, (o.admitted ? 1u : 0u) | (o.completed ? 2u : 0u) |
+                   (o.dropped ? 4u : 0u));
+    h = mix_f64(h, o.admit_s);
+    h = mix_f64(h, o.finish_s);
+    h = mix_f64(h, o.vdd);
+    h = mix(h, static_cast<std::uint64_t>(o.dop));
+    h = mix(h, static_cast<std::uint64_t>(o.ve_count));
+  }
+  return h;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string describe(const sim::EpochSample& s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "time_s=" << s.time_s << " peak_psn=" << s.peak_psn_percent
+     << " avg_psn=" << s.avg_psn_percent << " chip_power="
+     << s.chip_power_w << " running=" << s.running_apps << " queued="
+     << s.queued_apps << " busy_tiles=" << s.busy_tiles << " noc_latency="
+     << s.noc_latency_cycles << " ves=" << s.ve_count << " solves="
+     << s.pdn_solves << " candidates=" << s.mapper_candidates
+     << " reroutes=" << s.panr_reroutes;
+  return os.str();
+}
+
+struct GoldenRun {
+  std::vector<std::uint64_t> chain;  ///< chained digest after each epoch
+  std::uint64_t result_digest = 0;
+  std::vector<sim::EpochSample> samples;  ///< only filled for a live run
+};
+
+GoldenRun run_reference() {
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.max_sim_time_s = 0.040;
+  cfg.record_telemetry = true;
+  cfg.seed = 42;
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.005;
+  seq.seed = 42;
+
+  sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
+  const sim::SimResult r = simulator.run();
+
+  GoldenRun g;
+  std::uint64_t h = kFnvOffset;
+  for (const sim::EpochSample& s : r.telemetry.samples()) {
+    h = fold_sample(h, s);
+    g.chain.push_back(h);
+  }
+  g.result_digest = fold_result(h, r);
+  g.samples = r.telemetry.samples();
+  return g;
+}
+
+const char* golden_path() {
+  return PARM_GOLDEN_DIR "/seed42_mixed_telemetry.txt";
+}
+
+void write_golden(const GoldenRun& g) {
+  std::ofstream out(golden_path());
+  ASSERT_TRUE(out) << "cannot write " << golden_path();
+  out << "# Golden telemetry digest: seed-42 mixed workload, PARM+PANR, "
+         "40 epochs.\n"
+      << "# One FNV-1a chain value per epoch; each link depends on all\n"
+      << "# previous samples, so the first mismatch localizes a "
+         "divergence.\n"
+      << "# Regenerate: ./build/tests/golden_trace_test --update-golden\n"
+      << "epochs " << g.chain.size() << "\n";
+  for (std::size_t i = 0; i < g.chain.size(); ++i) {
+    out << i << " " << hex(g.chain[i]) << "\n";
+  }
+  out << "result " << hex(g.result_digest) << "\n";
+}
+
+bool read_golden(GoldenRun& g, std::string& error) {
+  std::ifstream in(golden_path());
+  if (!in) {
+    error = std::string("missing golden file ") + golden_path();
+    return false;
+  }
+  std::string line;
+  std::size_t epochs = 0;
+  bool have_epochs = false, have_result = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "epochs") {
+      ls >> epochs;
+      have_epochs = true;
+    } else if (key == "result") {
+      std::string h;
+      ls >> h;
+      g.result_digest = std::stoull(h, nullptr, 16);
+      have_result = true;
+    } else {
+      std::string h;
+      ls >> h;
+      g.chain.push_back(std::stoull(h, nullptr, 16));
+    }
+  }
+  if (!have_epochs || !have_result || g.chain.size() != epochs) {
+    error = std::string("malformed golden file ") + golden_path();
+    return false;
+  }
+  return true;
+}
+
+TEST(GoldenTrace, Seed42MixedTelemetryMatchesGoldenDigest) {
+  const GoldenRun actual = run_reference();
+
+  if (g_update_golden) {
+    write_golden(actual);
+    std::cout << "golden file regenerated: " << golden_path() << " ("
+              << actual.chain.size() << " epochs)\n";
+    return;
+  }
+
+  GoldenRun expected;
+  std::string error;
+  ASSERT_TRUE(read_golden(expected, error))
+      << error << "\nregenerate with: golden_trace_test --update-golden";
+
+  if (expected.chain.size() != actual.chain.size()) {
+    FAIL() << "epoch count diverged: golden has " << expected.chain.size()
+           << " epochs, this run produced " << actual.chain.size()
+           << " — the run's length itself changed.";
+  }
+  for (std::size_t i = 0; i < actual.chain.size(); ++i) {
+    if (actual.chain[i] != expected.chain[i]) {
+      // Readable first-divergence report: everything before epoch i
+      // matched, so the behavioral change entered at exactly epoch i.
+      FAIL() << "golden-trace divergence at epoch " << i << ":\n"
+             << "  expected chain " << hex(expected.chain[i]) << "\n"
+             << "  actual   chain " << hex(actual.chain[i]) << "\n"
+             << "  all " << i << " earlier epochs match\n"
+             << "  actual sample: " << describe(actual.samples[i])
+             << "\nIf this change is intentional, regenerate with "
+                "golden_trace_test --update-golden";
+    }
+  }
+  EXPECT_EQ(hex(actual.result_digest), hex(expected.result_digest))
+      << "per-epoch telemetry matches but the final SimResult digest "
+         "diverged";
+}
+
+}  // namespace
+}  // namespace parm
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      parm::g_update_golden = true;
+    }
+  }
+  if (std::getenv("PARM_UPDATE_GOLDEN") != nullptr) {
+    parm::g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

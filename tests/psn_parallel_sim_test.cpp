@@ -7,6 +7,7 @@
 
 #include "exp/experiments.hpp"
 #include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
 
 namespace parm::sim {
 namespace {
@@ -31,25 +32,9 @@ SimConfig fast_sim(bool parallel_psn) {
   return cfg;
 }
 
-void expect_identical(const SimResult& a, const SimResult& b) {
-  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
-  EXPECT_DOUBLE_EQ(a.peak_psn_percent, b.peak_psn_percent);
-  EXPECT_DOUBLE_EQ(a.avg_psn_percent, b.avg_psn_percent);
-  EXPECT_DOUBLE_EQ(a.peak_chip_power_w, b.peak_chip_power_w);
-  EXPECT_DOUBLE_EQ(a.avg_chip_power_w, b.avg_chip_power_w);
-  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
-  EXPECT_EQ(a.total_ve_count, b.total_ve_count);
-  EXPECT_EQ(a.completed_count, b.completed_count);
-  EXPECT_EQ(a.dropped_count, b.dropped_count);
-  ASSERT_EQ(a.apps.size(), b.apps.size());
-  for (std::size_t i = 0; i < a.apps.size(); ++i) {
-    EXPECT_EQ(a.apps[i].completed, b.apps[i].completed);
-    EXPECT_DOUBLE_EQ(a.apps[i].finish_s, b.apps[i].finish_s);
-    EXPECT_DOUBLE_EQ(a.apps[i].vdd, b.apps[i].vdd);
-    EXPECT_EQ(a.apps[i].dop, b.apps[i].dop);
-    EXPECT_EQ(a.apps[i].ve_count, b.apps[i].ve_count);
-  }
-}
+// expect_identical comes from sim_result_compare.hpp: every double is
+// compared as its IEEE-754 bit pattern (stricter than EXPECT_DOUBLE_EQ's
+// 4-ULP tolerance), and per-app outcomes and telemetry rows are included.
 
 TEST(ParallelPsn, MixedWorkloadMatchesSerialBitForBit) {
   const auto seq = appmodel::make_sequence(

@@ -1,0 +1,90 @@
+// Bit-exact SimResult comparison shared by the determinism test suites
+// (snapshot/resume replay equivalence, parallel-vs-serial PSN, repeated
+// same-seed runs). Doubles are compared as IEEE-754 bit patterns: the
+// simulator's determinism guarantees are bit-for-bit, so nothing weaker
+// than exact equality is accepted.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/system_sim.hpp"
+
+namespace parm::sim {
+
+inline void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+inline void expect_identical_outcomes(const AppOutcome& a,
+                                      const AppOutcome& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.bench, b.bench);
+  expect_bits(a.arrival_s, b.arrival_s, "arrival_s");
+  expect_bits(a.deadline_s, b.deadline_s, "deadline_s");
+  EXPECT_EQ(a.admitted, b.admitted) << "app " << a.id;
+  EXPECT_EQ(a.completed, b.completed) << "app " << a.id;
+  EXPECT_EQ(a.dropped, b.dropped) << "app " << a.id;
+  expect_bits(a.admit_s, b.admit_s, "admit_s");
+  expect_bits(a.finish_s, b.finish_s, "finish_s");
+  EXPECT_EQ(a.missed_deadline, b.missed_deadline) << "app " << a.id;
+  EXPECT_EQ(a.task_deadline_misses, b.task_deadline_misses)
+      << "app " << a.id;
+  expect_bits(a.vdd, b.vdd, "vdd");
+  EXPECT_EQ(a.dop, b.dop) << "app " << a.id;
+  EXPECT_EQ(a.ve_count, b.ve_count) << "app " << a.id;
+}
+
+inline void expect_identical_telemetry(const TelemetryRecorder& a,
+                                       const TelemetryRecorder& b) {
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    SCOPED_TRACE("telemetry epoch " + std::to_string(i));
+    const EpochSample& x = a.samples()[i];
+    const EpochSample& y = b.samples()[i];
+    expect_bits(x.time_s, y.time_s, "time_s");
+    expect_bits(x.peak_psn_percent, y.peak_psn_percent, "peak_psn_percent");
+    expect_bits(x.avg_psn_percent, y.avg_psn_percent, "avg_psn_percent");
+    expect_bits(x.chip_power_w, y.chip_power_w, "chip_power_w");
+    EXPECT_EQ(x.running_apps, y.running_apps);
+    EXPECT_EQ(x.queued_apps, y.queued_apps);
+    EXPECT_EQ(x.busy_tiles, y.busy_tiles);
+    expect_bits(x.noc_latency_cycles, y.noc_latency_cycles,
+                "noc_latency_cycles");
+    EXPECT_EQ(x.ve_count, y.ve_count);
+    EXPECT_EQ(x.pdn_solves, y.pdn_solves);
+    EXPECT_EQ(x.mapper_candidates, y.mapper_candidates);
+    EXPECT_EQ(x.panr_reroutes, y.panr_reroutes);
+  }
+}
+
+inline void expect_identical(const SimResult& a, const SimResult& b) {
+  expect_bits(a.makespan_s, b.makespan_s, "makespan_s");
+  expect_bits(a.peak_psn_percent, b.peak_psn_percent, "peak_psn_percent");
+  expect_bits(a.avg_psn_percent, b.avg_psn_percent, "avg_psn_percent");
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.dropped_count, b.dropped_count);
+  EXPECT_EQ(a.total_ve_count, b.total_ve_count);
+  EXPECT_EQ(a.throttle_tile_epochs, b.throttle_tile_epochs);
+  EXPECT_EQ(a.migration_count, b.migration_count);
+  expect_bits(a.avg_noc_latency_cycles, b.avg_noc_latency_cycles,
+              "avg_noc_latency_cycles");
+  expect_bits(a.peak_chip_power_w, b.peak_chip_power_w,
+              "peak_chip_power_w");
+  expect_bits(a.avg_chip_power_w, b.avg_chip_power_w, "avg_chip_power_w");
+  expect_bits(a.total_energy_j, b.total_energy_j, "total_energy_j");
+  expect_bits(a.energy_per_completed_app_j, b.energy_per_completed_app_j,
+              "energy_per_completed_app_j");
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    SCOPED_TRACE("app " + std::to_string(i));
+    expect_identical_outcomes(a.apps[i], b.apps[i]);
+  }
+  expect_identical_telemetry(a.telemetry, b.telemetry);
+}
+
+}  // namespace parm::sim

@@ -1,0 +1,324 @@
+// Snapshot / resume test suite.
+//
+//  - serializer round-trips and bounds-checked reads;
+//  - crash-safe snapshot files (atomic replace, CRC validation);
+//  - Rng and PsnCache state round-trips;
+//  - the headline replay-equivalence invariant: a run snapshotted at any
+//    epoch and resumed in a fresh simulator produces bit-identical
+//    telemetry, per-app outcomes, and final SimResult to the
+//    uninterrupted run — checked at several snapshot epochs on several
+//    seeds;
+//  - same-seed determinism: two fresh simulators over the same workload
+//    are bit-identical (guards against unordered-container iteration
+//    leaking into RNG draws or float accumulation);
+//  - fingerprint rejection of mismatched configuration or workload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/rng.hpp"
+#include "exp/experiments.hpp"
+#include "pdn/psn_cache.hpp"
+#include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
+#include "snapshot/snapshot_file.hpp"
+
+namespace parm {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("parm_snapshot_test_") + tag);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// ------------------------------------------------------------ serializer
+
+TEST(Serializer, RoundTripsAllPrimitiveTypes) {
+  snapshot::Writer w;
+  w.begin_section("TST0");
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.b(true);
+  w.b(false);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.str("hello snapshot");
+  w.vec_f64({1.5, -2.5, 0.0});
+  w.vec_bool({true, false, true, true});
+
+  snapshot::Reader r(w.bytes());
+  r.expect_section("TST0");
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.vec_f64(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.vec_bool(), (std::vector<bool>{true, false, true, true}));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serializer, TruncatedReadThrows) {
+  snapshot::Writer w;
+  w.u64(7);
+  snapshot::Reader r(
+      {w.bytes().begin(), w.bytes().begin() + 4});  // half a u64
+  EXPECT_THROW(r.u64(), snapshot::SnapshotError);
+}
+
+TEST(Serializer, WrongSectionTagThrows) {
+  snapshot::Writer w;
+  w.begin_section("AAA0");
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(r.expect_section("BBB0"), snapshot::SnapshotError);
+}
+
+TEST(Serializer, HugeCountThrows) {
+  snapshot::Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());  // absurd element count
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(r.count(8), snapshot::SnapshotError);
+}
+
+TEST(Serializer, TrailingGarbageThrows) {
+  snapshot::Writer w;
+  w.u32(1);
+  w.u32(2);
+  snapshot::Reader r(w.bytes());
+  r.u32();
+  EXPECT_THROW(r.expect_end(), snapshot::SnapshotError);
+}
+
+// --------------------------------------------------------- snapshot file
+
+TEST(SnapshotFile, RoundTripsAndOverwritesAtomically) {
+  const std::string path = temp_dir("file") + "/roundtrip.parmsnap";
+  snapshot::Writer w;
+  w.begin_section("DATA");
+  w.u64(0xFEEDFACEull);
+  w.f64(2.718281828459045);
+  snapshot::write_file(path, w);
+
+  snapshot::Reader r = snapshot::read_file(path);
+  r.expect_section("DATA");
+  EXPECT_EQ(r.u64(), 0xFEEDFACEull);
+  EXPECT_EQ(r.f64(), 2.718281828459045);
+  r.expect_end();
+
+  // Overwrite with different content: the replace is atomic (temp file +
+  // rename), so the file is never observed torn and reads back the new
+  // payload afterwards.
+  snapshot::Writer w2;
+  w2.begin_section("DATA");
+  w2.u64(42);
+  w2.f64(1.0);
+  snapshot::write_file(path, w2);
+  snapshot::Reader r2 = snapshot::read_file(path);
+  r2.expect_section("DATA");
+  EXPECT_EQ(r2.u64(), 42u);
+  EXPECT_EQ(r2.f64(), 1.0);
+
+  // No temp files left behind.
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+}
+
+TEST(SnapshotFile, MissingFileThrows) {
+  EXPECT_THROW(snapshot::read_file("/nonexistent/dir/x.parmsnap"),
+               snapshot::SnapshotError);
+}
+
+// ------------------------------------------------- component round-trips
+
+TEST(RngSnapshot, RestoredStreamContinuesIdentically) {
+  Rng a(987654321);
+  (void)a.uniform01();
+  (void)a.normal(0.0, 1.0);  // leaves a cached Box–Muller pair
+  const Rng::State st = a.state();
+
+  Rng b(1);  // different seed: state must fully override it
+  b.restore(st);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.uniform01()),
+              std::bit_cast<std::uint64_t>(b.uniform01()));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.normal(1.0, 2.0)),
+              std::bit_cast<std::uint64_t>(b.normal(1.0, 2.0)));
+  }
+}
+
+TEST(PsnCacheSnapshot, RoundTripPreservesLruOrder) {
+  pdn::PsnCache cache(4);
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    pdn::DomainPsn psn;
+    psn.peak_percent = static_cast<double>(k);
+    psn.avg_percent = static_cast<double>(k) / 2.0;
+    cache.put(k, psn);
+  }
+  pdn::DomainPsn out;
+  ASSERT_TRUE(cache.get(1, out));  // key 1 becomes most recent
+
+  snapshot::Writer w;
+  cache.save(w);
+
+  pdn::PsnCache restored(4);
+  snapshot::Reader r(w.bytes());
+  restored.restore(r);
+  EXPECT_EQ(restored.size(), 4u);
+
+  // Inserting a new key must evict key 2 (now least recent), not key 1.
+  pdn::DomainPsn psn;
+  restored.put(99, psn);
+  EXPECT_TRUE(restored.get(1, out));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.peak_percent),
+            std::bit_cast<std::uint64_t>(1.0));
+  EXPECT_FALSE(restored.get(2, out));
+}
+
+TEST(PsnCacheSnapshot, CapacityMismatchThrows) {
+  pdn::PsnCache cache(4);
+  snapshot::Writer w;
+  cache.save(w);
+  pdn::PsnCache other(8);
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(other.restore(r), snapshot::SnapshotError);
+}
+
+// ------------------------------------------------- replay equivalence
+
+namespace sim_ns = parm::sim;
+
+sim_ns::SimConfig replay_config(std::uint64_t seed) {
+  sim_ns::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.max_sim_time_s = 0.040;  // 40 control epochs
+  cfg.record_telemetry = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<appmodel::AppArrival> replay_workload(std::uint64_t seed) {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.005;  // dense arrivals inside the 40 epochs
+  seq.seed = seed;
+  return appmodel::make_sequence(seq);
+}
+
+class ReplayEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayEquivalence, ResumeMatchesUninterruptedRunBitForBit) {
+  const std::uint64_t seed = GetParam();
+  const std::string dir =
+      temp_dir(("replay_" + std::to_string(seed)).c_str());
+
+  // Reference: uninterrupted 40-epoch run, snapshotting every epoch.
+  sim_ns::SystemSimulator straight(replay_config(seed),
+                                   replay_workload(seed));
+  straight.enable_periodic_snapshots(1, dir);
+  const sim_ns::SimResult reference = straight.run();
+  ASSERT_GE(straight.epoch(), 21u);  // deep enough for every resume point
+
+  for (const std::uint64_t resume_epoch : {1u, 7u, 20u}) {
+    SCOPED_TRACE("resume from epoch " + std::to_string(resume_epoch));
+    const std::string file =
+        dir + "/epoch_" + std::to_string(resume_epoch) + ".parmsnap";
+    sim_ns::SystemSimulator resumed(replay_config(seed),
+                                    replay_workload(seed));
+    resumed.restore_snapshot(file);
+    EXPECT_EQ(resumed.epoch(), resume_epoch);
+    sim_ns::expect_identical(reference, resumed.run());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayEquivalence,
+                         ::testing::Values(42u, 1234u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ReplayEquivalence, ResumeAcrossParallelSerialPsnBoundary) {
+  // parallel_psn is excluded from the fingerprint because both paths are
+  // bit-identical: a snapshot from a parallel run must resume in a serial
+  // simulator and still match.
+  const std::string dir = temp_dir("replay_psn_mode");
+  sim_ns::SystemSimulator straight(replay_config(7), replay_workload(7));
+  straight.enable_periodic_snapshots(7, dir);
+  const sim_ns::SimResult reference = straight.run();
+
+  sim_ns::SimConfig serial = replay_config(7);
+  serial.parallel_psn = false;
+  sim_ns::SystemSimulator resumed(serial, replay_workload(7));
+  resumed.restore_snapshot(dir + "/epoch_7.parmsnap");
+  sim_ns::expect_identical(reference, resumed.run());
+}
+
+TEST(SameSeedDeterminism, TwoFreshRunsAreBitIdentical) {
+  sim_ns::SystemSimulator a(replay_config(42), replay_workload(42));
+  sim_ns::SystemSimulator b(replay_config(42), replay_workload(42));
+  sim_ns::expect_identical(a.run(), b.run());
+}
+
+// ------------------------------------------------- fingerprint rejection
+
+TEST(SnapshotFingerprint, DifferentSeedIsRejected) {
+  const std::string dir = temp_dir("fp_seed");
+  sim_ns::SystemSimulator original(replay_config(42), replay_workload(42));
+  original.enable_periodic_snapshots(1, dir);
+  (void)original.run();
+
+  sim_ns::SystemSimulator other(replay_config(43), replay_workload(42));
+  EXPECT_THROW(other.restore_snapshot(dir + "/epoch_1.parmsnap"),
+               snapshot::SnapshotError);
+}
+
+TEST(SnapshotFingerprint, DifferentWorkloadIsRejected) {
+  const std::string dir = temp_dir("fp_workload");
+  sim_ns::SystemSimulator original(replay_config(42), replay_workload(42));
+  original.enable_periodic_snapshots(1, dir);
+  (void)original.run();
+
+  sim_ns::SystemSimulator other(replay_config(42), replay_workload(99));
+  EXPECT_THROW(other.restore_snapshot(dir + "/epoch_1.parmsnap"),
+               snapshot::SnapshotError);
+}
+
+TEST(SnapshotFingerprint, DifferentRoutingIsRejected) {
+  const std::string dir = temp_dir("fp_routing");
+  sim_ns::SystemSimulator original(replay_config(42), replay_workload(42));
+  original.enable_periodic_snapshots(1, dir);
+  (void)original.run();
+
+  sim_ns::SimConfig xy = replay_config(42);
+  xy.framework.routing = "XY";
+  sim_ns::SystemSimulator other(xy, replay_workload(42));
+  EXPECT_THROW(other.restore_snapshot(dir + "/epoch_1.parmsnap"),
+               snapshot::SnapshotError);
+}
+
+}  // namespace
+}  // namespace parm
