@@ -1,0 +1,114 @@
+// Fleet scaling microbenchmark: N chips in parallel vs the same N chips
+// run back to back.
+//
+// The fleet driver's promise is that chip simulations are embarrassingly
+// parallel: each chip owns its engine, registry, and RNG, so wall-clock
+// time should scale with the worker count while the merged result stays
+// bit-identical. This bench runs one shared arrival stream on an 8-chip
+// fleet twice — FleetConfig::threads = 1 (serial reference) and
+// threads = 0 (shared pool, all cores) — and reports the speedup. Both
+// runs disable per-chip parallel PSN so the comparison isolates
+// chip-level parallelism.
+//
+// Emits BENCH_fleet_scaling.json (path overridable via argv[1]) for CI
+// to archive, alongside a human-readable table on stdout.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/experiments.hpp"
+#include "fleet/fleet_sim.hpp"
+
+namespace {
+
+using namespace parm;
+using Clock = std::chrono::steady_clock;
+
+double run_once(const fleet::FleetConfig& cfg,
+                const std::vector<appmodel::AppArrival>& arrivals,
+                int* completed) {
+  fleet::FleetSimulator sim(cfg, arrivals);
+  const auto t0 = Clock::now();
+  const fleet::FleetResult r = sim.run();
+  const auto t1 = Clock::now();
+  *completed = r.completed_count;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_fleet_scaling.json";
+  constexpr int kChips = 8;
+  constexpr int kRepeats = 3;
+
+  fleet::FleetConfig cfg;
+  cfg.chip = exp::default_sim_config();
+  cfg.chip.framework.mapping = "PARM";
+  cfg.chip.framework.routing = "PANR";
+  cfg.chip.parallel_psn = false;  // isolate chip-level parallelism
+  cfg.chip_count = kChips;
+  cfg.dispatch = "round-robin";
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 24;
+  seq.inter_arrival_s = 0.05;
+  seq.seed = 7;
+  const auto arrivals = appmodel::make_sequence(seq);
+
+  const std::size_t threads = ThreadPool::shared().thread_count() + 1;
+  std::cout << "fleet scaling: " << kChips << " chips, " << arrivals.size()
+            << " apps, " << threads << " thread(s), median of " << kRepeats
+            << " runs\n\n";
+
+  int completed_serial = 0, completed_parallel = 0;
+  std::vector<double> serial_s, parallel_s;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    cfg.threads = 1;
+    serial_s.push_back(run_once(cfg, arrivals, &completed_serial));
+    cfg.threads = 0;
+    parallel_s.push_back(run_once(cfg, arrivals, &completed_parallel));
+  }
+  const double serial_med = median_of(serial_s);
+  const double parallel_med = median_of(parallel_s);
+  const double speedup = serial_med / parallel_med;
+
+  if (completed_serial != completed_parallel) {
+    std::cerr << "DETERMINISM VIOLATION: serial completed "
+              << completed_serial << ", parallel " << completed_parallel
+              << "\n";
+    return 1;
+  }
+
+  Table table({"mode", "wall (s)", "speedup"});
+  table.set_precision(3);
+  table.add_row({"serial (threads=1)", serial_med, 1.0});
+  table.add_row({"parallel (shared pool)", parallel_med, speedup});
+  table.print(std::cout);
+  std::cout << "\ncompleted " << completed_parallel << " apps in both modes\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"fleet_scaling\",\n"
+       << "  \"chips\": " << kChips << ",\n"
+       << "  \"apps\": " << arrivals.size() << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_s\": " << serial_med << ",\n"
+       << "  \"parallel_s\": " << parallel_med << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"completed\": " << completed_parallel << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

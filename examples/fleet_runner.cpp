@@ -1,0 +1,166 @@
+// fleet_runner: multi-chip fleet driver front end.
+//
+// Shards one arrival stream across N simulated chips with a dispatch
+// policy, runs every chip's epoch-phase engine in parallel, and prints
+// the merged fleet report plus a per-chip breakdown.
+//
+// Usage:
+//   fleet_runner [--chips N] [--dispatch round-robin|least-loaded]
+//                [--threads N] [--mapping PARM|HM]
+//                [--routing XY|ICON|PANR|WestFirst]
+//                [--workload compute|comm|mixed] [--apps N]
+//                [--arrival SECONDS] [--seed N] [--max-time SECONDS]
+//                [--metrics FILE.json] [--selfcheck]
+//
+// --threads bounds the chips simulated concurrently (0 = shared pool,
+//   1 = serial); the results are bit-identical for every setting.
+// --metrics writes the merged fleet metrics registry as JSON.
+// --selfcheck re-runs every chip's shard on a standalone SystemSimulator
+//   and verifies the merged fleet counts equal the sum of those reference
+//   runs (exit code 1 on mismatch) — the CI fleet smoke job runs this.
+//
+// Example:
+//   fleet_runner --chips 8 --dispatch least-loaded --apps 64 --arrival 0.02
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "exp/experiments.hpp"
+#include "fleet/fleet_sim.hpp"
+#include "obs/metrics.hpp"
+#include "sim/system_sim.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::cerr << "error: " << msg << "\n"
+            << "see the header of examples/fleet_runner.cpp for usage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parm;
+
+  fleet::FleetConfig cfg;
+  cfg.chip = exp::default_sim_config();
+  cfg.chip.framework.mapping = "PARM";
+  cfg.chip.framework.routing = "PANR";
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 32;
+  seq.inter_arrival_s = 0.05;
+  seq.seed = 1;
+  std::string metrics_file;
+  bool selfcheck = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--chips") {
+      cfg.chip_count = std::stoi(value());
+    } else if (arg == "--dispatch") {
+      cfg.dispatch = value();
+    } else if (arg == "--threads") {
+      cfg.threads = std::stoi(value());
+    } else if (arg == "--mapping") {
+      cfg.chip.framework.mapping = value();
+    } else if (arg == "--routing") {
+      cfg.chip.framework.routing = value();
+    } else if (arg == "--workload") {
+      const std::string w = value();
+      if (w == "compute") {
+        seq.kind = appmodel::SequenceKind::Compute;
+      } else if (w == "comm") {
+        seq.kind = appmodel::SequenceKind::Communication;
+      } else if (w == "mixed") {
+        seq.kind = appmodel::SequenceKind::Mixed;
+      } else {
+        usage("unknown workload kind");
+      }
+    } else if (arg == "--apps") {
+      seq.app_count = std::stoi(value());
+    } else if (arg == "--arrival") {
+      seq.inter_arrival_s = std::stod(value());
+    } else if (arg == "--seed") {
+      seq.seed = std::stoull(value());
+      cfg.chip.seed = seq.seed;
+    } else if (arg == "--max-time") {
+      cfg.chip.max_sim_time_s = std::stod(value());
+    } else if (arg == "--metrics") {
+      metrics_file = value();
+    } else if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else {
+      usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  try {
+    cfg.validate();
+  } catch (const CheckError& e) {
+    usage(e.what());
+  }
+
+  const auto arrivals = appmodel::make_sequence(seq);
+  std::cout << "fleet: " << cfg.chip_count << " chips, " << arrivals.size()
+            << " apps, dispatch " << cfg.dispatch << "\n";
+
+  fleet::FleetSimulator fleet_sim(cfg, arrivals);
+  const fleet::FleetResult r = fleet_sim.run();
+
+  std::cout << "fleet makespan      " << r.makespan_s << " s"
+            << (r.timed_out ? " (TIMED OUT)" : "") << "\n"
+            << "completed / dropped " << r.completed_count << " / "
+            << r.dropped_count << "\n"
+            << "peak PSN            " << r.peak_psn_percent << " %\n"
+            << "voltage emergencies " << r.total_ve_count << "\n"
+            << "total energy        " << r.total_energy_j << " J\n";
+  for (int c = 0; c < cfg.chip_count; ++c) {
+    const sim::SimResult& chip = r.chips[static_cast<std::size_t>(c)];
+    std::cout << "  chip " << c << ": "
+              << fleet_sim.chip_arrivals(c).size() << " apps, completed "
+              << chip.completed_count << ", dropped " << chip.dropped_count
+              << ", makespan " << chip.makespan_s << " s\n";
+  }
+
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) usage("cannot open metrics file for writing");
+    fleet_sim.metrics().write_json(out);
+    out << '\n';
+    std::cout << "merged metrics written to " << metrics_file << "\n";
+  }
+
+  if (selfcheck) {
+    // Reference: each chip's shard on a standalone simulator, serially.
+    // The fleet merge must equal the sum of these independent runs.
+    int ref_completed = 0, ref_dropped = 0;
+    std::uint64_t ref_ves = 0;
+    for (int c = 0; c < cfg.chip_count; ++c) {
+      sim::SimConfig chip_cfg = cfg.chip;
+      chip_cfg.seed = cfg.chip.seed + static_cast<std::uint64_t>(c);
+      sim::SystemSimulator ref(chip_cfg, fleet_sim.chip_arrivals(c));
+      const sim::SimResult rr = ref.run();
+      ref_completed += rr.completed_count;
+      ref_dropped += rr.dropped_count;
+      ref_ves += rr.total_ve_count;
+    }
+    const bool ok = ref_completed == r.completed_count &&
+                    ref_dropped == r.dropped_count &&
+                    ref_ves == r.total_ve_count &&
+                    r.apps.size() == arrivals.size();
+    std::cout << "selfcheck: fleet " << r.completed_count << "/"
+              << r.dropped_count << "/" << r.total_ve_count
+              << " vs reference " << ref_completed << "/" << ref_dropped
+              << "/" << ref_ves << " -> " << (ok ? "OK" : "MISMATCH")
+              << "\n";
+    if (!ok) return 1;
+  }
+  return 0;
+}

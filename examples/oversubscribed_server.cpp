@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   std::cout << "Oversubscribed server: 20 mixed apps, one every 50 ms "
                "(seed " << seed << ")\n\n";
 
+  obs::Registry metrics_total;  // merged over both configurations
   for (const auto& [mapping, routing] :
        {std::pair{"HM", "XY"}, std::pair{"PARM", "PANR"}}) {
     core::FrameworkConfig fw;
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
       simulator.enable_periodic_snapshots(50, snapshot_dir);
     }
     const sim::SimResult result = simulator.run();
+    metrics_total.merge_from(simulator.metrics());
     report(fw.display_name().c_str(), result);
     if (fw.routing == std::string("PANR") && !telemetry_file.empty()) {
       std::ofstream out(telemetry_file);
@@ -106,6 +108,6 @@ int main(int argc, char** argv) {
                "more of the same workload completes.\n";
 
   std::cout << "\n--- metrics summary (both runs) ---\n";
-  obs::Registry::instance().write_text(std::cout);
+  metrics_total.write_text(std::cout);
   return 0;
 }

@@ -25,9 +25,9 @@
 //   the uninterrupted run's.
 //
 // Observability:
-//   --metrics writes the process metrics registry (solver/mapper/NoC
-//   counters and latency percentiles) as JSON and prints the text report
-//   after the run; --trace writes a Chrome trace-event file (open in
+//   --metrics writes the simulator's instance metrics registry
+//   (solver/mapper/NoC counters and latency percentiles) as JSON and
+//   prints the text report after the run; --trace writes a Chrome trace-event file (open in
 //   Perfetto or chrome://tracing); --trace-jsonl streams the same events
 //   one JSON object per line.
 //
@@ -42,6 +42,7 @@
 #include <sstream>
 
 #include "appmodel/workload_io.hpp"
+#include "common/check.hpp"
 #include "exp/experiments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -153,6 +154,11 @@ int main(int argc, char** argv) {
   cfg.proactive_throttle = throttle;
   cfg.record_telemetry = !telemetry_file.empty();
   if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
+  try {
+    cfg.validate();
+  } catch (const CheckError& e) {
+    usage(e.what());
+  }
 
   // Open trace sinks before the simulator exists so construction-time
   // events (first factorizations) are captured too.
@@ -216,11 +222,11 @@ int main(int argc, char** argv) {
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
     if (!out) usage("cannot open metrics file for writing");
-    obs::Registry::instance().write_json(out);
+    simulator.metrics().write_json(out);
     out << '\n';
     std::cout << "metrics written to " << metrics_file << "\n";
     std::cout << "\n--- metrics summary ---\n";
-    obs::Registry::instance().write_text(std::cout);
+    simulator.metrics().write_text(std::cout);
   }
   return 0;
 }

@@ -9,36 +9,20 @@
 
 namespace parm::core {
 
+AdmissionMetrics AdmissionMetrics::resolve(obs::Registry* registry) {
+  obs::Registry& reg = obs::resolve(registry);
+  return AdmissionMetrics{
+      &reg.counter("admission.candidates"),
+      &reg.counter("admission.reject_deadline"),
+      &reg.counter("admission.reject_dspb"),
+      &reg.counter("admission.reject_psn_map"),
+      &reg.counter("admission.admitted"),
+      &reg.histogram("admission.chosen_vdd",
+                     {0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}),
+      &reg.histogram("admission.chosen_dop", {4, 8, 16, 32, 64})};
+}
+
 namespace {
-
-/// Admission metrics, resolved once. Rejection counters split Algorithm 1
-/// failures by constraint: deadline (WCET misses), DsPB (dark-silicon
-/// power budget, ledger refusal), and PSN-aware mapping (no spatial
-/// region with acceptable noise coupling).
-struct AdmissionMetrics {
-  obs::Counter& candidates;
-  obs::Counter& reject_deadline;
-  obs::Counter& reject_dspb;
-  obs::Counter& reject_psn_map;
-  obs::Counter& admitted;
-  obs::Histogram& chosen_vdd;
-  obs::Histogram& chosen_dop;
-
-  static AdmissionMetrics& get() {
-    static AdmissionMetrics m{
-        obs::Registry::instance().counter("admission.candidates"),
-        obs::Registry::instance().counter("admission.reject_deadline"),
-        obs::Registry::instance().counter("admission.reject_dspb"),
-        obs::Registry::instance().counter("admission.reject_psn_map"),
-        obs::Registry::instance().counter("admission.admitted"),
-        obs::Registry::instance().histogram(
-            "admission.chosen_vdd",
-            {0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}),
-        obs::Registry::instance().histogram("admission.chosen_dop",
-                                            {4, 8, 16, 32, 64})};
-    return m;
-  }
-};
 
 /// Shared tail of both policies: power check (Algorithm 2 lines 1-2) and
 /// mapping attempt for one (vdd, dop) candidate. Returns the decision on
@@ -48,22 +32,22 @@ struct AdmissionMetrics {
 /// via record_winner once the priority-order scan picks a decision.
 std::optional<AdmissionDecision> attempt_point(
     const appmodel::AppArrival& app, const cmp::Platform& platform,
-    const mapping::Mapper& mapper, double vdd, int dop, double wcet_s) {
-  AdmissionMetrics& metrics = AdmissionMetrics::get();
-  metrics.candidates.inc();
+    const mapping::Mapper& mapper, double vdd, int dop, double wcet_s,
+    const AdmissionMetrics& metrics) {
+  metrics.candidates->inc();
   const power::CorePowerModel core_model(platform.technology());
   const power::RouterPowerModel router_model(platform.technology());
   const double power = app.profile->estimated_power_w(
       vdd, dop, platform.vf_model(), core_model, router_model);
   if (!platform.ledger().fits(power)) {
-    metrics.reject_dspb.inc();
+    metrics.reject_dspb->inc();
     return std::nullopt;
   }
 
   const appmodel::DopVariant& variant = app.profile->variant(dop);
   std::optional<mapping::Mapping> m = mapper.map(platform, variant);
   if (!m) {
-    metrics.reject_psn_map.inc();
+    metrics.reject_psn_map->inc();
     return std::nullopt;
   }
 
@@ -78,16 +62,20 @@ std::optional<AdmissionDecision> attempt_point(
 
 /// Winner-only metrics: recorded exactly once per admitted application,
 /// never for speculative losers.
-void record_winner(const AdmissionDecision& d) {
-  AdmissionMetrics& metrics = AdmissionMetrics::get();
-  metrics.admitted.inc();
-  metrics.chosen_vdd.observe(d.vdd);
-  metrics.chosen_dop.observe(static_cast<double>(d.dop));
+void record_winner(const AdmissionDecision& d,
+                   const AdmissionMetrics& metrics) {
+  metrics.admitted->inc();
+  metrics.chosen_vdd->observe(d.vdd);
+  metrics.chosen_dop->observe(static_cast<double>(d.dop));
 }
 
 }  // namespace
 
-ParmAdmissionPolicy::ParmAdmissionPolicy(Options opts) : opts_(opts) {}
+ParmAdmissionPolicy::ParmAdmissionPolicy(Options opts,
+                                         obs::Registry* registry)
+    : opts_(opts),
+      mapper_(registry),
+      metrics_(AdmissionMetrics::resolve(registry)) {}
 
 AdmissionResult ParmAdmissionPolicy::try_admit(
     const appmodel::AppArrival& app, double now_s,
@@ -123,7 +111,7 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
       if (now_s + wcet >= app.deadline_s) {
         // Alg. 1 line 13: a lower DoP only increases WCET — skip the rest
         // of the DoP list and move to the next (higher) Vdd.
-        AdmissionMetrics::get().reject_deadline.inc();
+        metrics_.reject_deadline->inc();
         break;
       }
       any_deadline_feasible = true;
@@ -146,7 +134,7 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
     const auto probe = [&](std::size_t i) {
       const Candidate& c = candidates[base + i];
       slots[i] = attempt_point(app, platform, mapper_, c.vdd, c.dop,
-                               c.wcet_s);
+                               c.wcet_s, metrics_);
     };
     if (wave == 1) {
       probe(0);
@@ -155,7 +143,7 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
     }
     for (std::size_t i = 0; i < wave; ++i) {
       if (slots[i]) {
-        record_winner(*slots[i]);
+        record_winner(*slots[i], metrics_);
         result.decision = std::move(slots[i]);
         return result;
       }
@@ -167,8 +155,9 @@ AdmissionResult ParmAdmissionPolicy::try_admit(
   return result;
 }
 
-HmAdmissionPolicy::HmAdmissionPolicy(double vdd, int dop)
-    : vdd_(vdd), dop_(dop) {
+HmAdmissionPolicy::HmAdmissionPolicy(double vdd, int dop,
+                                     obs::Registry* registry)
+    : vdd_(vdd), dop_(dop), metrics_(AdmissionMetrics::resolve(registry)) {
   PARM_CHECK(vdd > 0.0, "invalid vdd");
   PARM_CHECK(dop >= 4 && dop % 4 == 0, "DoP must be a positive multiple of 4");
 }
@@ -184,14 +173,14 @@ AdmissionResult HmAdmissionPolicy::try_admit(
   const double wcet =
       app.profile->wcet_seconds(vdd_, dop, platform.vf_model());
   if (now_s + wcet >= app.deadline_s) {
-    AdmissionMetrics::get().reject_deadline.inc();
+    metrics_.reject_deadline->inc();
     result.failure = AdmissionFailure::Drop;
     return result;
   }
   std::optional<AdmissionDecision> d =
-      attempt_point(app, platform, mapper_, vdd_, dop, wcet);
+      attempt_point(app, platform, mapper_, vdd_, dop, wcet, metrics_);
   if (d) {
-    record_winner(*d);
+    record_winner(*d, metrics_);
     result.decision = std::move(d);
   } else {
     result.failure = AdmissionFailure::Stall;

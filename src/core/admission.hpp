@@ -20,8 +20,27 @@
 #include "mapping/hm_mapper.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/parm_mapper.hpp"
+#include "obs/metrics.hpp"
 
 namespace parm::core {
+
+/// Admission metric handles, resolved once per policy from its injected
+/// registry. Rejection counters split Algorithm 1 failures by constraint:
+/// deadline (WCET misses), DsPB (dark-silicon power budget, ledger
+/// refusal), and PSN-aware mapping (no spatial region with acceptable
+/// noise coupling).
+struct AdmissionMetrics {
+  obs::Counter* candidates;
+  obs::Counter* reject_deadline;
+  obs::Counter* reject_dspb;
+  obs::Counter* reject_psn_map;
+  obs::Counter* admitted;
+  obs::Histogram* chosen_vdd;
+  obs::Histogram* chosen_dop;
+
+  /// Resolves every handle from `registry` (null → process-default).
+  static AdmissionMetrics resolve(obs::Registry* registry);
+};
 
 /// A committed operating point for one application.
 struct AdmissionDecision {
@@ -73,8 +92,11 @@ class ParmAdmissionPolicy final : public AdmissionPolicy {
     int speculation = 0;
   };
 
+  /// admission.* (and the mapper's mapper.*) metrics go to `registry`;
+  /// null selects the process-default.
   ParmAdmissionPolicy() : ParmAdmissionPolicy(Options{}) {}
-  explicit ParmAdmissionPolicy(Options opts);
+  explicit ParmAdmissionPolicy(Options opts,
+                               obs::Registry* registry = nullptr);
 
   AdmissionResult try_admit(const appmodel::AppArrival& app, double now_s,
                             const cmp::Platform& platform) const override;
@@ -84,6 +106,7 @@ class ParmAdmissionPolicy final : public AdmissionPolicy {
  private:
   Options opts_;
   mapping::ParmMapper mapper_;
+  AdmissionMetrics metrics_;
 };
 
 /// HM baseline: fixed nominal Vdd and fixed DoP (no adaptation — the
@@ -91,7 +114,8 @@ class ParmAdmissionPolicy final : public AdmissionPolicy {
 /// spread mapping.
 class HmAdmissionPolicy final : public AdmissionPolicy {
  public:
-  explicit HmAdmissionPolicy(double vdd = 0.8, int dop = 16);
+  explicit HmAdmissionPolicy(double vdd = 0.8, int dop = 16,
+                             obs::Registry* registry = nullptr);
 
   AdmissionResult try_admit(const appmodel::AppArrival& app, double now_s,
                             const cmp::Platform& platform) const override;
@@ -102,6 +126,7 @@ class HmAdmissionPolicy final : public AdmissionPolicy {
   double vdd_;
   int dop_;
   mapping::HarmonicMapper mapper_;
+  AdmissionMetrics metrics_;
 };
 
 }  // namespace parm::core

@@ -39,17 +39,18 @@ std::uint64_t FrameworkConfig::fingerprint() const {
 }
 
 std::unique_ptr<AdmissionPolicy> make_admission_policy(
-    const FrameworkConfig& cfg) {
+    const FrameworkConfig& cfg, obs::Registry* registry) {
   if (cfg.mapping == "PARM") {
     ParmAdmissionPolicy::Options o;
     o.adapt_vdd = cfg.parm_adapt_vdd;
     o.adapt_dop = cfg.parm_adapt_dop;
     o.fixed_vdd = cfg.parm_fixed_vdd;
     o.fixed_dop = cfg.parm_fixed_dop;
-    return std::make_unique<ParmAdmissionPolicy>(o);
+    return std::make_unique<ParmAdmissionPolicy>(o, registry);
   }
   if (cfg.mapping == "HM") {
-    return std::make_unique<HmAdmissionPolicy>(cfg.hm_vdd, cfg.hm_dop);
+    return std::make_unique<HmAdmissionPolicy>(cfg.hm_vdd, cfg.hm_dop,
+                                               registry);
   }
   PARM_CHECK(false, "unknown mapping framework: " + cfg.mapping);
 }

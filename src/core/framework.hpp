@@ -35,9 +35,10 @@ struct FrameworkConfig {
   std::uint64_t fingerprint() const;
 };
 
-/// Builds the admission policy for a framework configuration.
+/// Builds the admission policy for a framework configuration. The
+/// policy's metrics go to `registry` (null → process-default).
 std::unique_ptr<AdmissionPolicy> make_admission_policy(
-    const FrameworkConfig& cfg);
+    const FrameworkConfig& cfg, obs::Registry* registry = nullptr);
 
 /// The six paper frameworks in presentation order:
 /// HM+XY, HM+ICON, HM+PANR, PARM+XY, PARM+ICON, PARM+PANR.

@@ -4,29 +4,14 @@
 
 namespace parm::core {
 
-namespace {
-
-struct QueueMetrics {
-  obs::Counter& admissions;
-  obs::Counter& drops;
-  obs::Histogram& wait_s;
-
-  static QueueMetrics& get() {
-    static QueueMetrics m{
-        obs::Registry::instance().counter("core.queue_admissions"),
-        obs::Registry::instance().counter("core.queue_drops"),
-        // Waits span "admitted on arrival" (0 s) to multi-second stalls.
-        obs::Registry::instance().histogram(
-            "core.queue_wait_s",
-            {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
-             10.0, 30.0})};
-    return m;
-  }
-};
-
-}  // namespace
-
-ServiceQueue::ServiceQueue(int max_stalls) : max_stalls_(max_stalls) {
+ServiceQueue::ServiceQueue(int max_stalls, obs::Registry* registry)
+    : max_stalls_(max_stalls),
+      admissions_(&obs::resolve(registry).counter("core.queue_admissions")),
+      drops_(&obs::resolve(registry).counter("core.queue_drops")),
+      // Waits span "admitted on arrival" (0 s) to multi-second stalls.
+      wait_s_(&obs::resolve(registry).histogram(
+          "core.queue_wait_s", {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
+                                1.0, 2.0, 5.0, 10.0, 30.0})) {
   PARM_CHECK(max_stalls >= 1, "need at least one stall before dropping");
 }
 
@@ -72,20 +57,19 @@ void ServiceQueue::restore(
 std::optional<ServiceQueue::Admitted> ServiceQueue::pump(
     double now_s, const cmp::Platform& platform,
     const AdmissionPolicy& policy) {
-  QueueMetrics& metrics = QueueMetrics::get();
   while (!queue_.empty()) {
     Waiting& head = queue_.front();
     AdmissionResult r = policy.try_admit(head.app, now_s, platform);
     if (r.admitted()) {
-      metrics.admissions.inc();
-      metrics.wait_s.observe(now_s - head.app.arrival_s);
+      admissions_->inc();
+      wait_s_->observe(now_s - head.app.arrival_s);
       Admitted out{std::move(head.app), std::move(*r.decision)};
       queue_.pop_front();
       return out;
     }
     if (r.failure == AdmissionFailure::Drop ||
         ++head.stall_count > max_stalls_) {
-      metrics.drops.inc();
+      drops_->inc();
       dropped_.push_back(std::move(head.app));
       queue_.pop_front();
       continue;  // try the next waiting app

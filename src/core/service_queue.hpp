@@ -21,7 +21,10 @@ namespace parm::core {
 
 class ServiceQueue {
  public:
-  explicit ServiceQueue(int max_stalls = 3);
+  /// core.queue_* metrics go to `registry`; null selects the
+  /// process-default.
+  explicit ServiceQueue(int max_stalls = 3,
+                        obs::Registry* registry = nullptr);
 
   void enqueue(appmodel::AppArrival app);
 
@@ -65,6 +68,9 @@ class ServiceQueue {
   std::deque<Waiting> queue_;
   std::vector<appmodel::AppArrival> dropped_;
   int max_stalls_;
+  obs::Counter* admissions_;
+  obs::Counter* drops_;
+  obs::Histogram* wait_s_;
 };
 
 }  // namespace parm::core

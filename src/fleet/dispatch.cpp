@@ -1,0 +1,59 @@
+#include "fleet/dispatch.hpp"
+
+#include <algorithm>
+
+#include "appmodel/application.hpp"
+#include "common/check.hpp"
+
+namespace parm::fleet {
+
+double arrival_load_cycles(const appmodel::AppArrival& arrival) {
+  if (arrival.profile == nullptr || arrival.profile->dops().empty()) {
+    return 0.0;
+  }
+  const appmodel::DopVariant& v =
+      arrival.profile->variant(arrival.profile->dops().front());
+  double cycles = 0.0;
+  for (const appmodel::TaskProfile& t : v.tasks) cycles += t.work_cycles;
+  return cycles;
+}
+
+RoundRobinDispatcher::RoundRobinDispatcher(int chip_count)
+    : chip_count_(chip_count) {
+  PARM_CHECK(chip_count_ >= 1, "dispatcher needs at least one chip");
+}
+
+int RoundRobinDispatcher::pick(const appmodel::AppArrival&) {
+  const int chip = next_;
+  next_ = (next_ + 1) % chip_count_;
+  return chip;
+}
+
+LeastLoadedDispatcher::LeastLoadedDispatcher(int chip_count) {
+  PARM_CHECK(chip_count >= 1, "dispatcher needs at least one chip");
+  load_cycles_.assign(static_cast<std::size_t>(chip_count), 0.0);
+}
+
+int LeastLoadedDispatcher::pick(const appmodel::AppArrival& arrival) {
+  // std::min_element returns the first minimum, so ties deterministically
+  // go to the lowest chip id.
+  const auto it = std::min_element(load_cycles_.begin(), load_cycles_.end());
+  const int chip = static_cast<int>(it - load_cycles_.begin());
+  *it += arrival_load_cycles(arrival);
+  return chip;
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(const std::string& name,
+                                            int chip_count) {
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinDispatcher>(chip_count);
+  }
+  if (name == "least-loaded") {
+    return std::make_unique<LeastLoadedDispatcher>(chip_count);
+  }
+  PARM_CHECK(false, "unknown dispatch policy \"" + name +
+                        "\" (expected round-robin or least-loaded)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace parm::fleet

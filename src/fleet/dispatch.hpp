@@ -1,0 +1,65 @@
+// Arrival dispatchers for the multi-chip fleet driver.
+//
+// A Dispatcher assigns each application arrival of one shared stream to a
+// chip index, in arrival order, before any chip starts simulating. Because
+// the assignment consumes only the arrival list (never simulation state),
+// the shard is fully determined by (stream, policy, chip count) — the
+// foundation of the fleet's bit-reproducibility across thread counts.
+//
+// Two policies ship:
+//   round-robin   — arrival i goes to chip i mod N.
+//   least-loaded  — each arrival goes to the chip with the smallest
+//                   accumulated work estimate (sum of the profiled
+//                   smallest-DoP task work), ties to the lowest chip id.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+
+namespace parm::fleet {
+
+/// Deterministic work estimate (reference-clock cycles) of one arrival:
+/// the summed per-task work of its smallest-DoP profiled variant. Used by
+/// the least-loaded policy as a queue-length proxy.
+double arrival_load_cycles(const appmodel::AppArrival& arrival);
+
+/// Stateful arrival → chip assignment policy. pick() must be called once
+/// per arrival, in arrival order.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  virtual const char* name() const = 0;
+  /// Chip index in [0, chip_count) for this arrival.
+  virtual int pick(const appmodel::AppArrival& arrival) = 0;
+};
+
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  explicit RoundRobinDispatcher(int chip_count);
+  const char* name() const override { return "round-robin"; }
+  int pick(const appmodel::AppArrival& arrival) override;
+
+ private:
+  int chip_count_;
+  int next_ = 0;
+};
+
+class LeastLoadedDispatcher final : public Dispatcher {
+ public:
+  explicit LeastLoadedDispatcher(int chip_count);
+  const char* name() const override { return "least-loaded"; }
+  int pick(const appmodel::AppArrival& arrival) override;
+
+ private:
+  std::vector<double> load_cycles_;  ///< accumulated estimate per chip
+};
+
+/// Factory over the policy names above ("round-robin", "least-loaded").
+/// Throws CheckError for an unknown name or a non-positive chip count.
+std::unique_ptr<Dispatcher> make_dispatcher(const std::string& name,
+                                            int chip_count);
+
+}  // namespace parm::fleet

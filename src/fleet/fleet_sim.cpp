@@ -1,0 +1,118 @@
+#include "fleet/fleet_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "fleet/dispatch.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::fleet {
+
+void FleetConfig::validate() const {
+  chip.validate();
+  PARM_CHECK(chip_count >= 1, "FleetConfig: chip_count must be >= 1");
+  PARM_CHECK(threads >= 0, "FleetConfig: threads must be >= 0");
+  make_dispatcher(dispatch, chip_count);  // throws on an unknown policy
+}
+
+FleetSimulator::FleetSimulator(FleetConfig cfg,
+                               std::vector<appmodel::AppArrival> arrivals)
+    : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  PARM_CHECK(std::is_sorted(arrivals.begin(), arrivals.end(),
+                            [](const appmodel::AppArrival& a,
+                               const appmodel::AppArrival& b) {
+                              return a.arrival_s < b.arrival_s;
+                            }),
+             "fleet arrivals must be sorted by time");
+
+  shards_.resize(static_cast<std::size_t>(cfg_.chip_count));
+  global_ids_.resize(static_cast<std::size_t>(cfg_.chip_count));
+  const auto dispatcher = make_dispatcher(cfg_.dispatch, cfg_.chip_count);
+  for (appmodel::AppArrival& a : arrivals) {
+    const int chip = dispatcher->pick(a);
+    PARM_CHECK(chip >= 0 && chip < cfg_.chip_count,
+               "dispatcher returned an out-of-range chip index");
+    auto& shard = shards_[static_cast<std::size_t>(chip)];
+    global_ids_[static_cast<std::size_t>(chip)].push_back(a.id);
+    a.id = static_cast<int>(shard.size());
+    shard.push_back(std::move(a));
+  }
+}
+
+const std::vector<appmodel::AppArrival>& FleetSimulator::chip_arrivals(
+    int chip) const {
+  PARM_CHECK(chip >= 0 && chip < cfg_.chip_count, "chip index out of range");
+  return shards_[static_cast<std::size_t>(chip)];
+}
+
+int FleetSimulator::global_id(int chip, int local_id) const {
+  PARM_CHECK(chip >= 0 && chip < cfg_.chip_count, "chip index out of range");
+  const auto& ids = global_ids_[static_cast<std::size_t>(chip)];
+  PARM_CHECK(local_id >= 0 &&
+                 static_cast<std::size_t>(local_id) < ids.size(),
+             "local arrival id out of range");
+  return ids[static_cast<std::size_t>(local_id)];
+}
+
+FleetResult FleetSimulator::run() {
+  const auto n = static_cast<std::size_t>(cfg_.chip_count);
+
+  // Construct every chip before any runs: construction validates the
+  // config, and keeping the simulators alive past the parallel section
+  // lets the serial merge below read their metric registries.
+  std::vector<std::unique_ptr<sim::SystemSimulator>> sims(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    sim::SimConfig chip_cfg = cfg_.chip;
+    chip_cfg.seed = cfg_.chip.seed + c;
+    sims[c] = std::make_unique<sim::SystemSimulator>(chip_cfg, shards_[c]);
+  }
+
+  // Chips write into pre-sized slots; aggregation stays serial, so the
+  // fleet result is independent of scheduling (the pool's determinism
+  // contract in common/thread_pool.hpp).
+  FleetResult out;
+  out.chips.resize(n);
+  const auto run_chip = [&](std::size_t c) {
+    out.chips[c] = sims[c]->run();
+  };
+  if (cfg_.threads == 1) {
+    for (std::size_t c = 0; c < n; ++c) run_chip(c);
+  } else if (cfg_.threads > 1) {
+    ThreadPool pool(static_cast<std::size_t>(cfg_.threads) - 1);
+    pool.parallel_for(n, run_chip);
+  } else {
+    ThreadPool::shared().parallel_for(n, run_chip);
+  }
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const sim::SimResult& r = out.chips[c];
+    out.makespan_s = std::max(out.makespan_s, r.makespan_s);
+    out.completed_count += r.completed_count;
+    out.dropped_count += r.dropped_count;
+    out.total_ve_count += r.total_ve_count;
+    out.migration_count += r.migration_count;
+    out.throttle_tile_epochs += r.throttle_tile_epochs;
+    out.total_energy_j += r.total_energy_j;
+    out.peak_psn_percent = std::max(out.peak_psn_percent, r.peak_psn_percent);
+    out.peak_chip_power_w =
+        std::max(out.peak_chip_power_w, r.peak_chip_power_w);
+    out.timed_out = out.timed_out || r.timed_out;
+    for (const sim::AppOutcome& o : r.apps) {
+      sim::AppOutcome merged = o;
+      merged.id = global_id(static_cast<int>(c), o.id);
+      out.apps.push_back(std::move(merged));
+    }
+    metrics_.merge_from(sims[c]->metrics());
+  }
+  std::sort(out.apps.begin(), out.apps.end(),
+            [](const sim::AppOutcome& a, const sim::AppOutcome& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace parm::fleet

@@ -1,0 +1,100 @@
+// Multi-chip fleet driver: N independent SystemSimulator instances fed by
+// one shared arrival stream.
+//
+// The fleet models a rack of PARM-managed CMPs behind a single admission
+// front door. A pluggable Dispatcher (fleet/dispatch.hpp) shards the
+// sorted arrival stream across the chips up front; each chip then runs the
+// full epoch-phase engine on its shard, all chips in parallel on
+// parm::ThreadPool. Because every chip is a self-contained simulator with
+// its own instance-scoped obs::Registry, its own RNG (seed = base seed +
+// chip index) and its own arrival shard, chip runs never interact — the
+// fleet result is bit-identical across repeats and across worker counts.
+//
+// The merged report sums per-app counts and energy, takes the fleet
+// makespan as the slowest chip's makespan, folds every chip's metrics
+// registry into FleetSimulator::metrics(), and re-ids every outcome back
+// to its global (stream) arrival id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sim_config.hpp"
+
+namespace parm::fleet {
+
+struct FleetConfig {
+  /// Per-chip simulation template. Chip k runs this config verbatim except
+  /// for the RNG seed, which becomes `chip.seed + k`.
+  sim::SimConfig chip;
+  int chip_count = 4;
+  /// Dispatch policy name: "round-robin" or "least-loaded".
+  std::string dispatch = "round-robin";
+  /// Upper bound on chips simulated concurrently: 0 uses the shared
+  /// process pool (PARM_THREADS-sized), 1 runs the chips serially on the
+  /// calling thread, k > 1 uses a dedicated pool of that width. The
+  /// result is bit-identical for every setting.
+  int threads = 0;
+
+  /// Throws CheckError when the chip template or any fleet field is out
+  /// of range (delegates to sim::SimConfig::validate()).
+  void validate() const;
+};
+
+/// Merged outcome of one fleet run plus the per-chip detail it was merged
+/// from.
+struct FleetResult {
+  /// Per-chip engine results, indexed by chip.
+  std::vector<sim::SimResult> chips;
+  /// All outcomes across chips with AppOutcome::id rewritten back to the
+  /// global stream id, sorted by that id.
+  std::vector<sim::AppOutcome> apps;
+
+  double makespan_s = 0.0;  ///< slowest chip
+  int completed_count = 0;
+  int dropped_count = 0;
+  std::uint64_t total_ve_count = 0;
+  std::uint64_t migration_count = 0;
+  std::uint64_t throttle_tile_epochs = 0;
+  double total_energy_j = 0.0;
+  double peak_psn_percent = 0.0;  ///< max over chips
+  double peak_chip_power_w = 0.0; ///< max over chips
+  bool timed_out = false;         ///< any chip hit its time limit
+};
+
+class FleetSimulator {
+ public:
+  /// Validates the config, checks the stream is sorted by arrival time,
+  /// and shards it across the chips with the configured dispatcher.
+  /// Arrival ids inside each shard are re-numbered densely (the engine
+  /// requires ids to index its outcome table); the original stream ids
+  /// are kept aside and restored in FleetResult::apps.
+  FleetSimulator(FleetConfig cfg,
+                 std::vector<appmodel::AppArrival> arrivals);
+
+  /// Runs every chip (in parallel per FleetConfig::threads) and merges
+  /// the results. Call once per simulator.
+  FleetResult run();
+
+  /// Union of every chip's metrics registry (counters/gauges summed,
+  /// histograms merged bucket-wise). Populated by run().
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  int chip_count() const { return cfg_.chip_count; }
+  /// The shard assigned to one chip (dense local ids).
+  const std::vector<appmodel::AppArrival>& chip_arrivals(int chip) const;
+  /// Global stream id of a chip's local arrival id.
+  int global_id(int chip, int local_id) const;
+
+ private:
+  FleetConfig cfg_;
+  std::vector<std::vector<appmodel::AppArrival>> shards_;
+  std::vector<std::vector<int>> global_ids_;  ///< [chip][local id]
+  obs::Registry metrics_;
+};
+
+}  // namespace parm::fleet

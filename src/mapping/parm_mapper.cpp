@@ -43,18 +43,21 @@ void place_cluster(const MeshGeometry& mesh, DomainId domain,
 
 }  // namespace
 
+ParmMapper::ParmMapper(obs::Registry* registry)
+    : place_calls_(&obs::resolve(registry).counter("mapper.place_calls")),
+      candidates_(
+          &obs::resolve(registry).counter("mapper.candidates_evaluated")),
+      region_rejects_(
+          &obs::resolve(registry).counter("mapper.reject_no_region")),
+      place_us_(&obs::resolve(registry).histogram("mapper.place_us")) {}
+
 std::optional<Mapping> ParmMapper::map(
     const cmp::Platform& platform,
     const appmodel::DopVariant& variant) const {
-  obs::Registry& reg = obs::Registry::instance();
-  static obs::Counter& place_calls = reg.counter("mapper.place_calls");
-  static obs::Counter& candidates =
-      reg.counter("mapper.candidates_evaluated");
-  static obs::Counter& region_rejects =
-      reg.counter("mapper.reject_no_region");
-  static obs::Histogram& place_us = reg.histogram("mapper.place_us");
-  place_calls.inc();
-  obs::ScopedTimer place_timer(place_us);
+  obs::Counter& candidates = *candidates_;
+  obs::Counter& region_rejects = *region_rejects_;
+  place_calls_->inc();
+  obs::ScopedTimer place_timer(*place_us_);
   obs::ScopedTrace place_trace("mapper", "mapper.place");
 
   const MeshGeometry& mesh = platform.mesh();

@@ -14,16 +14,26 @@
 
 #include "mapping/clustering.hpp"
 #include "mapping/mapper.hpp"
+#include "obs/metrics.hpp"
 
 namespace parm::mapping {
 
 class ParmMapper final : public Mapper {
  public:
+  /// mapper.* metrics go to `registry`; null selects the process-default.
+  explicit ParmMapper(obs::Registry* registry = nullptr);
+
   std::optional<Mapping> map(
       const cmp::Platform& platform,
       const appmodel::DopVariant& variant) const override;
 
   std::string name() const override { return "PARM"; }
+
+ private:
+  obs::Counter* place_calls_;
+  obs::Counter* candidates_;
+  obs::Counter* region_rejects_;
+  obs::Histogram* place_us_;
 };
 
 }  // namespace parm::mapping

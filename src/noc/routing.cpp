@@ -89,26 +89,23 @@ Direction IconRouting::route(const MeshGeometry& mesh, TileId current,
                        [&](TileId n) { return rate_of(state, n); });
 }
 
-PanrRouting::PanrRouting(double occupancy_threshold, double psn_safe_percent)
-    : threshold_(occupancy_threshold), psn_safe_percent_(psn_safe_percent) {
+PanrRouting::PanrRouting(double occupancy_threshold, double psn_safe_percent,
+                         obs::Registry* registry)
+    : threshold_(occupancy_threshold),
+      psn_safe_percent_(psn_safe_percent),
+      reroutes_(&obs::resolve(registry).counter("noc.panr_reroutes")) {
   PARM_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0,
              "occupancy threshold must be in [0,1]");
   PARM_CHECK(psn_safe_percent_ > 0.0, "PSN safety margin must be positive");
 }
 
-namespace {
-
 /// A PANR "reroute" is any decision that deviates from the deterministic
 /// west-first preference (what WestFirstRouting would have picked) —
 /// i.e. the congestion/PSN feedback actually changed the path.
-void count_panr_reroute(Direction chosen, Direction preferred) {
+void PanrRouting::count_reroute(Direction chosen, Direction preferred) const {
   if (chosen == preferred) return;
-  static obs::Counter& reroutes =
-      obs::Registry::instance().counter("noc.panr_reroutes");
-  reroutes.inc();
+  reroutes_->inc();
 }
-
-}  // namespace
 
 Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
                              TileId dst, const RoutingState& state) const {
@@ -119,7 +116,7 @@ Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
     // (Algorithm 3 line 5).
     const Direction d = pick_min_cost(
         mesh, current, dirs, [&](TileId n) { return rate_of(state, n); });
-    count_panr_reroute(d, dirs.front());
+    count_reroute(d, dirs.front());
     return d;
   }
   // Otherwise steer toward the quietest supply (Algorithm 3 line 6).
@@ -139,21 +136,24 @@ Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
     // Every permitted hop is noisy: fall back to the least-noisy one.
     const Direction d = pick_min_cost(
         mesh, current, dirs, [&](TileId n) { return psn_of(state, n); });
-    count_panr_reroute(d, dirs.front());
+    count_reroute(d, dirs.front());
     return d;
   }
   const Direction d = pick_min_cost(
       mesh, current, safe, [&](TileId n) { return rate_of(state, n); });
-  count_panr_reroute(d, dirs.front());
+  count_reroute(d, dirs.front());
   return d;
 }
 
 std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
-                                               double panr_threshold) {
+                                               double panr_threshold,
+                                               obs::Registry* registry) {
   if (name == "XY") return std::make_unique<XyRouting>();
   if (name == "WestFirst") return std::make_unique<WestFirstRouting>();
   if (name == "ICON") return std::make_unique<IconRouting>();
-  if (name == "PANR") return std::make_unique<PanrRouting>(panr_threshold);
+  if (name == "PANR") {
+    return std::make_unique<PanrRouting>(panr_threshold, 4.0, registry);
+  }
   PARM_CHECK(false, "unknown routing algorithm: " + name);
 }
 

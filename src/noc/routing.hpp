@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "obs/metrics.hpp"
 
 namespace parm::noc {
 
@@ -76,8 +77,10 @@ class PanrRouting final : public RoutingAlgorithm {
   /// `occupancy_threshold` is the buffer threshold B (0.5 in the paper);
   /// `psn_safe_percent` is the sensor level above which a next hop is
   /// treated as noisy and avoided (one point under the 5 % VE margin).
+  /// noc.panr_reroutes goes to `registry` (null → process-default).
   explicit PanrRouting(double occupancy_threshold = 0.5,
-                       double psn_safe_percent = 4.0);
+                       double psn_safe_percent = 4.0,
+                       obs::Registry* registry = nullptr);
   Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
                   const RoutingState& state) const override;
   std::string name() const override { return "PANR"; }
@@ -85,12 +88,19 @@ class PanrRouting final : public RoutingAlgorithm {
   double psn_safe_percent() const { return psn_safe_percent_; }
 
  private:
+  /// Ticks noc.panr_reroutes when the feedback actually changed the path.
+  void count_reroute(Direction chosen, Direction preferred) const;
+
   double threshold_;
   double psn_safe_percent_;
+  obs::Counter* reroutes_;
 };
 
-/// Factory by name ("XY", "WestFirst", "ICON", "PANR").
+/// Factory by name ("XY", "WestFirst", "ICON", "PANR"). PANR's reroute
+/// counter goes to `registry` (null → process-default).
 std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
-                                               double panr_threshold = 0.5);
+                                               double panr_threshold = 0.5,
+                                               obs::Registry* registry =
+                                                   nullptr);
 
 }  // namespace parm::noc

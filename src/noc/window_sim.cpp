@@ -7,16 +7,15 @@
 namespace parm::noc {
 
 WindowResult run_window(Network& net, TrafficGenerator& traffic,
-                        const WindowConfig& cfg) {
+                        const WindowConfig& cfg, obs::Registry* registry) {
   PARM_CHECK(cfg.measure_cycles > 0, "measurement window must be positive");
 
-  obs::Registry& reg = obs::Registry::instance();
-  static obs::Counter& windows = reg.counter("noc.windows");
-  static obs::Counter& injected = reg.counter("noc.flits_injected");
-  static obs::Counter& delivered = reg.counter("noc.flits_delivered");
-  static obs::Histogram& window_us = reg.histogram("noc.window_us");
-  static obs::Histogram& latency_hist =
-      reg.histogram("noc.window_latency_cycles");
+  obs::Registry& reg = obs::resolve(registry);
+  obs::Counter& windows = reg.counter("noc.windows");
+  obs::Counter& injected = reg.counter("noc.flits_injected");
+  obs::Counter& delivered = reg.counter("noc.flits_delivered");
+  obs::Histogram& window_us = reg.histogram("noc.window_us");
+  obs::Histogram& latency_hist = reg.histogram("noc.window_latency_cycles");
   windows.inc();
   obs::ScopedTimer window_timer(window_us);
   obs::ScopedTrace window_trace("noc", "noc.window");

@@ -15,6 +15,7 @@
 
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
+#include "obs/metrics.hpp"
 
 namespace parm::noc {
 
@@ -42,8 +43,10 @@ struct WindowConfig {
 /// Runs `warmup + measure` cycles of `net` under `traffic` and reports
 /// measurement-window statistics. The network keeps its state (buffers,
 /// EWMAs) across calls, so consecutive windows model a continuously
-/// running NoC.
+/// running NoC. Window metrics go to `registry` (null → process-default);
+/// name resolution is per call, which is noise next to the cycle loop.
 WindowResult run_window(Network& net, TrafficGenerator& traffic,
-                        const WindowConfig& cfg);
+                        const WindowConfig& cfg,
+                        obs::Registry* registry = nullptr);
 
 }  // namespace parm::noc

@@ -82,6 +82,21 @@ void Histogram::reset() {
   max_ = -std::numeric_limits<double>::infinity();
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  PARM_CHECK(bounds_ == other.bounds_,
+             "cannot merge histograms with different bucket bounds");
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;
@@ -231,6 +246,21 @@ void Registry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::merge_from(const Registry& other) {
+  PARM_CHECK(this != &other, "cannot merge a registry into itself");
+  // `other` is quiescent by contract, so reading it unlocked is safe and
+  // avoids lock-order concerns; only this registry's table is mutated.
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).add(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h->upper_bounds()).merge_from(*h);
+  }
 }
 
 }  // namespace parm::obs

@@ -1,22 +1,36 @@
-// Process-wide metrics registry: named counters, gauges, and fixed-bucket
-// histograms with percentile summaries.
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with percentile summaries.
+//
+// Registries are *instance-scoped*: every `Registry` is an independently
+// constructible name → metric table, and each `sim::SystemSimulator` owns
+// one, so two simulators in one process (e.g. the chips of a
+// `fleet::FleetSimulator`) never interleave metrics. Components that emit
+// metrics (pdn, noc, mapping, core) accept an `obs::Registry*` at
+// construction and resolve their metric handles once into members; per-
+// epoch consumers (sim::TelemetryRecorder) read plain instance-local
+// counter values instead of watermark deltas against a shared singleton.
+//
+// `Registry::instance()` remains as the *process-default* registry: the
+// back-compat sink for standalone examples, benches, and tests that
+// exercise a component directly without wiring a registry (passing
+// `nullptr` to any component selects it). It is not used by the simulator
+// engine itself.
 //
 // Designed to be cheap enough to leave on in production runs: a metric is
-// a slot owned by the registry; call sites resolve the name once
-// (function-local static reference) and afterwards pay only an increment
-// or a bucket walk. Registration is mutex-protected. Metric *mutation* is
-// thread-safe — counters and gauges are relaxed atomics and histogram
-// observation takes a per-histogram lock — because the PDN hot path
-// (parallel per-domain PSN estimates, speculative admission candidates)
-// increments counters from ThreadPool workers. Two simulators in one
-// process still share (and interleave into) the same registry, so
-// epoch-delta consumers (sim::TelemetryRecorder) are delta-based, never
-// absolute. Histogram read accessors are unsynchronized snapshots:
-// exact once mutation has quiesced (end-of-run exports), approximate if
-// read mid-flight.
+// a slot owned by the registry; call sites resolve the name once at
+// construction and afterwards pay only an increment or a bucket walk.
+// Registration is mutex-protected. Metric *mutation* is thread-safe —
+// counters and gauges are relaxed atomics and histogram observation takes
+// a per-histogram lock — because the PDN hot path (parallel per-domain
+// PSN estimates, speculative admission candidates) increments counters
+// from ThreadPool workers. Histogram read accessors are unsynchronized
+// snapshots: exact once mutation has quiesced (end-of-run exports),
+// approximate if read mid-flight.
 //
 // Exports: a human-readable text report (parm_runner's end-of-run summary)
-// and a machine-readable JSON document (--metrics file).
+// and a machine-readable JSON document (--metrics file). `merge_from`
+// folds one registry into another (fleet reports summing per-chip
+// registries).
 #pragma once
 
 #include <atomic>
@@ -108,6 +122,11 @@ class Histogram {
 
   void reset();
 
+  /// Folds `other`'s observations into this histogram. Requires identical
+  /// bucket bounds (checked). Count/sum/min/max merge exactly; percentiles
+  /// of the merge are as accurate as the shared buckets allow.
+  void merge_from(const Histogram& other);
+
  private:
   mutable std::mutex mu_;  ///< guards mutation (observe/reset)
   std::vector<double> bounds_;
@@ -118,11 +137,19 @@ class Histogram {
   double max_ = 0.0;
 };
 
-/// Global name → metric table. Returned references stay valid (and keep
-/// their identity) for the life of the process; reset_values() zeroes
-/// every slot but never invalidates them.
+/// Name → metric table. Returned references stay valid (and keep their
+/// identity) for the life of the registry; reset_values() zeroes every
+/// slot but never invalidates them. Independently constructible so each
+/// simulator instance can own its own; `instance()` is the process-default
+/// registry for standalone component use (see header block).
 class Registry {
  public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-default registry (back-compat sink for examples/benches and
+  /// components constructed with a null registry pointer).
   static Registry& instance();
 
   Counter& counter(std::string_view name);
@@ -146,13 +173,23 @@ class Registry {
   /// Zeroes every registered metric (test isolation, per-run baselines).
   void reset_values();
 
- private:
-  Registry() = default;
+  /// Folds `other` into this registry: counters and gauges add, histograms
+  /// merge bucket-wise (registering missing metrics on first sight). Used
+  /// by the fleet driver to aggregate per-chip registries into one report.
+  /// `other` must not be mutated concurrently.
+  void merge_from(const Registry& other);
 
+ private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Injection helper: components take `obs::Registry* registry = nullptr`
+/// and resolve it through here — null selects the process-default.
+inline Registry& resolve(Registry* registry) {
+  return registry != nullptr ? *registry : Registry::instance();
+}
 
 }  // namespace parm::obs

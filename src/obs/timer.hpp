@@ -1,12 +1,14 @@
 // RAII wall-clock timer feeding a metrics histogram (microseconds).
 //
-// Usage at a hot call site:
-//   static obs::Histogram& h =
-//       obs::Registry::instance().histogram("pdn.solve_us");
-//   obs::ScopedTimer timer(h);
+// Usage at a hot call site: resolve the histogram once, at component
+// construction, from the injected instance registry (a member, never a
+// function-local static — statics would pin whichever registry resolved
+// first and leak timings across simulator instances):
+//   solve_us_(&obs::resolve(registry).histogram("pdn.solve_us"))
+// then per scope:
+//   obs::ScopedTimer timer(*solve_us_);
 //
-// The histogram reference is resolved once; each scope then costs two
-// steady_clock reads and one bucket walk.
+// Each scope costs two steady_clock reads and one bucket walk.
 #pragma once
 
 #include <chrono>

@@ -9,18 +9,6 @@ namespace parm::pdn {
 
 namespace {
 
-obs::Counter& cache_hits() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.factorization_cache_hits");
-  return c;
-}
-
-obs::Counter& cache_misses() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.factorization_cache_misses");
-  return c;
-}
-
 struct ChipTopology {
   Circuit circuit;
   std::vector<std::array<NodeId, 4>> tile_nodes;
@@ -146,19 +134,28 @@ struct ChipPdnModel::Engine {
   ChipTopology topo;
   TransientSolver solver;
 
-  Engine(ChipTopology t, double dt)
+  Engine(ChipTopology t, double dt, obs::Registry* registry)
       : topo(std::move(t)),
         solver(topo.circuit, dt,
                std::make_shared<const LuFactorization>(
-                   TransientSolver::factorize(topo.circuit, dt)),
+                   TransientSolver::factorize(topo.circuit, dt, registry)),
                std::make_shared<const LuFactorization>(
-                   DcSolver::factorize(topo.circuit))) {}
+                   DcSolver::factorize(topo.circuit)),
+               registry) {}
 };
 
 ChipPdnModel::ChipPdnModel(const power::TechnologyNode& tech,
                            int domain_count, PackageRail rail,
-                           PsnEstimatorConfig cfg)
-    : tech_(tech), domain_count_(domain_count), rail_(rail), cfg_(cfg) {
+                           PsnEstimatorConfig cfg, obs::Registry* registry)
+    : tech_(tech),
+      domain_count_(domain_count),
+      rail_(rail),
+      cfg_(cfg),
+      registry_(registry),
+      cache_hits_(
+          &obs::resolve(registry).counter("pdn.factorization_cache_hits")),
+      cache_misses_(
+          &obs::resolve(registry).counter("pdn.factorization_cache_misses")) {
   PARM_CHECK(domain_count >= 1, "need at least one domain");
   PARM_CHECK(rail.resistance >= 0.0 && rail.inductance >= 0.0,
              "rail impedance must be non-negative");
@@ -184,11 +181,12 @@ ChipPsn ChipPdnModel::estimate(
   // intra-model parallelism.
   std::lock_guard<std::mutex> lk(mu_);
   if (engine_ == nullptr) {
-    cache_misses().inc();
+    cache_misses_->inc();
     engine_ = std::make_unique<Engine>(
-        build_chip_circuit(tech_, domain_count_, rail_, 1.0, nullptr), dt);
+        build_chip_circuit(tech_, domain_count_, rail_, 1.0, nullptr), dt,
+        registry_);
   } else {
-    cache_hits().inc();
+    cache_hits_->inc();
   }
 
   Circuit& ckt = engine_->topo.circuit;
@@ -233,7 +231,7 @@ ChipPsn ChipPdnModel::estimate_cold(
     record.insert(record.end(), tn.begin(), tn.end());
   }
 
-  TransientSolver solver(topo.circuit, dt);
+  TransientSolver solver(topo.circuit, dt, registry_);
   const TransientTrace trace = solver.run(t_end, record, record_from);
   return reduce_chip_psn(vdd, domain_count_, topo.tile_nodes, trace);
 }

@@ -39,8 +39,10 @@ class ChipPdnModel {
  public:
   /// `domain_count` domains at the same supply, optionally coupled
   /// through `rail`. Pass a zero-impedance rail for ideal isolation.
+  /// Metrics go to `registry`; null selects the process-default.
   ChipPdnModel(const power::TechnologyNode& tech, int domain_count,
-               PackageRail rail, PsnEstimatorConfig cfg = {});
+               PackageRail rail, PsnEstimatorConfig cfg = {},
+               obs::Registry* registry = nullptr);
   ~ChipPdnModel();
 
   /// Estimates PSN for the whole chip. `loads[d][k]` is the load of slot
@@ -68,6 +70,9 @@ class ChipPdnModel {
   int domain_count_;
   PackageRail rail_;
   PsnEstimatorConfig cfg_;
+  obs::Registry* registry_;  ///< nullable; threaded into the cached solver
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
 
   mutable std::mutex mu_;                   ///< guards engine_
   mutable std::unique_ptr<Engine> engine_;  ///< lazily built cached solver

@@ -8,24 +8,6 @@ namespace parm::pdn {
 
 namespace {
 
-obs::Counter& hits_counter() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.psn_cache_hits");
-  return c;
-}
-
-obs::Counter& misses_counter() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.psn_cache_misses");
-  return c;
-}
-
-obs::Counter& evictions_counter() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.psn_cache_evictions");
-  return c;
-}
-
 /// FNV-1a over the bytes of one quantized integer.
 inline void fnv_add(std::uint64_t& h, std::int64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -40,7 +22,11 @@ inline void fnv_add_quantized(std::uint64_t& h, double x, double step) {
 
 }  // namespace
 
-PsnCache::PsnCache(std::size_t capacity) : capacity_(capacity) {
+PsnCache::PsnCache(std::size_t capacity, obs::Registry* registry)
+    : capacity_(capacity),
+      hits_(&obs::resolve(registry).counter("pdn.psn_cache_hits")),
+      misses_(&obs::resolve(registry).counter("pdn.psn_cache_misses")),
+      evictions_(&obs::resolve(registry).counter("pdn.psn_cache_evictions")) {
   PARM_CHECK(capacity_ > 0, "cache capacity must be positive");
 }
 
@@ -72,13 +58,18 @@ bool PsnCache::get(std::uint64_t key, DomainPsn& out) {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    misses_counter().inc();
+    misses_->inc();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   out = it->second->value;
-  hits_counter().inc();
+  hits_->inc();
   return true;
+}
+
+bool PsnCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.find(key) != index_.end();
 }
 
 void PsnCache::put(std::uint64_t key, const DomainPsn& value) {
@@ -92,7 +83,7 @@ void PsnCache::put(std::uint64_t key, const DomainPsn& value) {
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    evictions_counter().inc();
+    evictions_->inc();
   }
   lru_.push_front(Entry{key, value});
   index_.emplace(key, lru_.begin());

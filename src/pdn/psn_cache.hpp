@@ -37,7 +37,10 @@ class PsnCache {
   /// of a long mixed-workload run while bounding memory to a few MB.
   static constexpr std::size_t kDefaultCapacity = 16384;
 
-  explicit PsnCache(std::size_t capacity = kDefaultCapacity);
+  /// Hit/miss/eviction counters go to `registry`; null selects the
+  /// process-default.
+  explicit PsnCache(std::size_t capacity = kDefaultCapacity,
+                    obs::Registry* registry = nullptr);
 
   /// FNV-1a over the quantized (vdd, loads) signature. Stable across
   /// platforms and runs — safe to persist alongside results.
@@ -51,6 +54,11 @@ class PsnCache {
   /// Looks up `key`, refreshing its recency. True (and fills `out`) on a
   /// hit. Counts pdn.psn_cache_hits / _misses.
   bool get(std::uint64_t key, DomainPsn& out);
+
+  /// Presence probe: no recency refresh, no metric ticks. Used to plan an
+  /// epoch's solver work (sim::PsnSamplingPhase) without perturbing the
+  /// hit/miss/eviction sequence the replayed get/put calls produce.
+  bool contains(std::uint64_t key) const;
 
   /// Inserts or refreshes `key`, evicting the least recently used entry
   /// at capacity. Concurrent puts of the same key are benign (the values
@@ -77,6 +85,9 @@ class PsnCache {
 
   mutable std::mutex mu_;
   std::size_t capacity_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
 };

@@ -43,18 +43,6 @@ void accumulate_psn(double vdd, const std::array<NodeId, 4>& tile_nodes,
   }
 }
 
-obs::Counter& cache_hits() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.factorization_cache_hits");
-  return c;
-}
-
-obs::Counter& cache_misses() {
-  static obs::Counter& c =
-      obs::Registry::instance().counter("pdn.factorization_cache_misses");
-  return c;
-}
-
 }  // namespace
 
 namespace {
@@ -81,14 +69,22 @@ struct PsnEstimator::Engine {
 
   Engine(DomainCircuit d, double dt,
          std::shared_ptr<const LuFactorization> transient_lu,
-         std::shared_ptr<const LuFactorization> dc_lu)
+         std::shared_ptr<const LuFactorization> dc_lu,
+         obs::Registry* registry)
       : dom(std::move(d)),
-        solver(dom.circuit, dt, std::move(transient_lu), std::move(dc_lu)) {}
+        solver(dom.circuit, dt, std::move(transient_lu), std::move(dc_lu),
+               registry) {}
 };
 
 PsnEstimator::PsnEstimator(const power::TechnologyNode& tech,
-                           PsnEstimatorConfig cfg)
-    : tech_(tech), cfg_(cfg) {
+                           PsnEstimatorConfig cfg, obs::Registry* registry)
+    : tech_(tech),
+      cfg_(cfg),
+      registry_(registry),
+      cache_hits_(
+          &obs::resolve(registry).counter("pdn.factorization_cache_hits")),
+      cache_misses_(
+          &obs::resolve(registry).counter("pdn.factorization_cache_misses")) {
   PARM_CHECK(cfg.warmup_periods >= 0, "warmup must be non-negative");
   PARM_CHECK(cfg.measure_periods > 0, "must measure at least one period");
   PARM_CHECK(cfg.steps_per_period >= 8, "too few steps per period");
@@ -97,13 +93,16 @@ PsnEstimator::PsnEstimator(const power::TechnologyNode& tech,
 PsnEstimator::~PsnEstimator() = default;
 
 PsnEstimator::PsnEstimator(const PsnEstimator& other)
-    : PsnEstimator(other.tech_, other.cfg_) {}
+    : PsnEstimator(other.tech_, other.cfg_, other.registry_) {}
 
 PsnEstimator& PsnEstimator::operator=(const PsnEstimator& other) {
   if (this == &other) return *this;
   std::lock_guard<std::mutex> lk(mu_);
   tech_ = other.tech_;
   cfg_ = other.cfg_;
+  registry_ = other.registry_;
+  cache_hits_ = other.cache_hits_;
+  cache_misses_ = other.cache_misses_;
   idle_engines_.clear();
   transient_lu_.reset();
   dc_lu_.reset();
@@ -121,7 +120,7 @@ std::unique_ptr<PsnEstimator::Engine> PsnEstimator::acquire_engine() const {
     if (!idle_engines_.empty()) {
       std::unique_ptr<Engine> engine = std::move(idle_engines_.back());
       idle_engines_.pop_back();
-      cache_hits().inc();
+      cache_hits_->inc();
       return engine;
     }
     transient_lu = transient_lu_;
@@ -132,14 +131,14 @@ std::unique_ptr<PsnEstimator::Engine> PsnEstimator::acquire_engine() const {
   if (transient_lu && dc_lu) {
     // New engine for a busy pool: cached factorizations, no O(n³) work,
     // just stamping a fresh circuit for this caller.
-    cache_hits().inc();
+    cache_hits_->inc();
   } else {
     // First use: factorize outside the lock. Concurrent first calls may
     // race here; the factorizations are identical, the first publisher
     // wins, and losers adopt the published copy.
-    cache_misses().inc();
+    cache_misses_->inc();
     transient_lu = std::make_shared<const LuFactorization>(
-        TransientSolver::factorize(dom.circuit, dt));
+        TransientSolver::factorize(dom.circuit, dt, registry_));
     dc_lu = std::make_shared<const LuFactorization>(
         DcSolver::factorize(dom.circuit));
     std::lock_guard<std::mutex> lk(mu_);
@@ -152,7 +151,7 @@ std::unique_ptr<PsnEstimator::Engine> PsnEstimator::acquire_engine() const {
     }
   }
   return std::make_unique<Engine>(std::move(dom), dt, std::move(transient_lu),
-                                  std::move(dc_lu));
+                                  std::move(dc_lu), registry_);
 }
 
 void PsnEstimator::release_engine(std::unique_ptr<Engine> engine) const {
@@ -205,7 +204,7 @@ DomainPsn PsnEstimator::estimate_cold(
       period * (cfg_.warmup_periods + cfg_.measure_periods);
   const double record_from = period * cfg_.warmup_periods;
 
-  TransientSolver solver(dom.circuit, dt);
+  TransientSolver solver(dom.circuit, dt, registry_);
   const std::vector<NodeId> record(dom.tile_nodes.begin(),
                                    dom.tile_nodes.end());
   const TransientTrace trace = solver.run(t_end, record, record_from);

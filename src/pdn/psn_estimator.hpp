@@ -53,8 +53,12 @@ struct PsnEstimatorConfig {
 
 class PsnEstimator {
  public:
+  /// Metrics (pdn.factorization_cache_hits/misses, the solver's
+  /// pdn.solves/steps/solve_us) go to `registry`; null selects the
+  /// process-default.
   explicit PsnEstimator(const power::TechnologyNode& tech,
-                        PsnEstimatorConfig cfg = {});
+                        PsnEstimatorConfig cfg = {},
+                        obs::Registry* registry = nullptr);
   ~PsnEstimator();
 
   /// Copying shares nothing: the copy starts with an empty engine pool
@@ -84,6 +88,9 @@ class PsnEstimator {
 
   power::TechnologyNode tech_;
   PsnEstimatorConfig cfg_;
+  obs::Registry* registry_;     ///< nullable; threaded into pooled engines
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
 
   // Engine pool. The LU factorizations are computed once (first estimate)
   // and shared by every engine; each engine owns a mutable circuit whose

@@ -37,7 +37,8 @@ const std::vector<double>& TransientTrace::of(NodeId n) const {
   PARM_CHECK(false, msg);
 }
 
-LuFactorization TransientSolver::factorize(const Circuit& ckt, double dt) {
+LuFactorization TransientSolver::factorize(const Circuit& ckt, double dt,
+                                           obs::Registry* registry) {
   PARM_CHECK(dt > 0.0, "timestep must be positive");
   const std::size_t n_nodes = static_cast<std::size_t>(ckt.node_count() - 1);
   const std::size_t n_l = ckt.inductor_count();
@@ -103,26 +104,31 @@ LuFactorization TransientSolver::factorize(const Circuit& ckt, double dt) {
     }
   }
 
-  static obs::Counter& factorizations =
-      obs::Registry::instance().counter("pdn.factorizations");
-  factorizations.inc();
+  obs::resolve(registry).counter("pdn.factorizations").inc();
   return LuFactorization(std::move(a));
 }
 
-TransientSolver::TransientSolver(const Circuit& ckt, double dt)
+TransientSolver::TransientSolver(const Circuit& ckt, double dt,
+                                 obs::Registry* registry)
     : TransientSolver(
           ckt, dt,
-          std::make_shared<const LuFactorization>(factorize(ckt, dt)),
-          std::make_shared<const LuFactorization>(DcSolver::factorize(ckt))) {}
+          std::make_shared<const LuFactorization>(
+              factorize(ckt, dt, registry)),
+          std::make_shared<const LuFactorization>(DcSolver::factorize(ckt)),
+          registry) {}
 
 TransientSolver::TransientSolver(const Circuit& ckt, double dt,
                                  std::shared_ptr<const LuFactorization>
                                      transient_lu,
-                                 std::shared_ptr<const LuFactorization> dc_lu)
+                                 std::shared_ptr<const LuFactorization> dc_lu,
+                                 obs::Registry* registry)
     : ckt_(ckt),
       dt_(dt),
       lu_(std::move(transient_lu)),
-      dc_lu_(std::move(dc_lu)) {
+      dc_lu_(std::move(dc_lu)),
+      solves_(&obs::resolve(registry).counter("pdn.solves")),
+      steps_(&obs::resolve(registry).counter("pdn.steps")),
+      solve_us_(&obs::resolve(registry).histogram("pdn.solve_us")) {
   PARM_CHECK(dt > 0.0, "timestep must be positive");
   PARM_CHECK(lu_ != nullptr && dc_lu_ != nullptr,
              "prefactorized systems must be non-null");
@@ -142,13 +148,8 @@ TransientTrace TransientSolver::run(double t_end,
   PARM_CHECK(record_from >= 0.0 && record_from < t_end,
              "record window must lie within the run");
 
-  static obs::Counter& solves =
-      obs::Registry::instance().counter("pdn.solves");
-  static obs::Counter& steps = obs::Registry::instance().counter("pdn.steps");
-  static obs::Histogram& solve_us =
-      obs::Registry::instance().histogram("pdn.solve_us");
-  solves.inc();
-  obs::ScopedTimer solve_timer(solve_us);
+  solves_->inc();
+  obs::ScopedTimer solve_timer(*solve_us_);
   obs::ScopedTrace solve_trace("pdn", "pdn.solve");
 
   // --- Initial conditions from the DC operating point. ---
@@ -254,7 +255,7 @@ TransientTrace TransientSolver::run(double t_end,
 
     record(t);
   }
-  steps.inc(n_steps);
+  steps_->inc(n_steps);
   return trace;
 }
 

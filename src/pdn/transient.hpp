@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pdn/circuit.hpp"
 
 namespace parm::pdn {
@@ -47,8 +48,10 @@ struct TransientTrace {
 class TransientSolver {
  public:
   /// Prepares (stamps + factorizes) the solver for circuit `ckt` with
-  /// timestep `dt` seconds.
-  TransientSolver(const Circuit& ckt, double dt);
+  /// timestep `dt` seconds. Metrics (pdn.solves/steps/solve_us) go to
+  /// `registry`; null selects the process-default.
+  TransientSolver(const Circuit& ckt, double dt,
+                  obs::Registry* registry = nullptr);
 
   /// Reusable form: adopts prefactorized transient and DC systems (from
   /// factorize() and DcSolver::factorize() on an identically-shaped
@@ -57,12 +60,15 @@ class TransientSolver {
   /// set_current_source updates — this is the cached hot path.
   TransientSolver(const Circuit& ckt, double dt,
                   std::shared_ptr<const LuFactorization> transient_lu,
-                  std::shared_ptr<const LuFactorization> dc_lu);
+                  std::shared_ptr<const LuFactorization> dc_lu,
+                  obs::Registry* registry = nullptr);
 
   /// Stamps and factorizes the trapezoidal MNA matrix for (ckt, dt).
   /// Depends only on topology, element values, and dt — never on source
-  /// values (the solver-reuse invariant).
-  static LuFactorization factorize(const Circuit& ckt, double dt);
+  /// values (the solver-reuse invariant). Ticks pdn.factorizations on
+  /// `registry` (null → process-default).
+  static LuFactorization factorize(const Circuit& ckt, double dt,
+                                   obs::Registry* registry = nullptr);
 
   /// Runs from t = 0 to `t_end`, recording voltages of `record_nodes` for
   /// t >= record_from. Node voltages at t = 0 are the DC operating point.
@@ -79,6 +85,9 @@ class TransientSolver {
   std::size_t n_v_;
   std::shared_ptr<const LuFactorization> lu_;
   std::shared_ptr<const LuFactorization> dc_lu_;
+  obs::Counter* solves_;       ///< resolved once from the injected registry
+  obs::Counter* steps_;
+  obs::Histogram* solve_us_;
   // Scratch reused across steps and run() calls (allocation-free stepping).
   std::vector<double> z_;       ///< RHS for the current step
   std::vector<double> x_;       ///< solution of the current step

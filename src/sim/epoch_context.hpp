@@ -1,0 +1,101 @@
+// Shared per-run state threaded through the epoch-phase pipeline.
+//
+// The engine (SystemSimulator) owns one EpochContext per run and hands it
+// to each phase in turn. The context carries exactly the state that
+// crosses phase boundaries:
+//   - the wiring block: config, platform, instance metrics registry, RNG
+//     and arrival list, set once at construction and never reseated;
+//   - the simulation clock (t, epoch);
+//   - app lifecycle state (running apps, outcomes) written by the
+//     admission phase and advanced by the progress phase;
+//   - the sensor/actuator vectors that implement the paper's feedback
+//     loop (NoC activity → PDN loads → PSN sensors → routing/throttle);
+//   - per-epoch scratch (peak/avg PSN, chip power, NoC latency, VE
+//     count) recomputed every epoch and read only by the telemetry phase.
+//
+// State a single phase owns outright (the service queue, the PSN cache,
+// aggregate statistics, watermark counters) lives in that phase, not
+// here; the context is deliberately limited to the cross-phase surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "cmp/platform.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sim_config.hpp"
+
+namespace parm::sim {
+
+/// One task of a running application, pinned to a tile.
+struct RunningTask {
+  appmodel::TaskIndex index = 0;
+  TileId tile = kInvalidTile;
+  double remaining_cycles = 0.0;
+  double activity = 0.0;
+  double phase = 0.0;  ///< ripple phase of this task's current draw
+  double progress_rate_cps = 0.0;  ///< useful cycles/s achieved last
+                                   ///< epoch; throttles NoC injection
+  double edf_deadline_s = 0.0;  ///< per-task deadline (EDF, [23])
+  double finish_s = -1.0;       ///< completion time, -1 while running
+  int hot_epochs = 0;  ///< consecutive epochs over the VE margin
+  bool done() const { return remaining_cycles <= 0.0; }
+};
+
+/// An admitted application currently occupying the platform.
+struct RunningApp {
+  cmp::AppInstanceId instance = cmp::kNoApp;
+  int outcome_index = -1;
+  std::shared_ptr<const appmodel::ApplicationProfile> profile;
+  double vdd = 0.0;
+  int dop = 0;
+  std::vector<RunningTask> tasks;
+  double latency_cycles = 0.0;  ///< last measured NoC packet latency
+};
+
+struct EpochContext {
+  // --- Wiring (set once by the engine, immutable thereafter) ---
+  const SimConfig* cfg = nullptr;
+  cmp::Platform* platform = nullptr;
+  obs::Registry* metrics = nullptr;  ///< this simulator's registry
+  Rng* rng = nullptr;
+  const std::vector<appmodel::AppArrival>* arrivals = nullptr;
+
+  // --- Simulation clock ---
+  // Context members (not run() locals) so snapshots taken at the bottom
+  // of an epoch capture "epoch epochs completed at t".
+  double t = 0.0;
+  std::uint64_t epoch = 0;
+
+  // --- App lifecycle ---
+  std::vector<RunningApp> running;
+  std::vector<AppOutcome> outcomes;
+
+  // --- Sensor/actuator vectors (the paper's feedback loop) ---
+  std::vector<double> router_activity;  ///< flits/cycle per tile
+  /// Ordered so snapshot serialization and any future iteration are
+  /// deterministic regardless of hash seeding.
+  std::map<std::int32_t, double> app_latency;
+  std::vector<double> tile_psn_peak;
+  std::vector<double> tile_psn_avg;
+  /// Tiles throttled this epoch by the proactive guard (from last
+  /// epoch's sensor readings).
+  std::vector<bool> tile_throttled;
+  /// Sensor view handed to the NoC: each tile reports its domain's peak
+  /// PSN, since injecting router current anywhere in a domain disturbs
+  /// the domain's most-stressed tile through the shared PDN.
+  std::vector<double> noc_psn_sensor;
+
+  // --- Per-epoch scratch (derived; rewritten each epoch) ---
+  double epoch_peak_psn = 0.0;
+  double epoch_avg_psn = 0.0;
+  double epoch_chip_power = 0.0;
+  double epoch_noc_latency = 0.0;
+  std::int32_t epoch_ves = 0;
+};
+
+}  // namespace parm::sim

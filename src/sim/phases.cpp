@@ -1,0 +1,669 @@
+#include "sim/phases.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "noc/traffic.hpp"
+#include "obs/trace.hpp"
+#include "power/core_power.hpp"
+#include "power/router_power.hpp"
+#include "sched/edf.hpp"
+
+namespace parm::sim {
+
+namespace {
+
+void save_stats(snapshot::Writer& w, const RunningStats& st) {
+  const RunningStats::State s = st.state();
+  w.u64(s.n);
+  w.f64(s.min);
+  w.f64(s.max);
+  w.f64(s.mean);
+  w.f64(s.m2);
+}
+
+void restore_stats(snapshot::Reader& r, RunningStats& st) {
+  RunningStats::State s;
+  s.n = r.u64();
+  s.min = r.f64();
+  s.max = r.f64();
+  s.mean = r.f64();
+  s.m2 = r.f64();
+  st.restore(s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- admission
+
+AdmissionPhase::AdmissionPhase(const core::FrameworkConfig& framework,
+                               int queue_max_stalls, obs::Registry* registry)
+    : policy_(core::make_admission_policy(framework, registry)),
+      queue_(queue_max_stalls, registry) {}
+
+void AdmissionPhase::commit(EpochContext& ctx,
+                            const core::ServiceQueue::Admitted& adm,
+                            double now) {
+  cmp::Platform& platform = *ctx.platform;
+  const cmp::AppInstanceId inst = next_instance_++;
+  PARM_CHECK(platform.ledger().reserve(inst, adm.decision.estimated_power_w),
+             "admission committed without power headroom");
+  platform.occupy(inst, adm.decision.mapping, adm.decision.vdd);
+
+  RunningApp app;
+  app.instance = inst;
+  app.profile = adm.app.profile;
+  app.vdd = adm.decision.vdd;
+  app.dop = adm.decision.dop;
+  app.outcome_index = adm.app.id;
+  const appmodel::DopVariant& variant =
+      adm.app.profile->variant(adm.decision.dop);
+  // EDF priorities: distribute the application deadline over the APG
+  // (paper section 4.2 via [23]).
+  const std::vector<double> task_deadlines =
+      sched::assign_task_deadlines(variant, now, adm.app.deadline_s);
+  app.tasks.reserve(adm.decision.mapping.size());
+  for (const auto& p : adm.decision.mapping) {
+    RunningTask t;
+    t.index = p.task_index;
+    t.tile = p.tile;
+    t.remaining_cycles =
+        variant.tasks[static_cast<std::size_t>(p.task_index)].work_cycles;
+    t.activity = p.activity;
+    t.phase = ctx.rng->uniform01();
+    t.progress_rate_cps = platform.vf_model().fmax(adm.decision.vdd);
+    t.edf_deadline_s =
+        task_deadlines[static_cast<std::size_t>(p.task_index)];
+    app.tasks.push_back(t);
+  }
+  ctx.running.push_back(std::move(app));
+
+  AppOutcome& out = ctx.outcomes[static_cast<std::size_t>(adm.app.id)];
+  out.admitted = true;
+  out.admit_s = now;
+  out.vdd = adm.decision.vdd;
+  out.dop = adm.decision.dop;
+
+  obs::Tracer::instance().instant(
+      "sim", "app.admit",
+      {{"app", adm.app.id},
+       {"bench", std::string_view(adm.app.bench->name)},
+       {"vdd", adm.decision.vdd},
+       {"dop", adm.decision.dop},
+       {"sim_time_s", now}});
+}
+
+void AdmissionPhase::admit_pending(EpochContext& ctx, double now) {
+  const std::size_t dropped_before = queue_.dropped().size();
+  while (auto adm = queue_.pump(now, *ctx.platform, *policy_)) {
+    commit(ctx, *adm, now);
+  }
+  // Mirror newly dropped apps into their outcome records.
+  for (std::size_t i = dropped_before; i < queue_.dropped().size(); ++i) {
+    const auto& app = queue_.dropped()[i];
+    AppOutcome& out = ctx.outcomes[static_cast<std::size_t>(app.id)];
+    out.dropped = true;
+    obs::Tracer::instance().instant(
+        "sim", "app.drop", {{"app", app.id}, {"sim_time_s", now}});
+  }
+}
+
+void AdmissionPhase::process_arrivals(EpochContext& ctx) {
+  const std::vector<appmodel::AppArrival>& arrivals = *ctx.arrivals;
+  while (next_arrival_ < arrivals.size() &&
+         arrivals[next_arrival_].arrival_s <= ctx.t + 1e-12) {
+    obs::Tracer::instance().instant(
+        "sim", "app.arrival",
+        {{"app", arrivals[next_arrival_].id},
+         {"bench",
+          std::string_view(arrivals[next_arrival_].bench->name)},
+         {"sim_time_s", arrivals[next_arrival_].arrival_s}});
+    queue_.enqueue(arrivals[next_arrival_]);
+    ++next_arrival_;
+    admit_pending(ctx, ctx.t);
+  }
+  admit_pending(ctx, ctx.t);
+}
+
+void AdmissionPhase::finish_and_readmit(EpochContext& ctx, double now) {
+  bool any = false;
+  for (auto it = ctx.running.begin(); it != ctx.running.end();) {
+    const bool done = std::all_of(it->tasks.begin(), it->tasks.end(),
+                                  [](const RunningTask& t) {
+                                    return t.done();
+                                  });
+    if (!done) {
+      ++it;
+      continue;
+    }
+    ctx.platform->release(it->instance);
+    ctx.platform->ledger().release(it->instance);
+    AppOutcome& out =
+        ctx.outcomes[static_cast<std::size_t>(it->outcome_index)];
+    out.completed = true;
+    out.finish_s = now;
+    obs::Tracer::instance().instant(
+        "sim", "app.complete",
+        {{"app", out.id}, {"ve_count", out.ve_count}, {"sim_time_s", now}});
+    out.missed_deadline = now > out.deadline_s;
+    for (const RunningTask& task : it->tasks) {
+      if (task.finish_s > task.edf_deadline_s) ++out.task_deadline_misses;
+    }
+    it = ctx.running.erase(it);
+    any = true;
+  }
+  if (any) {
+    admit_pending(ctx, now);  // Alg. 1 line 9: retry on app exit
+  }
+}
+
+void AdmissionPhase::save(snapshot::Writer& w) const {
+  w.begin_section("ADMP");
+  w.u64(next_arrival_);
+  w.i64(next_instance_);
+  queue_.save(w);
+}
+
+void AdmissionPhase::restore(snapshot::Reader& r, const EpochContext& ctx,
+                             const ArrivalById& arrival_by_id) {
+  r.expect_section("ADMP");
+  next_arrival_ = r.u64();
+  if (next_arrival_ > ctx.arrivals->size()) {
+    throw snapshot::SnapshotError("snapshot arrival cursor out of range");
+  }
+  next_instance_ = r.i64();
+  queue_.restore(r, arrival_by_id);
+}
+
+// ------------------------------------------------------------ NoC sampling
+
+NocSamplingPhase::NocSamplingPhase(const MeshGeometry& mesh,
+                                   const noc::NocConfig& noc,
+                                   const std::string& routing,
+                                   double panr_threshold,
+                                   obs::Registry* registry)
+    : network_(std::make_unique<noc::Network>(
+          mesh, noc, noc::make_routing(routing, panr_threshold, registry))),
+      registry_(registry) {}
+
+std::vector<noc::TrafficFlow> NocSamplingPhase::build_flows(
+    const EpochContext& ctx) const {
+  std::vector<noc::TrafficFlow> flows;
+  for (const RunningApp& app : ctx.running) {
+    const appmodel::DopVariant& variant = app.profile->variant(app.dop);
+    std::vector<TileId> tile_of(variant.tasks.size(), kInvalidTile);
+    std::vector<bool> done(variant.tasks.size(), false);
+    std::vector<double> rate_of(variant.tasks.size(), 0.0);
+    for (const RunningTask& t : app.tasks) {
+      tile_of[static_cast<std::size_t>(t.index)] = t.tile;
+      done[static_cast<std::size_t>(t.index)] = t.done();
+      rate_of[static_cast<std::size_t>(t.index)] = t.progress_rate_cps;
+    }
+    for (const auto& e : variant.graph.edges()) {
+      if (done[static_cast<std::size_t>(e.src)]) continue;
+      const TileId src = tile_of[static_cast<std::size_t>(e.src)];
+      const TileId dst = tile_of[static_cast<std::size_t>(e.dst)];
+      if (src == dst || src == kInvalidTile || dst == kInvalidTile) continue;
+      // The edge's total volume drains over the source task's lifetime:
+      // flits/s = volume × (source's achieved progress rate) / source
+      // work. Using the achieved rate (not fmax) models the core
+      // self-throttling when it stalls on the network — saturation
+      // lowers injection, which is what keeps real wormhole NoCs stable.
+      const double src_work =
+          variant.tasks[static_cast<std::size_t>(e.src)].work_cycles;
+      const double rate_fps =
+          e.volume_flits * rate_of[static_cast<std::size_t>(e.src)] /
+          src_work;
+      noc::TrafficFlow flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.flits_per_cycle = rate_fps / units::kRefClockHz;
+      flow.app_id = static_cast<std::int32_t>(app.instance);
+      flows.push_back(flow);
+    }
+  }
+  return flows;
+}
+
+void NocSamplingPhase::run(EpochContext& ctx) {
+  std::vector<noc::TrafficFlow> flows = build_flows(ctx);
+  if (flows.empty()) {
+    std::fill(ctx.router_activity.begin(), ctx.router_activity.end(), 0.0);
+    ctx.app_latency.clear();
+    return;
+  }
+  network_->set_tile_psn(ctx.noc_psn_sensor);
+  noc::TrafficGenerator traffic(std::move(flows));
+  const noc::WindowResult w =
+      noc::run_window(*network_, traffic, ctx.cfg->noc_window, registry_);
+  ctx.router_activity = w.router_activity;
+  ctx.app_latency = w.app_latency;
+  if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);
+  ctx.epoch_noc_latency = w.avg_latency;
+  for (RunningApp& app : ctx.running) {
+    auto it = ctx.app_latency.find(static_cast<std::int32_t>(app.instance));
+    if (it != ctx.app_latency.end()) app.latency_cycles = it->second;
+  }
+}
+
+void NocSamplingPhase::save(snapshot::Writer& w) const {
+  w.begin_section("NOCS");
+  save_stats(w, latency_stats_);
+  network_->save(w);
+}
+
+void NocSamplingPhase::restore(snapshot::Reader& r) {
+  r.expect_section("NOCS");
+  restore_stats(r, latency_stats_);
+  network_->restore(r);
+}
+
+// ------------------------------------------------------------ PSN sampling
+
+PsnSamplingPhase::PsnSamplingPhase(const power::TechnologyNode& tech,
+                                   const pdn::PsnEstimatorConfig& cfg,
+                                   obs::Registry* registry)
+    : psn_estimator_(tech, cfg, registry),
+      psn_cache_(pdn::PsnCache::kDefaultCapacity, registry) {}
+
+void PsnSamplingPhase::run(EpochContext& ctx) {
+  const SimConfig& cfg = *ctx.cfg;
+  cmp::Platform& platform = *ctx.platform;
+  const power::CorePowerModel core_model(platform.technology());
+  const power::RouterPowerModel router_model(platform.technology());
+  const MeshGeometry& mesh = platform.mesh();
+  const bool panr =
+      cfg.framework.routing == "PANR";  // adds router logic power
+
+  // Proactive guard: last epoch's sensor readings decide which tiles run
+  // throttled during this epoch (both their current draw and progress).
+  if (cfg.proactive_throttle) {
+    const double limit = platform.config().ve_threshold_percent -
+                         cfg.throttle_guard_percent;
+    for (std::size_t t = 0; t < ctx.tile_throttled.size(); ++t) {
+      ctx.tile_throttled[t] = ctx.tile_psn_peak[t] > limit;
+      if (ctx.tile_throttled[t]) ++total_throttle_epochs_;
+    }
+  }
+
+  // Phase 1 (serial): per-domain supply and loads from the power models,
+  // walked in domain order so the chip-power accumulation is
+  // deterministic.
+  const std::size_t n_domains =
+      static_cast<std::size_t>(mesh.domain_count());
+  std::vector<double> domain_vdd(n_domains);
+  std::vector<std::array<pdn::TileLoad, 4>> domain_loads(n_domains);
+  std::vector<char> domain_active(n_domains, 0);
+  double chip_power = 0.0;
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    const double vdd =
+        platform.domain_vdd(d).value_or(cfg.dark_router_vdd);
+
+    std::array<pdn::TileLoad, 4> loads{};
+    bool any_load = false;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const TileId t = tiles[k];
+      const auto& asg = platform.tile(t);
+      double i_avg = 0.0;
+      double modulation = 0.0;
+      double phase = 0.25;
+      if (asg.app != cmp::kNoApp) {
+        const double f = platform.vf_model().fmax(vdd);
+        double core_i = core_model.supply_current(vdd, f, asg.activity);
+        if (ctx.tile_throttled[static_cast<std::size_t>(t)]) {
+          core_i *= cfg.throttle_factor;
+        }
+        i_avg += core_i;
+        modulation = pdn::activity_to_modulation(asg.activity);
+        // Phase of the owning task's ripple.
+        for (const RunningApp& app : ctx.running) {
+          if (app.instance != asg.app) continue;
+          for (const RunningTask& rt : app.tasks) {
+            if (rt.tile == t) phase = rt.phase;
+          }
+        }
+      }
+      const double flit_rate =
+          ctx.router_activity[static_cast<std::size_t>(t)] *
+          units::kRefClockHz;
+      if (flit_rate > 0.0 || asg.app != cmp::kNoApp) {
+        i_avg += router_model.supply_current(vdd, flit_rate, panr);
+        if (modulation == 0.0 && flit_rate > 1e6) modulation = 0.2;
+      }
+      chip_power += i_avg * vdd;
+      if (i_avg > 0.0) any_load = true;
+      loads[k] = pdn::TileLoad{i_avg, modulation, phase};
+    }
+    domain_vdd[static_cast<std::size_t>(d)] = vdd;
+    domain_loads[static_cast<std::size_t>(d)] = loads;
+    domain_active[static_cast<std::size_t>(d)] = any_load ? 1 : 0;
+  }
+
+  // Phase 2 — plan / solve / replay. A naive parallel loop over domains
+  // would let two domains with the same memo key miss the cache
+  // concurrently and both invoke the solver: the values are identical,
+  // but the pdn.solves count (and so the telemetry deltas) would depend
+  // on thread interleaving. Instead the epoch is split so every cache
+  // decision stays serial and only the solver work fans out:
+  //
+  //   2a (serial)   predict each active domain's hit/miss without
+  //                 touching the cache (contains() + the keys already
+  //                 planned for solving this epoch);
+  //   2b (parallel) run the transient solver for the first occurrence of
+  //                 every missing key, each into its own slot;
+  //   2c (serial)   replay get/put in domain order — exactly the call
+  //                 sequence of a fully serial epoch, so LRU recency,
+  //                 evictions, and hit/miss/solve counts are
+  //                 bit-identical regardless of parallel_psn or load.
+  std::vector<pdn::DomainPsn> domain_psn(n_domains);
+  std::vector<std::uint64_t> domain_key(n_domains, 0);
+  std::vector<char> solve_here(n_domains, 0);
+  std::vector<std::uint64_t> planned_keys;
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    if (!domain_active[d]) continue;
+    domain_key[d] = pdn::PsnCache::key(domain_vdd[d], domain_loads[d]);
+    if (psn_cache_.contains(domain_key[d])) continue;
+    if (std::find(planned_keys.begin(), planned_keys.end(),
+                  domain_key[d]) == planned_keys.end()) {
+      solve_here[d] = 1;
+      planned_keys.push_back(domain_key[d]);
+    }
+  }
+  const auto solve_domain = [&](std::size_t d) {
+    if (!solve_here[d]) return;
+    // Quantize the loads the same way the key does, so cache hits and
+    // misses see identical physics.
+    domain_psn[d] = psn_estimator_.estimate(
+        domain_vdd[d], pdn::PsnCache::quantize(domain_loads[d]));
+  };
+  if (cfg.parallel_psn) {
+    ThreadPool::shared().parallel_for(n_domains, solve_domain);
+  } else {
+    for (std::size_t d = 0; d < n_domains; ++d) solve_domain(d);
+  }
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    if (!domain_active[d]) continue;
+    pdn::DomainPsn psn;
+    if (psn_cache_.get(domain_key[d], psn)) {
+      domain_psn[d] = psn;
+    } else {
+      // First occurrence of a missing key uses its pre-solved slot; a
+      // miss the plan did not foresee (an eviction triggered by this
+      // epoch's own puts) solves inline, as the serial loop would.
+      if (!solve_here[d]) {
+        domain_psn[d] = psn_estimator_.estimate(
+            domain_vdd[d], pdn::PsnCache::quantize(domain_loads[d]));
+      }
+      psn_cache_.put(domain_key[d], domain_psn[d]);
+    }
+  }
+
+  // Phase 3 (serial): sensors and statistics reduced in domain order.
+  ctx.epoch_peak_psn = 0.0;
+  RunningStats epoch_domain_psn;
+  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
+    const auto tiles = mesh.domain_tiles(d);
+    const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
+    for (std::size_t k = 0; k < 4; ++k) {
+      ctx.tile_psn_peak[static_cast<std::size_t>(tiles[k])] =
+          psn.tiles[k].peak_percent;
+      ctx.tile_psn_avg[static_cast<std::size_t>(tiles[k])] =
+          psn.tiles[k].avg_percent;
+      ctx.noc_psn_sensor[static_cast<std::size_t>(tiles[k])] =
+          psn.peak_percent;
+    }
+    // Only powered (occupied) domains contribute to the chip PSN figures,
+    // matching the paper's "PSN observed" in active regions.
+    if (platform.domain_vdd(d).has_value()) {
+      psn_peak_stats_.add(psn.peak_percent);
+      psn_avg_stats_.add(psn.avg_percent);
+      ctx.epoch_peak_psn = std::max(ctx.epoch_peak_psn, psn.peak_percent);
+      epoch_domain_psn.add(psn.avg_percent);
+    }
+  }
+  platform.set_tile_psn(ctx.tile_psn_peak);
+  chip_power_stats_.add(chip_power);
+  ctx.epoch_avg_psn = epoch_domain_psn.mean();
+  ctx.epoch_chip_power = chip_power;
+}
+
+void PsnSamplingPhase::save(snapshot::Writer& w) const {
+  w.begin_section("PSNS");
+  save_stats(w, psn_peak_stats_);
+  save_stats(w, psn_avg_stats_);
+  save_stats(w, chip_power_stats_);
+  w.u64(total_throttle_epochs_);
+  psn_cache_.save(w);
+}
+
+void PsnSamplingPhase::restore(snapshot::Reader& r) {
+  r.expect_section("PSNS");
+  restore_stats(r, psn_peak_stats_);
+  restore_stats(r, psn_avg_stats_);
+  restore_stats(r, chip_power_stats_);
+  total_throttle_epochs_ = r.u64();
+  psn_cache_.restore(r);
+}
+
+// ----------------------------------------------- emergencies and progress
+
+EmergencyAndProgressPhase::EmergencyAndProgressPhase(
+    const sched::CheckpointConfig& cfg)
+    : checkpoint_(cfg) {}
+
+void EmergencyAndProgressPhase::run(EpochContext& ctx, double now) {
+  const SimConfig& cfg = *ctx.cfg;
+  const cmp::Platform& platform = *ctx.platform;
+  const double margin = platform.config().ve_threshold_percent;
+  ctx.epoch_ves = 0;
+  // Collect the tiles with a forced (injected) emergency this epoch.
+  std::vector<TileId> forced;
+  while (next_fault_ < cfg.fault_injections.size() &&
+         cfg.fault_injections[next_fault_].time_s <
+             now + cfg.epoch_s) {
+    if (cfg.fault_injections[next_fault_].time_s >= now) {
+      forced.push_back(cfg.fault_injections[next_fault_].tile);
+    }
+    ++next_fault_;
+  }
+  for (RunningApp& app : ctx.running) {
+    const appmodel::BenchmarkProfile& bench = app.profile->benchmark();
+    const double f = platform.vf_model().fmax(app.vdd);
+    const double packets_per_work_cycle =
+        bench.comm_intensity / 1000.0 /
+        static_cast<double>(cfg.noc.flits_per_packet);
+    // Packet latency is measured in NoC cycles (1 GHz). A core running at
+    // f waits latency × f/1GHz of *its own* cycles per blocking packet —
+    // fast cores burn proportionally more cycles per network round trip.
+    const double stall_per_work = cfg.stall_alpha * app.latency_cycles *
+                                  (f / units::kRefClockHz) *
+                                  packets_per_work_cycle;
+    AppOutcome& out =
+        ctx.outcomes[static_cast<std::size_t>(app.outcome_index)];
+
+    for (RunningTask& task : app.tasks) {
+      if (task.done()) continue;
+      const std::size_t ti = static_cast<std::size_t>(task.tile);
+      const double peak = ctx.tile_psn_peak[ti];
+      const double avg = ctx.tile_psn_avg[ti];
+
+      const bool injected =
+          std::find(forced.begin(), forced.end(), task.tile) !=
+          forced.end();
+      task.hot_epochs = peak > margin ? task.hot_epochs + 1 : 0;
+      if (injected || peak > margin) {
+        const double p =
+            injected ? 1.0
+                     : std::min(cfg.ve_probability_cap,
+                                cfg.ve_probability_slope *
+                                    (peak - margin));
+        if (ctx.rng->bernoulli(p)) {
+          // Voltage emergency: roll back to the checkpoint taken at the
+          // start of this epoch — the epoch's progress is lost and the
+          // restart penalty is added. A restarting core barely injects.
+          task.remaining_cycles += checkpoint_.config().rollback_cycles;
+          task.progress_rate_cps = 0.05 * f;
+          ++out.ve_count;
+          ++total_ves_;
+          ++ctx.epoch_ves;
+          obs::Tracer::instance().instant(
+              "sim", "voltage_emergency",
+              {{"app", out.id},
+               {"tile", static_cast<int>(task.tile)},
+               {"psn_percent", peak},
+               {"injected", injected ? 1 : 0},
+               {"sim_time_s", now}});
+          continue;
+        }
+      }
+      double derate = std::max(
+          0.2, 1.0 - cfg.psn_slowdown_per_percent * avg);
+      if (ctx.tile_throttled[ti]) derate *= cfg.throttle_factor;
+      const double progress_rate = f * derate / (1.0 + stall_per_work);
+      task.progress_rate_cps = progress_rate;
+      const double progress =
+          progress_rate * cfg.epoch_s - checkpoint_.config().checkpoint_cycles;
+      task.remaining_cycles -= std::max(0.0, progress);
+      if (task.done() && task.finish_s < 0.0) {
+        task.finish_s = now + cfg.epoch_s;
+      }
+    }
+  }
+}
+
+void EmergencyAndProgressPhase::save(snapshot::Writer& w) const {
+  w.begin_section("EMRG");
+  w.u64(next_fault_);
+  w.u64(total_ves_);
+}
+
+void EmergencyAndProgressPhase::restore(snapshot::Reader& r,
+                                        const EpochContext& ctx) {
+  r.expect_section("EMRG");
+  next_fault_ = r.u64();
+  if (next_fault_ > ctx.cfg->fault_injections.size()) {
+    throw snapshot::SnapshotError("snapshot fault cursor out of range");
+  }
+  total_ves_ = r.u64();
+}
+
+// ---------------------------------------------------------------- migration
+
+void MigrationPhase::run(EpochContext& ctx) {
+  const SimConfig& cfg = *ctx.cfg;
+  cmp::Platform& platform = *ctx.platform;
+  for (RunningApp& app : ctx.running) {
+    // At most one migration per app per epoch: move the hottest
+    // persistently-stressed task to the coolest free domain.
+    RunningTask* worst = nullptr;
+    for (RunningTask& task : app.tasks) {
+      if (task.done() || task.hot_epochs < cfg.migration_hot_epochs) {
+        continue;
+      }
+      if (worst == nullptr ||
+          ctx.tile_psn_peak[static_cast<std::size_t>(task.tile)] >
+              ctx.tile_psn_peak[static_cast<std::size_t>(worst->tile)]) {
+        worst = &task;
+      }
+    }
+    if (worst == nullptr) continue;
+    const std::vector<DomainId> free = platform.free_domains();
+    if (free.empty()) continue;
+    // Closest free domain to the task's current one keeps paths short.
+    DomainId best = free.front();
+    double best_dist = 1e18;
+    const DomainId from_d = platform.mesh().domain_of(worst->tile);
+    for (DomainId d : free) {
+      const double dist = platform.mesh().domain_distance(d, from_d);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = d;
+      }
+    }
+    const TileId target = platform.mesh().domain_tiles(best)[0];
+    obs::Tracer::instance().instant(
+        "sim", "app.migrate",
+        {{"app", app.outcome_index},
+         {"from_tile", static_cast<int>(worst->tile)},
+         {"to_tile", static_cast<int>(target)}});
+    platform.migrate(app.instance, worst->tile, target);
+    worst->tile = target;
+    worst->remaining_cycles += cfg.migration_cost_cycles;
+    worst->hot_epochs = 0;
+    ++total_migrations_;
+  }
+}
+
+void MigrationPhase::save(snapshot::Writer& w) const {
+  w.begin_section("MIGR");
+  w.u64(total_migrations_);
+}
+
+void MigrationPhase::restore(snapshot::Reader& r) {
+  r.expect_section("MIGR");
+  total_migrations_ = r.u64();
+}
+
+// ---------------------------------------------------------------- telemetry
+
+TelemetryPhase::TelemetryPhase(obs::Registry* registry)
+    : solves_(&obs::resolve(registry).counter("pdn.solves")),
+      cands_(&obs::resolve(registry).counter("mapper.candidates_evaluated")),
+      reroutes_(&obs::resolve(registry).counter("noc.panr_reroutes")) {}
+
+void TelemetryPhase::run(EpochContext& ctx, std::size_t queued_apps) {
+  if (ctx.cfg->record_telemetry) {
+    EpochSample sample;
+    sample.time_s = ctx.t;
+    sample.peak_psn_percent = ctx.epoch_peak_psn;
+    sample.avg_psn_percent = ctx.epoch_avg_psn;
+    sample.chip_power_w = ctx.epoch_chip_power;
+    sample.running_apps = static_cast<std::int32_t>(ctx.running.size());
+    sample.queued_apps = static_cast<std::int32_t>(queued_apps);
+    sample.busy_tiles = ctx.platform->mesh().tile_count() -
+                        ctx.platform->free_tile_count();
+    sample.noc_latency_cycles = ctx.epoch_noc_latency;
+    sample.ve_count = ctx.epoch_ves;
+    sample.pdn_solves =
+        static_cast<std::int64_t>(solves_->value() - prev_solves_);
+    sample.mapper_candidates =
+        static_cast<std::int64_t>(cands_->value() - prev_cands_);
+    sample.panr_reroutes =
+        static_cast<std::int64_t>(reroutes_->value() - prev_reroutes_);
+    recorder_.record(sample);
+  }
+  prev_solves_ = solves_->value();
+  prev_cands_ = cands_->value();
+  prev_reroutes_ = reroutes_->value();
+}
+
+void TelemetryPhase::save(snapshot::Writer& w) const {
+  w.begin_section("TELE");
+  w.u64(prev_solves_);
+  w.u64(prev_cands_);
+  w.u64(prev_reroutes_);
+  // Absolute counter values: restore writes them back into the instance
+  // registry so the next epoch's deltas (value − prev) resume mid-stream
+  // exactly, including ticks pending from the snapshot epoch's tail.
+  w.u64(solves_->value());
+  w.u64(cands_->value());
+  w.u64(reroutes_->value());
+  recorder_.save(w);
+}
+
+void TelemetryPhase::restore(snapshot::Reader& r) {
+  r.expect_section("TELE");
+  prev_solves_ = r.u64();
+  prev_cands_ = r.u64();
+  prev_reroutes_ = r.u64();
+  for (obs::Counter* c : {solves_, cands_, reroutes_}) {
+    c->reset();
+    c->inc(r.u64());
+  }
+  recorder_.restore(r);
+}
+
+}  // namespace parm::sim

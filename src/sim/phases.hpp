@@ -1,0 +1,204 @@
+// The six phase components of the epoch engine.
+//
+// SystemSimulator::run() drives one EpochContext through this pipeline
+// every control epoch:
+//
+//   AdmissionPhase           arrivals → FCFS queue → Alg. 1 admission
+//   NocSamplingPhase         APG flows → cycle-accurate window (gated)
+//   PsnSamplingPhase         power models → PDN transients → sensors
+//   EmergencyAndProgressPhase  VEs, rollback, task progress
+//   MigrationPhase           hot-task migration (optional extension)
+//   TelemetryPhase           per-epoch sample + counter watermarks
+//
+// Each phase owns its private state (queue, network, estimator/cache,
+// aggregate statistics, watermarks), its metric handles — resolved once,
+// at construction, from the engine's instance registry — and its snapshot
+// section. Cross-phase state travels exclusively through EpochContext;
+// the engine owns the context's serialization, each phase its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/framework.hpp"
+#include "core/service_queue.hpp"
+#include "noc/window_sim.hpp"
+#include "pdn/psn_cache.hpp"
+#include "pdn/psn_estimator.hpp"
+#include "sched/checkpoint.hpp"
+#include "sim/epoch_context.hpp"
+#include "sim/telemetry.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace parm::sim {
+
+/// Resolves an arrival id back to the simulator's immutable arrival list
+/// during snapshot restore (profiles are reconstruction inputs, never
+/// snapshot payload).
+using ArrivalById =
+    std::function<const appmodel::AppArrival&(int)>;
+
+/// Phase 1 — arrivals, FCFS queueing, and the framework's admission
+/// policy (Algorithm 1 + mapper). Owns the service queue, the arrival
+/// cursor, and the instance-id allocator; commits admitted apps onto the
+/// platform and into ctx.running.
+class AdmissionPhase {
+ public:
+  AdmissionPhase(const core::FrameworkConfig& framework, int queue_max_stalls,
+                 obs::Registry* registry);
+
+  /// Loop top: enqueue every arrival due at ctx.t (pumping admissions
+  /// after each, then once more — an arrival is a scheduling event).
+  void process_arrivals(EpochContext& ctx);
+
+  /// Epoch bottom: release completed apps and, if any exited, retry
+  /// queued admissions (Alg. 1 line 9's "app exit event").
+  void finish_and_readmit(EpochContext& ctx, double now);
+
+  std::size_t next_arrival() const { return next_arrival_; }
+  std::size_t queue_size() const { return queue_.size(); }
+  bool queue_empty() const { return queue_.empty(); }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r, const EpochContext& ctx,
+               const ArrivalById& arrival_by_id);
+
+ private:
+  void admit_pending(EpochContext& ctx, double now);
+  void commit(EpochContext& ctx, const core::ServiceQueue::Admitted& adm,
+              double now);
+
+  std::unique_ptr<core::AdmissionPolicy> policy_;
+  core::ServiceQueue queue_;
+  std::size_t next_arrival_ = 0;
+  cmp::AppInstanceId next_instance_ = 1;
+};
+
+/// Phase 2 — the cycle-accurate NoC window. Owns the network (routers,
+/// routing scheme) and the run-wide latency statistic; translates APG
+/// edge volumes and task progress into injection rates, measures
+/// per-router activity and per-app packet latency.
+class NocSamplingPhase {
+ public:
+  NocSamplingPhase(const MeshGeometry& mesh, const noc::NocConfig& noc,
+                   const std::string& routing, double panr_threshold,
+                   obs::Registry* registry);
+
+  void run(EpochContext& ctx);
+
+  const RunningStats& latency_stats() const { return latency_stats_; }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+ private:
+  std::vector<noc::TrafficFlow> build_flows(const EpochContext& ctx) const;
+
+  std::unique_ptr<noc::Network> network_;
+  obs::Registry* registry_;
+  RunningStats latency_stats_;
+};
+
+/// Phase 3 — PDN transient sampling. Owns the PSN estimator, the memo
+/// cache, the run-wide PSN/power statistics, and the proactive-throttle
+/// ledger; updates the per-tile sensors the NoC and the emergency phase
+/// read.
+class PsnSamplingPhase {
+ public:
+  PsnSamplingPhase(const power::TechnologyNode& tech,
+                   const pdn::PsnEstimatorConfig& cfg,
+                   obs::Registry* registry);
+
+  void run(EpochContext& ctx);
+
+  const RunningStats& psn_peak_stats() const { return psn_peak_stats_; }
+  const RunningStats& psn_avg_stats() const { return psn_avg_stats_; }
+  const RunningStats& chip_power_stats() const { return chip_power_stats_; }
+  std::uint64_t throttle_tile_epochs() const {
+    return total_throttle_epochs_;
+  }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+ private:
+  pdn::PsnEstimator psn_estimator_;
+  // PSN memoization: quantized domain load signature -> result (bounded
+  // LRU, shared key scheme with admission via pdn::PsnCache).
+  pdn::PsnCache psn_cache_;
+  RunningStats psn_peak_stats_;
+  RunningStats psn_avg_stats_;
+  RunningStats chip_power_stats_;
+  std::uint64_t total_throttle_epochs_ = 0;
+};
+
+/// Phase 4 — voltage emergencies (measured and injected), checkpoint
+/// rollback, and task progress. Owns the checkpoint model, the
+/// fault-injection cursor, and the run-wide VE total.
+class EmergencyAndProgressPhase {
+ public:
+  explicit EmergencyAndProgressPhase(const sched::CheckpointConfig& cfg);
+
+  void run(EpochContext& ctx, double now);
+
+  std::uint64_t total_ves() const { return total_ves_; }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r, const EpochContext& ctx);
+
+ private:
+  sched::CheckpointModel checkpoint_;
+  std::size_t next_fault_ = 0;
+  std::uint64_t total_ves_ = 0;
+};
+
+/// Phase 5 — hot-task migration (extension, gated on
+/// SimConfig::enable_migration). Owns the run-wide migration count.
+class MigrationPhase {
+ public:
+  void run(EpochContext& ctx);
+
+  std::uint64_t total_migrations() const { return total_migrations_; }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+ private:
+  std::uint64_t total_migrations_ = 0;
+};
+
+/// Phase 6 — per-epoch telemetry. Owns the recorder, the three activity
+/// counter handles (pdn.solves, mapper.candidates_evaluated,
+/// noc.panr_reroutes) resolved once from the instance registry, and their
+/// previous-epoch watermarks: with instance-scoped metrics a per-epoch
+/// delta is a plain subtraction of two local reads. Snapshots store the
+/// watermarks plus the absolute counter values; restore writes the
+/// absolutes back into the registry so deltas resume mid-stream exactly.
+class TelemetryPhase {
+ public:
+  explicit TelemetryPhase(obs::Registry* registry);
+
+  /// Records one EpochSample (when ctx.cfg->record_telemetry) and then
+  /// advances the watermarks to the live counter values.
+  void run(EpochContext& ctx, std::size_t queued_apps);
+
+  const TelemetryRecorder& recorder() const { return recorder_; }
+
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+ private:
+  obs::Counter* solves_;
+  obs::Counter* cands_;
+  obs::Counter* reroutes_;
+  std::uint64_t prev_solves_ = 0;
+  std::uint64_t prev_cands_ = 0;
+  std::uint64_t prev_reroutes_ = 0;
+  TelemetryRecorder recorder_;
+};
+
+}  // namespace parm::sim

@@ -1,0 +1,141 @@
+// Configuration and result types of the epoch-phase simulation engine.
+//
+// Split from system_sim.hpp so the phase components (sim/phases.hpp) can
+// consume SimConfig without depending on the engine class itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cmp/platform.hpp"
+#include "core/framework.hpp"
+#include "noc/window_sim.hpp"
+#include "pdn/psn_estimator.hpp"
+#include "sched/checkpoint.hpp"
+#include "sim/telemetry.hpp"
+
+namespace parm::sim {
+
+struct SimConfig {
+  cmp::PlatformConfig platform;
+  core::FrameworkConfig framework;
+
+  double epoch_s = 1e-3;  ///< Control epoch == checkpoint period (1 ms).
+  /// NoC is re-simulated every `noc_every_epochs` epochs (activity and
+  /// latency are reused in between); each window runs warmup + measure
+  /// cycles at the 1 GHz NoC clock.
+  int noc_every_epochs = 2;
+  noc::WindowConfig noc_window{64, 256};
+  noc::NocConfig noc;
+  sched::CheckpointConfig checkpoint;
+  pdn::PsnEstimatorConfig psn;
+  /// Evaluate the independent per-domain PSN estimates on the shared
+  /// thread pool. Results are bit-identical to the serial path (per-domain
+  /// slots, serial reduction); disable to pin the whole epoch to one
+  /// thread.
+  bool parallel_psn = true;
+
+  double max_sim_time_s = 30.0;
+
+  /// VE probability per task-epoch: slope × (domain peak PSN % − margin),
+  /// capped. The margin is platform.ve_threshold_percent (5 %).
+  double ve_probability_slope = 0.32;
+  double ve_probability_cap = 0.88;
+  /// Critical-path slowdown per percent of average PSN (guardband loss).
+  double psn_slowdown_per_percent = 0.01;
+  /// Fraction of measured packet latency visible as a compute stall.
+  double stall_alpha = 0.35;
+  /// Supply of the always-on router rail in otherwise dark domains.
+  double dark_router_vdd = 0.4;
+
+  int queue_max_stalls = 8;
+  std::uint64_t seed = 42;
+
+  /// Sensor-guided proactive throttling (extension; cf. the paper's
+  /// related work on pipeline throttling [9] and reactive schemes [16]):
+  /// when a tile's sensor reads within `throttle_guard_percent` of the VE
+  /// margin, its core is throttled to `throttle_factor` of full speed for
+  /// the next epoch — trading throughput for supply current before an
+  /// emergency strikes. Off by default (the paper's PARM avoids the need
+  /// for it; bench/ablation_throttle quantifies that claim).
+  bool proactive_throttle = false;
+  double throttle_guard_percent = 1.0;
+  double throttle_factor = 0.6;
+
+  /// Thread migration (extension; cf. [19]): a task whose tile sensor
+  /// stays above the VE margin for `migration_hot_epochs` consecutive
+  /// epochs is moved to the coolest free domain (same Vdd), paying
+  /// `migration_cost_cycles` of state-transfer work. Off by default.
+  bool enable_migration = false;
+  int migration_hot_epochs = 3;
+  double migration_cost_cycles = 50000.0;
+
+  /// Record one EpochSample per epoch into SimResult::telemetry.
+  bool record_telemetry = false;
+
+  /// Forced voltage emergencies for failure-injection testing: the task
+  /// running on `tile` during the epoch containing `time_s` rolls back
+  /// regardless of the measured PSN. Entries must be sorted by time.
+  struct FaultInjection {
+    double time_s = 0.0;
+    TileId tile = kInvalidTile;
+  };
+  std::vector<FaultInjection> fault_injections;
+
+  /// Throws CheckError with a descriptive message when any field is out
+  /// of range (non-positive epoch or time limits, throttle/migration
+  /// parameters outside their domains, unsorted fault injections).
+  /// SystemSimulator and fleet::FleetSimulator call this on construction;
+  /// front-ends (examples/parm_runner) call it right after parsing flags
+  /// so a bad command line fails before any platform is built.
+  void validate() const;
+};
+
+/// Per-application outcome record.
+struct AppOutcome {
+  int id = -1;
+  std::string bench;
+  double arrival_s = 0.0;
+  double deadline_s = 0.0;
+  bool admitted = false;
+  bool completed = false;
+  bool dropped = false;
+  double admit_s = 0.0;
+  double finish_s = 0.0;
+  bool missed_deadline = false;
+  /// Tasks that finished after their EDF-assigned intermediate deadline
+  /// (paper section 4.2: per-task deadlines derived from the application
+  /// deadline via the task-graph technique of [23]).
+  int task_deadline_misses = 0;
+  double vdd = 0.0;
+  int dop = 0;
+  int ve_count = 0;
+};
+
+struct SimResult {
+  std::vector<AppOutcome> apps;
+  double makespan_s = 0.0;  ///< Last completion time ("total time to
+                            ///< execute the sequence", Fig. 6).
+  double peak_psn_percent = 0.0;   ///< Fig. 7 (peak bars)
+  double avg_psn_percent = 0.0;    ///< Fig. 7 (average bars)
+  int completed_count = 0;         ///< Fig. 8
+  int dropped_count = 0;
+  std::uint64_t total_ve_count = 0;
+  /// Tile-epochs spent throttled by the proactive guard (0 unless
+  /// SimConfig::proactive_throttle).
+  std::uint64_t throttle_tile_epochs = 0;
+  /// Task migrations performed (0 unless SimConfig::enable_migration).
+  std::uint64_t migration_count = 0;
+  double avg_noc_latency_cycles = 0.0;
+  double peak_chip_power_w = 0.0;
+  double avg_chip_power_w = 0.0;
+  /// Total chip energy over the run (J) and its ratio per completed app
+  /// — the dark-silicon efficiency view (NTC operation wins big here).
+  double total_energy_j = 0.0;
+  double energy_per_completed_app_j = 0.0;
+  bool timed_out = false;  ///< hit max_sim_time_s with work remaining
+  TelemetryRecorder telemetry;  ///< filled when record_telemetry is set
+};
+
+}  // namespace parm::sim

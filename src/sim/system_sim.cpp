@@ -1,19 +1,11 @@
 #include "sim/system_sim.hpp"
 
 #include <algorithm>
-#include <array>
 #include <bit>
-#include <cmath>
 
-#include "common/thread_pool.hpp"
-#include "snapshot/snapshot_file.hpp"
-#include "common/units.hpp"
-#include "noc/traffic.hpp"
-#include "obs/metrics.hpp"
+#include "common/check.hpp"
 #include "obs/trace.hpp"
-#include "sched/edf.hpp"
-#include "power/core_power.hpp"
-#include "power/router_power.hpp"
+#include "snapshot/snapshot_file.hpp"
 
 namespace parm::sim {
 
@@ -39,454 +31,82 @@ void mix_str(std::uint64_t& h, const std::string& s) {
   mix(h, s.size());
 }
 
-obs::Counter& solves_counter() {
-  return obs::Registry::instance().counter("pdn.solves");
-}
-obs::Counter& candidates_counter() {
-  return obs::Registry::instance().counter("mapper.candidates_evaluated");
-}
-obs::Counter& reroutes_counter() {
-  return obs::Registry::instance().counter("noc.panr_reroutes");
+/// Config preparation shared by every construction path: validate, then
+/// mirror the framework's PANR occupancy threshold into the NoC config
+/// the network is built from.
+SimConfig prepare(SimConfig cfg) {
+  cfg.validate();
+  cfg.noc.panr_occupancy_threshold = cfg.framework.panr_threshold;
+  return cfg;
 }
 
 }  // namespace
 
+void SimConfig::validate() const {
+  PARM_CHECK(epoch_s > 0.0, "SimConfig: epoch_s must be positive");
+  PARM_CHECK(noc_every_epochs > 0,
+             "SimConfig: noc_every_epochs must be positive");
+  PARM_CHECK(max_sim_time_s > 0.0,
+             "SimConfig: max_sim_time_s must be positive");
+  PARM_CHECK(ve_probability_slope >= 0.0,
+             "SimConfig: ve_probability_slope must be non-negative");
+  PARM_CHECK(ve_probability_cap >= 0.0 && ve_probability_cap <= 1.0,
+             "SimConfig: ve_probability_cap must be a probability in [0, 1]");
+  PARM_CHECK(psn_slowdown_per_percent >= 0.0,
+             "SimConfig: psn_slowdown_per_percent must be non-negative");
+  PARM_CHECK(stall_alpha >= 0.0,
+             "SimConfig: stall_alpha must be non-negative");
+  PARM_CHECK(dark_router_vdd > 0.0,
+             "SimConfig: dark_router_vdd must be positive");
+  PARM_CHECK(queue_max_stalls >= 1,
+             "SimConfig: queue_max_stalls must be at least 1");
+  PARM_CHECK(throttle_guard_percent >= 0.0,
+             "SimConfig: throttle_guard_percent must be non-negative");
+  PARM_CHECK(throttle_factor > 0.0 && throttle_factor <= 1.0,
+             "SimConfig: throttle_factor must be in (0, 1]");
+  PARM_CHECK(migration_hot_epochs >= 1,
+             "SimConfig: migration_hot_epochs must be at least 1");
+  PARM_CHECK(migration_cost_cycles >= 0.0,
+             "SimConfig: migration_cost_cycles must be non-negative");
+  PARM_CHECK(std::is_sorted(fault_injections.begin(), fault_injections.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.time_s < b.time_s;
+                            }),
+             "SimConfig: fault injections must be sorted by time");
+}
+
 SystemSimulator::SystemSimulator(SimConfig cfg,
                                  std::vector<appmodel::AppArrival> arrivals)
-    : cfg_(std::move(cfg)),
+    : cfg_(prepare(std::move(cfg))),
       platform_(cfg_.platform),
-      policy_(core::make_admission_policy(cfg_.framework)),
-      queue_(cfg_.queue_max_stalls),
       arrivals_(std::move(arrivals)),
-      psn_estimator_(platform_.technology(), cfg_.psn),
-      checkpoint_(cfg_.checkpoint),
-      rng_(cfg_.seed) {
+      rng_(cfg_.seed),
+      admission_(cfg_.framework, cfg_.queue_max_stalls, &metrics_),
+      noc_(platform_.mesh(), cfg_.noc, cfg_.framework.routing,
+           cfg_.framework.panr_threshold, &metrics_),
+      psn_(platform_.technology(), cfg_.psn, &metrics_),
+      emergency_(cfg_.checkpoint),
+      telemetry_(&metrics_) {
   PARM_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end(),
                             [](const auto& a, const auto& b) {
                               return a.arrival_s < b.arrival_s;
                             }),
              "arrivals must be sorted by time");
-  PARM_CHECK(std::is_sorted(cfg_.fault_injections.begin(),
-                            cfg_.fault_injections.end(),
-                            [](const auto& a, const auto& b) {
-                              return a.time_s < b.time_s;
-                            }),
-             "fault injections must be sorted by time");
-  cfg_.noc.panr_occupancy_threshold = cfg_.framework.panr_threshold;
-  network_ = std::make_unique<noc::Network>(
-      platform_.mesh(), cfg_.noc,
-      noc::make_routing(cfg_.framework.routing,
-                        cfg_.framework.panr_threshold));
+  ctx_.cfg = &cfg_;
+  ctx_.platform = &platform_;
+  ctx_.metrics = &metrics_;
+  ctx_.rng = &rng_;
+  ctx_.arrivals = &arrivals_;
   const std::size_t n = static_cast<std::size_t>(platform_.mesh().tile_count());
-  router_activity_.assign(n, 0.0);
-  tile_psn_peak_.assign(n, 0.0);
-  tile_psn_avg_.assign(n, 0.0);
-  tile_throttled_.assign(n, false);
-  noc_psn_sensor_.assign(n, 0.0);
-  outcomes_.resize(arrivals_.size());
+  ctx_.router_activity.assign(n, 0.0);
+  ctx_.tile_psn_peak.assign(n, 0.0);
+  ctx_.tile_psn_avg.assign(n, 0.0);
+  ctx_.tile_throttled.assign(n, false);
+  ctx_.noc_psn_sensor.assign(n, 0.0);
+  ctx_.outcomes.resize(arrivals_.size());
 }
 
 SystemSimulator::~SystemSimulator() = default;
-
-void SystemSimulator::commit(const core::ServiceQueue::Admitted& adm,
-                             double now) {
-  const cmp::AppInstanceId inst = next_instance_++;
-  PARM_CHECK(platform_.ledger().reserve(inst, adm.decision.estimated_power_w),
-             "admission committed without power headroom");
-  platform_.occupy(inst, adm.decision.mapping, adm.decision.vdd);
-
-  RunningApp app;
-  app.instance = inst;
-  app.profile = adm.app.profile;
-  app.vdd = adm.decision.vdd;
-  app.dop = adm.decision.dop;
-  app.outcome_index = adm.app.id;
-  const appmodel::DopVariant& variant =
-      adm.app.profile->variant(adm.decision.dop);
-  // EDF priorities: distribute the application deadline over the APG
-  // (paper section 4.2 via [23]).
-  const std::vector<double> task_deadlines =
-      sched::assign_task_deadlines(variant, now, adm.app.deadline_s);
-  app.tasks.reserve(adm.decision.mapping.size());
-  for (const auto& p : adm.decision.mapping) {
-    RunningTask t;
-    t.index = p.task_index;
-    t.tile = p.tile;
-    t.remaining_cycles =
-        variant.tasks[static_cast<std::size_t>(p.task_index)].work_cycles;
-    t.activity = p.activity;
-    t.phase = rng_.uniform01();
-    t.progress_rate_cps = platform_.vf_model().fmax(adm.decision.vdd);
-    t.edf_deadline_s =
-        task_deadlines[static_cast<std::size_t>(p.task_index)];
-    app.tasks.push_back(t);
-  }
-  running_.push_back(std::move(app));
-
-  AppOutcome& out = outcomes_[static_cast<std::size_t>(adm.app.id)];
-  out.admitted = true;
-  out.admit_s = now;
-  out.vdd = adm.decision.vdd;
-  out.dop = adm.decision.dop;
-
-  obs::Tracer::instance().instant(
-      "sim", "app.admit",
-      {{"app", adm.app.id},
-       {"bench", std::string_view(adm.app.bench->name)},
-       {"vdd", adm.decision.vdd},
-       {"dop", adm.decision.dop},
-       {"sim_time_s", now}});
-}
-
-void SystemSimulator::admit_pending(double now) {
-  const std::size_t dropped_before = queue_.dropped().size();
-  while (auto adm = queue_.pump(now, platform_, *policy_)) {
-    commit(*adm, now);
-  }
-  // Mirror newly dropped apps into their outcome records.
-  for (std::size_t i = dropped_before; i < queue_.dropped().size(); ++i) {
-    const auto& app = queue_.dropped()[i];
-    AppOutcome& out = outcomes_[static_cast<std::size_t>(app.id)];
-    out.dropped = true;
-    obs::Tracer::instance().instant(
-        "sim", "app.drop", {{"app", app.id}, {"sim_time_s", now}});
-  }
-}
-
-std::vector<noc::TrafficFlow> SystemSimulator::build_flows() const {
-  std::vector<noc::TrafficFlow> flows;
-  for (const RunningApp& app : running_) {
-    const appmodel::DopVariant& variant = app.profile->variant(app.dop);
-    std::vector<TileId> tile_of(variant.tasks.size(), kInvalidTile);
-    std::vector<bool> done(variant.tasks.size(), false);
-    std::vector<double> rate_of(variant.tasks.size(), 0.0);
-    for (const RunningTask& t : app.tasks) {
-      tile_of[static_cast<std::size_t>(t.index)] = t.tile;
-      done[static_cast<std::size_t>(t.index)] = t.done();
-      rate_of[static_cast<std::size_t>(t.index)] = t.progress_rate_cps;
-    }
-    for (const auto& e : variant.graph.edges()) {
-      if (done[static_cast<std::size_t>(e.src)]) continue;
-      const TileId src = tile_of[static_cast<std::size_t>(e.src)];
-      const TileId dst = tile_of[static_cast<std::size_t>(e.dst)];
-      if (src == dst || src == kInvalidTile || dst == kInvalidTile) continue;
-      // The edge's total volume drains over the source task's lifetime:
-      // flits/s = volume × (source's achieved progress rate) / source
-      // work. Using the achieved rate (not fmax) models the core
-      // self-throttling when it stalls on the network — saturation
-      // lowers injection, which is what keeps real wormhole NoCs stable.
-      const double src_work =
-          variant.tasks[static_cast<std::size_t>(e.src)].work_cycles;
-      const double rate_fps =
-          e.volume_flits * rate_of[static_cast<std::size_t>(e.src)] /
-          src_work;
-      noc::TrafficFlow flow;
-      flow.src = src;
-      flow.dst = dst;
-      flow.flits_per_cycle = rate_fps / units::kRefClockHz;
-      flow.app_id = static_cast<std::int32_t>(app.instance);
-      flows.push_back(flow);
-    }
-  }
-  return flows;
-}
-
-void SystemSimulator::sample_noc() {
-  std::vector<noc::TrafficFlow> flows = build_flows();
-  if (flows.empty()) {
-    std::fill(router_activity_.begin(), router_activity_.end(), 0.0);
-    app_latency_.clear();
-    return;
-  }
-  network_->set_tile_psn(noc_psn_sensor_);
-  noc::TrafficGenerator traffic(std::move(flows));
-  const noc::WindowResult w =
-      noc::run_window(*network_, traffic, cfg_.noc_window);
-  router_activity_ = w.router_activity;
-  app_latency_ = w.app_latency;
-  if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);
-  epoch_noc_latency_ = w.avg_latency;
-  for (RunningApp& app : running_) {
-    auto it = app_latency_.find(static_cast<std::int32_t>(app.instance));
-    if (it != app_latency_.end()) app.latency_cycles = it->second;
-  }
-}
-
-void SystemSimulator::sample_psn() {
-  const power::CorePowerModel core_model(platform_.technology());
-  const power::RouterPowerModel router_model(platform_.technology());
-  const MeshGeometry& mesh = platform_.mesh();
-  const bool panr =
-      cfg_.framework.routing == "PANR";  // adds router logic power
-
-  // Proactive guard: last epoch's sensor readings decide which tiles run
-  // throttled during this epoch (both their current draw and progress).
-  if (cfg_.proactive_throttle) {
-    const double limit = platform_.config().ve_threshold_percent -
-                         cfg_.throttle_guard_percent;
-    for (std::size_t t = 0; t < tile_throttled_.size(); ++t) {
-      tile_throttled_[t] = tile_psn_peak_[t] > limit;
-      if (tile_throttled_[t]) ++total_throttle_epochs_;
-    }
-  }
-
-  // Phase 1 (serial): per-domain supply and loads from the power models,
-  // walked in domain order so the chip-power accumulation is
-  // deterministic.
-  const std::size_t n_domains =
-      static_cast<std::size_t>(mesh.domain_count());
-  std::vector<double> domain_vdd(n_domains);
-  std::vector<std::array<pdn::TileLoad, 4>> domain_loads(n_domains);
-  std::vector<char> domain_active(n_domains, 0);
-  double chip_power = 0.0;
-  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
-    const auto tiles = mesh.domain_tiles(d);
-    const double vdd =
-        platform_.domain_vdd(d).value_or(cfg_.dark_router_vdd);
-
-    std::array<pdn::TileLoad, 4> loads{};
-    bool any_load = false;
-    for (std::size_t k = 0; k < 4; ++k) {
-      const TileId t = tiles[k];
-      const auto& asg = platform_.tile(t);
-      double i_avg = 0.0;
-      double modulation = 0.0;
-      double phase = 0.25;
-      if (asg.app != cmp::kNoApp) {
-        const double f = platform_.vf_model().fmax(vdd);
-        double core_i = core_model.supply_current(vdd, f, asg.activity);
-        if (tile_throttled_[static_cast<std::size_t>(t)]) {
-          core_i *= cfg_.throttle_factor;
-        }
-        i_avg += core_i;
-        modulation = pdn::activity_to_modulation(asg.activity);
-        // Phase of the owning task's ripple.
-        for (const RunningApp& app : running_) {
-          if (app.instance != asg.app) continue;
-          for (const RunningTask& rt : app.tasks) {
-            if (rt.tile == t) phase = rt.phase;
-          }
-        }
-      }
-      const double flit_rate =
-          router_activity_[static_cast<std::size_t>(t)] *
-          units::kRefClockHz;
-      if (flit_rate > 0.0 || asg.app != cmp::kNoApp) {
-        i_avg += router_model.supply_current(vdd, flit_rate, panr);
-        if (modulation == 0.0 && flit_rate > 1e6) modulation = 0.2;
-      }
-      chip_power += i_avg * vdd;
-      if (i_avg > 0.0) any_load = true;
-      loads[k] = pdn::TileLoad{i_avg, modulation, phase};
-    }
-    domain_vdd[static_cast<std::size_t>(d)] = vdd;
-    domain_loads[static_cast<std::size_t>(d)] = loads;
-    domain_active[static_cast<std::size_t>(d)] = any_load ? 1 : 0;
-  }
-
-  // Phase 2 (parallel): the per-domain estimates are independent — each
-  // writes only its own slot, the memo cache and estimator are
-  // thread-safe, and concurrent misses of the same key compute identical
-  // values. The serial path runs the same code in the same per-domain
-  // arithmetic, so results are bit-identical either way.
-  std::vector<pdn::DomainPsn> domain_psn(n_domains);
-  const auto evaluate_domain = [&](std::size_t d) {
-    if (!domain_active[d]) return;
-    const double vdd = domain_vdd[d];
-    const std::uint64_t key = pdn::PsnCache::key(vdd, domain_loads[d]);
-    pdn::DomainPsn psn;
-    if (!psn_cache_.get(key, psn)) {
-      // Quantize the loads the same way the key does, so cache hits and
-      // misses see identical physics.
-      psn = psn_estimator_.estimate(
-          vdd, pdn::PsnCache::quantize(domain_loads[d]));
-      psn_cache_.put(key, psn);
-    }
-    domain_psn[d] = psn;
-  };
-  if (cfg_.parallel_psn) {
-    ThreadPool::shared().parallel_for(n_domains, evaluate_domain);
-  } else {
-    for (std::size_t d = 0; d < n_domains; ++d) evaluate_domain(d);
-  }
-
-  // Phase 3 (serial): sensors and statistics reduced in domain order.
-  epoch_peak_psn_ = 0.0;
-  RunningStats epoch_domain_psn;
-  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
-    const auto tiles = mesh.domain_tiles(d);
-    const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
-    for (std::size_t k = 0; k < 4; ++k) {
-      tile_psn_peak_[static_cast<std::size_t>(tiles[k])] =
-          psn.tiles[k].peak_percent;
-      tile_psn_avg_[static_cast<std::size_t>(tiles[k])] =
-          psn.tiles[k].avg_percent;
-      noc_psn_sensor_[static_cast<std::size_t>(tiles[k])] =
-          psn.peak_percent;
-    }
-    // Only powered (occupied) domains contribute to the chip PSN figures,
-    // matching the paper's "PSN observed" in active regions.
-    if (platform_.domain_vdd(d).has_value()) {
-      psn_peak_stats_.add(psn.peak_percent);
-      psn_avg_stats_.add(psn.avg_percent);
-      epoch_peak_psn_ = std::max(epoch_peak_psn_, psn.peak_percent);
-      epoch_domain_psn.add(psn.avg_percent);
-    }
-  }
-  platform_.set_tile_psn(tile_psn_peak_);
-  chip_power_stats_.add(chip_power);
-  epoch_avg_psn_ = epoch_domain_psn.mean();
-  epoch_chip_power_ = chip_power;
-}
-
-void SystemSimulator::apply_emergencies_and_progress(double now) {
-  const double margin = platform_.config().ve_threshold_percent;
-  epoch_ves_ = 0;
-  // Collect the tiles with a forced (injected) emergency this epoch.
-  std::vector<TileId> forced;
-  while (next_fault_ < cfg_.fault_injections.size() &&
-         cfg_.fault_injections[next_fault_].time_s <
-             now + cfg_.epoch_s) {
-    if (cfg_.fault_injections[next_fault_].time_s >= now) {
-      forced.push_back(cfg_.fault_injections[next_fault_].tile);
-    }
-    ++next_fault_;
-  }
-  for (RunningApp& app : running_) {
-    const appmodel::BenchmarkProfile& bench = app.profile->benchmark();
-    const double f = platform_.vf_model().fmax(app.vdd);
-    const double packets_per_work_cycle =
-        bench.comm_intensity / 1000.0 /
-        static_cast<double>(cfg_.noc.flits_per_packet);
-    // Packet latency is measured in NoC cycles (1 GHz). A core running at
-    // f waits latency × f/1GHz of *its own* cycles per blocking packet —
-    // fast cores burn proportionally more cycles per network round trip.
-    const double stall_per_work = cfg_.stall_alpha * app.latency_cycles *
-                                  (f / units::kRefClockHz) *
-                                  packets_per_work_cycle;
-    AppOutcome& out = outcomes_[static_cast<std::size_t>(app.outcome_index)];
-
-    for (RunningTask& task : app.tasks) {
-      if (task.done()) continue;
-      const std::size_t ti = static_cast<std::size_t>(task.tile);
-      const double peak = tile_psn_peak_[ti];
-      const double avg = tile_psn_avg_[ti];
-
-      const bool injected =
-          std::find(forced.begin(), forced.end(), task.tile) !=
-          forced.end();
-      task.hot_epochs = peak > margin ? task.hot_epochs + 1 : 0;
-      if (injected || peak > margin) {
-        const double p =
-            injected ? 1.0
-                     : std::min(cfg_.ve_probability_cap,
-                                cfg_.ve_probability_slope *
-                                    (peak - margin));
-        if (rng_.bernoulli(p)) {
-          // Voltage emergency: roll back to the checkpoint taken at the
-          // start of this epoch — the epoch's progress is lost and the
-          // restart penalty is added. A restarting core barely injects.
-          task.remaining_cycles += checkpoint_.config().rollback_cycles;
-          task.progress_rate_cps = 0.05 * f;
-          ++out.ve_count;
-          ++total_ves_;
-          ++epoch_ves_;
-          obs::Tracer::instance().instant(
-              "sim", "voltage_emergency",
-              {{"app", out.id},
-               {"tile", static_cast<int>(task.tile)},
-               {"psn_percent", peak},
-               {"injected", injected ? 1 : 0},
-               {"sim_time_s", now}});
-          continue;
-        }
-      }
-      double derate = std::max(
-          0.2, 1.0 - cfg_.psn_slowdown_per_percent * avg);
-      if (tile_throttled_[ti]) derate *= cfg_.throttle_factor;
-      const double progress_rate = f * derate / (1.0 + stall_per_work);
-      task.progress_rate_cps = progress_rate;
-      const double progress =
-          progress_rate * cfg_.epoch_s - checkpoint_.config().checkpoint_cycles;
-      task.remaining_cycles -= std::max(0.0, progress);
-      if (task.done() && task.finish_s < 0.0) {
-        task.finish_s = now + cfg_.epoch_s;
-      }
-    }
-  }
-}
-
-void SystemSimulator::migrate_hot_tasks() {
-  for (RunningApp& app : running_) {
-    // At most one migration per app per epoch: move the hottest
-    // persistently-stressed task to the coolest free domain.
-    RunningTask* worst = nullptr;
-    for (RunningTask& task : app.tasks) {
-      if (task.done() || task.hot_epochs < cfg_.migration_hot_epochs) {
-        continue;
-      }
-      if (worst == nullptr ||
-          tile_psn_peak_[static_cast<std::size_t>(task.tile)] >
-              tile_psn_peak_[static_cast<std::size_t>(worst->tile)]) {
-        worst = &task;
-      }
-    }
-    if (worst == nullptr) continue;
-    const std::vector<DomainId> free = platform_.free_domains();
-    if (free.empty()) continue;
-    // Closest free domain to the task's current one keeps paths short.
-    DomainId best = free.front();
-    double best_dist = 1e18;
-    const DomainId from_d = platform_.mesh().domain_of(worst->tile);
-    for (DomainId d : free) {
-      const double dist = platform_.mesh().domain_distance(d, from_d);
-      if (dist < best_dist) {
-        best_dist = dist;
-        best = d;
-      }
-    }
-    const TileId target = platform_.mesh().domain_tiles(best)[0];
-    obs::Tracer::instance().instant(
-        "sim", "app.migrate",
-        {{"app", app.outcome_index},
-         {"from_tile", static_cast<int>(worst->tile)},
-         {"to_tile", static_cast<int>(target)}});
-    platform_.migrate(app.instance, worst->tile, target);
-    worst->tile = target;
-    worst->remaining_cycles += cfg_.migration_cost_cycles;
-    worst->hot_epochs = 0;
-    ++total_migrations_;
-  }
-}
-
-bool SystemSimulator::finish_completed_apps(double now) {
-  bool any = false;
-  for (auto it = running_.begin(); it != running_.end();) {
-    const bool done = std::all_of(it->tasks.begin(), it->tasks.end(),
-                                  [](const RunningTask& t) {
-                                    return t.done();
-                                  });
-    if (!done) {
-      ++it;
-      continue;
-    }
-    platform_.release(it->instance);
-    platform_.ledger().release(it->instance);
-    AppOutcome& out = outcomes_[static_cast<std::size_t>(it->outcome_index)];
-    out.completed = true;
-    out.finish_s = now;
-    obs::Tracer::instance().instant(
-        "sim", "app.complete",
-        {{"app", out.id}, {"ve_count", out.ve_count}, {"sim_time_s", now}});
-    out.missed_deadline = now > out.deadline_s;
-    for (const RunningTask& task : it->tasks) {
-      if (task.finish_s > task.edf_deadline_s) ++out.task_deadline_misses;
-    }
-    it = running_.erase(it);
-    any = true;
-  }
-  return any;
-}
 
 std::uint64_t SystemSimulator::config_fingerprint() const {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -546,24 +166,8 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
 void SystemSimulator::save_state(snapshot::Writer& w) const {
   w.begin_section("SIMS");
   w.u64(config_fingerprint());
-  w.f64(t_);
-  w.u64(epoch_);
-  w.u64(next_arrival_);
-  w.i64(next_instance_);
-  w.u64(next_fault_);
-  w.f64(epoch_peak_psn_);
-  w.f64(epoch_avg_psn_);
-  w.f64(epoch_chip_power_);
-  w.f64(epoch_noc_latency_);
-  w.i32(epoch_ves_);
-  w.u64(total_ves_);
-  w.u64(total_throttle_epochs_);
-  w.u64(total_migrations_);
-  // Pending per-epoch counter deltas (see the member comment): ticks of
-  // the process-wide counters that belong to the *next* telemetry sample.
-  w.u64(solves_counter().value() - prev_solves_);
-  w.u64(candidates_counter().value() - prev_cands_);
-  w.u64(reroutes_counter().value() - prev_reroutes_);
+  w.f64(ctx_.t);
+  w.u64(ctx_.epoch);
 
   w.begin_section("RNG0");
   const Rng::State rs = rng_.state();
@@ -571,39 +175,37 @@ void SystemSimulator::save_state(snapshot::Writer& w) const {
   w.b(rs.have_cached_normal);
   w.f64(rs.cached_normal);
 
-  w.begin_section("STAT");
-  for (const RunningStats* st :
-       {&psn_peak_stats_, &psn_avg_stats_, &latency_stats_,
-        &chip_power_stats_}) {
-    const RunningStats::State s = st->state();
-    w.u64(s.n);
-    w.f64(s.min);
-    w.f64(s.max);
-    w.f64(s.mean);
-    w.f64(s.m2);
-  }
-
-  platform_.save(w);
-  queue_.save(w);
-  network_->save(w);
-  psn_cache_.save(w);
+  // Phase-owned sections.
+  admission_.save(w);
+  noc_.save(w);
+  psn_.save(w);
+  emergency_.save(w);
+  migration_.save(w);
   telemetry_.save(w);
 
+  platform_.save(w);
+
+  // Engine-owned: the context's cross-phase state.
   w.begin_section("EPCH");
-  w.vec_f64(router_activity_);
-  w.vec_f64(tile_psn_peak_);
-  w.vec_f64(tile_psn_avg_);
-  w.vec_bool(tile_throttled_);
-  w.vec_f64(noc_psn_sensor_);
-  w.u64(app_latency_.size());
-  for (const auto& [app, lat] : app_latency_) {  // std::map: sorted
+  w.f64(ctx_.epoch_peak_psn);
+  w.f64(ctx_.epoch_avg_psn);
+  w.f64(ctx_.epoch_chip_power);
+  w.f64(ctx_.epoch_noc_latency);
+  w.i32(ctx_.epoch_ves);
+  w.vec_f64(ctx_.router_activity);
+  w.vec_f64(ctx_.tile_psn_peak);
+  w.vec_f64(ctx_.tile_psn_avg);
+  w.vec_bool(ctx_.tile_throttled);
+  w.vec_f64(ctx_.noc_psn_sensor);
+  w.u64(ctx_.app_latency.size());
+  for (const auto& [app, lat] : ctx_.app_latency) {  // std::map: sorted
     w.i32(app);
     w.f64(lat);
   }
 
   w.begin_section("APPS");
-  w.u64(running_.size());
-  for (const RunningApp& app : running_) {
+  w.u64(ctx_.running.size());
+  for (const RunningApp& app : ctx_.running) {
     w.i64(app.instance);
     w.i32(app.outcome_index);
     w.f64(app.vdd);
@@ -624,8 +226,8 @@ void SystemSimulator::save_state(snapshot::Writer& w) const {
   }
 
   w.begin_section("OUTC");
-  w.u64(outcomes_.size());
-  for (const AppOutcome& o : outcomes_) {
+  w.u64(ctx_.outcomes.size());
+  for (const AppOutcome& o : ctx_.outcomes) {
     w.b(o.admitted);
     w.b(o.completed);
     w.b(o.dropped);
@@ -648,28 +250,8 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
         "(fingerprint mismatch) — resume requires the identical SimConfig "
         "and arrival list");
   }
-  t_ = r.f64();
-  epoch_ = r.u64();
-  next_arrival_ = r.u64();
-  if (next_arrival_ > arrivals_.size()) {
-    throw snapshot::SnapshotError("snapshot arrival cursor out of range");
-  }
-  next_instance_ = r.i64();
-  next_fault_ = r.u64();
-  if (next_fault_ > cfg_.fault_injections.size()) {
-    throw snapshot::SnapshotError("snapshot fault cursor out of range");
-  }
-  epoch_peak_psn_ = r.f64();
-  epoch_avg_psn_ = r.f64();
-  epoch_chip_power_ = r.f64();
-  epoch_noc_latency_ = r.f64();
-  epoch_ves_ = r.i32();
-  total_ves_ = r.u64();
-  total_throttle_epochs_ = r.u64();
-  total_migrations_ = r.u64();
-  pending_solves_ = r.u64();
-  pending_cands_ = r.u64();
-  pending_reroutes_ = r.u64();
+  ctx_.t = r.f64();
+  ctx_.epoch = r.u64();
 
   r.expect_section("RNG0");
   Rng::State rs;
@@ -677,18 +259,6 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
   rs.have_cached_normal = r.b();
   rs.cached_normal = r.f64();
   rng_.restore(rs);
-
-  r.expect_section("STAT");
-  for (RunningStats* st : {&psn_peak_stats_, &psn_avg_stats_,
-                           &latency_stats_, &chip_power_stats_}) {
-    RunningStats::State s;
-    s.n = r.u64();
-    s.min = r.f64();
-    s.max = r.f64();
-    s.mean = r.f64();
-    s.m2 = r.f64();
-    st->restore(s);
-  }
 
   // Arrival lookup shared by the queue and the running-app rebuild: the
   // profiles are reconstruction inputs resolved from this simulator's
@@ -703,44 +273,54 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
         " absent from this workload");
   };
 
-  platform_.restore(r);
-  queue_.restore(r, arrival_by_id);
-  network_->restore(r);
-  psn_cache_.restore(r);
+  admission_.restore(r, ctx_, arrival_by_id);
+  noc_.restore(r);
+  psn_.restore(r);
+  emergency_.restore(r, ctx_);
+  migration_.restore(r);
   telemetry_.restore(r);
+
+  platform_.restore(r);
 
   const std::size_t n_tiles =
       static_cast<std::size_t>(platform_.mesh().tile_count());
   r.expect_section("EPCH");
-  router_activity_ = r.vec_f64();
-  tile_psn_peak_ = r.vec_f64();
-  tile_psn_avg_ = r.vec_f64();
-  tile_throttled_ = r.vec_bool();
-  noc_psn_sensor_ = r.vec_f64();
-  if (router_activity_.size() != n_tiles ||
-      tile_psn_peak_.size() != n_tiles || tile_psn_avg_.size() != n_tiles ||
-      tile_throttled_.size() != n_tiles ||
-      noc_psn_sensor_.size() != n_tiles) {
+  ctx_.epoch_peak_psn = r.f64();
+  ctx_.epoch_avg_psn = r.f64();
+  ctx_.epoch_chip_power = r.f64();
+  ctx_.epoch_noc_latency = r.f64();
+  ctx_.epoch_ves = r.i32();
+  ctx_.router_activity = r.vec_f64();
+  ctx_.tile_psn_peak = r.vec_f64();
+  ctx_.tile_psn_avg = r.vec_f64();
+  ctx_.tile_throttled = r.vec_bool();
+  ctx_.noc_psn_sensor = r.vec_f64();
+  if (ctx_.router_activity.size() != n_tiles ||
+      ctx_.tile_psn_peak.size() != n_tiles ||
+      ctx_.tile_psn_avg.size() != n_tiles ||
+      ctx_.tile_throttled.size() != n_tiles ||
+      ctx_.noc_psn_sensor.size() != n_tiles) {
     throw snapshot::SnapshotError(
         "snapshot per-tile state does not match the platform's tile count");
   }
-  app_latency_.clear();
+  ctx_.app_latency.clear();
   const std::uint64_t n_lat = r.count(12);
   for (std::uint64_t i = 0; i < n_lat; ++i) {
     const std::int32_t app = r.i32();
-    app_latency_[app] = r.f64();
+    ctx_.app_latency[app] = r.f64();
   }
 
   r.expect_section("APPS");
-  running_.clear();
+  ctx_.running.clear();
   const std::uint64_t n_apps = r.count(32);
-  running_.reserve(n_apps);
+  ctx_.running.reserve(n_apps);
   for (std::uint64_t i = 0; i < n_apps; ++i) {
     RunningApp app;
     app.instance = r.i64();
     app.outcome_index = r.i32();
     if (app.outcome_index < 0 ||
-        static_cast<std::size_t>(app.outcome_index) >= outcomes_.size()) {
+        static_cast<std::size_t>(app.outcome_index) >=
+            ctx_.outcomes.size()) {
       throw snapshot::SnapshotError(
           "snapshot running app references an out-of-range outcome");
     }
@@ -768,17 +348,17 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
       task.hot_epochs = r.i32();
       app.tasks.push_back(task);
     }
-    running_.push_back(std::move(app));
+    ctx_.running.push_back(std::move(app));
   }
 
   r.expect_section("OUTC");
   const std::uint64_t n_out = r.count(23);
-  if (n_out != outcomes_.size()) {
+  if (n_out != ctx_.outcomes.size()) {
     throw snapshot::SnapshotError(
         "snapshot outcome count does not match the workload size");
   }
-  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
-    AppOutcome& o = outcomes_[i];
+  for (std::size_t i = 0; i < ctx_.outcomes.size(); ++i) {
+    AppOutcome& o = ctx_.outcomes[i];
     o.admitted = r.b();
     o.completed = r.b();
     o.dropped = r.b();
@@ -795,9 +375,9 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
   // restored state complete on its own).
   for (const appmodel::AppArrival& a : arrivals_) {
     PARM_CHECK(a.id >= 0 &&
-                   static_cast<std::size_t>(a.id) < outcomes_.size(),
+                   static_cast<std::size_t>(a.id) < ctx_.outcomes.size(),
                "arrival ids must be dense 0..N-1");
-    AppOutcome& o = outcomes_[static_cast<std::size_t>(a.id)];
+    AppOutcome& o = ctx_.outcomes[static_cast<std::size_t>(a.id)];
     o.id = a.id;
     o.bench = a.bench->name;
     o.arrival_s = a.arrival_s;
@@ -821,7 +401,6 @@ void SystemSimulator::restore_snapshot(const std::string& path) {
   snapshot::Reader r = snapshot::read_file(path);
   restore_state(r);
   r.expect_end();
-  restored_ = true;
 }
 
 SimResult SystemSimulator::run() {
@@ -829,123 +408,76 @@ SimResult SystemSimulator::run() {
   for (std::size_t i = 0; i < arrivals_.size(); ++i) {
     const auto& a = arrivals_[i];
     PARM_CHECK(a.id >= 0 &&
-                   static_cast<std::size_t>(a.id) < outcomes_.size(),
+                   static_cast<std::size_t>(a.id) < ctx_.outcomes.size(),
                "arrival ids must be dense 0..N-1");
-    AppOutcome& out = outcomes_[static_cast<std::size_t>(a.id)];
+    AppOutcome& out = ctx_.outcomes[static_cast<std::size_t>(a.id)];
     out.id = a.id;
     out.bench = a.bench->name;
     out.arrival_s = a.arrival_s;
     out.deadline_s = a.deadline_s;
   }
 
-  // Registry handles for the per-epoch activity deltas telemetry snapshots.
-  // On a fresh run the pending deltas are zero, so the watermarks start at
-  // the live counter values; on a resumed run they re-anchor so the next
-  // sample's deltas match the uninterrupted run.
-  obs::Counter& pdn_solves_c = solves_counter();
-  obs::Counter& mapper_cand_c = candidates_counter();
-  obs::Counter& panr_reroutes_c = reroutes_counter();
-  prev_solves_ = pdn_solves_c.value() - pending_solves_;
-  prev_cands_ = mapper_cand_c.value() - pending_cands_;
-  prev_reroutes_ = panr_reroutes_c.value() - pending_reroutes_;
-  pending_solves_ = pending_cands_ = pending_reroutes_ = 0;
-
   SimResult result;
   while (true) {
     obs::ScopedTrace epoch_trace("sim", "sim.epoch");
-    while (next_arrival_ < arrivals_.size() &&
-           arrivals_[next_arrival_].arrival_s <= t_ + 1e-12) {
-      obs::Tracer::instance().instant(
-          "sim", "app.arrival",
-          {{"app", arrivals_[next_arrival_].id},
-           {"bench",
-            std::string_view(arrivals_[next_arrival_].bench->name)},
-           {"sim_time_s", arrivals_[next_arrival_].arrival_s}});
-      queue_.enqueue(arrivals_[next_arrival_]);
-      ++next_arrival_;
-      admit_pending(t_);
-    }
-    admit_pending(t_);
+    admission_.process_arrivals(ctx_);
 
-    if (epoch_ % static_cast<std::uint64_t>(cfg_.noc_every_epochs) == 0) {
-      sample_noc();
+    if (ctx_.epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) ==
+        0) {
+      noc_.run(ctx_);
     }
-    sample_psn();
-    apply_emergencies_and_progress(t_);
-    if (cfg_.enable_migration) migrate_hot_tasks();
+    psn_.run(ctx_);
+    emergency_.run(ctx_, ctx_.t);
+    if (cfg_.enable_migration) migration_.run(ctx_);
+    telemetry_.run(ctx_, admission_.queue_size());
 
-    if (cfg_.record_telemetry) {
-      EpochSample sample;
-      sample.time_s = t_;
-      sample.peak_psn_percent = epoch_peak_psn_;
-      sample.avg_psn_percent = epoch_avg_psn_;
-      sample.chip_power_w = epoch_chip_power_;
-      sample.running_apps = static_cast<std::int32_t>(running_.size());
-      sample.queued_apps = static_cast<std::int32_t>(queue_.size());
-      sample.busy_tiles = platform_.mesh().tile_count() -
-                          platform_.free_tile_count();
-      sample.noc_latency_cycles = epoch_noc_latency_;
-      sample.ve_count = epoch_ves_;
-      sample.pdn_solves =
-          static_cast<std::int64_t>(pdn_solves_c.value() - prev_solves_);
-      sample.mapper_candidates =
-          static_cast<std::int64_t>(mapper_cand_c.value() - prev_cands_);
-      sample.panr_reroutes =
-          static_cast<std::int64_t>(panr_reroutes_c.value() - prev_reroutes_);
-      telemetry_.record(sample);
-    }
-    prev_solves_ = pdn_solves_c.value();
-    prev_cands_ = mapper_cand_c.value();
-    prev_reroutes_ = panr_reroutes_c.value();
+    ctx_.t += cfg_.epoch_s;
+    ++ctx_.epoch;
+    admission_.finish_and_readmit(ctx_, ctx_.t);
 
-    t_ += cfg_.epoch_s;
-    ++epoch_;
-    if (finish_completed_apps(t_)) {
-      admit_pending(t_);  // Alg. 1 line 9: retry on app exit
-    }
-
-    const bool idle = next_arrival_ == arrivals_.size() &&
-                      queue_.empty() && running_.empty();
+    const bool idle = admission_.next_arrival() == arrivals_.size() &&
+                      admission_.queue_empty() && ctx_.running.empty();
     if (idle) break;
-    if (t_ >= cfg_.max_sim_time_s) {
-      result.timed_out = !running_.empty() || !queue_.empty() ||
-                         next_arrival_ < arrivals_.size();
+    if (ctx_.t >= cfg_.max_sim_time_s) {
+      result.timed_out = !ctx_.running.empty() ||
+                         !admission_.queue_empty() ||
+                         admission_.next_arrival() < arrivals_.size();
       break;
     }
 
-    // Snapshot point: "epoch_ epochs completed" — after the epoch's exits
+    // Snapshot point: "epoch epochs completed" — after the epoch's exits
     // and exit-triggered admissions, before the next epoch begins. A
     // resumed process re-enters the loop top in exactly this state.
-    if (snapshot_every_ != 0 && epoch_ % snapshot_every_ == 0) {
-      save_snapshot(snapshot_dir_ + "/epoch_" + std::to_string(epoch_) +
-                    ".parmsnap");
+    if (snapshot_every_ != 0 && ctx_.epoch % snapshot_every_ == 0) {
+      save_snapshot(snapshot_dir_ + "/epoch_" +
+                    std::to_string(ctx_.epoch) + ".parmsnap");
     }
   }
 
-  result.apps = outcomes_;
-  for (const AppOutcome& o : outcomes_) {
+  result.apps = ctx_.outcomes;
+  for (const AppOutcome& o : ctx_.outcomes) {
     if (o.completed) {
       ++result.completed_count;
       result.makespan_s = std::max(result.makespan_s, o.finish_s);
     }
     if (o.dropped) ++result.dropped_count;
   }
-  result.peak_psn_percent = psn_peak_stats_.max();
-  result.avg_psn_percent = psn_avg_stats_.mean();
-  result.total_ve_count = total_ves_;
-  result.avg_noc_latency_cycles = latency_stats_.mean();
-  result.peak_chip_power_w = chip_power_stats_.max();
-  result.avg_chip_power_w = chip_power_stats_.mean();
-  result.throttle_tile_epochs = total_throttle_epochs_;
-  result.migration_count = total_migrations_;
-  result.total_energy_j = chip_power_stats_.mean() *
-                          static_cast<double>(chip_power_stats_.count()) *
-                          cfg_.epoch_s;
+  result.peak_psn_percent = psn_.psn_peak_stats().max();
+  result.avg_psn_percent = psn_.psn_avg_stats().mean();
+  result.total_ve_count = emergency_.total_ves();
+  result.avg_noc_latency_cycles = noc_.latency_stats().mean();
+  result.peak_chip_power_w = psn_.chip_power_stats().max();
+  result.avg_chip_power_w = psn_.chip_power_stats().mean();
+  result.throttle_tile_epochs = psn_.throttle_tile_epochs();
+  result.migration_count = migration_.total_migrations();
+  result.total_energy_j =
+      psn_.chip_power_stats().mean() *
+      static_cast<double>(psn_.chip_power_stats().count()) * cfg_.epoch_s;
   result.energy_per_completed_app_j =
       result.completed_count > 0
           ? result.total_energy_j / result.completed_count
           : 0.0;
-  result.telemetry = telemetry_;
+  result.telemetry = telemetry_.recorder();
   return result;
 }
 

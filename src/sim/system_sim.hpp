@@ -1,27 +1,35 @@
-// Epoch-driven full-system simulator.
+// Epoch-driven full-system simulator: the engine of the phase pipeline.
 //
-// Advances the CMP in checkpoint-period epochs (1 ms). Each epoch:
-//   1. arrivals enter the FCFS service queue; the framework's admission
-//      policy (Algorithm 1 + mapper) commits Vdd/DoP/mapping decisions;
-//   2. APG edge volumes and task progress define NoC injection rates; a
-//      short cycle-accurate NoC window measures per-router activity and
-//      per-app packet latency under the framework's routing scheme;
-//   3. core + router currents feed the per-domain PDN transient solver;
-//      the resulting per-tile PSN updates the on-die sensors (which PANR
-//      reads next epoch — the paper's feedback loop);
-//   4. tiles whose domain peak PSN exceeds the 5 % margin risk a voltage
-//      emergency: the task rolls back to its last checkpoint (lost epoch
-//      progress + 10 000-cycle restart);
-//   5. tasks progress at fmax(Vdd), derated by PSN-induced critical-path
-//      slowdown and by communication stalls proportional to measured
-//      packet latency; completed apps free their tiles/power and trigger
-//      queued admissions (Alg. 1 line 9's "app exit event").
+// Advances the CMP in checkpoint-period epochs (1 ms). Each epoch the
+// engine drives one EpochContext through six phase components (see
+// sim/phases.hpp):
+//   1. AdmissionPhase — arrivals enter the FCFS service queue; the
+//      framework's admission policy (Algorithm 1 + mapper) commits
+//      Vdd/DoP/mapping decisions;
+//   2. NocSamplingPhase — APG edge volumes and task progress define NoC
+//      injection rates; a short cycle-accurate NoC window measures
+//      per-router activity and per-app packet latency under the
+//      framework's routing scheme;
+//   3. PsnSamplingPhase — core + router currents feed the per-domain PDN
+//      transient solver; the resulting per-tile PSN updates the on-die
+//      sensors (which PANR reads next epoch — the paper's feedback loop);
+//   4. EmergencyAndProgressPhase — tiles whose domain peak PSN exceeds
+//      the 5 % margin risk a voltage emergency (checkpoint rollback +
+//      restart penalty); tasks progress at fmax(Vdd), derated by
+//      PSN-induced slowdown and communication stalls;
+//   5. MigrationPhase — optional hot-task migration;
+//   6. TelemetryPhase — per-epoch sample and counter watermarks; then
+//      completed apps free their tiles/power and trigger queued
+//      admissions (Alg. 1 line 9's "app exit event").
+//
+// Every simulator owns an obs::Registry instance (metrics()); its phases
+// and their components resolve all metric handles from it, so concurrent
+// simulators (fleet chips) never interleave metrics.
 //
 // The simulator reports everything Figs. 6-8 plot: makespan, peak/average
 // PSN, completed/dropped app counts, VE totals, and per-app outcomes.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,131 +37,13 @@
 #include "appmodel/workload.hpp"
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "core/framework.hpp"
-#include "core/service_queue.hpp"
-#include "noc/window_sim.hpp"
-#include "pdn/psn_cache.hpp"
-#include "pdn/psn_estimator.hpp"
-#include "sched/checkpoint.hpp"
-#include "sched/edf.hpp"
-#include "sim/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "sim/epoch_context.hpp"
+#include "sim/phases.hpp"
+#include "sim/sim_config.hpp"
 #include "snapshot/serializer.hpp"
 
 namespace parm::sim {
-
-struct SimConfig {
-  cmp::PlatformConfig platform;
-  core::FrameworkConfig framework;
-
-  double epoch_s = 1e-3;  ///< Control epoch == checkpoint period (1 ms).
-  /// NoC is re-simulated every `noc_every_epochs` epochs (activity and
-  /// latency are reused in between); each window runs warmup + measure
-  /// cycles at the 1 GHz NoC clock.
-  int noc_every_epochs = 2;
-  noc::WindowConfig noc_window{64, 256};
-  noc::NocConfig noc;
-  sched::CheckpointConfig checkpoint;
-  pdn::PsnEstimatorConfig psn;
-  /// Evaluate the independent per-domain PSN estimates on the shared
-  /// thread pool. Results are bit-identical to the serial path (per-domain
-  /// slots, serial reduction); disable to pin the whole epoch to one
-  /// thread.
-  bool parallel_psn = true;
-
-  double max_sim_time_s = 30.0;
-
-  /// VE probability per task-epoch: slope × (domain peak PSN % − margin),
-  /// capped. The margin is platform.ve_threshold_percent (5 %).
-  double ve_probability_slope = 0.32;
-  double ve_probability_cap = 0.88;
-  /// Critical-path slowdown per percent of average PSN (guardband loss).
-  double psn_slowdown_per_percent = 0.01;
-  /// Fraction of measured packet latency visible as a compute stall.
-  double stall_alpha = 0.35;
-  /// Supply of the always-on router rail in otherwise dark domains.
-  double dark_router_vdd = 0.4;
-
-  int queue_max_stalls = 8;
-  std::uint64_t seed = 42;
-
-  /// Sensor-guided proactive throttling (extension; cf. the paper's
-  /// related work on pipeline throttling [9] and reactive schemes [16]):
-  /// when a tile's sensor reads within `throttle_guard_percent` of the VE
-  /// margin, its core is throttled to `throttle_factor` of full speed for
-  /// the next epoch — trading throughput for supply current before an
-  /// emergency strikes. Off by default (the paper's PARM avoids the need
-  /// for it; bench/ablation_throttle quantifies that claim).
-  bool proactive_throttle = false;
-  double throttle_guard_percent = 1.0;
-  double throttle_factor = 0.6;
-
-  /// Thread migration (extension; cf. [19]): a task whose tile sensor
-  /// stays above the VE margin for `migration_hot_epochs` consecutive
-  /// epochs is moved to the coolest free domain (same Vdd), paying
-  /// `migration_cost_cycles` of state-transfer work. Off by default.
-  bool enable_migration = false;
-  int migration_hot_epochs = 3;
-  double migration_cost_cycles = 50000.0;
-
-  /// Record one EpochSample per epoch into SimResult::telemetry.
-  bool record_telemetry = false;
-
-  /// Forced voltage emergencies for failure-injection testing: the task
-  /// running on `tile` during the epoch containing `time_s` rolls back
-  /// regardless of the measured PSN. Entries must be sorted by time.
-  struct FaultInjection {
-    double time_s = 0.0;
-    TileId tile = kInvalidTile;
-  };
-  std::vector<FaultInjection> fault_injections;
-};
-
-/// Per-application outcome record.
-struct AppOutcome {
-  int id = -1;
-  std::string bench;
-  double arrival_s = 0.0;
-  double deadline_s = 0.0;
-  bool admitted = false;
-  bool completed = false;
-  bool dropped = false;
-  double admit_s = 0.0;
-  double finish_s = 0.0;
-  bool missed_deadline = false;
-  /// Tasks that finished after their EDF-assigned intermediate deadline
-  /// (paper section 4.2: per-task deadlines derived from the application
-  /// deadline via the task-graph technique of [23]).
-  int task_deadline_misses = 0;
-  double vdd = 0.0;
-  int dop = 0;
-  int ve_count = 0;
-};
-
-struct SimResult {
-  std::vector<AppOutcome> apps;
-  double makespan_s = 0.0;  ///< Last completion time ("total time to
-                            ///< execute the sequence", Fig. 6).
-  double peak_psn_percent = 0.0;   ///< Fig. 7 (peak bars)
-  double avg_psn_percent = 0.0;    ///< Fig. 7 (average bars)
-  int completed_count = 0;         ///< Fig. 8
-  int dropped_count = 0;
-  std::uint64_t total_ve_count = 0;
-  /// Tile-epochs spent throttled by the proactive guard (0 unless
-  /// SimConfig::proactive_throttle).
-  std::uint64_t throttle_tile_epochs = 0;
-  /// Task migrations performed (0 unless SimConfig::enable_migration).
-  std::uint64_t migration_count = 0;
-  double avg_noc_latency_cycles = 0.0;
-  double peak_chip_power_w = 0.0;
-  double avg_chip_power_w = 0.0;
-  /// Total chip energy over the run (J) and its ratio per completed app
-  /// — the dark-silicon efficiency view (NTC operation wins big here).
-  double total_energy_j = 0.0;
-  double energy_per_completed_app_j = 0.0;
-  bool timed_out = false;  ///< hit max_sim_time_s with work remaining
-  TelemetryRecorder telemetry;  ///< filled when record_telemetry is set
-};
 
 class SystemSimulator {
  public:
@@ -167,6 +57,12 @@ class SystemSimulator {
 
   /// The platform (sensors, occupancy) — exposed for tests and examples.
   const cmp::Platform& platform() const { return platform_; }
+
+  /// This simulator's metrics registry. Every component under the engine
+  /// (mapper, queue, network, PDN solver/caches) resolves its handles
+  /// here, so the values describe exactly this simulator's activity.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
   // --- Snapshot / resume ---
   /// During run(), write `dir`/epoch_<N>.parmsnap after every
@@ -191,116 +87,33 @@ class SystemSimulator {
   void restore_snapshot(const std::string& path);
 
   /// Completed control epochs so far (advances during run()).
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const { return ctx_.epoch; }
 
  private:
-  struct RunningTask {
-    appmodel::TaskIndex index = 0;
-    TileId tile = kInvalidTile;
-    double remaining_cycles = 0.0;
-    double activity = 0.0;
-    double phase = 0.0;  ///< ripple phase of this task's current draw
-    double progress_rate_cps = 0.0;  ///< useful cycles/s achieved last
-                                     ///< epoch; throttles NoC injection
-    double edf_deadline_s = 0.0;  ///< per-task deadline (EDF, [23])
-    double finish_s = -1.0;       ///< completion time, -1 while running
-    int hot_epochs = 0;  ///< consecutive epochs over the VE margin
-    bool done() const { return remaining_cycles <= 0.0; }
-  };
-  struct RunningApp {
-    cmp::AppInstanceId instance = cmp::kNoApp;
-    int outcome_index = -1;
-    std::shared_ptr<const appmodel::ApplicationProfile> profile;
-    double vdd = 0.0;
-    int dop = 0;
-    std::vector<RunningTask> tasks;
-    double latency_cycles = 0.0;  ///< last measured NoC packet latency
-  };
-
-  void admit_pending(double now);
-  void commit(const core::ServiceQueue::Admitted& adm, double now);
   /// FNV-1a over every determinism-relevant SimConfig field and the
   /// arrival list (excluding parallel_psn, whose two paths are
   /// bit-identical) — embedded in snapshots to reject mismatched resumes.
   std::uint64_t config_fingerprint() const;
+  /// The engine serializes its own sections (clock, RNG, the context's
+  /// cross-phase state) and delegates each phase's section to the phase.
   void save_state(snapshot::Writer& w) const;
   void restore_state(snapshot::Reader& r);
-  std::vector<noc::TrafficFlow> build_flows() const;
-  void sample_noc();
-  void sample_psn();
-  void apply_emergencies_and_progress(double now);
-  void migrate_hot_tasks();
-  bool finish_completed_apps(double now);
 
   SimConfig cfg_;
+  /// Declared before the phases: their constructors resolve metric
+  /// handles out of this registry.
+  obs::Registry metrics_;
   cmp::Platform platform_;
-  std::unique_ptr<core::AdmissionPolicy> policy_;
-  core::ServiceQueue queue_;
   std::vector<appmodel::AppArrival> arrivals_;
-  std::size_t next_arrival_ = 0;
-
-  std::unique_ptr<noc::Network> network_;
-  pdn::PsnEstimator psn_estimator_;
-  sched::CheckpointModel checkpoint_;
   Rng rng_;
 
-  std::vector<RunningApp> running_;
-  std::vector<AppOutcome> outcomes_;
-  cmp::AppInstanceId next_instance_ = 1;
-
-  // Epoch-state caches.
-  std::vector<double> router_activity_;   ///< flits/cycle per tile
-  /// Ordered so snapshot serialization and any future iteration are
-  /// deterministic regardless of hash seeding.
-  std::map<std::int32_t, double> app_latency_;
-  std::vector<double> tile_psn_peak_;
-  std::vector<double> tile_psn_avg_;
-  /// Tiles throttled this epoch by the proactive guard (from last
-  /// epoch's sensor readings).
-  std::vector<bool> tile_throttled_;
-  /// Sensor view handed to the NoC: each tile reports its domain's peak
-  /// PSN, since injecting router current anywhere in a domain disturbs
-  /// the domain's most-stressed tile through the shared PDN.
-  std::vector<double> noc_psn_sensor_;
-
-  // PSN memoization: quantized domain load signature -> result (bounded
-  // LRU, shared key scheme with admission via pdn::PsnCache).
-  pdn::PsnCache psn_cache_;
-
-  // Per-epoch scratch for telemetry.
-  double epoch_peak_psn_ = 0.0;
-  double epoch_avg_psn_ = 0.0;
-  double epoch_chip_power_ = 0.0;
-  double epoch_noc_latency_ = 0.0;
-  std::int32_t epoch_ves_ = 0;
-  std::size_t next_fault_ = 0;
-  TelemetryRecorder telemetry_;
-
-  // Aggregates.
-  RunningStats psn_peak_stats_;
-  RunningStats psn_avg_stats_;
-  RunningStats latency_stats_;
-  RunningStats chip_power_stats_;
-  std::uint64_t total_ves_ = 0;
-  std::uint64_t total_throttle_epochs_ = 0;
-  std::uint64_t total_migrations_ = 0;
-
-  // Simulation clock — members (not run() locals) so snapshots taken at
-  // the bottom of an epoch capture "epoch_ epochs completed at t_".
-  double t_ = 0.0;
-  std::uint64_t epoch_ = 0;
-  /// The per-epoch telemetry deltas track the process-wide obs counters
-  /// against a "previous value" watermark. The watermarks themselves are
-  /// process-local (other simulations tick the same counters), so
-  /// snapshots store only the *pending* delta (counter − watermark) and
-  /// run() re-anchors the watermark against the live counter on resume.
-  std::uint64_t prev_solves_ = 0;
-  std::uint64_t prev_cands_ = 0;
-  std::uint64_t prev_reroutes_ = 0;
-  std::uint64_t pending_solves_ = 0;
-  std::uint64_t pending_cands_ = 0;
-  std::uint64_t pending_reroutes_ = 0;
-  bool restored_ = false;
+  EpochContext ctx_;
+  AdmissionPhase admission_;
+  NocSamplingPhase noc_;
+  PsnSamplingPhase psn_;
+  EmergencyAndProgressPhase emergency_;
+  MigrationPhase migration_;
+  TelemetryPhase telemetry_;
 
   // Periodic-snapshot configuration (off unless enabled).
   std::uint64_t snapshot_every_ = 0;

@@ -3,8 +3,9 @@
 // When enabled (SimConfig::record_telemetry) the simulator records one
 // sample per control epoch: the PSN envelope, chip power, queue and
 // occupancy state, the epoch's voltage emergencies, and per-epoch deltas
-// of the obs::Registry activity counters (solver invocations, mapper
-// candidate evaluations, PANR reroutes). The time series is the raw
+// of the simulator's instance-scoped obs::Registry activity counters
+// (solver invocations, mapper candidate evaluations, PANR reroutes). The
+// time series is the raw
 // material for plotting runs — both examples/oversubscribed_server and
 // examples/parm_runner --telemetry write it via
 // TelemetryRecorder::write_csv.
@@ -28,7 +29,7 @@ struct EpochSample {
   std::int32_t busy_tiles = 0;
   double noc_latency_cycles = 0.0;  ///< last NoC window's average
   std::int32_t ve_count = 0;        ///< emergencies raised this epoch
-  // Deltas of the process-wide metrics registry over this epoch.
+  // Deltas of the simulator's metrics registry over this epoch.
   std::int64_t pdn_solves = 0;        ///< transient-solver invocations
   std::int64_t mapper_candidates = 0; ///< PARM candidate regions examined
   std::int64_t panr_reroutes = 0;     ///< PANR non-preferred-hop decisions

@@ -1,0 +1,149 @@
+// Phase-pipeline equivalence suite: the decomposed epoch-phase engine
+// must reproduce, bit for bit, what the monolithic simulator produced for
+// the same seeds — straight runs, snapshot/resume runs, and the
+// parallel-PSN path (the golden seed-42 digest in golden_trace_test pins
+// the absolute values; this suite pins the cross-path invariants). It
+// also checks the instance-scoping contract: concurrent simulators keep
+// fully independent metric registries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "exp/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
+
+namespace parm::sim {
+namespace {
+
+appmodel::SequenceConfig small_sequence(std::uint64_t seed) {
+  appmodel::SequenceConfig cfg;
+  cfg.kind = appmodel::SequenceKind::Mixed;
+  cfg.app_count = 4;
+  cfg.inter_arrival_s = 0.05;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimConfig engine_cfg() {
+  SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.record_telemetry = true;
+  return cfg;
+}
+
+TEST(EngineEquivalence, RepeatedRunsAreBitIdentical) {
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SystemSimulator a(engine_cfg(), seq);
+  SystemSimulator b(engine_cfg(), seq);
+  const SimResult ra = a.run();
+  const SimResult rb = b.run();
+  expect_identical(ra, rb);
+}
+
+TEST(EngineEquivalence, SnapshotResumeMatchesStraightRun) {
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SystemSimulator straight(engine_cfg(), seq);
+  const SimResult r_straight = straight.run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "parm_engine_equivalence_test";
+  std::filesystem::create_directories(dir);
+  // Snapshot mid-run via the periodic hook, then resume in a fresh
+  // engine: every phase's save/restore section must reconstruct its
+  // state exactly, including the telemetry watermarks.
+  SystemSimulator first(engine_cfg(), seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+  const auto snap = dir / "epoch_40.parmsnap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SystemSimulator resumed(engine_cfg(), seq);
+  resumed.restore_snapshot(snap.string());
+  EXPECT_EQ(resumed.epoch(), 40u);
+  const SimResult r_resumed = resumed.run();
+  expect_identical(r_straight, r_resumed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineEquivalence, ParallelAndSerialPsnAreBitIdentical) {
+  const auto seq = appmodel::make_sequence(small_sequence(1234));
+  SimConfig serial = engine_cfg();
+  serial.parallel_psn = false;
+  SimConfig parallel = engine_cfg();
+  parallel.parallel_psn = true;
+  SystemSimulator a(serial, seq);
+  SystemSimulator b(parallel, seq);
+  expect_identical(a.run(), b.run());
+}
+
+TEST(EngineEquivalence, ConcurrentSimulatorsKeepIndependentMetrics) {
+  // Two engines over different workloads, run on different threads at the
+  // same time: each registry must report exactly its own run's activity
+  // (equal to a solo rerun of the same workload), and the process-default
+  // registry must not move.
+  const auto seq_a = appmodel::make_sequence(small_sequence(7));
+  const auto seq_b = appmodel::make_sequence(small_sequence(8));
+  const std::uint64_t default_before =
+      obs::Registry::instance().counter_value("pdn.solves");
+
+  SystemSimulator a(engine_cfg(), seq_a);
+  SystemSimulator b(engine_cfg(), seq_b);
+  std::thread ta([&] { a.run(); });
+  std::thread tb([&] { b.run(); });
+  ta.join();
+  tb.join();
+
+  SystemSimulator a_solo(engine_cfg(), seq_a);
+  a_solo.run();
+  SystemSimulator b_solo(engine_cfg(), seq_b);
+  b_solo.run();
+
+  for (const char* name :
+       {"pdn.solves", "mapper.candidates_evaluated", "noc.panr_reroutes"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(a.metrics().counter_value(name),
+              a_solo.metrics().counter_value(name));
+    EXPECT_EQ(b.metrics().counter_value(name),
+              b_solo.metrics().counter_value(name));
+    EXPECT_GT(a.metrics().counter_value("pdn.solves"), 0u);
+  }
+  EXPECT_EQ(obs::Registry::instance().counter_value("pdn.solves"),
+            default_before);
+}
+
+TEST(SimConfigValidate, AcceptsDefaultsAndRejectsBadFields) {
+  SimConfig cfg = exp::default_sim_config();
+  EXPECT_NO_THROW(cfg.validate());
+
+  SimConfig bad_epoch = cfg;
+  bad_epoch.epoch_s = 0.0;
+  EXPECT_THROW(bad_epoch.validate(), CheckError);
+
+  SimConfig bad_throttle = cfg;
+  bad_throttle.throttle_factor = 0.0;
+  EXPECT_THROW(bad_throttle.validate(), CheckError);
+
+  SimConfig bad_cap = cfg;
+  bad_cap.ve_probability_cap = 1.5;
+  EXPECT_THROW(bad_cap.validate(), CheckError);
+
+  SimConfig bad_faults = cfg;
+  bad_faults.fault_injections = {{0.5, 3}, {0.1, 4}};
+  EXPECT_THROW(bad_faults.validate(), CheckError);
+
+  // The simulator constructor performs the same validation.
+  SimConfig bad_stalls = cfg;
+  bad_stalls.queue_max_stalls = 0;
+  EXPECT_THROW(
+      SystemSimulator(bad_stalls, appmodel::make_sequence(small_sequence(1))),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace parm::sim

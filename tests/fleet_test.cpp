@@ -1,0 +1,198 @@
+// Fleet driver test suite: deterministic dispatch, bit-identical results
+// across repeats and thread counts, and merge correctness against
+// standalone per-chip reference runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "exp/experiments.hpp"
+#include "fleet/dispatch.hpp"
+#include "fleet/fleet_sim.hpp"
+#include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
+
+namespace parm::fleet {
+namespace {
+
+appmodel::SequenceConfig stream_cfg(int apps, std::uint64_t seed) {
+  appmodel::SequenceConfig cfg;
+  cfg.kind = appmodel::SequenceKind::Mixed;
+  cfg.app_count = apps;
+  cfg.inter_arrival_s = 0.05;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FleetConfig fleet_cfg(int chips) {
+  FleetConfig cfg;
+  cfg.chip = exp::default_sim_config();
+  cfg.chip.framework.mapping = "PARM";
+  cfg.chip.framework.routing = "PANR";
+  cfg.chip_count = chips;
+  return cfg;
+}
+
+// ------------------------------------------------------------ dispatch
+
+TEST(Dispatch, RoundRobinCyclesThroughChips) {
+  RoundRobinDispatcher d(3);
+  const auto seq = appmodel::make_sequence(stream_cfg(7, 1));
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(d.pick(seq[i]), static_cast<int>(i % 3));
+  }
+}
+
+TEST(Dispatch, LeastLoadedBalancesWorkAndBreaksTiesLow) {
+  LeastLoadedDispatcher d(4);
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 2));
+  // All chips start at zero load, so the very first pick must be chip 0.
+  EXPECT_EQ(d.pick(seq[0]), 0);
+  // Subsequent picks go to an emptier chip than the one just loaded.
+  std::map<int, double> load;
+  load[0] = arrival_load_cycles(seq[0]);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const int chip = d.pick(seq[i]);
+    for (const auto& [other, l] : load) {
+      if (other != chip) EXPECT_LE(load[chip], l) << "arrival " << i;
+    }
+    load[chip] += arrival_load_cycles(seq[i]);
+  }
+}
+
+TEST(Dispatch, FactoryRejectsUnknownPolicy) {
+  EXPECT_THROW(make_dispatcher("random", 4), CheckError);
+  EXPECT_THROW(make_dispatcher("round-robin", 0), CheckError);
+  EXPECT_NE(make_dispatcher("least-loaded", 2), nullptr);
+}
+
+TEST(Dispatch, ArrivalLoadIsPositiveForProfiledApps) {
+  const auto seq = appmodel::make_sequence(stream_cfg(3, 3));
+  for (const auto& a : seq) EXPECT_GT(arrival_load_cycles(a), 0.0);
+}
+
+// ------------------------------------------------------------ fleet
+
+TEST(Fleet, ShardsCoverTheStreamExactlyOnce) {
+  const auto seq = appmodel::make_sequence(stream_cfg(10, 4));
+  FleetSimulator fleet(fleet_cfg(3), seq);
+  std::set<int> seen;
+  std::size_t total = 0;
+  for (int c = 0; c < fleet.chip_count(); ++c) {
+    const auto& shard = fleet.chip_arrivals(c);
+    total += shard.size();
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      // Shard ids are dense and local; the global mapping restores the
+      // stream id exactly once across all chips.
+      EXPECT_EQ(shard[i].id, static_cast<int>(i));
+      EXPECT_TRUE(seen.insert(fleet.global_id(c, shard[i].id)).second);
+    }
+  }
+  EXPECT_EQ(total, seq.size());
+  EXPECT_EQ(seen.size(), seq.size());
+}
+
+TEST(Fleet, RepeatedRunsAreBitIdentical) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 5));
+  FleetSimulator a(fleet_cfg(4), seq);
+  FleetSimulator b(fleet_cfg(4), seq);
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  ASSERT_EQ(ra.chips.size(), rb.chips.size());
+  for (std::size_t c = 0; c < ra.chips.size(); ++c) {
+    SCOPED_TRACE("chip " + std::to_string(c));
+    sim::expect_identical(ra.chips[c], rb.chips[c]);
+  }
+  EXPECT_EQ(ra.completed_count, rb.completed_count);
+  EXPECT_EQ(ra.total_ve_count, rb.total_ve_count);
+  sim::expect_bits(ra.makespan_s, rb.makespan_s, "fleet makespan");
+  sim::expect_bits(ra.total_energy_j, rb.total_energy_j, "fleet energy");
+}
+
+TEST(Fleet, ResultIndependentOfThreadCount) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 6));
+  FleetConfig serial = fleet_cfg(4);
+  serial.threads = 1;
+  FleetConfig wide = fleet_cfg(4);
+  wide.threads = 4;
+  FleetSimulator a(serial, seq);
+  FleetSimulator b(wide, seq);
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  for (std::size_t c = 0; c < ra.chips.size(); ++c) {
+    SCOPED_TRACE("chip " + std::to_string(c));
+    sim::expect_identical(ra.chips[c], rb.chips[c]);
+  }
+  for (const char* name :
+       {"pdn.solves", "mapper.candidates_evaluated", "noc.panr_reroutes"}) {
+    EXPECT_EQ(a.metrics().counter_value(name),
+              b.metrics().counter_value(name))
+        << name;
+  }
+}
+
+TEST(Fleet, MergeEqualsStandaloneChipRuns) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 7));
+  const FleetConfig cfg = fleet_cfg(4);
+  FleetSimulator fleet(cfg, seq);
+  const FleetResult r = fleet.run();
+
+  int completed = 0, dropped = 0;
+  std::uint64_t ves = 0, solves = 0;
+  double makespan = 0.0;
+  for (int c = 0; c < cfg.chip_count; ++c) {
+    sim::SimConfig chip_cfg = cfg.chip;
+    chip_cfg.seed = cfg.chip.seed + static_cast<std::uint64_t>(c);
+    sim::SystemSimulator ref(chip_cfg, fleet.chip_arrivals(c));
+    const sim::SimResult rr = ref.run();
+    SCOPED_TRACE("chip " + std::to_string(c));
+    sim::expect_identical(rr, r.chips[static_cast<std::size_t>(c)]);
+    completed += rr.completed_count;
+    dropped += rr.dropped_count;
+    ves += rr.total_ve_count;
+    makespan = std::max(makespan, rr.makespan_s);
+    solves += ref.metrics().counter_value("pdn.solves");
+  }
+  EXPECT_EQ(r.completed_count, completed);
+  EXPECT_EQ(r.dropped_count, dropped);
+  EXPECT_EQ(r.total_ve_count, ves);
+  sim::expect_bits(r.makespan_s, makespan, "fleet makespan");
+  EXPECT_EQ(fleet.metrics().counter_value("pdn.solves"), solves);
+}
+
+TEST(Fleet, MergedOutcomesCarryGlobalIdsSorted) {
+  const auto seq = appmodel::make_sequence(stream_cfg(9, 8));
+  FleetSimulator fleet(fleet_cfg(3), seq);
+  const FleetResult r = fleet.run();
+  ASSERT_EQ(r.apps.size(), seq.size());
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    EXPECT_EQ(r.apps[i].id, seq[i].id);
+    EXPECT_EQ(r.apps[i].bench, seq[i].bench->name);
+  }
+}
+
+TEST(Fleet, ConfigValidationRejectsBadFields) {
+  const auto seq = appmodel::make_sequence(stream_cfg(4, 9));
+  FleetConfig bad_chips = fleet_cfg(0);
+  EXPECT_THROW(FleetSimulator(bad_chips, seq), CheckError);
+  FleetConfig bad_policy = fleet_cfg(2);
+  bad_policy.dispatch = "hash";
+  EXPECT_THROW(FleetSimulator(bad_policy, seq), CheckError);
+  FleetConfig bad_chip_cfg = fleet_cfg(2);
+  bad_chip_cfg.chip.epoch_s = -1.0;
+  EXPECT_THROW(FleetSimulator(bad_chip_cfg, seq), CheckError);
+}
+
+TEST(Fleet, LeastLoadedDispatchRunsEndToEnd) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 10));
+  FleetConfig cfg = fleet_cfg(4);
+  cfg.dispatch = "least-loaded";
+  FleetSimulator fleet(cfg, seq);
+  const FleetResult r = fleet.run();
+  EXPECT_EQ(r.apps.size(), seq.size());
+  EXPECT_GT(r.completed_count, 0);
+}
+
+}  // namespace
+}  // namespace parm::fleet

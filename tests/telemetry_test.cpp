@@ -139,15 +139,18 @@ TEST(Telemetry, CsvRoundTrip) {
 
 TEST(Telemetry, EpochSamplesCarryRegistryDeltas) {
   // A telemetry run must see solver invocations in its per-epoch deltas,
-  // and the deltas must sum to the registry growth over the run.
+  // and the deltas must sum to the growth of the simulator's own
+  // (instance-scoped) registry over the run. The process-default registry
+  // must stay untouched — the engine never writes there.
   SimConfig cfg = base_cfg();
   cfg.record_telemetry = true;
-  const std::uint64_t solves_before =
+  const std::uint64_t default_solves_before =
       obs::Registry::instance().counter_value("pdn.solves");
   SystemSimulator sim(cfg, appmodel::make_sequence(tiny_sequence(6)));
+  EXPECT_EQ(sim.metrics().counter_value("pdn.solves"), 0u);
   const SimResult r = sim.run();
   const std::uint64_t solves_after =
-      obs::Registry::instance().counter_value("pdn.solves");
+      sim.metrics().counter_value("pdn.solves");
 
   std::int64_t total_solves = 0;
   for (const auto& s : r.telemetry.samples()) {
@@ -157,8 +160,9 @@ TEST(Telemetry, EpochSamplesCarryRegistryDeltas) {
     total_solves += s.pdn_solves;
   }
   EXPECT_GT(total_solves, 0);
-  EXPECT_EQ(static_cast<std::uint64_t>(total_solves),
-            solves_after - solves_before);
+  EXPECT_EQ(static_cast<std::uint64_t>(total_solves), solves_after);
+  EXPECT_EQ(obs::Registry::instance().counter_value("pdn.solves"),
+            default_solves_before);
 }
 
 TEST(FaultInjection, ForcedEmergencyRollsTaskBack) {
