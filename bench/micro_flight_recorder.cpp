@@ -1,0 +1,132 @@
+// Flight-recorder microbenchmark: what does leaving the recorder on cost?
+//
+// The recorder's pitch is "cheap enough for production runs": a disabled
+// recorder is one branch, an enabled emit is a seq fetch_add plus one
+// shard-lock ring store. This bench measures
+//   disabled  — emit() on a disabled recorder (the default-run cost)
+//   serial    — enabled single-thread emission (the engine's phase loop)
+//   wrapping  — enabled emission into a full ring (steady-state overwrite)
+//   contended — ThreadPool workers hammering one recorder, 1 vs 8 shards
+//               (what sharding buys under contention)
+//
+// Emits BENCH_flight_recorder.json (path overridable via argv[1]) for CI
+// to archive, alongside a human-readable table on stdout.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace {
+
+using namespace parm;
+using Clock = std::chrono::steady_clock;
+
+obs::Event sample_event(int i) {
+  obs::Event e;
+  e.t = 0.01 * i;
+  e.type = obs::EventType::kAppThrottle;
+  e.app = i & 63;
+  e.tile = i & 15;
+  e.a = 5.0 + (i & 7);
+  return e;
+}
+
+/// Median-of-repeats wall time per emit() call, in nanoseconds.
+template <typename Fn>
+double time_per_emit_ns(int emits, int repeats, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn(emits);
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / emits);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_flight_recorder.json";
+
+  constexpr int kEmits = 100000;
+  constexpr int kRepeats = 9;
+  constexpr std::size_t kCapacity = 16384;
+
+  obs::FlightRecorder disabled(false, kCapacity);
+  const double disabled_ns = time_per_emit_ns(kEmits, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) disabled.emit(sample_event(i));
+  });
+
+  obs::FlightRecorder serial(true, kCapacity);
+  const double serial_ns = time_per_emit_ns(kEmits, kRepeats, [&](int n) {
+    serial.clear();
+    for (int i = 0; i < n; ++i) serial.emit(sample_event(i));
+  });
+
+  // Steady-state overwrite: the ring is already full, every emit drops.
+  obs::FlightRecorder wrapping(true, 1024);
+  for (int i = 0; i < 2048; ++i) wrapping.emit(sample_event(i));
+  const double wrap_ns = time_per_emit_ns(kEmits, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) wrapping.emit(sample_event(i));
+  });
+
+  const std::size_t threads = ThreadPool::shared().thread_count() + 1;
+  const auto contended_ns = [&](std::size_t shards) {
+    obs::FlightRecorder rec(true, kCapacity, shards);
+    return time_per_emit_ns(kEmits, kRepeats, [&](int n) {
+      const auto per_worker = static_cast<std::size_t>(n) / threads;
+      ThreadPool::shared().parallel_for(threads, [&](std::size_t w) {
+        for (std::size_t i = 0; i < per_worker; ++i) {
+          rec.emit(sample_event(static_cast<int>(w * per_worker + i)));
+        }
+      });
+    });
+  };
+  const double contended_1shard_ns = contended_ns(1);
+  const double contended_8shard_ns = contended_ns(8);
+
+  std::cout << "Flight-recorder emit cost (" << kEmits
+            << " emits/run, median of " << kRepeats << " runs, " << threads
+            << " thread(s))\n\n";
+  Table table({"path", "ns/emit"});
+  table.set_precision(1);
+  table.add_row({"disabled (default run)", disabled_ns});
+  table.add_row({"enabled, serial", serial_ns});
+  table.add_row({"enabled, ring full (overwrite)", wrap_ns});
+  table.add_row({"enabled, contended, 1 shard", contended_1shard_ns});
+  table.add_row({"enabled, contended, 8 shards", contended_8shard_ns});
+  table.print(std::cout);
+  std::cout << "\nretained " << serial.size() << "/" << serial.capacity()
+            << " events, " << serial.dropped() << " overwritten in the "
+            << "serial run\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"flight_recorder\",\n"
+       << "  \"emits_per_run\": " << kEmits << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"capacity\": " << kCapacity << ",\n"
+       << "  \"disabled_ns_per_emit\": " << disabled_ns << ",\n"
+       << "  \"serial_ns_per_emit\": " << serial_ns << ",\n"
+       << "  \"wrapping_ns_per_emit\": " << wrap_ns << ",\n"
+       << "  \"contended_1shard_ns_per_emit\": " << contended_1shard_ns
+       << ",\n"
+       << "  \"contended_8shard_ns_per_emit\": " << contended_8shard_ns
+       << ",\n"
+       << "  \"shard_contention_speedup\": "
+       << contended_1shard_ns / contended_8shard_ns << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -10,17 +10,28 @@
 //                [--routing XY|ICON|PANR|WestFirst]
 //                [--workload compute|comm|mixed] [--apps N]
 //                [--arrival SECONDS] [--seed N] [--max-time SECONDS]
-//                [--metrics FILE.json] [--selfcheck]
+//                [--metrics FILE.json] [--events FILE.jsonl]
+//                [--prom FILE.prom] [--spans FILE.json] [--health]
+//                [--selfcheck]
 //
 // --threads bounds the chips simulated concurrently (0 = shared pool,
 //   1 = serial); the results are bit-identical for every setting.
 // --metrics writes the merged fleet metrics registry as JSON.
+// --events enables every chip's flight recorder and writes the merged
+//   fleet event log (chip-stamped, app ids rewritten to global stream
+//   ids) as JSONL.
+// --prom writes the merged registry in Prometheus text exposition format.
+// --spans derives per-app lifecycle spans from the merged event log into
+//   a Chrome trace (one process per chip, one track per app).
+// --health prints the per-chip health rollup and the fleet-wide report;
+//   exit code 1 when any chip (or the fleet) is critical — CI fails on
+//   that.
 // --selfcheck re-runs every chip's shard on a standalone SystemSimulator
 //   and verifies the merged fleet counts equal the sum of those reference
 //   runs (exit code 1 on mismatch) — the CI fleet smoke job runs this.
 //
 // Example:
-//   fleet_runner --chips 8 --dispatch least-loaded --apps 64 --arrival 0.02
+//   fleet_runner --chips 4 --events ev.jsonl --prom metrics.prom --health
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -29,7 +40,10 @@
 #include "common/check.hpp"
 #include "exp/experiments.hpp"
 #include "fleet/fleet_sim.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/spans.hpp"
 #include "sim/system_sim.hpp"
 
 namespace {
@@ -54,7 +68,8 @@ int main(int argc, char** argv) {
   seq.app_count = 32;
   seq.inter_arrival_s = 0.05;
   seq.seed = 1;
-  std::string metrics_file;
+  std::string metrics_file, events_file, prom_file, spans_file;
+  bool health = false;
   bool selfcheck = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,12 +110,21 @@ int main(int argc, char** argv) {
       cfg.chip.max_sim_time_s = std::stod(value());
     } else if (arg == "--metrics") {
       metrics_file = value();
+    } else if (arg == "--events") {
+      events_file = value();
+    } else if (arg == "--prom") {
+      prom_file = value();
+    } else if (arg == "--spans") {
+      spans_file = value();
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--selfcheck") {
       selfcheck = true;
     } else {
       usage(("unknown argument: " + arg).c_str());
     }
   }
+  cfg.chip.record_events = !events_file.empty() || !spans_file.empty();
   try {
     cfg.validate();
   } catch (const CheckError& e) {
@@ -136,6 +160,40 @@ int main(int argc, char** argv) {
     out << '\n';
     std::cout << "merged metrics written to " << metrics_file << "\n";
   }
+  if (!events_file.empty()) {
+    std::ofstream out(events_file);
+    if (!out) usage("cannot open events file for writing");
+    fleet_sim.dump_events_jsonl(out);
+    std::cout << "fleet event log (" << fleet_sim.events().size()
+              << " events) written to " << events_file << "\n";
+  }
+  if (!prom_file.empty()) {
+    std::ofstream out(prom_file);
+    if (!out) usage("cannot open prometheus file for writing");
+    obs::prometheus_text(fleet_sim.metrics(), out);
+    std::cout << "prometheus exposition written to " << prom_file << "\n";
+  }
+  if (!spans_file.empty()) {
+    std::ofstream out(spans_file);
+    if (!out) usage("cannot open spans file for writing");
+    obs::write_span_trace(out, fleet_sim.events());
+    std::cout << "app lifecycle spans written to " << spans_file
+              << " (open in Perfetto or chrome://tracing)\n";
+  }
+
+  bool any_crit = false;
+  if (health) {
+    for (int c = 0; c < cfg.chip_count; ++c) {
+      const obs::HealthReport& rep =
+          r.chip_health[static_cast<std::size_t>(c)];
+      std::cout << "chip " << c << " ";
+      obs::write_health_report(std::cout, rep);
+      any_crit = any_crit || rep.critical();
+    }
+    std::cout << "fleet ";
+    obs::write_health_report(std::cout, r.fleet_health);
+    any_crit = any_crit || r.fleet_health.critical();
+  }
 
   if (selfcheck) {
     // Reference: each chip's shard on a standalone simulator, serially.
@@ -162,5 +220,5 @@ int main(int argc, char** argv) {
               << "\n";
     if (!ok) return 1;
   }
-  return 0;
+  return any_crit ? 1 : 0;
 }

@@ -9,6 +9,8 @@
 //
 // Build & run:  ./build/examples/oversubscribed_server [seed] [telemetry.csv]
 //                                                      [snapshot-dir]
+//                                                      [events.jsonl]
+//                                                      [spans.json]
 //
 // Per-epoch telemetry is recorded for both runs; pass a CSV path as the
 // second argument to dump the PARM+PANR time series for plotting. The
@@ -18,6 +20,12 @@
 // Pass a directory as the third argument to snapshot the PARM+PANR run
 // every 50 epochs (crash-safe epoch_<N>.parmsnap files, restorable with
 // parm_runner --resume given the same workload/configuration).
+//
+// Pass a fourth/fifth argument to turn on the PARM+PANR run's flight
+// recorder and dump its structured events as JSONL (fourth) and the
+// derived per-app lifecycle span trace (fifth, Perfetto-loadable) — the
+// walkthrough in EXPERIMENTS.md uses these to dissect a deadline miss.
+// Use "-" to skip an argument position.
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -26,6 +34,7 @@
 #include "common/table.hpp"
 #include "exp/experiments.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace {
 
@@ -58,10 +67,18 @@ void report(const char* title, const parm::sim::SimResult& r) {
 
 int main(int argc, char** argv) {
   using namespace parm;
+  const auto arg_or = [&](int idx) -> std::string {
+    // "-" skips a positional argument so later ones stay addressable.
+    if (argc <= idx) return "";
+    const std::string v = argv[idx];
+    return v == "-" ? "" : v;
+  };
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
-  const std::string telemetry_file = argc > 2 ? argv[2] : "";
-  const std::string snapshot_dir = argc > 3 ? argv[3] : "";
+  const std::string telemetry_file = arg_or(2);
+  const std::string snapshot_dir = arg_or(3);
+  const std::string events_file = arg_or(4);
+  const std::string spans_file = arg_or(5);
 
   appmodel::SequenceConfig seq;
   seq.kind = appmodel::SequenceKind::Mixed;
@@ -81,6 +98,8 @@ int main(int argc, char** argv) {
     sim::SimConfig cfg = exp::default_sim_config();
     cfg.framework = fw;
     cfg.record_telemetry = true;
+    cfg.record_events = fw.routing == std::string("PANR") &&
+                        (!events_file.empty() || !spans_file.empty());
     sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
     if (fw.routing == std::string("PANR") && !snapshot_dir.empty()) {
       simulator.enable_periodic_snapshots(50, snapshot_dir);
@@ -97,6 +116,26 @@ int main(int argc, char** argv) {
                   << " epochs) written to " << telemetry_file << "\n\n";
       } else {
         std::cerr << "cannot open " << telemetry_file << " for writing\n";
+      }
+    }
+    if (cfg.record_events && !events_file.empty()) {
+      std::ofstream out(events_file);
+      if (out) {
+        simulator.recorder().dump_jsonl(out);
+        std::cout << "PARM+PANR events (" << simulator.recorder().size()
+                  << " retained) written to " << events_file << "\n\n";
+      } else {
+        std::cerr << "cannot open " << events_file << " for writing\n";
+      }
+    }
+    if (cfg.record_events && !spans_file.empty()) {
+      std::ofstream out(spans_file);
+      if (out) {
+        obs::write_span_trace(out, simulator.recorder().collect());
+        std::cout << "PARM+PANR lifecycle spans written to " << spans_file
+                  << " (open in Perfetto)\n\n";
+      } else {
+        std::cerr << "cannot open " << spans_file << " for writing\n";
       }
     }
   }

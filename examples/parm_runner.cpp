@@ -12,6 +12,8 @@
 //               [--telemetry FILE.csv] [--throttle]
 //               [--metrics FILE.json] [--trace FILE.json]
 //               [--trace-jsonl FILE.jsonl]
+//               [--events FILE.jsonl] [--events-on-ve FILE.jsonl]
+//               [--spans FILE.json] [--health]
 //               [--snapshot-every N --snapshot-dir DIR]
 //               [--resume FILE.parmsnap] [--max-time SECONDS]
 //
@@ -29,7 +31,14 @@
 //   (solver/mapper/NoC counters and latency percentiles) as JSON and
 //   prints the text report after the run; --trace writes a Chrome trace-event file (open in
 //   Perfetto or chrome://tracing); --trace-jsonl streams the same events
-//   one JSON object per line.
+//   one JSON object per line. --events enables the flight recorder and
+//   dumps the retained structured events (app lifecycle, VE-margin
+//   crossings, NoC congestion) as JSONL at run end; --events-on-ve dumps
+//   them at the first voltage emergency instead; --spans derives per-app
+//   lifecycle spans from the same events into a Chrome trace (one track
+//   per app). --health evaluates threshold rules (VE rate, deadline-miss
+//   rate, PSN-cache hit rate, queue depth) over the run's metrics and
+//   exits 1 when any rule is critical.
 //
 // Examples:
 //   parm_runner --mapping PARM --routing PANR --workload comm --arrival 0.05
@@ -44,7 +53,9 @@
 #include "appmodel/workload_io.hpp"
 #include "common/check.hpp"
 #include "exp/experiments.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "snapshot/serializer.hpp"
 
@@ -71,6 +82,8 @@ int main(int argc, char** argv) {
   seq.seed = 1;
   std::string save_workload, load_workload, telemetry_file;
   std::string metrics_file, trace_file, trace_jsonl_file;
+  std::string events_file, events_on_ve_file, spans_file;
+  bool health = false;
   bool throttle = false;
   std::uint64_t snapshot_every = 0;
   std::string snapshot_dir = ".";
@@ -116,6 +129,14 @@ int main(int argc, char** argv) {
       trace_file = value();
     } else if (arg == "--trace-jsonl") {
       trace_jsonl_file = value();
+    } else if (arg == "--events") {
+      events_file = value();
+    } else if (arg == "--events-on-ve") {
+      events_on_ve_file = value();
+    } else if (arg == "--spans") {
+      spans_file = value();
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--throttle") {
       throttle = true;
     } else if (arg == "--snapshot-every") {
@@ -153,6 +174,9 @@ int main(int argc, char** argv) {
   cfg.framework = framework;
   cfg.proactive_throttle = throttle;
   cfg.record_telemetry = !telemetry_file.empty();
+  cfg.record_events = !events_file.empty() || !events_on_ve_file.empty() ||
+                      !spans_file.empty();
+  cfg.events_dump_on_ve = events_on_ve_file;
   if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
   try {
     cfg.validate();
@@ -227,6 +251,27 @@ int main(int argc, char** argv) {
     std::cout << "metrics written to " << metrics_file << "\n";
     std::cout << "\n--- metrics summary ---\n";
     simulator.metrics().write_text(std::cout);
+  }
+  if (!events_file.empty()) {
+    std::ofstream out(events_file);
+    if (!out) usage("cannot open events file for writing");
+    simulator.recorder().dump_jsonl(out);
+    std::cout << "events (" << simulator.recorder().size() << " retained, "
+              << simulator.recorder().dropped() << " dropped) written to "
+              << events_file << "\n";
+  }
+  if (!spans_file.empty()) {
+    std::ofstream out(spans_file);
+    if (!out) usage("cannot open spans file for writing");
+    obs::write_span_trace(out, simulator.recorder().collect());
+    std::cout << "app lifecycle spans written to " << spans_file
+              << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (health) {
+    const obs::HealthReport report =
+        obs::HealthMonitor().evaluate(simulator.metrics());
+    obs::write_health_report(std::cout, report);
+    if (report.critical()) return 1;
   }
   return 0;
 }

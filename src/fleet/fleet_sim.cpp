@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <ostream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -107,12 +108,38 @@ FleetResult FleetSimulator::run() {
       out.apps.push_back(std::move(merged));
     }
     metrics_.merge_from(sims[c]->metrics());
+
+    // Fold this chip's flight recorder into the fleet event log: stamp
+    // the chip index and rewrite chip-local app ids back to the global
+    // stream id, mirroring the outcome re-iding above.
+    for (obs::Event e : sims[c]->recorder().collect()) {
+      e.chip = static_cast<std::int16_t>(c);
+      if (e.app >= 0) e.app = global_id(static_cast<int>(c), e.app);
+      events_.push_back(e);
+    }
+
+    out.chip_health.push_back(
+        obs::HealthMonitor().evaluate(sims[c]->metrics()));
   }
   std::sort(out.apps.begin(), out.apps.end(),
             [](const sim::AppOutcome& a, const sim::AppOutcome& b) {
               return a.id < b.id;
             });
+  std::sort(events_.begin(), events_.end(),
+            [](const obs::Event& a, const obs::Event& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.chip != b.chip) return a.chip < b.chip;
+              return a.seq < b.seq;
+            });
+  out.fleet_health = obs::HealthMonitor().evaluate(metrics_);
   return out;
+}
+
+void FleetSimulator::dump_events_jsonl(std::ostream& os) const {
+  for (const obs::Event& e : events_) {
+    obs::write_event_json(os, e);
+    os << '\n';
+  }
 }
 
 }  // namespace parm::fleet

@@ -17,10 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "appmodel/workload.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "sim/sim_config.hpp"
 
@@ -63,6 +66,13 @@ struct FleetResult {
   double peak_psn_percent = 0.0;  ///< max over chips
   double peak_chip_power_w = 0.0; ///< max over chips
   bool timed_out = false;         ///< any chip hit its time limit
+
+  /// Health rollup: one report per chip (from that chip's registry) and
+  /// one fleet-wide report from the merged registry. The fleet report's
+  /// rates therefore aggregate every chip — a single sick chip shows up
+  /// in its own report even when the fleet average looks fine.
+  std::vector<obs::HealthReport> chip_health;
+  obs::HealthReport fleet_health;
 };
 
 class FleetSimulator {
@@ -84,6 +94,14 @@ class FleetSimulator {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
+  /// Merged fleet event log (populated by run() when the chip template
+  /// sets record_events): every chip's retained events with Event::chip
+  /// stamped and Event::app rewritten to the global stream id, ordered by
+  /// (time, chip, per-chip seq).
+  const std::vector<obs::Event>& events() const { return events_; }
+  /// Writes the merged event log as JSONL (one event object per line).
+  void dump_events_jsonl(std::ostream& os) const;
+
   int chip_count() const { return cfg_.chip_count; }
   /// The shard assigned to one chip (dense local ids).
   const std::vector<appmodel::AppArrival>& chip_arrivals(int chip) const;
@@ -95,6 +113,7 @@ class FleetSimulator {
   std::vector<std::vector<appmodel::AppArrival>> shards_;
   std::vector<std::vector<int>> global_ids_;  ///< [chip][local id]
   obs::Registry metrics_;
+  std::vector<obs::Event> events_;  ///< merged fleet event log
 };
 
 }  // namespace parm::fleet

@@ -1,0 +1,101 @@
+#include "obs/events.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "obs/json_util.hpp"
+
+namespace parm::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kAppArrival:
+      return "app.arrival";
+    case EventType::kAppAdmit:
+      return "app.admit";
+    case EventType::kAppReject:
+      return "app.reject";
+    case EventType::kAppMap:
+      return "app.map";
+    case EventType::kAppMigrate:
+      return "app.migrate";
+    case EventType::kAppThrottle:
+      return "app.throttle";
+    case EventType::kAppComplete:
+      return "app.complete";
+    case EventType::kAppDeadlineMiss:
+      return "app.deadline_miss";
+    case EventType::kAppVe:
+      return "app.ve";
+    case EventType::kVeOnset:
+      return "ve.onset";
+    case EventType::kVeClear:
+      return "ve.clear";
+    case EventType::kNocCongestionOnset:
+      return "noc.congestion_onset";
+    case EventType::kNocCongestionClear:
+      return "noc.congestion_clear";
+  }
+  return "unknown";
+}
+
+EventPayloadKeys event_payload_keys(EventType type) {
+  switch (type) {
+    case EventType::kAppArrival:
+      return {"deadline_s", nullptr};
+    case EventType::kAppAdmit:
+      return {"vdd", "dop"};
+    case EventType::kAppReject:
+      return {nullptr, nullptr};
+    case EventType::kAppMap:
+      return {"tasks", "domain0"};
+    case EventType::kAppMigrate:
+      return {"to_tile", "psn_percent"};
+    case EventType::kAppThrottle:
+      return {"psn_percent", nullptr};
+    case EventType::kAppComplete:
+      return {"ve_count", "slack_s"};
+    case EventType::kAppDeadlineMiss:
+      return {"lateness_s", nullptr};
+    case EventType::kAppVe:
+      return {"psn_percent", "injected"};
+    case EventType::kVeOnset:
+      return {"psn_percent", nullptr};
+    case EventType::kVeClear:
+      return {"psn_percent", nullptr};
+    case EventType::kNocCongestionOnset:
+    case EventType::kNocCongestionClear:
+      return {"delivery_ratio", "avg_latency_cycles"};
+  }
+  return {};
+}
+
+void write_event_json(std::ostream& os, const Event& e) {
+  const auto num = [&os](double v) {
+    // JSON has no Infinity/NaN literals; events never legitimately carry
+    // them, but a defensive 0 keeps every line parseable.
+    os << (std::isfinite(v) ? v : 0.0);
+  };
+  const auto old_precision = os.precision(15);
+  os << "{\"seq\":" << e.seq << ",\"t\":";
+  num(e.t);
+  os << ",\"type\":";
+  json_string(os, event_type_name(e.type));
+  if (e.chip >= 0) os << ",\"chip\":" << e.chip;
+  if (e.app >= 0) os << ",\"app\":" << e.app;
+  if (e.domain >= 0) os << ",\"domain\":" << e.domain;
+  if (e.tile >= 0) os << ",\"tile\":" << e.tile;
+  const EventPayloadKeys keys = event_payload_keys(e.type);
+  if (keys.a != nullptr) {
+    os << ",\"" << keys.a << "\":";
+    num(e.a);
+  }
+  if (keys.b != nullptr) {
+    os << ",\"" << keys.b << "\":";
+    num(e.b);
+  }
+  os << '}';
+  os.precision(old_precision);
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,82 @@
+// Typed structured events: the vocabulary of the flight recorder.
+//
+// An Event is a fixed-size POD — no strings, no heap — so emission is a
+// struct copy into a ring buffer and a recorder holds a hard memory
+// bound (capacity × sizeof(Event)). Everything event-like the PARM
+// runtime does is covered by one enumerator:
+//
+//   application lifecycle   arrival / admit / reject / map / migrate /
+//                           throttle / complete / deadline-miss, plus
+//                           the per-app voltage-emergency rollback
+//   PDN emergencies         per-domain VE-margin onset / clear with the
+//                           domain's peak PSN
+//   NoC congestion          delivery-ratio threshold crossings
+//
+// The numeric payload fields `a` and `b` are interpreted per type (see
+// the table in event_payload_keys); the JSONL writer names them so a
+// dump is self-describing. `chip` is -1 inside a single simulator and
+// stamped by the fleet driver when it merges per-chip recorders.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+
+namespace parm::obs {
+
+enum class EventType : std::uint16_t {
+  kAppArrival = 0,    ///< app entered the service queue
+  kAppAdmit,          ///< Alg. 1 committed Vdd/DoP (a=vdd, b=dop)
+  kAppReject,         ///< dropped after exhausting queue stalls
+  kAppMap,            ///< placement committed (a=task count, b=domain)
+  kAppMigrate,        ///< hot task moved (tile=from, a=to tile, b=psn %)
+  kAppThrottle,       ///< proactive throttle engaged on a tile (a=psn %)
+  kAppComplete,       ///< all tasks finished (a=ve count, b=slack s)
+  kAppDeadlineMiss,   ///< completed after its deadline (a=lateness s)
+  kAppVe,             ///< VE rollback hit one task (a=psn %, b=injected)
+  kVeOnset,           ///< domain peak PSN crossed the VE margin (a=psn %)
+  kVeClear,           ///< domain peak PSN fell back under the margin
+  kNocCongestionOnset,  ///< window delivery ratio fell below threshold
+                        ///< (a=delivery ratio, b=avg latency cycles)
+  kNocCongestionClear,  ///< delivery ratio recovered
+};
+
+/// Number of distinct event types (one past the last enumerator).
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kNocCongestionClear) + 1;
+
+/// Stable lower-case dotted name ("app.admit", "ve.onset", ...).
+const char* event_type_name(EventType type);
+
+/// JSONL key names for the `a`/`b` payload of a type; either pointer is
+/// null when the field is unused by that type.
+struct EventPayloadKeys {
+  const char* a = nullptr;
+  const char* b = nullptr;
+};
+EventPayloadKeys event_payload_keys(EventType type);
+
+/// One recorded occurrence. Fixed-size POD: safe to copy into a
+/// preallocated ring from any thread, trivially bounded in memory.
+struct Event {
+  double t = 0.0;          ///< simulation time (s)
+  std::uint64_t seq = 0;   ///< recorder emission order (stamped on emit)
+  double a = 0.0;          ///< payload, per-type meaning (see enum docs)
+  double b = 0.0;
+  std::int32_t app = -1;     ///< app outcome id, -1 when not app-scoped
+  std::int32_t tile = -1;    ///< tile, -1 when not tile-scoped
+  std::int32_t domain = -1;  ///< voltage domain, -1 when not domain-scoped
+  EventType type = EventType::kAppArrival;
+  std::int16_t chip = -1;  ///< fleet chip index, -1 for a lone simulator
+};
+
+static_assert(std::is_trivially_copyable_v<Event> &&
+                  std::is_standard_layout_v<Event>,
+              "Event must stay a fixed-size POD");
+
+/// Writes one event as a single-line JSON object (no trailing newline):
+/// {"seq":3,"t":0.012,"type":"app.admit","app":2,"vdd":0.58,"dop":16}.
+/// Unused -1 id fields and unused payload fields are omitted.
+void write_event_json(std::ostream& os, const Event& e);
+
+}  // namespace parm::obs

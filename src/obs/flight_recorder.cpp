@@ -1,0 +1,110 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace parm::obs {
+
+FlightRecorder::FlightRecorder(bool enabled, std::size_t capacity,
+                               std::size_t shard_count, Registry* registry) {
+  enabled_ = enabled;
+  if (capacity == 0) capacity = 1;
+  if (shard_count == 0) shard_count = 1;
+  shard_count = std::min(shard_count, capacity);
+  capacity_ = capacity;
+  shards_.reserve(shard_count);
+  // Distribute the capacity across shards; the first `capacity % shards`
+  // rings take one extra slot so the total bound is exactly `capacity`.
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::size_t extra = s < capacity % shard_count ? 1 : 0;
+    shard->ring.resize(capacity / shard_count + extra);
+    shards_.push_back(std::move(shard));
+  }
+  Registry& reg = resolve(registry);
+  emitted_metric_ = &reg.counter("recorder.events_emitted");
+  dropped_metric_ = &reg.counter("recorder.events_dropped");
+  high_water_metric_ = &reg.gauge("recorder.high_water");
+}
+
+void FlightRecorder::emit(Event e) {
+  if (!enabled_) return;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[e.seq % shards_.size()];
+  bool overwrote;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    overwrote = shard.written >= shard.ring.size();
+    shard.ring[shard.written % shard.ring.size()] = e;
+    ++shard.written;
+  }
+  emitted_metric_->inc();
+  if (overwrote) dropped_metric_->inc();
+  // seq assigns shards round-robin and the capacity split matches that
+  // distribution, so retained occupancy is exactly min(emitted, capacity)
+  // — the high-water mark needs no shard scan.
+  high_water_metric_->max_of(static_cast<double>(
+      std::min<std::uint64_t>(e.seq + 1, capacity_)));
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->written > shard->ring.size()) {
+      total += shard->written - shard->ring.size();
+    }
+  }
+  return total;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(shard->written, shard->ring.size()));
+  }
+  return total;
+}
+
+std::size_t FlightRecorder::high_water() const {
+  return static_cast<std::size_t>(high_water_metric_->value());
+}
+
+std::vector<Event> FlightRecorder::collect() const {
+  std::vector<Event> out;
+  out.reserve(capacity_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(shard->written, shard->ring.size()));
+    const std::size_t start =
+        shard->written > shard->ring.size()
+            ? static_cast<std::size_t>(shard->written % shard->ring.size())
+            : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(shard->ring[(start + i) % shard->ring.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& os) const {
+  for (const Event& e : collect()) {
+    write_event_json(os, e);
+    os << '\n';
+  }
+}
+
+void FlightRecorder::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->written = 0;
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parm::obs

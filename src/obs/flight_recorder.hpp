@@ -1,0 +1,113 @@
+// Bounded in-memory flight recorder for structured events.
+//
+// The recorder is the post-hoc forensics channel of the obs stack: the
+// simulator emits typed POD events (obs/events.hpp) as it runs, and the
+// recorder retains the most recent `capacity` of them in preallocated
+// ring buffers — old evidence is overwritten, never reallocated, so a
+// recorder's memory bound is fixed at construction
+// (capacity × sizeof(Event), ~48 B/event). Dumping is on demand
+// (dump_jsonl), typically at run end or on the first voltage emergency
+// (SystemSimulator's dump-on-VE hook).
+//
+// Ownership mirrors obs::Registry: every simulator owns one recorder, so
+// fleet chips never interleave events; the fleet driver collects every
+// chip's events, stamps Event::chip, and merges.
+//
+// Concurrency: emission takes one lock per *shard* — events hash across
+// `shard_count` independent rings by sequence number — so concurrent
+// emitters (ThreadPool workers tracing their own work) rarely contend.
+// Within the engine all emission happens in serial phase code, which is
+// what makes event sequence numbers deterministic there.
+//
+// Observe-only contract: emit() touches nothing but the recorder itself
+// (no RNG, no simulation state), so enabling it cannot perturb a run —
+// tests/engine_equivalence_test pins this bit-for-bit. Recorder contents
+// are deliberately *not* snapshotted: a resumed run starts with an empty
+// recorder, the same as a rebooted aircraft.
+//
+// The recorder observes itself: emitted/dropped counters and a
+// high-water occupancy gauge are registered in the owning registry
+// (recorder.events_emitted, recorder.events_dropped,
+// recorder.high_water).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+class FlightRecorder {
+ public:
+  /// ~768 KiB of events per recorder at the default capacity.
+  static constexpr std::size_t kDefaultCapacity = 16384;
+  static constexpr std::size_t kDefaultShards = 8;
+
+  /// A disabled recorder ignores emit() entirely (one relaxed load).
+  /// `capacity` is the total retained-event bound across all shards;
+  /// `registry` receives the recorder's self-metrics (null selects the
+  /// process-default registry, as everywhere in obs).
+  explicit FlightRecorder(bool enabled = false,
+                          std::size_t capacity = kDefaultCapacity,
+                          std::size_t shard_count = kDefaultShards,
+                          Registry* registry = nullptr);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Records `e` (stamping Event::seq with the global emission order).
+  /// Thread-safe; no-op when disabled. When the target shard is full the
+  /// oldest event in that shard is overwritten and counted as dropped.
+  void emit(Event e);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events emitted since construction (including overwritten ones).
+  std::uint64_t emitted() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wrap-around (lost to the bound).
+  std::uint64_t dropped() const;
+  /// Events currently retained (≤ capacity()).
+  std::size_t size() const;
+  /// Maximum retained-event occupancy seen so far (≤ capacity()).
+  std::size_t high_water() const;
+
+  /// All retained events in emission order (sorted by seq).
+  std::vector<Event> collect() const;
+
+  /// Writes every retained event as one JSON object per line, in
+  /// emission order. Callable at any time ("on demand"), including while
+  /// other threads emit (those events may or may not be included).
+  void dump_jsonl(std::ostream& os) const;
+
+  /// Discards retained events and zeroes emitted/dropped accounting.
+  void clear();
+
+ private:
+  /// One independent ring: a preallocated vector written modulo its
+  /// capacity. `written` counts total events ever stored in this shard,
+  /// so occupancy is min(written, ring.size()) and everything older than
+  /// written − ring.size() has been overwritten.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Event> ring;
+    std::uint64_t written = 0;
+  };
+
+  bool enabled_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  Counter* emitted_metric_;
+  Counter* dropped_metric_;
+  Gauge* high_water_metric_;
+};
+
+}  // namespace parm::obs

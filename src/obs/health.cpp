@@ -1,0 +1,140 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace parm::obs {
+
+const char* health_status_name(HealthStatus s) {
+  switch (s) {
+    case HealthStatus::kOk:
+      return "OK";
+    case HealthStatus::kWarn:
+      return "WARN";
+    case HealthStatus::kCrit:
+      return "CRIT";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+HealthCheck rate_check(std::string name, double num, double den,
+                       const char* unit, double warn_at, double crit_at) {
+  HealthCheck check;
+  check.name = std::move(name);
+  std::ostringstream reason;
+  reason.precision(4);
+  if (den <= 0.0) {
+    check.reason = "no data";
+    return check;
+  }
+  check.value = num / den;
+  if (check.value >= crit_at) {
+    check.status = HealthStatus::kCrit;
+    reason << check.value << ' ' << unit << " >= crit threshold " << crit_at;
+  } else if (check.value >= warn_at) {
+    check.status = HealthStatus::kWarn;
+    reason << check.value << ' ' << unit << " >= warn threshold " << warn_at;
+  } else {
+    reason << check.value << ' ' << unit << " under warn threshold "
+           << warn_at;
+  }
+  check.reason = reason.str();
+  return check;
+}
+
+}  // namespace
+
+HealthReport HealthMonitor::evaluate(const Registry& registry) const {
+  HealthReport report;
+  const auto c = [&](std::string_view name) {
+    return static_cast<double>(registry.counter_value(name));
+  };
+
+  report.checks.push_back(rate_check(
+      "ve_rate", c("sim.ves"), c("sim.epochs"), "VEs/epoch",
+      config_.ve_rate_warn, config_.ve_rate_crit));
+
+  report.checks.push_back(rate_check(
+      "deadline_miss_rate", c("sim.deadline_misses"), c("sim.apps_completed"),
+      "misses/app", config_.deadline_miss_rate_warn,
+      config_.deadline_miss_rate_crit));
+
+  {
+    // Hit rate is a good-when-high metric: invert into a miss rate so the
+    // shared >= comparison applies, then report the hit rate.
+    HealthCheck check;
+    check.name = "psn_cache_hit_rate";
+    const double hits = c("pdn.psn_cache_hits");
+    const double lookups = hits + c("pdn.psn_cache_misses");
+    if (lookups <= 0.0) {
+      check.reason = "no data";
+    } else {
+      check.value = hits / lookups;
+      std::ostringstream reason;
+      reason.precision(4);
+      if (check.value < config_.psn_cache_hit_rate_crit) {
+        check.status = HealthStatus::kCrit;
+        reason << check.value << " hit rate < crit threshold "
+               << config_.psn_cache_hit_rate_crit;
+      } else if (check.value < config_.psn_cache_hit_rate_warn) {
+        check.status = HealthStatus::kWarn;
+        reason << check.value << " hit rate < warn threshold "
+               << config_.psn_cache_hit_rate_warn;
+      } else {
+        reason << check.value << " hit rate at or above warn threshold "
+               << config_.psn_cache_hit_rate_warn;
+      }
+      check.reason = reason.str();
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  report.checks.push_back(rate_check(
+      "queue_depth", registry.gauge_value("sim.queue_depth"), 1.0, "queued",
+      config_.queue_depth_warn, config_.queue_depth_crit));
+
+  {
+    // Any recorder drop means forensic evidence was overwritten: the
+    // event log is incomplete, so the run's observability degraded.
+    HealthCheck check;
+    check.name = "recorder_drops";
+    check.value = c("recorder.events_dropped");
+    if (check.value > 0.0) {
+      check.status = HealthStatus::kWarn;
+      std::ostringstream reason;
+      reason << static_cast<std::uint64_t>(check.value)
+             << " events overwritten before dump; raise recorder capacity";
+      check.reason = reason.str();
+    } else {
+      check.reason = "no events dropped";
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  for (const HealthCheck& check : report.checks) {
+    report.status = std::max(report.status, check.status);
+  }
+  return report;
+}
+
+void write_health_report(std::ostream& os, const HealthReport& report) {
+  os << "health: " << health_status_name(report.status) << '\n';
+  std::vector<const HealthCheck*> ordered;
+  ordered.reserve(report.checks.size());
+  for (const HealthCheck& check : report.checks) ordered.push_back(&check);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const HealthCheck* x, const HealthCheck* y) {
+                     return x->status > y->status;
+                   });
+  const auto old_precision = os.precision(6);
+  for (const HealthCheck* check : ordered) {
+    os << "  " << health_status_name(check->status) << ' ' << check->name
+       << '=' << check->value << "  " << check->reason << '\n';
+  }
+  os.precision(old_precision);
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,85 @@
+// Health monitor: threshold rules over a metrics registry, evaluated
+// into an OK / WARN / CRIT verdict with human-readable reasons.
+//
+// The monitor is deliberately dumb: it reads already-registered metric
+// values (sim.* run counters, pdn.* cache counters, recorder.* drop
+// accounting) and compares rates against configured thresholds. It keeps
+// no history and mutates nothing, so it can be evaluated at any point —
+// end of run (parm_runner --health), per chip and fleet-wide
+// (fleet_runner --health), or from CI, where a CRIT verdict fails the
+// job via the runner's exit code.
+//
+// Rules whose denominator is zero (no epochs ran, no apps completed, no
+// PSN solves issued) report OK with a "no data" reason rather than
+// dividing by zero or guessing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+enum class HealthStatus { kOk = 0, kWarn = 1, kCrit = 2 };
+
+const char* health_status_name(HealthStatus s);
+
+/// Verdict of one rule: the metric checked, the observed value, and a
+/// sentence saying why it landed where it did.
+struct HealthCheck {
+  std::string name;
+  HealthStatus status = HealthStatus::kOk;
+  double value = 0.0;
+  std::string reason;
+};
+
+/// Overall report: worst rule status wins.
+struct HealthReport {
+  HealthStatus status = HealthStatus::kOk;
+  std::vector<HealthCheck> checks;
+
+  bool ok() const { return status == HealthStatus::kOk; }
+  bool critical() const { return status == HealthStatus::kCrit; }
+};
+
+/// Thresholds for the built-in rules. A `warn` fires at >= (or < for the
+/// hit-rate rule, where low is bad); `crit` likewise.
+struct HealthConfig {
+  /// Voltage emergencies per epoch (sim.ves / sim.epochs). A fraction of
+  /// an emergency per epoch is survivable; multiple per epoch means the
+  /// PSN-aware policy has lost control of the PDN.
+  double ve_rate_warn = 0.2;
+  double ve_rate_crit = 2.0;
+  /// Deadline misses per completed app (sim.deadline_misses /
+  /// sim.apps_completed).
+  double deadline_miss_rate_warn = 0.1;
+  double deadline_miss_rate_crit = 0.5;
+  /// PSN-estimate cache hit rate (pdn.psn_cache_hits / lookups); *low*
+  /// values fire. An ice-cold cache in steady state means the PDN hot
+  /// path is re-solving every epoch.
+  double psn_cache_hit_rate_warn = 0.5;
+  double psn_cache_hit_rate_crit = 0.05;
+  /// Instantaneous service-queue depth (sim.queue_depth gauge).
+  double queue_depth_warn = 8.0;
+  double queue_depth_crit = 32.0;
+};
+
+/// Evaluates the rule set against `registry`. Stateless beyond config.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {}) : config_(config) {}
+
+  HealthReport evaluate(const Registry& registry) const;
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  HealthConfig config_;
+};
+
+/// Writes a report as "STATUS check=value reason" lines, worst first.
+void write_health_report(std::ostream& os, const HealthReport& report);
+
+}  // namespace parm::obs

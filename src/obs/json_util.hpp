@@ -1,0 +1,51 @@
+// Shared JSON string escaping for every obs exporter (metrics JSON,
+// Chrome traces, event JSONL). One definition so the escaping rules —
+// and therefore what a downstream parser must accept — cannot drift
+// between sinks.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace parm::obs {
+
+/// Writes `s` with JSON string escaping (quotes, backslashes, control
+/// characters as \uXXXX) but no surrounding quotes.
+inline void json_escape(std::ostream& os, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u00" << kHex[(static_cast<unsigned char>(ch) >> 4) & 0xf]
+             << kHex[static_cast<unsigned char>(ch) & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+/// Writes `s` as a complete JSON string literal (quoted and escaped).
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  json_escape(os, s);
+  os << '"';
+}
+
+}  // namespace parm::obs

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iomanip>
 #include <limits>
 #include <ostream>
 
 #include "common/check.hpp"
+#include "obs/json_util.hpp"
 
 namespace parm::obs {
 
@@ -143,6 +143,12 @@ std::uint64_t Registry::counter_value(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+double Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
 void Registry::write_text(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {
@@ -163,35 +169,6 @@ void Registry::write_text(std::ostream& os) const {
 }
 
 namespace {
-
-void json_escape(std::ostream& os, std::string_view s) {
-  for (const char ch : s) {
-    switch (ch) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-             << static_cast<int>(ch) << std::dec << std::setfill(' ');
-        } else {
-          os << ch;
-        }
-    }
-  }
-}
 
 /// JSON has no Infinity/NaN literals; metrics never legitimately produce
 /// them, but a defensive 0 keeps the export parseable either way.

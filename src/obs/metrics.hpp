@@ -72,6 +72,14 @@ class Gauge {
                                          std::memory_order_relaxed)) {
     }
   }
+  /// Raises the gauge to `v` if `v` exceeds the current value (CAS loop).
+  /// For high-water marks maintained from concurrent writers.
+  void max_of(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -162,6 +170,8 @@ class Registry {
 
   /// Value of a counter if registered, 0 otherwise (never registers).
   std::uint64_t counter_value(std::string_view name) const;
+  /// Value of a gauge if registered, 0 otherwise (never registers).
+  double gauge_value(std::string_view name) const;
 
   /// Human-readable report, one metric per line, sorted by name.
   void write_text(std::ostream& os) const;
@@ -169,6 +179,9 @@ class Registry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
   ///  max,mean,p50,p90,p99}}}
   void write_json(std::ostream& os) const;
+  /// Prometheus text exposition format v0.0.4 (defined in prometheus.cpp;
+  /// `prometheus_text` in obs/prometheus.hpp is the free-function face).
+  void write_prometheus(std::ostream& os) const;
 
   /// Zeroes every registered metric (test isolation, per-run baselines).
   void reset_values();

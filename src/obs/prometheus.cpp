@@ -1,0 +1,77 @@
+// Registry::write_prometheus lives here (not metrics.cpp) so the
+// exposition-format rules stay in one translation unit with their
+// helpers; metrics.hpp declares the member.
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace parm::obs {
+
+namespace {
+
+/// "pdn.psn_cache_hits" → "parm_pdn_psn_cache_hits". Anything outside
+/// the Prometheus name alphabet [a-zA-Z0-9_:] becomes '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "parm_";
+  out.reserve(out.size() + name.size());
+  for (const char ch : name) {
+    const auto uch = static_cast<unsigned char>(ch);
+    out.push_back(std::isalnum(uch) || ch == ':' ? ch : '_');
+  }
+  return out;
+}
+
+/// Prometheus floats: plain decimal, with +Inf/-Inf/NaN spelled out.
+void prom_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto old_precision = os.precision(15);
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prom_name(name) + "_total";
+    os << "# TYPE " << pn << " counter\n"
+       << pn << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << ' ';
+    prom_value(os, g->value());
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-bucket tallies.
+    const auto& bounds = h->upper_bounds();
+    const auto& counts = h->bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      os << pn << "_bucket{le=\"";
+      prom_value(os, bounds[i]);
+      os << "\"} " << cum << '\n';
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << h->count() << '\n'
+       << pn << "_sum ";
+    prom_value(os, h->sum());
+    os << '\n' << pn << "_count " << h->count() << '\n';
+  }
+  os.precision(old_precision);
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,27 @@
+// Prometheus text exposition (format v0.0.4) for a metrics registry.
+//
+// Naming: internal dotted metric names ("pdn.psn_cache_hits") are
+// sanitized into the Prometheus alphabet [a-zA-Z0-9_:] and prefixed
+// with "parm_"; counters additionally get the conventional "_total"
+// suffix ("parm_pdn_psn_cache_hits_total"). Histograms export the full
+// cumulative-bucket family: parm_<name>_bucket{le="..."} rows ending in
+// le="+Inf", plus _sum and _count.
+//
+// This is pull-model plumbing for whatever serves the bytes: the fleet
+// runner writes the exposition to a file (--prom) from which a node
+// exporter textfile collector or CI check can pick it up.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+/// Writes `registry` in Prometheus text exposition format. Free-function
+/// face of Registry::write_prometheus.
+inline void prometheus_text(const Registry& registry, std::ostream& os) {
+  registry.write_prometheus(os);
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,205 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "obs/json_util.hpp"
+
+namespace parm::obs {
+
+namespace {
+
+/// Closes the open exec segment (if any) at time `t`.
+void close_exec(AppSpan& span, double t) {
+  if (!span.exec.empty() && span.exec.back().end < span.exec.back().start) {
+    span.exec.back().end = t;
+  }
+}
+
+/// Opens a new exec segment at `t`; `tile` may be -1 (filled in later by
+/// a map event if one follows).
+void open_exec(AppSpan& span, double t, std::int32_t tile) {
+  // end < start marks the segment as still open.
+  span.exec.push_back({t, t - 1.0, tile});
+}
+
+}  // namespace
+
+std::vector<AppSpan> derive_app_spans(const std::vector<Event>& events) {
+  std::vector<Event> sorted = events;
+  std::sort(sorted.begin(), sorted.end(), [](const Event& x, const Event& y) {
+    return x.t != y.t ? x.t < y.t
+                      : (x.chip != y.chip ? x.chip < y.chip : x.seq < y.seq);
+  });
+
+  std::map<std::pair<std::int16_t, std::int32_t>, AppSpan> spans;
+  for (const Event& e : sorted) {
+    if (e.app < 0) continue;
+    AppSpan& span = spans[{e.chip, e.app}];
+    span.app = e.app;
+    span.chip = e.chip;
+    // Whatever else happens, the app was alive at e.t: keep end_t fresh
+    // so apps cut off by the end of the run still get a bounded span.
+    if (!span.completed && !span.rejected) span.end_t = e.t;
+    switch (e.type) {
+      case EventType::kAppArrival:
+        span.arrival_t = e.t;
+        break;
+      case EventType::kAppAdmit:
+        span.admitted = true;
+        span.admit_t = e.t;
+        open_exec(span, e.t, -1);
+        break;
+      case EventType::kAppReject:
+        span.rejected = true;
+        span.end_t = e.t;
+        break;
+      case EventType::kAppMap:
+        // Placement names the first segment's representative tile.
+        if (!span.exec.empty() && span.exec.back().tile < 0) {
+          span.exec.back().tile = e.tile;
+        }
+        break;
+      case EventType::kAppMigrate:
+        ++span.migrations;
+        close_exec(span, e.t);
+        open_exec(span, e.t, static_cast<std::int32_t>(e.a));
+        break;
+      case EventType::kAppThrottle:
+        ++span.throttles;
+        break;
+      case EventType::kAppVe:
+        ++span.ves;
+        break;
+      case EventType::kAppComplete:
+        span.completed = true;
+        span.end_t = e.t;
+        close_exec(span, e.t);
+        break;
+      case EventType::kAppDeadlineMiss:
+        span.deadline_missed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<AppSpan> out;
+  out.reserve(spans.size());
+  for (auto& [key, span] : spans) {
+    // An app still running when the recorder was dumped: bound its open
+    // segment at the last time it was seen.
+    close_exec(span, span.end_t);
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kSimSecondsToTraceUs = 1e6;
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& os) : os_(os) {
+    old_precision_ = os_.precision(15);
+    os_ << "[";
+  }
+  ~TraceWriter() {
+    os_ << "\n]\n";
+    os_.precision(old_precision_);
+  }
+
+  std::ostream& begin(const char* ph, const char* name, int pid, int tid,
+                      double ts_us) {
+    os_ << (first_ ? "\n" : ",\n") << "{\"ph\":\"" << ph << "\",\"name\":";
+    first_ = false;
+    json_string(os_, name);
+    os_ << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << ts_us;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  std::streamsize old_precision_ = 6;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_span_trace(std::ostream& os, const std::vector<Event>& events) {
+  const std::vector<AppSpan> spans = derive_app_spans(events);
+  TraceWriter w(os);
+  int last_pid = -1;
+  for (const AppSpan& span : spans) {
+    const int pid = span.chip + 1;
+    const int tid = span.app;
+    if (pid != last_pid) {
+      last_pid = pid;
+      std::string pname =
+          span.chip < 0 ? "simulator" : "chip " + std::to_string(span.chip);
+      w.begin("M", "process_name", pid, 0, 0)
+          << ",\"args\":{\"name\":\"" << pname << "\"}}";
+    }
+    w.begin("M", "thread_name", pid, tid, 0)
+        << ",\"args\":{\"name\":\"app " << tid << "\"}}";
+
+    const double start =
+        span.arrival_t >= 0.0
+            ? span.arrival_t
+            : (span.admit_t >= 0.0 ? span.admit_t : span.end_t);
+    const double end = std::max(span.end_t, start);
+    const char* outcome = span.rejected
+                              ? "rejected"
+                              : (!span.completed
+                                     ? "running"
+                                     : (span.deadline_missed ? "deadline-miss"
+                                                             : "completed"));
+    w.begin("X", "lifecycle", pid, tid, start * kSimSecondsToTraceUs)
+        << ",\"dur\":" << (end - start) * kSimSecondsToTraceUs
+        << ",\"cat\":\"app\",\"args\":{\"outcome\":\"" << outcome
+        << "\",\"migrations\":" << span.migrations << ",\"ves\":" << span.ves
+        << ",\"throttles\":" << span.throttles << "}}";
+    if (span.queue_wait() > 0.0) {
+      w.begin("X", "queue-wait", pid, tid,
+              span.arrival_t * kSimSecondsToTraceUs)
+          << ",\"dur\":" << span.queue_wait() * kSimSecondsToTraceUs
+          << ",\"cat\":\"app\",\"args\":{}}";
+    }
+    for (const ExecSegment& seg : span.exec) {
+      w.begin("X", "exec", pid, tid, seg.start * kSimSecondsToTraceUs)
+          << ",\"dur\":"
+          << std::max(0.0, seg.end - seg.start) * kSimSecondsToTraceUs
+          << ",\"cat\":\"app\",\"args\":{\"tile\":" << seg.tile << "}}";
+    }
+  }
+  // Instants ride on the raw events so their exact times survive even
+  // when span derivation collapses them into counts.
+  for (const Event& e : events) {
+    if (e.app < 0) continue;
+    const char* name = nullptr;
+    switch (e.type) {
+      case EventType::kAppMigrate:
+        name = "migrate";
+        break;
+      case EventType::kAppThrottle:
+        name = "throttle";
+        break;
+      case EventType::kAppVe:
+        name = "ve";
+        break;
+      case EventType::kAppDeadlineMiss:
+        name = "deadline-miss";
+        break;
+      default:
+        break;
+    }
+    if (name == nullptr) continue;
+    w.begin("i", name, e.chip + 1, e.app, e.t * kSimSecondsToTraceUs)
+        << ",\"s\":\"t\",\"cat\":\"app\",\"args\":{}}";
+  }
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,69 @@
+// Per-application lifecycle spans, derived from flight-recorder events.
+//
+// The recorder stores point events; what a human debugging a deadline
+// miss wants is *intervals*: how long did the app sit in the queue, when
+// did it execute, where did it get interrupted. derive_app_spans folds an
+// event stream into one AppSpan per (chip, app) — queue-wait
+// (arrival→admit), execution segments split at migrations, terminal
+// outcome — and write_span_trace renders the same derivation as a Chrome
+// trace-event JSON file loadable in Perfetto / chrome://tracing, one
+// process per chip and one track (thread) per application.
+//
+// Timestamps are *simulation* time mapped 1 s → 1 µs of trace time (sim
+// runs span seconds; Chrome traces think in µs), so the timeline reads
+// in sim-seconds directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace parm::obs {
+
+/// One uninterrupted stretch of execution on (conceptually) stable
+/// placement; a migration ends one segment and starts the next.
+struct ExecSegment {
+  double start = 0.0;
+  double end = 0.0;
+  std::int32_t tile = -1;  ///< representative tile, -1 when unknown
+};
+
+/// Everything the event stream says about one application's life.
+struct AppSpan {
+  std::int32_t app = -1;
+  std::int16_t chip = -1;
+  double arrival_t = -1.0;  ///< -1 when the arrival predates retention
+  double admit_t = -1.0;    ///< -1 when never admitted
+  double end_t = -1.0;      ///< completion/rejection, or last sighting
+  bool admitted = false;
+  bool completed = false;
+  bool rejected = false;
+  bool deadline_missed = false;
+  std::uint32_t migrations = 0;
+  std::uint32_t ves = 0;        ///< VE rollbacks that hit this app
+  std::uint32_t throttles = 0;  ///< proactive throttles on its tiles
+  std::vector<ExecSegment> exec;
+
+  /// Arrival→admission wait; 0 when either endpoint is unknown.
+  double queue_wait() const {
+    return admitted && arrival_t >= 0.0 && admit_t >= arrival_t
+               ? admit_t - arrival_t
+               : 0.0;
+  }
+};
+
+/// Folds `events` (any order; sorted internally by time then seq) into
+/// per-app spans ordered by (chip, app). Non-app events are ignored.
+/// Ring-buffer truncation degrades gracefully: an app whose arrival was
+/// overwritten still gets a span from its surviving events.
+std::vector<AppSpan> derive_app_spans(const std::vector<Event>& events);
+
+/// Writes the spans of `events` as a complete Chrome trace-event JSON
+/// document: per-app "lifecycle" / "queue-wait" / "exec" complete events
+/// plus instants for migrations, throttles, VE hits, and deadline
+/// misses. pid = chip + 1 (0 for a lone simulator), tid = app id.
+void write_span_trace(std::ostream& os, const std::vector<Event>& events);
+
+}  // namespace parm::obs

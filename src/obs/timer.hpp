@@ -24,7 +24,18 @@ class ScopedTimer {
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
-  ~ScopedTimer() { hist_->observe(elapsed_us()); }
+  // The destructor must record even when the timed scope is unwinding
+  // from an exception — a failed solve is exactly the sample you want —
+  // and must never itself throw during that unwind (that would be
+  // std::terminate). observe() can in principle throw
+  // (std::system_error from its mutex), so swallow rather than die:
+  // losing one sample beats losing the process.
+  ~ScopedTimer() noexcept {
+    try {
+      hist_->observe(elapsed_us());
+    } catch (...) {
+    }
+  }
 
   /// Microseconds since construction.
   double elapsed_us() const {

@@ -3,44 +3,11 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/json_util.hpp"
+
 namespace parm::obs {
 
 namespace {
-
-void json_escape(std::ostream& os, std::string_view s) {
-  for (const char ch : s) {
-    switch (ch) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          os << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
-             << "0123456789abcdef"[ch & 0xf];
-        } else {
-          os << ch;
-        }
-    }
-  }
-}
-
-void json_string(std::ostream& os, std::string_view s) {
-  os << '"';
-  json_escape(os, s);
-  os << '"';
-}
 
 double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
 

@@ -26,6 +26,7 @@
 #include "appmodel/workload.hpp"
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/sim_config.hpp"
 
@@ -62,8 +63,28 @@ struct EpochContext {
   const SimConfig* cfg = nullptr;
   cmp::Platform* platform = nullptr;
   obs::Registry* metrics = nullptr;  ///< this simulator's registry
+  obs::FlightRecorder* recorder = nullptr;  ///< this simulator's recorder
   Rng* rng = nullptr;
   const std::vector<appmodel::AppArrival>* arrivals = nullptr;
+
+  /// Emission shorthand for the phases: records a typed event at the
+  /// current simulation time. Observe-only by construction — touches
+  /// nothing but the recorder — and a single branch when recording is
+  /// off.
+  void emit(obs::EventType type, std::int32_t app = -1,
+            std::int32_t tile = -1, std::int32_t domain = -1, double a = 0.0,
+            double b = 0.0) const {
+    if (recorder == nullptr || !recorder->enabled()) return;
+    obs::Event e;
+    e.t = t;
+    e.type = type;
+    e.app = app;
+    e.tile = tile;
+    e.domain = domain;
+    e.a = a;
+    e.b = b;
+    recorder->emit(e);
+  }
 
   // --- Simulation clock ---
   // Context members (not run() locals) so snapshots taken at the bottom

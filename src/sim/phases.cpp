@@ -41,7 +41,10 @@ void restore_stats(snapshot::Reader& r, RunningStats& st) {
 AdmissionPhase::AdmissionPhase(const core::FrameworkConfig& framework,
                                int queue_max_stalls, obs::Registry* registry)
     : policy_(core::make_admission_policy(framework, registry)),
-      queue_(queue_max_stalls, registry) {}
+      queue_(queue_max_stalls, registry),
+      completed_(&obs::resolve(registry).counter("sim.apps_completed")),
+      deadline_misses_(
+          &obs::resolve(registry).counter("sim.deadline_misses")) {}
 
 void AdmissionPhase::commit(EpochContext& ctx,
                             const core::ServiceQueue::Admitted& adm,
@@ -93,6 +96,17 @@ void AdmissionPhase::commit(EpochContext& ctx,
        {"vdd", adm.decision.vdd},
        {"dop", adm.decision.dop},
        {"sim_time_s", now}});
+  ctx.emit(obs::EventType::kAppAdmit, adm.app.id, -1, -1, adm.decision.vdd,
+           static_cast<double>(adm.decision.dop));
+  if (!adm.decision.mapping.empty()) {
+    const TileId first = adm.decision.mapping.front().tile;
+    ctx.emit(obs::EventType::kAppMap, adm.app.id,
+             static_cast<std::int32_t>(first),
+             static_cast<std::int32_t>(
+                 ctx.platform->mesh().domain_of(first)),
+             static_cast<double>(adm.decision.mapping.size()),
+             static_cast<double>(ctx.platform->mesh().domain_of(first)));
+  }
 }
 
 void AdmissionPhase::admit_pending(EpochContext& ctx, double now) {
@@ -107,6 +121,7 @@ void AdmissionPhase::admit_pending(EpochContext& ctx, double now) {
     out.dropped = true;
     obs::Tracer::instance().instant(
         "sim", "app.drop", {{"app", app.id}, {"sim_time_s", now}});
+    ctx.emit(obs::EventType::kAppReject, app.id);
   }
 }
 
@@ -120,6 +135,8 @@ void AdmissionPhase::process_arrivals(EpochContext& ctx) {
          {"bench",
           std::string_view(arrivals[next_arrival_].bench->name)},
          {"sim_time_s", arrivals[next_arrival_].arrival_s}});
+    ctx.emit(obs::EventType::kAppArrival, arrivals[next_arrival_].id, -1, -1,
+             arrivals[next_arrival_].deadline_s);
     queue_.enqueue(arrivals[next_arrival_]);
     ++next_arrival_;
     admit_pending(ctx, ctx.t);
@@ -148,6 +165,14 @@ void AdmissionPhase::finish_and_readmit(EpochContext& ctx, double now) {
         "sim", "app.complete",
         {{"app", out.id}, {"ve_count", out.ve_count}, {"sim_time_s", now}});
     out.missed_deadline = now > out.deadline_s;
+    completed_->inc();
+    ctx.emit(obs::EventType::kAppComplete, out.id, -1, -1,
+             static_cast<double>(out.ve_count), out.deadline_s - now);
+    if (out.missed_deadline) {
+      deadline_misses_->inc();
+      ctx.emit(obs::EventType::kAppDeadlineMiss, out.id, -1, -1,
+               now - out.deadline_s);
+    }
     for (const RunningTask& task : it->tasks) {
       if (task.finish_s > task.edf_deadline_s) ++out.task_deadline_misses;
     }
@@ -232,6 +257,11 @@ void NocSamplingPhase::run(EpochContext& ctx) {
   if (flows.empty()) {
     std::fill(ctx.router_activity.begin(), ctx.router_activity.end(), 0.0);
     ctx.app_latency.clear();
+    // An idle network cannot be congested: close any open onset.
+    if (congested_) {
+      congested_ = false;
+      ctx.emit(obs::EventType::kNocCongestionClear, -1, -1, -1, 1.0, 0.0);
+    }
     return;
   }
   network_->set_tile_psn(ctx.noc_psn_sensor);
@@ -242,6 +272,14 @@ void NocSamplingPhase::run(EpochContext& ctx) {
   ctx.app_latency = w.app_latency;
   if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);
   ctx.epoch_noc_latency = w.avg_latency;
+  const bool congested =
+      w.delivery_ratio < ctx.cfg->noc_congestion_delivery_ratio;
+  if (congested != congested_) {
+    congested_ = congested;
+    ctx.emit(congested ? obs::EventType::kNocCongestionOnset
+                       : obs::EventType::kNocCongestionClear,
+             -1, -1, -1, w.delivery_ratio, w.avg_latency);
+  }
   for (RunningApp& app : ctx.running) {
     auto it = ctx.app_latency.find(static_cast<std::int32_t>(app.instance));
     if (it != ctx.app_latency.end()) app.latency_cycles = it->second;
@@ -283,8 +321,23 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
     const double limit = platform.config().ve_threshold_percent -
                          cfg.throttle_guard_percent;
     for (std::size_t t = 0; t < ctx.tile_throttled.size(); ++t) {
+      const bool was_throttled = ctx.tile_throttled[t];
       ctx.tile_throttled[t] = ctx.tile_psn_peak[t] > limit;
       if (ctx.tile_throttled[t]) ++total_throttle_epochs_;
+      if (ctx.tile_throttled[t] && !was_throttled &&
+          ctx.recorder != nullptr && ctx.recorder->enabled()) {
+        // Engagement edge only (a sustained throttle is one event, not
+        // one per epoch); the owning-app lookup is skipped entirely when
+        // recording is off.
+        std::int32_t app_id = -1;
+        for (const RunningApp& app : ctx.running) {
+          for (const RunningTask& rt : app.tasks) {
+            if (rt.tile == static_cast<TileId>(t)) app_id = app.outcome_index;
+          }
+        }
+        ctx.emit(obs::EventType::kAppThrottle, app_id,
+                 static_cast<std::int32_t>(t), -1, ctx.tile_psn_peak[t]);
+      }
     }
   }
 
@@ -404,6 +457,10 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   // Phase 3 (serial): sensors and statistics reduced in domain order.
   ctx.epoch_peak_psn = 0.0;
   RunningStats epoch_domain_psn;
+  const double ve_margin = platform.config().ve_threshold_percent;
+  if (domain_over_margin_.size() != n_domains) {
+    domain_over_margin_.assign(n_domains, 0);
+  }
   for (DomainId d = 0; d < mesh.domain_count(); ++d) {
     const auto tiles = mesh.domain_tiles(d);
     const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
@@ -417,11 +474,21 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
     }
     // Only powered (occupied) domains contribute to the chip PSN figures,
     // matching the paper's "PSN observed" in active regions.
-    if (platform.domain_vdd(d).has_value()) {
+    const bool powered = platform.domain_vdd(d).has_value();
+    if (powered) {
       psn_peak_stats_.add(psn.peak_percent);
       psn_avg_stats_.add(psn.avg_percent);
       ctx.epoch_peak_psn = std::max(ctx.epoch_peak_psn, psn.peak_percent);
       epoch_domain_psn.add(psn.avg_percent);
+    }
+    // VE-margin crossing events: a powered domain whose peak PSN exceeds
+    // the margin is at emergency risk (the emergency phase rolls the
+    // dice next); falling back under the margin clears the condition.
+    const bool over = powered && psn.peak_percent > ve_margin;
+    if (over != (domain_over_margin_[static_cast<std::size_t>(d)] != 0)) {
+      domain_over_margin_[static_cast<std::size_t>(d)] = over ? 1 : 0;
+      ctx.emit(over ? obs::EventType::kVeOnset : obs::EventType::kVeClear,
+               -1, -1, static_cast<std::int32_t>(d), psn.peak_percent);
     }
   }
   platform.set_tile_psn(ctx.tile_psn_peak);
@@ -451,8 +518,8 @@ void PsnSamplingPhase::restore(snapshot::Reader& r) {
 // ----------------------------------------------- emergencies and progress
 
 EmergencyAndProgressPhase::EmergencyAndProgressPhase(
-    const sched::CheckpointConfig& cfg)
-    : checkpoint_(cfg) {}
+    const sched::CheckpointConfig& cfg, obs::Registry* registry)
+    : checkpoint_(cfg), ves_(&obs::resolve(registry).counter("sim.ves")) {}
 
 void EmergencyAndProgressPhase::run(EpochContext& ctx, double now) {
   const SimConfig& cfg = *ctx.cfg;
@@ -509,6 +576,7 @@ void EmergencyAndProgressPhase::run(EpochContext& ctx, double now) {
           ++out.ve_count;
           ++total_ves_;
           ++ctx.epoch_ves;
+          ves_->inc();
           obs::Tracer::instance().instant(
               "sim", "voltage_emergency",
               {{"app", out.id},
@@ -516,6 +584,9 @@ void EmergencyAndProgressPhase::run(EpochContext& ctx, double now) {
                {"psn_percent", peak},
                {"injected", injected ? 1 : 0},
                {"sim_time_s", now}});
+          ctx.emit(obs::EventType::kAppVe, out.id,
+                   static_cast<std::int32_t>(task.tile), -1, peak,
+                   injected ? 1.0 : 0.0);
           continue;
         }
       }
@@ -589,6 +660,10 @@ void MigrationPhase::run(EpochContext& ctx) {
         {{"app", app.outcome_index},
          {"from_tile", static_cast<int>(worst->tile)},
          {"to_tile", static_cast<int>(target)}});
+    ctx.emit(obs::EventType::kAppMigrate, app.outcome_index,
+             static_cast<std::int32_t>(worst->tile), -1,
+             static_cast<double>(target),
+             ctx.tile_psn_peak[static_cast<std::size_t>(worst->tile)]);
     platform.migrate(app.instance, worst->tile, target);
     worst->tile = target;
     worst->remaining_cycles += cfg.migration_cost_cycles;
@@ -612,9 +687,18 @@ void MigrationPhase::restore(snapshot::Reader& r) {
 TelemetryPhase::TelemetryPhase(obs::Registry* registry)
     : solves_(&obs::resolve(registry).counter("pdn.solves")),
       cands_(&obs::resolve(registry).counter("mapper.candidates_evaluated")),
-      reroutes_(&obs::resolve(registry).counter("noc.panr_reroutes")) {}
+      reroutes_(&obs::resolve(registry).counter("noc.panr_reroutes")),
+      epochs_(&obs::resolve(registry).counter("sim.epochs")),
+      queue_depth_(&obs::resolve(registry).gauge("sim.queue_depth")),
+      running_apps_(&obs::resolve(registry).gauge("sim.running_apps")) {}
 
 void TelemetryPhase::run(EpochContext& ctx, std::size_t queued_apps) {
+  // Health-rule inputs: epoch count (rate denominator) and the live
+  // occupancy gauges, refreshed every epoch whether or not per-epoch
+  // telemetry samples are being recorded.
+  epochs_->inc();
+  queue_depth_->set(static_cast<double>(queued_apps));
+  running_apps_->set(static_cast<double>(ctx.running.size()));
   if (ctx.cfg->record_telemetry) {
     EpochSample sample;
     sample.time_s = ctx.t;

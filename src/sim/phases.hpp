@@ -76,6 +76,8 @@ class AdmissionPhase {
   core::ServiceQueue queue_;
   std::size_t next_arrival_ = 0;
   cmp::AppInstanceId next_instance_ = 1;
+  obs::Counter* completed_;         ///< sim.apps_completed
+  obs::Counter* deadline_misses_;   ///< sim.deadline_misses
 };
 
 /// Phase 2 — the cycle-accurate NoC window. Owns the network (routers,
@@ -101,6 +103,11 @@ class NocSamplingPhase {
   std::unique_ptr<noc::Network> network_;
   obs::Registry* registry_;
   RunningStats latency_stats_;
+  /// Congestion edge detector for noc.congestion_onset/_clear events.
+  /// Observe-only and deliberately not snapshotted: a resumed run
+  /// re-detects the level from its first window, like the recorder
+  /// itself starting empty.
+  bool congested_ = false;
 };
 
 /// Phase 3 — PDN transient sampling. Owns the PSN estimator, the memo
@@ -134,6 +141,9 @@ class PsnSamplingPhase {
   RunningStats psn_avg_stats_;
   RunningStats chip_power_stats_;
   std::uint64_t total_throttle_epochs_ = 0;
+  /// Per-domain VE-margin edge detector for ve.onset/_clear events.
+  /// Observe-only, not snapshotted (see NocSamplingPhase::congested_).
+  std::vector<char> domain_over_margin_;
 };
 
 /// Phase 4 — voltage emergencies (measured and injected), checkpoint
@@ -141,7 +151,8 @@ class PsnSamplingPhase {
 /// fault-injection cursor, and the run-wide VE total.
 class EmergencyAndProgressPhase {
  public:
-  explicit EmergencyAndProgressPhase(const sched::CheckpointConfig& cfg);
+  EmergencyAndProgressPhase(const sched::CheckpointConfig& cfg,
+                            obs::Registry* registry);
 
   void run(EpochContext& ctx, double now);
 
@@ -154,6 +165,7 @@ class EmergencyAndProgressPhase {
   sched::CheckpointModel checkpoint_;
   std::size_t next_fault_ = 0;
   std::uint64_t total_ves_ = 0;
+  obs::Counter* ves_;  ///< sim.ves
 };
 
 /// Phase 5 — hot-task migration (extension, gated on
@@ -195,6 +207,9 @@ class TelemetryPhase {
   obs::Counter* solves_;
   obs::Counter* cands_;
   obs::Counter* reroutes_;
+  obs::Counter* epochs_;        ///< sim.epochs (health-rule denominator)
+  obs::Gauge* queue_depth_;     ///< sim.queue_depth
+  obs::Gauge* running_apps_;    ///< sim.running_apps
   std::uint64_t prev_solves_ = 0;
   std::uint64_t prev_cands_ = 0;
   std::uint64_t prev_reroutes_ = 0;

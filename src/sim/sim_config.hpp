@@ -74,6 +74,25 @@ struct SimConfig {
   /// Record one EpochSample per epoch into SimResult::telemetry.
   bool record_telemetry = false;
 
+  /// Record structured lifecycle/VE/congestion events into the
+  /// simulator's flight recorder (obs/flight_recorder.hpp). Observe-only:
+  /// enabling it never changes simulation results (pinned by
+  /// tests/engine_equivalence_test), so — like parallel_psn — it is
+  /// excluded from the snapshot fingerprint and may differ across a
+  /// save/resume pair.
+  bool record_events = false;
+  /// Retained-event bound of the flight recorder (older events are
+  /// overwritten and counted in recorder.events_dropped).
+  std::size_t events_capacity = 16384;
+  /// When non-empty and record_events is set: dump the recorder to this
+  /// path (JSONL) at the end of the first epoch with a voltage emergency
+  /// — the black-box read-out for the incident that matters most.
+  std::string events_dump_on_ve;
+  /// A NoC window whose delivery ratio (delivered/offered flits) falls
+  /// below this emits noc.congestion_onset; recovering emits _clear.
+  /// Event threshold only — never feeds back into the simulation.
+  double noc_congestion_delivery_ratio = 0.9;
+
   /// Forced voltage emergencies for failure-injection testing: the task
   /// running on `tile` during the epoch containing `time_s` rolls back
   /// regardless of the measured PSN. Entries must be sorted by time.

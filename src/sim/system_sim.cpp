@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <fstream>
 
 #include "common/check.hpp"
 #include "obs/trace.hpp"
@@ -68,6 +69,11 @@ void SimConfig::validate() const {
              "SimConfig: migration_hot_epochs must be at least 1");
   PARM_CHECK(migration_cost_cycles >= 0.0,
              "SimConfig: migration_cost_cycles must be non-negative");
+  PARM_CHECK(events_capacity >= 1,
+             "SimConfig: events_capacity must be at least 1");
+  PARM_CHECK(noc_congestion_delivery_ratio > 0.0 &&
+                 noc_congestion_delivery_ratio <= 1.0,
+             "SimConfig: noc_congestion_delivery_ratio must be in (0, 1]");
   PARM_CHECK(std::is_sorted(fault_injections.begin(), fault_injections.end(),
                             [](const auto& a, const auto& b) {
                               return a.time_s < b.time_s;
@@ -78,6 +84,8 @@ void SimConfig::validate() const {
 SystemSimulator::SystemSimulator(SimConfig cfg,
                                  std::vector<appmodel::AppArrival> arrivals)
     : cfg_(prepare(std::move(cfg))),
+      recorder_(cfg_.record_events, cfg_.events_capacity,
+                obs::FlightRecorder::kDefaultShards, &metrics_),
       platform_(cfg_.platform),
       arrivals_(std::move(arrivals)),
       rng_(cfg_.seed),
@@ -85,7 +93,7 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
       noc_(platform_.mesh(), cfg_.noc, cfg_.framework.routing,
            cfg_.framework.panr_threshold, &metrics_),
       psn_(platform_.technology(), cfg_.psn, &metrics_),
-      emergency_(cfg_.checkpoint),
+      emergency_(cfg_.checkpoint, &metrics_),
       telemetry_(&metrics_) {
   PARM_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end(),
                             [](const auto& a, const auto& b) {
@@ -95,6 +103,7 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
   ctx_.cfg = &cfg_;
   ctx_.platform = &platform_;
   ctx_.metrics = &metrics_;
+  ctx_.recorder = &recorder_;
   ctx_.rng = &rng_;
   ctx_.arrivals = &arrivals_;
   const std::size_t n = static_cast<std::size_t>(platform_.mesh().tile_count());
@@ -132,6 +141,11 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
   mix(h, static_cast<std::uint64_t>(cfg_.psn.measure_periods));
   mix(h, static_cast<std::uint64_t>(cfg_.psn.steps_per_period));
   // cfg_.parallel_psn deliberately excluded: both paths are bit-identical.
+  // record_events / events_capacity / events_dump_on_ve /
+  // noc_congestion_delivery_ratio likewise excluded: the event pipeline
+  // is observe-only (pinned by tests/engine_equivalence_test), so a
+  // snapshot taken without recording may be resumed with it on, and vice
+  // versa — events before the resume point are simply absent.
   mix_f64(h, cfg_.max_sim_time_s);
   mix_f64(h, cfg_.ve_probability_slope);
   mix_f64(h, cfg_.ve_probability_cap);
@@ -430,6 +444,15 @@ SimResult SystemSimulator::run() {
     emergency_.run(ctx_, ctx_.t);
     if (cfg_.enable_migration) migration_.run(ctx_);
     telemetry_.run(ctx_, admission_.queue_size());
+
+    // Black-box read-out: on the first epoch that sees a voltage
+    // emergency, dump everything the recorder retained leading up to it.
+    if (!cfg_.events_dump_on_ve.empty() && !ve_dump_done_ &&
+        ctx_.epoch_ves > 0 && recorder_.enabled()) {
+      ve_dump_done_ = true;
+      std::ofstream out(cfg_.events_dump_on_ve);
+      if (out) recorder_.dump_jsonl(out);
+    }
 
     ctx_.t += cfg_.epoch_s;
     ++ctx_.epoch;

@@ -64,6 +64,12 @@ class SystemSimulator {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
+  /// This simulator's flight recorder (empty and disabled unless
+  /// SimConfig::record_events). Dump or collect at any time; the fleet
+  /// driver collects each chip's recorder after its run.
+  obs::FlightRecorder& recorder() { return recorder_; }
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+
   // --- Snapshot / resume ---
   /// During run(), write `dir`/epoch_<N>.parmsnap after every
   /// `every_epochs`-th completed epoch (crash-safe atomic replace; `dir`
@@ -103,6 +109,10 @@ class SystemSimulator {
   /// Declared before the phases: their constructors resolve metric
   /// handles out of this registry.
   obs::Registry metrics_;
+  /// Declared after the registry (its self-metrics live there). Recorder
+  /// contents are not snapshotted: events are observational exhaust, so
+  /// a resumed run starts with an empty recorder by design.
+  obs::FlightRecorder recorder_;
   cmp::Platform platform_;
   std::vector<appmodel::AppArrival> arrivals_;
   Rng rng_;
@@ -118,6 +128,8 @@ class SystemSimulator {
   // Periodic-snapshot configuration (off unless enabled).
   std::uint64_t snapshot_every_ = 0;
   std::string snapshot_dir_;
+  /// First-VE event dump latch (SimConfig::events_dump_on_ve).
+  bool ve_dump_done_ = false;
 };
 
 }  // namespace parm::sim

@@ -71,6 +71,76 @@ TEST(EngineEquivalence, SnapshotResumeMatchesStraightRun) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(EngineEquivalence, FlightRecorderOnAndOffAreBitIdentical) {
+  // The flight recorder is observe-only: enabling it (at any capacity,
+  // including one small enough to wrap) must not perturb the run. The
+  // golden seed-42 digest pins the absolute values; this pins the
+  // recorder-on/off invariant.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SimConfig off = engine_cfg();
+  SimConfig on = engine_cfg();
+  on.record_events = true;
+  SimConfig wrapping = engine_cfg();
+  wrapping.record_events = true;
+  wrapping.events_capacity = 8;  // forces ring wrap + drop accounting
+
+  SystemSimulator a(off, seq);
+  SystemSimulator b(on, seq);
+  SystemSimulator c(wrapping, seq);
+  const SimResult ra = a.run();
+  const SimResult rb = b.run();
+  const SimResult rc = c.run();
+  expect_identical(ra, rb);
+  expect_identical(ra, rc);
+
+  // Sanity: the enabled recorders actually captured the run.
+  EXPECT_EQ(a.recorder().emitted(), 0u);
+  EXPECT_GT(b.recorder().emitted(), 0u);
+  EXPECT_EQ(b.recorder().emitted(), c.recorder().emitted());
+  EXPECT_LE(c.recorder().size(), 8u);
+  // The engine emits from serial phase code, so the event stream itself
+  // is deterministic: same seqs, times, and types across repeats.
+  SystemSimulator b2(on, seq);
+  (void)b2.run();
+  const auto eb = b.recorder().collect();
+  const auto eb2 = b2.recorder().collect();
+  ASSERT_EQ(eb.size(), eb2.size());
+  for (std::size_t i = 0; i < eb.size(); ++i) {
+    EXPECT_EQ(eb[i].seq, eb2[i].seq);
+    EXPECT_EQ(eb[i].type, eb2[i].type);
+    EXPECT_DOUBLE_EQ(eb[i].t, eb2[i].t);
+    EXPECT_EQ(eb[i].app, eb2[i].app);
+  }
+}
+
+TEST(EngineEquivalence, SnapshotFromEventlessRunResumesWithEventsOn) {
+  // Recorder state is deliberately not snapshotted and the config
+  // fingerprint excludes the event fields: a snapshot taken without
+  // events must resume bit-identically with events enabled.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SystemSimulator straight(engine_cfg(), seq);
+  const SimResult r_straight = straight.run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "parm_engine_equivalence_events_test";
+  std::filesystem::create_directories(dir);
+  SystemSimulator first(engine_cfg(), seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+  const auto snap = dir / "epoch_40.parmsnap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SimConfig with_events = engine_cfg();
+  with_events.record_events = true;
+  SystemSimulator resumed(with_events, seq);
+  resumed.restore_snapshot(snap.string());
+  const SimResult r_resumed = resumed.run();
+  expect_identical(r_straight, r_resumed);
+  // The resumed run recorded only its own half of the timeline.
+  EXPECT_GT(resumed.recorder().emitted(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineEquivalence, ParallelAndSerialPsnAreBitIdentical) {
   const auto seq = appmodel::make_sequence(small_sequence(1234));
   SimConfig serial = engine_cfg();

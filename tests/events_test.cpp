@@ -1,0 +1,626 @@
+// Tests for the flight-recorder stack: event vocabulary and JSONL shape,
+// ring-buffer wrap/drop semantics, concurrent emission from ThreadPool
+// workers, span derivation, Prometheus exposition, and health rules.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
+
+namespace parm::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON validator (same recursive descent as obs_test.cpp): no
+// value extraction, just structural validity of exporter output.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+Event make_event(EventType type, double t, std::int32_t app = -1,
+                 std::int32_t tile = -1, std::int32_t domain = -1,
+                 double a = 0.0, double b = 0.0) {
+  Event e;
+  e.type = type;
+  e.t = t;
+  e.app = app;
+  e.tile = tile;
+  e.domain = domain;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+std::string event_json(const Event& e) {
+  std::ostringstream os;
+  write_event_json(os, e);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Event vocabulary
+
+TEST(Events, EveryTypeHasAUniqueName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    const std::string name = event_type_name(type);
+    EXPECT_NE(name, "unknown") << "enumerator " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Events, JsonOmitsUnsetIdsAndNamesPayload) {
+  const Event admit =
+      make_event(EventType::kAppAdmit, 0.25, /*app=*/3, -1, -1, 0.58, 16.0);
+  const std::string json = event_json(admit);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"type\":\"app.admit\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"vdd\":0.58"), std::string::npos);
+  EXPECT_NE(json.find("\"dop\":16"), std::string::npos);
+  // Unset -1 ids are omitted entirely.
+  EXPECT_EQ(json.find("\"tile\""), std::string::npos);
+  EXPECT_EQ(json.find("\"domain\""), std::string::npos);
+  EXPECT_EQ(json.find("\"chip\""), std::string::npos);
+
+  Event ve = make_event(EventType::kVeOnset, 1.5, -1, -1, /*domain=*/2, 7.5);
+  ve.chip = 1;
+  const std::string ve_json = event_json(ve);
+  EXPECT_TRUE(JsonValidator(ve_json).valid()) << ve_json;
+  EXPECT_NE(ve_json.find("\"domain\":2"), std::string::npos);
+  EXPECT_NE(ve_json.find("\"chip\":1"), std::string::npos);
+  EXPECT_NE(ve_json.find("\"psn_percent\":7.5"), std::string::npos);
+  EXPECT_EQ(ve_json.find("\"app\""), std::string::npos);
+}
+
+TEST(Events, EveryTypeWritesValidSingleLineJson) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    Event e = make_event(static_cast<EventType>(i), 0.1, 1, 2, 3, 4.0, 5.0);
+    e.chip = 0;
+    const std::string json = event_json(e);
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  }
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+
+TEST(FlightRecorder, DisabledRecorderIgnoresEverything) {
+  Registry reg;
+  FlightRecorder rec(false, 8, 2, &reg);
+  EXPECT_FALSE(rec.enabled());
+  rec.emit(make_event(EventType::kAppArrival, 0.0, 0));
+  EXPECT_EQ(rec.emitted(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.collect().empty());
+  EXPECT_EQ(reg.counter_value("recorder.events_emitted"), 0u);
+}
+
+TEST(FlightRecorder, StampsSequentialSeqAndCollectsInOrder) {
+  Registry reg;
+  FlightRecorder rec(true, 64, 4, &reg);
+  for (int i = 0; i < 10; ++i) {
+    rec.emit(make_event(EventType::kAppArrival, 0.01 * i, i));
+  }
+  EXPECT_EQ(rec.emitted(), 10u);
+  EXPECT_EQ(rec.size(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].app, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(reg.counter_value("recorder.events_emitted"), 10u);
+  EXPECT_EQ(reg.counter_value("recorder.events_dropped"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("recorder.high_water"), 10.0);
+}
+
+TEST(FlightRecorder, WrapOverwritesOldestAndCountsDrops) {
+  // Single shard for an exact retention statement: capacity 4, 10 emits
+  // → the newest 4 survive and 6 count as dropped.
+  Registry reg;
+  FlightRecorder rec(true, 4, 1, &reg);
+  for (int i = 0; i < 10; ++i) {
+    rec.emit(make_event(EventType::kAppArrival, 0.01 * i, i));
+  }
+  EXPECT_EQ(rec.emitted(), 10u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+  }
+  EXPECT_EQ(reg.counter_value("recorder.events_dropped"), 6u);
+  // High water saturates at capacity once the ring wraps.
+  EXPECT_DOUBLE_EQ(reg.gauge_value("recorder.high_water"), 4.0);
+}
+
+TEST(FlightRecorder, ShardedOccupancyIsMinOfEmittedAndCapacity) {
+  // Round-robin sharding with an uneven capacity split: total occupancy
+  // must still track min(emitted, capacity) exactly at every step.
+  FlightRecorder rec(true, 7, 3);
+  for (int i = 0; i < 25; ++i) {
+    rec.emit(make_event(EventType::kAppArrival, 0.01 * i, i));
+    const std::size_t expect = std::min<std::size_t>(i + 1, 7);
+    EXPECT_EQ(rec.size(), expect) << "after emit " << i;
+    EXPECT_EQ(rec.high_water(), expect);
+  }
+  EXPECT_EQ(rec.dropped(), 25u - 7u);
+  // Collected seqs are unique and sorted even across shards.
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 7u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(FlightRecorder, ClampsDegenerateGeometry) {
+  // shard_count > capacity and zero capacity both clamp to something
+  // usable instead of dividing a ring into nothing.
+  FlightRecorder tiny(true, 1, 8);
+  tiny.emit(make_event(EventType::kAppArrival, 0.0, 0));
+  tiny.emit(make_event(EventType::kAppArrival, 0.1, 1));
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.dropped(), 1u);
+
+  FlightRecorder zero(true, 0, 0);
+  zero.emit(make_event(EventType::kAppArrival, 0.0, 0));
+  EXPECT_EQ(zero.size(), 1u);
+  EXPECT_GE(zero.capacity(), 1u);
+}
+
+TEST(FlightRecorder, ClearResetsRetentionAndAccounting) {
+  Registry reg;
+  FlightRecorder rec(true, 4, 2, &reg);
+  for (int i = 0; i < 9; ++i) {
+    rec.emit(make_event(EventType::kAppArrival, 0.01 * i, i));
+  }
+  ASSERT_GT(rec.dropped(), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.emitted(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.collect().empty());
+  // Re-emission starts a fresh seq stream.
+  rec.emit(make_event(EventType::kAppComplete, 1.0, 7));
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+TEST(FlightRecorder, DumpJsonlEmitsOneValidObjectPerLine) {
+  FlightRecorder rec(true, 16, 2);
+  rec.emit(make_event(EventType::kAppArrival, 0.0, 0, -1, -1, 1.5));
+  rec.emit(make_event(EventType::kAppAdmit, 0.1, 0, -1, -1, 0.6, 8.0));
+  rec.emit(make_event(EventType::kVeOnset, 0.2, -1, -1, 1, 6.0));
+  std::ostringstream os;
+  rec.dump_jsonl(os);
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(FlightRecorder, ConcurrentEmissionFromPoolWorkersIsLossAccounted) {
+  // Hammer one recorder from ThreadPool workers while the Tracer writes
+  // to its own sinks — the combination the engine produces when tracing
+  // and recording run together. Run under TSan in CI.
+  const std::string chrome_path =
+      ::testing::TempDir() + "events_test_trace.json";
+  Tracer& tracer = Tracer::instance();
+  ASSERT_TRUE(tracer.open_chrome(chrome_path));
+
+  Registry reg;
+  constexpr std::size_t kCapacity = 256;
+  constexpr std::size_t kEmitters = 64;
+  constexpr int kPerEmitter = 50;
+  FlightRecorder rec(true, kCapacity, 8, &reg);
+  ThreadPool pool(4);
+  pool.parallel_for(kEmitters, [&](std::size_t worker) {
+    ScopedTrace trace("test", "emit_burst");
+    for (int i = 0; i < kPerEmitter; ++i) {
+      rec.emit(make_event(EventType::kAppThrottle, 0.001 * i,
+                          static_cast<std::int32_t>(worker), i));
+      tracer.instant("test", "emitted",
+                     {{"worker", static_cast<std::int64_t>(worker)}});
+    }
+  });
+  tracer.close();
+
+  const std::uint64_t total = kEmitters * kPerEmitter;
+  EXPECT_EQ(rec.emitted(), total);
+  EXPECT_EQ(rec.size(), kCapacity);
+  EXPECT_EQ(rec.dropped(), total - kCapacity);
+  EXPECT_EQ(rec.high_water(), kCapacity);
+  EXPECT_EQ(reg.counter_value("recorder.events_emitted"), total);
+  EXPECT_EQ(reg.counter_value("recorder.events_dropped"),
+            total - kCapacity);
+  // Every retained seq is unique: no slot was double-written torn.
+  const std::vector<Event> events = rec.collect();
+  std::set<std::uint64_t> seqs;
+  for (const Event& e : events) {
+    EXPECT_TRUE(seqs.insert(e.seq).second) << "duplicate seq " << e.seq;
+    EXPECT_LT(e.seq, total);
+  }
+  std::remove(chrome_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Span derivation
+
+std::vector<Event> one_app_life() {
+  // app 5: arrives at 0.0, admitted at 0.2 onto tile 3, migrates to
+  // tile 7 at 0.5 after a VE, throttled once, completes late at 1.2.
+  std::vector<Event> events;
+  events.push_back(make_event(EventType::kAppArrival, 0.0, 5, -1, -1, 1.0));
+  events.push_back(
+      make_event(EventType::kAppAdmit, 0.2, 5, -1, -1, 0.6, 8.0));
+  events.push_back(make_event(EventType::kAppMap, 0.2, 5, 3, 0, 2.0, 0.0));
+  events.push_back(make_event(EventType::kAppVe, 0.4, 5, 3, -1, 6.5, 0.0));
+  events.push_back(
+      make_event(EventType::kAppMigrate, 0.5, 5, 3, -1, 7.0, 6.5));
+  events.push_back(
+      make_event(EventType::kAppThrottle, 0.7, 5, 7, -1, 5.5));
+  events.push_back(
+      make_event(EventType::kAppComplete, 1.2, 5, -1, -1, 1.0, -0.2));
+  events.push_back(
+      make_event(EventType::kAppDeadlineMiss, 1.2, 5, -1, -1, 0.2));
+  for (std::size_t i = 0; i < events.size(); ++i) events[i].seq = i;
+  return events;
+}
+
+TEST(Spans, DerivesOneSpanPerAppWithSegmentsSplitAtMigration) {
+  const std::vector<AppSpan> spans = derive_app_spans(one_app_life());
+  ASSERT_EQ(spans.size(), 1u);
+  const AppSpan& s = spans[0];
+  EXPECT_EQ(s.app, 5);
+  EXPECT_EQ(s.chip, -1);
+  EXPECT_DOUBLE_EQ(s.arrival_t, 0.0);
+  EXPECT_DOUBLE_EQ(s.admit_t, 0.2);
+  EXPECT_DOUBLE_EQ(s.end_t, 1.2);
+  EXPECT_DOUBLE_EQ(s.queue_wait(), 0.2);
+  EXPECT_TRUE(s.admitted);
+  EXPECT_TRUE(s.completed);
+  EXPECT_TRUE(s.deadline_missed);
+  EXPECT_FALSE(s.rejected);
+  EXPECT_EQ(s.migrations, 1u);
+  EXPECT_EQ(s.ves, 1u);
+  EXPECT_EQ(s.throttles, 1u);
+  ASSERT_EQ(s.exec.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.exec[0].start, 0.2);
+  EXPECT_DOUBLE_EQ(s.exec[0].end, 0.5);
+  EXPECT_EQ(s.exec[0].tile, 3);
+  EXPECT_DOUBLE_EQ(s.exec[1].start, 0.5);
+  EXPECT_DOUBLE_EQ(s.exec[1].end, 1.2);
+  EXPECT_EQ(s.exec[1].tile, 7);
+}
+
+TEST(Spans, RejectedAppAndTruncatedArrivalDegradeGracefully) {
+  std::vector<Event> events;
+  // app 1 never admitted, rejected at 0.3.
+  events.push_back(make_event(EventType::kAppArrival, 0.0, 1, -1, -1, 0.5));
+  events.push_back(make_event(EventType::kAppReject, 0.3, 1));
+  // app 2's arrival was overwritten by the ring: first sighting is the
+  // admit. The span must still exist with arrival_t unknown.
+  events.push_back(
+      make_event(EventType::kAppAdmit, 0.4, 2, -1, -1, 0.7, 4.0));
+  events.push_back(make_event(EventType::kAppComplete, 0.9, 2, -1, -1, 0.0,
+                              0.1));
+  for (std::size_t i = 0; i < events.size(); ++i) events[i].seq = i;
+
+  const std::vector<AppSpan> spans = derive_app_spans(events);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].app, 1);
+  EXPECT_TRUE(spans[0].rejected);
+  EXPECT_FALSE(spans[0].admitted);
+  EXPECT_DOUBLE_EQ(spans[0].queue_wait(), 0.0);
+  EXPECT_EQ(spans[1].app, 2);
+  EXPECT_TRUE(spans[1].completed);
+  EXPECT_DOUBLE_EQ(spans[1].arrival_t, -1.0);
+  EXPECT_DOUBLE_EQ(spans[1].queue_wait(), 0.0);
+}
+
+TEST(Spans, FleetEventsSplitByChip) {
+  std::vector<Event> events;
+  for (std::int16_t chip = 0; chip < 2; ++chip) {
+    Event arrive = make_event(EventType::kAppArrival, 0.0, 9);
+    arrive.chip = chip;
+    Event admit = make_event(EventType::kAppAdmit, 0.1, 9, -1, -1, 0.6, 2.0);
+    admit.chip = chip;
+    events.push_back(arrive);
+    events.push_back(admit);
+  }
+  const std::vector<AppSpan> spans = derive_app_spans(events);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].chip, 0);
+  EXPECT_EQ(spans[1].chip, 1);
+}
+
+TEST(Spans, TraceIsValidChromeJson) {
+  std::ostringstream os;
+  write_span_trace(os, one_app_life());
+  const std::string trace = os.str();
+  EXPECT_TRUE(JsonValidator(trace).valid()) << trace;
+  EXPECT_NE(trace.find("\"name\":\"lifecycle\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"queue-wait\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"exec\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+  // 1 sim-second → 1 µs of trace time, so the 0.2 s admission lands at
+  // ts 0.2 on the app's track (tid 5).
+  EXPECT_NE(trace.find("\"tid\":5"), std::string::npos);
+}
+
+TEST(Spans, EmptyEventStreamYieldsValidEmptyTrace) {
+  std::ostringstream os;
+  write_span_trace(os, {});
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  EXPECT_TRUE(derive_app_spans({}).empty());
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, ExposesCountersGaugesAndCumulativeHistograms) {
+  Registry reg;
+  reg.counter("sim.ves").inc(3);
+  reg.gauge("sim.queue_depth").set(2.5);
+  Histogram& h = reg.histogram("solver.latency_us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+
+  std::ostringstream os;
+  prometheus_text(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE parm_sim_ves_total counter\n"
+                      "parm_sim_ves_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE parm_sim_queue_depth gauge\n"
+                      "parm_sim_queue_depth 2.5\n"),
+            std::string::npos)
+      << text;
+  // Buckets are cumulative; the +Inf bucket equals the count.
+  EXPECT_NE(text.find("parm_solver_latency_us_bucket{le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parm_solver_latency_us_bucket{le=\"100\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parm_solver_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parm_solver_latency_us_sum 555"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parm_solver_latency_us_count 3"), std::string::npos)
+      << text;
+}
+
+TEST(Prometheus, SanitizesNamesToExpositionAlphabet) {
+  Registry reg;
+  reg.counter("weird-name.with spaces").inc();
+  std::ostringstream os;
+  prometheus_text(reg, os);
+  EXPECT_NE(os.str().find("parm_weird_name_with_spaces_total 1"),
+            std::string::npos)
+      << os.str();
+}
+
+// ---------------------------------------------------------------------
+// HealthMonitor
+
+TEST(Health, EmptyRegistryIsOkWithNoDataReasons) {
+  Registry reg;
+  const HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_TRUE(report.ok());
+  ASSERT_FALSE(report.checks.empty());
+  int no_data = 0;
+  for (const HealthCheck& check : report.checks) {
+    EXPECT_EQ(check.status, HealthStatus::kOk) << check.name;
+    if (check.reason == "no data") ++no_data;
+  }
+  EXPECT_GE(no_data, 3);  // ve rate, miss rate, cache hit rate
+}
+
+TEST(Health, VeRateEscalatesFromOkThroughWarnToCrit) {
+  Registry reg;
+  reg.counter("sim.epochs").inc(100);
+  Counter& ves = reg.counter("sim.ves");
+  const auto status_of = [&] {
+    return HealthMonitor().evaluate(reg).status;
+  };
+  EXPECT_EQ(status_of(), HealthStatus::kOk);
+  ves.inc(20);  // 0.2 VEs/epoch == warn threshold
+  EXPECT_EQ(status_of(), HealthStatus::kWarn);
+  ves.inc(180);  // 2.0 VEs/epoch == crit threshold
+  EXPECT_EQ(status_of(), HealthStatus::kCrit);
+}
+
+TEST(Health, LowPsnCacheHitRateFires) {
+  Registry reg;
+  reg.counter("pdn.psn_cache_hits").inc(1);
+  reg.counter("pdn.psn_cache_misses").inc(99);  // 1 % hit rate → CRIT
+  const HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_TRUE(report.critical());
+  for (const HealthCheck& check : report.checks) {
+    if (check.name == "psn_cache_hit_rate") {
+      EXPECT_EQ(check.status, HealthStatus::kCrit);
+      EXPECT_NEAR(check.value, 0.01, 1e-12);
+    }
+  }
+  // A healthy hit rate is OK.
+  reg.counter("pdn.psn_cache_hits").inc(9899);  // 99 % hit rate
+  EXPECT_TRUE(HealthMonitor().evaluate(reg).ok());
+}
+
+TEST(Health, RecorderDropsWarnAndQueueDepthUsesGauge) {
+  Registry reg;
+  reg.counter("recorder.events_dropped").inc(5);
+  HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_EQ(report.status, HealthStatus::kWarn);
+
+  reg.counter("recorder.events_dropped").reset();
+  reg.gauge("sim.queue_depth").set(40.0);
+  report = HealthMonitor().evaluate(reg);
+  EXPECT_TRUE(report.critical());
+}
+
+TEST(Health, CustomThresholdsAndReportFormatting) {
+  HealthConfig cfg;
+  cfg.deadline_miss_rate_warn = 0.01;
+  Registry reg;
+  reg.counter("sim.apps_completed").inc(100);
+  reg.counter("sim.deadline_misses").inc(2);
+  const HealthReport report = HealthMonitor(cfg).evaluate(reg);
+  EXPECT_EQ(report.status, HealthStatus::kWarn);
+
+  std::ostringstream os;
+  write_health_report(os, report);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("health: WARN", 0), 0u) << text;
+  EXPECT_NE(text.find("deadline_miss_rate"), std::string::npos);
+  // Worst check is listed first.
+  EXPECT_LT(text.find("WARN deadline_miss_rate"), text.find("OK "));
+}
+
+}  // namespace
+}  // namespace parm::obs

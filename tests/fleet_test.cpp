@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <sstream>
+#include <vector>
 
 #include "exp/experiments.hpp"
 #include "fleet/dispatch.hpp"
@@ -182,6 +184,72 @@ TEST(Fleet, ConfigValidationRejectsBadFields) {
   FleetConfig bad_chip_cfg = fleet_cfg(2);
   bad_chip_cfg.chip.epoch_s = -1.0;
   EXPECT_THROW(FleetSimulator(bad_chip_cfg, seq), CheckError);
+}
+
+TEST(Fleet, MergedEventLogIsChipStampedGlobalIdedAndOrdered) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 5));
+  FleetConfig cfg = fleet_cfg(3);
+  cfg.chip.record_events = true;
+  FleetSimulator fleet(cfg, seq);
+  (void)fleet.run();
+
+  const std::vector<obs::Event>& events = fleet.events();
+  ASSERT_FALSE(events.empty());
+  std::set<int> apps_seen;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::Event& e = events[i];
+    // Every merged event is chip-stamped and app ids are global stream
+    // ids, never chip-local ones out of range of the stream.
+    EXPECT_GE(e.chip, 0);
+    EXPECT_LT(e.chip, 3);
+    if (e.app >= 0) {
+      EXPECT_LT(e.app, static_cast<std::int32_t>(seq.size()));
+      apps_seen.insert(e.app);
+    }
+    if (i > 0) {
+      const obs::Event& p = events[i - 1];
+      const bool ordered =
+          p.t < e.t || (p.t == e.t && (p.chip < e.chip ||
+                                       (p.chip == e.chip && p.seq < e.seq)));
+      EXPECT_TRUE(ordered) << "event " << i << " out of (t, chip, seq) order";
+    }
+  }
+  // Every app in the stream arrived somewhere, so every id shows up.
+  EXPECT_EQ(apps_seen.size(), seq.size());
+
+  // The JSONL dump carries one line per merged event.
+  std::ostringstream os;
+  fleet.dump_events_jsonl(os);
+  std::size_t lines = 0;
+  for (const char ch : os.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, events.size());
+}
+
+TEST(Fleet, HealthRollupCoversEveryChipAndTheFleet) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 6));
+  FleetConfig cfg = fleet_cfg(4);
+  cfg.chip.record_events = true;
+  FleetSimulator fleet(cfg, seq);
+  const FleetResult r = fleet.run();
+  ASSERT_EQ(r.chip_health.size(), 4u);
+  for (const obs::HealthReport& rep : r.chip_health) {
+    EXPECT_FALSE(rep.checks.empty());
+  }
+  EXPECT_FALSE(r.fleet_health.checks.empty());
+  // The merged registry saw epochs, so the fleet VE-rate rule has data.
+  EXPECT_GT(fleet.metrics().counter_value("sim.epochs"), 0u);
+  for (const obs::HealthCheck& check : r.fleet_health.checks) {
+    if (check.name == "ve_rate") EXPECT_NE(check.reason, "no data");
+  }
+}
+
+TEST(Fleet, EventLogEmptyWhenRecordingDisabled) {
+  const auto seq = appmodel::make_sequence(stream_cfg(4, 7));
+  FleetSimulator fleet(fleet_cfg(2), seq);
+  (void)fleet.run();
+  EXPECT_TRUE(fleet.events().empty());
 }
 
 TEST(Fleet, LeastLoadedDispatchRunsEndToEnd) {

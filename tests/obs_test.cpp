@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/check.hpp"
@@ -253,6 +254,72 @@ TEST(Registry, HistogramBoundsFixedAtFirstRegistration) {
   EXPECT_EQ(again.upper_bounds().size(), 2u);
 }
 
+// Decodes the JSON string escapes json_escape produces, to round-trip a
+// metric name through the export and back.
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 'u':
+        out.push_back(static_cast<char>(
+            std::stoi(std::string(s.substr(i + 1, 4)), nullptr, 16)));
+        i += 4;
+        break;
+      default:
+        out.push_back(s[i]);  // \" \\ \/
+    }
+  }
+  return out;
+}
+
+TEST(Registry, JsonExportRoundTripsHostileNamesAndSortsKeys) {
+  // A metric name with every character JSON treats specially: quote,
+  // backslash, newline, and a control byte. The export must stay valid
+  // JSON and the escaped key must decode back to the original name.
+  const std::string hostile = "we\"ird\\name\nwith\x01ctrl";
+  Registry reg;
+  reg.counter(hostile).inc(3);
+  reg.counter("b.second").inc(2);
+  reg.counter("a.first").inc(1);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  const std::string out = json.str();
+  EXPECT_TRUE(JsonValidator(out).valid()) << out;
+
+  // Extract the hostile key (the only one containing an escaped quote)
+  // and round-trip it.
+  const std::size_t start = out.find("we\\\"");
+  ASSERT_NE(start, std::string::npos) << out;
+  std::size_t end = start;
+  while (out[end] != '"' || out[end - 1] == '\\') ++end;
+  EXPECT_EQ(json_unescape(out.substr(start, end - start)), hostile);
+
+  // Keys come out in deterministic sorted order, so exports diff cleanly
+  // across runs.
+  EXPECT_LT(out.find("\"a.first\":1"), out.find("\"b.second\":2"));
+  const std::ostringstream again = [&] {
+    std::ostringstream os;
+    reg.write_json(os);
+    return os;
+  }();
+  EXPECT_EQ(out, again.str());
+}
+
 TEST(Registry, TextAndJsonReports) {
   Registry::instance().counter("test.obs.report").inc(7);
   std::ostringstream text;
@@ -276,6 +343,19 @@ TEST(ScopedTimer, FeedsHistogram) {
   { ScopedTimer t(h); }
   EXPECT_EQ(h.count(), 2u);
   EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(ScopedTimer, RecordsEvenWhenScopeThrows) {
+  // The destructor runs during unwinding and must both record the
+  // elapsed time and never let a second exception escape.
+  Histogram h({1e6});
+  EXPECT_THROW(
+      {
+        ScopedTimer t(h);
+        throw std::runtime_error("scope failed");
+      },
+      std::runtime_error);
+  EXPECT_EQ(h.count(), 1u);
 }
 
 // ---------------------------------------------------------------------
