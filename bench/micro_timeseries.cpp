@@ -1,0 +1,145 @@
+// Time-series capture microbenchmark: what does leaving capture on cost?
+//
+// The store's pitch mirrors the flight recorder's: observe-only capture
+// cheap enough to stay on for production runs. A disabled store is one
+// branch; an enabled append is a ring store plus amortised downsample
+// folds. This bench measures
+//   disabled  — append() on a disabled store (the default-run cost)
+//   by-name   — enabled append through the store's name lookup
+//   handle    — enabled append through a pre-resolved TimeSeries* (the
+//               engine's phase hot path)
+//   wrapping  — enabled append into full rings at every level
+//               (steady-state eviction)
+//   deep      — handle append with 5 downsample levels instead of 3
+//
+// Emits BENCH_timeseries.json (path overridable via argv[1]) for CI to
+// archive; CI asserts a ceiling on the hot-path ns/append figure.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/timeseries.hpp"
+
+namespace {
+
+using namespace parm;
+using Clock = std::chrono::steady_clock;
+
+/// Median-of-repeats wall time per append() call, in nanoseconds.
+template <typename Fn>
+double time_per_append_ns(int appends, int repeats, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn(appends);
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / appends);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+double value_at(int i) { return 5.0 + static_cast<double>(i & 7); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_timeseries.json";
+
+  constexpr int kAppends = 100000;
+  constexpr int kRepeats = 9;
+  obs::TimeSeriesConfig cfg;  // capacity 512, 3 levels, downsample 8
+
+  obs::TimeSeriesStore disabled(false, cfg);
+  const double disabled_ns = time_per_append_ns(kAppends, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      disabled.append("psn.chip.peak_percent", 0.001 * i, value_at(i));
+    }
+  });
+
+  obs::TimeSeriesStore by_name(true, cfg);
+  const double by_name_ns = time_per_append_ns(kAppends, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      by_name.append("psn.chip.peak_percent", 0.001 * i, value_at(i));
+    }
+  });
+
+  // The engine's phase hot path: the series handle is resolved once, then
+  // every epoch appends through it and folds the accounting in one call.
+  obs::TimeSeriesStore handle_store(true, cfg);
+  obs::TimeSeries* handle = &handle_store.series("psn.chip.peak_percent");
+  const double handle_ns = time_per_append_ns(kAppends, kRepeats, [&](int n) {
+    std::size_t evicted = 0;
+    for (int i = 0; i < n; ++i) {
+      evicted += handle->append(0.001 * i, value_at(i));
+    }
+    handle_store.note_appends(static_cast<std::size_t>(n), evicted);
+  });
+
+  // Steady-state eviction: every ring (all levels) is already full, so
+  // each append overwrites and the accounting takes the evicted branch.
+  obs::TimeSeriesStore wrapping(true, cfg);
+  obs::TimeSeries* wrap = &wrapping.series("psn.chip.peak_percent");
+  for (int i = 0; i < 1 << 20; ++i) wrap->append(0.001 * i, value_at(i));
+  double wrap_t = 0.001 * (1 << 20);
+  const double wrap_ns = time_per_append_ns(kAppends, kRepeats, [&](int n) {
+    std::size_t evicted = 0;
+    for (int i = 0; i < n; ++i) {
+      evicted += wrap->append(wrap_t, value_at(i));
+      wrap_t += 0.001;
+    }
+    wrapping.note_appends(static_cast<std::size_t>(n), evicted);
+  });
+
+  obs::TimeSeriesConfig deep_cfg;
+  deep_cfg.levels = 5;
+  obs::TimeSeriesStore deep_store(true, deep_cfg);
+  obs::TimeSeries* deep = &deep_store.series("psn.chip.peak_percent");
+  const double deep_ns = time_per_append_ns(kAppends, kRepeats, [&](int n) {
+    std::size_t evicted = 0;
+    for (int i = 0; i < n; ++i) {
+      evicted += deep->append(0.001 * i, value_at(i));
+    }
+    deep_store.note_appends(static_cast<std::size_t>(n), evicted);
+  });
+
+  std::cout << "Time-series append cost (" << kAppends
+            << " appends/run, median of " << kRepeats << " runs, capacity "
+            << cfg.capacity << ", " << cfg.levels << " levels, downsample "
+            << cfg.downsample << ")\n\n";
+  Table table({"path", "ns/append"});
+  table.set_precision(1);
+  table.add_row({"disabled (default run)", disabled_ns});
+  table.add_row({"enabled, by-name lookup", by_name_ns});
+  table.add_row({"enabled, resolved handle", handle_ns});
+  table.add_row({"enabled, rings full (evicting)", wrap_ns});
+  table.add_row({"enabled, 5 levels", deep_ns});
+  table.print(std::cout);
+  std::cout << "\nretained " << handle->samples(0).size() << "/"
+            << cfg.capacity << " raw samples across " << handle->level_count()
+            << " levels; " << handle_store.evictions_total()
+            << " evictions in the handle run\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"timeseries\",\n"
+       << "  \"appends_per_run\": " << kAppends << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"capacity\": " << cfg.capacity << ",\n"
+       << "  \"levels\": " << cfg.levels << ",\n"
+       << "  \"downsample\": " << cfg.downsample << ",\n"
+       << "  \"disabled_ns_per_append\": " << disabled_ns << ",\n"
+       << "  \"by_name_ns_per_append\": " << by_name_ns << ",\n"
+       << "  \"handle_ns_per_append\": " << handle_ns << ",\n"
+       << "  \"wrapping_ns_per_append\": " << wrap_ns << ",\n"
+       << "  \"deep_levels_ns_per_append\": " << deep_ns << ",\n"
+       << "  \"name_lookup_overhead\": " << by_name_ns / handle_ns << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -12,7 +12,7 @@
 //                [--arrival SECONDS] [--seed N] [--max-time SECONDS]
 //                [--metrics FILE.json] [--events FILE.jsonl]
 //                [--prom FILE.prom] [--spans FILE.json] [--health]
-//                [--selfcheck]
+//                [--timeseries FILE.jsonl] [--selfcheck]
 //
 // --threads bounds the chips simulated concurrently (0 = shared pool,
 //   1 = serial); the results are bit-identical for every setting.
@@ -23,6 +23,9 @@
 // --prom writes the merged registry in Prometheus text exposition format.
 // --spans derives per-app lifecycle spans from the merged event log into
 //   a Chrome trace (one process per chip, one track per app).
+// --timeseries enables every chip's bounded time-series capture and
+//   writes the merged store ("chip<k>."-prefixed droop/congestion/queue
+//   waveforms) as JSONL — parm_blackbox consumes it with --events.
 // --health prints the per-chip health rollup and the fleet-wide report;
 //   exit code 1 when any chip (or the fleet) is critical — CI fails on
 //   that.
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   seq.inter_arrival_s = 0.05;
   seq.seed = 1;
   std::string metrics_file, events_file, prom_file, spans_file;
+  std::string timeseries_file;
   bool health = false;
   bool selfcheck = false;
 
@@ -116,6 +120,8 @@ int main(int argc, char** argv) {
       prom_file = value();
     } else if (arg == "--spans") {
       spans_file = value();
+    } else if (arg == "--timeseries") {
+      timeseries_file = value();
     } else if (arg == "--health") {
       health = true;
     } else if (arg == "--selfcheck") {
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
     }
   }
   cfg.chip.record_events = !events_file.empty() || !spans_file.empty();
+  cfg.chip.record_timeseries = !timeseries_file.empty();
   try {
     cfg.validate();
   } catch (const CheckError& e) {
@@ -179,6 +186,15 @@ int main(int argc, char** argv) {
     obs::write_span_trace(out, fleet_sim.events());
     std::cout << "app lifecycle spans written to " << spans_file
               << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (!timeseries_file.empty()) {
+    std::ofstream out(timeseries_file);
+    if (!out) usage("cannot open timeseries file for writing");
+    fleet_sim.dump_timeseries_jsonl(out);
+    std::cout << "fleet time series ("
+              << fleet_sim.timeseries().series_count() << " series, "
+              << fleet_sim.timeseries().samples_total()
+              << " samples) written to " << timeseries_file << "\n";
   }
 
   bool any_crit = false;

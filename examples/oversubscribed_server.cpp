@@ -11,6 +11,7 @@
 //                                                      [snapshot-dir]
 //                                                      [events.jsonl]
 //                                                      [spans.json]
+//                                                      [timeseries.jsonl]
 //
 // Per-epoch telemetry is recorded for both runs; pass a CSV path as the
 // second argument to dump the PARM+PANR time series for plotting. The
@@ -25,7 +26,10 @@
 // recorder and dump its structured events as JSONL (fourth) and the
 // derived per-app lifecycle span trace (fifth, Perfetto-loadable) — the
 // walkthrough in EXPERIMENTS.md uses these to dissect a deadline miss.
-// Use "-" to skip an argument position.
+// Pass a sixth argument to also capture the PARM+PANR run's bounded
+// time-series store (droop/congestion/queue waveforms) and dump it as
+// JSONL — feed it to parm_blackbox together with the events file for a
+// post-mortem incident report. Use "-" to skip an argument position.
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   const std::string snapshot_dir = arg_or(3);
   const std::string events_file = arg_or(4);
   const std::string spans_file = arg_or(5);
+  const std::string timeseries_file = arg_or(6);
 
   appmodel::SequenceConfig seq;
   seq.kind = appmodel::SequenceKind::Mixed;
@@ -100,6 +105,8 @@ int main(int argc, char** argv) {
     cfg.record_telemetry = true;
     cfg.record_events = fw.routing == std::string("PANR") &&
                         (!events_file.empty() || !spans_file.empty());
+    cfg.record_timeseries =
+        fw.routing == std::string("PANR") && !timeseries_file.empty();
     sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
     if (fw.routing == std::string("PANR") && !snapshot_dir.empty()) {
       simulator.enable_periodic_snapshots(50, snapshot_dir);
@@ -136,6 +143,18 @@ int main(int argc, char** argv) {
                   << " (open in Perfetto)\n\n";
       } else {
         std::cerr << "cannot open " << spans_file << " for writing\n";
+      }
+    }
+    if (cfg.record_timeseries) {
+      std::ofstream out(timeseries_file);
+      if (out) {
+        simulator.timeseries().dump_jsonl(out);
+        std::cout << "PARM+PANR time series ("
+                  << simulator.timeseries().series_count() << " series, "
+                  << simulator.timeseries().samples_total()
+                  << " samples) written to " << timeseries_file << "\n\n";
+      } else {
+        std::cerr << "cannot open " << timeseries_file << " for writing\n";
       }
     }
   }

@@ -1,0 +1,122 @@
+// parm_blackbox: post-mortem incident analyzer for PARM runs.
+//
+// Loads the two blackbox artifacts a run leaves behind — a flight
+// recorder JSONL dump and a time-series export — and produces an
+// incident report: for every VE onset and deadline miss, the causal
+// timeline around it (droop trajectory of the affected domain, the apps
+// co-resident in it, concurrent NoC congestion, VE rollbacks, and the
+// throttle/migration responses with their measured effect).
+//
+// Usage:
+//   parm_blackbox --events FILE.jsonl [--timeseries FILE.jsonl]
+//                 [--app N] [--domain N] [--window SECONDS]
+//                 [--limit N] [--json FILE.json]
+//
+// --events      flight-recorder dump (parm_runner --events,
+//               fleet_runner --events, or oversubscribed_server arg 4).
+//               Required.
+// --timeseries  time-series export (the matching --timeseries flag of
+//               the same run). Optional: without it incidents carry no
+//               droop trajectory, only the event timeline.
+// --app N       only incidents involving app N (global stream id).
+// --domain N    only incidents in voltage domain N.
+// --window S    timeline half-width in seconds (default 0.05 — one
+//               admission period of the oversubscribed scenario).
+// --limit N     keep at most N incidents (0 = all).
+// --json FILE   also write the report as a JSON artifact.
+//
+// The loaders are deliberately forgiving: malformed JSONL lines are
+// skipped (and counted on stderr), shuffled dumps are re-sorted. The
+// report itself is deterministic — the same artifacts produce the same
+// bytes, which CI exploits to pin the seed-3 incident report.
+//
+// Example (reproduce the EXPERIMENTS.md walkthrough):
+//   oversubscribed_server 3 - - events.jsonl - ts.jsonl
+//   parm_blackbox --events events.jsonl --timeseries ts.jsonl --app 17
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/blackbox.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::cerr << "error: " << msg << "\n"
+            << "see the header of examples/parm_blackbox.cpp for usage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parm;
+
+  std::string events_file, timeseries_file, json_file;
+  obs::IncidentQuery query;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--events") {
+      events_file = value();
+    } else if (arg == "--timeseries") {
+      timeseries_file = value();
+    } else if (arg == "--app") {
+      query.app = std::stoi(value());
+    } else if (arg == "--domain") {
+      query.domain = std::stoi(value());
+    } else if (arg == "--window") {
+      query.window_s = std::stod(value());
+      if (!(query.window_s > 0.0)) usage("--window must be positive");
+    } else if (arg == "--limit") {
+      query.limit = std::stoul(value());
+    } else if (arg == "--json") {
+      json_file = value();
+    } else {
+      usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  if (events_file.empty()) usage("--events is required");
+
+  std::ifstream events_in(events_file);
+  if (!events_in) usage("cannot open events file");
+  obs::BlackboxLoadStats event_stats;
+  std::vector<obs::Event> events =
+      obs::load_events_jsonl(events_in, &event_stats);
+  if (event_stats.skipped != 0 || event_stats.out_of_order != 0) {
+    std::cerr << "note: " << events_file << ": " << event_stats.skipped
+              << " of " << event_stats.lines << " lines skipped, "
+              << event_stats.out_of_order
+              << " out-of-order records re-sorted\n";
+  }
+
+  obs::TsArchive ts;
+  if (!timeseries_file.empty()) {
+    std::ifstream ts_in(timeseries_file);
+    if (!ts_in) usage("cannot open timeseries file");
+    obs::BlackboxLoadStats ts_stats;
+    ts = obs::load_timeseries_jsonl(ts_in, &ts_stats);
+    if (ts_stats.skipped != 0) {
+      std::cerr << "note: " << timeseries_file << ": " << ts_stats.skipped
+                << " of " << ts_stats.lines << " lines skipped\n";
+    }
+  }
+
+  const obs::IncidentReport report =
+      obs::analyze_incidents(std::move(events), ts, query);
+  obs::write_incident_text(std::cout, report);
+
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    if (!out) usage("cannot open JSON output file for writing");
+    obs::write_incident_json(out, report);
+    std::cout << "incident report JSON written to " << json_file << "\n";
+  }
+  return 0;
+}

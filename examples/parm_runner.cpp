@@ -14,6 +14,7 @@
 //               [--trace-jsonl FILE.jsonl]
 //               [--events FILE.jsonl] [--events-on-ve FILE.jsonl]
 //               [--spans FILE.json] [--health]
+//               [--timeseries FILE.jsonl] [--timeseries-csv FILE.csv]
 //               [--snapshot-every N --snapshot-dir DIR]
 //               [--resume FILE.parmsnap] [--max-time SECONDS]
 //
@@ -38,7 +39,13 @@
 //   lifecycle spans from the same events into a Chrome trace (one track
 //   per app). --health evaluates threshold rules (VE rate, deadline-miss
 //   rate, PSN-cache hit rate, queue depth) over the run's metrics and
-//   exits 1 when any rule is critical.
+//   exits 1 when any rule is critical. --timeseries enables the bounded
+//   time-series store (droop/congestion/queue waveforms with RRD-style
+//   downsampling) and dumps it as JSONL at run end; --timeseries-csv
+//   writes the same samples as CSV. The JSONL feeds parm_blackbox
+//   together with --events for a post-mortem incident report. Both
+//   captures are observe-only and snapshot-safe: a resumed run continues
+//   its waveform history exactly.
 //
 // Examples:
 //   parm_runner --mapping PARM --routing PANR --workload comm --arrival 0.05
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   std::string save_workload, load_workload, telemetry_file;
   std::string metrics_file, trace_file, trace_jsonl_file;
   std::string events_file, events_on_ve_file, spans_file;
+  std::string timeseries_file, timeseries_csv_file;
   bool health = false;
   bool throttle = false;
   std::uint64_t snapshot_every = 0;
@@ -135,6 +143,10 @@ int main(int argc, char** argv) {
       events_on_ve_file = value();
     } else if (arg == "--spans") {
       spans_file = value();
+    } else if (arg == "--timeseries") {
+      timeseries_file = value();
+    } else if (arg == "--timeseries-csv") {
+      timeseries_csv_file = value();
     } else if (arg == "--health") {
       health = true;
     } else if (arg == "--throttle") {
@@ -177,6 +189,8 @@ int main(int argc, char** argv) {
   cfg.record_events = !events_file.empty() || !events_on_ve_file.empty() ||
                       !spans_file.empty();
   cfg.events_dump_on_ve = events_on_ve_file;
+  cfg.record_timeseries =
+      !timeseries_file.empty() || !timeseries_csv_file.empty();
   if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
   try {
     cfg.validate();
@@ -266,6 +280,22 @@ int main(int argc, char** argv) {
     obs::write_span_trace(out, simulator.recorder().collect());
     std::cout << "app lifecycle spans written to " << spans_file
               << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (!timeseries_file.empty()) {
+    std::ofstream out(timeseries_file);
+    if (!out) usage("cannot open timeseries file for writing");
+    simulator.timeseries().dump_jsonl(out);
+    std::cout << "time series (" << simulator.timeseries().series_count()
+              << " series, " << simulator.timeseries().samples_total()
+              << " samples, " << simulator.timeseries().evictions_total()
+              << " evicted) written to " << timeseries_file << "\n";
+  }
+  if (!timeseries_csv_file.empty()) {
+    std::ofstream out(timeseries_csv_file);
+    if (!out) usage("cannot open timeseries CSV file for writing");
+    simulator.timeseries().write_csv(out);
+    std::cout << "time series CSV written to " << timeseries_csv_file
+              << "\n";
   }
   if (health) {
     const obs::HealthReport report =

@@ -21,7 +21,12 @@ void FleetConfig::validate() const {
 
 FleetSimulator::FleetSimulator(FleetConfig cfg,
                                std::vector<appmodel::AppArrival> arrivals)
-    : cfg_(std::move(cfg)) {
+    : cfg_(std::move(cfg)),
+      timeseries_(cfg_.chip.record_timeseries,
+                  obs::TimeSeriesConfig{cfg_.chip.timeseries_capacity,
+                                        cfg_.chip.timeseries_levels,
+                                        cfg_.chip.timeseries_downsample},
+                  &metrics_) {
   cfg_.validate();
   PARM_CHECK(std::is_sorted(arrivals.begin(), arrivals.end(),
                             [](const appmodel::AppArrival& a,
@@ -118,6 +123,12 @@ FleetResult FleetSimulator::run() {
       events_.push_back(e);
     }
 
+    // Clone this chip's waveforms under the "chip<k>." prefix — the
+    // series-name analogue of the chip stamp on events.
+    if (cfg_.chip.record_timeseries) {
+      timeseries_.merge_from(sims[c]->timeseries(), static_cast<int>(c));
+    }
+
     out.chip_health.push_back(
         obs::HealthMonitor().evaluate(sims[c]->metrics()));
   }
@@ -140,6 +151,10 @@ void FleetSimulator::dump_events_jsonl(std::ostream& os) const {
     obs::write_event_json(os, e);
     os << '\n';
   }
+}
+
+void FleetSimulator::dump_timeseries_jsonl(std::ostream& os) const {
+  timeseries_.dump_jsonl(os);
 }
 
 }  // namespace parm::fleet

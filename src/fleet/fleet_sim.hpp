@@ -25,6 +25,7 @@
 #include "obs/events.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/sim_config.hpp"
 
 namespace parm::fleet {
@@ -102,6 +103,14 @@ class FleetSimulator {
   /// Writes the merged event log as JSONL (one event object per line).
   void dump_events_jsonl(std::ostream& os) const;
 
+  /// Merged fleet time-series store (populated by run() when the chip
+  /// template sets record_timeseries): every chip's series cloned under a
+  /// "chip<k>." name prefix — the waveform analogue of the chip-stamped
+  /// event log above.
+  const obs::TimeSeriesStore& timeseries() const { return timeseries_; }
+  /// Writes the merged store as JSONL (one retained sample per line).
+  void dump_timeseries_jsonl(std::ostream& os) const;
+
   int chip_count() const { return cfg_.chip_count; }
   /// The shard assigned to one chip (dense local ids).
   const std::vector<appmodel::AppArrival>& chip_arrivals(int chip) const;
@@ -114,6 +123,11 @@ class FleetSimulator {
   std::vector<std::vector<int>> global_ids_;  ///< [chip][local id]
   obs::Registry metrics_;
   std::vector<obs::Event> events_;  ///< merged fleet event log
+  /// Merged fleet time-series store. Registers its self-metrics in the
+  /// fleet registry, but the merge never advances them — the registry
+  /// merge above already folds each chip's timeseries.* counters, and
+  /// advancing both would double-count.
+  obs::TimeSeriesStore timeseries_;
 };
 
 }  // namespace parm::fleet

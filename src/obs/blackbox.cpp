@@ -1,0 +1,631 @@
+#include "obs/blackbox.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json_util.hpp"
+
+namespace parm::obs {
+
+namespace {
+
+// ------------------------------------------------- flat JSON line parser
+//
+// The dumps this module loads are flat single-line objects whose values
+// are numbers or strings (write_event_json / TimeSeriesStore::dump_jsonl
+// output). A full JSON parser would be a dependency; a flat one is ~100
+// lines and — crucially for the fuzz corpus — rejects every malformed
+// line instead of guessing.
+
+struct FlatObject {
+  std::map<std::string, double, std::less<>> nums;
+  std::map<std::string, std::string, std::less<>> strs;
+};
+
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  bool parse(FlatObject& out) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return done();
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (peek() == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        out.strs[key] = std::move(value);
+      } else {
+        double value = 0.0;
+        if (!parse_number(value)) return false;
+        out.nums[key] = value;
+      }
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume('}')) return done();
+      return false;
+    }
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool done() {
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  static int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;  // truncated escape
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int h = hex_value(s_[pos_++]);
+            if (h < 0) return false;
+            code = code * 16 + h;
+          }
+          // The writers only escape control characters; anything in the
+          // BMP is folded to '?' rather than re-encoded — names never
+          // legitimately contain escapes beyond \u00XX.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;  // bad escape — the whole line is rejected
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size() && std::isfinite(out);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_line(std::string_view line, FlatObject& out) {
+  return LineParser(line).parse(out);
+}
+
+double num_or(const FlatObject& o, std::string_view key, double fallback) {
+  const auto it = o.nums.find(key);
+  return it != o.nums.end() ? it->second : fallback;
+}
+
+bool event_type_from_name(std::string_view name, EventType& out) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    if (name == event_type_name(type)) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_blank(std::string_view line) {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- loaders
+
+std::vector<Event> load_events_jsonl(std::istream& is,
+                                     BlackboxLoadStats* stats) {
+  BlackboxLoadStats local;
+  BlackboxLoadStats& st = stats != nullptr ? *stats : local;
+  st = BlackboxLoadStats{};
+  std::vector<Event> events;
+  std::map<std::int16_t, std::uint64_t> last_seq;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    ++st.lines;
+    FlatObject o;
+    EventType type = EventType::kAppArrival;
+    const auto type_it = parse_line(line, o)
+                             ? o.strs.find("type")
+                             : o.strs.end();
+    if (type_it == o.strs.end() ||
+        !event_type_from_name(type_it->second, type) ||
+        o.nums.find("t") == o.nums.end()) {
+      ++st.skipped;
+      continue;
+    }
+    Event e;
+    e.type = type;
+    e.t = o.nums.at("t");
+    e.seq = static_cast<std::uint64_t>(num_or(o, "seq", 0.0));
+    e.chip = static_cast<std::int16_t>(num_or(o, "chip", -1.0));
+    e.app = static_cast<std::int32_t>(num_or(o, "app", -1.0));
+    e.domain = static_cast<std::int32_t>(num_or(o, "domain", -1.0));
+    e.tile = static_cast<std::int32_t>(num_or(o, "tile", -1.0));
+    const EventPayloadKeys keys = event_payload_keys(type);
+    if (keys.a != nullptr) e.a = num_or(o, keys.a, 0.0);
+    if (keys.b != nullptr) e.b = num_or(o, keys.b, 0.0);
+    const auto seq_it = last_seq.find(e.chip);
+    if (seq_it != last_seq.end() && e.seq < seq_it->second) {
+      ++st.out_of_order;
+    }
+    last_seq[e.chip] = e.seq;
+    events.push_back(e);
+    ++st.parsed;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.chip != b.chip) return a.chip < b.chip;
+                     return a.seq < b.seq;
+                   });
+  return events;
+}
+
+TsArchive load_timeseries_jsonl(std::istream& is, BlackboxLoadStats* stats) {
+  BlackboxLoadStats local;
+  BlackboxLoadStats& st = stats != nullptr ? *stats : local;
+  st = BlackboxLoadStats{};
+  TsArchive archive;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    ++st.lines;
+    FlatObject o;
+    if (!parse_line(line, o) || o.strs.find("series") == o.strs.end() ||
+        o.nums.find("t_start") == o.nums.end() ||
+        o.nums.find("t_end") == o.nums.end()) {
+      ++st.skipped;
+      continue;
+    }
+    TsPoint p;
+    p.level = static_cast<int>(num_or(o, "level", 0.0));
+    p.t_start = o.nums.at("t_start");
+    p.t_end = o.nums.at("t_end");
+    p.min = num_or(o, "min", 0.0);
+    p.max = num_or(o, "max", 0.0);
+    p.mean = num_or(o, "mean", 0.0);
+    p.count = static_cast<std::uint64_t>(num_or(o, "count", 0.0));
+    if (p.level < 0 || p.t_end < p.t_start) {
+      ++st.skipped;
+      continue;
+    }
+    archive[o.strs.at("series")].push_back(p);
+    ++st.parsed;
+  }
+  for (auto& [name, points] : archive) {
+    std::stable_sort(points.begin(), points.end(),
+                     [](const TsPoint& a, const TsPoint& b) {
+                       if (a.level != b.level) return a.level < b.level;
+                       return a.t_start < b.t_start;
+                     });
+  }
+  return archive;
+}
+
+// ---------------------------------------------------------------- analyzer
+
+namespace {
+
+/// Droop trajectory of `series` across [t_min, t_max]: points of the
+/// finest level that reaches back to t_min (else the coarsest present).
+std::vector<TsPoint> droop_window(const TsArchive& ts,
+                                  const std::string& series, double t_min,
+                                  double t_max, int& level_out) {
+  level_out = -1;
+  const auto it = ts.find(series);
+  if (it == ts.end() || it->second.empty()) return {};
+  const std::vector<TsPoint>& points = it->second;
+  int chosen = -1;
+  int coarsest = -1;
+  for (std::size_t i = 0; i < points.size();) {
+    const int level = points[i].level;
+    const double first_t = points[i].t_start;  // sorted within a level
+    coarsest = level;
+    if (chosen < 0 && first_t <= t_min) chosen = level;
+    while (i < points.size() && points[i].level == level) ++i;
+    if (chosen >= 0) break;
+  }
+  if (chosen < 0) chosen = coarsest;
+  level_out = chosen;
+  std::vector<TsPoint> out;
+  for (const TsPoint& p : points) {
+    if (p.level == chosen && p.t_end >= t_min && p.t_start <= t_max) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string droop_series_name(const Event& trigger, std::int32_t domain) {
+  std::string name;
+  if (trigger.chip >= 0) {
+    name += "chip" + std::to_string(trigger.chip) + ".";
+  }
+  name += "psn.domain" + std::to_string(domain) + ".peak_percent";
+  return name;
+}
+
+bool involves(const Incident& incident, std::int32_t app) {
+  if (incident.trigger.app == app) return true;
+  return std::find(incident.co_resident.begin(), incident.co_resident.end(),
+                   app) != incident.co_resident.end();
+}
+
+void write_point_json(std::ostream& os, const TsPoint& p) {
+  os << "{\"level\":" << p.level << ",\"t_start\":" << p.t_start
+     << ",\"t_end\":" << p.t_end << ",\"min\":" << p.min
+     << ",\"max\":" << p.max << ",\"mean\":" << p.mean
+     << ",\"count\":" << p.count << "}";
+}
+
+}  // namespace
+
+IncidentReport analyze_incidents(std::vector<Event> events,
+                                 const TsArchive& ts,
+                                 const IncidentQuery& query) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.chip != b.chip) return a.chip < b.chip;
+                     return a.seq < b.seq;
+                   });
+
+  IncidentReport report;
+  report.query = query;
+  const double w = query.window_s;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& trigger = events[i];
+    if (trigger.type != EventType::kVeOnset &&
+        trigger.type != EventType::kAppDeadlineMiss) {
+      continue;
+    }
+    ++report.total_triggers;
+    // The limit caps reported incidents only; keep counting triggers so
+    // the report header still reflects the full run.
+    if (query.limit != 0 && report.incidents.size() >= query.limit) continue;
+
+    Incident incident;
+    incident.trigger = trigger;
+
+    // Replay the app lifecycle on this chip up to the trigger: which app
+    // lives in which domain, and is the NoC congested? (kAppMigrate moves
+    // a single task between tiles; the app's home domain — where it was
+    // mapped — is kept, an accepted approximation for co-residency.)
+    std::map<std::int32_t, std::int32_t> app_domain;
+    const Event* open_congestion = nullptr;
+    for (std::size_t k = 0; k < i; ++k) {
+      const Event& e = events[k];
+      if (e.chip != trigger.chip) continue;
+      switch (e.type) {
+        case EventType::kAppMap:
+          app_domain[e.app] = e.domain;
+          break;
+        case EventType::kAppComplete:
+        case EventType::kAppReject:
+          app_domain.erase(e.app);
+          break;
+        case EventType::kNocCongestionOnset:
+          open_congestion = &e;
+          break;
+        case EventType::kNocCongestionClear:
+          open_congestion = nullptr;
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Affected domain: a VE onset names it; a deadline miss inherits the
+    // app's mapped domain (the map entry is erased by the completion
+    // event that precedes the miss at the same timestamp, so fall back
+    // to a reverse scan for the app's kAppMap).
+    incident.domain = trigger.domain;
+    if (incident.domain < 0 && trigger.app >= 0) {
+      const auto it = app_domain.find(trigger.app);
+      if (it != app_domain.end()) {
+        incident.domain = it->second;
+      } else {
+        for (std::size_t k = i; k-- > 0;) {
+          const Event& e = events[k];
+          if (e.chip == trigger.chip && e.type == EventType::kAppMap &&
+              e.app == trigger.app) {
+            incident.domain = e.domain;
+            break;
+          }
+        }
+      }
+    }
+    if (query.domain >= 0 && incident.domain != query.domain) continue;
+
+    for (const auto& [app, domain] : app_domain) {  // std::map: sorted
+      if (domain == incident.domain) incident.co_resident.push_back(app);
+    }
+    if (trigger.app >= 0 &&
+        std::find(incident.co_resident.begin(), incident.co_resident.end(),
+                  trigger.app) == incident.co_resident.end()) {
+      incident.co_resident.insert(incident.co_resident.begin(),
+                                  trigger.app);
+    }
+    if (query.app >= 0 && !involves(incident, query.app)) continue;
+
+    // The causal window: droop trajectory, congestion, rollbacks,
+    // responses.
+    if (incident.domain >= 0) {
+      incident.droop_series = droop_series_name(trigger, incident.domain);
+      incident.droop =
+          droop_window(ts, incident.droop_series, trigger.t - w,
+                       trigger.t + w, incident.droop_level);
+    }
+    if (open_congestion != nullptr) {
+      incident.congestion.push_back(*open_congestion);
+    }
+    for (const Event& e : events) {
+      if (e.chip != trigger.chip) continue;
+      if (e.t < trigger.t - w || e.t > trigger.t + w) continue;
+      const bool involved =
+          e.app >= 0 && (e.app == trigger.app ||
+                         std::find(incident.co_resident.begin(),
+                                   incident.co_resident.end(),
+                                   e.app) != incident.co_resident.end());
+      if (e.type == EventType::kNocCongestionOnset &&
+          (open_congestion == nullptr || e.seq != open_congestion->seq)) {
+        incident.congestion.push_back(e);
+      } else if (e.type == EventType::kAppVe && involved) {
+        incident.ves.push_back(e);
+      } else if ((e.type == EventType::kAppThrottle ||
+                  e.type == EventType::kAppMigrate) &&
+                 e.t >= trigger.t && involved) {
+        IncidentResponseEffect effect;
+        effect.response = e;
+        double before = 0.0;
+        double after = 0.0;
+        bool have_before = false;
+        bool have_after = false;
+        for (const TsPoint& p : incident.droop) {
+          if (p.t_end <= e.t) {
+            before = std::max(before, p.max);
+            have_before = true;
+          } else if (p.t_start >= e.t) {
+            after = std::max(after, p.max);
+            have_after = true;
+          }
+        }
+        effect.peak_before = before;
+        effect.peak_after = after;
+        effect.measured = have_before && have_after;
+        incident.responses.push_back(effect);
+      }
+    }
+
+    report.incidents.push_back(std::move(incident));
+  }
+  return report;
+}
+
+// ----------------------------------------------------------------- writers
+
+void write_incident_text(std::ostream& os, const IncidentReport& report) {
+  const auto old_precision = os.precision();
+  const IncidentQuery& q = report.query;
+  os << "== blackbox incident report ==\n";
+  os << "triggers: " << report.total_triggers
+     << "  reported: " << report.incidents.size() << "  window: +/-"
+     << q.window_s << " s";
+  if (q.app >= 0) os << "  app=" << q.app;
+  if (q.domain >= 0) os << "  domain=" << q.domain;
+  if (q.limit != 0) os << "  limit=" << q.limit;
+  os << "\n";
+
+  std::size_t idx = 0;
+  for (const Incident& in : report.incidents) {
+    const Event& t = in.trigger;
+    os << "\n-- incident " << ++idx << ": " << event_type_name(t.type)
+       << "  t=" << std::fixed << std::setprecision(4) << t.t << " s";
+    if (t.app >= 0) os << "  app=" << t.app;
+    if (in.domain >= 0) os << "  domain=" << in.domain;
+    if (t.chip >= 0) os << "  chip=" << t.chip;
+    const EventPayloadKeys keys = event_payload_keys(t.type);
+    if (keys.a != nullptr) {
+      os << "  " << keys.a << "=" << std::setprecision(4) << t.a;
+    }
+    os << "\n";
+
+    os << "   co-resident apps in domain: ";
+    if (in.co_resident.empty()) {
+      os << "(none)";
+    } else {
+      for (std::size_t k = 0; k < in.co_resident.size(); ++k) {
+        os << (k != 0 ? " " : "") << in.co_resident[k];
+      }
+    }
+    os << "\n";
+
+    if (in.droop.empty()) {
+      os << "   droop trajectory: (no time-series data for "
+         << (in.droop_series.empty() ? "this domain" : in.droop_series)
+         << ")\n";
+    } else {
+      os << "   droop trajectory " << in.droop_series << " (level "
+         << in.droop_level << ", " << in.droop.size() << " points):\n";
+      for (const TsPoint& p : in.droop) {
+        os << "     t=" << std::setprecision(4) << p.t_start << "  max="
+           << std::setprecision(2) << p.max << "%  mean=" << p.mean
+           << "%  |";
+        const int bar =
+            std::min(40, static_cast<int>(std::lround(p.max * 4.0)));
+        for (int b = 0; b < bar; ++b) os << '#';
+        if (p.t_start <= t.t && t.t <= p.t_end) os << " <- trigger";
+        os << "\n";
+      }
+    }
+
+    if (in.congestion.empty()) {
+      os << "   congestion: none\n";
+    } else {
+      for (const Event& e : in.congestion) {
+        os << "   congestion onset t=" << std::setprecision(4) << e.t
+           << " s  delivery_ratio=" << std::setprecision(3) << e.a << "\n";
+      }
+    }
+
+    os << "   ve rollbacks in window: " << in.ves.size() << "\n";
+
+    if (in.responses.empty()) {
+      os << "   responses: none\n";
+    } else {
+      for (const IncidentResponseEffect& r : in.responses) {
+        os << "   response " << event_type_name(r.response.type) << " app="
+           << r.response.app << " t=" << std::setprecision(4)
+           << r.response.t << " s";
+        if (r.measured) {
+          os << "  peak " << std::setprecision(2) << r.peak_before
+             << "% -> " << r.peak_after << "% ("
+             << (r.peak_after <= r.peak_before ? "" : "+")
+             << r.peak_after - r.peak_before << ")";
+        } else {
+          os << "  (effect not measurable from retained waveform)";
+        }
+        os << "\n";
+      }
+    }
+  }
+  os.unsetf(std::ios_base::floatfield);
+  os.precision(old_precision);
+}
+
+void write_incident_json(std::ostream& os, const IncidentReport& report) {
+  const auto old_precision = os.precision(15);
+  const IncidentQuery& q = report.query;
+  os << "{\"query\":{\"window_s\":" << q.window_s << ",\"app\":" << q.app
+     << ",\"domain\":" << q.domain << ",\"limit\":" << q.limit << "}";
+  os << ",\"total_triggers\":" << report.total_triggers;
+  os << ",\"incidents\":[";
+  for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+    const Incident& in = report.incidents[i];
+    if (i != 0) os << ",";
+    os << "{\"trigger\":";
+    write_event_json(os, in.trigger);
+    os << ",\"domain\":" << in.domain;
+    os << ",\"co_resident\":[";
+    for (std::size_t k = 0; k < in.co_resident.size(); ++k) {
+      os << (k != 0 ? "," : "") << in.co_resident[k];
+    }
+    os << "],\"droop_series\":";
+    json_string(os, in.droop_series);
+    os << ",\"droop_level\":" << in.droop_level;
+    os << ",\"droop\":[";
+    for (std::size_t k = 0; k < in.droop.size(); ++k) {
+      if (k != 0) os << ",";
+      write_point_json(os, in.droop[k]);
+    }
+    os << "],\"congestion\":[";
+    for (std::size_t k = 0; k < in.congestion.size(); ++k) {
+      if (k != 0) os << ",";
+      write_event_json(os, in.congestion[k]);
+    }
+    os << "],\"ves\":[";
+    for (std::size_t k = 0; k < in.ves.size(); ++k) {
+      if (k != 0) os << ",";
+      write_event_json(os, in.ves[k]);
+    }
+    os << "],\"responses\":[";
+    for (std::size_t k = 0; k < in.responses.size(); ++k) {
+      const IncidentResponseEffect& r = in.responses[k];
+      if (k != 0) os << ",";
+      os << "{\"event\":";
+      write_event_json(os, r.response);
+      os << ",\"peak_before\":" << r.peak_before
+         << ",\"peak_after\":" << r.peak_after
+         << ",\"measured\":" << (r.measured ? "true" : "false") << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace parm::obs

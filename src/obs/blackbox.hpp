@@ -1,0 +1,132 @@
+// Post-mortem incident analysis over flight-recorder dumps and
+// time-series exports — the read side of the blackbox workflow.
+//
+// The write side (obs/flight_recorder.hpp, obs/timeseries.hpp) produces
+// two JSONL artifacts: discrete events and bounded droop waveforms. This
+// module loads both back and answers the question a post-mortem asks:
+// for every VE onset and deadline miss, what led up to it? The result is
+// an IncidentReport — per trigger, a causal timeline window holding the
+// droop trajectory of the affected domain, the apps co-resident in it,
+// concurrent NoC congestion, the per-task VE rollbacks, and any
+// throttle/migration responses with their measured effect on the
+// waveform. examples/parm_blackbox.cpp is the CLI face.
+//
+// Loader contract: JSONL from the wild is hostile input (truncated
+// tails, editor mangling, concatenated dumps), so the loaders never
+// throw on malformed lines — each bad line is counted in
+// BlackboxLoadStats::skipped and ignored, out-of-order sequence numbers
+// are counted and normalized by sorting, and tests/fuzz_test.cpp keeps a
+// corpus of mangled dumps against this promise.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace parm::obs {
+
+/// Per-load accounting: how much of the input was usable.
+struct BlackboxLoadStats {
+  std::size_t lines = 0;    ///< non-blank input lines
+  std::size_t parsed = 0;   ///< lines converted into records
+  std::size_t skipped = 0;  ///< malformed or unknown lines ignored
+  /// Sequence regressions seen in file order (per chip). The loader
+  /// re-sorts, so this only signals that the input had been shuffled.
+  std::size_t out_of_order = 0;
+};
+
+/// Parses a flight-recorder JSONL dump (write_event_json lines) back
+/// into events, sorted by (t, chip, seq). Never throws on malformed
+/// input.
+std::vector<Event> load_events_jsonl(std::istream& is,
+                                     BlackboxLoadStats* stats = nullptr);
+
+/// One loaded time-series aggregate (TimeSeriesStore::dump_jsonl line).
+struct TsPoint {
+  int level = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// series name → points sorted by (level, t_start).
+using TsArchive = std::map<std::string, std::vector<TsPoint>>;
+
+/// Parses a TimeSeriesStore::dump_jsonl export. Never throws on
+/// malformed input.
+TsArchive load_timeseries_jsonl(std::istream& is,
+                                BlackboxLoadStats* stats = nullptr);
+
+/// Query filters of an incident report.
+struct IncidentQuery {
+  /// Timeline half-width: the report covers [T − window_s, T + window_s]
+  /// around each trigger at time T.
+  double window_s = 0.05;
+  /// Restrict to incidents involving this app (the trigger's app for a
+  /// deadline miss, a co-resident app for a VE onset). -1 = all.
+  std::int32_t app = -1;
+  /// Restrict to incidents in this voltage domain. -1 = all.
+  std::int32_t domain = -1;
+  /// Keep at most this many incidents (0 = unlimited).
+  std::size_t limit = 0;
+};
+
+/// A throttle/migration response inside the window, with its measured
+/// effect: the droop-series maximum before vs. after the response.
+struct IncidentResponseEffect {
+  Event response;
+  double peak_before = 0.0;
+  double peak_after = 0.0;
+  bool measured = false;  ///< both sides of the waveform were available
+};
+
+/// One VE-onset or deadline-miss trigger with its causal window.
+struct Incident {
+  Event trigger;
+  /// The affected voltage domain: the trigger's own for a VE onset, the
+  /// app's mapped domain for a deadline miss (-1 when unresolvable).
+  std::int32_t domain = -1;
+  /// Apps mapped into the domain and not yet finished at trigger time.
+  std::vector<std::int32_t> co_resident;
+  /// Droop trajectory of the domain across the window, from the finest
+  /// downsample level that reaches back to the window start.
+  std::string droop_series;
+  int droop_level = -1;
+  std::vector<TsPoint> droop;
+  /// NoC congestion onsets overlapping the window (including one still
+  /// open at trigger time).
+  std::vector<Event> congestion;
+  /// Per-task VE rollbacks of the involved apps inside the window.
+  std::vector<Event> ves;
+  std::vector<IncidentResponseEffect> responses;
+};
+
+struct IncidentReport {
+  IncidentQuery query;
+  std::size_t total_triggers = 0;  ///< before filters and limit
+  std::vector<Incident> incidents;
+};
+
+/// Builds the report. `events` may be in any order (re-sorted
+/// internally); `ts` is the loaded time-series archive (may be empty —
+/// incidents then carry no droop trajectory). Deterministic: the same
+/// inputs produce the same report, byte for byte through the writers
+/// below.
+IncidentReport analyze_incidents(std::vector<Event> events,
+                                 const TsArchive& ts,
+                                 const IncidentQuery& query);
+
+/// Human-readable report (the CLI's stdout).
+void write_incident_text(std::ostream& os, const IncidentReport& report);
+/// Machine-readable JSON artifact (one object, embedded event objects in
+/// write_event_json form).
+void write_incident_json(std::ostream& os, const IncidentReport& report);
+
+}  // namespace parm::obs

@@ -1,0 +1,337 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "obs/json_util.hpp"
+
+namespace parm::obs {
+
+namespace {
+
+void fold(TsSample& into, const TsSample& s) {
+  if (into.count == 0) {
+    into = s;
+    return;
+  }
+  into.t_end = s.t_end;
+  into.min = std::min(into.min, s.min);
+  into.max = std::max(into.max, s.max);
+  into.sum += s.sum;
+  into.count += s.count;
+}
+
+void save_sample(snapshot::Writer& w, const TsSample& s) {
+  w.f64(s.t_start);
+  w.f64(s.t_end);
+  w.f64(s.min);
+  w.f64(s.max);
+  w.f64(s.sum);
+  w.u64(s.count);
+}
+
+TsSample restore_sample(snapshot::Reader& r) {
+  TsSample s;
+  s.t_start = r.f64();
+  s.t_end = r.f64();
+  s.min = r.f64();
+  s.max = r.f64();
+  s.sum = r.f64();
+  s.count = r.u64();
+  return s;
+}
+
+constexpr std::size_t kSampleBytes = 6 * 8;  ///< serialized TsSample size
+
+}  // namespace
+
+// ---------------------------------------------------------------- series
+
+TimeSeries::TimeSeries(const TimeSeriesConfig& cfg)
+    : capacity_(cfg.capacity), downsample_(cfg.downsample) {
+  PARM_CHECK(cfg.capacity >= 1, "TimeSeries: capacity must be at least 1");
+  PARM_CHECK(cfg.levels >= 1, "TimeSeries: levels must be at least 1");
+  PARM_CHECK(cfg.downsample >= 2,
+             "TimeSeries: downsample factor must be at least 2");
+  levels_.resize(cfg.levels);
+  for (Level& level : levels_) level.ring.resize(capacity_);
+}
+
+std::size_t TimeSeries::push(std::size_t level, const TsSample& s) {
+  Level& l = levels_[level];
+  std::size_t evicted = l.written >= capacity_ ? 1 : 0;
+  l.ring[static_cast<std::size_t>(l.written % capacity_)] = s;
+  ++l.written;
+  if (level + 1 < levels_.size()) {
+    Level& next = levels_[level + 1];
+    fold(next.open, s);
+    if (++next.open_children == downsample_) {
+      const TsSample closed = next.open;
+      next.open = TsSample{};
+      next.open_children = 0;
+      evicted += push(level + 1, closed);
+    }
+  }
+  return evicted;
+}
+
+std::size_t TimeSeries::append(double t, double value) {
+  ++appended_;
+  return push(0, TsSample{t, t, value, value, value, 1});
+}
+
+std::vector<TsSample> TimeSeries::samples(std::size_t level) const {
+  PARM_CHECK(level < levels_.size(), "TimeSeries: level out of range");
+  const Level& l = levels_[level];
+  const std::uint64_t retained = std::min<std::uint64_t>(l.written, capacity_);
+  std::vector<TsSample> out;
+  out.reserve(static_cast<std::size_t>(retained));
+  for (std::uint64_t i = l.written - retained; i < l.written; ++i) {
+    out.push_back(l.ring[static_cast<std::size_t>(i % capacity_)]);
+  }
+  return out;
+}
+
+double TimeSeries::retained_from(std::size_t level) const {
+  PARM_CHECK(level < levels_.size(), "TimeSeries: level out of range");
+  const Level& l = levels_[level];
+  const std::uint64_t retained = std::min<std::uint64_t>(l.written, capacity_);
+  if (retained == 0) return std::numeric_limits<double>::infinity();
+  const std::uint64_t oldest = l.written - retained;
+  return l.ring[static_cast<std::size_t>(oldest % capacity_)].t_start;
+}
+
+std::vector<TsSample> TimeSeries::query(double t_min, double t_max,
+                                        std::size_t* level_out) const {
+  // Finest level whose retained history reaches back to t_min; when none
+  // does (the run outlived even the coarsest ring), the coarsest
+  // non-empty level is still the best available answer.
+  std::size_t chosen = levels_.size();
+  std::size_t coarsest_nonempty = levels_.size();
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].written == 0) continue;
+    coarsest_nonempty = level;
+    if (chosen == levels_.size() && retained_from(level) <= t_min) {
+      chosen = level;
+    }
+  }
+  if (chosen == levels_.size()) chosen = coarsest_nonempty;
+  if (chosen == levels_.size()) {
+    if (level_out != nullptr) *level_out = 0;
+    return {};
+  }
+  if (level_out != nullptr) *level_out = chosen;
+  std::vector<TsSample> out;
+  for (const TsSample& s : samples(chosen)) {
+    if (s.t_end >= t_min && s.t_start <= t_max) out.push_back(s);
+  }
+  return out;
+}
+
+void TimeSeries::save(snapshot::Writer& w) const {
+  w.u64(capacity_);
+  w.u64(levels_.size());
+  w.u64(downsample_);
+  w.u64(appended_);
+  for (const Level& l : levels_) {
+    w.u64(l.written);
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(l.written, capacity_);
+    // Retained samples oldest-first; the restore side recomputes each
+    // one's ring slot from its ordinal, so future wrap-around overwrites
+    // land exactly where an uninterrupted run would have put them.
+    for (std::uint64_t i = l.written - retained; i < l.written; ++i) {
+      save_sample(w, l.ring[static_cast<std::size_t>(i % capacity_)]);
+    }
+    save_sample(w, l.open);
+    w.u64(l.open_children);
+  }
+}
+
+void TimeSeries::restore(snapshot::Reader& r) {
+  const std::uint64_t capacity = r.count(1);
+  const std::uint64_t levels = r.count(kSampleBytes + 16);
+  const std::uint64_t downsample = r.u64();
+  if (capacity < 1 || levels < 1 || downsample < 2) {
+    throw snapshot::SnapshotError("time-series shape out of range");
+  }
+  // Allocation guard: the rings are preallocated at capacity × levels
+  // slots, so a corrupt shape must be rejected before it turns into an
+  // out-of-memory crash (the count() guards above only bound each field
+  // against the payload size individually).
+  if (levels > (std::uint64_t{1} << 22) / capacity) {
+    throw snapshot::SnapshotError(
+        "time-series shape implausibly large (capacity × levels)");
+  }
+  capacity_ = static_cast<std::size_t>(capacity);
+  downsample_ = static_cast<std::size_t>(downsample);
+  appended_ = r.u64();
+  levels_.assign(static_cast<std::size_t>(levels), Level{});
+  for (Level& l : levels_) {
+    l.ring.assign(capacity_, TsSample{});
+    l.written = r.u64();
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(l.written, capacity_);
+    if (retained > r.remaining() / kSampleBytes) {
+      throw snapshot::SnapshotError(
+          "time-series sample count exceeds snapshot payload");
+    }
+    for (std::uint64_t i = l.written - retained; i < l.written; ++i) {
+      l.ring[static_cast<std::size_t>(i % capacity_)] = restore_sample(r);
+    }
+    l.open = restore_sample(r);
+    l.open_children = r.u64();
+    if (l.open_children >= downsample_) {
+      throw snapshot::SnapshotError(
+          "time-series open aggregate larger than the downsample factor");
+    }
+  }
+}
+
+// ----------------------------------------------------------------- store
+
+TimeSeriesStore::TimeSeriesStore(bool enabled, TimeSeriesConfig cfg,
+                                 Registry* registry)
+    : enabled_(enabled),
+      cfg_(cfg),
+      samples_metric_(&resolve(registry).counter("timeseries.samples")),
+      evictions_metric_(&resolve(registry).counter("timeseries.evictions")),
+      series_metric_(&resolve(registry).gauge("timeseries.series")) {
+  PARM_CHECK(cfg_.capacity >= 1,
+             "TimeSeriesStore: capacity must be at least 1");
+  PARM_CHECK(cfg_.levels >= 1, "TimeSeriesStore: levels must be at least 1");
+  PARM_CHECK(cfg_.downsample >= 2,
+             "TimeSeriesStore: downsample factor must be at least 2");
+}
+
+TimeSeries& TimeSeriesStore::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      std::make_unique<TimeSeries>(cfg_))
+             .first;
+    series_metric_->set(static_cast<double>(series_.size()));
+  }
+  return *it->second;
+}
+
+const TimeSeries* TimeSeriesStore::find(std::string_view name) const {
+  const auto it = series_.find(name);
+  return it != series_.end() ? it->second.get() : nullptr;
+}
+
+void TimeSeriesStore::append(std::string_view name, double t, double value) {
+  if (!enabled_) return;
+  const std::size_t evicted = series(name).append(t, value);
+  ++samples_total_;
+  samples_metric_->inc();
+  if (evicted != 0) {
+    evictions_total_ += evicted;
+    evictions_metric_->inc(evicted);
+  }
+}
+
+void TimeSeriesStore::note_appends(std::size_t appended,
+                                   std::size_t evicted) {
+  samples_total_ += appended;
+  samples_metric_->inc(appended);
+  if (evicted != 0) {
+    evictions_total_ += evicted;
+    evictions_metric_->inc(evicted);
+  }
+}
+
+std::vector<std::string> TimeSeriesStore::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ts] : series_) names.push_back(name);
+  return names;
+}
+
+void TimeSeriesStore::dump_jsonl(std::ostream& os) const {
+  const auto old_precision = os.precision(15);
+  for (const auto& [name, ts] : series_) {
+    for (std::size_t level = 0; level < ts->level_count(); ++level) {
+      for (const TsSample& s : ts->samples(level)) {
+        os << "{\"series\":";
+        json_string(os, name);
+        os << ",\"level\":" << level << ",\"t_start\":" << s.t_start
+           << ",\"t_end\":" << s.t_end << ",\"min\":" << s.min
+           << ",\"max\":" << s.max << ",\"mean\":" << s.mean()
+           << ",\"count\":" << s.count << "}\n";
+      }
+    }
+  }
+  os.precision(old_precision);
+}
+
+void TimeSeriesStore::write_csv(std::ostream& os) const {
+  const auto old_precision = os.precision(15);
+  os << "series,level,t_start,t_end,min,max,mean,count\n";
+  for (const auto& [name, ts] : series_) {
+    for (std::size_t level = 0; level < ts->level_count(); ++level) {
+      for (const TsSample& s : ts->samples(level)) {
+        os << name << ',' << level << ',' << s.t_start << ',' << s.t_end
+           << ',' << s.min << ',' << s.max << ',' << s.mean() << ','
+           << s.count << '\n';
+      }
+    }
+  }
+  os.precision(old_precision);
+}
+
+void TimeSeriesStore::merge_from(const TimeSeriesStore& other, int chip) {
+  PARM_CHECK(&other != this, "TimeSeriesStore: cannot merge from itself");
+  PARM_CHECK(chip >= 0, "TimeSeriesStore: chip stamp must be non-negative");
+  const std::string prefix = "chip" + std::to_string(chip) + ".";
+  for (const auto& [name, ts] : other.series_) {
+    series_[prefix + name] = std::make_unique<TimeSeries>(*ts);
+  }
+  series_metric_->set(static_cast<double>(series_.size()));
+  samples_total_ += other.samples_total_;
+  evictions_total_ += other.evictions_total_;
+}
+
+void TimeSeriesStore::save(snapshot::Writer& w) const {
+  w.begin_section("TSDB");
+  w.u64(samples_total_);
+  w.u64(evictions_total_);
+  w.u64(series_.size());
+  for (const auto& [name, ts] : series_) {  // std::map: sorted, stable
+    w.str(name);
+    ts->save(w);
+  }
+}
+
+void TimeSeriesStore::restore(snapshot::Reader& r) {
+  r.expect_section("TSDB");
+  const std::uint64_t samples_total = r.u64();
+  const std::uint64_t evictions_total = r.u64();
+  const std::uint64_t n = r.count(4 + 32);
+  std::map<std::string, std::unique_ptr<TimeSeries>, std::less<>> restored;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    auto ts = std::make_unique<TimeSeries>(cfg_);
+    ts->restore(r);
+    if (!restored.emplace(name, std::move(ts)).second) {
+      throw snapshot::SnapshotError("duplicate time-series name \"" + name +
+                                    "\" in snapshot");
+    }
+  }
+  series_ = std::move(restored);
+  samples_total_ = samples_total;
+  evictions_total_ = evictions_total;
+  // Rewrite the self-metrics so exposition resumes mid-stream exactly
+  // (the telemetry-watermark pattern).
+  samples_metric_->reset();
+  samples_metric_->inc(samples_total_);
+  evictions_metric_->reset();
+  evictions_metric_->inc(evictions_total_);
+  series_metric_->set(static_cast<double>(series_.size()));
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,207 @@
+// Bounded, snapshot-aware time-series store: the droop-waveform channel
+// of the obs stack.
+//
+// Counters summarize, events punctuate — but the question a post-mortem
+// actually asks ("what did the domain's droop look like in the 50 ms
+// before the emergency?") needs the waveform itself. The store keeps, per
+// named series, a fixed-capacity ring of (time, value) samples plus
+// RRD-style hierarchical downsampling: level 0 holds the most recent
+// `capacity` raw samples; every `downsample` level-k samples fold into
+// one level-k+1 aggregate carrying min/max/sum/count over its time span.
+// A million-epoch run therefore retains full-resolution recent history
+// and progressively coarser long history in O(levels × capacity) memory
+// per series — the memory bound is fixed at construction and documented
+// in DESIGN.md (§ observability).
+//
+// Ownership mirrors obs::Registry and obs::FlightRecorder: every
+// simulator owns one store, fleet chips never interleave, and the fleet
+// driver merges per-chip stores under a "chip<k>." series-name prefix.
+//
+// Observe-only contract: append() touches nothing but the store itself
+// (no RNG, no simulation state), so enabling capture cannot perturb a
+// run — tests/engine_equivalence_test pins this bit-for-bit. Unlike the
+// flight recorder, store contents ARE snapshotted (save/restore): the
+// retained waveform history is exactly the evidence a resumed run must
+// still be able to explain itself with, so it survives a crash/resume
+// cycle byte-for-byte.
+//
+// The store observes itself: timeseries.samples / timeseries.evictions
+// counters and a timeseries.series gauge are registered in the owning
+// registry.
+//
+// Concurrency: none. The engine appends from serial phase code only (the
+// same property that makes event sequence numbers deterministic); the
+// store is deliberately lock-free-by-exclusion rather than sharded.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace parm::obs {
+
+/// Shape of every series in a store: ring capacity per level, number of
+/// downsampling levels (level 0 is full resolution), and the aggregation
+/// fan-in between consecutive levels. Level k spans up to
+/// capacity × downsample^k raw samples.
+struct TimeSeriesConfig {
+  std::size_t capacity = 512;
+  std::size_t levels = 3;
+  std::size_t downsample = 8;
+};
+
+/// One retained aggregate. At level 0 every sample covers a single
+/// observation (t_start == t_end, min == max == sum, count == 1); at
+/// level k it summarizes up to downsample^k raw observations.
+struct TsSample {
+  double t_start = 0.0;  ///< time of the first folded observation (s)
+  double t_end = 0.0;    ///< time of the last folded observation (s)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  double mean() const {
+    return count != 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// One named series: a ring per downsample level plus, per level >= 1,
+/// the open (partially filled) aggregate the next fold will close.
+/// Copyable by design — the fleet merge clones chip series wholesale.
+class TimeSeries {
+ public:
+  explicit TimeSeries(const TimeSeriesConfig& cfg);
+
+  /// Appends one raw observation, cascading closed aggregates upward.
+  /// Returns the number of retained samples overwritten by ring
+  /// wrap-around across all levels (the store's eviction accounting).
+  std::size_t append(double t, double value);
+
+  std::size_t level_count() const { return levels_.size(); }
+  /// Raw observations ever appended (including evicted ones).
+  std::uint64_t appended() const { return appended_; }
+
+  /// Retained closed samples of one level, oldest first. Open (partial)
+  /// aggregates are internal state — they surface once closed, but are
+  /// serialized so a restored series continues folding mid-block.
+  std::vector<TsSample> samples(std::size_t level) const;
+
+  /// Oldest retained time at `level` (+inf when the level is empty).
+  double retained_from(std::size_t level) const;
+
+  /// Best-resolution view of [t_min, t_max]: the finest level whose
+  /// retained history reaches back to t_min (falling back to the
+  /// coarsest non-empty level), filtered to samples overlapping the
+  /// window. `level_out` (optional) receives the chosen level.
+  std::vector<TsSample> query(double t_min, double t_max,
+                              std::size_t* level_out = nullptr) const;
+
+  void save(snapshot::Writer& w) const;
+  /// Restores the serialized state, adopting the snapshot's shape (the
+  /// shape is observe-only configuration, so the donor's wins — this is
+  /// what makes a resume with a different capacity well-defined).
+  void restore(snapshot::Reader& r);
+
+ private:
+  struct Level {
+    std::vector<TsSample> ring;  ///< capacity slots, written % cap cursor
+    std::uint64_t written = 0;   ///< closed samples ever stored here
+    TsSample open;               ///< partial aggregate (levels >= 1)
+    std::uint64_t open_children = 0;
+  };
+
+  std::size_t push(std::size_t level, const TsSample& s);
+
+  std::vector<Level> levels_;
+  std::size_t capacity_;
+  std::size_t downsample_;
+  std::uint64_t appended_ = 0;
+};
+
+/// Name → series table with a fixed per-series memory bound and
+/// store-level self-metrics. Series references stay valid for the life
+/// of the store. std::map keys keep every export and merge
+/// deterministic.
+class TimeSeriesStore {
+ public:
+  /// A disabled store ignores append() entirely (one branch). `registry`
+  /// receives the self-metrics (null selects the process-default
+  /// registry, as everywhere in obs).
+  explicit TimeSeriesStore(bool enabled = false, TimeSeriesConfig cfg = {},
+                           Registry* registry = nullptr);
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  bool enabled() const { return enabled_; }
+  const TimeSeriesConfig& config() const { return cfg_; }
+
+  /// Registers (or returns) a series. Unlike append(), usable on a
+  /// disabled store (handles may be resolved eagerly).
+  TimeSeries& series(std::string_view name);
+  /// Looks a series up without registering; null when absent.
+  const TimeSeries* find(std::string_view name) const;
+
+  /// Appends one observation to `name` (registering it on first sight).
+  /// No-op when the store is disabled.
+  void append(std::string_view name, double t, double value);
+
+  /// Accounting hook for hot paths that append through pre-resolved
+  /// TimeSeries handles (bypassing the name lookup in append()): folds
+  /// `appended` raw observations and `evicted` ring overwrites into the
+  /// lifetime totals and self-metrics in one step.
+  void note_appends(std::size_t appended, std::size_t evicted);
+
+  std::size_t series_count() const { return series_.size(); }
+  std::vector<std::string> series_names() const;
+  /// Raw observations appended / retained samples evicted, over the
+  /// store's lifetime (mirrors the self-metric counters, but readable
+  /// without a registry walk and restored by snapshots).
+  std::uint64_t samples_total() const { return samples_total_; }
+  std::uint64_t evictions_total() const { return evictions_total_; }
+
+  /// One JSON object per line per retained sample:
+  /// {"series":"psn.domain9.peak_percent","level":0,"t_start":...,
+  ///  "t_end":...,"min":...,"max":...,"mean":...,"count":1}
+  /// Series in name order, levels fine→coarse, samples oldest first.
+  void dump_jsonl(std::ostream& os) const;
+  /// The same data as CSV with a header row (series,level,t_start,t_end,
+  /// min,max,mean,count) — the plot-me export.
+  void write_csv(std::ostream& os) const;
+
+  /// Clones every series of `other` into this store under a
+  /// "chip<chip>." name prefix (the fleet driver's chip stamp) and folds
+  /// the sample/eviction totals. Self-metric counters are NOT advanced:
+  /// the fleet's registry merge already aggregates the chips' counters,
+  /// and advancing them here would double-count.
+  void merge_from(const TimeSeriesStore& other, int chip);
+
+  /// Serializes shape + every series (section "TSDB"). Contents survive
+  /// resume — see the header block for why this differs from the
+  /// recorder.
+  void save(snapshot::Writer& w) const;
+  /// Replaces this store's series wholesale with the snapshot's,
+  /// adopting the snapshot's shape, and restores the lifetime totals
+  /// (self-metric counters are rewritten to match, so exposition resumes
+  /// mid-stream exactly, like the telemetry watermarks).
+  void restore(snapshot::Reader& r);
+
+ private:
+  bool enabled_;
+  TimeSeriesConfig cfg_;
+  std::map<std::string, std::unique_ptr<TimeSeries>, std::less<>> series_;
+  std::uint64_t samples_total_ = 0;
+  std::uint64_t evictions_total_ = 0;
+  Counter* samples_metric_;
+  Counter* evictions_metric_;
+  Gauge* series_metric_;
+};
+
+}  // namespace parm::obs

@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/sim_config.hpp"
 
 namespace parm::sim {
@@ -64,6 +65,7 @@ struct EpochContext {
   cmp::Platform* platform = nullptr;
   obs::Registry* metrics = nullptr;  ///< this simulator's registry
   obs::FlightRecorder* recorder = nullptr;  ///< this simulator's recorder
+  obs::TimeSeriesStore* timeseries = nullptr;  ///< this simulator's store
   Rng* rng = nullptr;
   const std::vector<appmodel::AppArrival>* arrivals = nullptr;
 
@@ -84,6 +86,14 @@ struct EpochContext {
     e.a = a;
     e.b = b;
     recorder->emit(e);
+  }
+
+  /// Waveform-capture gate for the phases: true when time-series capture
+  /// is live. Phases check this once per epoch, resolve their series
+  /// handles lazily on the first live epoch, and append through the
+  /// handles — observe-only by the same construction as emit().
+  bool capture_on() const {
+    return timeseries != nullptr && timeseries->enabled();
   }
 
   // --- Simulation clock ---

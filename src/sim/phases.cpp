@@ -253,6 +253,21 @@ std::vector<noc::TrafficFlow> NocSamplingPhase::build_flows(
 }
 
 void NocSamplingPhase::run(EpochContext& ctx) {
+  // Resolve the capture handles once, on the first window with the
+  // time-series store live (the store belongs to the engine, so the
+  // constructor cannot).
+  if (ctx.capture_on() && ts_delivery_ == nullptr) {
+    obs::TimeSeriesStore& store = *ctx.timeseries;
+    const std::size_t n_tiles = ctx.router_activity.size();
+    ts_router_.resize(n_tiles);
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+      ts_router_[t] =
+          &store.series("noc.router" + std::to_string(t) + ".activity");
+    }
+    ts_delivery_ = &store.series("noc.delivery_ratio");
+    ts_latency_ = &store.series("noc.avg_latency_cycles");
+  }
+
   std::vector<noc::TrafficFlow> flows = build_flows(ctx);
   if (flows.empty()) {
     std::fill(ctx.router_activity.begin(), ctx.router_activity.end(), 0.0);
@@ -283,6 +298,19 @@ void NocSamplingPhase::run(EpochContext& ctx) {
   for (RunningApp& app : ctx.running) {
     auto it = ctx.app_latency.find(static_cast<std::int32_t>(app.instance));
     if (it != ctx.app_latency.end()) app.latency_cycles = it->second;
+  }
+
+  // Per-router congestion waveforms: one point per measured window
+  // (observe-only; plain writes through pre-resolved handles).
+  if (ctx.capture_on()) {
+    obs::TimeSeriesStore& store = *ctx.timeseries;
+    std::size_t evicted = 0;
+    for (std::size_t t = 0; t < ctx.router_activity.size(); ++t) {
+      evicted += ts_router_[t]->append(ctx.t, ctx.router_activity[t]);
+    }
+    evicted += ts_delivery_->append(ctx.t, w.delivery_ratio);
+    evicted += ts_latency_->append(ctx.t, w.avg_latency);
+    store.note_appends(ctx.router_activity.size() + 2, evicted);
   }
 }
 
@@ -461,6 +489,25 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   if (domain_over_margin_.size() != n_domains) {
     domain_over_margin_.assign(n_domains, 0);
   }
+  // Resolve the capture handles once, on the first epoch with the store
+  // live. The per-domain peak series name (psn.domain<d>.peak_percent) is
+  // a contract with the blackbox analyzer's droop-window lookup.
+  if (ctx.capture_on() && ts_margin_ == nullptr) {
+    obs::TimeSeriesStore& store = *ctx.timeseries;
+    ts_domain_peak_.resize(n_domains);
+    ts_domain_avg_.resize(n_domains);
+    for (std::size_t d = 0; d < n_domains; ++d) {
+      const std::string base = "psn.domain" + std::to_string(d);
+      ts_domain_peak_[d] = &store.series(base + ".peak_percent");
+      ts_domain_avg_[d] = &store.series(base + ".avg_percent");
+    }
+    ts_chip_peak_ = &store.series("psn.chip.peak_percent");
+    ts_chip_power_ = &store.series("power.chip_watts");
+    ts_margin_ = &store.series("psn.ve_margin_percent");
+  }
+  const bool capture = ctx.capture_on();
+  std::size_t captured = 0;
+  std::size_t evicted = 0;
   for (DomainId d = 0; d < mesh.domain_count(); ++d) {
     const auto tiles = mesh.domain_tiles(d);
     const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
@@ -480,6 +527,14 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
       psn_avg_stats_.add(psn.avg_percent);
       ctx.epoch_peak_psn = std::max(ctx.epoch_peak_psn, psn.peak_percent);
       epoch_domain_psn.add(psn.avg_percent);
+      // Droop waveform capture, powered domains only — dark domains carry
+      // no PDN load, and skipping them keeps the rings dense with signal.
+      if (capture) {
+        const std::size_t di = static_cast<std::size_t>(d);
+        evicted += ts_domain_peak_[di]->append(ctx.t, psn.peak_percent);
+        evicted += ts_domain_avg_[di]->append(ctx.t, psn.avg_percent);
+        captured += 2;
+      }
     }
     // VE-margin crossing events: a powered domain whose peak PSN exceeds
     // the margin is at emergency risk (the emergency phase rolls the
@@ -495,6 +550,12 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   chip_power_stats_.add(chip_power);
   ctx.epoch_avg_psn = epoch_domain_psn.mean();
   ctx.epoch_chip_power = chip_power;
+  if (capture) {
+    evicted += ts_chip_peak_->append(ctx.t, ctx.epoch_peak_psn);
+    evicted += ts_chip_power_->append(ctx.t, chip_power);
+    evicted += ts_margin_->append(ctx.t, ve_margin);
+    ctx.timeseries->note_appends(captured + 3, evicted);
+  }
 }
 
 void PsnSamplingPhase::save(snapshot::Writer& w) const {
@@ -722,6 +783,21 @@ void TelemetryPhase::run(EpochContext& ctx, std::size_t queued_apps) {
   prev_solves_ = solves_->value();
   prev_cands_ = cands_->value();
   prev_reroutes_ = reroutes_->value();
+
+  // Occupancy waveforms — the queue-depth / running-app trajectories the
+  // blackbox correlates against droop and congestion.
+  if (ctx.capture_on()) {
+    obs::TimeSeriesStore& store = *ctx.timeseries;
+    if (ts_queue_ == nullptr) {
+      ts_queue_ = &store.series("admission.queue_depth");
+      ts_running_ = &store.series("sim.running_apps");
+    }
+    std::size_t evicted =
+        ts_queue_->append(ctx.t, static_cast<double>(queued_apps));
+    evicted +=
+        ts_running_->append(ctx.t, static_cast<double>(ctx.running.size()));
+    store.note_appends(2, evicted);
+  }
 }
 
 void TelemetryPhase::save(snapshot::Writer& w) const {

@@ -108,6 +108,13 @@ class NocSamplingPhase {
   /// re-detects the level from its first window, like the recorder
   /// itself starting empty.
   bool congested_ = false;
+  /// Time-series capture handles (noc.router<t>.activity per tile plus
+  /// the window's delivery ratio and latency), resolved lazily on the
+  /// first captured window — the store lives in the engine and reaches
+  /// the phase through the context.
+  std::vector<obs::TimeSeries*> ts_router_;
+  obs::TimeSeries* ts_delivery_ = nullptr;
+  obs::TimeSeries* ts_latency_ = nullptr;
 };
 
 /// Phase 3 — PDN transient sampling. Owns the PSN estimator, the memo
@@ -144,6 +151,14 @@ class PsnSamplingPhase {
   /// Per-domain VE-margin edge detector for ve.onset/_clear events.
   /// Observe-only, not snapshotted (see NocSamplingPhase::congested_).
   std::vector<char> domain_over_margin_;
+  /// Time-series capture handles (psn.domain<d>.{peak,avg}_percent per
+  /// domain, the chip-level peak/power, and the VE margin), resolved
+  /// lazily on the first captured epoch.
+  std::vector<obs::TimeSeries*> ts_domain_peak_;
+  std::vector<obs::TimeSeries*> ts_domain_avg_;
+  obs::TimeSeries* ts_chip_peak_ = nullptr;
+  obs::TimeSeries* ts_chip_power_ = nullptr;
+  obs::TimeSeries* ts_margin_ = nullptr;
 };
 
 /// Phase 4 — voltage emergencies (measured and injected), checkpoint
@@ -214,6 +229,11 @@ class TelemetryPhase {
   std::uint64_t prev_cands_ = 0;
   std::uint64_t prev_reroutes_ = 0;
   TelemetryRecorder recorder_;
+  /// Time-series capture handles (admission.queue_depth and
+  /// sim.running_apps — the queue-depth waveform the blackbox correlates
+  /// against droop), resolved lazily on the first captured epoch.
+  obs::TimeSeries* ts_queue_ = nullptr;
+  obs::TimeSeries* ts_running_ = nullptr;
 };
 
 }  // namespace parm::sim

@@ -93,6 +93,22 @@ struct SimConfig {
   /// Event threshold only — never feeds back into the simulation.
   double noc_congestion_delivery_ratio = 0.9;
 
+  /// Capture bounded droop/congestion waveforms into the simulator's
+  /// time-series store (obs/timeseries.hpp): per-domain peak/mean PSN
+  /// and the VE margin from the PSN phase, per-router activity and
+  /// delivery ratio from the NoC phase, queue depth and running apps
+  /// from the telemetry phase. Observe-only like record_events (pinned
+  /// by tests/engine_equivalence_test) and excluded from the snapshot
+  /// fingerprint — but unlike the recorder, the store's *contents* are
+  /// snapshotted, so the retained history survives a resume.
+  bool record_timeseries = false;
+  /// Ring capacity per downsample level of every series.
+  std::size_t timeseries_capacity = 512;
+  /// Downsample levels per series (level 0 = full resolution).
+  std::size_t timeseries_levels = 3;
+  /// Aggregation fan-in between consecutive downsample levels.
+  std::size_t timeseries_downsample = 8;
+
   /// Forced voltage emergencies for failure-injection testing: the task
   /// running on `tile` during the epoch containing `time_s` rolls back
   /// regardless of the measured PSN. Entries must be sorted by time.

@@ -71,6 +71,12 @@ void SimConfig::validate() const {
              "SimConfig: migration_cost_cycles must be non-negative");
   PARM_CHECK(events_capacity >= 1,
              "SimConfig: events_capacity must be at least 1");
+  PARM_CHECK(timeseries_capacity >= 1,
+             "SimConfig: timeseries_capacity must be at least 1");
+  PARM_CHECK(timeseries_levels >= 1,
+             "SimConfig: timeseries_levels must be at least 1");
+  PARM_CHECK(timeseries_downsample >= 2,
+             "SimConfig: timeseries_downsample must be at least 2");
   PARM_CHECK(noc_congestion_delivery_ratio > 0.0 &&
                  noc_congestion_delivery_ratio <= 1.0,
              "SimConfig: noc_congestion_delivery_ratio must be in (0, 1]");
@@ -86,6 +92,11 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
     : cfg_(prepare(std::move(cfg))),
       recorder_(cfg_.record_events, cfg_.events_capacity,
                 obs::FlightRecorder::kDefaultShards, &metrics_),
+      timeseries_(cfg_.record_timeseries,
+                  obs::TimeSeriesConfig{cfg_.timeseries_capacity,
+                                        cfg_.timeseries_levels,
+                                        cfg_.timeseries_downsample},
+                  &metrics_),
       platform_(cfg_.platform),
       arrivals_(std::move(arrivals)),
       rng_(cfg_.seed),
@@ -104,6 +115,7 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
   ctx_.platform = &platform_;
   ctx_.metrics = &metrics_;
   ctx_.recorder = &recorder_;
+  ctx_.timeseries = &timeseries_;
   ctx_.rng = &rng_;
   ctx_.arrivals = &arrivals_;
   const std::size_t n = static_cast<std::size_t>(platform_.mesh().tile_count());
@@ -146,6 +158,10 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
   // is observe-only (pinned by tests/engine_equivalence_test), so a
   // snapshot taken without recording may be resumed with it on, and vice
   // versa — events before the resume point are simply absent.
+  // record_timeseries and the timeseries_* shape are excluded for the
+  // same reason; a restored store adopts the snapshot's shape (see
+  // obs::TimeSeriesStore::restore), so even shape changes resume
+  // cleanly.
   mix_f64(h, cfg_.max_sim_time_s);
   mix_f64(h, cfg_.ve_probability_slope);
   mix_f64(h, cfg_.ve_probability_cap);
@@ -253,6 +269,8 @@ void SystemSimulator::save_state(snapshot::Writer& w) const {
     w.i32(o.dop);
     w.i32(o.ve_count);
   }
+
+  timeseries_.save(w);
 }
 
 void SystemSimulator::restore_state(snapshot::Reader& r) {
@@ -384,6 +402,12 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
     o.dop = r.i32();
     o.ve_count = r.i32();
   }
+
+  // Unlike the recorder, the time-series store is part of the snapshot:
+  // the retained droop history is forensic state a resumed run must
+  // still carry (section order mirrors save_state — last).
+  timeseries_.restore(r);
+
   // The immutable outcome fields are reconstruction inputs, filled from
   // the arrival list (run() repeats this; doing it here makes the
   // restored state complete on its own).

@@ -70,6 +70,12 @@ class SystemSimulator {
   obs::FlightRecorder& recorder() { return recorder_; }
   const obs::FlightRecorder& recorder() const { return recorder_; }
 
+  /// This simulator's time-series store (empty and disabled unless
+  /// SimConfig::record_timeseries). Unlike the recorder its contents are
+  /// part of the snapshot, so a resumed run keeps its droop history.
+  obs::TimeSeriesStore& timeseries() { return timeseries_; }
+  const obs::TimeSeriesStore& timeseries() const { return timeseries_; }
+
   // --- Snapshot / resume ---
   /// During run(), write `dir`/epoch_<N>.parmsnap after every
   /// `every_epochs`-th completed epoch (crash-safe atomic replace; `dir`
@@ -113,6 +119,10 @@ class SystemSimulator {
   /// contents are not snapshotted: events are observational exhaust, so
   /// a resumed run starts with an empty recorder by design.
   obs::FlightRecorder recorder_;
+  /// Waveform store (obs/timeseries.hpp). Declared after the registry
+  /// for the same self-metrics reason as the recorder; snapshotted,
+  /// unlike the recorder (section "TSDB" at the end of save_state).
+  obs::TimeSeriesStore timeseries_;
   cmp::Platform platform_;
   std::vector<appmodel::AppArrival> arrivals_;
   Rng rng_;

@@ -24,7 +24,8 @@
 namespace parm::snapshot {
 
 inline constexpr char kMagic[8] = {'P', 'A', 'R', 'M', 'S', 'N', 'P', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: the engine payload gained the time-series store section ("TSDB").
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 28;
 
 /// CRC-64/ECMA-182 (poly 0x42F0E1EBA9EA3693, reflected), as used by xz.

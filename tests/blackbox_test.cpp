@@ -1,0 +1,299 @@
+// Tests for the blackbox post-mortem module: the forgiving JSONL
+// loaders (events + time series) and the incident analyzer, on both
+// synthetic hand-built timelines and a real simulator run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "exp/experiments.hpp"
+#include "obs/blackbox.hpp"
+#include "obs/events.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::obs {
+namespace {
+
+std::string dump(const std::vector<Event>& events) {
+  std::ostringstream os;
+  for (const Event& e : events) {
+    write_event_json(os, e);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Event make_event(EventType type, double t, std::int32_t app = -1,
+                 std::int32_t domain = -1, double a = 0.0,
+                 double b = 0.0) {
+  Event e;
+  e.type = type;
+  e.t = t;
+  e.app = app;
+  e.domain = domain;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+// ---------------------------------------------------------------------
+// Event loader
+
+TEST(BlackboxLoader, RoundTripsRecorderDump) {
+  std::vector<Event> events;
+  Event e1 = make_event(EventType::kAppAdmit, 0.1, 7, -1, 0.58, 16.0);
+  e1.seq = 0;
+  Event e2 = make_event(EventType::kVeOnset, 0.2, -1, 9, 6.5);
+  e2.seq = 1;
+  e2.tile = 3;
+  events.push_back(e1);
+  events.push_back(e2);
+
+  std::istringstream in(dump(events));
+  BlackboxLoadStats stats;
+  const auto loaded = load_events_jsonl(in, &stats);
+  EXPECT_EQ(stats.lines, 2u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.out_of_order, 0u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].type, EventType::kAppAdmit);
+  EXPECT_EQ(loaded[0].app, 7);
+  EXPECT_DOUBLE_EQ(loaded[0].a, 0.58);  // "vdd" key mapped back to a
+  EXPECT_DOUBLE_EQ(loaded[0].b, 16.0);
+  EXPECT_EQ(loaded[1].type, EventType::kVeOnset);
+  EXPECT_EQ(loaded[1].domain, 9);
+  EXPECT_EQ(loaded[1].tile, 3);
+  EXPECT_DOUBLE_EQ(loaded[1].a, 6.5);
+}
+
+TEST(BlackboxLoader, SkipsMalformedLinesAndCountsThem) {
+  const std::string text =
+      "{\"seq\":0,\"t\":0.1,\"type\":\"app.arrival\",\"app\":1}\n"
+      "not json at all\n"
+      "{\"seq\":1,\"t\":0.2,\"type\":\"no.such.type\"}\n"
+      "{\"seq\":2,\"type\":\"app.arrival\"}\n"  // missing t
+      "{\"seq\":3,\"t\":0.3,\"type\":\"app.complete\",\"app\":1}\n"
+      "{\"truncated\":\n";
+  std::istringstream in(text);
+  BlackboxLoadStats stats;
+  const auto loaded = load_events_jsonl(in, &stats);
+  EXPECT_EQ(stats.lines, 6u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 4u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].type, EventType::kAppComplete);
+}
+
+TEST(BlackboxLoader, SortsShuffledInputAndCountsRegressions) {
+  std::vector<Event> events;
+  for (int i = 0; i < 4; ++i) {
+    Event e = make_event(EventType::kAppArrival, 0.1 * (4 - i), i);
+    e.seq = static_cast<std::uint64_t>(4 - i);
+    events.push_back(e);
+  }
+  std::istringstream in(dump(events));
+  BlackboxLoadStats stats;
+  const auto loaded = load_events_jsonl(in, &stats);
+  EXPECT_EQ(stats.out_of_order, 3u);
+  ASSERT_EQ(loaded.size(), 4u);
+  for (std::size_t i = 1; i < loaded.size(); ++i) {
+    EXPECT_LE(loaded[i - 1].t, loaded[i].t);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Time-series loader
+
+TEST(BlackboxLoader, ParsesTimeSeriesExport) {
+  const std::string text =
+      "{\"series\":\"psn.domain9.peak_percent\",\"level\":0,"
+      "\"t_start\":0.1,\"t_end\":0.1,\"min\":6,\"max\":6,\"mean\":6,"
+      "\"count\":1}\n"
+      "{\"series\":\"psn.domain9.peak_percent\",\"level\":1,"
+      "\"t_start\":0,\"t_end\":0.2,\"min\":4,\"max\":6.5,\"mean\":5,"
+      "\"count\":8}\n"
+      "garbage\n"
+      "{\"series\":\"bad.window\",\"level\":0,\"t_start\":2,"
+      "\"t_end\":1}\n";
+  std::istringstream in(text);
+  BlackboxLoadStats stats;
+  const TsArchive ts = load_timeseries_jsonl(in, &stats);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 2u);
+  ASSERT_EQ(ts.size(), 1u);
+  const auto& pts = ts.at("psn.domain9.peak_percent");
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].level, 0);
+  EXPECT_DOUBLE_EQ(pts[1].max, 6.5);
+  EXPECT_EQ(pts[1].count, 8u);
+}
+
+// ---------------------------------------------------------------------
+// Incident analyzer (synthetic timeline)
+
+// A hand-built story: apps 1 and 2 map into domain 4, congestion opens,
+// the domain crosses the VE margin (trigger), app 1 takes VE rollbacks,
+// a throttle responds, app 2 completes late (second trigger).
+std::vector<Event> synthetic_story() {
+  std::vector<Event> ev;
+  std::uint64_t seq = 0;
+  auto push = [&](Event e) {
+    e.seq = seq++;
+    ev.push_back(e);
+  };
+  push(make_event(EventType::kAppArrival, 0.00, 1));
+  push(make_event(EventType::kAppAdmit, 0.00, 1, -1, 0.6, 8.0));
+  push(make_event(EventType::kAppMap, 0.00, 1, 4, 4.0, 4.0));
+  push(make_event(EventType::kAppArrival, 0.01, 2));
+  push(make_event(EventType::kAppMap, 0.01, 2, 4, 2.0, 4.0));
+  push(make_event(EventType::kNocCongestionOnset, 0.02, -1, -1, 0.7, 40.0));
+  push(make_event(EventType::kVeOnset, 0.05, -1, 4, 6.8));
+  push(make_event(EventType::kAppVe, 0.051, 1, -1, 6.8, 0.0));
+  Event thr = make_event(EventType::kAppThrottle, 0.06, 1, -1, 6.8);
+  thr.tile = 12;
+  push(thr);
+  push(make_event(EventType::kVeClear, 0.08, -1, 4, 4.0));
+  push(make_event(EventType::kAppComplete, 0.09, 1, -1, 1.0, -0.01));
+  push(make_event(EventType::kAppDeadlineMiss, 0.09, 2, -1, 0.02));
+  return ev;
+}
+
+TsArchive synthetic_ts() {
+  TsArchive ts;
+  auto& pts = ts["psn.domain4.peak_percent"];
+  for (int i = 0; i <= 10; ++i) {
+    TsPoint p;
+    p.level = 0;
+    p.t_start = p.t_end = 0.01 * i;
+    p.min = p.max = p.mean = i < 5 ? 4.0 + 0.6 * i : 7.0 - 0.3 * (i - 5);
+    p.count = 1;
+    pts.push_back(p);
+  }
+  return ts;
+}
+
+TEST(BlackboxAnalyzer, BuildsCausalWindowAroundVeOnset) {
+  IncidentQuery q;
+  q.window_s = 0.05;
+  const IncidentReport report =
+      analyze_incidents(synthetic_story(), synthetic_ts(), q);
+  EXPECT_EQ(report.total_triggers, 2u);
+  ASSERT_EQ(report.incidents.size(), 2u);
+
+  const Incident& ve = report.incidents[0];
+  EXPECT_EQ(ve.trigger.type, EventType::kVeOnset);
+  EXPECT_EQ(ve.domain, 4);
+  // Both apps were mapped into domain 4 and still live at t=0.05.
+  EXPECT_EQ(ve.co_resident, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(ve.droop_series, "psn.domain4.peak_percent");
+  EXPECT_EQ(ve.droop_level, 0);
+  EXPECT_FALSE(ve.droop.empty());
+  // The congestion onset at t=0.02 is inside the window.
+  ASSERT_EQ(ve.congestion.size(), 1u);
+  EXPECT_EQ(ve.congestion[0].type, EventType::kNocCongestionOnset);
+  // App 1's rollback and the throttle response are attributed.
+  ASSERT_EQ(ve.ves.size(), 1u);
+  ASSERT_EQ(ve.responses.size(), 1u);
+  EXPECT_EQ(ve.responses[0].response.type, EventType::kAppThrottle);
+  // The response effect is measured from the droop waveform: peak
+  // before (7.0 at t=0.05) vs after (decaying tail).
+  EXPECT_TRUE(ve.responses[0].measured);
+  EXPECT_GT(ve.responses[0].peak_before, ve.responses[0].peak_after);
+
+  const Incident& miss = report.incidents[1];
+  EXPECT_EQ(miss.trigger.type, EventType::kAppDeadlineMiss);
+  EXPECT_EQ(miss.trigger.app, 2);
+  // The miss resolves its domain through app 2's kAppMap.
+  EXPECT_EQ(miss.domain, 4);
+}
+
+TEST(BlackboxAnalyzer, FiltersByAppDomainAndLimit) {
+  const auto story = synthetic_story();
+  const TsArchive ts = synthetic_ts();
+
+  IncidentQuery by_app;
+  by_app.app = 2;
+  const auto r_app = analyze_incidents(story, ts, by_app);
+  EXPECT_EQ(r_app.total_triggers, 2u);
+  // Both incidents involve app 2 (co-resident in the VE, trigger of the
+  // miss).
+  EXPECT_EQ(r_app.incidents.size(), 2u);
+
+  IncidentQuery by_bad_domain;
+  by_bad_domain.domain = 11;
+  EXPECT_TRUE(analyze_incidents(story, ts, by_bad_domain).incidents.empty());
+
+  IncidentQuery limited;
+  limited.limit = 1;
+  const auto r_lim = analyze_incidents(story, ts, limited);
+  EXPECT_EQ(r_lim.total_triggers, 2u);
+  EXPECT_EQ(r_lim.incidents.size(), 1u);
+}
+
+TEST(BlackboxAnalyzer, WritersAreDeterministicAndWellFormed) {
+  IncidentQuery q;
+  const IncidentReport report =
+      analyze_incidents(synthetic_story(), synthetic_ts(), q);
+
+  std::ostringstream t1, t2, j1, j2;
+  write_incident_text(t1, report);
+  write_incident_text(t2, report);
+  write_incident_json(j1, report);
+  write_incident_json(j2, report);
+  EXPECT_EQ(t1.str(), t2.str());
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_NE(t1.str().find("ve.onset"), std::string::npos);
+  EXPECT_NE(t1.str().find("droop trajectory"), std::string::npos);
+  EXPECT_EQ(j1.str().front(), '{');
+  EXPECT_NE(j1.str().find("\"incidents\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end against a real run
+
+TEST(BlackboxAnalyzer, AnalyzesRealSimulatorArtifacts) {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.05;
+  seq.seed = 3;
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.record_events = true;
+  cfg.record_timeseries = true;
+  sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
+  simulator.run();
+
+  std::ostringstream ev_os, ts_os;
+  simulator.recorder().dump_jsonl(ev_os);
+  simulator.timeseries().dump_jsonl(ts_os);
+
+  std::istringstream ev_in(ev_os.str()), ts_in(ts_os.str());
+  BlackboxLoadStats ev_stats, ts_stats;
+  const auto events = load_events_jsonl(ev_in, &ev_stats);
+  const TsArchive ts = load_timeseries_jsonl(ts_in, &ts_stats);
+  // Everything the engine writes, the loaders read back.
+  EXPECT_EQ(ev_stats.skipped, 0u);
+  EXPECT_EQ(ev_stats.parsed, events.size());
+  EXPECT_EQ(ts_stats.skipped, 0u);
+  EXPECT_GT(ts.size(), 0u);
+
+  IncidentQuery q;
+  const IncidentReport report = analyze_incidents(events, ts, q);
+  // The oversubscribed mixed workload always produces VE-margin
+  // crossings; each must resolve its domain and droop trajectory.
+  EXPECT_GT(report.total_triggers, 0u);
+  for (const Incident& inc : report.incidents) {
+    if (inc.trigger.type == EventType::kVeOnset) {
+      EXPECT_GE(inc.domain, 0);
+      EXPECT_FALSE(inc.droop.empty()) << "domain " << inc.domain;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parm::obs

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -138,6 +139,112 @@ TEST(EngineEquivalence, SnapshotFromEventlessRunResumesWithEventsOn) {
   expect_identical(r_straight, r_resumed);
   // The resumed run recorded only its own half of the timeline.
   EXPECT_GT(resumed.recorder().emitted(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineEquivalence, TimeseriesOnAndOffAreBitIdentical) {
+  // Time-series capture is observe-only like the recorder: enabling it
+  // (including a capacity small enough to wrap every ring) must not
+  // perturb the run.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SimConfig off = engine_cfg();
+  SimConfig on = engine_cfg();
+  on.record_timeseries = true;
+  SimConfig wrapping = engine_cfg();
+  wrapping.record_timeseries = true;
+  wrapping.timeseries_capacity = 8;  // forces ring wrap + evictions
+  wrapping.timeseries_downsample = 2;
+
+  SystemSimulator a(off, seq);
+  SystemSimulator b(on, seq);
+  SystemSimulator c(wrapping, seq);
+  const SimResult ra = a.run();
+  const SimResult rb = b.run();
+  const SimResult rc = c.run();
+  expect_identical(ra, rb);
+  expect_identical(ra, rc);
+
+  // Sanity: the enabled stores actually captured waveforms.
+  EXPECT_EQ(a.timeseries().samples_total(), 0u);
+  EXPECT_GT(b.timeseries().samples_total(), 0u);
+  EXPECT_EQ(b.timeseries().samples_total(),
+            c.timeseries().samples_total());
+  EXPECT_GT(c.timeseries().evictions_total(),
+            b.timeseries().evictions_total());
+  EXPECT_NE(b.timeseries().find("psn.chip.peak_percent"), nullptr);
+  EXPECT_NE(b.timeseries().find("admission.queue_depth"), nullptr);
+  // The capture itself is deterministic: identical export bytes across
+  // repeats.
+  SystemSimulator b2(on, seq);
+  (void)b2.run();
+  std::ostringstream dump_b, dump_b2;
+  b.timeseries().dump_jsonl(dump_b);
+  b2.timeseries().dump_jsonl(dump_b2);
+  EXPECT_EQ(dump_b.str(), dump_b2.str());
+}
+
+TEST(EngineEquivalence, TimeseriesSurvivesSnapshotResume) {
+  // Unlike the recorder, store contents ARE snapshotted: a resumed
+  // capture run must finish with the exact waveform history of the
+  // uninterrupted one — same rings, same open aggregates, same
+  // self-metric totals, byte-identical export.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SimConfig cfg = engine_cfg();
+  cfg.record_timeseries = true;
+  cfg.timeseries_capacity = 32;  // small enough to wrap mid-run
+  cfg.timeseries_downsample = 4;
+
+  SystemSimulator straight(cfg, seq);
+  const SimResult r_straight = straight.run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "parm_engine_equivalence_timeseries_test";
+  std::filesystem::create_directories(dir);
+  SystemSimulator first(cfg, seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+  const auto snap = dir / "epoch_40.parmsnap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SystemSimulator resumed(cfg, seq);
+  resumed.restore_snapshot(snap.string());
+  const SimResult r_resumed = resumed.run();
+  expect_identical(r_straight, r_resumed);
+
+  EXPECT_EQ(resumed.timeseries().samples_total(),
+            straight.timeseries().samples_total());
+  EXPECT_EQ(resumed.timeseries().evictions_total(),
+            straight.timeseries().evictions_total());
+  std::ostringstream straight_dump, resumed_dump;
+  straight.timeseries().dump_jsonl(straight_dump);
+  resumed.timeseries().dump_jsonl(resumed_dump);
+  EXPECT_EQ(straight_dump.str(), resumed_dump.str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineEquivalence, SnapshotFromCapturelessRunResumesWithCaptureOn) {
+  // The fingerprint excludes the observe-only timeseries fields, so a
+  // snapshot taken without capture resumes bit-identically with capture
+  // enabled (the restored store is empty — the resumed run records only
+  // its own half of the timeline, like the recorder test above).
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SystemSimulator straight(engine_cfg(), seq);
+  const SimResult r_straight = straight.run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "parm_engine_equivalence_ts_off_on_test";
+  std::filesystem::create_directories(dir);
+  SystemSimulator first(engine_cfg(), seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+
+  SimConfig with_ts = engine_cfg();
+  with_ts.record_timeseries = true;
+  SystemSimulator resumed(with_ts, seq);
+  resumed.restore_snapshot((dir / "epoch_40.parmsnap").string());
+  const SimResult r_resumed = resumed.run();
+  expect_identical(r_straight, r_resumed);
+  EXPECT_GT(resumed.timeseries().samples_total(), 0u);
   std::filesystem::remove_all(dir);
 }
 

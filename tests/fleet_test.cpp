@@ -250,6 +250,65 @@ TEST(Fleet, EventLogEmptyWhenRecordingDisabled) {
   FleetSimulator fleet(fleet_cfg(2), seq);
   (void)fleet.run();
   EXPECT_TRUE(fleet.events().empty());
+  EXPECT_EQ(fleet.timeseries().series_count(), 0u);
+}
+
+TEST(Fleet, MergedTimeseriesIsChipPrefixedAndMatchesStandaloneRuns) {
+  const auto seq = appmodel::make_sequence(stream_cfg(8, 5));
+  FleetConfig cfg = fleet_cfg(3);
+  cfg.chip.record_timeseries = true;
+  FleetSimulator fleet(cfg, seq);
+  (void)fleet.run();
+
+  const obs::TimeSeriesStore& merged = fleet.timeseries();
+  ASSERT_GT(merged.series_count(), 0u);
+  // Every merged series carries a chip prefix in range.
+  for (const std::string& name : merged.series_names()) {
+    ASSERT_EQ(name.rfind("chip", 0), 0u) << name;
+    const int chip = name[4] - '0';
+    EXPECT_GE(chip, 0);
+    EXPECT_LT(chip, 3);
+    EXPECT_EQ(name[5], '.') << name;
+  }
+
+  // Chip 1's merged waveforms equal a standalone run of its shard (the
+  // same clone-under-prefix contract the event log has for seqs).
+  sim::SimConfig chip_cfg = cfg.chip;
+  chip_cfg.seed = cfg.chip.seed + 1;
+  sim::SystemSimulator ref(chip_cfg, fleet.chip_arrivals(1));
+  (void)ref.run();
+  std::uint64_t chip1_samples = 0;
+  for (const std::string& name : ref.timeseries().series_names()) {
+    const obs::TimeSeries* m = merged.find("chip1." + name);
+    ASSERT_NE(m, nullptr) << name;
+    const obs::TimeSeries* r = ref.timeseries().find(name);
+    EXPECT_EQ(m->appended(), r->appended()) << name;
+    chip1_samples += r->appended();
+    const auto ms = m->samples(0);
+    const auto rs = r->samples(0);
+    ASSERT_EQ(ms.size(), rs.size()) << name;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      EXPECT_EQ(ms[i].t_start, rs[i].t_start) << name;
+      EXPECT_EQ(ms[i].max, rs[i].max) << name;
+    }
+  }
+  EXPECT_EQ(chip1_samples, ref.timeseries().samples_total());
+  // The merged totals fold every chip, so chip 1 alone is a lower bound.
+  EXPECT_GT(merged.samples_total(), chip1_samples);
+
+  // The fleet registry's timeseries.samples counter equals the merged
+  // store total exactly once (registry merge only — no double count
+  // from the store merge).
+  EXPECT_EQ(fleet.metrics().counter_value("timeseries.samples"),
+            merged.samples_total());
+
+  // The merged dump is deterministic across a fresh fleet run.
+  FleetSimulator again(cfg, seq);
+  (void)again.run();
+  std::ostringstream a, b;
+  fleet.dump_timeseries_jsonl(a);
+  again.dump_timeseries_jsonl(b);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(Fleet, LeastLoadedDispatchRunsEndToEnd) {

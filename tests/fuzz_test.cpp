@@ -5,7 +5,11 @@
 //  - snapshot-loader robustness: truncations, byte flips, and header
 //    corruptions of a real simulator snapshot must all surface as
 //    snapshot::SnapshotError — never a crash, never a silent
-//    half-restore.
+//    half-restore;
+//  - blackbox JSONL-loader robustness: the parm_blackbox loaders accept
+//    arbitrarily mangled event/time-series dumps (truncated lines, bad
+//    escapes, shuffled sequence numbers, bit flips) without ever
+//    throwing, and account for every input line as parsed or skipped.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -14,12 +18,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "appmodel/application.hpp"
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
 #include "exp/experiments.hpp"
+#include "obs/blackbox.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
 #include "sched/edf.hpp"
@@ -364,6 +370,157 @@ TEST_F(SnapshotLoaderFuzz, StructuralCorruptionBehindValidCrcIsRejected) {
   std::vector<std::uint8_t> bad_fp = payload;
   bad_fp[4] ^= 0xFF;  // byte 0-3: "SIMS", byte 4: fingerprint LSB
   expect_rejected(file_around(bad_fp), "fingerprint");
+}
+
+// ----------------------------------------------- blackbox loader fuzzing
+
+class BlackboxLoaderFuzz : public ::testing::Test {
+ protected:
+  /// Donor artifacts from a short real run with both recorders on.
+  static const std::pair<std::string, std::string>& valid_dumps() {
+    static const std::pair<std::string, std::string> dumps = [] {
+      sim::SimConfig cfg = exp::default_sim_config();
+      cfg.framework.mapping = "PARM";
+      cfg.framework.routing = "PANR";
+      cfg.max_sim_time_s = 0.020;
+      cfg.record_events = true;
+      cfg.record_timeseries = true;
+      cfg.timeseries_capacity = 16;  // wraps, so dumps hold every level
+      cfg.timeseries_downsample = 2;
+      appmodel::SequenceConfig seq;
+      seq.kind = appmodel::SequenceKind::Mixed;
+      seq.app_count = 3;
+      seq.inter_arrival_s = 0.003;
+      seq.seed = 5;
+      sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
+      (void)simulator.run();
+      std::ostringstream ev, ts;
+      simulator.recorder().dump_jsonl(ev);
+      simulator.timeseries().dump_jsonl(ts);
+      return std::make_pair(ev.str(), ts.str());
+    }();
+    return dumps;
+  }
+
+  /// Both loaders over the same text: must never throw, and must account
+  /// for every non-blank line as parsed or skipped.
+  static void expect_survives(const std::string& text, const char* what) {
+    SCOPED_TRACE(what);
+    std::istringstream ev_in(text);
+    obs::BlackboxLoadStats ev_stats;
+    std::vector<obs::Event> events;
+    ASSERT_NO_THROW(events = obs::load_events_jsonl(ev_in, &ev_stats));
+    EXPECT_EQ(ev_stats.parsed + ev_stats.skipped, ev_stats.lines);
+    EXPECT_EQ(events.size(), ev_stats.parsed);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].t, events[i].t);
+    }
+
+    std::istringstream ts_in(text);
+    obs::BlackboxLoadStats ts_stats;
+    ASSERT_NO_THROW(obs::load_timeseries_jsonl(ts_in, &ts_stats));
+    EXPECT_EQ(ts_stats.parsed + ts_stats.skipped, ts_stats.lines);
+  }
+};
+
+TEST_F(BlackboxLoaderFuzz, ValidDumpsLoadCompletely) {
+  std::istringstream ev_in(valid_dumps().first);
+  obs::BlackboxLoadStats ev_stats;
+  const auto events = obs::load_events_jsonl(ev_in, &ev_stats);
+  EXPECT_GT(events.size(), 0u);
+  EXPECT_EQ(ev_stats.skipped, 0u);
+  EXPECT_EQ(ev_stats.out_of_order, 0u);
+
+  std::istringstream ts_in(valid_dumps().second);
+  obs::BlackboxLoadStats ts_stats;
+  const auto ts = obs::load_timeseries_jsonl(ts_in, &ts_stats);
+  EXPECT_GT(ts.size(), 0u);
+  EXPECT_EQ(ts_stats.skipped, 0u);
+}
+
+TEST_F(BlackboxLoaderFuzz, TruncatedLinesSurvive) {
+  // Cut the dump at a spread of byte offsets: the final line becomes a
+  // torn JSON object (mid-key, mid-number, mid-escape...).
+  for (const std::string* dump :
+       {&valid_dumps().first, &valid_dumps().second}) {
+    for (int k = 1; k < 24; ++k) {
+      const std::size_t cut =
+          dump->size() * static_cast<std::size_t>(k) / 24;
+      expect_survives(dump->substr(0, cut), "truncated dump");
+    }
+  }
+}
+
+TEST_F(BlackboxLoaderFuzz, BadEscapesAndMangledStringsSurvive) {
+  const std::string corpus =
+      // Bad escape letter, truncated \u, non-hex \u payload.
+      "{\"seq\":0,\"t\":0.1,\"type\":\"app.a\\qrival\"}\n"
+      "{\"seq\":1,\"t\":0.1,\"type\":\"ve.onset\\u00\"}\n"
+      "{\"seq\":2,\"t\":0.1,\"type\":\"ve.onset\\uZZZZ\",\"domain\":1}\n"
+      // Unterminated string, unterminated object.
+      "{\"seq\":3,\"t\":0.2,\"type\":\"ve.onset\n"
+      "{\"seq\":4,\"t\":0.2,\"type\":\"ve.onset\",\"psn_percent\":6.1\n"
+      // Valid escapes must still parse (type round-trips to kVeOnset).
+      "{\"seq\":5,\"t\":0.3,\"type\":\"ve.onset\",\"domain\":2}\n"
+      // Numbers that are not numbers.
+      "{\"seq\":6,\"t\":nope,\"type\":\"ve.onset\"}\n"
+      "{\"seq\":7,\"t\":1e999,\"type\":\"ve.onset\"}\n"
+      // Deep nesting the flat parser refuses rather than misreads.
+      "{\"seq\":8,\"t\":0.4,\"type\":\"ve.onset\",\"x\":{\"y\":[1,2]}}\n";
+  expect_survives(corpus, "bad escapes");
+
+  std::istringstream in(corpus);
+  obs::BlackboxLoadStats stats;
+  const auto events = obs::load_events_jsonl(in, &stats);
+  // Exactly the one clean line survives.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, obs::EventType::kVeOnset);
+  EXPECT_EQ(events[0].domain, 2);
+}
+
+TEST_F(BlackboxLoaderFuzz, ShuffledSeqIsCountedAndNormalized) {
+  // Reverse the donor's lines: every adjacent pair regresses.
+  std::istringstream in(valid_dumps().first);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 2u);
+  std::reverse(lines.begin(), lines.end());
+  std::string reversed;
+  for (const std::string& l : lines) reversed += l + "\n";
+
+  std::istringstream rev_in(reversed);
+  obs::BlackboxLoadStats stats;
+  const auto events = obs::load_events_jsonl(rev_in, &stats);
+  EXPECT_EQ(events.size(), lines.size());
+  EXPECT_EQ(stats.out_of_order, lines.size() - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t);
+    if (events[i - 1].t == events[i].t) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+}
+
+TEST_F(BlackboxLoaderFuzz, RandomByteFlipsSurvive) {
+  Rng rng(20260808);
+  for (const std::string* dump :
+       {&valid_dumps().first, &valid_dumps().second}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string mutant = *dump;
+      // A handful of flips per trial, anywhere (quotes, braces, digits,
+      // newlines — newline flips join or split lines).
+      for (int f = 0; f < 4; ++f) {
+        const std::size_t pos = rng.pick_index(mutant.size());
+        mutant[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutant[pos]) ^
+            (1u << rng.pick_index(8)));
+      }
+      expect_survives(mutant, "byte flips");
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -330,6 +331,130 @@ TEST(Registry, TextAndJsonReports) {
   Registry::instance().write_json(json);
   EXPECT_TRUE(JsonValidator(json.str()).valid()) << json.str();
   EXPECT_NE(json.str().find("\"test.obs.report\":7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+
+// Returns the numeric value of the exposition line starting with
+// `prefix` followed by a space (npos-safe; asserts the line exists).
+double prom_line_value(const std::string& text, const std::string& prefix) {
+  const std::string needle = prefix + " ";
+  std::size_t pos = 0;
+  while (true) {
+    pos = text.find(needle, pos);
+    EXPECT_NE(pos, std::string::npos) << "missing " << prefix;
+    if (pos == std::string::npos) return -1.0;
+    if (pos == 0 || text[pos - 1] == '\n') break;
+    pos += needle.size();
+  }
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+TEST(Prometheus, InfBucketEqualsCountAndBucketsAreCumulative) {
+  Registry reg;
+  Histogram& h = reg.histogram("exp.hist", {1.0, 2.0, 4.0});
+  // Observations in every bucket including the overflow beyond the last
+  // bound — the case where a naive exposition (cumulative sum of the
+  // internal per-bucket tallies only) under-reports +Inf.
+  for (const double v : {0.5, 1.5, 3.0, 8.0, 9.0}) h.observe(v);
+
+  std::ostringstream os;
+  prometheus_text(reg, os);
+  const std::string text = os.str();
+
+  // The +Inf bucket must equal _count exactly: every observation,
+  // including overflow, is <= +Inf by definition.
+  const double inf_bucket =
+      prom_line_value(text, "parm_exp_hist_bucket{le=\"+Inf\"}");
+  const double count = prom_line_value(text, "parm_exp_hist_count");
+  EXPECT_EQ(inf_bucket, count);
+  EXPECT_EQ(count, 5.0);
+
+  // Buckets are cumulative: non-decreasing in bound order, each <= +Inf.
+  double prev = 0.0;
+  for (const char* b : {"1\"}", "2\"}", "4\"}"}) {
+    const double v =
+        prom_line_value(text, std::string("parm_exp_hist_bucket{le=\"") + b);
+    EXPECT_GE(v, prev) << text;
+    EXPECT_LE(v, inf_bucket) << text;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(prom_line_value(text, "parm_exp_hist_sum"), 22.0);
+}
+
+TEST(Prometheus, CountersAreMonotoneAcrossScrapes) {
+  // Two consecutive expositions of the same registry: every counter in
+  // the second scrape must be >= its value in the first (the Prometheus
+  // counter contract; a reset between scrapes would break rate()).
+  Registry reg;
+  reg.counter("exp.a").inc(3);
+  reg.counter("exp.b");
+  std::ostringstream first;
+  prometheus_text(reg, first);
+
+  reg.counter("exp.a").inc(2);
+  reg.counter("exp.b").inc(1);
+  std::ostringstream second;
+  prometheus_text(reg, second);
+
+  for (const char* name : {"parm_exp_a_total", "parm_exp_b_total"}) {
+    EXPECT_GE(prom_line_value(second.str(), name),
+              prom_line_value(first.str(), name))
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry::merge_from histograms
+
+TEST(Registry, MergeFromAlignsHistogramBuckets) {
+  Registry fleet, chip;
+  Histogram& a = fleet.histogram("m.h", {10.0, 20.0});
+  a.observe(5.0);
+  Histogram& b = chip.histogram("m.h", {10.0, 20.0});
+  b.observe(15.0);
+  b.observe(25.0);
+
+  fleet.merge_from(chip);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 45.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 25.0);
+  ASSERT_EQ(a.bucket_counts().size(), 3u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // 5
+  EXPECT_EQ(a.bucket_counts()[1], 1u);  // 15
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // 25 (overflow)
+
+  // A histogram the target never saw is registered with the donor's
+  // bounds — merging two chips never loses a series.
+  chip.histogram("m.only_chip", {1.0}).observe(0.5);
+  fleet.merge_from(chip);
+  EXPECT_EQ(fleet.histogram("m.only_chip", {}).count(), 1u);
+}
+
+TEST(Registry, MergeFromRejectsMismatchedBucketBounds) {
+  Registry fleet, chip;
+  fleet.histogram("m.h", {10.0, 20.0}).observe(1.0);
+  chip.histogram("m.h", {5.0}).observe(1.0);
+  EXPECT_THROW(fleet.merge_from(chip), CheckError);
+}
+
+TEST(Registry, MergeFromIsAdditiveNotIdempotent) {
+  // merge_from folds — merging the same donor twice double-counts. The
+  // fleet driver therefore merges each chip exactly once; this test is
+  // the guard that documents (and pins) that contract.
+  Registry fleet, chip;
+  chip.counter("m.c").inc(5);
+  chip.histogram("m.h", {10.0}).observe(3.0);
+
+  fleet.merge_from(chip);
+  fleet.merge_from(chip);
+  EXPECT_EQ(fleet.counter_value("m.c"), 10u);
+  EXPECT_EQ(fleet.histogram("m.h", {}).count(), 2u);
+
+  // Self-merge is rejected outright rather than silently doubling.
+  EXPECT_THROW(fleet.merge_from(fleet), CheckError);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,338 @@
+// Tests for the bounded time-series store: ring capacity and eviction,
+// RRD-style downsample aggregation, the O(capacity) memory bound over
+// long runs, window queries, exports, fleet merging, and snapshot
+// round-trips at every downsample level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace parm::obs {
+namespace {
+
+TimeSeriesConfig small_cfg() {
+  TimeSeriesConfig cfg;
+  cfg.capacity = 4;
+  cfg.levels = 3;
+  cfg.downsample = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// TimeSeries: ring + downsampling
+
+TEST(TimeSeries, Level0HoldsRawSamplesOldestFirst) {
+  TimeSeries ts(small_cfg());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ts.append(0.1 * i, 10.0 * i), 0u);
+  }
+  const auto s = ts.samples(0);
+  ASSERT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(s[i].t_start, 0.1 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s[i].t_end, s[i].t_start);
+    EXPECT_DOUBLE_EQ(s[i].min, 10.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s[i].max, s[i].min);
+    EXPECT_EQ(s[i].count, 1u);
+  }
+}
+
+TEST(TimeSeries, RingEvictsOldestAndCountsEvictions) {
+  TimeSeries ts(small_cfg());  // capacity 4
+  std::size_t evicted = 0;
+  for (int i = 0; i < 10; ++i) evicted += ts.append(i, i);
+  EXPECT_EQ(ts.appended(), 10u);
+  const auto s = ts.samples(0);
+  ASSERT_EQ(s.size(), 4u);
+  // The ring keeps the newest 4 raw samples.
+  EXPECT_DOUBLE_EQ(s.front().t_start, 6.0);
+  EXPECT_DOUBLE_EQ(s.back().t_start, 9.0);
+  // 6 raw overwrites at level 0, plus level-1 overwrites (10 raw → 5
+  // closed level-1 aggregates into a 4-slot ring → 1 eviction).
+  EXPECT_EQ(evicted, 7u);
+}
+
+TEST(TimeSeries, DownsampleAggregatesMinMaxMeanOverSpan) {
+  // downsample=2: every 2 raw samples close one level-1 aggregate; every
+  // 2 level-1 aggregates close one level-2 aggregate (4 raw samples).
+  TimeSeries ts(small_cfg());
+  const double values[] = {3.0, 7.0, 1.0, 9.0};
+  for (int i = 0; i < 4; ++i) ts.append(0.5 * i, values[i]);
+
+  const auto l1 = ts.samples(1);
+  ASSERT_EQ(l1.size(), 2u);
+  EXPECT_DOUBLE_EQ(l1[0].min, 3.0);
+  EXPECT_DOUBLE_EQ(l1[0].max, 7.0);
+  EXPECT_DOUBLE_EQ(l1[0].mean(), 5.0);
+  EXPECT_DOUBLE_EQ(l1[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(l1[0].t_end, 0.5);
+  EXPECT_EQ(l1[0].count, 2u);
+  EXPECT_DOUBLE_EQ(l1[1].min, 1.0);
+  EXPECT_DOUBLE_EQ(l1[1].max, 9.0);
+
+  const auto l2 = ts.samples(2);
+  ASSERT_EQ(l2.size(), 1u);
+  EXPECT_DOUBLE_EQ(l2[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(l2[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(l2[0].mean(), 5.0);
+  EXPECT_DOUBLE_EQ(l2[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(l2[0].t_end, 1.5);
+  EXPECT_EQ(l2[0].count, 4u);
+}
+
+TEST(TimeSeries, LongRunRetainsBoundedSamplesAtEveryLevel) {
+  // The memory-bound claim: after ~a million appends every level still
+  // holds at most `capacity` samples, and the coarsest level reaches
+  // back downsample^2 times further than level 0.
+  TimeSeriesConfig cfg;
+  cfg.capacity = 16;
+  cfg.levels = 3;
+  cfg.downsample = 4;
+  TimeSeries ts(cfg);
+  const int n = 1 << 20;
+  for (int i = 0; i < n; ++i) ts.append(1e-3 * i, i);
+  EXPECT_EQ(ts.appended(), static_cast<std::uint64_t>(n));
+  for (std::size_t level = 0; level < 3; ++level) {
+    EXPECT_LE(ts.samples(level).size(), cfg.capacity) << level;
+    EXPECT_EQ(ts.samples(level).size(), cfg.capacity) << level;
+  }
+  // Level k spans capacity × downsample^k raw samples.
+  const double span0 =
+      ts.samples(0).back().t_end - ts.samples(0).front().t_start;
+  const double span2 =
+      ts.samples(2).back().t_end - ts.samples(2).front().t_start;
+  EXPECT_GT(span2, 10.0 * span0);
+  // The newest raw sample is always retained.
+  EXPECT_DOUBLE_EQ(ts.samples(0).back().max, n - 1);
+}
+
+TEST(TimeSeries, QueryPicksFinestLevelCoveringTheWindow) {
+  TimeSeriesConfig cfg;
+  cfg.capacity = 4;
+  cfg.levels = 2;
+  cfg.downsample = 2;
+  TimeSeries ts(cfg);
+  for (int i = 0; i < 12; ++i) ts.append(i, i);
+  // Level 0 retains t=8..11; level 1 retains spans from t=4.
+  std::size_t level = 99;
+  auto recent = ts.query(8.5, 11.0, &level);
+  EXPECT_EQ(level, 0u);
+  EXPECT_FALSE(recent.empty());
+  auto older = ts.query(5.0, 11.0, &level);
+  EXPECT_EQ(level, 1u);
+  EXPECT_FALSE(older.empty());
+  // A window older than all history falls back to the coarsest
+  // non-empty level rather than returning nothing silently.
+  auto ancient = ts.query(-10.0, -5.0, &level);
+  EXPECT_EQ(level, 1u);
+}
+
+TEST(TimeSeries, RetainedFromIsInfinityWhenEmpty) {
+  TimeSeries ts(small_cfg());
+  EXPECT_TRUE(std::isinf(ts.retained_from(0)));
+  ts.append(2.5, 1.0);
+  EXPECT_DOUBLE_EQ(ts.retained_from(0), 2.5);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot round-trips
+
+// Serializes `ts` and restores it into a fresh series (different shape
+// on purpose: restore adopts the snapshot's).
+TimeSeries roundtrip(const TimeSeries& ts) {
+  snapshot::Writer w;
+  ts.save(w);
+  snapshot::Reader r(w.bytes());
+  TimeSeriesConfig other;
+  other.capacity = 2;
+  other.levels = 1;
+  TimeSeries restored(other);
+  restored.restore(r);
+  r.expect_end();
+  return restored;
+}
+
+void expect_same_samples(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.level_count(), b.level_count());
+  EXPECT_EQ(a.appended(), b.appended());
+  for (std::size_t level = 0; level < a.level_count(); ++level) {
+    const auto sa = a.samples(level);
+    const auto sb = b.samples(level);
+    ASSERT_EQ(sa.size(), sb.size()) << "level " << level;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].t_start, sb[i].t_start);
+      EXPECT_EQ(sa[i].t_end, sb[i].t_end);
+      EXPECT_EQ(sa[i].min, sb[i].min);
+      EXPECT_EQ(sa[i].max, sb[i].max);
+      EXPECT_EQ(sa[i].sum, sb[i].sum);
+      EXPECT_EQ(sa[i].count, sb[i].count);
+    }
+  }
+}
+
+TEST(TimeSeries, SnapshotRoundTripsEveryDownsampleLevel) {
+  // Appends chosen so every level holds retained samples AND an open
+  // (partially folded) aggregate: 11 raw with downsample 2 leaves level
+  // 1 mid-fold and level 2 mid-fold.
+  TimeSeries ts(small_cfg());
+  for (int i = 0; i < 11; ++i) ts.append(0.25 * i, std::sin(0.3 * i));
+  TimeSeries restored = roundtrip(ts);
+  expect_same_samples(ts, restored);
+}
+
+TEST(TimeSeries, RestoredSeriesContinuesAppendingIdentically) {
+  // The bit-identity property the engine equivalence test relies on:
+  // snapshot mid-run, keep appending to both the original and the
+  // restored copy, and every level stays identical — including ring
+  // wrap-arounds placed via the ordinal cursor.
+  TimeSeries ts(small_cfg());
+  for (int i = 0; i < 7; ++i) ts.append(i, 2.0 * i);
+  TimeSeries restored = roundtrip(ts);
+  for (int i = 7; i < 40; ++i) {
+    const double v = std::cos(0.7 * i);
+    EXPECT_EQ(ts.append(i, v), restored.append(i, v)) << i;
+  }
+  expect_same_samples(ts, restored);
+}
+
+TEST(TimeSeries, RestoreRejectsCorruptShape) {
+  TimeSeries ts(small_cfg());
+  ts.append(0.0, 1.0);
+  snapshot::Writer w;
+  ts.save(w);
+  // Flip the capacity field (first u64 of the payload) to zero.
+  std::vector<std::uint8_t> bytes = w.bytes();
+  for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+  snapshot::Reader r(bytes);
+  TimeSeries victim(small_cfg());
+  EXPECT_THROW(victim.restore(r), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------
+// TimeSeriesStore
+
+TEST(TimeSeriesStore, DisabledStoreIgnoresAppends) {
+  Registry reg;
+  TimeSeriesStore store(false, small_cfg(), &reg);
+  EXPECT_FALSE(store.enabled());
+  store.append("a", 0.0, 1.0);
+  EXPECT_EQ(store.samples_total(), 0u);
+  EXPECT_EQ(store.series_count(), 0u);
+  // Handles can still be resolved (phases do this unconditionally once).
+  TimeSeries& s = store.series("a");
+  (void)s;
+  EXPECT_EQ(store.series_count(), 1u);
+}
+
+TEST(TimeSeriesStore, AppendUpdatesSelfMetrics) {
+  Registry reg;
+  TimeSeriesConfig cfg = small_cfg();  // capacity 4
+  TimeSeriesStore store(true, cfg, &reg);
+  for (int i = 0; i < 6; ++i) store.append("psn", 0.1 * i, i);
+  EXPECT_EQ(store.samples_total(), 6u);
+  EXPECT_GT(store.evictions_total(), 0u);
+  EXPECT_EQ(reg.counter_value("timeseries.samples"), 6u);
+  EXPECT_EQ(reg.counter_value("timeseries.evictions"),
+            store.evictions_total());
+  EXPECT_DOUBLE_EQ(reg.gauge("timeseries.series").value(), 1.0);
+
+  // note_appends is the handle-path equivalent of append's accounting.
+  store.note_appends(3, 1);
+  EXPECT_EQ(store.samples_total(), 9u);
+  EXPECT_EQ(reg.counter_value("timeseries.samples"), 9u);
+}
+
+TEST(TimeSeriesStore, DumpJsonlAndCsvAreDeterministic) {
+  Registry reg;
+  TimeSeriesStore store(true, small_cfg(), &reg);
+  store.append("b.second", 0.0, 2.0);
+  store.append("a.first", 0.0, 1.0);
+  store.append("a.first", 1.0, 3.0);
+
+  std::ostringstream jsonl;
+  store.dump_jsonl(jsonl);
+  const std::string out = jsonl.str();
+  // Series in name order; every line carries the full sample schema.
+  EXPECT_LT(out.find("\"a.first\""), out.find("\"b.second\""));
+  EXPECT_NE(out.find("\"level\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"t_start\":"), std::string::npos);
+  EXPECT_NE(out.find("\"count\":1"), std::string::npos);
+
+  std::ostringstream csv;
+  store.write_csv(csv);
+  EXPECT_EQ(csv.str().rfind("series,level,t_start,t_end,min,max,mean,count",
+                            0),
+            0u);
+
+  std::ostringstream again;
+  store.dump_jsonl(again);
+  EXPECT_EQ(out, again.str());
+}
+
+TEST(TimeSeriesStore, MergeFromPrefixesChipAndKeepsCountersStill) {
+  Registry fleet_reg, chip_reg;
+  TimeSeriesStore fleet(true, small_cfg(), &fleet_reg);
+  TimeSeriesStore chip(true, small_cfg(), &chip_reg);
+  chip.append("psn.domain0.peak_percent", 0.0, 4.0);
+  chip.append("psn.domain0.peak_percent", 1.0, 5.0);
+
+  fleet.merge_from(chip, 3);
+  ASSERT_EQ(fleet.series_count(), 1u);
+  const TimeSeries* merged = fleet.find("chip3.psn.domain0.peak_percent");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->appended(), 2u);
+  EXPECT_DOUBLE_EQ(merged->samples(0)[1].max, 5.0);
+  // Totals fold; the registry counters do NOT move (the fleet driver
+  // merges chip registries separately — advancing both double-counts).
+  EXPECT_EQ(fleet.samples_total(), 2u);
+  EXPECT_EQ(fleet_reg.counter_value("timeseries.samples"), 0u);
+}
+
+TEST(TimeSeriesStore, SnapshotRoundTripRestoresSeriesAndCounters) {
+  Registry reg;
+  TimeSeriesStore store(true, small_cfg(), &reg);
+  for (int i = 0; i < 9; ++i) {
+    store.append("x", 0.1 * i, i);
+    store.append("y", 0.1 * i, -i);
+  }
+  snapshot::Writer w;
+  store.save(w);
+
+  Registry reg2;
+  TimeSeriesConfig other;
+  other.capacity = 64;
+  TimeSeriesStore restored(true, other, &reg2);
+  restored.append("stale", 0.0, 0.0);  // replaced wholesale by restore
+  snapshot::Reader r(w.bytes());
+  restored.restore(r);
+  r.expect_end();
+
+  EXPECT_EQ(restored.series_count(), 2u);
+  EXPECT_EQ(restored.find("stale"), nullptr);
+  EXPECT_EQ(restored.samples_total(), store.samples_total());
+  EXPECT_EQ(restored.evictions_total(), store.evictions_total());
+  // Self-metrics are rewritten to the restored totals (the telemetry
+  // watermark pattern) so exposition resumes mid-stream.
+  EXPECT_EQ(reg2.counter_value("timeseries.samples"),
+            store.samples_total());
+  EXPECT_DOUBLE_EQ(reg2.gauge("timeseries.series").value(), 2.0);
+  ASSERT_NE(restored.find("x"), nullptr);
+  expect_same_samples(*store.find("x"), *restored.find("x"));
+  expect_same_samples(*store.find("y"), *restored.find("y"));
+
+  // Byte-identical export after restore — the dump is pure state.
+  std::ostringstream a, b;
+  store.dump_jsonl(a);
+  restored.dump_jsonl(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace parm::obs

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Structured post-run check for the CI fleet-smoke job.
+
+Parses the fleet runner's Prometheus exposition into a metric map
+instead of grepping raw lines, so the assertions survive formatting
+changes (metric ordering, float rendering, added labels) and the
+failure output names the offending value:
+
+  * the flight recorder must have emitted events and dropped none —
+    a nonzero ``recorder.events_dropped`` means the smoke run's event
+    log is incomplete and any downstream post-mortem is built on a
+    truncated record;
+  * when the run captured time series (``--require-timeseries``), the
+    store must have absorbed samples;
+  * when a health report is given, no subsystem may sit at CRIT.
+
+Usage:
+  check_fleet_smoke.py fleet_metrics.prom [--health fleet_health.txt]
+                       [--require-timeseries]
+
+Exits nonzero with a one-line reason per violated check.
+"""
+
+import argparse
+import sys
+
+
+def parse_prometheus(path):
+    """Return {metric_name: value} for unlabelled samples; labelled
+    samples (histogram buckets) are keyed as name{labels}."""
+    metrics = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            # <name>[{labels}] <value> — the exposition this repo writes
+            # never emits timestamps.
+            parts = line.rsplit(" ", 1)
+            if len(parts) != 2:
+                raise SystemExit(f"unparseable exposition line: {line!r}")
+            name, value = parts
+            try:
+                metrics[name] = float(value)
+            except ValueError as err:
+                raise SystemExit(
+                    f"non-numeric value on line {line!r}: {err}") from err
+    return metrics
+
+
+def require(metrics, name):
+    if name not in metrics:
+        raise SystemExit(f"FAIL: metric {name} missing from exposition "
+                         f"({len(metrics)} metrics parsed)")
+    return metrics[name]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("prom", help="Prometheus exposition file to check")
+    ap.add_argument("--health", help="fleet health report to scan for CRIT")
+    ap.add_argument("--require-timeseries", action="store_true",
+                    help="also assert the time-series store saw samples")
+    args = ap.parse_args()
+
+    metrics = parse_prometheus(args.prom)
+
+    emitted = require(metrics, "parm_recorder_events_emitted_total")
+    dropped = require(metrics, "parm_recorder_events_dropped_total")
+    if emitted <= 0:
+        raise SystemExit(f"FAIL: recorder emitted no events ({emitted})")
+    if dropped > 0:
+        raise SystemExit(
+            f"FAIL: recorder dropped {dropped:.0f} of {emitted:.0f} events "
+            "— the smoke run's event log is incomplete (raise the ring "
+            "capacity or lower the event rate)")
+
+    if args.require_timeseries:
+        samples = require(metrics, "parm_timeseries_samples_total")
+        if samples <= 0:
+            raise SystemExit(
+                f"FAIL: time-series capture was on but absorbed no samples "
+                f"({samples})")
+
+    if args.health:
+        with open(args.health, encoding="utf-8") as fh:
+            crit = [l.rstrip() for l in fh if "CRIT" in l]
+        if crit:
+            raise SystemExit("FAIL: health report contains CRIT lines:\n"
+                             + "\n".join(crit))
+
+    print(f"OK: {emitted:.0f} events emitted, 0 dropped"
+          + (f", {metrics['parm_timeseries_samples_total']:.0f} time-series "
+             "samples" if args.require_timeseries else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
