@@ -1,0 +1,151 @@
+// NoC cycle-engine scaling microbenchmark: serial stepping vs the sharded
+// gang at 2/4/8 shards, at a low and a saturated injection rate on the
+// paper's 10×6 mesh.
+//
+// The engine's promise is that sharding is a pure throughput knob: every
+// shard count delivers bit-identical results (checked here via delivered
+// flit counts; pinned byte-for-byte by tests/noc_parallel_test), so the
+// only question is wall-clock. The saturated point is where parallelism
+// pays — every router busy every cycle; the low-load point bounds the
+// gang's overhead when there is little work to share.
+//
+// Emits BENCH_noc_scaling.json (path overridable via argv[1]) for CI to
+// archive, alongside a human-readable table on stdout.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+
+namespace {
+
+using namespace parm;
+using namespace parm::noc;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kWidth = 10;
+constexpr int kHeight = 6;
+constexpr std::uint64_t kWarmup = 512;
+constexpr std::uint64_t kMeasure = 8192;
+constexpr int kRepeats = 3;
+
+struct Point {
+  double wall_s = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+Point run_once(int shards, double load_per_tile) {
+  const MeshGeometry mesh(kWidth, kHeight);
+  NocConfig cfg;
+  cfg.buffer_depth = 8;
+  cfg.flits_per_packet = 4;
+  Network net(mesh, cfg, make_routing("PANR"));
+  net.set_shards(shards);
+  Rng rng(42);
+  TrafficGenerator traffic(uniform_random_flows(mesh, load_per_tile, rng));
+  const Network::CycleHook hook = [&traffic](Network& n) { traffic.tick(n); };
+  net.step_cycles(kWarmup, hook);
+  const auto t0 = Clock::now();
+  net.step_cycles(kMeasure, hook);
+  const auto t1 = Clock::now();
+  Point p;
+  p.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  p.delivered = net.total_delivered_flits();
+  return p;
+}
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Median wall-clock over kRepeats runs; every run must deliver the same
+/// flit count as the serial reference (bit-identity spot check).
+double bench(int shards, double load, std::uint64_t expect_delivered,
+             bool* ok) {
+  std::vector<double> walls;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const Point p = run_once(shards, load);
+    if (p.delivered != expect_delivered) *ok = false;
+    walls.push_back(p.wall_s);
+  }
+  return median_of(walls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_noc_scaling.json";
+  constexpr double kLowLoad = 0.02;        // flits/cycle/tile, uncontended
+  constexpr double kSaturatedLoad = 0.40;  // deep into saturation
+
+  const std::size_t threads = ThreadPool::shared().thread_count() + 1;
+  const int routers = kWidth * kHeight;
+  std::cout << "noc scaling: " << kWidth << "x" << kHeight << " mesh, "
+            << kMeasure << " measured cycles, " << threads
+            << " thread(s), median of " << kRepeats << " runs\n\n";
+
+  bool ok = true;
+  const std::uint64_t low_ref = run_once(1, kLowLoad).delivered;
+  const std::uint64_t sat_ref = run_once(1, kSaturatedLoad).delivered;
+
+  Table table({"shards", "low wall (s)", "low speedup", "sat wall (s)",
+               "sat speedup"});
+  table.set_precision(3);
+  std::vector<int> shard_counts{1, 2, 4, 8};
+  std::vector<double> low_wall, sat_wall;
+  for (int s : shard_counts) {
+    low_wall.push_back(bench(s, kLowLoad, low_ref, &ok));
+    sat_wall.push_back(bench(s, kSaturatedLoad, sat_ref, &ok));
+    table.add_row({static_cast<std::int64_t>(s), low_wall.back(),
+                   low_wall.front() / low_wall.back(), sat_wall.back(),
+                   sat_wall.front() / sat_wall.back()});
+  }
+  table.print(std::cout);
+
+  if (!ok) {
+    std::cerr << "DETERMINISM VIOLATION: a sharded run delivered a "
+                 "different flit count than serial\n";
+    return 1;
+  }
+
+  // Serial grind rate: the SoA baseline CI asserts a ceiling on.
+  const double serial_ns_per_router_cycle =
+      sat_wall.front() * 1e9 /
+      (static_cast<double>(kMeasure) * static_cast<double>(routers));
+  std::cout << "\nserial saturated: " << serial_ns_per_router_cycle
+            << " ns per router-cycle\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"noc_scaling\",\n"
+       << "  \"mesh\": \"" << kWidth << "x" << kHeight << "\",\n"
+       << "  \"measure_cycles\": " << kMeasure << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"low_load\": " << kLowLoad << ",\n"
+       << "  \"saturated_load\": " << kSaturatedLoad << ",\n"
+       << "  \"saturated_serial_ns_per_router_cycle\": "
+       << serial_ns_per_router_cycle << ",\n";
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    json << "  \"low_wall_s_" << shard_counts[i] << "\": " << low_wall[i]
+         << ",\n"
+         << "  \"sat_wall_s_" << shard_counts[i] << "\": " << sat_wall[i]
+         << ",\n";
+  }
+  json << "  \"speedup_low_4\": " << low_wall[0] / low_wall[2] << ",\n"
+       << "  \"speedup_sat_2\": " << sat_wall[0] / sat_wall[1] << ",\n"
+       << "  \"speedup_sat_4\": " << sat_wall[0] / sat_wall[2] << ",\n"
+       << "  \"speedup_sat_8\": " << sat_wall[0] / sat_wall[3] << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -17,6 +17,7 @@
 //               [--timeseries FILE.jsonl] [--timeseries-csv FILE.csv]
 //               [--snapshot-every N --snapshot-dir DIR]
 //               [--resume FILE.parmsnap] [--max-time SECONDS]
+//               [--noc-shards N]
 //
 // Snapshot & resume:
 //   --snapshot-every N writes a crash-safe snapshot of the complete
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
   std::string snapshot_dir = ".";
   std::string resume_file;
   double max_time_s = -1.0;
+  int noc_shards = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +161,11 @@ int main(int argc, char** argv) {
       resume_file = value();
     } else if (arg == "--max-time") {
       max_time_s = std::stod(value());
+    } else if (arg == "--noc-shards") {
+      // Shard count for the parallel NoC cycle engine: 0 = auto, 1 =
+      // serial. Results are bit-identical for every value (throughput
+      // knob only, so it needn't match across a save/resume pair).
+      noc_shards = std::stoi(value());
     } else {
       usage(("unknown argument: " + arg).c_str());
     }
@@ -192,6 +199,10 @@ int main(int argc, char** argv) {
   cfg.record_timeseries =
       !timeseries_file.empty() || !timeseries_csv_file.empty();
   if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
+  if (noc_shards >= 0) {
+    cfg.parallel_noc = noc_shards != 1;
+    cfg.noc_shards = noc_shards;
+  }
   try {
     cfg.validate();
   } catch (const CheckError& e) {

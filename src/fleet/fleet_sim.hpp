@@ -40,7 +40,12 @@ struct FleetConfig {
   /// Upper bound on chips simulated concurrently: 0 uses the shared
   /// process pool (PARM_THREADS-sized), 1 runs the chips serially on the
   /// calling thread, k > 1 uses a dedicated pool of that width. The
-  /// result is bit-identical for every setting.
+  /// result is bit-identical for every setting. Nested parallelism
+  /// (chips × PSN domains × NoC shards) shares whatever pool is in use
+  /// without oversubscribing: a chip's sharded NoC window completes on
+  /// its own thread when no worker is free (see noc/shard_engine.hpp),
+  /// so any combination of chip.parallel_psn / chip.parallel_noc with
+  /// any thread setting is safe and bit-identical.
   int threads = 0;
 
   /// Throws CheckError when the chip template or any fleet field is out

@@ -1,0 +1,120 @@
+// Structure-of-arrays ring storage for flit buffers.
+//
+// The cycle engine's hot loops touch one or two fields of many flits per
+// cycle (front kind / last-hop stamps in the decision pass, whole flits
+// only when one actually moves), so each FlitRing keeps the seven Flit
+// fields in parallel flat arrays instead of a deque of structs: no
+// per-node allocation, ring-index pushes/pops, and field loads that pull
+// in nothing but the bytes the pass needs. Capacity is a power of two so
+// slot arithmetic is a mask, and rings grow by doubling — cardinal input
+// buffers are sized once to the configured depth and never grow; the
+// unbounded Local source queues grow on demand.
+//
+// Flit (noc/packet.hpp) remains the API and serialization view: rings
+// convert at the edges (push_back/pop_front/at), so snapshot code and
+// callers never see the SoA layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/packet.hpp"
+
+namespace parm::noc {
+
+class FlitRing {
+ public:
+  /// Sizes the ring for at least `capacity` flits (rounded up to a power
+  /// of two, minimum 4). Existing contents are discarded.
+  void init(std::uint32_t capacity) {
+    std::uint32_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    kind_.assign(cap, 0);
+    packet_id_.assign(cap, 0);
+    src_.assign(cap, 0);
+    dst_.assign(cap, 0);
+    app_id_.assign(cap, 0);
+    inject_cycle_.assign(cap, 0);
+    last_hop_cycle_.assign(cap, 0);
+    mask_ = cap - 1;
+    head_ = 0;
+    count_ = 0;
+  }
+
+  std::uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(kind_.size());
+  }
+
+  void push_back(const Flit& f) {
+    if (count_ == capacity()) grow();
+    const std::uint32_t s = slot(count_);
+    kind_[s] = static_cast<std::uint8_t>(f.kind);
+    packet_id_[s] = f.packet_id;
+    src_[s] = f.src;
+    dst_[s] = f.dst;
+    app_id_[s] = f.app_id;
+    inject_cycle_[s] = f.inject_cycle;
+    last_hop_cycle_[s] = f.last_hop_cycle;
+    ++count_;
+  }
+
+  Flit pop_front() {
+    const Flit f = at(0);
+    head_ = slot(1);
+    --count_;
+    return f;
+  }
+
+  /// The i-th flit from the front (0 = front). No bounds check beyond the
+  /// debug builds of the callers — this is the cycle engine's inner loop.
+  Flit at(std::uint32_t i) const {
+    const std::uint32_t s = slot(i);
+    Flit f;
+    f.kind = static_cast<FlitKind>(kind_[s]);
+    f.packet_id = packet_id_[s];
+    f.src = src_[s];
+    f.dst = dst_[s];
+    f.app_id = app_id_[s];
+    f.inject_cycle = inject_cycle_[s];
+    f.last_hop_cycle = last_hop_cycle_[s];
+    return f;
+  }
+
+  // Field accessors for the decision pass: read exactly one array each.
+  FlitKind front_kind() const {
+    return static_cast<FlitKind>(kind_[head_]);
+  }
+  std::uint64_t front_last_hop() const { return last_hop_cycle_[head_]; }
+  std::int64_t front_packet_id() const { return packet_id_[head_]; }
+  TileId front_dst() const { return dst_[head_]; }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::uint32_t slot(std::uint32_t i) const { return (head_ + i) & mask_; }
+
+  void grow() {
+    FlitRing bigger;
+    bigger.init(capacity() == 0 ? 4 : capacity() * 2);
+    for (std::uint32_t i = 0; i < count_; ++i) bigger.push_back(at(i));
+    *this = bigger;
+  }
+
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::int64_t> packet_id_;
+  std::vector<std::int32_t> src_;
+  std::vector<std::int32_t> dst_;
+  std::vector<std::int32_t> app_id_;
+  std::vector<std::uint64_t> inject_cycle_;
+  std::vector<std::uint64_t> last_hop_cycle_;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t mask_ = 0;  ///< capacity − 1; valid once init() has run
+};
+
+}  // namespace parm::noc

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "noc/shard_engine.hpp"
 
 namespace parm::noc {
 
@@ -46,28 +48,88 @@ Network::Network(const MeshGeometry& mesh, NocConfig cfg,
   PARM_CHECK(routing_ != nullptr, "network needs a routing algorithm");
   PARM_CHECK(cfg_.buffer_depth >= 2, "buffer depth must be at least 2");
   PARM_CHECK(cfg_.flits_per_packet >= 1, "packets need at least one flit");
-  routers_.reserve(static_cast<std::size_t>(mesh_.tile_count()));
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
-    routers_.emplace_back(t, cfg_.buffer_depth);
+  tiles_ = mesh_.tile_count();
+  const std::size_t lanes =
+      static_cast<std::size_t>(tiles_) * static_cast<std::size_t>(kPortCount);
+  in_buf_.resize(lanes);
+  for (TileId t = 0; t < tiles_; ++t) {
+    for (int p = 0; p < kPortCount; ++p) {
+      // Cardinal buffers never exceed the credit depth; the Local source
+      // queue is unbounded and sized generously to avoid early growth.
+      const bool local = p == port_index(Direction::Local);
+      in_buf_[lane(t, p)].init(
+          local ? 16u : static_cast<std::uint32_t>(cfg_.buffer_depth));
+    }
   }
-  tile_psn_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
-  incoming_rates_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
+  alloc_out_.assign(lanes, -1);
+  owner_in_.assign(lanes, -1);
+  rr_next_.assign(lanes, 0);
+  requester_.assign(lanes, -1);
+  fwd_.assign(lanes, 0);
+  popped_cycle_.assign(lanes, 0);
+  flits_forwarded_.assign(static_cast<std::size_t>(tiles_), 0);
+  flits_received_.assign(static_cast<std::size_t>(tiles_), 0);
+  rate_ewma_.assign(static_cast<std::size_t>(tiles_), 0.0);
+  tile_psn_.assign(static_cast<std::size_t>(tiles_), 0.0);
+  incoming_rates_.assign(static_cast<std::size_t>(tiles_), 0.0);
+  set_shards(1);
 }
 
 void Network::set_tile_psn(std::vector<double> psn_percent) {
-  PARM_CHECK(psn_percent.size() ==
-                 static_cast<std::size_t>(mesh_.tile_count()),
+  PARM_CHECK(psn_percent.size() == static_cast<std::size_t>(tiles_),
              "PSN vector size must match tile count");
   tile_psn_ = std::move(psn_percent);
 }
 
+void Network::set_shards(int shards) {
+  shards_ = std::clamp(shards, 1, tiles_);
+  shard_start_.assign(static_cast<std::size_t>(shards_) + 1, 0);
+  const TileId base = tiles_ / shards_;
+  const TileId rem = tiles_ % shards_;
+  for (int s = 0; s < shards_; ++s) {
+    shard_start_[static_cast<std::size_t>(s) + 1] =
+        shard_start_[static_cast<std::size_t>(s)] + base + (s < rem ? 1 : 0);
+  }
+  acc_.clear();
+  acc_.resize(static_cast<std::size_t>(shards_));
+}
+
+int Network::auto_shard_count(int requested) {
+  if (requested > 0) return requested;
+  const std::size_t workers = ThreadPool::shared().thread_count();
+  // With fewer than two workers the gang cannot actually overlap shard
+  // work, so auto resolves to serial stepping.
+  if (workers < 2) return 1;
+  return static_cast<int>(std::min<std::size_t>(8, workers));
+}
+
+void Network::set_trace_capacity(std::size_t cap) {
+  PARM_CHECK(cap >= 1, "trace capacity must be at least 1");
+  trace_capacity_ = cap;
+}
+
+void Network::trace_append(std::int64_t packet_id, TileId tile) {
+  auto it = traces_.find(packet_id);
+  if (it == traces_.end()) {
+    while (traces_.size() >= trace_capacity_) {
+      traces_.erase(trace_order_.front());
+      trace_order_.pop_front();
+      ++trace_evictions_;
+    }
+    it = traces_.emplace(packet_id, std::vector<TileId>{}).first;
+    trace_order_.push_back(packet_id);
+  }
+  it->second.push_back(tile);
+}
+
 void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
-  PARM_CHECK(src >= 0 && src < mesh_.tile_count(), "bad source tile");
-  PARM_CHECK(dst >= 0 && dst < mesh_.tile_count(), "bad destination tile");
+  PARM_CHECK(src >= 0 && src < tiles_, "bad source tile");
+  PARM_CHECK(dst >= 0 && dst < tiles_, "bad destination tile");
   PARM_CHECK(src != dst, "cannot inject to self");
+  PARM_CHECK(app_id >= -1, "negative app ids other than -1 are reserved");
   const std::int64_t pid = next_packet_id_++;
-  if (tracing_) traces_[pid].push_back(src);
-  auto& queue = router(src).input(Direction::Local).buffer;
+  if (tracing_) trace_append(pid, src);
+  FlitRing& queue = in_buf_[lane(src, port_index(Direction::Local))];
   const int n = cfg_.flits_per_packet;
   for (int i = 0; i < n; ++i) {
     Flit f;
@@ -83,130 +145,256 @@ void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
     f.last_hop_cycle = cycle_;  // cannot hop in the injection cycle
     queue.push_back(f);
     ++injected_flits_;
+    ++buffered_flits_;
   }
 }
 
-void Network::allocate_phase() {
-  for (Router& r : routers_) {
+void Network::allocate_range(TileId lo, TileId hi) {
+  for (TileId t = lo; t < hi; ++t) {
     // Collect output requests from head flits lacking an allocation.
     for (int in = 0; in < kPortCount; ++in) {
-      InputPort& port = r.input(in);
-      if (port.buffer.empty() || port.allocated_output.has_value()) continue;
-      const Flit& front = port.buffer.front();
-      if (!is_head(front.kind)) {
-        // A body/tail flit without an allocation can only occur
-        // transiently between packets in the same buffer; it waits for
-        // its head? — cannot happen: heads precede bodies in FIFO order
-        // and the allocation is released only after the tail leaves.
+      const std::size_t il = lane(t, in);
+      const FlitRing& buf = in_buf_[il];
+      if (buf.empty() || alloc_out_[il] >= 0) continue;
+      if (!is_head(buf.front_kind())) {
+        // A body/tail flit without an allocation waits for its head —
+        // heads precede bodies in FIFO order and the allocation is
+        // released only after the tail leaves.
         continue;
       }
       Direction out;
-      if (front.dst == r.id()) {
+      const TileId dst = buf.front_dst();
+      if (dst == t) {
         out = Direction::Local;
       } else {
         RoutingState state;
         state.tile_psn_percent = &tile_psn_;
         state.router_incoming_rate = &incoming_rates_;
-        state.input_buffer_occupancy =
-            r.occupancy(static_cast<Direction>(in));
-        out = routing_->route(mesh_, r.id(), front.dst, state);
+        state.input_buffer_occupancy = occupancy(t, in);
+        out = routing_->route(mesh_, t, dst, state);
         PARM_DCHECK(out != Direction::Local,
                     "routing returned Local for non-local destination");
-        PARM_DCHECK(mesh_.neighbor(r.id(), out) != kInvalidTile,
+        PARM_DCHECK(mesh_.neighbor(t, out) != kInvalidTile,
                     "routing left the mesh");
       }
-      OutputPort& oport = r.output(out);
+      const std::size_t ol = lane(t, port_index(out));
       // Round-robin arbitration: the input closest after rr_next wins.
-      if (oport.owner_input >= 0) continue;  // output busy (wormhole)
-      if (oport.requester < 0) {
-        oport.requester = in;
+      if (owner_in_[ol] >= 0) continue;  // output busy (wormhole)
+      if (requester_[ol] < 0) {
+        requester_[ol] = static_cast<std::int8_t>(in);
       } else {
-        auto dist = [&](int i) {
-          return (i - oport.rr_next + kPortCount) % kPortCount;
-        };
-        if (dist(in) < dist(oport.requester)) oport.requester = in;
+        const int rr = rr_next_[ol];
+        auto dist = [rr](int i) { return (i - rr + kPortCount) % kPortCount; };
+        if (dist(in) < dist(requester_[ol])) {
+          requester_[ol] = static_cast<std::int8_t>(in);
+        }
       }
     }
     // Grant requests.
     for (int d = 0; d < kPortCount; ++d) {
-      OutputPort& oport = r.output(static_cast<Direction>(d));
-      if (oport.requester < 0) continue;
-      const int in = oport.requester;
-      oport.requester = -1;
-      oport.owner_input = in;
-      oport.rr_next = (in + 1) % kPortCount;
-      r.input(in).allocated_output = static_cast<Direction>(d);
+      const std::size_t ol = lane(t, d);
+      const int in = requester_[ol];
+      if (in < 0) continue;
+      requester_[ol] = -1;
+      owner_in_[ol] = static_cast<std::int8_t>(in);
+      rr_next_[ol] = static_cast<std::int8_t>((in + 1) % kPortCount);
+      alloc_out_[lane(t, in)] = static_cast<std::int8_t>(d);
     }
   }
 }
 
-void Network::traversal_phase() {
-  for (Router& r : routers_) {
+// Serial pass replaying the reference traversal order's credit checks.
+// Processing routers in ascending TileId, a push from router t into a
+// full downstream buffer succeeds exactly when the downstream router has
+// a lower id and pops that buffer this cycle — a dependency that only
+// ever points at already-decided routers, so one cheap in-order sweep
+// reproduces the serial outcome bit for bit. Buffers are untouched here
+// (apply happens afterwards), so every size/front read is start-of-phase
+// state, which is also what the serial reference observes.
+void Network::decide_forwards() {
+  const std::uint32_t depth = static_cast<std::uint32_t>(cfg_.buffer_depth);
+  for (TileId t = 0; t < tiles_; ++t) {
     for (int d = 0; d < kPortCount; ++d) {
+      const std::size_t ol = lane(t, d);
+      fwd_[ol] = 0;
+      const int own = owner_in_[ol];
+      if (own < 0) continue;
+      const std::size_t il = lane(t, own);
+      const FlitRing& buf = in_buf_[il];
+      if (buf.empty()) continue;
+      if (buf.front_last_hop() >= cycle_) continue;  // moved this cycle
+      if (d == port_index(Direction::Local)) {
+        fwd_[ol] = 1;
+        popped_cycle_[il] = cycle_;
+        continue;
+      }
       const Direction out = static_cast<Direction>(d);
-      OutputPort& oport = r.output(out);
-      if (oport.owner_input < 0) continue;
-      InputPort& iport = r.input(oport.owner_input);
-      if (iport.buffer.empty()) continue;
-      Flit& front = iport.buffer.front();
-      if (front.last_hop_cycle >= cycle_) continue;  // moved this cycle
+      const TileId next = mesh_.neighbor(t, out);
+      PARM_DCHECK(next != kInvalidTile, "allocated output leaves the mesh");
+      const std::size_t nl = lane(next, port_index(opposite(out)));
+      bool space = in_buf_[nl].size() < depth;
+      if (!space && next < t && popped_cycle_[nl] == cycle_) space = true;
+      if (!space) continue;  // no credit
+      fwd_[ol] = 1;
+      popped_cycle_[il] = cycle_;
+      if (tracing_ && is_head(buf.front_kind())) {
+        trace_append(buf.front_packet_id(), next);
+      }
+    }
+  }
+}
 
-      if (out == Direction::Local) {
+void Network::apply_range(TileId lo, TileId hi, std::uint32_t shard) {
+  ShardAcc& acc = acc_[shard];
+  for (TileId t = lo; t < hi; ++t) {
+    for (int d = 0; d < kPortCount; ++d) {
+      const std::size_t ol = lane(t, d);
+      if (!fwd_[ol]) continue;
+      const int own = owner_in_[ol];
+      const std::size_t il = lane(t, own);
+      if (d == port_index(Direction::Local)) {
         // Ejection: consume the flit.
-        const Flit f = front;
-        iport.buffer.pop_front();
-        ++delivered_flits_;
-        ++r.flits_forwarded;
-        AppLatencyStats& st = app_stats_[f.app_id];
-        ++st.flits_delivered;
-        if (is_tail(f.kind)) {
-          ++delivered_packets_;
-          ++st.packets_delivered;
-          const double lat = static_cast<double>(cycle_ - f.inject_cycle);
-          total_latency_cycles_ += lat;
-          st.total_packet_latency_cycles += lat;
-          iport.allocated_output.reset();
-          oport.owner_input = -1;
+        const Flit f = in_buf_[il].pop_front();
+        ++flits_forwarded_[static_cast<std::size_t>(t)];
+        EjectRecord rec;
+        rec.app_id = f.app_id;
+        rec.tail = is_tail(f.kind) ? 1 : 0;
+        rec.latency_cycles = cycle_ - f.inject_cycle;
+        acc.ejects.push_back(rec);
+        if (rec.tail) {
+          alloc_out_[il] = -1;
+          owner_in_[ol] = -1;
         }
         continue;
       }
-
-      const TileId next = mesh_.neighbor(r.id(), out);
-      PARM_DCHECK(next != kInvalidTile, "allocated output leaves the mesh");
-      Router& nr = router(next);
-      const Direction in_dir = opposite(out);
-      if (!nr.has_space(in_dir)) continue;  // no credit
-
-      Flit f = front;
-      iport.buffer.pop_front();
+      const Direction out = static_cast<Direction>(d);
+      const TileId next = mesh_.neighbor(t, out);
+      Flit f = in_buf_[il].pop_front();
       f.last_hop_cycle = cycle_;
-      if (tracing_ && is_head(f.kind)) {
-        traces_[f.packet_id].push_back(next);
+      ++flits_forwarded_[static_cast<std::size_t>(t)];
+      const int in_port = port_index(opposite(out));
+      if (next >= lo && next < hi) {
+        in_buf_[lane(next, in_port)].push_back(f);
+        ++flits_received_[static_cast<std::size_t>(next)];
+      } else {
+        OutboxEntry e;
+        e.dst_tile = next;
+        e.in_port = static_cast<std::uint8_t>(in_port);
+        e.flit = f;
+        acc.outbox.push_back(e);
       }
-      nr.input(in_dir).buffer.push_back(f);
-      ++r.flits_forwarded;
-      ++nr.flits_received;
       if (is_tail(f.kind)) {
-        iport.allocated_output.reset();
-        oport.owner_input = -1;
+        alloc_out_[il] = -1;
+        owner_in_[ol] = -1;
       }
     }
   }
 }
 
-void Network::step() {
-  ++cycle_;
-  allocate_phase();
-  traversal_phase();
+void Network::finish_cycle(std::uint32_t active_shards) {
+  // Flush cross-shard flits in fixed (shard, router, port) order. Each
+  // input lane has a unique upstream router, so it receives at most one
+  // push per cycle; pop-then-push and push-then-pop leave a FIFO ring in
+  // the same state, which keeps this order-free in effect and the flush
+  // deterministic in form.
+  bool any_ejects = false;
+  for (std::uint32_t s = 0; s < active_shards; ++s) {
+    ShardAcc& acc = acc_[s];
+    for (const OutboxEntry& e : acc.outbox) {
+      FlitRing& ring = in_buf_[lane(e.dst_tile, e.in_port)];
+      ring.push_back(e.flit);
+      PARM_DCHECK(ring.size() <=
+                      static_cast<std::uint32_t>(cfg_.buffer_depth),
+                  "cross-shard push overflowed a credit-limited buffer");
+      ++flits_received_[static_cast<std::size_t>(e.dst_tile)];
+    }
+    acc.outbox.clear();
+    // Merge ejection statistics in shard order. Latencies are integral
+    // cycle counts, so the double sums below are exact and independent
+    // of how routers were grouped into shards.
+    for (const EjectRecord& rec : acc.ejects) {
+      any_ejects = true;
+      ++delivered_flits_;
+      --buffered_flits_;
+      AppLatencyStats& st = app_slot(rec.app_id);
+      ++st.flits_delivered;
+      if (rec.tail) {
+        ++delivered_packets_;
+        ++st.packets_delivered;
+        const double lat = static_cast<double>(rec.latency_cycles);
+        total_latency_cycles_ += lat;
+        st.total_packet_latency_cycles += lat;
+      }
+    }
+    acc.ejects.clear();
+  }
+  if (any_ejects) app_view_dirty_ = true;
   // Update incoming-rate EWMAs from this cycle's link arrivals.
   const double a = cfg_.rate_ewma_alpha;
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
-    Router& r = router(t);
-    const double arrivals = static_cast<double>(r.flits_received);
-    r.flits_received = 0;
-    r.incoming_rate_ewma = (1.0 - a) * r.incoming_rate_ewma + a * arrivals;
-    incoming_rates_[static_cast<std::size_t>(t)] = r.incoming_rate_ewma;
+  for (TileId t = 0; t < tiles_; ++t) {
+    const std::size_t i = static_cast<std::size_t>(t);
+    const double arrivals = static_cast<double>(flits_received_[i]);
+    flits_received_[i] = 0;
+    rate_ewma_[i] = (1.0 - a) * rate_ewma_[i] + a * arrivals;
+    incoming_rates_[i] = rate_ewma_[i];
   }
+}
+
+void Network::run_shard_task(int kind, std::uint32_t shard) {
+  const TileId lo = shard_start_[shard];
+  const TileId hi = shard_start_[shard + 1];
+  if (kind == kAllocatePhase) {
+    allocate_range(lo, hi);
+  } else {
+    apply_range(lo, hi, shard);
+  }
+}
+
+void Network::run_one_cycle_serial(const CycleHook& hook) {
+  if (hook) hook(*this);
+  ++cycle_;
+  allocate_range(0, tiles_);
+  decide_forwards();
+  apply_range(0, tiles_, 0);
+  finish_cycle(1);
+}
+
+void Network::step() { step_cycles(1); }
+
+void Network::step_cycles(std::uint64_t n, const CycleHook& per_cycle) {
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::shared();
+  if (shards_ <= 1 || pool.thread_count() == 0) {
+    for (std::uint64_t c = 0; c < n; ++c) run_one_cycle_serial(per_cycle);
+    return;
+  }
+  // Gang-schedule the window: one parallel_for whose index 0 leads every
+  // cycle and whose other indices help with shard tasks. The leader can
+  // complete each phase alone, so a busy pool (fleet chips, nested use)
+  // degrades to serial throughput — never to deadlock or extra threads.
+  const std::size_t participants =
+      1 + std::min<std::size_t>(static_cast<std::size_t>(shards_ - 1),
+                                pool.thread_count());
+  ShardGang gang(static_cast<std::uint32_t>(shards_),
+                 [this](int kind, std::uint32_t s) { run_shard_task(kind, s); });
+  pool.parallel_for(participants, [&](std::size_t p) {
+    if (p != 0) {
+      gang.helper_loop();
+      return;
+    }
+    struct FinishGuard {
+      ShardGang& g;
+      ~FinishGuard() { g.finish(); }
+    } guard{gang};
+    for (std::uint64_t c = 0; c < n; ++c) {
+      if (per_cycle) per_cycle(*this);
+      ++cycle_;
+      gang.leader_phase(kAllocatePhase);
+      decide_forwards();
+      gang.leader_phase(kApplyPhase);
+      finish_cycle(static_cast<std::uint32_t>(shards_));
+    }
+  });
 }
 
 std::vector<TileId> Network::traced_route(std::int64_t packet_id) const {
@@ -214,14 +402,41 @@ std::vector<TileId> Network::traced_route(std::int64_t packet_id) const {
   return it == traces_.end() ? std::vector<TileId>{} : it->second;
 }
 
-std::uint64_t Network::in_flight_flits() const {
+std::uint64_t Network::in_flight_flits_scan() const {
   std::uint64_t n = 0;
-  for (const Router& r : routers_) {
-    for (int d = 0; d < kPortCount; ++d) {
-      n += r.input(static_cast<Direction>(d)).buffer.size();
-    }
-  }
+  for (const FlitRing& ring : in_buf_) n += ring.size();
   return n;
+}
+
+std::uint64_t Network::in_flight_flits() const {
+  PARM_DCHECK(buffered_flits_ == in_flight_flits_scan(),
+              "O(1) in-flight counter diverged from the buffer scan");
+  return buffered_flits_;
+}
+
+AppLatencyStats& Network::app_slot(std::int32_t app_id) {
+  PARM_DCHECK(app_id >= -1, "app ids below -1 are reserved");
+  const std::size_t idx = static_cast<std::size_t>(app_id + 1);
+  if (idx >= app_dense_.size()) {
+    app_dense_.resize(idx + 1);
+    app_touched_.resize(idx + 1, 0);
+  }
+  app_touched_[idx] = 1;
+  return app_dense_[idx];
+}
+
+const std::map<std::int32_t, AppLatencyStats>& Network::app_stats() const {
+  if (app_view_dirty_) {
+    app_view_.clear();
+    for (std::size_t idx = 0; idx < app_dense_.size(); ++idx) {
+      if (app_touched_[idx]) {
+        app_view_.emplace(static_cast<std::int32_t>(idx) - 1,
+                          app_dense_[idx]);
+      }
+    }
+    app_view_dirty_ = false;
+  }
+  return app_view_;
 }
 
 double Network::avg_packet_latency() const {
@@ -234,28 +449,28 @@ double Network::avg_packet_latency() const {
 void Network::save(snapshot::Writer& w) const {
   PARM_CHECK(!tracing_, "cannot snapshot a network with route tracing on");
   w.begin_section("NOC0");
-  w.i32(mesh_.tile_count());
+  w.i32(tiles_);
   w.i32(cfg_.buffer_depth);
   w.i32(cfg_.flits_per_packet);
-  for (const Router& r : routers_) {
+  for (TileId t = 0; t < tiles_; ++t) {
     for (int p = 0; p < kPortCount; ++p) {
-      const InputPort& in = r.input(static_cast<Direction>(p));
-      w.u64(in.buffer.size());
-      for (const Flit& f : in.buffer) save_flit(w, f);
-      w.b(in.allocated_output.has_value());
-      if (in.allocated_output.has_value()) {
-        w.u8(static_cast<std::uint8_t>(*in.allocated_output));
-      }
+      const std::size_t il = lane(t, p);
+      const FlitRing& buf = in_buf_[il];
+      w.u64(buf.size());
+      for (std::uint32_t i = 0; i < buf.size(); ++i) save_flit(w, buf.at(i));
+      const bool allocated = alloc_out_[il] >= 0;
+      w.b(allocated);
+      if (allocated) w.u8(static_cast<std::uint8_t>(alloc_out_[il]));
     }
     for (int p = 0; p < kPortCount; ++p) {
-      const OutputPort& out = r.output(static_cast<Direction>(p));
-      w.i32(out.owner_input);
-      w.i32(out.rr_next);
-      w.i32(out.requester);
+      const std::size_t ol = lane(t, p);
+      w.i32(owner_in_[ol]);
+      w.i32(rr_next_[ol]);
+      w.i32(requester_[ol]);
     }
-    w.u64(r.flits_forwarded);
-    w.u64(r.flits_received);
-    w.f64(r.incoming_rate_ewma);
+    w.u64(flits_forwarded_[static_cast<std::size_t>(t)]);
+    w.u64(flits_received_[static_cast<std::size_t>(t)]);
+    w.f64(rate_ewma_[static_cast<std::size_t>(t)]);
   }
   w.vec_f64(tile_psn_);
   w.vec_f64(incoming_rates_);
@@ -265,13 +480,17 @@ void Network::save(snapshot::Writer& w) const {
   w.u64(delivered_flits_);
   w.u64(delivered_packets_);
   w.f64(total_latency_cycles_);
-  std::vector<std::pair<std::int32_t, AppLatencyStats>> stats(
-      app_stats_.begin(), app_stats_.end());
-  std::sort(stats.begin(), stats.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w.u64(stats.size());
-  for (const auto& [app, st] : stats) {
-    w.i32(app);
+  // Dense app slots in ascending index are ascending app id, matching
+  // the sorted order the AoS implementation wrote.
+  std::uint64_t n_apps = 0;
+  for (std::size_t idx = 0; idx < app_dense_.size(); ++idx) {
+    if (app_touched_[idx]) ++n_apps;
+  }
+  w.u64(n_apps);
+  for (std::size_t idx = 0; idx < app_dense_.size(); ++idx) {
+    if (!app_touched_[idx]) continue;
+    const AppLatencyStats& st = app_dense_[idx];
+    w.i32(static_cast<std::int32_t>(idx) - 1);
     w.u64(st.packets_delivered);
     w.u64(st.flits_delivered);
     w.f64(st.total_packet_latency_cycles);
@@ -283,44 +502,48 @@ void Network::restore(snapshot::Reader& r) {
   const std::int32_t tiles = r.i32();
   const std::int32_t depth = r.i32();
   const std::int32_t fpp = r.i32();
-  if (tiles != mesh_.tile_count() || depth != cfg_.buffer_depth ||
+  if (tiles != tiles_ || depth != cfg_.buffer_depth ||
       fpp != cfg_.flits_per_packet) {
     throw snapshot::SnapshotError(
         "network snapshot was taken under a different NoC configuration "
         "(tile count / buffer depth / flits per packet mismatch)");
   }
-  for (Router& router : routers_) {
+  for (TileId t = 0; t < tiles_; ++t) {
     for (int p = 0; p < kPortCount; ++p) {
-      InputPort& in = router.input(p);
-      in.buffer.clear();
+      const std::size_t il = lane(t, p);
+      FlitRing& buf = in_buf_[il];
+      buf.clear();
       const std::uint64_t n = r.count(30);
       for (std::uint64_t i = 0; i < n; ++i) {
-        in.buffer.push_back(load_flit(r, tiles));
+        buf.push_back(load_flit(r, tiles));
       }
-      in.allocated_output.reset();
+      alloc_out_[il] = -1;
       if (r.b()) {
         const std::uint8_t d = r.u8();
         if (d >= kPortCount) {
           throw snapshot::SnapshotError(
               "network snapshot holds an invalid allocated output port");
         }
-        in.allocated_output = static_cast<Direction>(d);
+        alloc_out_[il] = static_cast<std::int8_t>(d);
       }
     }
     for (int p = 0; p < kPortCount; ++p) {
-      OutputPort& out = router.output(static_cast<Direction>(p));
-      out.owner_input = r.i32();
-      out.rr_next = r.i32();
-      out.requester = r.i32();
-      if (out.owner_input < -1 || out.owner_input >= kPortCount ||
-          out.rr_next < 0 || out.rr_next >= kPortCount) {
+      const std::size_t ol = lane(t, p);
+      const std::int32_t owner = r.i32();
+      const std::int32_t rr = r.i32();
+      const std::int32_t req = r.i32();
+      if (owner < -1 || owner >= kPortCount || rr < 0 || rr >= kPortCount) {
         throw snapshot::SnapshotError(
             "network snapshot holds invalid arbitration state");
       }
+      owner_in_[ol] = static_cast<std::int8_t>(owner);
+      rr_next_[ol] = static_cast<std::int8_t>(rr);
+      requester_[ol] = static_cast<std::int8_t>(
+          req < -1 || req >= kPortCount ? -1 : req);
     }
-    router.flits_forwarded = r.u64();
-    router.flits_received = r.u64();
-    router.incoming_rate_ewma = r.f64();
+    flits_forwarded_[static_cast<std::size_t>(t)] = r.u64();
+    flits_received_[static_cast<std::size_t>(t)] = r.u64();
+    rate_ewma_[static_cast<std::size_t>(t)] = r.f64();
   }
   tile_psn_ = r.vec_f64();
   incoming_rates_ = r.vec_f64();
@@ -334,17 +557,29 @@ void Network::restore(snapshot::Reader& r) {
   delivered_flits_ = r.u64();
   delivered_packets_ = r.u64();
   total_latency_cycles_ = r.f64();
-  app_stats_.clear();
+  app_dense_.clear();
+  app_touched_.clear();
   const std::uint64_t n_apps = r.count(28);
   for (std::uint64_t i = 0; i < n_apps; ++i) {
     const std::int32_t app = r.i32();
+    if (app < -1) {
+      throw snapshot::SnapshotError(
+          "network snapshot holds an invalid app id");
+    }
     AppLatencyStats st;
     st.packets_delivered = r.u64();
     st.flits_delivered = r.u64();
     st.total_packet_latency_cycles = r.f64();
-    app_stats_.emplace(app, st);
+    app_slot(app) = st;
   }
+  app_view_.clear();
+  app_view_dirty_ = !app_dense_.empty();
   traces_.clear();
+  trace_order_.clear();
+  // Decision-pass scratch must not alias the restored clock.
+  std::fill(popped_cycle_.begin(), popped_cycle_.end(), 0);
+  std::fill(fwd_.begin(), fwd_.end(), 0);
+  buffered_flits_ = in_flight_flits_scan();
 }
 
 void Network::reset_stats() {
@@ -352,11 +587,12 @@ void Network::reset_stats() {
   delivered_flits_ = 0;
   delivered_packets_ = 0;
   total_latency_cycles_ = 0.0;
-  app_stats_.clear();
-  for (Router& r : routers_) {
-    r.flits_forwarded = 0;
-    r.flits_received = 0;
-  }
+  app_dense_.clear();
+  app_touched_.clear();
+  app_view_.clear();
+  app_view_dirty_ = false;
+  std::fill(flits_forwarded_.begin(), flits_forwarded_.end(), 0);
+  std::fill(flits_received_.begin(), flits_received_.end(), 0);
 }
 
 }  // namespace parm::noc

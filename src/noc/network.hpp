@@ -1,6 +1,6 @@
-// Cycle-level 2D-mesh wormhole NoC.
+// Cycle-level 2D-mesh wormhole NoC with a sharded, bit-identical engine.
 //
-// One step() advances every router by one cycle in two phases:
+// One cycle advances every router in two phases:
 //   1. allocation — head flits at input-buffer fronts compute a route
 //      (via the installed RoutingAlgorithm) and arbitrate for output
 //      ports round-robin; a granted output stays allocated to the input
@@ -9,16 +9,47 @@
 //      the downstream input buffer, subject to buffer space (credit flow
 //      control); Local outputs eject and record packet latency.
 //
+// The engine splits traversal into a serial *decision* pass and a
+// parallel *apply* pass. In the reference serial order (routers in
+// ascending TileId), a push into a full downstream buffer succeeds only
+// when the downstream router has already popped that buffer this cycle —
+// i.e. only when it has a lower TileId. Forward decisions therefore form
+// a lower-to-higher TileId dependency chain that a cheap serial pass
+// resolves exactly; applying the decided pops/pushes afterwards is
+// order-free (each buffer sees at most one pop by its owning router and
+// one push by its unique upstream, and pop/push on a FIFO ring commute).
+// That is what makes the sharded parallel path bit-identical to the
+// serial one, pinned by engine_equivalence_test and the golden traces.
+//
+// Shards are contiguous TileId ranges. The allocate and apply phases run
+// one task per shard on ThreadPool workers via ShardGang; flits crossing
+// a shard boundary are appended to the producing shard's outbox and
+// flushed by the leader in fixed (shard, router, port) order at the
+// cycle barrier, together with per-shard statistic deltas merged in
+// shard order — all sums of integers, so merge order cannot perturb
+// floating-point state.
+//
+// Router state lives in structure-of-arrays form: FlitRing buffers plus
+// flat allocation / arbiter / forward-decision / statistics arrays
+// indexed by lane (= tile × 5 + port). The snapshot byte format is
+// unchanged from the array-of-structs implementation — save/restore
+// adapt at the edges.
+//
 // A flit moved this cycle is stamped so it cannot hop twice in one cycle.
 // Links are 1 flit/cycle; per-hop latency is 1 cycle (route computation
 // and PANR hop selection run in parallel per the paper's section 4.4).
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "noc/flit_ring.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 #include "snapshot/serializer.hpp"
@@ -48,6 +79,9 @@ struct AppLatencyStats {
 
 class Network {
  public:
+  /// Called by step_cycles() before each cycle (traffic injection).
+  using CycleHook = std::function<void(Network&)>;
+
   Network(const MeshGeometry& mesh, NocConfig cfg,
           std::unique_ptr<RoutingAlgorithm> routing);
 
@@ -59,12 +93,18 @@ class Network {
   void set_tile_psn(std::vector<double> psn_percent);
 
   /// Enables per-packet route tracing: every router a head flit visits is
-  /// recorded, queryable via traced_route(). Costs memory per packet —
-  /// meant for tests and debugging, not measurement runs.
+  /// recorded, queryable via traced_route(). Bounded: at most
+  /// trace_capacity() packets are retained (oldest-first eviction, see
+  /// trace_evictions()) — meant for tests and debugging, not measurement.
   void enable_tracing(bool on) { tracing_ = on; }
+  /// Caps the number of traced packets retained at once.
+  void set_trace_capacity(std::size_t cap);
+  std::size_t trace_capacity() const { return trace_capacity_; }
+  /// Traced packets dropped (oldest first) to honor the capacity bound.
+  std::uint64_t trace_evictions() const { return trace_evictions_; }
 
   /// The tile sequence a packet's head flit visited (starting at the
-  /// source), or an empty vector if unknown/not traced.
+  /// source), or an empty vector if unknown/untraced/evicted.
   std::vector<TileId> traced_route(std::int64_t packet_id) const;
 
   /// Enqueues a whole packet (config().flits_per_packet flits) into the
@@ -74,12 +114,43 @@ class Network {
   /// Advances the network by one cycle.
   void step();
 
+  /// Advances `n` cycles, invoking `per_cycle` (when set) before each —
+  /// the bulk entry point run_window uses. With shards() > 1 and a
+  /// non-empty thread pool the whole span runs under one gang
+  /// (ShardGang), amortizing the fork/join cost over the window; results
+  /// are bit-identical to serial stepping in every case.
+  void step_cycles(std::uint64_t n, const CycleHook& per_cycle = nullptr);
+
+  /// Partitions the mesh into `shards` contiguous TileId ranges stepped
+  /// in parallel (clamped to [1, tile_count]). 1 restores pure serial
+  /// stepping. Results are bit-identical for every value.
+  void set_shards(int shards);
+  int shards() const { return shards_; }
+
+  /// Resolves a requested shard count: values >= 1 pass through; 0 means
+  /// auto — the shared pool's width capped at 8, or 1 when the pool
+  /// cannot actually run shards concurrently.
+  static int auto_shard_count(int requested);
+
   std::uint64_t cycle() const { return cycle_; }
 
-  const Router& router(TileId t) const {
-    return routers_[static_cast<std::size_t>(t)];
+  // --- Per-router queries (tests, window statistics) ---
+  /// Flits queued in one input buffer.
+  std::uint32_t buffer_size(TileId t, Direction in) const {
+    return in_buf_[lane(t, port_index(in))].size();
   }
-  Router& router(TileId t) { return routers_[static_cast<std::size_t>(t)]; }
+  /// Output direction allocated to an input (wormhole), or -1.
+  int allocated_output(TileId t, Direction in) const {
+    return alloc_out_[lane(t, port_index(in))];
+  }
+  /// Input port index owning an output, or -1.
+  int output_owner(TileId t, Direction out) const {
+    return owner_in_[lane(t, port_index(out))];
+  }
+  /// Flits that left router `t` via any output (ejections included).
+  std::uint64_t flits_forwarded(TileId t) const {
+    return flits_forwarded_[static_cast<std::size_t>(t)];
+  }
 
   /// Current per-tile incoming-rate estimates (flits/cycle, EWMA).
   const std::vector<double>& incoming_rates() const {
@@ -89,12 +160,17 @@ class Network {
   // --- Aggregate statistics ---
   std::uint64_t total_injected_flits() const { return injected_flits_; }
   std::uint64_t total_delivered_flits() const { return delivered_flits_; }
-  /// Flits currently buffered somewhere in the network (exact scan, so it
-  /// stays correct across reset_stats()).
+  /// Flits currently buffered somewhere in the network. O(1): maintained
+  /// on inject/eject (forwards keep the total), debug-checked against
+  /// the full scan, and unaffected by reset_stats().
   std::uint64_t in_flight_flits() const;
-  const std::unordered_map<std::int32_t, AppLatencyStats>& app_stats() const {
-    return app_stats_;
-  }
+  /// The exact full-scan count (test oracle for the O(1) counter).
+  std::uint64_t in_flight_flits_scan() const;
+
+  /// Per-app latency statistics, keyed by app id in ascending order. The
+  /// hot path accumulates into a flat array; this view is materialized
+  /// on demand and cached until the next delivery/reset/restore.
+  const std::map<std::int32_t, AppLatencyStats>& app_stats() const;
 
   /// Average packet latency over all delivered packets (cycles).
   double avg_packet_latency() const;
@@ -106,20 +182,77 @@ class Network {
   /// Serializes the complete cycle-level state: every input buffer's
   /// flits, wormhole allocations, round-robin arbiter pointers, rate
   /// EWMAs, the cycle/packet-id counters, and the latency accounting.
-  /// Per-packet route traces are debug state and are not serialized
-  /// (tracing must be off when saving). app_stats_ is written sorted by
-  /// app id so the byte stream is hash-order independent.
+  /// The byte stream is identical to the pre-SoA format. Per-packet
+  /// route traces are debug state and are not serialized (tracing must
+  /// be off when saving). App stats are written in ascending app-id
+  /// order so the stream is layout independent.
   void save(snapshot::Writer& w) const;
   void restore(snapshot::Reader& r);
 
  private:
-  void allocate_phase();
-  void traversal_phase();
+  static constexpr int kAllocatePhase = 0;
+  static constexpr int kApplyPhase = 1;
+
+  /// A forwarded flit bound for another shard, applied at the barrier.
+  struct OutboxEntry {
+    TileId dst_tile;
+    std::uint8_t in_port;
+    Flit flit;
+  };
+  /// One ejected flit's statistics contribution (replayed in shard
+  /// order at the barrier so app accounting has no data races).
+  struct EjectRecord {
+    std::int32_t app_id;
+    std::uint8_t tail;
+    std::uint64_t latency_cycles;
+  };
+  /// Per-shard deltas, merged serially in shard order. Padded so
+  /// concurrently written accumulators never share a cache line.
+  struct alignas(64) ShardAcc {
+    std::vector<OutboxEntry> outbox;
+    std::vector<EjectRecord> ejects;
+  };
+
+  std::size_t lane(TileId t, int port) const {
+    return static_cast<std::size_t>(t) * kPortCount +
+           static_cast<std::size_t>(port);
+  }
+
+  double occupancy(TileId t, int port) const {
+    const double o =
+        static_cast<double>(in_buf_[lane(t, port)].size()) /
+        static_cast<double>(cfg_.buffer_depth);
+    return o > 1.0 ? 1.0 : o;
+  }
+
+  void run_shard_task(int kind, std::uint32_t shard);
+  void allocate_range(TileId lo, TileId hi);
+  void decide_forwards();
+  void apply_range(TileId lo, TileId hi, std::uint32_t shard);
+  void finish_cycle(std::uint32_t active_shards);
+  void run_one_cycle_serial(const CycleHook& hook);
+
+  AppLatencyStats& app_slot(std::int32_t app_id);
+  void trace_append(std::int64_t packet_id, TileId tile);
 
   MeshGeometry mesh_;
   NocConfig cfg_;
   std::unique_ptr<RoutingAlgorithm> routing_;
-  std::vector<Router> routers_;
+  std::int32_t tiles_ = 0;
+
+  // --- SoA router state, indexed by lane = tile * kPortCount + port ---
+  std::vector<FlitRing> in_buf_;        ///< input FIFOs
+  std::vector<std::int8_t> alloc_out_;  ///< input → allocated output (-1)
+  std::vector<std::int8_t> owner_in_;   ///< output → owning input (-1)
+  std::vector<std::int8_t> rr_next_;    ///< output round-robin cursor
+  std::vector<std::int8_t> requester_;  ///< transient, allocation phase
+  std::vector<std::uint8_t> fwd_;       ///< output forwards this cycle
+  std::vector<std::uint64_t> popped_cycle_;  ///< input last decided pop
+  // Per-tile statistics (flat; EWMA feeds incoming_rates_).
+  std::vector<std::uint64_t> flits_forwarded_;
+  std::vector<std::uint64_t> flits_received_;
+  std::vector<double> rate_ewma_;
+
   std::vector<double> tile_psn_;
   std::vector<double> incoming_rates_;
   std::uint64_t cycle_ = 0;
@@ -127,10 +260,26 @@ class Network {
   std::uint64_t injected_flits_ = 0;
   std::uint64_t delivered_flits_ = 0;
   std::uint64_t delivered_packets_ = 0;
+  std::uint64_t buffered_flits_ = 0;  ///< O(1) in-flight counter
   double total_latency_cycles_ = 0.0;
+
+  // --- Sharding ---
+  int shards_ = 1;
+  std::vector<TileId> shard_start_;  ///< size shards_ + 1
+  std::vector<ShardAcc> acc_;        ///< size shards_
+
+  // --- App statistics (dense hot path + cached ordered view) ---
+  std::vector<AppLatencyStats> app_dense_;  ///< index app_id + 1
+  std::vector<std::uint8_t> app_touched_;
+  mutable std::map<std::int32_t, AppLatencyStats> app_view_;
+  mutable bool app_view_dirty_ = false;
+
+  // --- Route tracing (bounded) ---
   bool tracing_ = false;
+  std::size_t trace_capacity_ = 4096;
+  std::uint64_t trace_evictions_ = 0;
   std::unordered_map<std::int64_t, std::vector<TileId>> traces_;
-  std::unordered_map<std::int32_t, AppLatencyStats> app_stats_;
+  std::deque<std::int64_t> trace_order_;  ///< insertion order for eviction
 };
 
 }  // namespace parm::noc

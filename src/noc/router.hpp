@@ -1,91 +1,19 @@
-// Input-buffered wormhole router state.
+// Router port model for the wormhole NoC.
 //
-// Five ports (E, W, N, S, Local). Each input port holds one FIFO flit
-// buffer and, once a head flit is routed, a wormhole allocation to an
-// output port that persists until the tail flit passes. Output ports
-// arbitrate among requesting inputs round-robin. The Local input acts as
-// the tile's (unbounded) source queue; the Local output is the ejection
-// sink. All switching logic lives in Network — Router is the per-tile
-// state it operates on.
+// Five ports per router (E, W, N, S, Local). The Local input acts as the
+// tile's (unbounded) source queue; the Local output is the ejection sink.
+// Per-router state — input FIFOs, wormhole allocations, round-robin
+// arbiter cursors, statistics — lives in Network's structure-of-arrays
+// lane storage (network.hpp), addressed by tile × kPortCount + port;
+// this header defines the port geometry those lanes are indexed by.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <deque>
-#include <optional>
-
 #include "common/geometry.hpp"
-#include "noc/packet.hpp"
 
 namespace parm::noc {
 
 inline constexpr int kPortCount = 5;  // E, W, N, S, Local
 
 inline constexpr int port_index(Direction d) { return static_cast<int>(d); }
-
-struct InputPort {
-  std::deque<Flit> buffer;
-  /// Output direction allocated to the packet currently traversing this
-  /// input (wormhole), or nullopt when idle / between packets.
-  std::optional<Direction> allocated_output;
-};
-
-struct OutputPort {
-  /// Input port index currently owning this output, or -1.
-  int owner_input = -1;
-  /// Round-robin arbitration pointer (next input to consider first).
-  int rr_next = 0;
-  /// Input that requested this output this cycle (set during allocation).
-  int requester = -1;
-};
-
-class Router {
- public:
-  Router(TileId id, std::int32_t buffer_depth)
-      : id_(id), buffer_depth_(buffer_depth) {}
-
-  TileId id() const { return id_; }
-  std::int32_t buffer_depth() const { return buffer_depth_; }
-
-  InputPort& input(Direction d) {
-    return inputs_[static_cast<std::size_t>(port_index(d))];
-  }
-  const InputPort& input(Direction d) const {
-    return inputs_[static_cast<std::size_t>(port_index(d))];
-  }
-  InputPort& input(int idx) { return inputs_[static_cast<std::size_t>(idx)]; }
-
-  OutputPort& output(Direction d) {
-    return outputs_[static_cast<std::size_t>(port_index(d))];
-  }
-  const OutputPort& output(Direction d) const {
-    return outputs_[static_cast<std::size_t>(port_index(d))];
-  }
-
-  /// Occupancy of an input buffer in [0, 1]. The unbounded Local source
-  /// queue saturates at 1.
-  double occupancy(Direction d) const {
-    const auto& buf = input(d).buffer;
-    const double o = static_cast<double>(buf.size()) /
-                     static_cast<double>(buffer_depth_);
-    return o > 1.0 ? 1.0 : o;
-  }
-
-  /// True if a (non-Local) input buffer can accept another flit.
-  bool has_space(Direction d) const {
-    return static_cast<std::int32_t>(input(d).buffer.size()) < buffer_depth_;
-  }
-
-  // --- Statistics (maintained by Network) ---
-  std::uint64_t flits_forwarded = 0;   ///< Flits that left via any output.
-  std::uint64_t flits_received = 0;    ///< Flits that arrived over links.
-  double incoming_rate_ewma = 0.0;     ///< Link arrivals per cycle (EWMA).
-
- private:
-  TileId id_;
-  std::int32_t buffer_depth_;
-  std::array<InputPort, kPortCount> inputs_;
-  std::array<OutputPort, kPortCount> outputs_;
-};
 
 }  // namespace parm::noc

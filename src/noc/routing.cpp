@@ -7,12 +7,12 @@
 
 namespace parm::noc {
 
-std::vector<Direction> west_first_directions(const MeshGeometry& mesh,
-                                             TileId current, TileId dst) {
+DirectionSet west_first_directions(const MeshGeometry& mesh, TileId current,
+                                   TileId dst) {
   PARM_CHECK(current != dst, "routing called with current == dst");
   const TileCoord c = mesh.coord(current);
   const TileCoord d = mesh.coord(dst);
-  std::vector<Direction> out;
+  DirectionSet out;
   if (d.x < c.x) {
     // West-first: any westward progress must happen before other turns,
     // so West is the only permitted direction while dst lies west.
@@ -40,8 +40,7 @@ Direction XyRouting::route(const MeshGeometry& mesh, TileId current,
 Direction WestFirstRouting::route(const MeshGeometry& mesh, TileId current,
                                   TileId dst,
                                   const RoutingState& state) const {
-  const std::vector<Direction> dirs =
-      west_first_directions(mesh, current, dst);
+  const DirectionSet dirs = west_first_directions(mesh, current, dst);
   (void)state;
   return dirs.front();  // deterministic preference: E > N > S order
 }
@@ -52,7 +51,7 @@ namespace {
 /// minimizes `cost(tile)`; ties resolve to the earlier direction.
 template <typename CostFn>
 Direction pick_min_cost(const MeshGeometry& mesh, TileId current,
-                        const std::vector<Direction>& dirs, CostFn cost) {
+                        const DirectionSet& dirs, CostFn cost) {
   Direction best = dirs.front();
   double best_cost = std::numeric_limits<double>::infinity();
   for (Direction d : dirs) {
@@ -81,8 +80,7 @@ double psn_of(const RoutingState& s, TileId t) {
 
 Direction IconRouting::route(const MeshGeometry& mesh, TileId current,
                              TileId dst, const RoutingState& state) const {
-  const std::vector<Direction> dirs =
-      west_first_directions(mesh, current, dst);
+  const DirectionSet dirs = west_first_directions(mesh, current, dst);
   // ICON only looks at router activity (incoming data rate); it is
   // agnostic of the PSN of the cores underneath.
   return pick_min_cost(mesh, current, dirs,
@@ -109,8 +107,7 @@ void PanrRouting::count_reroute(Direction chosen, Direction preferred) const {
 
 Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
                              TileId dst, const RoutingState& state) const {
-  const std::vector<Direction> dirs =
-      west_first_directions(mesh, current, dst);
+  const DirectionSet dirs = west_first_directions(mesh, current, dst);
   if (state.input_buffer_occupancy > threshold_) {
     // Congested: relieve pressure via the least-loaded permitted next hop
     // (Algorithm 3 line 5).
@@ -127,7 +124,7 @@ Direction PanrRouting::route(const MeshGeometry& mesh, TileId current,
   // filter: next hops already near the voltage-emergency margin are
   // excluded, and among the safe ones the least-loaded is chosen (the
   // data-rate signal updates every cycle, giving stable feedback).
-  std::vector<Direction> safe;
+  DirectionSet safe;
   for (Direction d : dirs) {
     const TileId n = mesh.neighbor(current, d);
     if (psn_of(state, n) < psn_safe_percent_) safe.push_back(d);

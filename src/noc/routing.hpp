@@ -17,6 +17,8 @@
 //               sensor reports the least PSN.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +27,25 @@
 #include "obs/metrics.hpp"
 
 namespace parm::noc {
+
+/// Fixed-capacity set of candidate output directions. The turn model
+/// permits at most three (E/N/S), so route computation — which runs once
+/// per head flit per hop inside the cycle engine — never touches the
+/// heap.
+class DirectionSet {
+ public:
+  void push_back(Direction d) { dirs_[count_++] = d; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  Direction front() const { return dirs_[0]; }
+  Direction operator[](std::size_t i) const { return dirs_[i]; }
+  const Direction* begin() const { return dirs_.data(); }
+  const Direction* end() const { return dirs_.data() + count_; }
+
+ private:
+  std::array<Direction, 3> dirs_{};
+  std::size_t count_ = 0;
+};
 
 /// Observable state a routing policy may consult at decision time.
 /// All vectors are indexed by TileId; rates are flits/cycle.
@@ -48,8 +69,8 @@ class RoutingAlgorithm {
 
 /// Directions allowed by the west-first turn model toward `dst`.
 /// Always non-empty for dst != current and always makes progress.
-std::vector<Direction> west_first_directions(const MeshGeometry& mesh,
-                                             TileId current, TileId dst);
+DirectionSet west_first_directions(const MeshGeometry& mesh, TileId current,
+                                   TileId dst);
 
 class XyRouting final : public RoutingAlgorithm {
  public:

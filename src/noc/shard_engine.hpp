@@ -1,0 +1,142 @@
+// Gang scheduling for the sharded NoC cycle engine.
+//
+// A window of cycles runs as one parallel_for over "participants": index
+// 0 is the leader, which drives every cycle (traffic hook, the serial
+// decision pass, the deterministic outbox flush) and opens two parallel
+// phases per cycle — allocate and apply — each consisting of one task per
+// shard. The remaining participants are helpers that spin claiming shard
+// tasks from the open phase.
+//
+// The crucial property is that the barrier waits for *task completions*,
+// not for thread arrivals: the leader also claims tasks, so a window
+// completes even when no helper ever runs (busy or empty pool, nested
+// fleet parallelism). Helpers only add concurrency; they can join late,
+// leave early, or never show up without affecting the result — which is
+// what makes chips × shards share one ThreadPool without oversubscription
+// or deadlock.
+//
+// Synchronization is a single claim word (phase sequence in the high
+// bits, next task index in the low bits) published with release stores
+// and claimed by CAS, plus a completion counter incremented with release
+// by whoever ran the task and awaited with acquire by the leader. Phase
+// payload (the kind) is written by the leader before the claim-word
+// store, so an acquire load of the claim word makes it visible.
+//
+// Task exceptions are captured (first one wins), the task still counts as
+// done so the barrier cannot hang, and the leader rethrows after the
+// phase — from where parallel_for propagates it to the window's caller.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace parm::noc {
+
+class ShardGang {
+ public:
+  /// `tasks` per phase (= shard count); `run(kind, task)` executes one
+  /// shard task. `run` must be safe to call concurrently for distinct
+  /// task indices of the same phase.
+  ShardGang(std::uint32_t tasks,
+            std::function<void(int kind, std::uint32_t task)> run)
+      : tasks_(tasks), run_(std::move(run)) {}
+
+  /// Leader: opens a phase, works through its tasks alongside any
+  /// helpers, waits until every task has completed, and rethrows the
+  /// first task exception (if any).
+  void leader_phase(int kind) {
+    kind_ = kind;
+    done_.store(0, std::memory_order_relaxed);
+    ++seq_;
+    claim_.store(seq_ << kIdxBits, std::memory_order_release);
+    drain_claims();
+    int idle = 0;
+    while (done_.load(std::memory_order_acquire) < tasks_) backoff(idle);
+    if (has_error_.load(std::memory_order_acquire)) rethrow();
+  }
+
+  /// Leader (or its unwinder): releases the helpers. Idempotent.
+  void finish() { finished_.store(true, std::memory_order_release); }
+
+  /// Helper body: claims tasks from whatever phase is open until
+  /// finish(). Any number of helpers may run this, including zero.
+  void helper_loop() {
+    int idle = 0;
+    while (!finished_.load(std::memory_order_acquire)) {
+      if (!try_claim_one()) backoff(idle);
+      else idle = 0;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kIdxBits = 20;
+  static constexpr std::uint64_t kIdxMask = (1ULL << kIdxBits) - 1;
+
+  static void backoff(int& idle) {
+    if (++idle < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield");
+#endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  bool try_claim_one() {
+    std::uint64_t c = claim_.load(std::memory_order_acquire);
+    if ((c & kIdxMask) >= tasks_) return false;  // phase exhausted / idle
+    if (!claim_.compare_exchange_weak(c, c + 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    run_one(static_cast<std::uint32_t>(c & kIdxMask));
+    return true;
+  }
+
+  void drain_claims() {
+    while (try_claim_one()) {
+    }
+  }
+
+  void run_one(std::uint32_t task) {
+    try {
+      run_(kind_, task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (!error_) error_ = std::current_exception();
+      has_error_.store(true, std::memory_order_release);
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+
+  void rethrow() {
+    finish();
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      e = error_;
+      error_ = nullptr;
+      has_error_.store(false, std::memory_order_relaxed);
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+  std::uint32_t tasks_;
+  std::function<void(int, std::uint32_t)> run_;
+  int kind_ = 0;                      ///< phase payload, leader-written
+  std::uint64_t seq_ = 0;             ///< leader-only phase counter
+  std::atomic<std::uint64_t> claim_{kIdxMask};  ///< starts exhausted
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> has_error_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace parm::noc

@@ -7,28 +7,18 @@
 namespace parm::noc {
 
 WindowResult run_window(Network& net, TrafficGenerator& traffic,
-                        const WindowConfig& cfg, obs::Registry* registry) {
+                        const WindowConfig& cfg,
+                        const WindowMetrics& metrics) {
   PARM_CHECK(cfg.measure_cycles > 0, "measurement window must be positive");
 
-  obs::Registry& reg = obs::resolve(registry);
-  obs::Counter& windows = reg.counter("noc.windows");
-  obs::Counter& injected = reg.counter("noc.flits_injected");
-  obs::Counter& delivered = reg.counter("noc.flits_delivered");
-  obs::Histogram& window_us = reg.histogram("noc.window_us");
-  obs::Histogram& latency_hist = reg.histogram("noc.window_latency_cycles");
-  windows.inc();
-  obs::ScopedTimer window_timer(window_us);
+  metrics.windows->inc();
+  obs::ScopedTimer window_timer(*metrics.window_us);
   obs::ScopedTrace window_trace("noc", "noc.window");
 
-  for (std::uint64_t c = 0; c < cfg.warmup_cycles; ++c) {
-    traffic.tick(net);
-    net.step();
-  }
+  const auto inject = [&traffic](Network& n) { traffic.tick(n); };
+  net.step_cycles(cfg.warmup_cycles, inject);
   net.reset_stats();
-  for (std::uint64_t c = 0; c < cfg.measure_cycles; ++c) {
-    traffic.tick(net);
-    net.step();
-  }
+  net.step_cycles(cfg.measure_cycles, inject);
 
   WindowResult out;
   out.cycles = cfg.measure_cycles;
@@ -38,26 +28,31 @@ WindowResult run_window(Network& net, TrafficGenerator& traffic,
       static_cast<std::size_t>(net.mesh().tile_count()));
   for (TileId t = 0; t < net.mesh().tile_count(); ++t) {
     out.router_activity[static_cast<std::size_t>(t)] =
-        static_cast<double>(net.router(t).flits_forwarded) /
+        static_cast<double>(net.flits_forwarded(t)) /
         static_cast<double>(cfg.measure_cycles);
   }
-  // Insert via the ordered map so the result (and everything that walks
-  // it) is independent of the unordered app_stats iteration order.
+  // app_stats() is already ordered by app id; copy through so the result
+  // (and everything that walks it) stays deterministic.
   for (const auto& [app, st] : net.app_stats()) {
     if (st.packets_delivered > 0) {
       out.app_latency[app] = st.avg_packet_latency();
     }
   }
-  injected.inc(out.injected_flits);
-  delivered.inc(out.delivered_flits);
+  metrics.injected->inc(out.injected_flits);
+  metrics.delivered->inc(out.delivered_flits);
   out.avg_latency = net.avg_packet_latency();
-  if (out.avg_latency > 0.0) latency_hist.observe(out.avg_latency);
+  if (out.avg_latency > 0.0) metrics.latency_hist->observe(out.avg_latency);
   out.delivery_ratio =
       out.injected_flits == 0
           ? 1.0
           : static_cast<double>(out.delivered_flits) /
                 static_cast<double>(out.injected_flits);
   return out;
+}
+
+WindowResult run_window(Network& net, TrafficGenerator& traffic,
+                        const WindowConfig& cfg, obs::Registry* registry) {
+  return run_window(net, traffic, cfg, WindowMetrics(registry));
 }
 
 }  // namespace parm::noc

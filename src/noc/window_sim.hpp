@@ -40,11 +40,36 @@ struct WindowConfig {
   std::uint64_t measure_cycles = 1024;
 };
 
+/// Window metric instruments, resolved by name once and reused across
+/// windows (the resolved-handle pattern from obs/timeseries): callers
+/// running a window per epoch skip five registry lookups per call.
+struct WindowMetrics {
+  explicit WindowMetrics(obs::Registry* registry = nullptr)
+      : windows(&obs::resolve(registry).counter("noc.windows")),
+        injected(&obs::resolve(registry).counter("noc.flits_injected")),
+        delivered(&obs::resolve(registry).counter("noc.flits_delivered")),
+        window_us(&obs::resolve(registry).histogram("noc.window_us")),
+        latency_hist(&obs::resolve(registry).histogram(
+            "noc.window_latency_cycles")) {}
+
+  obs::Counter* windows;
+  obs::Counter* injected;
+  obs::Counter* delivered;
+  obs::Histogram* window_us;
+  obs::Histogram* latency_hist;
+};
+
 /// Runs `warmup + measure` cycles of `net` under `traffic` and reports
 /// measurement-window statistics. The network keeps its state (buffers,
 /// EWMAs) across calls, so consecutive windows model a continuously
-/// running NoC. Window metrics go to `registry` (null → process-default);
-/// name resolution is per call, which is noise next to the cycle loop.
+/// running NoC. Cycles advance through Network::step_cycles, so a sharded
+/// network runs the whole window under one gang.
+WindowResult run_window(Network& net, TrafficGenerator& traffic,
+                        const WindowConfig& cfg,
+                        const WindowMetrics& metrics);
+
+/// Convenience overload resolving metric handles per call (tests, one-off
+/// windows). Metrics go to `registry` (null → process-default).
 WindowResult run_window(Network& net, TrafficGenerator& traffic,
                         const WindowConfig& cfg,
                         obs::Registry* registry = nullptr);

@@ -207,11 +207,15 @@ void AdmissionPhase::restore(snapshot::Reader& r, const EpochContext& ctx,
 NocSamplingPhase::NocSamplingPhase(const MeshGeometry& mesh,
                                    const noc::NocConfig& noc,
                                    const std::string& routing,
-                                   double panr_threshold,
-                                   obs::Registry* registry)
+                                   double panr_threshold, bool parallel_noc,
+                                   int noc_shards, obs::Registry* registry)
     : network_(std::make_unique<noc::Network>(
           mesh, noc, noc::make_routing(routing, panr_threshold, registry))),
-      registry_(registry) {}
+      window_metrics_(registry) {
+  if (parallel_noc) {
+    network_->set_shards(noc::Network::auto_shard_count(noc_shards));
+  }
+}
 
 std::vector<noc::TrafficFlow> NocSamplingPhase::build_flows(
     const EpochContext& ctx) const {
@@ -282,7 +286,8 @@ void NocSamplingPhase::run(EpochContext& ctx) {
   network_->set_tile_psn(ctx.noc_psn_sensor);
   noc::TrafficGenerator traffic(std::move(flows));
   const noc::WindowResult w =
-      noc::run_window(*network_, traffic, ctx.cfg->noc_window, registry_);
+      noc::run_window(*network_, traffic, ctx.cfg->noc_window,
+                      window_metrics_);
   ctx.router_activity = w.router_activity;
   ctx.app_latency = w.app_latency;
   if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);

@@ -86,8 +86,11 @@ class AdmissionPhase {
 /// per-router activity and per-app packet latency.
 class NocSamplingPhase {
  public:
+  /// `parallel_noc`/`noc_shards` select the sharded cycle engine
+  /// (SimConfig fields of the same names); any setting is bit-identical.
   NocSamplingPhase(const MeshGeometry& mesh, const noc::NocConfig& noc,
                    const std::string& routing, double panr_threshold,
+                   bool parallel_noc, int noc_shards,
                    obs::Registry* registry);
 
   void run(EpochContext& ctx);
@@ -101,7 +104,9 @@ class NocSamplingPhase {
   std::vector<noc::TrafficFlow> build_flows(const EpochContext& ctx) const;
 
   std::unique_ptr<noc::Network> network_;
-  obs::Registry* registry_;
+  /// Window instruments resolved once at construction (the phase runs a
+  /// window per sampled epoch; see noc::WindowMetrics).
+  noc::WindowMetrics window_metrics_;
   RunningStats latency_stats_;
   /// Congestion edge detector for noc.congestion_onset/_clear events.
   /// Observe-only and deliberately not snapshotted: a resumed run

@@ -35,6 +35,15 @@ struct SimConfig {
   /// slots, serial reduction); disable to pin the whole epoch to one
   /// thread.
   bool parallel_psn = true;
+  /// Step NoC windows on the sharded parallel cycle engine. Like
+  /// parallel_psn, the parallel path is bit-identical to serial stepping
+  /// (pinned by engine_equivalence_test), so this is a throughput knob
+  /// only and is excluded from the snapshot fingerprint.
+  bool parallel_noc = true;
+  /// Shard count for the parallel NoC engine: 0 = auto (pool width capped
+  /// at 8, serial on single-threaded hosts). Ignored when parallel_noc is
+  /// off. Any value yields identical results.
+  int noc_shards = 0;
 
   double max_sim_time_s = 30.0;
 

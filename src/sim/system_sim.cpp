@@ -80,6 +80,8 @@ void SimConfig::validate() const {
   PARM_CHECK(noc_congestion_delivery_ratio > 0.0 &&
                  noc_congestion_delivery_ratio <= 1.0,
              "SimConfig: noc_congestion_delivery_ratio must be in (0, 1]");
+  PARM_CHECK(noc_shards >= 0 && noc_shards <= 256,
+             "SimConfig: noc_shards must be in [0, 256] (0 = auto)");
   PARM_CHECK(std::is_sorted(fault_injections.begin(), fault_injections.end(),
                             [](const auto& a, const auto& b) {
                               return a.time_s < b.time_s;
@@ -102,7 +104,8 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
       rng_(cfg_.seed),
       admission_(cfg_.framework, cfg_.queue_max_stalls, &metrics_),
       noc_(platform_.mesh(), cfg_.noc, cfg_.framework.routing,
-           cfg_.framework.panr_threshold, &metrics_),
+           cfg_.framework.panr_threshold, cfg_.parallel_noc, cfg_.noc_shards,
+           &metrics_),
       psn_(platform_.technology(), cfg_.psn, &metrics_),
       emergency_(cfg_.checkpoint, &metrics_),
       telemetry_(&metrics_) {
@@ -153,6 +156,9 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
   mix(h, static_cast<std::uint64_t>(cfg_.psn.measure_periods));
   mix(h, static_cast<std::uint64_t>(cfg_.psn.steps_per_period));
   // cfg_.parallel_psn deliberately excluded: both paths are bit-identical.
+  // cfg_.parallel_noc / cfg_.noc_shards likewise: the sharded NoC engine
+  // is bit-identical to serial stepping for every shard count, so a
+  // snapshot may be resumed under a different engine configuration.
   // record_events / events_capacity / events_dump_on_ve /
   // noc_congestion_delivery_ratio likewise excluded: the event pipeline
   // is observe-only (pinned by tests/engine_equivalence_test), so a

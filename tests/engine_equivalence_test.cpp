@@ -259,6 +259,51 @@ TEST(EngineEquivalence, ParallelAndSerialPsnAreBitIdentical) {
   expect_identical(a.run(), b.run());
 }
 
+TEST(EngineEquivalence, ParallelAndSerialNocAreBitIdentical) {
+  // The sharded NoC cycle engine must reproduce serial stepping exactly,
+  // at any shard count — forced to 4 here so the gang path runs even
+  // when auto-sharding would pick serial on a narrow host.
+  const auto seq = appmodel::make_sequence(small_sequence(1234));
+  SimConfig serial = engine_cfg();
+  serial.parallel_noc = false;
+  SimConfig sharded = engine_cfg();
+  sharded.parallel_noc = true;
+  sharded.noc_shards = 4;
+  SystemSimulator a(serial, seq);
+  SystemSimulator b(sharded, seq);
+  expect_identical(a.run(), b.run());
+}
+
+TEST(EngineEquivalence, SnapshotFromSerialNocResumesOnShardedEngine) {
+  // parallel_noc / noc_shards are excluded from the config fingerprint:
+  // a snapshot taken under the serial engine must resume bit-identically
+  // on the sharded one (and the straight run here uses the default
+  // engine, pinning serial-vs-default equivalence too).
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  SystemSimulator straight(engine_cfg(), seq);
+  const SimResult r_straight = straight.run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "parm_engine_equivalence_noc_shards_test";
+  std::filesystem::create_directories(dir);
+  SimConfig serial = engine_cfg();
+  serial.parallel_noc = false;
+  SystemSimulator first(serial, seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+  const auto snap = dir / "epoch_40.parmsnap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SimConfig sharded = engine_cfg();
+  sharded.parallel_noc = true;
+  sharded.noc_shards = 4;
+  SystemSimulator resumed(sharded, seq);
+  resumed.restore_snapshot(snap.string());
+  const SimResult r_resumed = resumed.run();
+  expect_identical(r_straight, r_resumed);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineEquivalence, ConcurrentSimulatorsKeepIndependentMetrics) {
   // Two engines over different workloads, run on different threads at the
   // same time: each registry must report exactly its own run's activity

@@ -1,0 +1,181 @@
+// Sharded NoC cycle-engine suite: the parallel path must be bit-identical
+// to serial stepping at every shard count and under both an oblivious and
+// the adaptive routing scheme, and the wormhole protocol invariants must
+// hold cycle by cycle while the gang is running. This binary also runs
+// under ThreadSanitizer in CI, which checks the ShardGang claim/complete
+// protocol itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace parm::noc {
+namespace {
+
+constexpr int kWidth = 8;
+constexpr int kHeight = 4;
+constexpr int kTiles = kWidth * kHeight;
+
+NocConfig tight_cfg() {
+  NocConfig cfg;
+  cfg.buffer_depth = 4;
+  cfg.flits_per_packet = 4;
+  return cfg;
+}
+
+/// Deterministic saturating workload: two random packets per cycle. A
+/// fresh Rng per run makes the injection sequence identical across
+/// engines, so any divergence is the engine's fault.
+Network::CycleHook make_hook(Rng& rng) {
+  return [&rng](Network& n) {
+    for (int k = 0; k < 2; ++k) {
+      const TileId s = static_cast<TileId>(rng.next_below(kTiles));
+      TileId d = s;
+      while (d == s) d = static_cast<TileId>(rng.next_below(kTiles));
+      n.inject_packet(s, d, static_cast<std::int32_t>(k));
+    }
+  };
+}
+
+std::vector<std::uint8_t> run_and_save(const char* algo, int shards) {
+  const MeshGeometry mesh(kWidth, kHeight);
+  Network net(mesh, tight_cfg(), make_routing(algo));
+  net.set_shards(shards);
+  Rng rng(99);
+  std::vector<double> psn(static_cast<std::size_t>(kTiles));
+  for (auto& x : psn) x = rng.uniform(0.0, 6.0);
+  net.set_tile_psn(psn);  // exercises PANR's safety filter
+  net.step_cycles(400, make_hook(rng));
+  net.step_cycles(800);  // drain phase, no injection
+  snapshot::Writer w;
+  net.save(w);
+  return w.bytes();
+}
+
+TEST(ShardedEngine, SaveBytesIdenticalAcrossShardCounts) {
+  for (const char* algo : {"XY", "PANR"}) {
+    SCOPED_TRACE(algo);
+    const std::vector<std::uint8_t> reference = run_and_save(algo, 1);
+    for (int shards : {2, 4, 8}) {
+      SCOPED_TRACE(shards);
+      EXPECT_EQ(run_and_save(algo, shards), reference);
+    }
+  }
+}
+
+TEST(ShardedEngine, WormholeInvariantsHoldUnderGang) {
+  for (const char* algo : {"XY", "PANR"}) {
+    for (int shards : {1, 2, 4, 8}) {
+      SCOPED_TRACE(algo);
+      SCOPED_TRACE(shards);
+      const MeshGeometry mesh(kWidth, kHeight);
+      const NocConfig cfg = tight_cfg();
+      Network net(mesh, cfg, make_routing(algo));
+      net.set_shards(shards);
+      Rng rng(7);
+      const Network::CycleHook hook = make_hook(rng);
+      for (int c = 0; c < 200; ++c) {
+        net.step_cycles(1, hook);
+        for (TileId t = 0; t < mesh.tile_count(); ++t) {
+          // Credit flow control: cardinal buffers never exceed depth.
+          for (Direction d : kCardinalDirections) {
+            ASSERT_LE(net.buffer_size(t, d),
+                      static_cast<std::uint32_t>(cfg.buffer_depth));
+          }
+          // Wormhole allocation is a bijection while held: an output
+          // owned by input `in` is exactly the output `in` is allocated.
+          for (int out = 0; out < kPortCount; ++out) {
+            const int in = net.output_owner(t, static_cast<Direction>(out));
+            if (in >= 0) {
+              ASSERT_EQ(net.allocated_output(t, static_cast<Direction>(in)),
+                        out);
+            }
+          }
+        }
+        // O(1) in-flight accounting stays exact mid-flight.
+        ASSERT_EQ(net.in_flight_flits(), net.in_flight_flits_scan());
+      }
+      // Drain: every packet completes and every tail released its path.
+      net.step_cycles(12000);
+      EXPECT_EQ(net.in_flight_flits(), 0u);
+      EXPECT_EQ(net.total_delivered_flits(), net.total_injected_flits());
+      for (TileId t = 0; t < mesh.tile_count(); ++t) {
+        for (int p = 0; p < kPortCount; ++p) {
+          EXPECT_EQ(net.output_owner(t, static_cast<Direction>(p)), -1);
+          EXPECT_EQ(net.allocated_output(t, static_cast<Direction>(p)), -1);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, SerialSnapshotRestoresIntoShardedEngineAndContinues) {
+  // Save mid-flight from a serial network, restore into a sharded one,
+  // and step both to completion: identical final snapshots.
+  const MeshGeometry mesh(kWidth, kHeight);
+  Network serial(mesh, tight_cfg(), make_routing("XY"));
+  Rng rng(21);
+  const Network::CycleHook hook = make_hook(rng);
+  serial.step_cycles(150, hook);
+  snapshot::Writer mid;
+  serial.save(mid);
+
+  Network sharded(mesh, tight_cfg(), make_routing("XY"));
+  sharded.set_shards(4);
+  snapshot::Reader r(mid.bytes());
+  sharded.restore(r);
+  EXPECT_EQ(sharded.cycle(), serial.cycle());
+  EXPECT_EQ(sharded.in_flight_flits(), serial.in_flight_flits());
+
+  serial.step_cycles(2000);
+  sharded.step_cycles(2000);
+  snapshot::Writer end_serial, end_sharded;
+  serial.save(end_serial);
+  sharded.save(end_sharded);
+  EXPECT_EQ(end_sharded.bytes(), end_serial.bytes());
+}
+
+TEST(ShardedEngine, AutoShardCountPolicy) {
+  EXPECT_EQ(Network::auto_shard_count(3), 3);  // explicit wins
+  const std::size_t workers = ThreadPool::shared().thread_count();
+  const int resolved = Network::auto_shard_count(0);
+  if (workers < 2) {
+    EXPECT_EQ(resolved, 1);
+  } else {
+    EXPECT_GE(resolved, 2);
+    EXPECT_LE(resolved, 8);
+  }
+  // Requests beyond the mesh clamp to one shard per router.
+  const MeshGeometry mesh(2, 2);
+  Network net(mesh, tight_cfg(), make_routing("XY"));
+  net.set_shards(64);
+  EXPECT_EQ(net.shards(), 4);
+}
+
+TEST(ShardedEngine, NestedUseInsideThreadPoolCannotDeadlock) {
+  // Fleet mode runs whole chips on pool workers, so a sharded window may
+  // start while every worker is busy — the leader must then complete its
+  // cycles alone. Saturate the pool with sharded windows and require all
+  // of them to finish with serial-identical results.
+  const MeshGeometry mesh(kWidth, kHeight);
+  const std::vector<std::uint8_t> reference = run_and_save("XY", 1);
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t chips = pool.thread_count() + 2;
+  std::vector<std::vector<std::uint8_t>> results(chips);
+  pool.parallel_for(chips, [&](std::size_t i) {
+    results[i] = run_and_save("XY", 4);
+  });
+  for (std::size_t i = 0; i < chips; ++i) {
+    EXPECT_EQ(results[i], reference) << "chip " << i;
+  }
+}
+
+}  // namespace
+}  // namespace parm::noc

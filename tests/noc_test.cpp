@@ -11,6 +11,7 @@
 #include "noc/routing.hpp"
 #include "noc/traffic.hpp"
 #include "noc/window_sim.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace parm::noc {
 namespace {
@@ -228,8 +229,8 @@ TEST(Network, BackpressureNeverOverflowsBuffers) {
     // Non-local buffers must respect their capacity.
     for (TileId t = 0; t < mesh.tile_count(); ++t) {
       for (Direction d : kCardinalDirections) {
-        EXPECT_LE(net.router(t).input(d).buffer.size(),
-                  static_cast<std::size_t>(cfg.buffer_depth));
+        EXPECT_LE(net.buffer_size(t, d),
+                  static_cast<std::uint32_t>(cfg.buffer_depth));
       }
     }
   }
@@ -378,6 +379,58 @@ TEST(Tracing, DisabledByDefault) {
   net.inject_packet(0, 5, 0);
   for (int i = 0; i < 50; ++i) net.step();
   EXPECT_TRUE(net.traced_route(0).empty());
+}
+
+TEST(Tracing, RetainedTracesAreBounded) {
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.enable_tracing(true);
+  net.set_trace_capacity(8);
+  for (int i = 0; i < 40; ++i) {
+    net.inject_packet(0, 15, 0);  // packet ids 0..39
+    for (int c = 0; c < 40; ++c) net.step();
+  }
+  // Oldest traces are evicted; the newest survive with full routes.
+  EXPECT_EQ(net.trace_evictions(), 32u);
+  EXPECT_TRUE(net.traced_route(0).empty());
+  EXPECT_TRUE(net.traced_route(31).empty());
+  const auto newest = net.traced_route(39);
+  ASSERT_FALSE(newest.empty());
+  EXPECT_EQ(newest.front(), 0);
+  EXPECT_EQ(newest.back(), 15);
+  EXPECT_THROW(net.set_trace_capacity(0), CheckError);
+}
+
+TEST(Tracing, SnapshotSaveRejectedWhileTracing) {
+  const MeshGeometry mesh(4, 4);
+  Network net(mesh, small_cfg(), std::make_unique<XyRouting>());
+  net.enable_tracing(true);
+  net.inject_packet(0, 5, 0);
+  snapshot::Writer w;
+  EXPECT_THROW(net.save(w), CheckError);
+  net.enable_tracing(false);
+  snapshot::Writer ok;
+  net.save(ok);  // tracing off: saving works again
+  EXPECT_GT(ok.size(), 0u);
+}
+
+// ----------------------------------------------------- in-flight accounting
+
+TEST(Network, InFlightCounterMatchesScan) {
+  const MeshGeometry mesh(6, 4);
+  Network net(mesh, small_cfg(), make_routing("PANR"));
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const TileId s = static_cast<TileId>(rng.next_below(24));
+    TileId d = s;
+    while (d == s) d = static_cast<TileId>(rng.next_below(24));
+    net.inject_packet(s, d, 0);
+    net.step();
+    ASSERT_EQ(net.in_flight_flits(), net.in_flight_flits_scan());
+  }
+  for (int i = 0; i < 20000 && net.in_flight_flits() > 0; ++i) net.step();
+  EXPECT_EQ(net.in_flight_flits(), 0u);
+  EXPECT_EQ(net.in_flight_flits_scan(), 0u);
 }
 
 // --------------------------------------------------------------- window sim
