@@ -1,0 +1,219 @@
+// parm_campaign: Monte Carlo statistical verification campaign front end.
+//
+// Fans one experiment (workload + config + fault scenario) across many
+// seeds on the fleet driver's replicate mode, evaluates the declared
+// properties on every run, and writes a verdict report with Wilson and
+// Clopper-Pearson confidence intervals on each property's failure
+// probability. The JSON report is deterministic: a repeat campaign with
+// the same flags produces byte-identical output (the CI campaign-smoke
+// job relies on this; see tools/check_campaign_smoke.py).
+//
+// Usage:
+//   parm_campaign [--runs N] [--first-seed N] [--batch N] [--threads N]
+//                 [--confidence 0.90|0.95|0.99]
+//                 [--mapping PARM|HM] [--routing XY|ICON|PANR|WestFirst]
+//                 [--workload compute|comm|mixed] [--apps N]
+//                 [--arrival SECONDS] [--workload-seed N]
+//                 [--max-time SECONDS]
+//                 [--faults FILE] [--fault-links N] [--fault-routers N]
+//                 [--fault-window S] [--repair-after S]
+//                 [--sensor-dropout P] [--bit-error-base P]
+//                 [--bit-error-slope P]
+//                 [--deadline-bound P] [--delivery-floor X]
+//                 [--delivery-bound P]
+//                 [--json FILE] [--text FILE] [--quiet]
+//
+// --runs seeds run in batches of --batch chips (default 16); --threads
+//   bounds the chips simulated concurrently inside a batch (0 = shared
+//   pool). Results are bit-identical across batch and thread settings.
+// Properties (all three always evaluated):
+//   deadline_miss   P(any app misses its deadline)  <= --deadline-bound
+//                   (default 1.0 = report-only)
+//   no_deadlock     zero runs with a deadlocked NoC window (bound 0:
+//                   a single observed deadlock fails the campaign)
+//   delivery_floor  P(worst window delivery ratio < --delivery-floor)
+//                   <= --delivery-bound (defaults 0.5 / 1.0)
+// Exit code: 0 when every property passes, 1 otherwise.
+//
+// Example (the CI smoke campaign):
+//   parm_campaign --runs 200 --apps 6 --max-time 3 --fault-links 2 \
+//     --repair-after 1 --sensor-dropout 0.01 --bit-error-slope 0.002 \
+//     --json report.json
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+#include "exp/experiments.hpp"
+#include "fault/fault_model.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::cerr << "error: " << msg << "\n"
+            << "see the header of examples/parm_campaign.cpp for usage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parm;
+
+  campaign::CampaignConfig cfg;
+  cfg.fleet.chip = exp::default_sim_config();
+  cfg.fleet.chip.framework.mapping = "PARM";
+  cfg.fleet.chip.framework.routing = "PANR";
+  cfg.fleet.chip.max_sim_time_s = 5.0;
+  cfg.fleet.chip_count = 16;
+  cfg.fleet.dispatch = "replicate";
+  cfg.runs = 1000;
+
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 8;
+  seq.inter_arrival_s = 0.05;
+  seq.seed = 1;
+
+  std::string faults_file;
+  double deadline_bound = 1.0;
+  double delivery_floor = 0.5;
+  double delivery_bound = 1.0;
+  std::string json_file, text_file;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      cfg.runs = std::stoi(value());
+    } else if (arg == "--first-seed") {
+      cfg.first_seed = std::stoull(value());
+    } else if (arg == "--batch") {
+      cfg.fleet.chip_count = std::stoi(value());
+    } else if (arg == "--threads") {
+      cfg.fleet.threads = std::stoi(value());
+    } else if (arg == "--confidence") {
+      cfg.confidence = std::stod(value());
+    } else if (arg == "--mapping") {
+      cfg.fleet.chip.framework.mapping = value();
+    } else if (arg == "--routing") {
+      cfg.fleet.chip.framework.routing = value();
+    } else if (arg == "--workload") {
+      const std::string w = value();
+      if (w == "compute") {
+        seq.kind = appmodel::SequenceKind::Compute;
+      } else if (w == "comm") {
+        seq.kind = appmodel::SequenceKind::Communication;
+      } else if (w == "mixed") {
+        seq.kind = appmodel::SequenceKind::Mixed;
+      } else {
+        usage("unknown workload kind");
+      }
+    } else if (arg == "--apps") {
+      seq.app_count = std::stoi(value());
+    } else if (arg == "--arrival") {
+      seq.inter_arrival_s = std::stod(value());
+    } else if (arg == "--workload-seed") {
+      seq.seed = std::stoull(value());
+    } else if (arg == "--max-time") {
+      cfg.fleet.chip.max_sim_time_s = std::stod(value());
+    } else if (arg == "--faults") {
+      faults_file = value();
+    } else if (arg == "--fault-links") {
+      cfg.fleet.chip.faults.enabled = true;
+      cfg.fleet.chip.faults.random_link_failures = std::stoi(value());
+    } else if (arg == "--fault-routers") {
+      cfg.fleet.chip.faults.enabled = true;
+      cfg.fleet.chip.faults.random_router_failures = std::stoi(value());
+    } else if (arg == "--fault-window") {
+      cfg.fleet.chip.faults.random_fail_window_s = std::stod(value());
+    } else if (arg == "--repair-after") {
+      cfg.fleet.chip.faults.repair_after_s = std::stod(value());
+    } else if (arg == "--sensor-dropout") {
+      cfg.fleet.chip.faults.enabled = true;
+      cfg.fleet.chip.faults.sensor_dropout_per_epoch = std::stod(value());
+    } else if (arg == "--bit-error-base") {
+      cfg.fleet.chip.faults.enabled = true;
+      cfg.fleet.chip.faults.bit_error_base = std::stod(value());
+    } else if (arg == "--bit-error-slope") {
+      cfg.fleet.chip.faults.enabled = true;
+      cfg.fleet.chip.faults.bit_error_psn_slope = std::stod(value());
+    } else if (arg == "--deadline-bound") {
+      deadline_bound = std::stod(value());
+    } else if (arg == "--delivery-floor") {
+      delivery_floor = std::stod(value());
+    } else if (arg == "--delivery-bound") {
+      delivery_bound = std::stod(value());
+    } else if (arg == "--json") {
+      json_file = value();
+    } else if (arg == "--text") {
+      text_file = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(("unknown argument: " + arg).c_str());
+    }
+  }
+
+  if (!faults_file.empty()) {
+    std::ifstream in(faults_file);
+    if (!in) usage("cannot open fault schedule file");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const MeshGeometry mesh(cfg.fleet.chip.platform.mesh_width,
+                            cfg.fleet.chip.platform.mesh_height);
+    try {
+      cfg.fleet.chip.faults.schedule =
+          fault::schedule_from_text(buf.str(), mesh);
+      cfg.fleet.chip.faults.enabled = true;
+    } catch (const CheckError& e) {
+      usage(e.what());
+    }
+  }
+  try {
+    cfg.validate();
+  } catch (const CheckError& e) {
+    usage(e.what());
+  }
+
+  const auto arrivals = appmodel::make_sequence(seq);
+  const std::vector<campaign::PropertySpec> properties = {
+      campaign::deadline_miss_property(deadline_bound),
+      campaign::no_deadlock_property(),
+      campaign::delivery_floor_property(delivery_floor, delivery_bound),
+  };
+
+  if (!quiet) {
+    std::cout << "campaign: " << cfg.runs << " runs (seeds "
+              << cfg.first_seed << ".."
+              << cfg.first_seed + static_cast<std::uint64_t>(cfg.runs) - 1
+              << "), batches of " << cfg.fleet.chip_count << ", "
+              << arrivals.size() << " apps per run\n";
+  }
+
+  const campaign::CampaignReport report =
+      campaign::run_campaign(cfg, arrivals, properties);
+
+  const std::string text = campaign::report_to_text(report);
+  if (!quiet) std::cout << text;
+  if (!text_file.empty()) {
+    std::ofstream out(text_file);
+    if (!out) usage("cannot open text report file for writing");
+    out << text;
+  }
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    if (!out) usage("cannot open JSON report file for writing");
+    out << campaign::report_to_json(report) << '\n';
+    if (!quiet) std::cout << "verdict JSON written to " << json_file << "\n";
+  }
+  return report.all_pass ? 0 : 1;
+}

@@ -18,6 +18,22 @@
 //               [--snapshot-every N --snapshot-dir DIR]
 //               [--resume FILE.parmsnap] [--max-time SECONDS]
 //               [--noc-shards N]
+//               [--faults FILE] [--fault-links N] [--fault-routers N]
+//               [--fault-window S] [--repair-after S]
+//               [--sensor-dropout P] [--bit-error-base P]
+//               [--bit-error-slope P]
+//
+// Fault injection (fault/fault_model.hpp):
+//   --faults loads a line-oriented fault schedule ("link <t> <tile> <dir>
+//   <down|up>" / "router <t> <tile> <down|up>"); --fault-links /
+//   --fault-routers add that many randomly placed failures drawn from a
+//   dedicated seed-keyed RNG stream inside --fault-window seconds
+//   (default 10). --repair-after pairs every failure with a repair that
+//   many seconds later. --sensor-dropout is the per-tile-epoch
+//   probability of a stale PSN sensor reading; --bit-error-base /
+//   --bit-error-slope set the droop-dependent flit corruption
+//   probability. Any of these flags enables the fault phase; the run
+//   summary then includes the fault counters.
 //
 // Snapshot & resume:
 //   --snapshot-every N writes a crash-safe snapshot of the complete
@@ -60,7 +76,9 @@
 
 #include "appmodel/workload_io.hpp"
 #include "common/check.hpp"
+#include "common/geometry.hpp"
 #include "exp/experiments.hpp"
+#include "fault/fault_model.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
@@ -99,6 +117,14 @@ int main(int argc, char** argv) {
   std::string resume_file;
   double max_time_s = -1.0;
   int noc_shards = -1;
+  std::string faults_file;
+  int fault_links = 0;
+  int fault_routers = 0;
+  double fault_window = -1.0;
+  double repair_after = -1.0;
+  double sensor_dropout = 0.0;
+  double bit_error_base = 0.0;
+  double bit_error_slope = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,6 +192,22 @@ int main(int argc, char** argv) {
       // serial. Results are bit-identical for every value (throughput
       // knob only, so it needn't match across a save/resume pair).
       noc_shards = std::stoi(value());
+    } else if (arg == "--faults") {
+      faults_file = value();
+    } else if (arg == "--fault-links") {
+      fault_links = std::stoi(value());
+    } else if (arg == "--fault-routers") {
+      fault_routers = std::stoi(value());
+    } else if (arg == "--fault-window") {
+      fault_window = std::stod(value());
+    } else if (arg == "--repair-after") {
+      repair_after = std::stod(value());
+    } else if (arg == "--sensor-dropout") {
+      sensor_dropout = std::stod(value());
+    } else if (arg == "--bit-error-base") {
+      bit_error_base = std::stod(value());
+    } else if (arg == "--bit-error-slope") {
+      bit_error_slope = std::stod(value());
     } else {
       usage(("unknown argument: " + arg).c_str());
     }
@@ -202,6 +244,31 @@ int main(int argc, char** argv) {
   if (noc_shards >= 0) {
     cfg.parallel_noc = noc_shards != 1;
     cfg.noc_shards = noc_shards;
+  }
+  if (!faults_file.empty() || fault_links > 0 || fault_routers > 0 ||
+      sensor_dropout > 0.0 || bit_error_base > 0.0 ||
+      bit_error_slope > 0.0) {
+    cfg.faults.enabled = true;
+    cfg.faults.random_link_failures = fault_links;
+    cfg.faults.random_router_failures = fault_routers;
+    if (fault_window > 0.0) cfg.faults.random_fail_window_s = fault_window;
+    if (repair_after > 0.0) cfg.faults.repair_after_s = repair_after;
+    cfg.faults.sensor_dropout_per_epoch = sensor_dropout;
+    cfg.faults.bit_error_base = bit_error_base;
+    cfg.faults.bit_error_psn_slope = bit_error_slope;
+    if (!faults_file.empty()) {
+      std::ifstream in(faults_file);
+      if (!in) usage("cannot open fault schedule file");
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const MeshGeometry mesh(cfg.platform.mesh_width,
+                              cfg.platform.mesh_height);
+      try {
+        cfg.faults.schedule = fault::schedule_from_text(buf.str(), mesh);
+      } catch (const CheckError& e) {
+        usage(e.what());
+      }
+    }
   }
   try {
     cfg.validate();
@@ -251,6 +318,19 @@ int main(int argc, char** argv) {
             << " cycles\n"
             << "chip power peak/avg " << r.peak_chip_power_w << " / "
             << r.avg_chip_power_w << " W\n";
+  if (cfg.faults.enabled) {
+    std::cout << "fault events        " << r.link_fault_events
+              << " link / " << r.router_fault_events << " router\n"
+              << "flits lost/corrupt  " << r.fault_dropped_flits << " / "
+              << r.corrupt_packets << " (" << r.retransmitted_packets
+              << " retransmitted)\n"
+              << "sensor dropouts     " << r.sensor_dropout_epochs
+              << " tile-epochs\n"
+              << "fault remaps        " << r.fault_task_remaps << " ("
+              << r.fault_stranded_tasks << " stranded)\n"
+              << "min delivery ratio  " << r.min_delivery_ratio << "\n"
+              << "deadlock windows    " << r.deadlock_windows << "\n";
+  }
 
   if (!telemetry_file.empty()) {
     std::ofstream out(telemetry_file);

@@ -1,0 +1,302 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace parm::campaign {
+
+namespace {
+
+/// Normal quantile for the supported two-sided confidence levels. Table-
+/// derived rather than computed: campaigns are verification artifacts, so
+/// the z value itself must be reproducible to the last bit.
+double z_for_confidence(double confidence) {
+  const auto near = [confidence](double level) {
+    return std::fabs(confidence - level) < 1e-12;
+  };
+  if (near(0.90)) return 1.6448536269514722;
+  if (near(0.95)) return 1.959963984540054;
+  if (near(0.99)) return 2.5758293035489004;
+  PARM_CHECK(false, "campaign confidence must be 0.90, 0.95, or 0.99");
+  return 0.0;
+}
+
+/// Shortest round-trippable decimal rendering (%.17g): the same double
+/// always serializes to the same bytes, which is what makes the report
+/// diffable across repeat campaigns.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_interval(std::ostream& os, const Interval& iv) {
+  os << "{\"lower\":" << fmt_double(iv.lower)
+     << ",\"upper\":" << fmt_double(iv.upper) << '}';
+}
+
+}  // namespace
+
+void CampaignConfig::validate() const {
+  fleet.validate();
+  PARM_CHECK(runs >= 1, "CampaignConfig: runs must be >= 1");
+  z_for_confidence(confidence);  // throws on an unsupported level
+}
+
+CampaignReport run_campaign(const CampaignConfig& cfg,
+                            const std::vector<appmodel::AppArrival>& arrivals,
+                            const std::vector<PropertySpec>& properties) {
+  CampaignConfig campaign_cfg = cfg;
+  campaign_cfg.fleet.dispatch = "replicate";
+  campaign_cfg.validate();
+  PARM_CHECK(!properties.empty(),
+             "run_campaign: at least one property is required");
+  for (const PropertySpec& p : properties) {
+    PARM_CHECK(static_cast<bool>(p.failed),
+               "run_campaign: property '" + p.name + "' has no predicate");
+    PARM_CHECK(p.max_failure_probability >= 0.0 &&
+                   p.max_failure_probability <= 1.0,
+               "run_campaign: property '" + p.name +
+                   "' bound must be in [0, 1]");
+  }
+
+  const double z = z_for_confidence(campaign_cfg.confidence);
+  CampaignReport report;
+  report.first_seed = campaign_cfg.first_seed;
+  report.runs = campaign_cfg.runs;
+  report.confidence = campaign_cfg.confidence;
+  report.properties.resize(properties.size());
+  for (std::size_t p = 0; p < properties.size(); ++p) {
+    PropertyResult& pr = report.properties[p];
+    pr.name = properties[p].name;
+    pr.description = properties[p].description;
+    pr.runs = static_cast<std::uint64_t>(campaign_cfg.runs);
+    pr.max_failure_probability = properties[p].max_failure_probability;
+  }
+
+  double makespan_sum = 0.0;
+  const int width = campaign_cfg.fleet.chip_count;
+  for (int base = 0; base < campaign_cfg.runs; base += width) {
+    const int batch = std::min(width, campaign_cfg.runs - base);
+    fleet::FleetConfig fcfg = campaign_cfg.fleet;
+    fcfg.chip_count = batch;
+    fcfg.chip.seed =
+        campaign_cfg.first_seed + static_cast<std::uint64_t>(base);
+    fleet::FleetSimulator fleet_sim(std::move(fcfg), arrivals);
+    const fleet::FleetResult out = fleet_sim.run();
+
+    for (int c = 0; c < batch; ++c) {
+      const sim::SimResult& r = out.chips[static_cast<std::size_t>(c)];
+      const std::uint64_t seed =
+          campaign_cfg.first_seed + static_cast<std::uint64_t>(base + c);
+      for (std::size_t p = 0; p < properties.size(); ++p) {
+        if (!properties[p].failed(r)) continue;
+        PropertyResult& pr = report.properties[p];
+        ++pr.failures;
+        if (pr.failing_seeds.size() < kMaxFailingSeeds) {
+          pr.failing_seeds.push_back(seed);
+        }
+      }
+      report.completed_apps += static_cast<std::uint64_t>(r.completed_count);
+      report.dropped_apps += static_cast<std::uint64_t>(r.dropped_count);
+      for (const sim::AppOutcome& o : r.apps) {
+        if (o.missed_deadline) ++report.deadline_miss_apps;
+      }
+      report.total_ve_count += r.total_ve_count;
+      report.deadlock_windows += r.deadlock_windows;
+      report.fault_dropped_flits += r.fault_dropped_flits;
+      report.corrupt_packets += r.corrupt_packets;
+      report.retransmitted_packets += r.retransmitted_packets;
+      report.link_fault_events += r.link_fault_events;
+      report.router_fault_events += r.router_fault_events;
+      report.sensor_dropout_epochs += r.sensor_dropout_epochs;
+      report.fault_task_remaps += r.fault_task_remaps;
+      report.fault_stranded_tasks += r.fault_stranded_tasks;
+      report.min_delivery_ratio =
+          std::min(report.min_delivery_ratio, r.min_delivery_ratio);
+      makespan_sum += r.makespan_s;
+    }
+    report.recorder_dropped_events +=
+        fleet_sim.metrics().counter_value("recorder.events_dropped");
+  }
+  report.avg_makespan_s = makespan_sum / campaign_cfg.runs;
+
+  for (PropertyResult& pr : report.properties) {
+    pr.failure_rate =
+        static_cast<double>(pr.failures) / static_cast<double>(pr.runs);
+    pr.wilson = wilson_interval(pr.failures, pr.runs, z);
+    pr.clopper_pearson =
+        clopper_pearson_interval(pr.failures, pr.runs,
+                                 campaign_cfg.confidence);
+    // A bound of 0 means "zero observed failures": the Wilson upper bound
+    // is strictly positive at finite n, so comparing against it would make
+    // the criterion unsatisfiable.
+    pr.pass = pr.max_failure_probability == 0.0
+                  ? pr.failures == 0
+                  : pr.wilson.upper <= pr.max_failure_probability;
+    report.all_pass = report.all_pass && pr.pass;
+  }
+  return report;
+}
+
+std::string report_to_json(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\"campaign\":{\"first_seed\":" << report.first_seed
+     << ",\"runs\":" << report.runs
+     << ",\"confidence\":" << fmt_double(report.confidence)
+     << ",\"all_pass\":" << (report.all_pass ? "true" : "false") << '}';
+  os << ",\"properties\":[";
+  for (std::size_t p = 0; p < report.properties.size(); ++p) {
+    const PropertyResult& pr = report.properties[p];
+    if (p > 0) os << ',';
+    os << "{\"name\":";
+    json_escape(os, pr.name);
+    os << ",\"description\":";
+    json_escape(os, pr.description);
+    os << ",\"runs\":" << pr.runs << ",\"failures\":" << pr.failures
+       << ",\"failure_rate\":" << fmt_double(pr.failure_rate)
+       << ",\"wilson\":";
+    write_interval(os, pr.wilson);
+    os << ",\"clopper_pearson\":";
+    write_interval(os, pr.clopper_pearson);
+    os << ",\"max_failure_probability\":"
+       << fmt_double(pr.max_failure_probability)
+       << ",\"pass\":" << (pr.pass ? "true" : "false")
+       << ",\"failing_seeds\":[";
+    for (std::size_t s = 0; s < pr.failing_seeds.size(); ++s) {
+      if (s > 0) os << ',';
+      os << pr.failing_seeds[s];
+    }
+    os << "]}";
+  }
+  os << ']';
+  os << ",\"aggregates\":{"
+     << "\"completed_apps\":" << report.completed_apps
+     << ",\"dropped_apps\":" << report.dropped_apps
+     << ",\"deadline_miss_apps\":" << report.deadline_miss_apps
+     << ",\"total_ve_count\":" << report.total_ve_count
+     << ",\"deadlock_windows\":" << report.deadlock_windows
+     << ",\"fault_dropped_flits\":" << report.fault_dropped_flits
+     << ",\"corrupt_packets\":" << report.corrupt_packets
+     << ",\"retransmitted_packets\":" << report.retransmitted_packets
+     << ",\"link_fault_events\":" << report.link_fault_events
+     << ",\"router_fault_events\":" << report.router_fault_events
+     << ",\"sensor_dropout_epochs\":" << report.sensor_dropout_epochs
+     << ",\"fault_task_remaps\":" << report.fault_task_remaps
+     << ",\"fault_stranded_tasks\":" << report.fault_stranded_tasks
+     << ",\"recorder_dropped_events\":" << report.recorder_dropped_events
+     << ",\"min_delivery_ratio\":" << fmt_double(report.min_delivery_ratio)
+     << ",\"avg_makespan_s\":" << fmt_double(report.avg_makespan_s) << "}}";
+  return os.str();
+}
+
+std::string report_to_text(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "Monte Carlo campaign: " << report.runs << " runs, seeds "
+     << report.first_seed << ".."
+     << report.first_seed + static_cast<std::uint64_t>(report.runs) - 1
+     << ", confidence " << fmt_double(report.confidence * 100.0) << "%\n";
+  for (const PropertyResult& pr : report.properties) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  [%s] %-24s failures %llu/%llu  rate %.5f  "
+                  "wilson [%.5f, %.5f]  exact [%.5f, %.5f]  bound %.5f\n",
+                  pr.pass ? "PASS" : "FAIL", pr.name.c_str(),
+                  static_cast<unsigned long long>(pr.failures),
+                  static_cast<unsigned long long>(pr.runs), pr.failure_rate,
+                  pr.wilson.lower, pr.wilson.upper, pr.clopper_pearson.lower,
+                  pr.clopper_pearson.upper, pr.max_failure_probability);
+    os << line;
+    if (!pr.failing_seeds.empty()) {
+      os << "         failing seeds:";
+      for (const std::uint64_t s : pr.failing_seeds) os << ' ' << s;
+      if (pr.failures > pr.failing_seeds.size()) os << " ...";
+      os << '\n';
+    }
+  }
+  os << "  aggregates: completed " << report.completed_apps << ", dropped "
+     << report.dropped_apps << ", deadline misses "
+     << report.deadline_miss_apps << ", VEs " << report.total_ve_count
+     << ", deadlock windows " << report.deadlock_windows << '\n';
+  os << "  faults: link events " << report.link_fault_events
+     << ", router events " << report.router_fault_events
+     << ", dropped flits " << report.fault_dropped_flits
+     << ", corrupt packets " << report.corrupt_packets
+     << ", retransmits " << report.retransmitted_packets
+     << ", sensor dropouts " << report.sensor_dropout_epochs
+     << ", remaps " << report.fault_task_remaps << ", stranded "
+     << report.fault_stranded_tasks << '\n';
+  os << "  min delivery ratio " << fmt_double(report.min_delivery_ratio)
+     << ", avg makespan " << fmt_double(report.avg_makespan_s)
+     << " s, recorder drops " << report.recorder_dropped_events << '\n';
+  os << "VERDICT: " << (report.all_pass ? "PASS" : "FAIL") << '\n';
+  return os.str();
+}
+
+PropertySpec deadline_miss_property(double max_failure_probability) {
+  PropertySpec spec;
+  spec.name = "deadline_miss";
+  spec.description = "no admitted application misses its deadline";
+  spec.max_failure_probability = max_failure_probability;
+  spec.failed = [](const sim::SimResult& r) {
+    for (const sim::AppOutcome& o : r.apps) {
+      if (o.missed_deadline) return true;
+    }
+    return false;
+  };
+  return spec;
+}
+
+PropertySpec no_deadlock_property() {
+  PropertySpec spec;
+  spec.name = "no_deadlock";
+  spec.description = "no measured NoC window deadlocks";
+  spec.max_failure_probability = 0.0;
+  spec.failed = [](const sim::SimResult& r) {
+    return r.deadlock_windows > 0;
+  };
+  return spec;
+}
+
+PropertySpec delivery_floor_property(double floor,
+                                     double max_failure_probability) {
+  PropertySpec spec;
+  spec.name = "delivery_floor";
+  std::ostringstream desc;
+  desc << "worst NoC window delivery ratio stays >= " << floor;
+  spec.description = desc.str();
+  spec.max_failure_probability = max_failure_probability;
+  spec.failed = [floor](const sim::SimResult& r) {
+    return r.min_delivery_ratio < floor;
+  };
+  return spec;
+}
+
+}  // namespace parm::campaign

@@ -1,0 +1,138 @@
+// Monte Carlo statistical verification campaigns.
+//
+// A campaign fans a single experiment (one SimConfig + one arrival
+// stream) across many seeds, evaluates user-declared properties on every
+// run, and reports each property's observed failure rate with Wilson and
+// Clopper-Pearson 95 % confidence intervals — the statistical
+// model-checking view of the PARM simulator: instead of proving "no
+// deadline miss under faults", bound P(miss) with defensible coverage.
+//
+// Execution rides on fleet::FleetSimulator in "replicate" dispatch mode:
+// each batch of `fleet.chip_count` seeds runs as one fleet whose chips
+// all execute the full stream, differing only in seed. Batching in fixed
+// seed order with pre-sized result slots makes the whole campaign — and
+// its serialized report — byte-identical across repeats and across
+// thread counts.
+//
+// The report has a deterministic JSON form (consumed by the CI
+// campaign-smoke job; see tools/check_campaign_smoke.py) and a human
+// text form (EXPERIMENTS.md walks one).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "campaign/stats.hpp"
+#include "fleet/fleet_sim.hpp"
+#include "sim/sim_config.hpp"
+
+namespace parm::campaign {
+
+/// One verifiable property, evaluated per run.
+struct PropertySpec {
+  std::string name;         ///< stable identifier ("no_deadlock", ...)
+  std::string description;  ///< one-line human statement
+  /// Returns true when the property was VIOLATED in this run.
+  std::function<bool(const sim::SimResult&)> failed;
+  /// Verdict criterion: the property passes when the Wilson upper bound
+  /// on its failure probability is <= this. A bound of exactly 0 demands
+  /// zero observed failures (the Wilson upper bound at k = 0 is z²/(n+z²),
+  /// which is never 0 at finite n — an impossible bar by construction).
+  double max_failure_probability = 1.0;
+};
+
+/// Per-property campaign outcome.
+struct PropertyResult {
+  std::string name;
+  std::string description;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  double failure_rate = 0.0;
+  Interval wilson;           ///< Wilson score CI on P(failure)
+  Interval clopper_pearson;  ///< exact CI on P(failure)
+  double max_failure_probability = 1.0;
+  bool pass = true;
+  /// First seeds whose run violated the property (reproduction handles;
+  /// capped at kMaxFailingSeeds).
+  std::vector<std::uint64_t> failing_seeds;
+};
+
+inline constexpr std::size_t kMaxFailingSeeds = 32;
+
+struct CampaignConfig {
+  /// Per-run simulation template plus batching width/threads. The
+  /// dispatch policy is forced to "replicate" and chip.seed is rewritten
+  /// per batch; everything else is taken verbatim.
+  fleet::FleetConfig fleet;
+  /// Run i (0-based) executes with SimConfig::seed = first_seed + i.
+  std::uint64_t first_seed = 1;
+  int runs = 1000;
+  /// Two-sided confidence level for both interval families. Supported:
+  /// 0.90, 0.95, 0.99 (the matching normal quantile is table-derived).
+  double confidence = 0.95;
+
+  void validate() const;
+};
+
+/// Aggregated campaign outcome: verdicts plus run-level aggregates.
+struct CampaignReport {
+  std::uint64_t first_seed = 0;
+  int runs = 0;
+  double confidence = 0.95;
+  std::vector<PropertyResult> properties;
+  bool all_pass = true;
+
+  // Fleet-wide aggregates over all runs (deterministic seed-order sums).
+  std::uint64_t completed_apps = 0;
+  std::uint64_t dropped_apps = 0;
+  std::uint64_t deadline_miss_apps = 0;
+  std::uint64_t total_ve_count = 0;
+  std::uint64_t deadlock_windows = 0;
+  std::uint64_t fault_dropped_flits = 0;
+  std::uint64_t corrupt_packets = 0;
+  std::uint64_t retransmitted_packets = 0;
+  std::uint64_t link_fault_events = 0;
+  std::uint64_t router_fault_events = 0;
+  std::uint64_t sensor_dropout_epochs = 0;
+  std::uint64_t fault_task_remaps = 0;
+  std::uint64_t fault_stranded_tasks = 0;
+  /// recorder.events_dropped summed over every run's registry (0 means
+  /// no run lost a black-box event — a CI gate).
+  std::uint64_t recorder_dropped_events = 0;
+  double min_delivery_ratio = 1.0;
+  double avg_makespan_s = 0.0;
+};
+
+/// Runs the campaign: `cfg.runs` seeds in batches of
+/// `cfg.fleet.chip_count`, evaluating `properties` on every run.
+/// Byte-identical across repeats with the same config and across
+/// `cfg.fleet.threads` settings.
+CampaignReport run_campaign(const CampaignConfig& cfg,
+                            const std::vector<appmodel::AppArrival>& arrivals,
+                            const std::vector<PropertySpec>& properties);
+
+/// Deterministic JSON rendering (%.17g doubles, fixed key order) — the
+/// machine verdict CI parses and archives.
+std::string report_to_json(const CampaignReport& report);
+
+/// Human-readable verdict table.
+std::string report_to_text(const CampaignReport& report);
+
+// --- Canonical property constructors (the paper-level questions) ---
+
+/// Violated when any admitted app misses its deadline.
+PropertySpec deadline_miss_property(double max_failure_probability);
+
+/// Violated when any measured NoC window deadlocks. A bound of 0 makes
+/// the verdict demand zero observed deadlocks.
+PropertySpec no_deadlock_property();
+
+/// Violated when the run's worst window delivery ratio falls below
+/// `floor`.
+PropertySpec delivery_floor_property(double floor,
+                                     double max_failure_probability);
+
+}  // namespace parm::campaign

@@ -1,0 +1,126 @@
+#include "campaign/stats.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parm::campaign {
+
+namespace {
+
+/// Continued-fraction kernel of the incomplete beta (Lentz's algorithm,
+/// cf. Numerical Recipes betacf). Converges quickly for
+/// x < (a + 1) / (a + b + 2); the caller routes via the symmetry
+/// I_x(a,b) = 1 - I_{1-x}(b,a) otherwise.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Quantile of the Beta(a, b) distribution by bisection on the monotone
+/// CDF. 200 halvings of [0,1] reach ~6e-61, far below double precision;
+/// bisection is chosen over Newton for unconditional robustness.
+double beta_quantile(double a, double b, double p) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  PARM_CHECK(a > 0.0 && b > 0.0, "incomplete beta needs a, b > 0");
+  PARM_CHECK(x >= 0.0 && x <= 1.0, "incomplete beta needs x in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+Interval wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
+  PARM_CHECK(k <= n, "wilson_interval: k must not exceed n");
+  PARM_CHECK(z > 0.0, "wilson_interval: z must be positive");
+  if (n == 0) return {0.0, 1.0};
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(k) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = p + z2 / (2.0 * nn);
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  Interval out;
+  out.lower = (center - spread) / denom;
+  out.upper = (center + spread) / denom;
+  if (out.lower < 0.0) out.lower = 0.0;
+  if (out.upper > 1.0) out.upper = 1.0;
+  // Pin the exact edges: float residue must not report a nonzero lower
+  // bound on a never-observed event (or the mirror image at k = n).
+  if (k == 0) out.lower = 0.0;
+  if (k == n) out.upper = 1.0;
+  return out;
+}
+
+Interval clopper_pearson_interval(std::uint64_t k, std::uint64_t n,
+                                  double confidence) {
+  PARM_CHECK(k <= n, "clopper_pearson_interval: k must not exceed n");
+  PARM_CHECK(confidence > 0.0 && confidence < 1.0,
+             "clopper_pearson_interval: confidence must be in (0, 1)");
+  if (n == 0) return {0.0, 1.0};
+  const double alpha = 1.0 - confidence;
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  Interval out;
+  out.lower = k == 0 ? 0.0
+                     : beta_quantile(kk, nn - kk + 1.0, alpha / 2.0);
+  out.upper = k == n ? 1.0
+                     : beta_quantile(kk + 1.0, nn - kk, 1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace parm::campaign

@@ -1,0 +1,44 @@
+// Binomial confidence intervals for Monte Carlo verification campaigns.
+//
+// A campaign observes k property failures in n independent runs and needs
+// a defensible bound on the true failure probability p. Two standard
+// intervals are provided:
+//
+//  - Wilson score interval: the inversion of the normal-approximate score
+//    test. Well-behaved at the extremes (never leaves [0,1], nonzero
+//    upper bound at k = 0) and the usual choice for CI dashboards.
+//  - Clopper-Pearson "exact" interval: inverts the binomial CDF via the
+//    regularized incomplete beta function. Conservative (coverage >= the
+//    nominal level), the usual choice for certification-style claims.
+//
+// Both are deterministic, closed-form (plus a bisection for the beta
+// quantile), and dependency-free — verifiable against published tables
+// (tests/campaign_test.cpp pins several).
+#pragma once
+
+#include <cstdint>
+
+namespace parm::campaign {
+
+/// A two-sided confidence interval on a probability.
+struct Interval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Wilson score interval for k successes in n trials at normal quantile
+/// `z` (default: two-sided 95 %). n == 0 returns the vacuous [0, 1].
+Interval wilson_interval(std::uint64_t k, std::uint64_t n,
+                         double z = 1.959963984540054);
+
+/// Clopper-Pearson exact interval for k successes in n trials at
+/// two-sided confidence level `confidence` (default 95 %). n == 0 returns
+/// the vacuous [0, 1].
+Interval clopper_pearson_interval(std::uint64_t k, std::uint64_t n,
+                                  double confidence = 0.95);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1] (continued-fraction evaluation; exposed for tests).
+double regularized_incomplete_beta(double a, double b, double x);
+
+}  // namespace parm::campaign

@@ -21,12 +21,13 @@ Platform::Platform(PlatformConfig cfg)
   domain_occupancy_.assign(static_cast<std::size_t>(mesh_.domain_count()),
                            0);
   tile_psn_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
+  tile_faulty_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0);
 }
 
 std::int32_t Platform::free_tile_count() const {
   std::int32_t n = 0;
-  for (const auto& t : tiles_) {
-    if (t.app == kNoApp) ++n;
+  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+    if (tile_free(t)) ++n;
   }
   return n;
 }
@@ -43,10 +44,18 @@ bool Platform::domain_free(DomainId d) const {
   return domain_occupancy_[static_cast<std::size_t>(d)] == 0;
 }
 
+bool Platform::domain_usable(DomainId d) const {
+  if (!domain_free(d)) return false;
+  for (const TileId t : mesh_.domain_tiles(d)) {
+    if (tile_faulty_[static_cast<std::size_t>(t)]) return false;
+  }
+  return true;
+}
+
 std::vector<DomainId> Platform::free_domains() const {
   std::vector<DomainId> out;
   for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
-    if (domain_free(d)) out.push_back(d);
+    if (domain_usable(d)) out.push_back(d);
   }
   return out;
 }
@@ -54,7 +63,20 @@ std::vector<DomainId> Platform::free_domains() const {
 std::int32_t Platform::free_domain_count() const {
   std::int32_t n = 0;
   for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
-    if (domain_free(d)) ++n;
+    if (domain_usable(d)) ++n;
+  }
+  return n;
+}
+
+void Platform::set_tile_faulty(TileId t, bool faulty) {
+  PARM_CHECK(t >= 0 && t < mesh_.tile_count(), "faulty tile out of range");
+  tile_faulty_[static_cast<std::size_t>(t)] = faulty ? 1 : 0;
+}
+
+std::int32_t Platform::faulty_tile_count() const {
+  std::int32_t n = 0;
+  for (const char f : tile_faulty_) {
+    if (f) ++n;
   }
   return n;
 }
@@ -165,6 +187,11 @@ void Platform::save(snapshot::Writer& w) const {
   w.u64(domain_occupancy_.size());
   for (std::int32_t o : domain_occupancy_) w.i32(o);
   w.vec_f64(tile_psn_);
+  std::vector<bool> faulty(tile_faulty_.size());
+  for (std::size_t i = 0; i < tile_faulty_.size(); ++i) {
+    faulty[i] = tile_faulty_[i] != 0;
+  }
+  w.vec_bool(faulty);
   ledger_.save(w);
 }
 
@@ -195,6 +222,13 @@ void Platform::restore(snapshot::Reader& r) {
   tile_psn_ = r.vec_f64();
   if (tile_psn_.size() != static_cast<std::size_t>(tiles)) {
     throw snapshot::SnapshotError("platform sensor vector size corrupt");
+  }
+  const std::vector<bool> faulty = r.vec_bool();
+  if (faulty.size() != static_cast<std::size_t>(tiles)) {
+    throw snapshot::SnapshotError("platform fault mask size corrupt");
+  }
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    tile_faulty_[i] = faulty[i] ? 1 : 0;
   }
   ledger_.restore(r);
 }

@@ -54,8 +54,12 @@ class Platform {
   const power::PowerLedger& ledger() const { return ledger_; }
 
   // --- Occupancy ---
+  /// Unoccupied AND not marked faulty: every mapper/migration free-resource
+  /// query filters through this, which is what makes region selection
+  /// fault-aware without any mapper changes.
   bool tile_free(TileId t) const {
-    return tiles_[static_cast<std::size_t>(t)].app == kNoApp;
+    return tiles_[static_cast<std::size_t>(t)].app == kNoApp &&
+           !tile_faulty_[static_cast<std::size_t>(t)];
   }
   const TileAssignment& tile(TileId t) const {
     return tiles_[static_cast<std::size_t>(t)];
@@ -63,10 +67,27 @@ class Platform {
   std::int32_t free_tile_count() const;
   std::vector<TileId> free_tiles() const;
 
-  /// True if no tile of the domain is occupied.
+  /// True if no tile of the domain is occupied. Occupancy-only — a
+  /// faulty domain with no app is still "free" here because occupy()'s
+  /// vdd bookkeeping depends on it; use domain_usable() (or
+  /// free_domains(), which filters) for placement decisions.
   bool domain_free(DomainId d) const;
+  /// domain_free() AND no tile of the domain is faulty.
+  bool domain_usable(DomainId d) const;
+  /// Free *and usable* domains (fault-aware, see domain_free()).
   std::vector<DomainId> free_domains() const;
   std::int32_t free_domain_count() const;
+
+  // --- Hardware faults (set by the fault phase; sticky until repaired) ---
+  /// Marks a tile's core unusable: tile_free()/free_tiles()/free_domains()
+  /// stop offering it, so mappers and migration route around it. Tasks
+  /// already resident are the fault phase's problem (re-map or strand) —
+  /// the platform only tracks the mask.
+  void set_tile_faulty(TileId t, bool faulty);
+  bool tile_faulty(TileId t) const {
+    return tile_faulty_[static_cast<std::size_t>(t)];
+  }
+  std::int32_t faulty_tile_count() const;
 
   /// Supply voltage of a domain. Free domains are power-gated and report
   /// nullopt.
@@ -132,6 +153,8 @@ class Platform {
   std::vector<double> domain_vdd_;  ///< <= 0 when power-gated.
   std::vector<std::int32_t> domain_occupancy_;  ///< occupied tiles/domain
   std::vector<double> tile_psn_;
+  std::vector<char> tile_faulty_;  ///< hardware-fault mask (all healthy
+                                   ///< by default)
 };
 
 }  // namespace parm::cmp

@@ -1,0 +1,164 @@
+#include "fault/fault_model.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parm::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kRouterDown:
+      return "router-down";
+    case FaultKind::kRouterUp:
+      return "router-up";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_link(FaultKind k) {
+  return k == FaultKind::kLinkDown || k == FaultKind::kLinkUp;
+}
+
+void validate_event(const FaultEvent& e, const MeshGeometry& mesh,
+                    const std::string& where) {
+  PARM_CHECK(e.time_s >= 0.0, where + ": fault time must be >= 0");
+  PARM_CHECK(e.tile >= 0 && e.tile < mesh.tile_count(),
+             where + ": fault tile out of mesh range");
+  if (is_link(e.kind)) {
+    PARM_CHECK(e.dir != Direction::Local,
+               where + ": link fault direction must be cardinal");
+    PARM_CHECK(mesh.neighbor(e.tile, e.dir) != kInvalidTile,
+               where + ": link fault points off the mesh edge");
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::validate(const MeshGeometry& mesh) const {
+  double prev = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::ostringstream where;
+    where << "fault schedule entry " << i;
+    validate_event(events[i], mesh, where.str());
+    PARM_CHECK(events[i].time_s >= prev,
+               where.str() + ": fault schedule must be sorted by time");
+    prev = events[i].time_s;
+  }
+}
+
+FaultSchedule schedule_from_text(const std::string& text,
+                                 const MeshGeometry& mesh) {
+  FaultSchedule out;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  double prev = 0.0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::ostringstream where;
+    where << "fault schedule line " << lineno;
+    // Strip trailing comment, then skip blank lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;
+
+    FaultEvent e;
+    std::string state;
+    if (kind == "link") {
+      std::string dir;
+      PARM_CHECK(static_cast<bool>(fields >> e.time_s),
+                 where.str() + ": missing or malformed time");
+      PARM_CHECK(static_cast<bool>(fields >> e.tile),
+                 where.str() + ": missing or malformed tile id");
+      PARM_CHECK(static_cast<bool>(fields >> dir >> state),
+                 where.str() + ": expected <E|W|N|S> <down|up>");
+      if (dir == "E") {
+        e.dir = Direction::East;
+      } else if (dir == "W") {
+        e.dir = Direction::West;
+      } else if (dir == "N") {
+        e.dir = Direction::North;
+      } else if (dir == "S") {
+        e.dir = Direction::South;
+      } else {
+        PARM_CHECK(false, where.str() + ": bad direction '" + dir + "'");
+      }
+      PARM_CHECK(state == "down" || state == "up",
+                 where.str() + ": expected down or up, got '" + state + "'");
+      e.kind = state == "down" ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+    } else if (kind == "router") {
+      PARM_CHECK(static_cast<bool>(fields >> e.time_s),
+                 where.str() + ": missing or malformed time");
+      PARM_CHECK(static_cast<bool>(fields >> e.tile),
+                 where.str() + ": missing or malformed tile id");
+      PARM_CHECK(static_cast<bool>(fields >> state),
+                 where.str() + ": expected <down|up>");
+      PARM_CHECK(state == "down" || state == "up",
+                 where.str() + ": expected down or up, got '" + state + "'");
+      e.kind =
+          state == "down" ? FaultKind::kRouterDown : FaultKind::kRouterUp;
+    } else {
+      PARM_CHECK(false, where.str() + ": unknown keyword '" + kind + "'");
+    }
+    std::string extra;
+    PARM_CHECK(!(fields >> extra),
+               where.str() + ": trailing garbage '" + extra + "'");
+    validate_event(e, mesh, where.str());
+    PARM_CHECK(e.time_s >= prev,
+               where.str() + ": fault schedule must be sorted by time");
+    prev = e.time_s;
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+std::string schedule_to_text(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  char buf[64];
+  for (const FaultEvent& e : schedule.events) {
+    std::snprintf(buf, sizeof(buf), "%.6f", e.time_s);
+    if (is_link(e.kind)) {
+      os << "link " << buf << ' ' << e.tile << ' '
+         << parm::to_string(e.dir) << ' '
+         << (e.kind == FaultKind::kLinkDown ? "down" : "up") << '\n';
+    } else {
+      os << "router " << buf << ' ' << e.tile << ' '
+         << (e.kind == FaultKind::kRouterDown ? "down" : "up") << '\n';
+    }
+  }
+  return os.str();
+}
+
+void FaultConfig::validate() const {
+  PARM_CHECK(random_link_failures >= 0,
+             "faults.random_link_failures must be >= 0");
+  PARM_CHECK(random_router_failures >= 0,
+             "faults.random_router_failures must be >= 0");
+  PARM_CHECK(random_fail_window_s > 0.0,
+             "faults.random_fail_window_s must be > 0");
+  PARM_CHECK(repair_after_s >= 0.0, "faults.repair_after_s must be >= 0");
+  PARM_CHECK(
+      sensor_dropout_per_epoch >= 0.0 && sensor_dropout_per_epoch <= 1.0,
+      "faults.sensor_dropout_per_epoch must be in [0, 1]");
+  PARM_CHECK(bit_error_base >= 0.0 && bit_error_base <= 1.0,
+             "faults.bit_error_base must be in [0, 1]");
+  PARM_CHECK(bit_error_psn_slope >= 0.0,
+             "faults.bit_error_psn_slope must be >= 0");
+  PARM_CHECK(bit_error_psn_onset_percent >= 0.0,
+             "faults.bit_error_psn_onset_percent must be >= 0");
+  PARM_CHECK(bit_error_cap >= 0.0 && bit_error_cap <= 1.0,
+             "faults.bit_error_cap must be in [0, 1]");
+}
+
+}  // namespace parm::fault

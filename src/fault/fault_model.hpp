@@ -1,0 +1,133 @@
+// Fault model for degraded-operation studies: what can break, when, and
+// with what severity.
+//
+// Three fault classes (cf. the probabilistic NoC-verification line the
+// campaign driver reproduces):
+//  - topology faults: mesh links and whole routers go down (and possibly
+//    come back) at scheduled simulation times;
+//  - sensor dropout: a tile's PSN sensor fails to refresh for an epoch,
+//    so the management layers act on stale data while the physical noise
+//    keeps moving;
+//  - transient flit bit-errors: a per-packet corruption probability that
+//    rises with the tile's PDN droop once it approaches the VE threshold
+//    (errors cluster exactly when mitigation is busiest).
+//
+// Everything here is configuration + a deterministic schedule
+// representation; the epoch-phase wiring lives in fault/fault_phase.hpp.
+// The schedule has a line-oriented text form so campaigns and tests can
+// load fault scenarios from files:
+//
+//   # comment / blank lines ignored
+//   link   <time_s> <tile> <E|W|N|S> <down|up>
+//   router <time_s> <tile> <down|up>
+//
+// Lines must be sorted by time. A link is identified by (tile, direction)
+// and treated as a full-duplex cable: both travel directions fail and
+// recover together, so "link 0.5 7 E down" and the mirrored
+// "link 0.5 8 W down" name the same physical fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace parm::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown = 0,
+  kLinkUp,
+  kRouterDown,
+  kRouterUp,
+};
+
+const char* to_string(FaultKind k);
+
+/// One scheduled topology fault transition.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  double time_s = 0.0;
+  TileId tile = kInvalidTile;
+  /// Link events only: the outgoing direction of the failed cable as seen
+  /// from `tile`. Ignored for router events.
+  Direction dir = Direction::East;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A time-sorted list of topology fault transitions.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Throws CheckError unless every event is in range for `mesh` (tile on
+  /// the mesh, link direction cardinal and not pointing off the edge) and
+  /// the list is sorted by time with non-negative times.
+  void validate(const MeshGeometry& mesh) const;
+};
+
+/// Parses the line-oriented text form described in the header comment.
+/// Throws CheckError (with the offending line number) on malformed input:
+/// unknown keywords, missing fields, unparsable numbers, out-of-range
+/// tiles, edge links, bad directions, or out-of-order times.
+FaultSchedule schedule_from_text(const std::string& text,
+                                 const MeshGeometry& mesh);
+
+/// Inverse of schedule_from_text (canonical spacing, 6-digit times).
+std::string schedule_to_text(const FaultSchedule& schedule);
+
+/// All fault-injection knobs, embedded in sim::SimConfig as `faults`.
+/// With `enabled == false` (the default) the fault phase is never
+/// constructed and the engine is bit-identical to the fault-free build
+/// (pinned by tests/fault_test.cpp).
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Explicit topology faults, merged with the randomly generated ones.
+  FaultSchedule schedule;
+
+  /// Randomly generated topology faults: this many link / router
+  /// failures, uniformly placed, with failure times drawn uniformly in
+  /// [0, random_fail_window_s). Drawn once at construction from a
+  /// dedicated fault RNG stream (seed ^ salt), so the generated schedule
+  /// is a pure function of the simulation seed.
+  int random_link_failures = 0;
+  int random_router_failures = 0;
+  double random_fail_window_s = 10.0;
+
+  /// When > 0, every generated or scheduled *down* event is paired with
+  /// an automatic repair this many seconds later. 0 = faults are
+  /// permanent (explicit `up` lines in the schedule still apply).
+  double repair_after_s = 0.0;
+
+  /// Per-tile probability per epoch that the PSN sensor fails to
+  /// refresh: the management layers (proactive throttle, VE rolls via
+  /// the platform mirror, NoC PSN stalls) keep seeing the previous
+  /// epoch's reading while the true droop moves on.
+  double sensor_dropout_per_epoch = 0.0;
+
+  /// Transient flit bit-error probability per packet, evaluated at the
+  /// ejection tile: base + slope × max(0, tile peak PSN % − onset),
+  /// capped at bit_error_cap. A corrupted packet is dropped at ejection
+  /// and retransmitted from its source (counted, and visible as latency).
+  double bit_error_base = 0.0;
+  double bit_error_psn_slope = 0.0;
+  double bit_error_psn_onset_percent = 4.0;
+  double bit_error_cap = 0.01;
+
+  /// True when any knob can affect the NoC data plane (topology faults
+  /// or bit-errors); sensor dropout alone leaves the NoC healthy.
+  bool any_topology_faults() const {
+    return !schedule.empty() || random_link_failures > 0 ||
+           random_router_failures > 0;
+  }
+
+  /// Throws CheckError when any field is out of range. Schedule/mesh
+  /// consistency is checked separately (needs the mesh) by the fault
+  /// phase at construction.
+  void validate() const;
+};
+
+}  // namespace parm::fault

@@ -1,0 +1,250 @@
+#include "fault/fault_phase.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parm::fault {
+
+namespace {
+
+/// Valid outgoing link directions of a tile, in the fixed E,W,N,S order
+/// (determinism of the random-schedule draw depends on this order).
+std::vector<Direction> link_directions(const MeshGeometry& mesh, TileId t) {
+  std::vector<Direction> dirs;
+  for (const Direction d : kCardinalDirections) {
+    if (mesh.neighbor(t, d) != kInvalidTile) dirs.push_back(d);
+  }
+  return dirs;
+}
+
+}  // namespace
+
+FaultPhase::FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
+                       std::uint64_t seed)
+    : cfg_(cfg), mesh_(mesh), rng_(seed ^ kFaultSeedSalt) {
+  cfg_.validate();
+  cfg_.schedule.validate(mesh_);
+  const std::size_t n = static_cast<std::size_t>(mesh_.tile_count());
+  last_sensed_.assign(n, 0.0);
+  last_noc_sensed_.assign(n, 0.0);
+  error_rates_.assign(n, 0.0);
+  if (!cfg_.enabled) return;
+
+  std::vector<FaultEvent>& ev = schedule_.events;
+  ev = cfg_.schedule.events;
+  // Auto-repair for explicit down events (explicit up lines still apply;
+  // a second up on an already-alive element is a no-op transition).
+  if (cfg_.repair_after_s > 0.0) {
+    const std::size_t n_explicit = ev.size();
+    for (std::size_t i = 0; i < n_explicit; ++i) {
+      const FaultEvent& e = ev[i];
+      if (e.kind == FaultKind::kLinkDown) {
+        ev.push_back({FaultKind::kLinkUp, e.time_s + cfg_.repair_after_s,
+                      e.tile, e.dir});
+      } else if (e.kind == FaultKind::kRouterDown) {
+        ev.push_back({FaultKind::kRouterUp, e.time_s + cfg_.repair_after_s,
+                      e.tile, e.dir});
+      }
+    }
+  }
+  // Random topology faults, drawn from the dedicated stream in a fixed
+  // order: the generated schedule is a pure function of (config, seed).
+  for (int i = 0; i < cfg_.random_link_failures; ++i) {
+    const TileId t = static_cast<TileId>(
+        rng_.next_below(static_cast<std::uint64_t>(mesh_.tile_count())));
+    const std::vector<Direction> dirs = link_directions(mesh_, t);
+    const Direction d = dirs[rng_.pick_index(dirs.size())];
+    const double when = rng_.uniform(0.0, cfg_.random_fail_window_s);
+    ev.push_back({FaultKind::kLinkDown, when, t, d});
+    if (cfg_.repair_after_s > 0.0) {
+      ev.push_back({FaultKind::kLinkUp, when + cfg_.repair_after_s, t, d});
+    }
+  }
+  for (int i = 0; i < cfg_.random_router_failures; ++i) {
+    const TileId t = static_cast<TileId>(
+        rng_.next_below(static_cast<std::uint64_t>(mesh_.tile_count())));
+    const double when = rng_.uniform(0.0, cfg_.random_fail_window_s);
+    ev.push_back({FaultKind::kRouterDown, when, t, Direction::East});
+    if (cfg_.repair_after_s > 0.0) {
+      ev.push_back({FaultKind::kRouterUp, when + cfg_.repair_after_s, t,
+                    Direction::East});
+    }
+  }
+  std::stable_sort(ev.begin(), ev.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+void FaultPhase::remap_stranded(sim::EpochContext& ctx, TileId dead_tile,
+                                std::int32_t& stranded) {
+  cmp::Platform& platform = *ctx.platform;
+  for (sim::RunningApp& app : ctx.running) {
+    for (sim::RunningTask& task : app.tasks) {
+      if (task.tile != dead_tile || task.done()) continue;
+      // Closest free *usable* domain to the dying tile's (the dead tile
+      // is already masked, so its own domain is never offered).
+      const std::vector<DomainId> free = platform.free_domains();
+      if (free.empty()) {
+        ++stranded;
+        ++stranded_tasks_;
+        continue;  // frozen in place until repair or completion
+      }
+      const DomainId from_d = mesh_.domain_of(task.tile);
+      DomainId best = free.front();
+      double best_dist = 1e18;
+      for (const DomainId d : free) {
+        const double dist = mesh_.domain_distance(d, from_d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = d;
+        }
+      }
+      const TileId target = mesh_.domain_tiles(best)[0];
+      ctx.emit(obs::EventType::kAppMigrate, app.outcome_index,
+               static_cast<std::int32_t>(task.tile), -1,
+               static_cast<double>(target),
+               ctx.tile_psn_peak[static_cast<std::size_t>(task.tile)]);
+      platform.migrate(app.instance, task.tile, target);
+      task.tile = target;
+      task.remaining_cycles += ctx.cfg->migration_cost_cycles;
+      task.hot_epochs = 0;
+      ++task_remaps_;
+    }
+  }
+}
+
+void FaultPhase::fire(sim::EpochContext& ctx, noc::Network& net,
+                      const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      const bool down = e.kind == FaultKind::kLinkDown;
+      net.set_link_fault(e.tile, e.dir, down);
+      ++link_fault_events_;
+      ctx.emit(down ? obs::EventType::kFaultLinkDown
+                    : obs::EventType::kFaultLinkUp,
+               -1, static_cast<std::int32_t>(e.tile), -1,
+               static_cast<double>(static_cast<int>(e.dir)));
+      break;
+    }
+    case FaultKind::kRouterDown: {
+      net.set_router_fault(e.tile, true);
+      ctx.platform->set_tile_faulty(e.tile, true);
+      ctx.tile_dead[static_cast<std::size_t>(e.tile)] = 1;
+      ++router_fault_events_;
+      std::int32_t stranded = 0;
+      remap_stranded(ctx, e.tile, stranded);
+      ctx.emit(obs::EventType::kFaultRouterDown, -1,
+               static_cast<std::int32_t>(e.tile),
+               static_cast<std::int32_t>(mesh_.domain_of(e.tile)), 0.0,
+               static_cast<double>(stranded));
+      break;
+    }
+    case FaultKind::kRouterUp: {
+      net.set_router_fault(e.tile, false);
+      ctx.platform->set_tile_faulty(e.tile, false);
+      ctx.tile_dead[static_cast<std::size_t>(e.tile)] = 0;
+      ++router_fault_events_;
+      ctx.emit(obs::EventType::kFaultRouterUp, -1,
+               static_cast<std::int32_t>(e.tile),
+               static_cast<std::int32_t>(mesh_.domain_of(e.tile)));
+      break;
+    }
+  }
+}
+
+void FaultPhase::apply_topology(sim::EpochContext& ctx, noc::Network& net) {
+  if (!cfg_.enabled) return;
+  const std::vector<FaultEvent>& ev = schedule_.events;
+  while (cursor_ < ev.size() && ev[cursor_].time_s <= ctx.t + 1e-12) {
+    fire(ctx, net, ev[cursor_]);
+    ++cursor_;
+  }
+}
+
+void FaultPhase::perturb_sensors(sim::EpochContext& ctx, noc::Network& net) {
+  // The sensed view defaults to the truth every epoch — also when faults
+  // are off, so management code can read it unconditionally.
+  ctx.tile_psn_sensed = ctx.tile_psn_peak;
+  if (!cfg_.enabled) return;
+
+  bool any_dropout = false;
+  if (cfg_.sensor_dropout_per_epoch > 0.0) {
+    for (std::size_t t = 0; t < ctx.tile_psn_sensed.size(); ++t) {
+      if (!rng_.bernoulli(cfg_.sensor_dropout_per_epoch)) continue;
+      any_dropout = true;
+      ++sensor_dropout_epochs_;
+      ctx.emit(obs::EventType::kFaultSensorDropout, -1,
+               static_cast<std::int32_t>(t), -1, last_sensed_[t],
+               ctx.tile_psn_sensed[t]);
+      ctx.tile_psn_sensed[t] = last_sensed_[t];
+      ctx.noc_psn_sensor[t] = last_noc_sensed_[t];
+    }
+  }
+  last_sensed_ = ctx.tile_psn_sensed;
+  last_noc_sensed_ = ctx.noc_psn_sensor;
+  if (any_dropout) {
+    // The platform mirror was written with the truth by the PSN phase;
+    // overwrite it with the sensed view so admission/emergency checks
+    // that read the platform see what the (failing) sensors report.
+    ctx.platform->set_tile_psn(ctx.tile_psn_sensed);
+  }
+
+  // Droop-dependent bit-error rates for the next NoC window, from the
+  // *true* per-tile PSN — corruption is physics, not perception.
+  if (cfg_.bit_error_base > 0.0 || cfg_.bit_error_psn_slope > 0.0) {
+    for (std::size_t t = 0; t < error_rates_.size(); ++t) {
+      const double over = std::max(
+          0.0, ctx.tile_psn_peak[t] - cfg_.bit_error_psn_onset_percent);
+      error_rates_[t] =
+          std::min(cfg_.bit_error_cap,
+                   cfg_.bit_error_base + cfg_.bit_error_psn_slope * over);
+    }
+    net.set_flit_error_rates(error_rates_);
+  }
+}
+
+void FaultPhase::save(snapshot::Writer& w) const {
+  w.begin_section("FLTS");
+  w.u64(cursor_);
+  w.u64(link_fault_events_);
+  w.u64(router_fault_events_);
+  w.u64(sensor_dropout_epochs_);
+  w.u64(task_remaps_);
+  w.u64(stranded_tasks_);
+  const Rng::State rs = rng_.state();
+  for (const std::uint64_t word : rs.s) w.u64(word);
+  w.b(rs.have_cached_normal);
+  w.f64(rs.cached_normal);
+  w.vec_f64(last_sensed_);
+  w.vec_f64(last_noc_sensed_);
+}
+
+void FaultPhase::restore(snapshot::Reader& r) {
+  r.expect_section("FLTS");
+  cursor_ = r.u64();
+  if (cursor_ > schedule_.events.size()) {
+    throw snapshot::SnapshotError("snapshot fault cursor out of range");
+  }
+  link_fault_events_ = r.u64();
+  router_fault_events_ = r.u64();
+  sensor_dropout_epochs_ = r.u64();
+  task_remaps_ = r.u64();
+  stranded_tasks_ = r.u64();
+  Rng::State rs;
+  for (std::uint64_t& word : rs.s) word = r.u64();
+  rs.have_cached_normal = r.b();
+  rs.cached_normal = r.f64();
+  rng_.restore(rs);
+  last_sensed_ = r.vec_f64();
+  last_noc_sensed_ = r.vec_f64();
+  const std::size_t n = static_cast<std::size_t>(mesh_.tile_count());
+  if (last_sensed_.size() != n || last_noc_sensed_.size() != n) {
+    throw snapshot::SnapshotError(
+        "snapshot fault sensor state does not match the mesh");
+  }
+}
+
+}  // namespace parm::fault

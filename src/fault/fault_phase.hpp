@@ -1,0 +1,106 @@
+// Fault-injection phase of the epoch engine: the observe-then-perturb
+// counterpart to the observe-only flight recorder.
+//
+// The phase hooks into SystemSimulator::run() at two points:
+//
+//   apply_topology()   loop top, before arrivals — fires every scheduled
+//                      topology transition due at the current time into
+//                      the network (degraded routing, purge) and the
+//                      platform (faulty-tile mask), and re-maps tasks
+//                      stranded on a dying router to the closest free
+//                      usable domain (or strands them, frozen, when the
+//                      mesh has no room);
+//
+//   perturb_sensors()  after PSN sampling — copies the true per-tile PSN
+//                      into the *sensed* view the management layers act
+//                      on, applies per-epoch sensor dropout (a dropped
+//                      sensor holds its previous reading), and refreshes
+//                      the network's droop-dependent flit bit-error
+//                      rates from the true (physical) PSN.
+//
+// Physics always acts on the true values (VE rolls, PDN loads); only the
+// management plane (throttle guard, platform sensor mirror, the NoC's
+// PSN-aware routing view) sees the perturbed ones. With faults disabled
+// both calls are cheap no-ops past a copy and the engine is bit-identical
+// to the pre-fault build: the phase draws from a dedicated RNG stream
+// (seed ^ salt) so the main simulation stream is never consumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/network.hpp"
+#include "sim/epoch_context.hpp"
+#include "snapshot/serializer.hpp"
+
+namespace parm::fault {
+
+/// Salt mixed into the simulation seed for the fault RNG stream and the
+/// network's counter-based bit-error hash.
+inline constexpr std::uint64_t kFaultSeedSalt = 0xFA01'7A51'7D15'0B5EULL;
+
+class FaultPhase {
+ public:
+  /// Validates `cfg` and its schedule against `mesh`, generates the
+  /// random topology faults from the dedicated stream, and merges them
+  /// with the explicit schedule (time-sorted). Throws CheckError on any
+  /// out-of-range knob or schedule entry.
+  FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
+             std::uint64_t seed);
+
+  bool enabled() const { return cfg_.enabled; }
+
+  /// The merged (explicit + generated + auto-repair) schedule — a pure
+  /// function of (config, seed); exposed for tests.
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Fires every schedule event with time <= ctx.t into `net` and the
+  /// platform; see the header comment.
+  void apply_topology(sim::EpochContext& ctx, noc::Network& net);
+
+  /// Maintains ctx.tile_psn_sensed (and on dropout the platform mirror
+  /// and NoC sensor view) and the network's bit-error rates.
+  void perturb_sensors(sim::EpochContext& ctx, noc::Network& net);
+
+  // Cumulative counters over the run (never reset mid-run).
+  std::uint64_t link_fault_events() const { return link_fault_events_; }
+  std::uint64_t router_fault_events() const { return router_fault_events_; }
+  std::uint64_t sensor_dropout_epochs() const {
+    return sensor_dropout_epochs_;
+  }
+  std::uint64_t task_remaps() const { return task_remaps_; }
+  std::uint64_t stranded_tasks() const { return stranded_tasks_; }
+
+  /// Snapshot section "FLTS": schedule cursor, counters, the fault RNG
+  /// stream, and the held sensor readings. The schedule itself is not
+  /// payload — it is regenerated at construction from (config, seed),
+  /// which the fingerprint pins.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+ private:
+  void fire(sim::EpochContext& ctx, noc::Network& net, const FaultEvent& e);
+  void remap_stranded(sim::EpochContext& ctx, TileId dead_tile,
+                      std::int32_t& stranded);
+
+  FaultConfig cfg_;
+  MeshGeometry mesh_;
+  Rng rng_;  ///< dedicated stream: seeded with seed ^ kFaultSeedSalt
+  FaultSchedule schedule_;
+  std::size_t cursor_ = 0;
+  /// Held per-tile readings for dropout (previous epoch's sensed values).
+  std::vector<double> last_sensed_;
+  std::vector<double> last_noc_sensed_;
+  /// Scratch for the per-tile bit-error rates (avoids per-epoch alloc).
+  std::vector<double> error_rates_;
+  std::uint64_t link_fault_events_ = 0;
+  std::uint64_t router_fault_events_ = 0;
+  std::uint64_t sensor_dropout_epochs_ = 0;
+  std::uint64_t task_remaps_ = 0;
+  std::uint64_t stranded_tasks_ = 0;
+};
+
+}  // namespace parm::fault

@@ -16,7 +16,9 @@ void FleetConfig::validate() const {
   chip.validate();
   PARM_CHECK(chip_count >= 1, "FleetConfig: chip_count must be >= 1");
   PARM_CHECK(threads >= 0, "FleetConfig: threads must be >= 0");
-  make_dispatcher(dispatch, chip_count);  // throws on an unknown policy
+  if (dispatch != "replicate") {
+    make_dispatcher(dispatch, chip_count);  // throws on an unknown policy
+  }
 }
 
 FleetSimulator::FleetSimulator(FleetConfig cfg,
@@ -37,6 +39,21 @@ FleetSimulator::FleetSimulator(FleetConfig cfg,
 
   shards_.resize(static_cast<std::size_t>(cfg_.chip_count));
   global_ids_.resize(static_cast<std::size_t>(cfg_.chip_count));
+  if (cfg_.dispatch == "replicate") {
+    // Monte Carlo replication: every chip runs the full stream; only the
+    // per-chip seed differs.
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      auto& shard = shards_[c];
+      shard.reserve(arrivals.size());
+      for (const appmodel::AppArrival& a : arrivals) {
+        global_ids_[c].push_back(a.id);
+        appmodel::AppArrival copy = a;
+        copy.id = static_cast<int>(shard.size());
+        shard.push_back(std::move(copy));
+      }
+    }
+    return;
+  }
   const auto dispatcher = make_dispatcher(cfg_.dispatch, cfg_.chip_count);
   for (appmodel::AppArrival& a : arrivals) {
     const int chip = dispatcher->pick(a);

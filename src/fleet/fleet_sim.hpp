@@ -35,7 +35,11 @@ struct FleetConfig {
   /// for the RNG seed, which becomes `chip.seed + k`.
   sim::SimConfig chip;
   int chip_count = 4;
-  /// Dispatch policy name: "round-robin" or "least-loaded".
+  /// Dispatch policy name: "round-robin", "least-loaded", or
+  /// "replicate". The first two shard the stream; "replicate" hands every
+  /// chip the FULL stream, so chip k is an independent Monte Carlo
+  /// replicate of the same experiment differing only in its seed
+  /// (chip.seed + k) — the campaign driver's batching primitive.
   std::string dispatch = "round-robin";
   /// Upper bound on chips simulated concurrently: 0 uses the shared
   /// process pool (PARM_THREADS-sized), 1 runs the chips serially on the

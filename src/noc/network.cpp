@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "noc/shard_engine.hpp"
 
@@ -72,6 +73,8 @@ Network::Network(const MeshGeometry& mesh, NocConfig cfg,
   rate_ewma_.assign(static_cast<std::size_t>(tiles_), 0.0);
   tile_psn_.assign(static_cast<std::size_t>(tiles_), 0.0);
   incoming_rates_.assign(static_cast<std::size_t>(tiles_), 0.0);
+  link_out_dead_.assign(lanes, 0);
+  router_dead_.assign(static_cast<std::size_t>(tiles_), 0);
   set_shards(1);
 }
 
@@ -103,6 +106,221 @@ int Network::auto_shard_count(int requested) {
   return static_cast<int>(std::min<std::size_t>(8, workers));
 }
 
+void Network::set_link_fault(TileId t, Direction d, bool dead) {
+  PARM_CHECK(t >= 0 && t < tiles_, "link fault tile out of range");
+  PARM_CHECK(d != Direction::Local, "link fault direction must be cardinal");
+  const TileId n = mesh_.neighbor(t, d);
+  PARM_CHECK(n != kInvalidTile, "link fault points off the mesh edge");
+  const std::uint8_t v = dead ? 1 : 0;
+  link_out_dead_[lane(t, port_index(d))] = v;
+  link_out_dead_[lane(n, port_index(opposite(d)))] = v;
+  rebuild_fault_state();
+  purge_broken_packets();
+}
+
+void Network::set_router_fault(TileId t, bool dead) {
+  PARM_CHECK(t >= 0 && t < tiles_, "router fault tile out of range");
+  router_dead_[static_cast<std::size_t>(t)] = dead ? 1 : 0;
+  rebuild_fault_state();
+  purge_broken_packets();
+}
+
+void Network::set_flit_error_rates(std::vector<double> rate_per_packet) {
+  PARM_CHECK(rate_per_packet.empty() ||
+                 rate_per_packet.size() == static_cast<std::size_t>(tiles_),
+             "flit error rate vector size must match tile count");
+  flit_error_rate_ = std::move(rate_per_packet);
+}
+
+TileId Network::fault_next_hop(TileId from, TileId dst) const {
+  if (!fault_mode_ || from == dst) return kInvalidTile;
+  PARM_CHECK(from >= 0 && from < tiles_ && dst >= 0 && dst < tiles_,
+             "fault_next_hop tile out of range");
+  return fault_next_[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(tiles_) +
+                     static_cast<std::size_t>(dst)];
+}
+
+void Network::rebuild_fault_state() {
+  fault_mode_ =
+      std::any_of(router_dead_.begin(), router_dead_.end(),
+                  [](std::uint8_t v) { return v != 0; }) ||
+      std::any_of(link_out_dead_.begin(), link_out_dead_.end(),
+                  [](std::uint8_t v) { return v != 0; });
+  if (!fault_mode_) {
+    fault_next_.clear();
+    fault_next_.shrink_to_fit();
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(tiles_);
+  fault_next_.assign(n * n, kInvalidTile);
+
+  // BFS spanning tree of the alive graph, rooted at the lowest alive
+  // tile. Neighbor order is the fixed E,W,N,S scan, so the tree — and
+  // with it every degraded route — is a pure function of the fault masks.
+  std::vector<TileId> parent(n, kInvalidTile);
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::vector<TileId>> tree_adj(n);
+  TileId root = kInvalidTile;
+  for (TileId t = 0; t < tiles_; ++t) {
+    if (!router_dead_[static_cast<std::size_t>(t)]) {
+      root = t;
+      break;
+    }
+  }
+  if (root == kInvalidTile) return;  // every router dead
+  std::vector<TileId> bfs{root};
+  visited[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t qi = 0; qi < bfs.size(); ++qi) {
+    const TileId t = bfs[qi];
+    for (const Direction d : kCardinalDirections) {
+      if (link_out_dead_[lane(t, port_index(d))]) continue;
+      const TileId nb = mesh_.neighbor(t, d);
+      if (nb == kInvalidTile || router_dead_[static_cast<std::size_t>(nb)] ||
+          visited[static_cast<std::size_t>(nb)]) {
+        continue;
+      }
+      visited[static_cast<std::size_t>(nb)] = 1;
+      parent[static_cast<std::size_t>(nb)] = t;
+      tree_adj[static_cast<std::size_t>(t)].push_back(nb);
+      tree_adj[static_cast<std::size_t>(nb)].push_back(t);
+      bfs.push_back(nb);
+    }
+  }
+  // Next-hop toward each destination = the neighbor on the unique tree
+  // path: a BFS from dst over tree edges writes each tile's predecessor.
+  for (TileId dst = 0; dst < tiles_; ++dst) {
+    if (!visited[static_cast<std::size_t>(dst)]) continue;
+    auto slot = [&](TileId from) -> TileId& {
+      return fault_next_[static_cast<std::size_t>(from) * n +
+                         static_cast<std::size_t>(dst)];
+    };
+    std::vector<TileId> q{dst};
+    slot(dst) = dst;  // visited marker; routes never consult from == dst
+    for (std::size_t qi = 0; qi < q.size(); ++qi) {
+      const TileId u = q[qi];
+      for (const TileId v : tree_adj[static_cast<std::size_t>(u)]) {
+        if (slot(v) != kInvalidTile) continue;
+        slot(v) = u;
+        q.push_back(v);
+      }
+    }
+  }
+}
+
+std::int64_t Network::allocated_pid(TileId t, int out_port) const {
+  const int own = owner_in_[lane(t, out_port)];
+  if (own < 0) return -1;
+  // Walk the wormhole chain upstream to the first non-empty buffer: if an
+  // input buffer is empty while allocated, the tail has not passed the
+  // upstream router yet, so that router still holds a matching
+  // allocation (and the Local source queue is never empty mid-packet —
+  // injection enqueues whole packets).
+  TileId at = t;
+  int in_port = own;
+  for (;;) {
+    const FlitRing& buf = in_buf_[lane(at, in_port)];
+    if (!buf.empty()) return buf.front_packet_id();
+    PARM_DCHECK(in_port != port_index(Direction::Local),
+                "allocated Local queue empty mid-packet");
+    const TileId up = mesh_.neighbor(at, static_cast<Direction>(in_port));
+    PARM_DCHECK(up != kInvalidTile, "wormhole chain walked off the mesh");
+    const std::size_t up_out =
+        lane(up, port_index(opposite(static_cast<Direction>(in_port))));
+    const int up_in = owner_in_[up_out];
+    PARM_DCHECK(up_in >= 0, "wormhole chain broken upstream");
+    if (up_in < 0) return -1;
+    at = up;
+    in_port = up_in;
+  }
+}
+
+void Network::purge_broken_packets() {
+  if (!fault_mode_) return;  // healthy mesh (e.g. the last repair)
+  // Phase 1: collect the ids of packets that can no longer complete —
+  // any flit buffered in a dead router, plus any wormhole allocation
+  // crossing a dead link or feeding a dead router (its remaining flits
+  // can never cross).
+  std::vector<std::int64_t> dead_pids;
+  for (TileId t = 0; t < tiles_; ++t) {
+    if (router_dead_[static_cast<std::size_t>(t)]) {
+      for (int p = 0; p < kPortCount; ++p) {
+        const FlitRing& buf = in_buf_[lane(t, p)];
+        for (std::uint32_t i = 0; i < buf.size(); ++i) {
+          dead_pids.push_back(buf.at(i).packet_id);
+        }
+      }
+      continue;
+    }
+    for (const Direction d : kCardinalDirections) {
+      const std::size_t ol = lane(t, port_index(d));
+      if (owner_in_[ol] < 0) continue;
+      const TileId nb = mesh_.neighbor(t, d);
+      const bool broken =
+          link_out_dead_[ol] != 0 ||
+          (nb != kInvalidTile && router_dead_[static_cast<std::size_t>(nb)]);
+      if (!broken) continue;
+      const std::int64_t pid = allocated_pid(t, port_index(d));
+      if (pid >= 0) dead_pids.push_back(pid);
+    }
+  }
+  if (dead_pids.empty()) return;
+  std::sort(dead_pids.begin(), dead_pids.end());
+  dead_pids.erase(std::unique(dead_pids.begin(), dead_pids.end()),
+                  dead_pids.end());
+  const auto is_dead = [&](std::int64_t pid) {
+    return std::binary_search(dead_pids.begin(), dead_pids.end(), pid);
+  };
+  // Phase 2: release every allocation owned by a purged packet, then
+  // sweep every buffer dropping its flits.
+  for (TileId t = 0; t < tiles_; ++t) {
+    for (int p = 0; p < kPortCount; ++p) {
+      const std::size_t ol = lane(t, p);
+      if (owner_in_[ol] < 0) continue;
+      const std::int64_t pid = allocated_pid(t, p);
+      if (pid >= 0 && is_dead(pid)) {
+        alloc_out_[lane(t, owner_in_[ol])] = -1;
+        owner_in_[ol] = -1;
+      }
+    }
+  }
+  std::vector<Flit> keep;
+  for (std::size_t l = 0; l < in_buf_.size(); ++l) {
+    FlitRing& buf = in_buf_[l];
+    bool any = false;
+    for (std::uint32_t i = 0; i < buf.size() && !any; ++i) {
+      any = is_dead(buf.at(i).packet_id);
+    }
+    if (!any) continue;
+    keep.clear();
+    for (std::uint32_t i = 0; i < buf.size(); ++i) {
+      const Flit& f = buf.at(i);
+      if (is_dead(f.packet_id)) {
+        ++fault_dropped_flits_;
+        --buffered_flits_;
+      } else {
+        keep.push_back(f);
+      }
+    }
+    buf.clear();
+    for (const Flit& f : keep) buf.push_back(f);
+  }
+}
+
+bool Network::packet_corrupt(std::int64_t packet_id, TileId eject_tile) const {
+  if (flit_error_rate_.empty()) return false;
+  const double rate = flit_error_rate_[static_cast<std::size_t>(eject_tile)];
+  if (rate <= 0.0) return false;
+  // Pure hash of (seed, packet id): order- and shard-independent, and it
+  // consumes no RNG stream, so enabling bit-errors perturbs nothing else.
+  SplitMix64 sm(fault_seed_ ^
+                (0x9e3779b97f4a7c15ULL *
+                 (static_cast<std::uint64_t>(packet_id) + 1)));
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
 void Network::set_trace_capacity(std::size_t cap) {
   PARM_CHECK(cap >= 1, "trace capacity must be at least 1");
   trace_capacity_ = cap;
@@ -127,6 +345,14 @@ void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
   PARM_CHECK(dst >= 0 && dst < tiles_, "bad destination tile");
   PARM_CHECK(src != dst, "cannot inject to self");
   PARM_CHECK(app_id >= -1, "negative app ids other than -1 are reserved");
+  if (fault_mode_ && router_dead_[static_cast<std::size_t>(src)]) {
+    // A dead router's NIC can't inject: account the packet as offered
+    // and immediately lost so flit conservation still balances.
+    injected_flits_ += static_cast<std::uint64_t>(cfg_.flits_per_packet);
+    fault_dropped_flits_ +=
+        static_cast<std::uint64_t>(cfg_.flits_per_packet);
+    return;
+  }
   const std::int64_t pid = next_packet_id_++;
   if (tracing_) trace_append(pid, src);
   FlitRing& queue = in_buf_[lane(src, port_index(Direction::Local))];
@@ -166,6 +392,27 @@ void Network::allocate_range(TileId lo, TileId hi) {
       const TileId dst = buf.front_dst();
       if (dst == t) {
         out = Direction::Local;
+      } else if (fault_mode_) {
+        // Degraded routing: follow the spanning tree of the alive graph;
+        // unreachable destinations eject here (drop sink — counted as
+        // fault-dropped at the barrier, never as delivered).
+        const TileId nh =
+            fault_next_[static_cast<std::size_t>(t) *
+                            static_cast<std::size_t>(tiles_) +
+                        static_cast<std::size_t>(dst)];
+        if (nh == kInvalidTile) {
+          out = Direction::Local;
+        } else {
+          out = Direction::Local;  // overwritten below
+          for (const Direction d : kCardinalDirections) {
+            if (mesh_.neighbor(t, d) == nh) {
+              out = d;
+              break;
+            }
+          }
+          PARM_DCHECK(out != Direction::Local,
+                      "degraded next hop is not a neighbor");
+        }
       } else {
         RoutingState state;
         state.tile_psn_percent = &tile_psn_;
@@ -229,8 +476,12 @@ void Network::decide_forwards() {
         continue;
       }
       const Direction out = static_cast<Direction>(d);
+      if (fault_mode_ && link_out_dead_[ol]) continue;  // link died
       const TileId next = mesh_.neighbor(t, out);
       PARM_DCHECK(next != kInvalidTile, "allocated output leaves the mesh");
+      if (fault_mode_ && router_dead_[static_cast<std::size_t>(next)]) {
+        continue;  // downstream router died
+      }
       const std::size_t nl = lane(next, port_index(opposite(out)));
       bool space = in_buf_[nl].size() < depth;
       if (!space && next < t && popped_cycle_[nl] == cycle_) space = true;
@@ -259,7 +510,14 @@ void Network::apply_range(TileId lo, TileId hi, std::uint32_t shard) {
         EjectRecord rec;
         rec.app_id = f.app_id;
         rec.tail = is_tail(f.kind) ? 1 : 0;
+        rec.misdelivered = f.dst != t ? 1 : 0;
+        rec.corrupt = rec.misdelivered == 0 && packet_corrupt(f.packet_id, t)
+                          ? 1
+                          : 0;
         rec.latency_cycles = cycle_ - f.inject_cycle;
+        rec.packet_id = f.packet_id;
+        rec.src = f.src;
+        rec.dst = f.dst;
         acc.ejects.push_back(rec);
         if (rec.tail) {
           alloc_out_[il] = -1;
@@ -314,8 +572,26 @@ void Network::finish_cycle(std::uint32_t active_shards) {
     // of how routers were grouped into shards.
     for (const EjectRecord& rec : acc.ejects) {
       any_ejects = true;
-      ++delivered_flits_;
       --buffered_flits_;
+      if (rec.misdelivered || rec.corrupt) {
+        // Drop-sink ejection or bit-error: the flit never reaches its
+        // app. A corrupted packet is retransmitted from its source once
+        // its tail has drained (unless an endpoint died meanwhile).
+        ++fault_dropped_flits_;
+        if (rec.tail && rec.corrupt) {
+          ++corrupt_packets_;
+          const bool endpoint_dead =
+              fault_mode_ &&
+              (router_dead_[static_cast<std::size_t>(rec.src)] ||
+               router_dead_[static_cast<std::size_t>(rec.dst)]);
+          if (!endpoint_dead) {
+            inject_packet(rec.src, rec.dst, rec.app_id);
+            ++retransmitted_packets_;
+          }
+        }
+        continue;
+      }
+      ++delivered_flits_;
       AppLatencyStats& st = app_slot(rec.app_id);
       ++st.flits_delivered;
       if (rec.tail) {
@@ -495,6 +771,23 @@ void Network::save(snapshot::Writer& w) const {
     w.u64(st.flits_delivered);
     w.f64(st.total_packet_latency_cycles);
   }
+  // Fault state (masks as bool vectors; the degraded routing table is
+  // derived, rebuilt on restore).
+  std::vector<bool> link_dead(link_out_dead_.size());
+  for (std::size_t i = 0; i < link_out_dead_.size(); ++i) {
+    link_dead[i] = link_out_dead_[i] != 0;
+  }
+  std::vector<bool> rdead(router_dead_.size());
+  for (std::size_t i = 0; i < router_dead_.size(); ++i) {
+    rdead[i] = router_dead_[i] != 0;
+  }
+  w.vec_bool(link_dead);
+  w.vec_bool(rdead);
+  w.vec_f64(flit_error_rate_);
+  w.u64(fault_seed_);
+  w.u64(fault_dropped_flits_);
+  w.u64(corrupt_packets_);
+  w.u64(retransmitted_packets_);
 }
 
 void Network::restore(snapshot::Reader& r) {
@@ -574,6 +867,28 @@ void Network::restore(snapshot::Reader& r) {
   }
   app_view_.clear();
   app_view_dirty_ = !app_dense_.empty();
+  const std::vector<bool> link_dead = r.vec_bool();
+  const std::vector<bool> rdead = r.vec_bool();
+  if (link_dead.size() != link_out_dead_.size() ||
+      rdead.size() != router_dead_.size()) {
+    throw snapshot::SnapshotError("network fault mask size corrupt");
+  }
+  for (std::size_t i = 0; i < link_dead.size(); ++i) {
+    link_out_dead_[i] = link_dead[i] ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < rdead.size(); ++i) {
+    router_dead_[i] = rdead[i] ? 1 : 0;
+  }
+  flit_error_rate_ = r.vec_f64();
+  if (!flit_error_rate_.empty() &&
+      flit_error_rate_.size() != static_cast<std::size_t>(tiles)) {
+    throw snapshot::SnapshotError("network flit error rate size corrupt");
+  }
+  fault_seed_ = r.u64();
+  fault_dropped_flits_ = r.u64();
+  corrupt_packets_ = r.u64();
+  retransmitted_packets_ = r.u64();
+  rebuild_fault_state();
   traces_.clear();
   trace_order_.clear();
   // Decision-pass scratch must not alias the restored clock.

@@ -92,6 +92,66 @@ class Network {
   /// Updates the per-tile PSN sensor values PANR consults (percent).
   void set_tile_psn(std::vector<double> psn_percent);
 
+  // --- Topology faults (degraded mode) ---
+  //
+  // While any link or router is dead the network routes on a BFS spanning
+  // tree of the alive graph instead of the installed RoutingAlgorithm:
+  // tree paths are up*/down* with respect to the BFS root, so the channel
+  // dependency graph is acyclic and degraded routing is deadlock-free by
+  // construction, at the cost of longer (non-minimal) paths. Packets for
+  // dead or unreachable destinations are ejected at the current router
+  // and counted in fault_dropped_flits() instead of the delivery stats.
+  // Both calls purge every packet that can no longer complete (flits
+  // buffered in a dead router, or wormhole allocations crossing a dead
+  // link/into a dead router), counting the removed flits as dropped, and
+  // rebuild the tree — call them between windows, never mid-cycle.
+
+  /// Fails (dead = true) or repairs the full-duplex link between `t` and
+  /// its neighbor in direction `d` (both travel directions together).
+  void set_link_fault(TileId t, Direction d, bool dead);
+  bool link_fault(TileId t, Direction d) const {
+    return link_out_dead_[lane(t, port_index(d))] != 0;
+  }
+  /// Fails or repairs a whole router (all its links plus its NIC).
+  void set_router_fault(TileId t, bool dead);
+  bool router_fault(TileId t) const {
+    return router_dead_[static_cast<std::size_t>(t)] != 0;
+  }
+  /// True while any link or router is dead (degraded tree routing).
+  bool fault_mode() const { return fault_mode_; }
+  /// Next hop from `from` toward `dst` on the degraded spanning tree, or
+  /// kInvalidTile when dst is dead/unreachable (meaningful only while
+  /// fault_mode() is true). Test/diagnostic hook.
+  TileId fault_next_hop(TileId from, TileId dst) const;
+
+  // --- Transient flit bit-errors ---
+  //
+  // A packet is corrupted at ejection with the per-tile probability set
+  // here (evaluated at the ejection tile). The decision is a pure hash of
+  // (fault seed, packet id) — no RNG stream is consumed, so results are
+  // independent of shard count and cycle interleaving. A corrupted
+  // packet's flits count as fault-dropped, not delivered; when its tail
+  // ejects, a replacement packet is re-injected at the original source
+  // (retransmission), visible as added latency and load.
+
+  /// Per-tile corruption probability per packet (empty = disabled).
+  void set_flit_error_rates(std::vector<double> rate_per_packet);
+  /// Seed for the corruption hash (defaults to 0).
+  void set_fault_seed(std::uint64_t seed) { fault_seed_ = seed; }
+
+  /// Flits removed by faults: purged by topology transitions, ejected at
+  /// a drop sink (dead/unreachable destination), or corrupted. Cumulative
+  /// over the network's lifetime — reset_stats() does not clear it, so
+  /// `injected == delivered + fault_dropped + in_flight` holds between
+  /// stat resets only when faults are off.
+  std::uint64_t fault_dropped_flits() const { return fault_dropped_flits_; }
+  /// Packets corrupted at ejection (tails seen). Cumulative.
+  std::uint64_t corrupt_packets() const { return corrupt_packets_; }
+  /// Replacement packets re-injected after corruption. Cumulative.
+  std::uint64_t retransmitted_packets() const {
+    return retransmitted_packets_;
+  }
+
   /// Enables per-packet route tracing: every router a head flit visits is
   /// recorded, queryable via traced_route(). Bounded: at most
   /// trace_capacity() packets are retained (oldest-first eviction, see
@@ -182,10 +242,12 @@ class Network {
   /// Serializes the complete cycle-level state: every input buffer's
   /// flits, wormhole allocations, round-robin arbiter pointers, rate
   /// EWMAs, the cycle/packet-id counters, and the latency accounting.
-  /// The byte stream is identical to the pre-SoA format. Per-packet
-  /// route traces are debug state and are not serialized (tracing must
-  /// be off when saving). App stats are written in ascending app-id
-  /// order so the stream is layout independent.
+  /// The byte stream is the pre-SoA format plus a trailing fault block
+  /// (masks, error rates, fault counters; the degraded routing table is
+  /// derived and rebuilt on restore). Per-packet route traces are debug
+  /// state and are not serialized (tracing must be off when saving). App
+  /// stats are written in ascending app-id order so the stream is layout
+  /// independent.
   void save(snapshot::Writer& w) const;
   void restore(snapshot::Reader& r);
 
@@ -204,7 +266,12 @@ class Network {
   struct EjectRecord {
     std::int32_t app_id;
     std::uint8_t tail;
+    std::uint8_t misdelivered;  ///< drop-sink ejection (dst unreachable)
+    std::uint8_t corrupt;       ///< bit-error at the ejection tile
     std::uint64_t latency_cycles;
+    std::int64_t packet_id;
+    TileId src;
+    TileId dst;
   };
   /// Per-shard deltas, merged serially in shard order. Padded so
   /// concurrently written accumulators never share a cache line.
@@ -235,6 +302,18 @@ class Network {
   AppLatencyStats& app_slot(std::int32_t app_id);
   void trace_append(std::int64_t packet_id, TileId tile);
 
+  /// Recomputes fault_mode_ and the degraded-routing tree after a mask
+  /// change (or a restore).
+  void rebuild_fault_state();
+  /// Packet id allocated across output lane `ol`, found by walking the
+  /// wormhole allocation chain upstream to the first non-empty buffer.
+  std::int64_t allocated_pid(TileId t, int out_port) const;
+  /// Removes every packet that can no longer complete after a topology
+  /// transition, releasing its allocations and counting its flits as
+  /// fault-dropped.
+  void purge_broken_packets();
+  bool packet_corrupt(std::int64_t packet_id, TileId eject_tile) const;
+
   MeshGeometry mesh_;
   NocConfig cfg_;
   std::unique_ptr<RoutingAlgorithm> routing_;
@@ -255,6 +334,21 @@ class Network {
 
   std::vector<double> tile_psn_;
   std::vector<double> incoming_rates_;
+
+  // --- Fault state (all empty-effect when no fault was ever set) ---
+  bool fault_mode_ = false;
+  std::vector<std::uint8_t> link_out_dead_;  ///< per lane, cardinal only
+  std::vector<std::uint8_t> router_dead_;    ///< per tile
+  /// Degraded next-hop table [t * tiles + dst]; kInvalidTile when
+  /// unreachable. Rebuilt by rebuild_fault_state, sized only in fault
+  /// mode.
+  std::vector<TileId> fault_next_;
+  std::vector<double> flit_error_rate_;  ///< per tile; empty = off
+  std::uint64_t fault_seed_ = 0;
+  std::uint64_t fault_dropped_flits_ = 0;
+  std::uint64_t corrupt_packets_ = 0;
+  std::uint64_t retransmitted_packets_ = 0;
+
   std::uint64_t cycle_ = 0;
   std::int64_t next_packet_id_ = 0;
   std::uint64_t injected_flits_ = 0;

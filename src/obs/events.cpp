@@ -35,6 +35,16 @@ const char* event_type_name(EventType type) {
       return "noc.congestion_onset";
     case EventType::kNocCongestionClear:
       return "noc.congestion_clear";
+    case EventType::kFaultLinkDown:
+      return "fault.link_down";
+    case EventType::kFaultLinkUp:
+      return "fault.link_up";
+    case EventType::kFaultRouterDown:
+      return "fault.router_down";
+    case EventType::kFaultRouterUp:
+      return "fault.router_up";
+    case EventType::kFaultSensorDropout:
+      return "fault.sensor_dropout";
   }
   return "unknown";
 }
@@ -66,6 +76,15 @@ EventPayloadKeys event_payload_keys(EventType type) {
     case EventType::kNocCongestionOnset:
     case EventType::kNocCongestionClear:
       return {"delivery_ratio", "avg_latency_cycles"};
+    case EventType::kFaultLinkDown:
+    case EventType::kFaultLinkUp:
+      return {"direction", nullptr};
+    case EventType::kFaultRouterDown:
+      return {nullptr, "stranded_tasks"};
+    case EventType::kFaultRouterUp:
+      return {nullptr, nullptr};
+    case EventType::kFaultSensorDropout:
+      return {"held_percent", "true_percent"};
   }
   return {};
 }

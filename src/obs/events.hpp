@@ -39,11 +39,17 @@ enum class EventType : std::uint16_t {
   kNocCongestionOnset,  ///< window delivery ratio fell below threshold
                         ///< (a=delivery ratio, b=avg latency cycles)
   kNocCongestionClear,  ///< delivery ratio recovered
+  kFaultLinkDown,       ///< a NoC link failed (tile + a=direction)
+  kFaultLinkUp,         ///< a failed link was repaired (a=direction)
+  kFaultRouterDown,     ///< a router/tile died (b=stranded tasks)
+  kFaultRouterUp,       ///< a dead router was repaired
+  kFaultSensorDropout,  ///< a PSN sensor dropped a reading this epoch
+                        ///< (a=held stale value, b=true value)
 };
 
 /// Number of distinct event types (one past the last enumerator).
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::kNocCongestionClear) + 1;
+    static_cast<std::size_t>(EventType::kFaultSensorDropout) + 1;
 
 /// Stable lower-case dotted name ("app.admit", "ve.onset", ...).
 const char* event_type_name(EventType type);

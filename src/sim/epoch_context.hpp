@@ -113,6 +113,15 @@ struct EpochContext {
   std::map<std::int32_t, double> app_latency;
   std::vector<double> tile_psn_peak;
   std::vector<double> tile_psn_avg;
+  /// What the management layer *believes* the per-tile peak PSN is. The
+  /// fault phase copies tile_psn_peak here and then perturbs it (sensor
+  /// dropout holds the stale reading), so physics keeps acting on the
+  /// true values while throttling/admission act on the sensed ones.
+  /// Equal to tile_psn_peak whenever faults are disabled.
+  std::vector<double> tile_psn_sensed;
+  /// Tiles whose router/core is currently failed: tasks stranded there
+  /// make no progress and are exempt from VE accounting until repair.
+  std::vector<char> tile_dead;
   /// Tiles throttled this epoch by the proactive guard (from last
   /// epoch's sensor readings).
   std::vector<bool> tile_throttled;

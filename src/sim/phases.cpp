@@ -291,6 +291,17 @@ void NocSamplingPhase::run(EpochContext& ctx) {
   ctx.router_activity = w.router_activity;
   ctx.app_latency = w.app_latency;
   if (w.avg_latency > 0.0) latency_stats_.add(w.avg_latency);
+  delivery_stats_.add(w.delivery_ratio);
+  // Deadlock oracle: a full measurement window in which nothing moved —
+  // no forwards, no deliveries — while flits stayed buffered means the
+  // network can no longer drain (impossible under healthy dimension-order
+  // or spanning-tree routing; pinned by tests/property_test.cpp).
+  double total_forwarded = 0.0;
+  for (const double a : w.router_activity) total_forwarded += a;
+  if (network_->in_flight_flits() > 0 && w.delivered_flits == 0 &&
+      total_forwarded == 0.0) {
+    ++deadlock_windows_;
+  }
   ctx.epoch_noc_latency = w.avg_latency;
   const bool congested =
       w.delivery_ratio < ctx.cfg->noc_congestion_delivery_ratio;
@@ -322,12 +333,16 @@ void NocSamplingPhase::run(EpochContext& ctx) {
 void NocSamplingPhase::save(snapshot::Writer& w) const {
   w.begin_section("NOCS");
   save_stats(w, latency_stats_);
+  save_stats(w, delivery_stats_);
+  w.u64(deadlock_windows_);
   network_->save(w);
 }
 
 void NocSamplingPhase::restore(snapshot::Reader& r) {
   r.expect_section("NOCS");
   restore_stats(r, latency_stats_);
+  restore_stats(r, delivery_stats_);
+  deadlock_windows_ = r.u64();
   network_->restore(r);
 }
 
@@ -355,7 +370,9 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
                          cfg.throttle_guard_percent;
     for (std::size_t t = 0; t < ctx.tile_throttled.size(); ++t) {
       const bool was_throttled = ctx.tile_throttled[t];
-      ctx.tile_throttled[t] = ctx.tile_psn_peak[t] > limit;
+      // Management decision, so it reads the *sensed* PSN (equal to the
+      // true peak unless the fault phase dropped this tile's sensor).
+      ctx.tile_throttled[t] = ctx.tile_psn_sensed[t] > limit;
       if (ctx.tile_throttled[t]) ++total_throttle_epochs_;
       if (ctx.tile_throttled[t] && !was_throttled &&
           ctx.recorder != nullptr && ctx.recorder->enabled()) {
@@ -369,7 +386,7 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
           }
         }
         ctx.emit(obs::EventType::kAppThrottle, app_id,
-                 static_cast<std::int32_t>(t), -1, ctx.tile_psn_peak[t]);
+                 static_cast<std::int32_t>(t), -1, ctx.tile_psn_sensed[t]);
       }
     }
   }
@@ -620,6 +637,13 @@ void EmergencyAndProgressPhase::run(EpochContext& ctx, double now) {
     for (RunningTask& task : app.tasks) {
       if (task.done()) continue;
       const std::size_t ti = static_cast<std::size_t>(task.tile);
+      // A task stranded on a dead router is frozen: no progress, no VE
+      // rolls, no heat accounting, until repair frees (or re-maps) it.
+      if (ctx.tile_dead[ti] != 0) {
+        task.progress_rate_cps = 0.0;
+        task.hot_epochs = 0;
+        continue;
+      }
       const double peak = ctx.tile_psn_peak[ti];
       const double avg = ctx.tile_psn_avg[ti];
 

@@ -96,6 +96,16 @@ class NocSamplingPhase {
   void run(EpochContext& ctx);
 
   const RunningStats& latency_stats() const { return latency_stats_; }
+  /// Delivery ratio of every measured window (min is the run's floor).
+  const RunningStats& delivery_stats() const { return delivery_stats_; }
+  /// Measured windows with zero forwards and zero deliveries while flits
+  /// stayed buffered in the network — the routing-deadlock oracle.
+  std::uint64_t deadlock_windows() const { return deadlock_windows_; }
+
+  /// The phase's network — the fault phase steers topology faults and
+  /// bit-error rates into it.
+  noc::Network& network() { return *network_; }
+  const noc::Network& network() const { return *network_; }
 
   void save(snapshot::Writer& w) const;
   void restore(snapshot::Reader& r);
@@ -108,6 +118,8 @@ class NocSamplingPhase {
   /// window per sampled epoch; see noc::WindowMetrics).
   noc::WindowMetrics window_metrics_;
   RunningStats latency_stats_;
+  RunningStats delivery_stats_;
+  std::uint64_t deadlock_windows_ = 0;
   /// Congestion edge detector for noc.congestion_onset/_clear events.
   /// Observe-only and deliberately not snapshotted: a resumed run
   /// re-detects the level from its first window, like the recorder

@@ -10,6 +10,7 @@
 
 #include "cmp/platform.hpp"
 #include "core/framework.hpp"
+#include "fault/fault_model.hpp"
 #include "noc/window_sim.hpp"
 #include "pdn/psn_estimator.hpp"
 #include "sched/checkpoint.hpp"
@@ -127,6 +128,13 @@ struct SimConfig {
   };
   std::vector<FaultInjection> fault_injections;
 
+  /// Hardware fault injection (fault/fault_model.hpp): scheduled/random
+  /// link and router failures, per-epoch sensor dropout, and
+  /// droop-dependent flit bit-errors. Off by default; with
+  /// `faults.enabled == false` the engine is bit-identical to a build
+  /// without the fault subsystem (pinned by tests/fault_test.cpp).
+  fault::FaultConfig faults;
+
   /// Throws CheckError with a descriptive message when any field is out
   /// of range (non-positive epoch or time limits, throttle/migration
   /// parameters outside their domains, unsorted fault injections).
@@ -180,6 +188,25 @@ struct SimResult {
   double energy_per_completed_app_j = 0.0;
   bool timed_out = false;  ///< hit max_sim_time_s with work remaining
   TelemetryRecorder telemetry;  ///< filled when record_telemetry is set
+
+  // --- NoC window health over the run (campaign property inputs) ---
+  /// Mean/minimum delivery ratio over the measured NoC windows (1.0 when
+  /// no window ran).
+  double avg_delivery_ratio = 1.0;
+  double min_delivery_ratio = 1.0;
+  /// Measured NoC windows that made no forward progress while flits were
+  /// buffered — the routing-deadlock oracle (0 on a live network).
+  std::uint64_t deadlock_windows = 0;
+
+  // --- Fault-injection counters (all 0 unless SimConfig::faults.enabled) ---
+  std::uint64_t fault_dropped_flits = 0;   ///< purged/misdelivered/corrupt
+  std::uint64_t corrupt_packets = 0;       ///< bit-error at ejection
+  std::uint64_t retransmitted_packets = 0;
+  std::uint64_t link_fault_events = 0;     ///< link down+up transitions
+  std::uint64_t router_fault_events = 0;   ///< router down+up transitions
+  std::uint64_t sensor_dropout_epochs = 0; ///< tile-epochs of stale sensing
+  std::uint64_t fault_task_remaps = 0;     ///< tasks moved off dead routers
+  std::uint64_t fault_stranded_tasks = 0;  ///< tasks with nowhere to go
 };
 
 }  // namespace parm::sim

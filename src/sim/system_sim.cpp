@@ -87,6 +87,7 @@ void SimConfig::validate() const {
                               return a.time_s < b.time_s;
                             }),
              "SimConfig: fault injections must be sorted by time");
+  faults.validate();
 }
 
 SystemSimulator::SystemSimulator(SimConfig cfg,
@@ -108,7 +109,8 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
            &metrics_),
       psn_(platform_.technology(), cfg_.psn, &metrics_),
       emergency_(cfg_.checkpoint, &metrics_),
-      telemetry_(&metrics_) {
+      telemetry_(&metrics_),
+      fault_(cfg_.faults, platform_.mesh(), cfg_.seed) {
   PARM_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end(),
                             [](const auto& a, const auto& b) {
                               return a.arrival_s < b.arrival_s;
@@ -127,7 +129,12 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
   ctx_.tile_psn_avg.assign(n, 0.0);
   ctx_.tile_throttled.assign(n, false);
   ctx_.noc_psn_sensor.assign(n, 0.0);
+  ctx_.tile_psn_sensed.assign(n, 0.0);
+  ctx_.tile_dead.assign(n, 0);
   ctx_.outcomes.resize(arrivals_.size());
+  // The counter-based bit-error hash shares the fault stream's salt so
+  // corruption is a pure function of (seed, packet id, tile).
+  noc_.network().set_fault_seed(cfg_.seed ^ fault::kFaultSeedSalt);
 }
 
 SystemSimulator::~SystemSimulator() = default;
@@ -188,6 +195,25 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
     mix_f64(h, f.time_s);
     mix(h, static_cast<std::uint64_t>(f.tile));
   }
+  // Hardware fault injection changes dynamics, so every knob (and the
+  // explicit schedule) pins the snapshot.
+  mix(h, cfg_.faults.enabled ? 1u : 0u);
+  mix(h, cfg_.faults.schedule.events.size());
+  for (const auto& e : cfg_.faults.schedule.events) {
+    mix(h, static_cast<std::uint64_t>(e.kind));
+    mix_f64(h, e.time_s);
+    mix(h, static_cast<std::uint64_t>(e.tile));
+    mix(h, static_cast<std::uint64_t>(e.dir));
+  }
+  mix(h, static_cast<std::uint64_t>(cfg_.faults.random_link_failures));
+  mix(h, static_cast<std::uint64_t>(cfg_.faults.random_router_failures));
+  mix_f64(h, cfg_.faults.random_fail_window_s);
+  mix_f64(h, cfg_.faults.repair_after_s);
+  mix_f64(h, cfg_.faults.sensor_dropout_per_epoch);
+  mix_f64(h, cfg_.faults.bit_error_base);
+  mix_f64(h, cfg_.faults.bit_error_psn_slope);
+  mix_f64(h, cfg_.faults.bit_error_psn_onset_percent);
+  mix_f64(h, cfg_.faults.bit_error_cap);
   mix(h, arrivals_.size());
   for (const auto& a : arrivals_) {
     mix(h, static_cast<std::uint64_t>(a.id));
@@ -218,6 +244,7 @@ void SystemSimulator::save_state(snapshot::Writer& w) const {
   emergency_.save(w);
   migration_.save(w);
   telemetry_.save(w);
+  fault_.save(w);
 
   platform_.save(w);
 
@@ -233,6 +260,14 @@ void SystemSimulator::save_state(snapshot::Writer& w) const {
   w.vec_f64(ctx_.tile_psn_avg);
   w.vec_bool(ctx_.tile_throttled);
   w.vec_f64(ctx_.noc_psn_sensor);
+  w.vec_f64(ctx_.tile_psn_sensed);
+  {
+    std::vector<bool> dead(ctx_.tile_dead.size());
+    for (std::size_t i = 0; i < ctx_.tile_dead.size(); ++i) {
+      dead[i] = ctx_.tile_dead[i] != 0;
+    }
+    w.vec_bool(dead);
+  }
   w.u64(ctx_.app_latency.size());
   for (const auto& [app, lat] : ctx_.app_latency) {  // std::map: sorted
     w.i32(app);
@@ -317,6 +352,7 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
   emergency_.restore(r, ctx_);
   migration_.restore(r);
   telemetry_.restore(r);
+  fault_.restore(r);
 
   platform_.restore(r);
 
@@ -333,13 +369,19 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
   ctx_.tile_psn_avg = r.vec_f64();
   ctx_.tile_throttled = r.vec_bool();
   ctx_.noc_psn_sensor = r.vec_f64();
+  ctx_.tile_psn_sensed = r.vec_f64();
+  const std::vector<bool> dead = r.vec_bool();
   if (ctx_.router_activity.size() != n_tiles ||
       ctx_.tile_psn_peak.size() != n_tiles ||
       ctx_.tile_psn_avg.size() != n_tiles ||
       ctx_.tile_throttled.size() != n_tiles ||
-      ctx_.noc_psn_sensor.size() != n_tiles) {
+      ctx_.noc_psn_sensor.size() != n_tiles ||
+      ctx_.tile_psn_sensed.size() != n_tiles || dead.size() != n_tiles) {
     throw snapshot::SnapshotError(
         "snapshot per-tile state does not match the platform's tile count");
+  }
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    ctx_.tile_dead[i] = dead[i] ? 1 : 0;
   }
   ctx_.app_latency.clear();
   const std::uint64_t n_lat = r.count(12);
@@ -464,6 +506,9 @@ SimResult SystemSimulator::run() {
   SimResult result;
   while (true) {
     obs::ScopedTrace epoch_trace("sim", "sim.epoch");
+    // Topology faults fire first so admission, the NoC window, and the
+    // power models all see this epoch's (possibly degraded) hardware.
+    fault_.apply_topology(ctx_, noc_.network());
     admission_.process_arrivals(ctx_);
 
     if (ctx_.epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) ==
@@ -471,6 +516,9 @@ SimResult SystemSimulator::run() {
       noc_.run(ctx_);
     }
     psn_.run(ctx_);
+    // Observe-then-perturb: the PSN phase wrote the truth; the fault
+    // phase derives what the sensors *report* before any consumer acts.
+    fault_.perturb_sensors(ctx_, noc_.network());
     emergency_.run(ctx_, ctx_.t);
     if (cfg_.enable_migration) migration_.run(ctx_);
     telemetry_.run(ctx_, admission_.queue_size());
@@ -530,6 +578,20 @@ SimResult SystemSimulator::run() {
       result.completed_count > 0
           ? result.total_energy_j / result.completed_count
           : 0.0;
+  if (noc_.delivery_stats().count() > 0) {
+    result.avg_delivery_ratio = noc_.delivery_stats().mean();
+    result.min_delivery_ratio = noc_.delivery_stats().min();
+  }
+  result.deadlock_windows = noc_.deadlock_windows();
+  const noc::Network& net = noc_.network();
+  result.fault_dropped_flits = net.fault_dropped_flits();
+  result.corrupt_packets = net.corrupt_packets();
+  result.retransmitted_packets = net.retransmitted_packets();
+  result.link_fault_events = fault_.link_fault_events();
+  result.router_fault_events = fault_.router_fault_events();
+  result.sensor_dropout_epochs = fault_.sensor_dropout_epochs();
+  result.fault_task_remaps = fault_.task_remaps();
+  result.fault_stranded_tasks = fault_.stranded_tasks();
   result.telemetry = telemetry_.recorder();
   return result;
 }

@@ -37,6 +37,7 @@
 #include "appmodel/workload.hpp"
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
+#include "fault/fault_phase.hpp"
 #include "obs/metrics.hpp"
 #include "sim/epoch_context.hpp"
 #include "sim/phases.hpp"
@@ -134,6 +135,10 @@ class SystemSimulator {
   EmergencyAndProgressPhase emergency_;
   MigrationPhase migration_;
   TelemetryPhase telemetry_;
+  /// Fault injection (SimConfig::faults): topology transitions fire at
+  /// the loop top, sensor perturbation right after PSN sampling. Inert
+  /// (and bit-identical to its absence) when faults are disabled.
+  fault::FaultPhase fault_;
 
   // Periodic-snapshot configuration (off unless enabled).
   std::uint64_t snapshot_every_ = 0;

@@ -1,0 +1,299 @@
+// Monte Carlo campaign test suite (src/campaign):
+//  - Wilson and Clopper-Pearson intervals pinned against published table
+//    values, plus their structural invariants (nesting, monotonicity,
+//    edge cases at k = 0 and k = n);
+//  - property evaluation over synthetic run sets (failure counting,
+//    failing-seed capture, pass/fail verdicts including the bound-zero
+//    rule);
+//  - a real mini-campaign on the fleet driver: repeatable byte-for-byte
+//    across repeats, thread counts, and batch widths, with a
+//    well-formed JSON report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/stats.hpp"
+#include "common/check.hpp"
+#include "exp/experiments.hpp"
+
+namespace parm {
+namespace {
+
+// ------------------------------------------------------------ intervals
+
+TEST(WilsonInterval, MatchesKnownTableValues) {
+  // k = 5, n = 100 at 95 %: the standard worked example
+  // (e.g. Brown/Cai/DasGupta 2001): [0.0215, 0.1118].
+  const campaign::Interval iv = campaign::wilson_interval(5, 100);
+  EXPECT_NEAR(iv.lower, 0.0215, 5e-4);
+  EXPECT_NEAR(iv.upper, 0.1118, 5e-4);
+
+  // k = 0: lower pins to 0, upper is z^2 / (n + z^2).
+  const campaign::Interval zero = campaign::wilson_interval(0, 50);
+  EXPECT_EQ(zero.lower, 0.0);
+  const double z = 1.959963984540054;
+  EXPECT_NEAR(zero.upper, z * z / (50.0 + z * z), 1e-12);
+
+  // Symmetry: k successes and n-k failures mirror around 1/2.
+  const campaign::Interval a = campaign::wilson_interval(20, 80);
+  const campaign::Interval b = campaign::wilson_interval(60, 80);
+  EXPECT_NEAR(a.lower, 1.0 - b.upper, 1e-12);
+  EXPECT_NEAR(a.upper, 1.0 - b.lower, 1e-12);
+}
+
+TEST(ClopperPearson, MatchesKnownTableValues) {
+  // k = 0, n = 200: upper bound is 1 - (alpha/2)^(1/n) ~ 0.01827 — the
+  // "rule of three"-adjacent exact bound the CI smoke job relies on.
+  const campaign::Interval zero = campaign::clopper_pearson_interval(0, 200);
+  EXPECT_EQ(zero.lower, 0.0);
+  EXPECT_NEAR(zero.upper, 1.0 - std::pow(0.025, 1.0 / 200.0), 1e-9);
+
+  // k = 5, n = 100 at 95 %: published exact interval [0.0164, 0.1128].
+  const campaign::Interval iv = campaign::clopper_pearson_interval(5, 100);
+  EXPECT_NEAR(iv.lower, 0.0164, 5e-4);
+  EXPECT_NEAR(iv.upper, 0.1128, 5e-4);
+
+  // k = n mirrors k = 0.
+  const campaign::Interval full =
+      campaign::clopper_pearson_interval(200, 200);
+  EXPECT_EQ(full.upper, 1.0);
+  EXPECT_NEAR(full.lower, std::pow(0.025, 1.0 / 200.0), 1e-9);
+}
+
+TEST(ClopperPearson, CoversTheWilsonPointEstimate) {
+  // Exact intervals are conservative: they contain the MLE and are no
+  // tighter than Wilson at the extremes.
+  for (const std::uint64_t k : {0u, 1u, 7u, 50u, 99u, 100u}) {
+    const campaign::Interval cp =
+        campaign::clopper_pearson_interval(k, 100);
+    const double p = static_cast<double>(k) / 100.0;
+    EXPECT_LE(cp.lower, p + 1e-12) << "k=" << k;
+    EXPECT_GE(cp.upper, p - 1e-12) << "k=" << k;
+    EXPECT_LE(cp.lower, cp.upper) << "k=" << k;
+  }
+}
+
+TEST(IncompleteBeta, MatchesClosedForms) {
+  // I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a.
+  EXPECT_NEAR(campaign::regularized_incomplete_beta(1.0, 4.0, 0.3),
+              1.0 - std::pow(0.7, 4.0), 1e-12);
+  EXPECT_NEAR(campaign::regularized_incomplete_beta(3.0, 1.0, 0.6),
+              std::pow(0.6, 3.0), 1e-12);
+  // Symmetry identity.
+  EXPECT_NEAR(campaign::regularized_incomplete_beta(2.5, 4.5, 0.2),
+              1.0 - campaign::regularized_incomplete_beta(4.5, 2.5, 0.8),
+              1e-12);
+}
+
+TEST(Intervals, DegenerateAndInvalidInputs) {
+  const campaign::Interval w = campaign::wilson_interval(0, 0);
+  EXPECT_EQ(w.lower, 0.0);
+  EXPECT_EQ(w.upper, 1.0);
+  EXPECT_THROW(campaign::wilson_interval(5, 4), CheckError);
+  EXPECT_THROW(campaign::clopper_pearson_interval(5, 4), CheckError);
+  EXPECT_THROW(campaign::clopper_pearson_interval(1, 10, 1.5), CheckError);
+}
+
+// ------------------------------------------- synthetic property evaluation
+
+/// A tiny 1-app campaign whose property outcomes are forced by predicates
+/// over the seed-dependent result — here we instead drive the generic
+/// machinery directly with synthetic SimResults through run_campaign's
+/// verdict rules, using trivial simulations only as carriers.
+campaign::CampaignConfig tiny_campaign(int runs, int batch) {
+  campaign::CampaignConfig cfg;
+  cfg.fleet.chip = exp::default_sim_config();
+  cfg.fleet.chip.max_sim_time_s = 0.004;  // 4 epochs: cheap carrier runs
+  cfg.fleet.chip_count = batch;
+  cfg.runs = runs;
+  cfg.first_seed = 10;
+  return cfg;
+}
+
+std::vector<appmodel::AppArrival> tiny_workload() {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Compute;
+  seq.app_count = 1;
+  seq.inter_arrival_s = 0.001;
+  seq.seed = 3;
+  return appmodel::make_sequence(seq);
+}
+
+TEST(CampaignVerdict, CountsFailuresAndCapturesSeeds) {
+  // "Fails on even seeds" — deterministic, seed-addressable outcomes.
+  // The predicate sees per-run results; we reconstruct seeds from the
+  // report's failing_seeds list.
+  int calls = 0;
+  campaign::PropertySpec parity;
+  parity.name = "even_seed";
+  parity.description = "fails every second run";
+  parity.max_failure_probability = 1.0;
+  parity.failed = [&calls](const sim::SimResult&) {
+    return (calls++ % 2) == 0;
+  };
+  const campaign::CampaignReport report = campaign::run_campaign(
+      tiny_campaign(10, 4), tiny_workload(), {parity});
+  ASSERT_EQ(report.properties.size(), 1u);
+  const campaign::PropertyResult& pr = report.properties[0];
+  EXPECT_EQ(pr.runs, 10u);
+  EXPECT_EQ(pr.failures, 5u);
+  EXPECT_NEAR(pr.failure_rate, 0.5, 1e-12);
+  // Runs are evaluated in seed order regardless of batch width, so the
+  // failing seeds are the alternating ones starting at first_seed = 10.
+  EXPECT_EQ(pr.failing_seeds,
+            (std::vector<std::uint64_t>{10, 12, 14, 16, 18}));
+  EXPECT_TRUE(pr.pass);  // bound 1.0 always passes
+  EXPECT_TRUE(report.all_pass);
+}
+
+TEST(CampaignVerdict, BoundZeroDemandsZeroFailures) {
+  campaign::PropertySpec never_fails;
+  never_fails.name = "clean";
+  never_fails.description = "never fails";
+  never_fails.max_failure_probability = 0.0;
+  never_fails.failed = [](const sim::SimResult&) { return false; };
+
+  campaign::PropertySpec one_failure;
+  one_failure.name = "single";
+  one_failure.description = "fails exactly once";
+  one_failure.max_failure_probability = 0.0;
+  int calls = 0;
+  one_failure.failed = [&calls](const sim::SimResult&) {
+    return calls++ == 2;
+  };
+
+  const campaign::CampaignReport report = campaign::run_campaign(
+      tiny_campaign(6, 3), tiny_workload(), {never_fails, one_failure});
+  EXPECT_TRUE(report.properties[0].pass);
+  EXPECT_EQ(report.properties[0].failures, 0u);
+  // Wilson upper at k=0 is > 0, yet the property passes: bound 0 means
+  // "zero observed failures", not "upper bound == 0".
+  EXPECT_GT(report.properties[0].wilson.upper, 0.0);
+  EXPECT_FALSE(report.properties[1].pass);
+  EXPECT_EQ(report.properties[1].failures, 1u);
+  EXPECT_EQ(report.properties[1].failing_seeds,
+            (std::vector<std::uint64_t>{12}));
+  EXPECT_FALSE(report.all_pass);
+}
+
+TEST(CampaignVerdict, WilsonUpperBoundGatesThePass) {
+  campaign::PropertySpec rare;
+  rare.name = "rare";
+  rare.description = "fails once in eight";
+  int calls = 0;
+  rare.failed = [&calls](const sim::SimResult&) { return calls++ == 0; };
+  // k=1, n=8 → Wilson 95 % upper ≈ 0.47; a bound of 0.4 must fail, a
+  // bound of 0.6 must pass.
+  rare.max_failure_probability = 0.4;
+  campaign::CampaignReport tight = campaign::run_campaign(
+      tiny_campaign(8, 8), tiny_workload(), {rare});
+  EXPECT_FALSE(tight.properties[0].pass);
+
+  calls = 0;
+  rare.max_failure_probability = 0.6;
+  campaign::CampaignReport loose = campaign::run_campaign(
+      tiny_campaign(8, 8), tiny_workload(), {rare});
+  EXPECT_TRUE(loose.properties[0].pass);
+  EXPECT_EQ(tight.properties[0].wilson.upper,
+            loose.properties[0].wilson.upper);
+}
+
+TEST(CampaignConfig, RejectsBadParameters) {
+  campaign::CampaignConfig cfg = tiny_campaign(4, 2);
+  cfg.runs = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = tiny_campaign(4, 2);
+  cfg.confidence = 0.8;  // unsupported level
+  EXPECT_THROW(cfg.validate(), CheckError);
+  campaign::PropertySpec no_predicate;
+  no_predicate.name = "empty";
+  EXPECT_THROW(campaign::run_campaign(tiny_campaign(2, 2), tiny_workload(),
+                                      {no_predicate}),
+               CheckError);
+  EXPECT_THROW(
+      campaign::run_campaign(tiny_campaign(2, 2), tiny_workload(), {}),
+      CheckError);
+}
+
+// ------------------------------------------------- end-to-end campaigns
+
+campaign::CampaignConfig faulty_campaign(int runs, int batch, int threads) {
+  campaign::CampaignConfig cfg;
+  cfg.fleet.chip = exp::default_sim_config();
+  cfg.fleet.chip.framework.mapping = "PARM";
+  cfg.fleet.chip.framework.routing = "PANR";
+  cfg.fleet.chip.max_sim_time_s = 0.020;
+  cfg.fleet.chip.faults.enabled = true;
+  cfg.fleet.chip.faults.random_link_failures = 2;
+  cfg.fleet.chip.faults.random_fail_window_s = 0.015;
+  cfg.fleet.chip.faults.repair_after_s = 0.005;
+  cfg.fleet.chip.faults.sensor_dropout_per_epoch = 0.01;
+  cfg.fleet.chip.faults.bit_error_psn_slope = 2e-3;
+  cfg.fleet.chip_count = batch;
+  cfg.fleet.threads = threads;
+  cfg.runs = runs;
+  cfg.first_seed = 1;
+  return cfg;
+}
+
+std::vector<appmodel::AppArrival> faulty_workload() {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 3;
+  seq.inter_arrival_s = 0.004;
+  seq.seed = 5;
+  return appmodel::make_sequence(seq);
+}
+
+std::vector<campaign::PropertySpec> standard_properties() {
+  return {campaign::deadline_miss_property(1.0),
+          campaign::no_deadlock_property(),
+          campaign::delivery_floor_property(0.3, 1.0)};
+}
+
+TEST(CampaignRepeatability, ByteIdenticalAcrossThreadsAndBatching) {
+  const std::string ref = campaign::report_to_json(campaign::run_campaign(
+      faulty_campaign(12, 4, 0), faulty_workload(), standard_properties()));
+  const std::string serial = campaign::report_to_json(campaign::run_campaign(
+      faulty_campaign(12, 4, 1), faulty_workload(), standard_properties()));
+  const std::string threads3 =
+      campaign::report_to_json(campaign::run_campaign(
+          faulty_campaign(12, 4, 3), faulty_workload(),
+          standard_properties()));
+  const std::string batch5 = campaign::report_to_json(campaign::run_campaign(
+      faulty_campaign(12, 5, 0), faulty_workload(), standard_properties()));
+  EXPECT_EQ(ref, serial);
+  EXPECT_EQ(ref, threads3);
+  EXPECT_EQ(ref, batch5);
+}
+
+TEST(CampaignReportFormats, JsonAndTextAreWellFormed) {
+  const campaign::CampaignReport report = campaign::run_campaign(
+      faulty_campaign(6, 3, 0), faulty_workload(), standard_properties());
+  const std::string json = campaign::report_to_json(report);
+  // Structural smoke: key markers present, braces/brackets balanced.
+  EXPECT_NE(json.find("\"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"properties\""), std::string::npos);
+  EXPECT_NE(json.find("\"wilson\""), std::string::npos);
+  EXPECT_NE(json.find("\"clopper_pearson\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregates\""), std::string::npos);
+  EXPECT_NE(json.find("\"no_deadlock\""), std::string::npos);
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string text = campaign::report_to_text(report);
+  EXPECT_NE(text.find("VERDICT:"), std::string::npos);
+  EXPECT_NE(text.find("no_deadlock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parm

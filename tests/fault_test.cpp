@@ -1,0 +1,232 @@
+// Fault injection test suite (fault/fault_model.hpp, fault/fault_phase.hpp
+// and the engine wiring in sim/system_sim.cpp):
+//  - schedule text round-trip and validation;
+//  - generated random fault schedules are a pure function of the seed;
+//  - faults-disabled runs are bit-identical to the seed baseline (the
+//    fault phase must be invisible when off);
+//  - a faulty run snapshotted mid-campaign and resumed in a fresh
+//    simulator matches the uninterrupted run bit for bit;
+//  - router death remaps (or strands) its tasks and marks the platform
+//    tile faulty so no mapper places new work there;
+//  - sensor dropout perturbs management state only: the true PSN physics
+//    still drives the VE dice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "appmodel/workload.hpp"
+#include "common/check.hpp"
+#include "exp/experiments.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/fault_phase.hpp"
+#include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
+
+namespace parm {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("parm_fault_test_") + tag);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+sim::SimConfig base_config(std::uint64_t seed) {
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.max_sim_time_s = 0.040;  // 40 control epochs
+  cfg.record_telemetry = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<appmodel::AppArrival> workload(std::uint64_t seed) {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 6;
+  seq.inter_arrival_s = 0.005;
+  seq.seed = seed;
+  return appmodel::make_sequence(seq);
+}
+
+fault::FaultConfig stress_faults() {
+  fault::FaultConfig f;
+  f.enabled = true;
+  f.random_link_failures = 3;
+  f.random_router_failures = 1;
+  f.random_fail_window_s = 0.030;  // inside the 40-epoch run
+  f.repair_after_s = 0.008;
+  f.sensor_dropout_per_epoch = 0.02;
+  f.bit_error_base = 1e-4;
+  f.bit_error_psn_slope = 2e-3;
+  return f;
+}
+
+// ------------------------------------------------------- schedule model
+
+TEST(FaultSchedule, TextRoundTripsCanonically) {
+  const MeshGeometry mesh(10, 6);
+  const std::string text =
+      "# demo scenario\n"
+      "link 0.001000 7 E down\n"
+      "router 0.002000 13 down\n"
+      "link 0.004000 7 E up\n"
+      "router 0.010000 13 up\n";
+  const fault::FaultSchedule s = fault::schedule_from_text(text, mesh);
+  ASSERT_EQ(s.events.size(), 4u);
+  EXPECT_EQ(s.events[0].kind, fault::FaultKind::kLinkDown);
+  EXPECT_EQ(s.events[0].tile, 7);
+  EXPECT_EQ(s.events[1].kind, fault::FaultKind::kRouterDown);
+  EXPECT_EQ(s.events[3].kind, fault::FaultKind::kRouterUp);
+  // to_text -> from_text is the identity on the parsed representation.
+  const fault::FaultSchedule again =
+      fault::schedule_from_text(fault::schedule_to_text(s), mesh);
+  EXPECT_EQ(s.events, again.events);
+}
+
+TEST(FaultSchedule, GeneratedScheduleIsAPureFunctionOfTheSeed) {
+  const MeshGeometry mesh(10, 6);
+  const fault::FaultConfig f = stress_faults();
+  const fault::FaultPhase a(f, mesh, 99);
+  const fault::FaultPhase b(f, mesh, 99);
+  const fault::FaultPhase c(f, mesh, 100);
+  EXPECT_EQ(a.schedule().events, b.schedule().events);
+  EXPECT_NE(a.schedule().events, c.schedule().events);
+  // 3 links + 1 router, each paired with an auto-repair.
+  EXPECT_EQ(a.schedule().events.size(), 8u);
+  a.schedule().validate(mesh);
+}
+
+TEST(FaultConfig, RejectsOutOfRangeKnobs) {
+  fault::FaultConfig f;
+  f.enabled = true;
+  f.sensor_dropout_per_epoch = 1.5;
+  EXPECT_THROW(f.validate(), CheckError);
+  f = fault::FaultConfig{};
+  f.enabled = true;
+  f.bit_error_base = -0.1;
+  EXPECT_THROW(f.validate(), CheckError);
+  f = fault::FaultConfig{};
+  f.enabled = true;
+  f.random_link_failures = -1;
+  EXPECT_THROW(f.validate(), CheckError);
+}
+
+// ------------------------------------------------ engine-level identity
+
+TEST(FaultIdentity, DisabledFaultsMatchBaselineBitForBit) {
+  // SimConfig::faults default-constructs disabled; an explicitly
+  // constructed disabled config (even with knobs set) must be invisible.
+  sim::SimConfig plain = base_config(42);
+  sim::SimConfig with_knobs = base_config(42);
+  with_knobs.faults = stress_faults();
+  with_knobs.faults.enabled = false;
+  sim::SystemSimulator a(plain, workload(42));
+  sim::SystemSimulator b(with_knobs, workload(42));
+  sim::expect_identical(a.run(), b.run());
+}
+
+TEST(FaultIdentity, SameSeedFaultyRunsAreBitIdentical) {
+  sim::SimConfig cfg = base_config(1234);
+  cfg.faults = stress_faults();
+  sim::SystemSimulator a(cfg, workload(1234));
+  sim::SystemSimulator b(cfg, workload(1234));
+  const sim::SimResult ra = a.run();
+  const sim::SimResult rb = b.run();
+  sim::expect_identical(ra, rb);
+  // The stress scenario actually exercised the machinery.
+  EXPECT_GT(ra.link_fault_events + ra.router_fault_events, 0u);
+  EXPECT_GT(ra.sensor_dropout_epochs, 0u);
+}
+
+class FaultReplay : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultReplay, SnapshotResumeMidFaultMatchesBitForBit) {
+  const std::uint64_t seed = GetParam();
+  const std::string dir =
+      temp_dir(("replay_" + std::to_string(seed)).c_str());
+  sim::SimConfig cfg = base_config(seed);
+  cfg.faults = stress_faults();
+
+  sim::SystemSimulator straight(cfg, workload(seed));
+  straight.enable_periodic_snapshots(1, dir);
+  const sim::SimResult reference = straight.run();
+  ASSERT_GE(straight.epoch(), 21u);
+
+  // Resume points straddle the fault window: some snapshots carry live
+  // topology faults, pending repairs, and held sensor state.
+  for (const std::uint64_t resume_epoch : {1u, 9u, 20u}) {
+    SCOPED_TRACE("resume from epoch " + std::to_string(resume_epoch));
+    const std::string file =
+        dir + "/epoch_" + std::to_string(resume_epoch) + ".parmsnap";
+    sim::SystemSimulator resumed(cfg, workload(seed));
+    resumed.restore_snapshot(file);
+    EXPECT_EQ(resumed.epoch(), resume_epoch);
+    sim::expect_identical(reference, resumed.run());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultReplay,
+                         ::testing::Values(42u, 777u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(FaultFingerprint, FaultConfigIsPartOfTheSnapshotFingerprint) {
+  const std::string dir = temp_dir("fingerprint");
+  sim::SimConfig cfg = base_config(42);
+  cfg.faults = stress_faults();
+  sim::SystemSimulator original(cfg, workload(42));
+  original.enable_periodic_snapshots(5, dir);
+  (void)original.run();
+
+  sim::SimConfig other = cfg;
+  other.faults.random_link_failures += 1;
+  sim::SystemSimulator resumed(other, workload(42));
+  EXPECT_THROW(resumed.restore_snapshot(dir + "/epoch_5.parmsnap"),
+               snapshot::SnapshotError);
+}
+
+// ------------------------------------------------- behavioral effects
+
+TEST(FaultBehavior, RouterDeathIsSurvivable) {
+  // Kill one router early and never repair it: the run must still finish
+  // (tasks remapped or stranded, traffic routed around the hole), with the
+  // event pair visible in the counters.
+  const MeshGeometry mesh(10, 6);
+  sim::SimConfig cfg = base_config(7);
+  cfg.max_sim_time_s = 3.0;  // long enough to finish all six apps
+  cfg.record_telemetry = false;
+  cfg.faults.enabled = true;
+  cfg.faults.schedule =
+      fault::schedule_from_text("router 0.004 33 down\n", mesh);
+  const sim::SimResult r =
+      sim::SystemSimulator(cfg, workload(7)).run();
+  EXPECT_EQ(r.router_fault_events, 1u);
+  EXPECT_EQ(r.deadlock_windows, 0u);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GT(r.completed_count, 0);
+}
+
+TEST(FaultBehavior, SensorDropoutPerturbsManagementNotPhysics) {
+  // Dropout-only faults leave the NoC data plane healthy: no dropped or
+  // corrupt flits, full delivery — but the dropout epochs are counted.
+  sim::SimConfig cfg = base_config(42);
+  cfg.faults.enabled = true;
+  cfg.faults.sensor_dropout_per_epoch = 0.05;
+  const sim::SimResult r =
+      sim::SystemSimulator(cfg, workload(42)).run();
+  EXPECT_GT(r.sensor_dropout_epochs, 0u);
+  EXPECT_EQ(r.fault_dropped_flits, 0u);
+  EXPECT_EQ(r.corrupt_packets, 0u);
+  EXPECT_EQ(r.retransmitted_packets, 0u);
+  EXPECT_EQ(r.deadlock_windows, 0u);
+}
+
+}  // namespace
+}  // namespace parm

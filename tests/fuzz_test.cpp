@@ -25,6 +25,7 @@
 #include "cmp/platform.hpp"
 #include "common/rng.hpp"
 #include "exp/experiments.hpp"
+#include "fault/fault_model.hpp"
 #include "obs/blackbox.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
@@ -519,6 +520,80 @@ TEST_F(BlackboxLoaderFuzz, RandomByteFlipsSurvive) {
             (1u << rng.pick_index(8)));
       }
       expect_survives(mutant, "byte flips");
+    }
+  }
+}
+
+// -------------------------------------- fault-schedule loader robustness
+
+TEST(FaultScheduleFuzz, MalformedCorpusIsRejectedNotCrashed) {
+  // Every malformed schedule must surface as CheckError with the loader's
+  // diagnostic — never a crash, never a silently half-parsed schedule.
+  const MeshGeometry mesh(10, 6);
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {"bogus 0.1 3 E down\n", "unknown keyword"},
+      {"link\n", "missing every field"},
+      {"link 0.1 3\n", "missing direction and action"},
+      {"link 0.1 3 E\n", "missing action"},
+      {"link abc 3 E down\n", "unparsable time"},
+      {"link -0.5 3 E down\n", "negative time"},
+      {"link 0.1 notanum E down\n", "unparsable tile"},
+      {"link 0.1 60 E down\n", "tile out of range (60 on a 10x6 mesh)"},
+      {"link 0.1 -1 E down\n", "negative tile"},
+      {"link 0.1 3 Q down\n", "bad direction"},
+      {"link 0.1 3 L down\n", "local is not a link direction"},
+      {"link 0.1 9 E down\n", "east edge link points off-mesh"},
+      {"link 0.1 0 W down\n", "west edge link points off-mesh"},
+      {"link 0.1 3 E sideways\n", "bad action"},
+      {"router 0.1 99 down\n", "router out of range"},
+      {"router 0.1 7 explode\n", "bad router action"},
+      {"router 0.1 7\n", "missing router action"},
+      {"link 0.5 3 E down\nlink 0.1 4 E down\n", "out-of-order times"},
+      {"link 0.1 3 E down extra-token\n", "trailing garbage"},
+  };
+  for (const auto& [text, what] : corpus) {
+    EXPECT_THROW(fault::schedule_from_text(text, mesh), CheckError)
+        << what << " in: " << text;
+  }
+
+  // Duplicate link ids (same physical link named from both endpoints,
+  // repeated downs) are semantically redundant but syntactically fine:
+  // the loader accepts them and the schedule validates.
+  const fault::FaultSchedule dup = fault::schedule_from_text(
+      "link 0.1 3 E down\n"
+      "link 0.1 4 W down\n"
+      "link 0.2 3 E down\n",
+      mesh);
+  EXPECT_EQ(dup.events.size(), 3u);
+  dup.validate(mesh);
+}
+
+TEST(FaultScheduleFuzz, RandomMutationsNeverCrashTheLoader) {
+  const MeshGeometry mesh(10, 6);
+  const std::string valid =
+      "# scenario\n"
+      "link 0.001 7 E down\n"
+      "router 0.002 13 down\n"
+      "link 0.004 7 E up\n"
+      "router 0.010 13 up\n";
+  // The pristine text parses; every mutant either parses or throws
+  // CheckError. Anything else (crash, other exception) fails the test.
+  EXPECT_NO_THROW(fault::schedule_from_text(valid, mesh));
+  Rng rng(777);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutant = valid;
+    const int flips = 1 + static_cast<int>(rng.pick_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.pick_index(mutant.size());
+      mutant[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutant[pos]) ^
+          (1u << rng.pick_index(8)));
+    }
+    try {
+      const fault::FaultSchedule s = fault::schedule_from_text(mutant, mesh);
+      s.validate(mesh);  // whatever parsed must also be self-consistent
+    } catch (const CheckError&) {
+      // rejected cleanly — fine
     }
   }
 }

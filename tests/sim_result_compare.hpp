@@ -79,6 +79,19 @@ inline void expect_identical(const SimResult& a, const SimResult& b) {
   expect_bits(a.energy_per_completed_app_j, b.energy_per_completed_app_j,
               "energy_per_completed_app_j");
   EXPECT_EQ(a.timed_out, b.timed_out);
+  expect_bits(a.avg_delivery_ratio, b.avg_delivery_ratio,
+              "avg_delivery_ratio");
+  expect_bits(a.min_delivery_ratio, b.min_delivery_ratio,
+              "min_delivery_ratio");
+  EXPECT_EQ(a.deadlock_windows, b.deadlock_windows);
+  EXPECT_EQ(a.fault_dropped_flits, b.fault_dropped_flits);
+  EXPECT_EQ(a.corrupt_packets, b.corrupt_packets);
+  EXPECT_EQ(a.retransmitted_packets, b.retransmitted_packets);
+  EXPECT_EQ(a.link_fault_events, b.link_fault_events);
+  EXPECT_EQ(a.router_fault_events, b.router_fault_events);
+  EXPECT_EQ(a.sensor_dropout_epochs, b.sensor_dropout_epochs);
+  EXPECT_EQ(a.fault_task_remaps, b.fault_task_remaps);
+  EXPECT_EQ(a.fault_stranded_tasks, b.fault_stranded_tasks);
   ASSERT_EQ(a.apps.size(), b.apps.size());
   for (std::size_t i = 0; i < a.apps.size(); ++i) {
     SCOPED_TRACE("app " + std::to_string(i));

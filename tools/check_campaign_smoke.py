@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Structured post-run check for the CI campaign-smoke job.
+
+Validates the Monte Carlo campaign's verdict JSON (examples/parm_campaign
+--json) instead of grepping its text report, so the assertions survive
+formatting changes and the failure output names the offending value:
+
+  * the report must parse and carry the full schema: campaign header,
+    per-property verdicts with Wilson AND Clopper-Pearson intervals, and
+    the run-level aggregates block;
+  * every interval must be a well-ordered sub-range of [0, 1] that
+    contains the observed failure rate;
+  * the no_deadlock property must have ZERO observed failures — its
+    acceptance criterion is "P(deadlock | fault scenario) upper bound is
+    exactly the zero-failure bound", so a single deadlocked run fails
+    the campaign (and this check);
+  * recorder_dropped_events must be 0: every run's black-box event log
+    was complete;
+  * with --expect-runs N, the campaign must actually have run N seeds;
+  * with --require-identical OTHER, a repeat report must be
+    byte-identical (the determinism contract of the campaign driver).
+
+Usage:
+  check_campaign_smoke.py report.json [--expect-runs N]
+                          [--require-identical report2.json]
+
+Exits nonzero with a one-line reason per violated check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    raise SystemExit(f"FAIL: {msg}")
+
+
+def check_interval(iv, rate, where):
+    for key in ("lower", "upper"):
+        if key not in iv:
+            fail(f"{where} interval is missing '{key}': {iv}")
+    lo, hi = iv["lower"], iv["upper"]
+    if not (0.0 <= lo <= hi <= 1.0):
+        fail(f"{where} interval [{lo}, {hi}] is not an ordered "
+             "sub-range of [0, 1]")
+    if not (lo - 1e-12 <= rate <= hi + 1e-12):
+        fail(f"{where} interval [{lo}, {hi}] does not contain the "
+             f"observed rate {rate}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="campaign verdict JSON to check")
+    ap.add_argument("--expect-runs", type=int, default=None,
+                    help="assert the campaign ran exactly this many seeds")
+    ap.add_argument("--require-identical", default=None,
+                    help="second report that must be byte-identical")
+    args = ap.parse_args()
+
+    with open(args.report, encoding="utf-8") as fh:
+        raw = fh.read()
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError as err:
+        fail(f"verdict JSON does not parse: {err}")
+
+    for key in ("campaign", "properties", "aggregates"):
+        if key not in report:
+            fail(f"verdict JSON is missing the '{key}' block")
+    header = report["campaign"]
+    props = report["properties"]
+    agg = report["aggregates"]
+
+    if args.expect_runs is not None and header.get("runs") != args.expect_runs:
+        fail(f"campaign ran {header.get('runs')} seeds, expected "
+             f"{args.expect_runs}")
+    if len(props) < 3:
+        fail(f"expected >= 3 properties in the verdict, got {len(props)}")
+
+    by_name = {}
+    for p in props:
+        for key in ("name", "runs", "failures", "failure_rate", "wilson",
+                    "clopper_pearson", "pass"):
+            if key not in p:
+                fail(f"property {p.get('name', '<unnamed>')!r} is missing "
+                     f"'{key}'")
+        check_interval(p["wilson"], p["failure_rate"],
+                       f"{p['name']} wilson")
+        check_interval(p["clopper_pearson"], p["failure_rate"],
+                       f"{p['name']} clopper_pearson")
+        if p["failures"] > p["runs"]:
+            fail(f"{p['name']}: {p['failures']} failures out of "
+                 f"{p['runs']} runs")
+        by_name[p["name"]] = p
+
+    if "no_deadlock" not in by_name:
+        fail("verdict has no 'no_deadlock' property")
+    nd = by_name["no_deadlock"]
+    if nd["failures"] != 0:
+        fail(f"P(deadlock | fault scenario) bound is not zero: "
+             f"{nd['failures']} of {nd['runs']} runs deadlocked "
+             f"(wilson upper {nd['wilson']['upper']})")
+    if not nd["pass"]:
+        fail("no_deadlock property did not pass")
+    if agg.get("deadlock_windows", 1) != 0:
+        fail(f"aggregates report {agg.get('deadlock_windows')} deadlock "
+             "windows")
+
+    dropped = agg.get("recorder_dropped_events")
+    if dropped is None:
+        fail("aggregates block is missing 'recorder_dropped_events'")
+    if dropped != 0:
+        fail(f"{dropped} black-box events were dropped across the "
+             "campaign — run reports are built on incomplete logs")
+
+    if args.require_identical:
+        with open(args.require_identical, encoding="utf-8") as fh:
+            other = fh.read()
+        if raw != other:
+            fail(f"repeat campaign report {args.require_identical} is not "
+                 "byte-identical — the determinism contract is broken")
+
+    runs = header.get("runs")
+    verdict = "PASS" if report["campaign"].get("all_pass") else "FAIL"
+    print(f"OK: {runs} runs, {len(props)} properties "
+          f"(no_deadlock 0/{nd['runs']} failures), 0 recorder drops, "
+          f"campaign verdict {verdict}"
+          + (", repeat byte-identical" if args.require_identical else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
