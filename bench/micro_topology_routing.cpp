@@ -1,0 +1,177 @@
+// Topology routing-table microbenchmark: construction cost (BFS + CDG
+// proof) and per-route lookup cost of the generated tables on every
+// built-in topology kind at the paper's 10x6 scale.
+//
+// The tables are the hot lookup path of every non-mesh run (TableRouting
+// consults candidate_mask/next_port once per head flit per hop), so the
+// walk cost must stay flat-array cheap. The bench walks full src->dst
+// routes by chasing next_port through link_dst and asserts a ns/route
+// ceiling — a regression to pointer-chasing or per-lookup allocation
+// fails CI, not just slows it.
+//
+// Emits BENCH_topology.json (path overridable via argv[1]) for CI to
+// archive, alongside a human-readable table on stdout. Exit code 1 when
+// any topology exceeds the ceiling or a walked route disagrees with
+// table_hops (self-check).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "noc/routing_table.hpp"
+#include "noc/topology.hpp"
+
+namespace {
+
+using namespace parm;
+using namespace parm::noc;
+using Clock = std::chrono::steady_clock;
+
+// Generous bound: a route is <= ~20 flat-array lookups at a few ns each;
+// CI machines are noisy, so the ceiling only catches order-of-magnitude
+// regressions (pointer chasing, allocation on the lookup path).
+constexpr double kNsPerRouteCeiling = 2000.0;
+constexpr int kRepeats = 3;
+constexpr int kRoutePairs = 200000;
+
+struct Result {
+  std::string name;
+  int tiles = 0;
+  const char* mode = nullptr;
+  double build_ms = 0.0;
+  double ns_per_route = 0.0;
+  double avg_hops = 0.0;
+};
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+Result bench_topology(const std::string& spec, bool* ok) {
+  const auto topo = Topology::make(spec, 10, 6);
+  Result r;
+  r.name = spec;
+  r.tiles = topo->tile_count();
+
+  std::vector<double> build_ms;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto t0 = Clock::now();
+    const RoutingTable table = RoutingTable::build(*topo);
+    const auto t1 = Clock::now();
+    build_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  r.build_ms = median_of(build_ms);
+
+  const RoutingTable table = RoutingTable::build(*topo);
+  r.mode = table.mode_name();
+
+  // Pre-draw random pairs so the timed loop is lookups only.
+  Rng rng(42);
+  std::vector<std::pair<TileId, TileId>> pairs;
+  pairs.reserve(kRoutePairs);
+  const auto n = static_cast<std::uint64_t>(topo->tile_count());
+  while (pairs.size() < kRoutePairs) {
+    const TileId a = static_cast<TileId>(rng.next_below(n));
+    const TileId b = static_cast<TileId>(rng.next_below(n));
+    if (a != b) pairs.emplace_back(a, b);
+  }
+
+  std::vector<double> walk_ns;
+  std::uint64_t total_hops = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    total_hops = 0;
+    const auto t0 = Clock::now();
+    for (const auto& [src, dst] : pairs) {
+      TileId at = src;
+      std::uint64_t hops = 0;
+      while (at != dst) {
+        const int port = table.next_port(at, dst);
+        at = topo->link_dst(at, port);
+        ++hops;
+      }
+      total_hops += hops;
+    }
+    const auto t1 = Clock::now();
+    walk_ns.push_back(std::chrono::duration<double, std::nano>(t1 - t0)
+                          .count() /
+                      static_cast<double>(pairs.size()));
+    // Self-check on the first repeat: the walked length of the last pair
+    // batch must match the table's own accounting.
+    if (rep == 0) {
+      std::uint64_t expect = 0;
+      for (const auto& [src, dst] : pairs) {
+        expect += static_cast<std::uint64_t>(table.table_hops(src, dst));
+      }
+      if (expect != total_hops) {
+        std::cerr << spec << ": walked hops " << total_hops
+                  << " != table_hops sum " << expect << "\n";
+        *ok = false;
+      }
+    }
+  }
+  r.ns_per_route = median_of(walk_ns);
+  r.avg_hops =
+      static_cast<double>(total_hops) / static_cast<double>(pairs.size());
+  if (r.ns_per_route > kNsPerRouteCeiling) {
+    std::cerr << spec << ": " << r.ns_per_route
+              << " ns/route exceeds the " << kNsPerRouteCeiling
+              << " ns ceiling\n";
+    *ok = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_topology.json";
+  const std::vector<std::string> specs = {"mesh", "cmesh", "torus",
+                                          "butterfly", "mesh3d:4x4x4"};
+
+  std::cout << "topology routing tables: build + route-walk cost, median "
+               "of "
+            << kRepeats << " runs over " << kRoutePairs << " pairs\n\n";
+
+  bool ok = true;
+  std::vector<Result> results;
+  for (const auto& spec : specs) results.push_back(bench_topology(spec, &ok));
+
+  Table table({"topology", "tiles", "mode", "build (ms)", "ns/route",
+               "avg hops"});
+  table.set_precision(3);
+  for (const Result& r : results) {
+    table.add_row({r.name, static_cast<std::int64_t>(r.tiles),
+                   std::string(r.mode), r.build_ms, r.ns_per_route,
+                   r.avg_hops});
+  }
+  table.print(std::cout);
+  std::cout << "\nceiling: " << kNsPerRouteCeiling << " ns/route\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"topology_routing\",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"route_pairs\": " << kRoutePairs << ",\n"
+       << "  \"ns_per_route_ceiling\": " << kNsPerRouteCeiling << ",\n"
+       << "  \"topologies\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"spec\": \"" << r.name << "\", \"tiles\": " << r.tiles
+         << ", \"mode\": \"" << r.mode << "\", \"build_ms\": " << r.build_ms
+         << ", \"ns_per_route\": " << r.ns_per_route
+         << ", \"avg_hops\": " << r.avg_hops << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "json written to " << json_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 //   fleet_runner [--chips N] [--dispatch round-robin|least-loaded]
 //                [--threads N] [--mapping PARM|HM]
 //                [--routing XY|ICON|PANR|WestFirst]
+//                [--topology mesh|cmesh|torus|butterfly|mesh3d:XxYxZ|file:PATH]
 //                [--workload compute|comm|mixed] [--apps N]
 //                [--arrival SECONDS] [--seed N] [--max-time SECONDS]
 //                [--metrics FILE.json] [--events FILE.jsonl]
@@ -16,6 +17,8 @@
 //
 // --threads bounds the chips simulated concurrently (0 = shared pool,
 //   1 = serial); the results are bit-identical for every setting.
+// --topology selects every chip's interconnect (all chips in a fleet are
+//   identical); see examples/parm_runner.cpp for the spec grammar.
 // --metrics writes the merged fleet metrics registry as JSON.
 // --events enables every chip's flight recorder and writes the merged
 //   fleet event log (chip-stamped, app ids rewritten to global stream
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
       cfg.chip.framework.mapping = value();
     } else if (arg == "--routing") {
       cfg.chip.framework.routing = value();
+    } else if (arg == "--topology") {
+      cfg.chip.platform.topology = value();
     } else if (arg == "--workload") {
       const std::string w = value();
       if (w == "compute") {

@@ -12,6 +12,7 @@
 //   parm_campaign [--runs N] [--first-seed N] [--batch N] [--threads N]
 //                 [--confidence 0.90|0.95|0.99]
 //                 [--mapping PARM|HM] [--routing XY|ICON|PANR|WestFirst]
+//                 [--topology mesh|cmesh|torus|butterfly|mesh3d:XxYxZ|file:PATH]
 //                 [--workload compute|comm|mixed] [--apps N]
 //                 [--arrival SECONDS] [--workload-seed N]
 //                 [--max-time SECONDS]
@@ -47,7 +48,7 @@
 
 #include "campaign/campaign.hpp"
 #include "common/check.hpp"
-#include "common/geometry.hpp"
+#include "noc/topology.hpp"
 #include "exp/experiments.hpp"
 #include "fault/fault_model.hpp"
 
@@ -106,6 +107,8 @@ int main(int argc, char** argv) {
       cfg.fleet.chip.framework.mapping = value();
     } else if (arg == "--routing") {
       cfg.fleet.chip.framework.routing = value();
+    } else if (arg == "--topology") {
+      cfg.fleet.chip.platform.topology = value();
     } else if (arg == "--workload") {
       const std::string w = value();
       if (w == "compute") {
@@ -168,11 +171,15 @@ int main(int argc, char** argv) {
     if (!in) usage("cannot open fault schedule file");
     std::stringstream buf;
     buf << in.rdbuf();
-    const MeshGeometry mesh(cfg.fleet.chip.platform.mesh_width,
-                            cfg.fleet.chip.platform.mesh_height);
     try {
+      // Parse the schedule against the campaign's topology so direction
+      // tokens are the right port names and tile ids are range-checked.
+      const auto topo =
+          noc::Topology::make(cfg.fleet.chip.platform.topology,
+                              cfg.fleet.chip.platform.mesh_width,
+                              cfg.fleet.chip.platform.mesh_height);
       cfg.fleet.chip.faults.schedule =
-          fault::schedule_from_text(buf.str(), mesh);
+          fault::schedule_from_text(buf.str(), *topo);
       cfg.fleet.chip.faults.enabled = true;
     } catch (const CheckError& e) {
       usage(e.what());

@@ -6,7 +6,8 @@ namespace parm::cmp {
 
 Platform::Platform(PlatformConfig cfg)
     : cfg_(std::move(cfg)),
-      mesh_(cfg_.mesh_width, cfg_.mesh_height),
+      topo_(noc::Topology::make(cfg_.topology, cfg_.mesh_width,
+                                cfg_.mesh_height)),
       tech_(power::technology_node(cfg_.technology_nm)),
       vf_(tech_),
       ledger_(cfg_.dark_silicon_budget_w) {
@@ -16,17 +17,17 @@ Platform::Platform(PlatformConfig cfg)
   for (double v : cfg_.vdd_levels) {
     PARM_CHECK(v > tech_.vth, "vdd level at or below threshold voltage");
   }
-  tiles_.assign(static_cast<std::size_t>(mesh_.tile_count()), {});
-  domain_vdd_.assign(static_cast<std::size_t>(mesh_.domain_count()), 0.0);
-  domain_occupancy_.assign(static_cast<std::size_t>(mesh_.domain_count()),
+  tiles_.assign(static_cast<std::size_t>(topo_->tile_count()), {});
+  domain_vdd_.assign(static_cast<std::size_t>(topo_->domain_count()), 0.0);
+  domain_occupancy_.assign(static_cast<std::size_t>(topo_->domain_count()),
                            0);
-  tile_psn_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0.0);
-  tile_faulty_.assign(static_cast<std::size_t>(mesh_.tile_count()), 0);
+  tile_psn_.assign(static_cast<std::size_t>(topo_->tile_count()), 0.0);
+  tile_faulty_.assign(static_cast<std::size_t>(topo_->tile_count()), 0);
 }
 
 std::int32_t Platform::free_tile_count() const {
   std::int32_t n = 0;
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+  for (TileId t = 0; t < topo_->tile_count(); ++t) {
     if (tile_free(t)) ++n;
   }
   return n;
@@ -34,7 +35,7 @@ std::int32_t Platform::free_tile_count() const {
 
 std::vector<TileId> Platform::free_tiles() const {
   std::vector<TileId> out;
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+  for (TileId t = 0; t < topo_->tile_count(); ++t) {
     if (tile_free(t)) out.push_back(t);
   }
   return out;
@@ -46,7 +47,8 @@ bool Platform::domain_free(DomainId d) const {
 
 bool Platform::domain_usable(DomainId d) const {
   if (!domain_free(d)) return false;
-  for (const TileId t : mesh_.domain_tiles(d)) {
+  for (const TileId t : topo_->domain_tiles(d)) {
+    if (t == kInvalidTile) continue;  // short domain (irregular topology)
     if (tile_faulty_[static_cast<std::size_t>(t)]) return false;
   }
   return true;
@@ -54,7 +56,7 @@ bool Platform::domain_usable(DomainId d) const {
 
 std::vector<DomainId> Platform::free_domains() const {
   std::vector<DomainId> out;
-  for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
+  for (DomainId d = 0; d < topo_->domain_count(); ++d) {
     if (domain_usable(d)) out.push_back(d);
   }
   return out;
@@ -62,14 +64,14 @@ std::vector<DomainId> Platform::free_domains() const {
 
 std::int32_t Platform::free_domain_count() const {
   std::int32_t n = 0;
-  for (DomainId d = 0; d < mesh_.domain_count(); ++d) {
+  for (DomainId d = 0; d < topo_->domain_count(); ++d) {
     if (domain_usable(d)) ++n;
   }
   return n;
 }
 
 void Platform::set_tile_faulty(TileId t, bool faulty) {
-  PARM_CHECK(t >= 0 && t < mesh_.tile_count(), "faulty tile out of range");
+  PARM_CHECK(t >= 0 && t < topo_->tile_count(), "faulty tile out of range");
   tile_faulty_[static_cast<std::size_t>(t)] = faulty ? 1 : 0;
 }
 
@@ -96,10 +98,10 @@ void Platform::occupy(AppInstanceId app,
              "vdd is not a permitted DVS level");
   // Validate before mutating (strong exception guarantee).
   for (const auto& p : placements) {
-    PARM_CHECK(p.tile >= 0 && p.tile < mesh_.tile_count(),
+    PARM_CHECK(p.tile >= 0 && p.tile < topo_->tile_count(),
                "placement tile out of range");
     PARM_CHECK(tile_free(p.tile), "placement tile already occupied");
-    const DomainId d = mesh_.domain_of(p.tile);
+    const DomainId d = topo_->domain_of(p.tile);
     if (!domain_free(d)) {
       PARM_CHECK(domain_vdd_[static_cast<std::size_t>(d)] == vdd,
                  "domain already powered at a different vdd");
@@ -117,18 +119,18 @@ void Platform::occupy(AppInstanceId app,
     t.app = app;
     t.task_index = p.task_index;
     t.activity = p.activity;
-    const DomainId d = mesh_.domain_of(p.tile);
+    const DomainId d = topo_->domain_of(p.tile);
     domain_vdd_[static_cast<std::size_t>(d)] = vdd;
     ++domain_occupancy_[static_cast<std::size_t>(d)];
   }
 }
 
 void Platform::release(AppInstanceId app) {
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+  for (TileId t = 0; t < topo_->tile_count(); ++t) {
     auto& tile = tiles_[static_cast<std::size_t>(t)];
     if (tile.app != app) continue;
     tile = TileAssignment{};
-    const DomainId d = mesh_.domain_of(t);
+    const DomainId d = topo_->domain_of(t);
     if (--domain_occupancy_[static_cast<std::size_t>(d)] == 0) {
       domain_vdd_[static_cast<std::size_t>(d)] = 0.0;  // power-gate
     }
@@ -136,14 +138,14 @@ void Platform::release(AppInstanceId app) {
 }
 
 void Platform::migrate(AppInstanceId app, TileId from, TileId to) {
-  PARM_CHECK(from >= 0 && from < mesh_.tile_count(), "bad source tile");
-  PARM_CHECK(to >= 0 && to < mesh_.tile_count(), "bad target tile");
+  PARM_CHECK(from >= 0 && from < topo_->tile_count(), "bad source tile");
+  PARM_CHECK(to >= 0 && to < topo_->tile_count(), "bad target tile");
   auto& src = tiles_[static_cast<std::size_t>(from)];
   PARM_CHECK(src.app == app, "source tile not owned by this app");
   PARM_CHECK(tile_free(to), "target tile occupied");
 
-  const DomainId from_d = mesh_.domain_of(from);
-  const DomainId to_d = mesh_.domain_of(to);
+  const DomainId from_d = topo_->domain_of(from);
+  const DomainId to_d = topo_->domain_of(to);
   const double vdd = domain_vdd_[static_cast<std::size_t>(from_d)];
   if (!domain_free(to_d)) {
     PARM_CHECK(domain_vdd_[static_cast<std::size_t>(to_d)] == vdd,
@@ -161,7 +163,7 @@ void Platform::migrate(AppInstanceId app, TileId from, TileId to) {
 
 std::vector<TileId> Platform::tiles_of(AppInstanceId app) const {
   std::vector<TileId> out;
-  for (TileId t = 0; t < mesh_.tile_count(); ++t) {
+  for (TileId t = 0; t < topo_->tile_count(); ++t) {
     if (tiles_[static_cast<std::size_t>(t)].app == app) out.push_back(t);
   }
   return out;
@@ -169,15 +171,15 @@ std::vector<TileId> Platform::tiles_of(AppInstanceId app) const {
 
 void Platform::set_tile_psn(std::vector<double> peak_percent) {
   PARM_CHECK(peak_percent.size() ==
-                 static_cast<std::size_t>(mesh_.tile_count()),
+                 static_cast<std::size_t>(topo_->tile_count()),
              "sensor vector size mismatch");
   tile_psn_ = std::move(peak_percent);
 }
 
 void Platform::save(snapshot::Writer& w) const {
   w.begin_section("PLAT");
-  w.i32(mesh_.tile_count());
-  w.i32(mesh_.domain_count());
+  w.i32(topo_->tile_count());
+  w.i32(topo_->domain_count());
   for (const TileAssignment& t : tiles_) {
     w.i64(t.app);
     w.i32(t.task_index);
@@ -199,13 +201,13 @@ void Platform::restore(snapshot::Reader& r) {
   r.expect_section("PLAT");
   const std::int32_t tiles = r.i32();
   const std::int32_t domains = r.i32();
-  if (tiles != mesh_.tile_count() || domains != mesh_.domain_count()) {
+  if (tiles != topo_->tile_count() || domains != topo_->domain_count()) {
     throw snapshot::SnapshotError(
         "platform mesh mismatch: snapshot was taken on a " +
         std::to_string(tiles) + "-tile/" + std::to_string(domains) +
         "-domain mesh, this platform has " +
-        std::to_string(mesh_.tile_count()) + "/" +
-        std::to_string(mesh_.domain_count()));
+        std::to_string(topo_->tile_count()) + "/" +
+        std::to_string(topo_->domain_count()));
   }
   for (TileAssignment& t : tiles_) {
     t.app = r.i64();

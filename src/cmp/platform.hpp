@@ -1,6 +1,14 @@
-// CMP platform model: the 10×6-tile mesh with 2×2-tile power-supply
-// domains, per-domain DVS, tile occupancy, on-die PSN sensors, and the
-// dark-silicon power ledger (paper sections 3.1, 3.3 and 5.1).
+// CMP platform model: a tile fabric (default: the paper's 10×6 mesh)
+// partitioned into power-supply domains, per-domain DVS, tile occupancy,
+// on-die PSN sensors, and the dark-silicon power ledger (paper sections
+// 3.1, 3.3 and 5.1).
+//
+// The tile fabric is described by a noc::Topology, so the same platform
+// bookkeeping runs on meshes, tori, concentrated meshes, butterflies,
+// 3D meshes, and irregular graphs loaded from files. Mappers and phases
+// consume the topology's domain/distance model through the forwarding
+// accessors here; mesh() remains for grid-only call sites and throws on
+// topologies without a grid view.
 //
 // The Platform owns bookkeeping only; execution dynamics live in
 // parm::sim. Mappers and the runtime manager query it for free resources
@@ -8,11 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "noc/topology.hpp"
 #include "power/chip_power.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
@@ -27,6 +38,10 @@ inline constexpr AppInstanceId kNoApp = -1;
 struct PlatformConfig {
   std::int32_t mesh_width = 10;
   std::int32_t mesh_height = 6;
+  /// Topology spec ("mesh", "torus:8x8", "cmesh", "butterfly:4x4",
+  /// "mesh3d:4x4x2", "file:<path>" — see noc::Topology::make). A bare
+  /// grid kind defaults its dimensions to mesh_width × mesh_height.
+  std::string topology = "mesh";
   int technology_nm = 7;
   /// Permissible DVS levels, increasing (paper: 0.4-0.8 V in 0.1 steps).
   std::vector<double> vdd_levels = {0.4, 0.5, 0.6, 0.7, 0.8};
@@ -46,7 +61,38 @@ class Platform {
   explicit Platform(PlatformConfig cfg);
 
   const PlatformConfig& config() const { return cfg_; }
-  const MeshGeometry& mesh() const { return mesh_; }
+  /// Grid view of the fabric; throws CheckError on topologies that have
+  /// no 2D grid interpretation (mesh3d, file). Prefer the forwarding
+  /// accessors below for topology-agnostic code.
+  const MeshGeometry& mesh() const {
+    const MeshGeometry* view = topo_->mesh_view();
+    PARM_CHECK(view != nullptr,
+               "topology " + topo_->spec() + " has no mesh view");
+    return *view;
+  }
+  const noc::Topology& topology() const { return *topo_; }
+  std::shared_ptr<const noc::Topology> topology_ptr() const { return topo_; }
+
+  // --- Topology forwards (work on every fabric, grid or not) ---
+  std::int32_t tile_count() const { return topo_->tile_count(); }
+  std::int32_t domain_count() const { return topo_->domain_count(); }
+  DomainId domain_of(TileId t) const { return topo_->domain_of(t); }
+  /// Tiles of a domain, kInvalidTile-padded when the domain holds fewer
+  /// than four tiles (irregular topologies).
+  std::array<TileId, 4> domain_tiles(DomainId d) const {
+    return topo_->domain_tiles(d);
+  }
+  int domain_capacity(DomainId d) const { return topo_->domain_capacity(d); }
+  std::int32_t domain_distance(DomainId a, DomainId b) const {
+    return topo_->domain_distance(a, b);
+  }
+  std::int32_t hop_distance(TileId a, TileId b) const {
+    return topo_->hop_distance(a, b);
+  }
+  std::int32_t center_distance(TileId t) const {
+    return topo_->center_distance(t);
+  }
+
   const power::TechnologyNode& technology() const { return tech_; }
   const power::VoltageFrequencyModel& vf_model() const { return vf_; }
 
@@ -145,7 +191,7 @@ class Platform {
 
  private:
   PlatformConfig cfg_;
-  MeshGeometry mesh_;
+  std::shared_ptr<const noc::Topology> topo_;
   power::TechnologyNode tech_;
   power::VoltageFrequencyModel vf_;
   power::PowerLedger ledger_;

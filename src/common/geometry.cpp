@@ -1,6 +1,7 @@
 #include "common/geometry.hpp"
 
 #include <ostream>
+#include <string>
 
 namespace parm {
 
@@ -46,9 +47,12 @@ std::int32_t manhattan_distance(TileCoord a, TileCoord b) {
 
 MeshGeometry::MeshGeometry(std::int32_t width, std::int32_t height)
     : width_(width), height_(height) {
-  PARM_CHECK(width >= 2 && height >= 2, "mesh must be at least 2x2");
+  PARM_CHECK(width >= 2 && height >= 2,
+             "mesh must be at least 2x2, got " + std::to_string(width) +
+                 "x" + std::to_string(height));
   PARM_CHECK(width % 2 == 0 && height % 2 == 0,
-             "mesh dimensions must be even (2x2 power domains)");
+             "mesh dimensions must be even (2x2 power domains), got " +
+                 std::to_string(width) + "x" + std::to_string(height));
 }
 
 std::array<TileId, 4> MeshGeometry::domain_tiles(DomainId d) const {

@@ -40,6 +40,21 @@ void validate_event(const FaultEvent& e, const MeshGeometry& mesh,
   }
 }
 
+void validate_event(const FaultEvent& e, const noc::Topology& topo,
+                    const std::string& where) {
+  PARM_CHECK(e.time_s >= 0.0, where + ": fault time must be >= 0");
+  PARM_CHECK(e.tile >= 0 && e.tile < topo.tile_count(),
+             where + ": fault tile out of range for " + topo.spec());
+  if (is_link(e.kind)) {
+    const int port = static_cast<int>(e.dir);
+    PARM_CHECK(port >= 0 && port < topo.local_port(),
+               where + ": link fault port out of range for " + topo.spec());
+    PARM_CHECK(topo.link_dst(e.tile, port) != kInvalidTile,
+               where + ": link fault names an unwired port of tile " +
+                   std::to_string(e.tile) + " on " + topo.spec());
+  }
+}
+
 }  // namespace
 
 void FaultSchedule::validate(const MeshGeometry& mesh) const {
@@ -48,6 +63,18 @@ void FaultSchedule::validate(const MeshGeometry& mesh) const {
     std::ostringstream where;
     where << "fault schedule entry " << i;
     validate_event(events[i], mesh, where.str());
+    PARM_CHECK(events[i].time_s >= prev,
+               where.str() + ": fault schedule must be sorted by time");
+    prev = events[i].time_s;
+  }
+}
+
+void FaultSchedule::validate(const noc::Topology& topo) const {
+  double prev = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::ostringstream where;
+    where << "fault schedule entry " << i;
+    validate_event(events[i], topo, where.str());
     PARM_CHECK(events[i].time_s >= prev,
                where.str() + ": fault schedule must be sorted by time");
     prev = events[i].time_s;
@@ -123,6 +150,68 @@ FaultSchedule schedule_from_text(const std::string& text,
   return out;
 }
 
+FaultSchedule schedule_from_text(const std::string& text,
+                                 const noc::Topology& topo) {
+  FaultSchedule out;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  double prev = 0.0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::ostringstream where;
+    where << "fault schedule line " << lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;
+
+    FaultEvent e;
+    std::string state;
+    if (kind == "link") {
+      std::string dir;
+      PARM_CHECK(static_cast<bool>(fields >> e.time_s),
+                 where.str() + ": missing or malformed time");
+      PARM_CHECK(static_cast<bool>(fields >> e.tile),
+                 where.str() + ": missing or malformed tile id");
+      PARM_CHECK(static_cast<bool>(fields >> dir >> state),
+                 where.str() + ": expected <port> <down|up>");
+      const int port = topo.port_by_name(dir);
+      PARM_CHECK(port >= 0 && port != topo.local_port(),
+                 where.str() + ": bad port '" + dir + "' for " +
+                     topo.spec());
+      e.dir = static_cast<Direction>(port);
+      PARM_CHECK(state == "down" || state == "up",
+                 where.str() + ": expected down or up, got '" + state + "'");
+      e.kind = state == "down" ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+    } else if (kind == "router") {
+      PARM_CHECK(static_cast<bool>(fields >> e.time_s),
+                 where.str() + ": missing or malformed time");
+      PARM_CHECK(static_cast<bool>(fields >> e.tile),
+                 where.str() + ": missing or malformed tile id");
+      PARM_CHECK(static_cast<bool>(fields >> state),
+                 where.str() + ": expected <down|up>");
+      PARM_CHECK(state == "down" || state == "up",
+                 where.str() + ": expected down or up, got '" + state + "'");
+      e.kind =
+          state == "down" ? FaultKind::kRouterDown : FaultKind::kRouterUp;
+    } else {
+      PARM_CHECK(false, where.str() + ": unknown keyword '" + kind + "'");
+    }
+    std::string extra;
+    PARM_CHECK(!(fields >> extra),
+               where.str() + ": trailing garbage '" + extra + "'");
+    validate_event(e, topo, where.str());
+    PARM_CHECK(e.time_s >= prev,
+               where.str() + ": fault schedule must be sorted by time");
+    prev = e.time_s;
+    out.events.push_back(e);
+  }
+  return out;
+}
+
 std::string schedule_to_text(const FaultSchedule& schedule) {
   std::ostringstream os;
   char buf[64];
@@ -131,6 +220,24 @@ std::string schedule_to_text(const FaultSchedule& schedule) {
     if (is_link(e.kind)) {
       os << "link " << buf << ' ' << e.tile << ' '
          << parm::to_string(e.dir) << ' '
+         << (e.kind == FaultKind::kLinkDown ? "down" : "up") << '\n';
+    } else {
+      os << "router " << buf << ' ' << e.tile << ' '
+         << (e.kind == FaultKind::kRouterDown ? "down" : "up") << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string schedule_to_text(const FaultSchedule& schedule,
+                             const noc::Topology& topo) {
+  std::ostringstream os;
+  char buf[64];
+  for (const FaultEvent& e : schedule.events) {
+    std::snprintf(buf, sizeof(buf), "%.6f", e.time_s);
+    if (is_link(e.kind)) {
+      os << "link " << buf << ' ' << e.tile << ' '
+         << topo.port_name(static_cast<int>(e.dir)) << ' '
          << (e.kind == FaultKind::kLinkDown ? "down" : "up") << '\n';
     } else {
       os << "router " << buf << ' ' << e.tile << ' '

@@ -25,6 +25,11 @@
 // and treated as a full-duplex cable: both travel directions fail and
 // recover together, so "link 0.5 7 E down" and the mirrored
 // "link 0.5 8 W down" name the same physical fault.
+//
+// On non-mesh topologies the direction token is a *port name* as printed
+// by noc::Topology::port_name — "E|W|N|S" on grid-like fabrics, "U|D"
+// for the 3D mesh's vertical ports, "p<k>" for everything else (spokes,
+// butterfly express lanes, irregular-file adjacency ports).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,7 @@
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "noc/topology.hpp"
 
 namespace parm::fault {
 
@@ -49,8 +55,10 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kLinkDown;
   double time_s = 0.0;
   TileId tile = kInvalidTile;
-  /// Link events only: the outgoing direction of the failed cable as seen
-  /// from `tile`. Ignored for router events.
+  /// Link events only: the outgoing *port index* of the failed cable as
+  /// seen from `tile` (the Direction enum legally carries general port
+  /// indices; on the mesh they coincide with E/W/N/S). Ignored for
+  /// router events.
   Direction dir = Direction::East;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
@@ -66,6 +74,8 @@ struct FaultSchedule {
   /// the mesh, link direction cardinal and not pointing off the edge) and
   /// the list is sorted by time with non-negative times.
   void validate(const MeshGeometry& mesh) const;
+  /// Topology-general form: link ports must be wired on `topo`.
+  void validate(const noc::Topology& topo) const;
 };
 
 /// Parses the line-oriented text form described in the header comment.
@@ -74,9 +84,16 @@ struct FaultSchedule {
 /// tiles, edge links, bad directions, or out-of-order times.
 FaultSchedule schedule_from_text(const std::string& text,
                                  const MeshGeometry& mesh);
+/// Topology-general form: the direction token is a port name resolved
+/// through topo.port_by_name ("E|W|N|S", "U|D", or "p<k>").
+FaultSchedule schedule_from_text(const std::string& text,
+                                 const noc::Topology& topo);
 
 /// Inverse of schedule_from_text (canonical spacing, 6-digit times).
 std::string schedule_to_text(const FaultSchedule& schedule);
+/// Topology-general form: prints link ports through topo.port_name.
+std::string schedule_to_text(const FaultSchedule& schedule,
+                             const noc::Topology& topo);
 
 /// All fault-injection knobs, embedded in sim::SimConfig as `faults`.
 /// With `enabled == false` (the default) the fault phase is never

@@ -8,12 +8,15 @@ namespace parm::fault {
 
 namespace {
 
-/// Valid outgoing link directions of a tile, in the fixed E,W,N,S order
-/// (determinism of the random-schedule draw depends on this order).
-std::vector<Direction> link_directions(const MeshGeometry& mesh, TileId t) {
+/// Valid outgoing link ports of a tile in ascending port order — on the
+/// mesh that is the fixed E,W,N,S order the determinism of the
+/// random-schedule draw has always depended on.
+std::vector<Direction> link_directions(const noc::Topology& topo, TileId t) {
   std::vector<Direction> dirs;
-  for (const Direction d : kCardinalDirections) {
-    if (mesh.neighbor(t, d) != kInvalidTile) dirs.push_back(d);
+  for (int p = 0; p < topo.local_port(); ++p) {
+    if (topo.link_dst(t, p) != kInvalidTile) {
+      dirs.push_back(static_cast<Direction>(p));
+    }
   }
   return dirs;
 }
@@ -22,10 +25,17 @@ std::vector<Direction> link_directions(const MeshGeometry& mesh, TileId t) {
 
 FaultPhase::FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
                        std::uint64_t seed)
-    : cfg_(cfg), mesh_(mesh), rng_(seed ^ kFaultSeedSalt) {
+    : FaultPhase(cfg, noc::Topology::mesh(mesh.width(), mesh.height()),
+                 seed) {}
+
+FaultPhase::FaultPhase(const FaultConfig& cfg,
+                       std::shared_ptr<const noc::Topology> topo,
+                       std::uint64_t seed)
+    : cfg_(cfg), topo_(std::move(topo)), rng_(seed ^ kFaultSeedSalt) {
+  PARM_CHECK(topo_ != nullptr, "fault phase needs a topology");
   cfg_.validate();
-  cfg_.schedule.validate(mesh_);
-  const std::size_t n = static_cast<std::size_t>(mesh_.tile_count());
+  cfg_.schedule.validate(*topo_);
+  const std::size_t n = static_cast<std::size_t>(topo_->tile_count());
   last_sensed_.assign(n, 0.0);
   last_noc_sensed_.assign(n, 0.0);
   error_rates_.assign(n, 0.0);
@@ -52,8 +62,8 @@ FaultPhase::FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
   // order: the generated schedule is a pure function of (config, seed).
   for (int i = 0; i < cfg_.random_link_failures; ++i) {
     const TileId t = static_cast<TileId>(
-        rng_.next_below(static_cast<std::uint64_t>(mesh_.tile_count())));
-    const std::vector<Direction> dirs = link_directions(mesh_, t);
+        rng_.next_below(static_cast<std::uint64_t>(topo_->tile_count())));
+    const std::vector<Direction> dirs = link_directions(*topo_, t);
     const Direction d = dirs[rng_.pick_index(dirs.size())];
     const double when = rng_.uniform(0.0, cfg_.random_fail_window_s);
     ev.push_back({FaultKind::kLinkDown, when, t, d});
@@ -63,7 +73,7 @@ FaultPhase::FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
   }
   for (int i = 0; i < cfg_.random_router_failures; ++i) {
     const TileId t = static_cast<TileId>(
-        rng_.next_below(static_cast<std::uint64_t>(mesh_.tile_count())));
+        rng_.next_below(static_cast<std::uint64_t>(topo_->tile_count())));
     const double when = rng_.uniform(0.0, cfg_.random_fail_window_s);
     ev.push_back({FaultKind::kRouterDown, when, t, Direction::East});
     if (cfg_.repair_after_s > 0.0) {
@@ -91,17 +101,28 @@ void FaultPhase::remap_stranded(sim::EpochContext& ctx, TileId dead_tile,
         ++stranded_tasks_;
         continue;  // frozen in place until repair or completion
       }
-      const DomainId from_d = mesh_.domain_of(task.tile);
+      const DomainId from_d = topo_->domain_of(task.tile);
       DomainId best = free.front();
       double best_dist = 1e18;
       for (const DomainId d : free) {
-        const double dist = mesh_.domain_distance(d, from_d);
+        const double dist = topo_->domain_distance(d, from_d);
         if (dist < best_dist) {
           best_dist = dist;
           best = d;
         }
       }
-      const TileId target = mesh_.domain_tiles(best)[0];
+      TileId target = kInvalidTile;
+      for (const TileId cand : topo_->domain_tiles(best)) {
+        if (cand != kInvalidTile) {
+          target = cand;
+          break;
+        }
+      }
+      if (target == kInvalidTile) {
+        ++stranded;
+        ++stranded_tasks_;
+        continue;
+      }
       ctx.emit(obs::EventType::kAppMigrate, app.outcome_index,
                static_cast<std::int32_t>(task.tile), -1,
                static_cast<double>(target),
@@ -138,7 +159,7 @@ void FaultPhase::fire(sim::EpochContext& ctx, noc::Network& net,
       remap_stranded(ctx, e.tile, stranded);
       ctx.emit(obs::EventType::kFaultRouterDown, -1,
                static_cast<std::int32_t>(e.tile),
-               static_cast<std::int32_t>(mesh_.domain_of(e.tile)), 0.0,
+               static_cast<std::int32_t>(topo_->domain_of(e.tile)), 0.0,
                static_cast<double>(stranded));
       break;
     }
@@ -149,7 +170,7 @@ void FaultPhase::fire(sim::EpochContext& ctx, noc::Network& net,
       ++router_fault_events_;
       ctx.emit(obs::EventType::kFaultRouterUp, -1,
                static_cast<std::int32_t>(e.tile),
-               static_cast<std::int32_t>(mesh_.domain_of(e.tile)));
+               static_cast<std::int32_t>(topo_->domain_of(e.tile)));
       break;
     }
   }
@@ -240,7 +261,7 @@ void FaultPhase::restore(snapshot::Reader& r) {
   rng_.restore(rs);
   last_sensed_ = r.vec_f64();
   last_noc_sensed_ = r.vec_f64();
-  const std::size_t n = static_cast<std::size_t>(mesh_.tile_count());
+  const std::size_t n = static_cast<std::size_t>(topo_->tile_count());
   if (last_sensed_.size() != n || last_noc_sensed_.size() != n) {
     throw snapshot::SnapshotError(
         "snapshot fault sensor state does not match the mesh");

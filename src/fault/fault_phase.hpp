@@ -27,12 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_model.hpp"
 #include "noc/network.hpp"
+#include "noc/topology.hpp"
 #include "sim/epoch_context.hpp"
 #include "snapshot/serializer.hpp"
 
@@ -44,10 +46,13 @@ inline constexpr std::uint64_t kFaultSeedSalt = 0xFA01'7A51'7D15'0B5EULL;
 
 class FaultPhase {
  public:
-  /// Validates `cfg` and its schedule against `mesh`, generates the
+  /// Validates `cfg` and its schedule against `topo`, generates the
   /// random topology faults from the dedicated stream, and merges them
   /// with the explicit schedule (time-sorted). Throws CheckError on any
   /// out-of-range knob or schedule entry.
+  FaultPhase(const FaultConfig& cfg,
+             std::shared_ptr<const noc::Topology> topo, std::uint64_t seed);
+  /// Mesh convenience wrapper (tests and legacy call sites).
   FaultPhase(const FaultConfig& cfg, const MeshGeometry& mesh,
              std::uint64_t seed);
 
@@ -87,7 +92,7 @@ class FaultPhase {
                       std::int32_t& stranded);
 
   FaultConfig cfg_;
-  MeshGeometry mesh_;
+  std::shared_ptr<const noc::Topology> topo_;
   Rng rng_;  ///< dedicated stream: seeded with seed ^ kFaultSeedSalt
   FaultSchedule schedule_;
   std::size_t cursor_ = 0;

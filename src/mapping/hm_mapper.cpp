@@ -10,7 +10,7 @@ namespace {
 /// Tiles (free or occupied) currently hosting a High-activity task.
 std::vector<TileId> high_activity_tiles(const cmp::Platform& platform) {
   std::vector<TileId> out;
-  for (TileId t = 0; t < platform.mesh().tile_count(); ++t) {
+  for (TileId t = 0; t < platform.tile_count(); ++t) {
     const auto& a = platform.tile(t);
     if (a.app != cmp::kNoApp &&
         power::classify_activity(a.activity) ==
@@ -26,7 +26,6 @@ std::vector<TileId> high_activity_tiles(const cmp::Platform& platform) {
 std::optional<Mapping> HarmonicMapper::map(
     const cmp::Platform& platform,
     const appmodel::DopVariant& variant) const {
-  const MeshGeometry& mesh = platform.mesh();
   const std::size_t n = variant.tasks.size();
   if (static_cast<std::size_t>(platform.free_tile_count()) < n) {
     return std::nullopt;
@@ -70,7 +69,7 @@ std::optional<Mapping> HarmonicMapper::map(
         double min_dist = std::numeric_limits<double>::infinity();
         for (const TileId h : high_tiles) {
           min_dist =
-              std::min<double>(min_dist, mesh.hop_distance(cand, h));
+              std::min<double>(min_dist, platform.hop_distance(cand, h));
         }
         score = high_tiles.empty() ? 0.0 : min_dist;
         // Tie-break: prefer shorter paths to placed partners.
@@ -81,7 +80,7 @@ std::optional<Mapping> HarmonicMapper::map(
           if (other < 0) continue;
           const TileId ot = tile_of[static_cast<std::size_t>(other)];
           if (ot != kInvalidTile) {
-            comm += e.volume_flits * mesh.hop_distance(cand, ot);
+            comm += e.volume_flits * platform.hop_distance(cand, ot);
           }
         }
         score -= 1e-9 * comm;
@@ -97,14 +96,13 @@ std::optional<Mapping> HarmonicMapper::map(
           const TileId ot = tile_of[static_cast<std::size_t>(other)];
           if (ot != kInvalidTile) {
             has_partner = true;
-            cost += e.volume_flits * mesh.hop_distance(cand, ot);
+            cost += e.volume_flits * platform.hop_distance(cand, ot);
           }
         }
         if (!has_partner) {
-          // No placed partner yet: any free tile; prefer central ones.
-          const TileCoord c = mesh.coord(cand);
-          cost = std::abs(c.x - mesh.width() / 2) +
-                 std::abs(c.y - mesh.height() / 2);
+          // No placed partner yet: any free tile; prefer central ones
+          // (center_distance == the old |x−W/2|+|y−H/2| on the mesh).
+          cost = platform.center_distance(cand);
         }
         score = -cost;
       }

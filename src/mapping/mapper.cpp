@@ -17,7 +17,7 @@ bool validate_mapping(const cmp::Platform& platform,
     }
     if (task_seen[static_cast<std::size_t>(p.task_index)]) return false;
     task_seen[static_cast<std::size_t>(p.task_index)] = true;
-    if (p.tile < 0 || p.tile >= platform.mesh().tile_count()) return false;
+    if (p.tile < 0 || p.tile >= platform.tile_count()) return false;
     if (!platform.tile_free(p.tile)) return false;
     if (std::find(tiles.begin(), tiles.end(), p.tile) != tiles.end()) {
       return false;

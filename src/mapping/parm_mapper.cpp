@@ -21,21 +21,31 @@ constexpr std::array<std::size_t, 4> kRingOrder = {0, 1, 3, 2};
 /// Places the (<=4) tasks of a cluster onto the tiles of a domain.
 /// Tasks are grouped by activity class (High first) and laid out along
 /// the ring so each class occupies contiguous, mesh-adjacent tiles.
-void place_cluster(const MeshGeometry& mesh, DomainId domain,
+/// Short domains (irregular topologies pad trailing slots with
+/// kInvalidTile) skip the missing ring positions; the capacity filter in
+/// map() guarantees enough live tiles remain for the cluster.
+void place_cluster(const cmp::Platform& platform, DomainId domain,
                    const TaskCluster& cluster,
                    const appmodel::DopVariant& variant, Mapping& out) {
-  const std::array<TileId, 4> tiles = mesh.domain_tiles(domain);
+  const std::array<TileId, 4> tiles = platform.domain_tiles(domain);
+  std::vector<TileId> ring;
+  ring.reserve(tiles.size());
+  for (const std::size_t slot : kRingOrder) {
+    if (tiles[slot] != kInvalidTile) ring.push_back(tiles[slot]);
+  }
   std::vector<appmodel::TaskIndex> ordered = cluster.tasks;
   std::stable_partition(
       ordered.begin(), ordered.end(), [&](appmodel::TaskIndex t) {
         return variant.tasks[static_cast<std::size_t>(t)].activity_class() ==
                power::ActivityClass::High;
       });
+  PARM_CHECK(ordered.size() <= ring.size(),
+             "cluster does not fit its assigned domain");
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     const appmodel::TaskIndex task = ordered[i];
     cmp::Platform::Placement p;
     p.task_index = task;
-    p.tile = tiles[kRingOrder[i]];
+    p.tile = ring[i];
     p.activity = variant.tasks[static_cast<std::size_t>(task)].activity;
     out.push_back(p);
   }
@@ -60,7 +70,6 @@ std::optional<Mapping> ParmMapper::map(
   obs::ScopedTimer place_timer(*place_us_);
   obs::ScopedTrace place_trace("mapper", "mapper.place");
 
-  const MeshGeometry& mesh = platform.mesh();
   const std::vector<TaskCluster> clusters = cluster_tasks(variant);
   std::vector<DomainId> free = platform.free_domains();
   if (static_cast<std::size_t>(free.size()) < clusters.size()) {
@@ -99,16 +108,22 @@ std::optional<Mapping> ParmMapper::map(
     double best_cost = std::numeric_limits<double>::infinity();
     candidates.inc(free.size());
     for (DomainId cand : free) {
+      // Short domains (irregular topologies) cannot host a cluster
+      // larger than their live-tile count.
+      if (static_cast<std::size_t>(platform.domain_capacity(cand)) <
+          clusters[ci].tasks.size()) {
+        continue;
+      }
       double cost = 0.0;
       if (step == 0) {
         for (DomainId other : free) {
-          cost += mesh.domain_distance(cand, other);
+          cost += platform.domain_distance(cand, other);
         }
       } else {
         double proximity = 0.0;
         for (std::size_t prev = 0; prev < step; ++prev) {
           const std::size_t pj = order[prev];
-          const double dist = mesh.domain_distance(cand, assigned[pj]);
+          const double dist = platform.domain_distance(cand, assigned[pj]);
           cost += inter_cluster_volume(variant, clusters[ci],
                                        clusters[pj]) *
                   dist;
@@ -122,7 +137,12 @@ std::optional<Mapping> ParmMapper::map(
         best = cand;
       }
     }
-    PARM_DCHECK(best != kInvalidDomain, "no free domain despite count check");
+    if (best == kInvalidDomain) {
+      // Enough free domains overall, but none with capacity for this
+      // cluster (only possible on short-domain topologies).
+      region_rejects.inc();
+      return std::nullopt;
+    }
     assigned[ci] = best;
     free.erase(std::remove(free.begin(), free.end(), best), free.end());
   }
@@ -130,7 +150,7 @@ std::optional<Mapping> ParmMapper::map(
   Mapping out;
   out.reserve(variant.tasks.size());
   for (std::size_t i = 0; i < clusters.size(); ++i) {
-    place_cluster(mesh, assigned[i], clusters[i], variant, out);
+    place_cluster(platform, assigned[i], clusters[i], variant, out);
   }
   return out;
 }

@@ -45,19 +45,27 @@ Flit load_flit(snapshot::Reader& r, std::int32_t tile_count) {
 
 Network::Network(const MeshGeometry& mesh, NocConfig cfg,
                  std::unique_ptr<RoutingAlgorithm> routing)
-    : mesh_(mesh), cfg_(cfg), routing_(std::move(routing)) {
+    : Network(Topology::mesh(mesh.width(), mesh.height()), cfg,
+              std::move(routing)) {}
+
+Network::Network(std::shared_ptr<const Topology> topo, NocConfig cfg,
+                 std::unique_ptr<RoutingAlgorithm> routing)
+    : topo_(std::move(topo)), cfg_(cfg), routing_(std::move(routing)) {
+  PARM_CHECK(topo_ != nullptr, "network needs a topology");
   PARM_CHECK(routing_ != nullptr, "network needs a routing algorithm");
   PARM_CHECK(cfg_.buffer_depth >= 2, "buffer depth must be at least 2");
   PARM_CHECK(cfg_.flits_per_packet >= 1, "packets need at least one flit");
-  tiles_ = mesh_.tile_count();
+  tiles_ = topo_->tile_count();
+  ports_ = topo_->ports();
+  local_port_ = topo_->local_port();
   const std::size_t lanes =
-      static_cast<std::size_t>(tiles_) * static_cast<std::size_t>(kPortCount);
+      static_cast<std::size_t>(tiles_) * static_cast<std::size_t>(ports_);
   in_buf_.resize(lanes);
   for (TileId t = 0; t < tiles_; ++t) {
-    for (int p = 0; p < kPortCount; ++p) {
-      // Cardinal buffers never exceed the credit depth; the Local source
+    for (int p = 0; p < ports_; ++p) {
+      // Link buffers never exceed the credit depth; the Local source
       // queue is unbounded and sized generously to avoid early growth.
-      const bool local = p == port_index(Direction::Local);
+      const bool local = p == local_port_;
       in_buf_[lane(t, p)].init(
           local ? 16u : static_cast<std::uint32_t>(cfg_.buffer_depth));
     }
@@ -108,12 +116,14 @@ int Network::auto_shard_count(int requested) {
 
 void Network::set_link_fault(TileId t, Direction d, bool dead) {
   PARM_CHECK(t >= 0 && t < tiles_, "link fault tile out of range");
-  PARM_CHECK(d != Direction::Local, "link fault direction must be cardinal");
-  const TileId n = mesh_.neighbor(t, d);
-  PARM_CHECK(n != kInvalidTile, "link fault points off the mesh edge");
+  const int port = port_index(d);
+  PARM_CHECK(port >= 0 && port < local_port_,
+             "link fault port must be a link port, not Local");
+  const TileId n = topo_->link_dst(t, port);
+  PARM_CHECK(n != kInvalidTile, "link fault points at an unwired port");
   const std::uint8_t v = dead ? 1 : 0;
-  link_out_dead_[lane(t, port_index(d))] = v;
-  link_out_dead_[lane(n, port_index(opposite(d)))] = v;
+  link_out_dead_[lane(t, port)] = v;
+  link_out_dead_[lane(n, topo_->reverse_port(t, port))] = v;
   rebuild_fault_state();
   purge_broken_packets();
 }
@@ -136,9 +146,8 @@ TileId Network::fault_next_hop(TileId from, TileId dst) const {
   if (!fault_mode_ || from == dst) return kInvalidTile;
   PARM_CHECK(from >= 0 && from < tiles_ && dst >= 0 && dst < tiles_,
              "fault_next_hop tile out of range");
-  return fault_next_[static_cast<std::size_t>(from) *
-                         static_cast<std::size_t>(tiles_) +
-                     static_cast<std::size_t>(dst)];
+  const int port = fault_table_->next_port(from, dst);
+  return port < 0 ? kInvalidTile : topo_->link_dst(from, port);
 }
 
 void Network::rebuild_fault_state() {
@@ -148,64 +157,15 @@ void Network::rebuild_fault_state() {
       std::any_of(link_out_dead_.begin(), link_out_dead_.end(),
                   [](std::uint8_t v) { return v != 0; });
   if (!fault_mode_) {
-    fault_next_.clear();
-    fault_next_.shrink_to_fit();
+    fault_table_.reset();
     return;
   }
-  const std::size_t n = static_cast<std::size_t>(tiles_);
-  fault_next_.assign(n * n, kInvalidTile);
-
-  // BFS spanning tree of the alive graph, rooted at the lowest alive
-  // tile. Neighbor order is the fixed E,W,N,S scan, so the tree — and
-  // with it every degraded route — is a pure function of the fault masks.
-  std::vector<TileId> parent(n, kInvalidTile);
-  std::vector<std::uint8_t> visited(n, 0);
-  std::vector<std::vector<TileId>> tree_adj(n);
-  TileId root = kInvalidTile;
-  for (TileId t = 0; t < tiles_; ++t) {
-    if (!router_dead_[static_cast<std::size_t>(t)]) {
-      root = t;
-      break;
-    }
-  }
-  if (root == kInvalidTile) return;  // every router dead
-  std::vector<TileId> bfs{root};
-  visited[static_cast<std::size_t>(root)] = 1;
-  for (std::size_t qi = 0; qi < bfs.size(); ++qi) {
-    const TileId t = bfs[qi];
-    for (const Direction d : kCardinalDirections) {
-      if (link_out_dead_[lane(t, port_index(d))]) continue;
-      const TileId nb = mesh_.neighbor(t, d);
-      if (nb == kInvalidTile || router_dead_[static_cast<std::size_t>(nb)] ||
-          visited[static_cast<std::size_t>(nb)]) {
-        continue;
-      }
-      visited[static_cast<std::size_t>(nb)] = 1;
-      parent[static_cast<std::size_t>(nb)] = t;
-      tree_adj[static_cast<std::size_t>(t)].push_back(nb);
-      tree_adj[static_cast<std::size_t>(nb)].push_back(t);
-      bfs.push_back(nb);
-    }
-  }
-  // Next-hop toward each destination = the neighbor on the unique tree
-  // path: a BFS from dst over tree edges writes each tile's predecessor.
-  for (TileId dst = 0; dst < tiles_; ++dst) {
-    if (!visited[static_cast<std::size_t>(dst)]) continue;
-    auto slot = [&](TileId from) -> TileId& {
-      return fault_next_[static_cast<std::size_t>(from) * n +
-                         static_cast<std::size_t>(dst)];
-    };
-    std::vector<TileId> q{dst};
-    slot(dst) = dst;  // visited marker; routes never consult from == dst
-    for (std::size_t qi = 0; qi < q.size(); ++qi) {
-      const TileId u = q[qi];
-      for (const TileId v : tree_adj[static_cast<std::size_t>(u)]) {
-        if (slot(v) != kInvalidTile) continue;
-        slot(v) = u;
-        q.push_back(v);
-      }
-    }
-  }
+  // Regenerate a deadlock-free routing table over the surviving subgraph.
+  // The builder proves channel-dependency acyclicity at construction, so
+  // every degraded route — a pure function of the fault masks — is safe
+  // on any surviving graph, not just the mesh.
+  fault_table_ = std::make_shared<const RoutingTable>(
+      RoutingTable::build_degraded(*topo_, link_out_dead_, router_dead_));
 }
 
 std::int64_t Network::allocated_pid(TileId t, int out_port) const {
@@ -221,12 +181,11 @@ std::int64_t Network::allocated_pid(TileId t, int out_port) const {
   for (;;) {
     const FlitRing& buf = in_buf_[lane(at, in_port)];
     if (!buf.empty()) return buf.front_packet_id();
-    PARM_DCHECK(in_port != port_index(Direction::Local),
+    PARM_DCHECK(in_port != local_port_,
                 "allocated Local queue empty mid-packet");
-    const TileId up = mesh_.neighbor(at, static_cast<Direction>(in_port));
-    PARM_DCHECK(up != kInvalidTile, "wormhole chain walked off the mesh");
-    const std::size_t up_out =
-        lane(up, port_index(opposite(static_cast<Direction>(in_port))));
+    const TileId up = topo_->link_dst(at, in_port);
+    PARM_DCHECK(up != kInvalidTile, "wormhole chain walked off the graph");
+    const std::size_t up_out = lane(up, topo_->reverse_port(at, in_port));
     const int up_in = owner_in_[up_out];
     PARM_DCHECK(up_in >= 0, "wormhole chain broken upstream");
     if (up_in < 0) return -1;
@@ -244,7 +203,7 @@ void Network::purge_broken_packets() {
   std::vector<std::int64_t> dead_pids;
   for (TileId t = 0; t < tiles_; ++t) {
     if (router_dead_[static_cast<std::size_t>(t)]) {
-      for (int p = 0; p < kPortCount; ++p) {
+      for (int p = 0; p < ports_; ++p) {
         const FlitRing& buf = in_buf_[lane(t, p)];
         for (std::uint32_t i = 0; i < buf.size(); ++i) {
           dead_pids.push_back(buf.at(i).packet_id);
@@ -252,15 +211,15 @@ void Network::purge_broken_packets() {
       }
       continue;
     }
-    for (const Direction d : kCardinalDirections) {
-      const std::size_t ol = lane(t, port_index(d));
+    for (int p = 0; p < local_port_; ++p) {
+      const std::size_t ol = lane(t, p);
       if (owner_in_[ol] < 0) continue;
-      const TileId nb = mesh_.neighbor(t, d);
+      const TileId nb = topo_->link_dst(t, p);
       const bool broken =
           link_out_dead_[ol] != 0 ||
           (nb != kInvalidTile && router_dead_[static_cast<std::size_t>(nb)]);
       if (!broken) continue;
-      const std::int64_t pid = allocated_pid(t, port_index(d));
+      const std::int64_t pid = allocated_pid(t, p);
       if (pid >= 0) dead_pids.push_back(pid);
     }
   }
@@ -274,7 +233,7 @@ void Network::purge_broken_packets() {
   // Phase 2: release every allocation owned by a purged packet, then
   // sweep every buffer dropping its flits.
   for (TileId t = 0; t < tiles_; ++t) {
-    for (int p = 0; p < kPortCount; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const std::size_t ol = lane(t, p);
       if (owner_in_[ol] < 0) continue;
       const std::int64_t pid = allocated_pid(t, p);
@@ -355,7 +314,7 @@ void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
   }
   const std::int64_t pid = next_packet_id_++;
   if (tracing_) trace_append(pid, src);
-  FlitRing& queue = in_buf_[lane(src, port_index(Direction::Local))];
+  FlitRing& queue = in_buf_[lane(src, local_port_)];
   const int n = cfg_.flits_per_packet;
   for (int i = 0; i < n; ++i) {
     Flit f;
@@ -378,7 +337,7 @@ void Network::inject_packet(TileId src, TileId dst, std::int32_t app_id) {
 void Network::allocate_range(TileId lo, TileId hi) {
   for (TileId t = lo; t < hi; ++t) {
     // Collect output requests from head flits lacking an allocation.
-    for (int in = 0; in < kPortCount; ++in) {
+    for (int in = 0; in < ports_; ++in) {
       const std::size_t il = lane(t, in);
       const FlitRing& buf = in_buf_[il];
       if (buf.empty() || alloc_out_[il] >= 0) continue;
@@ -388,63 +347,49 @@ void Network::allocate_range(TileId lo, TileId hi) {
         // released only after the tail leaves.
         continue;
       }
-      Direction out;
+      int out;
       const TileId dst = buf.front_dst();
       if (dst == t) {
-        out = Direction::Local;
+        out = local_port_;
       } else if (fault_mode_) {
-        // Degraded routing: follow the spanning tree of the alive graph;
-        // unreachable destinations eject here (drop sink — counted as
-        // fault-dropped at the barrier, never as delivered).
-        const TileId nh =
-            fault_next_[static_cast<std::size_t>(t) *
-                            static_cast<std::size_t>(tiles_) +
-                        static_cast<std::size_t>(dst)];
-        if (nh == kInvalidTile) {
-          out = Direction::Local;
-        } else {
-          out = Direction::Local;  // overwritten below
-          for (const Direction d : kCardinalDirections) {
-            if (mesh_.neighbor(t, d) == nh) {
-              out = d;
-              break;
-            }
-          }
-          PARM_DCHECK(out != Direction::Local,
-                      "degraded next hop is not a neighbor");
-        }
+        // Degraded routing: follow the regenerated table over the alive
+        // graph; unreachable destinations eject here (drop sink —
+        // counted as fault-dropped at the barrier, never as delivered).
+        const int port = fault_table_->next_port(t, dst);
+        out = port < 0 ? local_port_ : port;
       } else {
         RoutingState state;
         state.tile_psn_percent = &tile_psn_;
         state.router_incoming_rate = &incoming_rates_;
         state.input_buffer_occupancy = occupancy(t, in);
-        out = routing_->route(mesh_, t, dst, state);
-        PARM_DCHECK(out != Direction::Local,
+        out = routing_->route_port(*topo_, t, dst, state);
+        PARM_DCHECK(out != local_port_,
                     "routing returned Local for non-local destination");
-        PARM_DCHECK(mesh_.neighbor(t, out) != kInvalidTile,
-                    "routing left the mesh");
+        PARM_DCHECK(topo_->link_dst(t, out) != kInvalidTile,
+                    "routing left the graph");
       }
-      const std::size_t ol = lane(t, port_index(out));
+      const std::size_t ol = lane(t, out);
       // Round-robin arbitration: the input closest after rr_next wins.
       if (owner_in_[ol] >= 0) continue;  // output busy (wormhole)
       if (requester_[ol] < 0) {
         requester_[ol] = static_cast<std::int8_t>(in);
       } else {
         const int rr = rr_next_[ol];
-        auto dist = [rr](int i) { return (i - rr + kPortCount) % kPortCount; };
+        const int ports = ports_;
+        auto dist = [rr, ports](int i) { return (i - rr + ports) % ports; };
         if (dist(in) < dist(requester_[ol])) {
           requester_[ol] = static_cast<std::int8_t>(in);
         }
       }
     }
     // Grant requests.
-    for (int d = 0; d < kPortCount; ++d) {
+    for (int d = 0; d < ports_; ++d) {
       const std::size_t ol = lane(t, d);
       const int in = requester_[ol];
       if (in < 0) continue;
       requester_[ol] = -1;
       owner_in_[ol] = static_cast<std::int8_t>(in);
-      rr_next_[ol] = static_cast<std::int8_t>((in + 1) % kPortCount);
+      rr_next_[ol] = static_cast<std::int8_t>((in + 1) % ports_);
       alloc_out_[lane(t, in)] = static_cast<std::int8_t>(d);
     }
   }
@@ -461,7 +406,7 @@ void Network::allocate_range(TileId lo, TileId hi) {
 void Network::decide_forwards() {
   const std::uint32_t depth = static_cast<std::uint32_t>(cfg_.buffer_depth);
   for (TileId t = 0; t < tiles_; ++t) {
-    for (int d = 0; d < kPortCount; ++d) {
+    for (int d = 0; d < ports_; ++d) {
       const std::size_t ol = lane(t, d);
       fwd_[ol] = 0;
       const int own = owner_in_[ol];
@@ -470,19 +415,18 @@ void Network::decide_forwards() {
       const FlitRing& buf = in_buf_[il];
       if (buf.empty()) continue;
       if (buf.front_last_hop() >= cycle_) continue;  // moved this cycle
-      if (d == port_index(Direction::Local)) {
+      if (d == local_port_) {
         fwd_[ol] = 1;
         popped_cycle_[il] = cycle_;
         continue;
       }
-      const Direction out = static_cast<Direction>(d);
       if (fault_mode_ && link_out_dead_[ol]) continue;  // link died
-      const TileId next = mesh_.neighbor(t, out);
-      PARM_DCHECK(next != kInvalidTile, "allocated output leaves the mesh");
+      const TileId next = topo_->link_dst(t, d);
+      PARM_DCHECK(next != kInvalidTile, "allocated output leaves the graph");
       if (fault_mode_ && router_dead_[static_cast<std::size_t>(next)]) {
         continue;  // downstream router died
       }
-      const std::size_t nl = lane(next, port_index(opposite(out)));
+      const std::size_t nl = lane(next, topo_->reverse_port(t, d));
       bool space = in_buf_[nl].size() < depth;
       if (!space && next < t && popped_cycle_[nl] == cycle_) space = true;
       if (!space) continue;  // no credit
@@ -498,12 +442,12 @@ void Network::decide_forwards() {
 void Network::apply_range(TileId lo, TileId hi, std::uint32_t shard) {
   ShardAcc& acc = acc_[shard];
   for (TileId t = lo; t < hi; ++t) {
-    for (int d = 0; d < kPortCount; ++d) {
+    for (int d = 0; d < ports_; ++d) {
       const std::size_t ol = lane(t, d);
       if (!fwd_[ol]) continue;
       const int own = owner_in_[ol];
       const std::size_t il = lane(t, own);
-      if (d == port_index(Direction::Local)) {
+      if (d == local_port_) {
         // Ejection: consume the flit.
         const Flit f = in_buf_[il].pop_front();
         ++flits_forwarded_[static_cast<std::size_t>(t)];
@@ -525,12 +469,11 @@ void Network::apply_range(TileId lo, TileId hi, std::uint32_t shard) {
         }
         continue;
       }
-      const Direction out = static_cast<Direction>(d);
-      const TileId next = mesh_.neighbor(t, out);
+      const TileId next = topo_->link_dst(t, d);
       Flit f = in_buf_[il].pop_front();
       f.last_hop_cycle = cycle_;
       ++flits_forwarded_[static_cast<std::size_t>(t)];
-      const int in_port = port_index(opposite(out));
+      const int in_port = topo_->reverse_port(t, d);
       if (next >= lo && next < hi) {
         in_buf_[lane(next, in_port)].push_back(f);
         ++flits_received_[static_cast<std::size_t>(next)];
@@ -729,7 +672,7 @@ void Network::save(snapshot::Writer& w) const {
   w.i32(cfg_.buffer_depth);
   w.i32(cfg_.flits_per_packet);
   for (TileId t = 0; t < tiles_; ++t) {
-    for (int p = 0; p < kPortCount; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const std::size_t il = lane(t, p);
       const FlitRing& buf = in_buf_[il];
       w.u64(buf.size());
@@ -738,7 +681,7 @@ void Network::save(snapshot::Writer& w) const {
       w.b(allocated);
       if (allocated) w.u8(static_cast<std::uint8_t>(alloc_out_[il]));
     }
-    for (int p = 0; p < kPortCount; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const std::size_t ol = lane(t, p);
       w.i32(owner_in_[ol]);
       w.i32(rr_next_[ol]);
@@ -802,7 +745,7 @@ void Network::restore(snapshot::Reader& r) {
         "(tile count / buffer depth / flits per packet mismatch)");
   }
   for (TileId t = 0; t < tiles_; ++t) {
-    for (int p = 0; p < kPortCount; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const std::size_t il = lane(t, p);
       FlitRing& buf = in_buf_[il];
       buf.clear();
@@ -813,26 +756,26 @@ void Network::restore(snapshot::Reader& r) {
       alloc_out_[il] = -1;
       if (r.b()) {
         const std::uint8_t d = r.u8();
-        if (d >= kPortCount) {
+        if (d >= ports_) {
           throw snapshot::SnapshotError(
               "network snapshot holds an invalid allocated output port");
         }
         alloc_out_[il] = static_cast<std::int8_t>(d);
       }
     }
-    for (int p = 0; p < kPortCount; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const std::size_t ol = lane(t, p);
       const std::int32_t owner = r.i32();
       const std::int32_t rr = r.i32();
       const std::int32_t req = r.i32();
-      if (owner < -1 || owner >= kPortCount || rr < 0 || rr >= kPortCount) {
+      if (owner < -1 || owner >= ports_ || rr < 0 || rr >= ports_) {
         throw snapshot::SnapshotError(
             "network snapshot holds invalid arbitration state");
       }
       owner_in_[ol] = static_cast<std::int8_t>(owner);
       rr_next_[ol] = static_cast<std::int8_t>(rr);
       requester_[ol] = static_cast<std::int8_t>(
-          req < -1 || req >= kPortCount ? -1 : req);
+          req < -1 || req >= ports_ ? -1 : req);
     }
     flits_forwarded_[static_cast<std::size_t>(t)] = r.u64();
     flits_received_[static_cast<std::size_t>(t)] = r.u64();

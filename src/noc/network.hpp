@@ -1,4 +1,5 @@
-// Cycle-level 2D-mesh wormhole NoC with a sharded, bit-identical engine.
+// Cycle-level wormhole NoC (any Topology) with a sharded, bit-identical
+// engine.
 //
 // One cycle advances every router in two phases:
 //   1. allocation — head flits at input-buffer fronts compute a route
@@ -31,9 +32,10 @@
 //
 // Router state lives in structure-of-arrays form: FlitRing buffers plus
 // flat allocation / arbiter / forward-decision / statistics arrays
-// indexed by lane (= tile × 5 + port). The snapshot byte format is
-// unchanged from the array-of-structs implementation — save/restore
-// adapt at the edges.
+// indexed by lane (= tile × ports + port), where the per-router port
+// count comes from the installed Topology (5 on the classic mesh, so the
+// snapshot byte format is unchanged from the array-of-structs
+// implementation — save/restore adapt at the edges).
 //
 // A flit moved this cycle is stamped so it cannot hop twice in one cycle.
 // Links are 1 flit/cycle; per-hop latency is 1 cycle (route computation
@@ -52,6 +54,8 @@
 #include "noc/flit_ring.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
+#include "noc/routing_table.hpp"
+#include "noc/topology.hpp"
 #include "snapshot/serializer.hpp"
 
 namespace parm::noc {
@@ -82,10 +86,26 @@ class Network {
   /// Called by step_cycles() before each cycle (traffic injection).
   using CycleHook = std::function<void(Network&)>;
 
+  /// Legacy mesh entry point (wraps Topology::mesh of the same size).
   Network(const MeshGeometry& mesh, NocConfig cfg,
           std::unique_ptr<RoutingAlgorithm> routing);
+  /// Topology-general entry point. The routing algorithm must be able to
+  /// serve route_port() on this topology (make_routing_for pairs them).
+  Network(std::shared_ptr<const Topology> topo, NocConfig cfg,
+          std::unique_ptr<RoutingAlgorithm> routing);
 
-  const MeshGeometry& mesh() const { return mesh_; }
+  const Topology& topology() const { return *topo_; }
+  /// Grid view of the topology (throws on mesh-less topologies; prefer
+  /// topology()/tile_count() in new code).
+  const MeshGeometry& mesh() const {
+    const MeshGeometry* view = topo_->mesh_view();
+    PARM_CHECK(view != nullptr,
+               "topology " + topo_->spec() + " has no mesh view");
+    return *view;
+  }
+  std::int32_t tile_count() const { return tiles_; }
+  /// Per-router port count, Local included (5 on the classic mesh).
+  int ports() const { return ports_; }
   const NocConfig& config() const { return cfg_; }
   const RoutingAlgorithm& routing() const { return *routing_; }
 
@@ -94,20 +114,24 @@ class Network {
 
   // --- Topology faults (degraded mode) ---
   //
-  // While any link or router is dead the network routes on a BFS spanning
-  // tree of the alive graph instead of the installed RoutingAlgorithm:
-  // tree paths are up*/down* with respect to the BFS root, so the channel
-  // dependency graph is acyclic and degraded routing is deadlock-free by
-  // construction, at the cost of longer (non-minimal) paths. Packets for
-  // dead or unreachable destinations are ejected at the current router
-  // and counted in fault_dropped_flits() instead of the delivery stats.
-  // Both calls purge every packet that can no longer complete (flits
-  // buffered in a dead router, or wormhole allocations crossing a dead
-  // link/into a dead router), counting the removed flits as dropped, and
-  // rebuild the tree — call them between windows, never mid-cycle.
+  // While any link or router is dead the network routes on a regenerated
+  // deadlock-free RoutingTable built over the *surviving* subgraph
+  // instead of the installed RoutingAlgorithm: the table builder proves
+  // channel-dependency acyclicity at construction (minimal-adaptive,
+  // then single-path, then up*/down* fallback), so degraded routing is
+  // deadlock-free on any surviving graph, possibly at the cost of longer
+  // paths. Packets for dead or unreachable destinations are ejected at
+  // the current router and counted in fault_dropped_flits() instead of
+  // the delivery stats. Both calls purge every packet that can no longer
+  // complete (flits buffered in a dead router, or wormhole allocations
+  // crossing a dead link/into a dead router), counting the removed flits
+  // as dropped, and rebuild the table — call them between windows, never
+  // mid-cycle.
 
-  /// Fails (dead = true) or repairs the full-duplex link between `t` and
-  /// its neighbor in direction `d` (both travel directions together).
+  /// Fails (dead = true) or repairs the full-duplex link out of port
+  /// `d` of tile `t` (both travel directions together). The Direction
+  /// value carries a plain port index on topologies with more than four
+  /// link ports.
   void set_link_fault(TileId t, Direction d, bool dead);
   bool link_fault(TileId t, Direction d) const {
     return link_out_dead_[lane(t, port_index(d))] != 0;
@@ -117,12 +141,14 @@ class Network {
   bool router_fault(TileId t) const {
     return router_dead_[static_cast<std::size_t>(t)] != 0;
   }
-  /// True while any link or router is dead (degraded tree routing).
+  /// True while any link or router is dead (degraded table routing).
   bool fault_mode() const { return fault_mode_; }
-  /// Next hop from `from` toward `dst` on the degraded spanning tree, or
+  /// Next hop from `from` toward `dst` on the degraded routing table, or
   /// kInvalidTile when dst is dead/unreachable (meaningful only while
   /// fault_mode() is true). Test/diagnostic hook.
   TileId fault_next_hop(TileId from, TileId dst) const;
+  /// The degraded routing table (null while fault_mode() is false).
+  const RoutingTable* fault_table() const { return fault_table_.get(); }
 
   // --- Transient flit bit-errors ---
   //
@@ -281,7 +307,7 @@ class Network {
   };
 
   std::size_t lane(TileId t, int port) const {
-    return static_cast<std::size_t>(t) * kPortCount +
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(ports_) +
            static_cast<std::size_t>(port);
   }
 
@@ -302,8 +328,8 @@ class Network {
   AppLatencyStats& app_slot(std::int32_t app_id);
   void trace_append(std::int64_t packet_id, TileId tile);
 
-  /// Recomputes fault_mode_ and the degraded-routing tree after a mask
-  /// change (or a restore).
+  /// Recomputes fault_mode_ and regenerates the degraded routing table
+  /// over the surviving subgraph after a mask change (or a restore).
   void rebuild_fault_state();
   /// Packet id allocated across output lane `ol`, found by walking the
   /// wormhole allocation chain upstream to the first non-empty buffer.
@@ -314,12 +340,14 @@ class Network {
   void purge_broken_packets();
   bool packet_corrupt(std::int64_t packet_id, TileId eject_tile) const;
 
-  MeshGeometry mesh_;
+  std::shared_ptr<const Topology> topo_;
   NocConfig cfg_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::int32_t tiles_ = 0;
+  int ports_ = 5;       ///< per-router port count (from the topology)
+  int local_port_ = 4;  ///< == ports_ - 1
 
-  // --- SoA router state, indexed by lane = tile * kPortCount + port ---
+  // --- SoA router state, indexed by lane = tile * ports_ + port ---
   std::vector<FlitRing> in_buf_;        ///< input FIFOs
   std::vector<std::int8_t> alloc_out_;  ///< input → allocated output (-1)
   std::vector<std::int8_t> owner_in_;   ///< output → owning input (-1)
@@ -337,12 +365,11 @@ class Network {
 
   // --- Fault state (all empty-effect when no fault was ever set) ---
   bool fault_mode_ = false;
-  std::vector<std::uint8_t> link_out_dead_;  ///< per lane, cardinal only
+  std::vector<std::uint8_t> link_out_dead_;  ///< per lane, link ports only
   std::vector<std::uint8_t> router_dead_;    ///< per tile
-  /// Degraded next-hop table [t * tiles + dst]; kInvalidTile when
-  /// unreachable. Rebuilt by rebuild_fault_state, sized only in fault
-  /// mode.
-  std::vector<TileId> fault_next_;
+  /// Deadlock-free routing table over the surviving subgraph. Rebuilt by
+  /// rebuild_fault_state, allocated only in fault mode.
+  std::shared_ptr<const RoutingTable> fault_table_;
   std::vector<double> flit_error_rate_;  ///< per tile; empty = off
   std::uint64_t fault_seed_ = 0;
   std::uint64_t fault_dropped_flits_ = 0;

@@ -1,11 +1,23 @@
 #include "noc/routing.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "common/check.hpp"
+#include "noc/routing_table.hpp"
+#include "noc/topology.hpp"
 #include "obs/metrics.hpp"
 
 namespace parm::noc {
+
+int RoutingAlgorithm::route_port(const Topology& topo, TileId current,
+                                 TileId dst, const RoutingState& state) const {
+  const MeshGeometry* mesh = topo.mesh_view();
+  PARM_CHECK(mesh != nullptr,
+             name() + " routing needs a mesh view; topology " + topo.spec() +
+                 " requires a table-based policy (make_routing_for)");
+  return static_cast<int>(route(*mesh, current, dst, state));
+}
 
 DirectionSet west_first_directions(const MeshGeometry& mesh, TileId current,
                                    TileId dst) {
@@ -152,6 +164,122 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
     return std::make_unique<PanrRouting>(panr_threshold, 4.0, registry);
   }
   PARM_CHECK(false, "unknown routing algorithm: " + name);
+}
+
+TableRouting::TableRouting(std::shared_ptr<const Topology> topo,
+                           std::shared_ptr<const RoutingTable> table,
+                           std::string name, CostPolicy policy,
+                           double occupancy_threshold, double psn_safe_percent,
+                           obs::Registry* registry)
+    : topo_(std::move(topo)),
+      table_(std::move(table)),
+      name_(std::move(name)),
+      policy_(policy),
+      threshold_(occupancy_threshold),
+      psn_safe_percent_(psn_safe_percent),
+      reroutes_(policy == CostPolicy::kPanr
+                    ? &obs::resolve(registry).counter("noc.panr_reroutes")
+                    : nullptr) {
+  PARM_CHECK(topo_ != nullptr && table_ != nullptr,
+             "TableRouting needs a topology and a routing table");
+  PARM_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0,
+             "occupancy threshold must be in [0,1]");
+  PARM_CHECK(psn_safe_percent_ > 0.0, "PSN safety margin must be positive");
+}
+
+Direction TableRouting::route(const MeshGeometry& mesh, TileId current,
+                              TileId dst, const RoutingState& state) const {
+  // The legacy mesh entry point still works when the topology carries a
+  // grid view with matching dimensions (ports 0..3 are E/W/N/S there).
+  const MeshGeometry* view = topo_->mesh_view();
+  PARM_CHECK(view != nullptr && view->width() == mesh.width() &&
+                 view->height() == mesh.height(),
+             name_ + " table routing is bound to " + topo_->spec() +
+                 ", not a " + std::to_string(mesh.width()) + "x" +
+                 std::to_string(mesh.height()) + " mesh");
+  return static_cast<Direction>(route_port(*topo_, current, dst, state));
+}
+
+int TableRouting::route_port(const Topology& topo, TileId current, TileId dst,
+                             const RoutingState& state) const {
+  PARM_CHECK(current != dst, "routing called with current == dst");
+  PortSet cand;
+  table_->candidates(current, dst, &cand);
+  PARM_CHECK(!cand.empty(), name_ + ": no route " + std::to_string(current) +
+                                "->" + std::to_string(dst) + " on " +
+                                topo.spec());
+  if (cand.size() == 1) return cand.front();
+
+  const auto pick_min = [&](const PortSet& set, auto cost) {
+    int best = set.front();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int p : set) {
+      const TileId n = topo.link_dst(current, p);
+      PARM_DCHECK(n != kInvalidTile, "table candidate left the graph");
+      const double c = cost(n);
+      if (c < best_cost) {
+        best_cost = c;
+        best = p;
+      }
+    }
+    return best;
+  };
+  const auto count_reroute = [&](int chosen) {
+    if (reroutes_ != nullptr && chosen != cand.front()) reroutes_->inc();
+  };
+
+  switch (policy_) {
+    case CostPolicy::kFirst:
+      return cand.front();
+    case CostPolicy::kMinRate:
+      return pick_min(cand, [&](TileId n) { return rate_of(state, n); });
+    case CostPolicy::kPanr:
+      break;
+  }
+  if (state.input_buffer_occupancy > threshold_) {
+    const int p = pick_min(cand, [&](TileId n) { return rate_of(state, n); });
+    count_reroute(p);
+    return p;
+  }
+  // PSN acts as a safety filter over the deadlock-safe candidates, with
+  // the same herding-avoidance rationale as the mesh PANR policy.
+  PortSet safe;
+  for (int p : cand) {
+    const TileId n = topo.link_dst(current, p);
+    if (psn_of(state, n) < psn_safe_percent_) safe.push_back(p);
+  }
+  if (safe.empty()) {
+    const int p = pick_min(cand, [&](TileId n) { return psn_of(state, n); });
+    count_reroute(p);
+    return p;
+  }
+  const int p = pick_min(safe, [&](TileId n) { return rate_of(state, n); });
+  count_reroute(p);
+  return p;
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing_for(
+    const std::shared_ptr<const Topology>& topo, const std::string& name,
+    double panr_threshold, obs::Registry* registry) {
+  PARM_CHECK(topo != nullptr, "make_routing_for needs a topology");
+  if (topo->kind() == TopologyKind::kMesh) {
+    // The paper's mesh keeps the historical turn-model implementations
+    // (and their bit-identical traces).
+    return make_routing(name, panr_threshold, registry);
+  }
+  auto table =
+      std::make_shared<const RoutingTable>(RoutingTable::build(*topo));
+  TableRouting::CostPolicy policy = TableRouting::CostPolicy::kFirst;
+  if (name == "ICON") {
+    policy = TableRouting::CostPolicy::kMinRate;
+  } else if (name == "PANR") {
+    policy = TableRouting::CostPolicy::kPanr;
+  } else {
+    PARM_CHECK(name == "XY" || name == "WestFirst",
+               "unknown routing algorithm: " + name);
+  }
+  return std::make_unique<TableRouting>(topo, std::move(table), name, policy,
+                                        panr_threshold, 4.0, registry);
 }
 
 }  // namespace parm::noc

@@ -23,18 +23,27 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/geometry.hpp"
 #include "obs/metrics.hpp"
 
 namespace parm::noc {
 
-/// Fixed-capacity set of candidate output directions. The turn model
-/// permits at most three (E/N/S), so route computation — which runs once
-/// per head flit per hop inside the cycle engine — never touches the
-/// heap.
+class Topology;      // noc/topology.hpp
+class RoutingTable;  // noc/routing_table.hpp
+
+/// Fixed-capacity set of candidate output directions, sized to the four
+/// cardinal mesh ports so route computation — which runs once per head
+/// flit per hop inside the cycle engine — never touches the heap.
+/// Overflow throws instead of silently writing out of bounds (higher
+/// router degrees use the table policies' PortSet, not this class).
 class DirectionSet {
  public:
-  void push_back(Direction d) { dirs_[count_++] = d; }
+  void push_back(Direction d) {
+    PARM_CHECK(count_ < dirs_.size(),
+               "DirectionSet overflow: more candidates than cardinal ports");
+    dirs_[count_++] = d;
+  }
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   Direction front() const { return dirs_[0]; }
@@ -43,7 +52,7 @@ class DirectionSet {
   const Direction* end() const { return dirs_.data() + count_; }
 
  private:
-  std::array<Direction, 3> dirs_{};
+  std::array<Direction, 4> dirs_{};
   std::size_t count_ = 0;
 };
 
@@ -64,6 +73,12 @@ class RoutingAlgorithm {
   virtual ~RoutingAlgorithm() = default;
   virtual Direction route(const MeshGeometry& mesh, TileId current,
                           TileId dst, const RoutingState& state) const = 0;
+  /// Topology-general entry point: pick the output *port*. The default
+  /// forwards to route() on the topology's mesh view, so the legacy
+  /// turn-model policies stay bit-identical on the mesh; table-based
+  /// policies override it directly.
+  virtual int route_port(const Topology& topo, TileId current, TileId dst,
+                         const RoutingState& state) const;
   virtual std::string name() const = 0;
 };
 
@@ -123,5 +138,51 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
                                                double panr_threshold = 0.5,
                                                obs::Registry* registry =
                                                    nullptr);
+
+/// Routes over a generated deadlock-free RoutingTable, layering the
+/// legacy policies' cost models onto the table's safe candidate set:
+///  - kFirst   (XY / WestFirst): deterministic lowest-numbered candidate;
+///  - kMinRate (ICON):           candidate whose next hop has the lowest
+///                               incoming data rate;
+///  - kPanr    (PANR):           congestion/PSN hybrid — least-loaded
+///                               candidate when the input buffer is
+///                               filling, otherwise least-loaded among
+///                               PSN-safe candidates (min-PSN fallback).
+/// Outside the table's adaptive mode there is exactly one candidate per
+/// pair, so every policy degenerates to the verified single path.
+class TableRouting final : public RoutingAlgorithm {
+ public:
+  enum class CostPolicy { kFirst, kMinRate, kPanr };
+
+  TableRouting(std::shared_ptr<const Topology> topo,
+               std::shared_ptr<const RoutingTable> table, std::string name,
+               CostPolicy policy, double occupancy_threshold = 0.5,
+               double psn_safe_percent = 4.0,
+               obs::Registry* registry = nullptr);
+
+  Direction route(const MeshGeometry& mesh, TileId current, TileId dst,
+                  const RoutingState& state) const override;
+  int route_port(const Topology& topo, TileId current, TileId dst,
+                 const RoutingState& state) const override;
+  std::string name() const override { return name_; }
+  const RoutingTable& table() const { return *table_; }
+
+ private:
+  std::shared_ptr<const Topology> topo_;
+  std::shared_ptr<const RoutingTable> table_;
+  std::string name_;
+  CostPolicy policy_;
+  double threshold_;
+  double psn_safe_percent_;
+  obs::Counter* reroutes_;
+};
+
+/// Topology-aware factory: returns the legacy turn-model policies on the
+/// plain mesh (bit-identical defaults) and table-based equivalents —
+/// sharing one generated, construction-verified RoutingTable — on every
+/// other topology.
+std::unique_ptr<RoutingAlgorithm> make_routing_for(
+    const std::shared_ptr<const Topology>& topo, const std::string& name,
+    double panr_threshold = 0.5, obs::Registry* registry = nullptr);
 
 }  // namespace parm::noc

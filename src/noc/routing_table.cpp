@@ -1,0 +1,474 @@
+#include "noc/routing_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <utility>
+
+namespace parm::noc {
+
+namespace {
+
+constexpr std::int32_t kUnreachable = std::numeric_limits<std::int32_t>::max();
+
+/// Caps CDG materialization; an attempt whose raw transition count
+/// exceeds this is treated as cyclic and the builder falls through to
+/// the next (more conservative) scheme.
+constexpr std::size_t kMaxCdgEdges = 8u << 20;
+
+/// Kahn's algorithm over a deduplicated edge list between `channels`
+/// nodes. Returns true when the graph is acyclic; when false and
+/// `cycle_channel` is non-null, stores one channel on a cycle.
+bool cdg_acyclic(std::int32_t channels,
+                 std::vector<std::pair<std::int32_t, std::int32_t>>* edges,
+                 std::int32_t* cycle_channel) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(channels), 0);
+  std::vector<std::size_t> offset(static_cast<std::size_t>(channels) + 1, 0);
+  for (const auto& [src, dst] : *edges) {
+    ++indegree[static_cast<std::size_t>(dst)];
+    ++offset[static_cast<std::size_t>(src) + 1];
+  }
+  for (std::int32_t c = 0; c < channels; ++c) {
+    offset[static_cast<std::size_t>(c) + 1] +=
+        offset[static_cast<std::size_t>(c)];
+  }
+  std::deque<std::int32_t> ready;
+  for (std::int32_t c = 0; c < channels; ++c) {
+    if (indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+  }
+  std::int32_t removed = 0;
+  while (!ready.empty()) {
+    const std::int32_t c = ready.front();
+    ready.pop_front();
+    ++removed;
+    for (std::size_t e = offset[static_cast<std::size_t>(c)];
+         e < offset[static_cast<std::size_t>(c) + 1]; ++e) {
+      const std::int32_t succ = (*edges)[e].second;
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) {
+        ready.push_back(succ);
+      }
+    }
+  }
+  if (removed == channels) return true;
+  if (cycle_channel != nullptr) {
+    for (std::int32_t c = 0; c < channels; ++c) {
+      if (indegree[static_cast<std::size_t>(c)] > 0) {
+        *cycle_channel = c;
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+struct Builder {
+  const Topology& topo;
+  const std::vector<std::uint8_t>& link_out_dead;
+  const std::vector<std::uint8_t>& router_dead;
+  std::int32_t n;
+  int ports;
+  int link_ports;
+
+  bool router_alive(TileId t) const {
+    return router_dead.empty() || router_dead[static_cast<std::size_t>(t)] == 0;
+  }
+  bool usable(TileId t, int port) const {
+    const TileId d = topo.link_dst(t, port);
+    if (d == kInvalidTile) return false;
+    if (!router_alive(t) || !router_alive(d)) return false;
+    if (!link_out_dead.empty() &&
+        link_out_dead[static_cast<std::size_t>(t) *
+                          static_cast<std::size_t>(ports) +
+                      static_cast<std::size_t>(port)] != 0) {
+      return false;
+    }
+    return true;
+  }
+
+  std::int32_t channel(TileId t, int port) const {
+    return t * link_ports + port;
+  }
+
+  /// BFS distances of every tile *to* `dst` over usable lanes (relaxed
+  /// along reversed edges so per-direction lane death is honored).
+  void dist_to(TileId dst, std::vector<std::int32_t>* dist) const {
+    dist->assign(static_cast<std::size_t>(n), kUnreachable);
+    if (!router_alive(dst)) return;
+    (*dist)[static_cast<std::size_t>(dst)] = 0;
+    std::deque<TileId> queue{dst};
+    while (!queue.empty()) {
+      const TileId at = queue.front();
+      queue.pop_front();
+      for (int p = 0; p < link_ports; ++p) {
+        const TileId from = topo.link_dst(at, p);
+        if (from == kInvalidTile) continue;
+        // Relax the reverse lane from -> at.
+        const int back = topo.reverse_port(at, p);
+        if (!usable(from, back)) continue;
+        if ((*dist)[static_cast<std::size_t>(from)] != kUnreachable) continue;
+        (*dist)[static_cast<std::size_t>(from)] =
+            (*dist)[static_cast<std::size_t>(at)] + 1;
+        queue.push_back(from);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* RoutingTable::mode_name() const {
+  switch (mode_) {
+    case Mode::kAdaptive:
+      return "adaptive-minimal";
+    case Mode::kSinglePath:
+      return "single-path-minimal";
+    case Mode::kUpDown:
+      return "up-down";
+  }
+  return "?";
+}
+
+void RoutingTable::candidates(TileId from, TileId to, PortSet* out) const {
+  out->clear();
+  std::uint32_t mask = cand_[pair(from, to)];
+  while (mask != 0) {
+    const int p = std::countr_zero(mask);
+    out->push_back(p);
+    mask &= mask - 1;
+  }
+}
+
+std::int32_t RoutingTable::table_hops(TileId from, TileId to) const {
+  if (from == to) return 0;
+  std::int32_t hops = 0;
+  TileId at = from;
+  // next_ is verified to terminate; the bound is belt-and-braces.
+  while (at != to && hops <= tiles_) {
+    if (next_[pair(at, to)] < 0) return -1;
+    at = step_[pair(at, to)];
+    ++hops;
+  }
+  return at == to ? hops : -1;
+}
+
+void RoutingTable::verify(const Topology& topo) const {
+  // The CDG is built over *all* candidate transitions, so in kAdaptive
+  // mode a runtime policy may pick any candidate without risking a cycle
+  // (other modes publish exactly one candidate per pair).
+  const int link_ports = ports_ - 1;
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (TileId dst = 0; dst < tiles_; ++dst) {
+    for (TileId v = 0; v < tiles_; ++v) {
+      if (v == dst) continue;
+      std::uint32_t vm = cand_[pair(v, dst)];
+      PARM_CHECK(
+          (vm != 0) == (next_[pair(v, dst)] >= 0),
+          spec_ + ": candidate mask and primary port disagree for route " +
+              std::to_string(v) + "->" + std::to_string(dst));
+      while (vm != 0) {
+        const int p = std::countr_zero(vm);
+        vm &= vm - 1;
+        const TileId u = topo.link_dst(v, p);
+        PARM_CHECK(u != kInvalidTile,
+                   spec_ + ": route " + std::to_string(v) + "->" +
+                       std::to_string(dst) + " uses unwired port " +
+                       std::to_string(p));
+        if (u == dst) continue;
+        std::uint32_t um = cand_[pair(u, dst)];
+        PARM_CHECK(um != 0, spec_ + ": route " + std::to_string(v) + "->" +
+                                std::to_string(dst) +
+                                " enters a dead-end at tile " +
+                                std::to_string(u));
+        while (um != 0) {
+          const int q = std::countr_zero(um);
+          um &= um - 1;
+          edges.emplace_back(v * link_ports + p, u * link_ports + q);
+        }
+      }
+    }
+  }
+  std::int32_t cycle_channel = -1;
+  PARM_CHECK(
+      cdg_acyclic(tiles_ * link_ports, &edges, &cycle_channel),
+      spec_ + ": " + std::string(mode_name()) +
+          " routing table has a channel-dependency cycle through channel " +
+          std::to_string(cycle_channel) + " (tile " +
+          std::to_string(cycle_channel / link_ports) + ", port " +
+          std::to_string(cycle_channel % link_ports) + ")");
+  // Path termination for every reachable pair.
+  for (TileId src = 0; src < tiles_; ++src) {
+    for (TileId dst = 0; dst < tiles_; ++dst) {
+      if (src == dst || next_[pair(src, dst)] < 0) continue;
+      TileId at = src;
+      std::int32_t hops = 0;
+      while (at != dst) {
+        PARM_CHECK(hops <= tiles_,
+                   spec_ + ": route " + std::to_string(src) + "->" +
+                       std::to_string(dst) + " does not terminate");
+        const int p = next_[pair(at, dst)];
+        PARM_CHECK(p >= 0, spec_ + ": route " + std::to_string(src) + "->" +
+                               std::to_string(dst) +
+                               " strands at tile " + std::to_string(at));
+        at = topo.link_dst(at, p);
+        ++hops;
+      }
+    }
+  }
+}
+
+RoutingTable RoutingTable::build(const Topology& topo) {
+  static const std::vector<std::uint8_t> kNone;
+  return build_degraded(topo, kNone, kNone);
+}
+
+RoutingTable RoutingTable::build_degraded(
+    const Topology& topo, const std::vector<std::uint8_t>& link_out_dead,
+    const std::vector<std::uint8_t>& router_dead) {
+  const std::int32_t n = topo.tile_count();
+  const int ports = topo.ports();
+  const int link_ports = ports - 1;
+  const Builder b{topo, link_out_dead, router_dead, n, ports, link_ports};
+
+  RoutingTable table;
+  table.tiles_ = n;
+  table.ports_ = ports;
+  table.spec_ = topo.spec();
+  if (!link_out_dead.empty() || !router_dead.empty()) {
+    table.spec_ += " [degraded]";
+  }
+  table.link_out_dead_ = link_out_dead;
+  table.router_dead_ = router_dead;
+  const std::size_t pairs =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  table.next_.assign(pairs, -1);
+  table.cand_.assign(pairs, 0);
+  table.step_.assign(pairs, kInvalidTile);
+
+  // Stage 1: minimal candidate sets from per-destination BFS.
+  std::vector<std::int32_t> dist;
+  for (TileId dst = 0; dst < n; ++dst) {
+    b.dist_to(dst, &dist);
+    for (TileId v = 0; v < n; ++v) {
+      if (v == dst || dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        continue;
+      }
+      std::uint32_t mask = 0;
+      for (int p = 0; p < link_ports; ++p) {
+        if (!b.usable(v, p)) continue;
+        const TileId u = topo.link_dst(v, p);
+        if (dist[static_cast<std::size_t>(u)] ==
+            dist[static_cast<std::size_t>(v)] - 1) {
+          mask |= (1u << p);
+        }
+      }
+      table.cand_[table.pair(v, dst)] = mask;
+      table.next_[table.pair(v, dst)] =
+          static_cast<std::int8_t>(std::countr_zero(mask));
+    }
+  }
+
+  const auto fill_steps = [&]() {
+    for (TileId dst = 0; dst < n; ++dst) {
+      for (TileId v = 0; v < n; ++v) {
+        const int p = table.next_[table.pair(v, dst)];
+        table.step_[table.pair(v, dst)] =
+            p < 0 ? kInvalidTile : topo.link_dst(v, p);
+      }
+    }
+  };
+
+  // Stage 2: is the *full candidate* CDG acyclic? Then any candidate is a
+  // safe choice and cost-weighted policies may adapt freely.
+  {
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+    bool overflow = false;
+    for (TileId dst = 0; dst < n && !overflow; ++dst) {
+      for (TileId v = 0; v < n && !overflow; ++v) {
+        if (v == dst) continue;
+        std::uint32_t vm = table.cand_[table.pair(v, dst)];
+        while (vm != 0) {
+          const int p = std::countr_zero(vm);
+          vm &= vm - 1;
+          const TileId u = topo.link_dst(v, p);
+          if (u == dst) continue;
+          std::uint32_t um = table.cand_[table.pair(u, dst)];
+          while (um != 0) {
+            const int q = std::countr_zero(um);
+            um &= um - 1;
+            edges.emplace_back(b.channel(v, p), b.channel(u, q));
+          }
+          if (edges.size() > kMaxCdgEdges) {
+            overflow = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!overflow && cdg_acyclic(n * link_ports, &edges, nullptr)) {
+      table.mode_ = Mode::kAdaptive;
+      fill_steps();
+      table.verify(topo);
+      return table;
+    }
+  }
+
+  // Stage 3: deterministic lowest-port minimal route (XY on the mesh).
+  {
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+    for (TileId dst = 0; dst < n; ++dst) {
+      for (TileId v = 0; v < n; ++v) {
+        if (v == dst) continue;
+        const int p = table.next_[table.pair(v, dst)];
+        if (p < 0) continue;
+        const TileId u = topo.link_dst(v, p);
+        if (u == dst) continue;
+        const int q = table.next_[table.pair(u, dst)];
+        edges.emplace_back(b.channel(v, p), b.channel(u, q));
+      }
+    }
+    if (cdg_acyclic(n * link_ports, &edges, nullptr)) {
+      table.mode_ = Mode::kSinglePath;
+      for (std::size_t i = 0; i < pairs; ++i) {
+        table.cand_[i] =
+            table.next_[i] < 0
+                ? 0u
+                : (1u << static_cast<unsigned>(table.next_[i]));
+      }
+      fill_steps();
+      table.verify(topo);
+      return table;
+    }
+  }
+
+  // Stage 4: up*/down* over a BFS spanning tree — deadlock-free on any
+  // connected graph because no route ever turns from a down channel back
+  // onto an up channel.
+  table.mode_ = Mode::kUpDown;
+  TileId root = kInvalidTile;
+  for (TileId t = 0; t < n; ++t) {
+    if (b.router_alive(t)) {
+      root = t;
+      break;
+    }
+  }
+  PARM_CHECK(root != kInvalidTile,
+             table.spec_ + ": no live router to root the up/down tree");
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(n), kUnreachable);
+  depth[static_cast<std::size_t>(root)] = 0;
+  std::deque<TileId> queue{root};
+  while (!queue.empty()) {
+    const TileId at = queue.front();
+    queue.pop_front();
+    for (int p = 0; p < link_ports; ++p) {
+      if (!b.usable(at, p)) continue;
+      const TileId next = topo.link_dst(at, p);
+      if (depth[static_cast<std::size_t>(next)] != kUnreachable) continue;
+      depth[static_cast<std::size_t>(next)] =
+          depth[static_cast<std::size_t>(at)] + 1;
+      queue.push_back(next);
+    }
+  }
+  // Total order by (depth, id): rank 0 is the root; every ranked non-root
+  // node has an up edge (its BFS parent), so climbing always terminates.
+  std::vector<TileId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (TileId t = 0; t < n; ++t) {
+    if (depth[static_cast<std::size_t>(t)] != kUnreachable) {
+      order.push_back(t);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](TileId a, TileId c) {
+    const auto da = depth[static_cast<std::size_t>(a)];
+    const auto dc = depth[static_cast<std::size_t>(c)];
+    return da != dc ? da < dc : a < c;
+  });
+  std::vector<std::int32_t> rank(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
+
+  std::vector<std::int32_t> dist_down(static_cast<std::size_t>(n));
+  for (TileId dst = 0; dst < n; ++dst) {
+    if (rank[static_cast<std::size_t>(dst)] < 0) {
+      for (TileId v = 0; v < n; ++v) {
+        table.next_[table.pair(v, dst)] = -1;
+        table.cand_[table.pair(v, dst)] = 0;
+      }
+      continue;
+    }
+    // Down-only distances, relaxed in decreasing rank order (down edges
+    // point to strictly higher rank, so dependencies resolve first).
+    std::fill(dist_down.begin(), dist_down.end(), kUnreachable);
+    dist_down[static_cast<std::size_t>(dst)] = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const TileId v = *it;
+      if (v == dst) continue;
+      std::int32_t best = kUnreachable;
+      for (int p = 0; p < link_ports; ++p) {
+        if (!b.usable(v, p)) continue;
+        const TileId u = topo.link_dst(v, p);
+        if (rank[static_cast<std::size_t>(u)] <=
+            rank[static_cast<std::size_t>(v)]) {
+          continue;  // not a down edge
+        }
+        if (dist_down[static_cast<std::size_t>(u)] != kUnreachable) {
+          best = std::min(best, dist_down[static_cast<std::size_t>(u)] + 1);
+        }
+      }
+      dist_down[static_cast<std::size_t>(v)] = best;
+    }
+    for (TileId v = 0; v < n; ++v) {
+      if (v == dst) continue;
+      auto& next = table.next_[table.pair(v, dst)];
+      auto& cand = table.cand_[table.pair(v, dst)];
+      next = -1;
+      cand = 0;
+      if (rank[static_cast<std::size_t>(v)] < 0) continue;  // unreachable
+      if (dist_down[static_cast<std::size_t>(v)] != kUnreachable) {
+        // Descend along the shortest down-only path.
+        for (int p = 0; p < link_ports; ++p) {
+          if (!b.usable(v, p)) continue;
+          const TileId u = topo.link_dst(v, p);
+          if (rank[static_cast<std::size_t>(u)] >
+                  rank[static_cast<std::size_t>(v)] &&
+              dist_down[static_cast<std::size_t>(u)] ==
+                  dist_down[static_cast<std::size_t>(v)] - 1) {
+            next = static_cast<std::int8_t>(p);
+            break;
+          }
+        }
+      } else {
+        // Climb: prefer the up-neighbor that can already descend,
+        // otherwise head for the root (strictly decreasing rank).
+        std::int32_t best_down = kUnreachable;
+        std::int32_t best_rank = kUnreachable;
+        for (int p = 0; p < link_ports; ++p) {
+          if (!b.usable(v, p)) continue;
+          const TileId u = topo.link_dst(v, p);
+          if (rank[static_cast<std::size_t>(u)] >=
+                  rank[static_cast<std::size_t>(v)] ||
+              rank[static_cast<std::size_t>(u)] < 0) {
+            continue;  // not an up edge
+          }
+          const std::int32_t dd = dist_down[static_cast<std::size_t>(u)];
+          if (dd < best_down ||
+              (dd == best_down &&
+               rank[static_cast<std::size_t>(u)] < best_rank)) {
+            best_down = dd;
+            best_rank = rank[static_cast<std::size_t>(u)];
+            next = static_cast<std::int8_t>(p);
+          }
+        }
+      }
+      if (next >= 0) cand = 1u << static_cast<unsigned>(next);
+    }
+  }
+  fill_steps();
+  table.verify(topo);
+  return table;
+}
+
+}  // namespace parm::noc

@@ -1,0 +1,125 @@
+// Auto-generated shortest-path routing tables, deadlock-free on any graph.
+//
+// RoutingTable::build tries three successively more conservative schemes
+// and keeps the first whose channel-dependency graph (CDG) is provably
+// acyclic:
+//
+//  1. kAdaptive — every minimal (BFS-shortest) next-hop port is a
+//     candidate. Kept only when the CDG over *all* candidate transitions
+//     is acyclic (true for e.g. the flattened butterfly), so a cost-based
+//     policy may pick any candidate at runtime without deadlock.
+//  2. kSinglePath — one deterministic minimal route per pair: the
+//     lowest-numbered candidate port. On the mesh this reproduces XY
+//     dimension-ordered routing exactly (E/W ports order before N/S).
+//     Kept when the CDG over the used transitions is acyclic.
+//  3. kUpDown — classic up*/down* over a BFS spanning tree rooted at the
+//     lowest live tile: routers are totally ordered by (BFS depth, id);
+//     a route descends ("down" = toward higher order) whenever a
+//     down-only path to the destination exists and climbs toward the
+//     root otherwise. Down→up transitions never occur, which makes the
+//     CDG acyclic on *any* connected graph (possibly at the cost of
+//     non-minimal routes, e.g. on tori whose minimal rings deadlock).
+//
+// Whatever scheme wins is re-verified at construction time — Kahn's
+// algorithm over the used CDG plus explicit path-termination checks —
+// and a descriptive CheckError is thrown if verification fails, so a
+// table that constructs is safe by construction.
+//
+// build_degraded() generates the same tables over a surviving subgraph
+// (dead routers / dead link lanes), which is how the fault layer replaces
+// its old mesh-only BFS spanning tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+#include "noc/topology.hpp"
+
+namespace parm::noc {
+
+/// Small bounded set of candidate output ports. Overflow is a contract
+/// violation and always throws (the silent-overflow ancestor of this
+/// class corrupted neighbors on high-degree routers).
+class PortSet {
+ public:
+  void push_back(int port) {
+    PARM_CHECK(count_ < kCapacity,
+               "PortSet overflow: more than " + std::to_string(kCapacity) +
+                   " candidate ports");
+    ports_[count_++] = static_cast<std::int8_t>(port);
+  }
+  void clear() { count_ = 0; }
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  int operator[](int i) const { return ports_[i]; }
+  int front() const { return ports_[0]; }
+  const std::int8_t* begin() const { return ports_; }
+  const std::int8_t* end() const { return ports_ + count_; }
+
+ private:
+  static constexpr int kCapacity = 32;
+  std::int8_t ports_[kCapacity] = {};
+  int count_ = 0;
+};
+
+class RoutingTable {
+ public:
+  enum class Mode : std::uint8_t { kAdaptive, kSinglePath, kUpDown };
+
+  /// Builds (and verifies) a table over the full topology.
+  static RoutingTable build(const Topology& topo);
+  /// Builds over the surviving subgraph. `link_out_dead` is indexed by
+  /// tile * topo.ports() + port (1 = dead); `router_dead` by tile.
+  /// Either vector may be empty (= fully alive).
+  static RoutingTable build_degraded(
+      const Topology& topo, const std::vector<std::uint8_t>& link_out_dead,
+      const std::vector<std::uint8_t>& router_dead);
+
+  Mode mode() const { return mode_; }
+  const char* mode_name() const;
+
+  /// Primary next-hop port from -> to; -1 when unreachable or from == to.
+  int next_port(TileId from, TileId to) const {
+    return next_[pair(from, to)];
+  }
+  bool reachable(TileId from, TileId to) const {
+    return from == to || next_[pair(from, to)] >= 0;
+  }
+  /// Bitmask of deadlock-safe candidate ports (>= 1 bit when reachable;
+  /// exactly the primary port outside kAdaptive mode).
+  std::uint32_t candidate_mask(TileId from, TileId to) const {
+    return cand_[pair(from, to)];
+  }
+  void candidates(TileId from, TileId to, PortSet* out) const;
+  /// Hops of the table's primary route; -1 when unreachable.
+  std::int32_t table_hops(TileId from, TileId to) const;
+
+  /// Re-runs the construction-time proof: Kahn's algorithm over the used
+  /// channel-dependency graph plus path termination for every reachable
+  /// pair. Throws CheckError on any violation.
+  void verify(const Topology& topo) const;
+
+ private:
+  std::size_t pair(TileId from, TileId to) const {
+    PARM_DCHECK(from >= 0 && from < tiles_ && to >= 0 && to < tiles_,
+                "routing table lookup out of range");
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(tiles_) +
+           static_cast<std::size_t>(to);
+  }
+
+  std::int32_t tiles_ = 0;
+  int ports_ = 0;
+  Mode mode_ = Mode::kSinglePath;
+  std::string spec_;  ///< topology spec (+ "[degraded]") for error text
+  std::vector<std::int8_t> next_;
+  std::vector<std::uint32_t> cand_;
+  std::vector<TileId> step_;  ///< link_dst(from, next_) memo for table_hops
+  std::vector<std::uint8_t> link_out_dead_;  ///< empty = fully alive
+  std::vector<std::uint8_t> router_dead_;    ///< empty = fully alive
+};
+
+}  // namespace parm::noc

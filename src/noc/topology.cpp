@@ -1,0 +1,601 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace parm::noc {
+
+namespace {
+
+constexpr std::int16_t kUnreachableHops = 0x3FFF;
+
+/// Parses "WxH" (or "XxYxZ" when three fields) into dims; returns false on
+/// any malformed input.
+bool parse_dims(const std::string& text, std::vector<std::int32_t>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find('x', pos);
+    const std::string field =
+        text.substr(pos, next == std::string::npos ? next : next - pos);
+    if (field.empty() || field.size() > 6) return false;
+    std::int32_t value = 0;
+    for (char c : field) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + (c - '0');
+    }
+    out->push_back(value);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return !out->empty();
+}
+
+std::string dims_str(std::int32_t w, std::int32_t h) {
+  return std::to_string(w) + "x" + std::to_string(h);
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kMesh:
+      return "mesh";
+    case TopologyKind::kTorus:
+      return "torus";
+    case TopologyKind::kCMesh:
+      return "cmesh";
+    case TopologyKind::kButterfly:
+      return "butterfly";
+    case TopologyKind::kMesh3d:
+      return "mesh3d";
+    case TopologyKind::kFile:
+      return "file";
+  }
+  return "?";
+}
+
+int Topology::radix(TileId t) const {
+  int live = 0;
+  for (int p = 0; p + 1 < ports_; ++p) {
+    if (link_dst(t, p) != kInvalidTile) ++live;
+  }
+  return live;
+}
+
+std::string Topology::port_name(int port) const {
+  PARM_CHECK(port >= 0 && port < ports_,
+             "port " + std::to_string(port) + " out of range for " + spec_);
+  if (port == local_port()) return "L";
+  const bool cardinal = kind_ == TopologyKind::kMesh ||
+                        kind_ == TopologyKind::kTorus ||
+                        kind_ == TopologyKind::kCMesh ||
+                        kind_ == TopologyKind::kMesh3d;
+  if (cardinal && port < 4) {
+    static const char* kNames[4] = {"E", "W", "N", "S"};
+    return kNames[port];
+  }
+  if (kind_ == TopologyKind::kMesh3d && port == 4) return "U";
+  if (kind_ == TopologyKind::kMesh3d && port == 5) return "D";
+  std::string generic = "p";
+  generic += std::to_string(port);
+  return generic;
+}
+
+int Topology::port_by_name(const std::string& name) const {
+  for (int p = 0; p < ports_; ++p) {
+    if (port_name(p) == name) return p;
+  }
+  return -1;
+}
+
+std::array<TileId, 4> Topology::domain_tiles(DomainId d) const {
+  PARM_CHECK(d >= 0 && d < domain_count_,
+             "domain " + std::to_string(d) + " out of range for " + spec_);
+  return domain_tiles_[static_cast<std::size_t>(d)];
+}
+
+int Topology::domain_capacity(DomainId d) const {
+  const auto tiles = domain_tiles(d);
+  int live = 0;
+  for (TileId t : tiles) {
+    if (t != kInvalidTile) ++live;
+  }
+  return live;
+}
+
+std::int32_t Topology::domain_distance(DomainId a, DomainId b) const {
+  PARM_CHECK(a >= 0 && a < domain_count_ && b >= 0 && b < domain_count_,
+             "domain pair out of range for " + spec_);
+  if (mesh_view_.has_value()) {
+    return mesh_view_->domain_distance(a, b);
+  }
+  if (kind_ == TopologyKind::kMesh3d) {
+    const std::int32_t gw = grid_w_ / 2;
+    const std::int32_t gh = grid_h_ / 2;
+    const std::int32_t layer = gw * gh;
+    const std::int32_t az = a / layer, bz = b / layer;
+    const std::int32_t ar = a % layer, br = b % layer;
+    return std::abs(ar % gw - br % gw) + std::abs(ar / gw - br / gw) +
+           std::abs(az - bz);
+  }
+  // Irregular graphs: hop distance between the partitions' first tiles.
+  return hop_distance(domain_tiles_[static_cast<std::size_t>(a)][0],
+                      domain_tiles_[static_cast<std::size_t>(b)][0]);
+}
+
+void Topology::wire(TileId a, int port_a, TileId b, int port_b) {
+  PARM_CHECK(a != b, spec_ + ": self-loop link at tile " + std::to_string(a));
+  for (int p = 0; p + 1 < ports_; ++p) {
+    PARM_CHECK(link_dst_[lane(a, p)] != b,
+               spec_ + ": duplicate link between tiles " + std::to_string(a) +
+                   " and " + std::to_string(b));
+  }
+  PARM_CHECK(link_dst_[lane(a, port_a)] == kInvalidTile &&
+                 link_dst_[lane(b, port_b)] == kInvalidTile,
+             spec_ + ": port already wired on link " + std::to_string(a) +
+                 "<->" + std::to_string(b));
+  link_dst_[lane(a, port_a)] = b;
+  link_dst_[lane(b, port_b)] = a;
+  reverse_port_[lane(a, port_a)] = static_cast<std::int8_t>(port_b);
+  reverse_port_[lane(b, port_b)] = static_cast<std::int8_t>(port_a);
+}
+
+void Topology::finalize() {
+  // All-pairs BFS hop distances.
+  hops_.assign(static_cast<std::size_t>(tiles_) *
+                   static_cast<std::size_t>(tiles_),
+               kUnreachableHops);
+  std::deque<TileId> queue;
+  for (TileId src = 0; src < tiles_; ++src) {
+    auto* row = &hops_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(tiles_)];
+    row[src] = 0;
+    queue.clear();
+    queue.push_back(src);
+    while (!queue.empty()) {
+      const TileId at = queue.front();
+      queue.pop_front();
+      for (int p = 0; p + 1 < ports_; ++p) {
+        const TileId next = link_dst(at, p);
+        if (next == kInvalidTile || row[next] != kUnreachableHops) continue;
+        row[next] = static_cast<std::int16_t>(row[at] + 1);
+        queue.push_back(next);
+      }
+    }
+  }
+  for (TileId t = 0; t < tiles_; ++t) {
+    PARM_CHECK(hop_distance(0, t) != kUnreachableHops,
+               spec_ + ": graph is disconnected (tile " + std::to_string(t) +
+                   " unreachable from tile 0)");
+  }
+  // Center distances: grid kinds mirror the mapper's historical
+  // |x - W/2| + |y - H/2| tie-break; irregular graphs measure hops to the
+  // tile with the smallest total distance to everything else.
+  center_dist_.resize(static_cast<std::size_t>(tiles_));
+  if (mesh_view_.has_value() || kind_ == TopologyKind::kMesh3d) {
+    const std::int32_t w = grid_w_, h = grid_h_;
+    const std::int32_t layer = w * h;
+    for (TileId t = 0; t < tiles_; ++t) {
+      const std::int32_t z = t / layer;
+      const std::int32_t x = (t % layer) % w;
+      const std::int32_t y = (t % layer) / w;
+      std::int32_t dist = std::abs(x - w / 2) + std::abs(y - h / 2);
+      if (kind_ == TopologyKind::kMesh3d) dist += std::abs(z - depth_ / 2);
+      center_dist_[static_cast<std::size_t>(t)] = dist;
+    }
+  } else {
+    TileId center = 0;
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (TileId t = 0; t < tiles_; ++t) {
+      std::int64_t total = 0;
+      for (TileId o = 0; o < tiles_; ++o) total += hop_distance(t, o);
+      if (total < best) {
+        best = total;
+        center = t;
+      }
+    }
+    for (TileId t = 0; t < tiles_; ++t) {
+      center_dist_[static_cast<std::size_t>(t)] = hop_distance(t, center);
+    }
+  }
+}
+
+void Topology::build_grid_domains() {
+  // Classic 2x2 blocks in {SW, SE, NW, NE} slot order, replicated per
+  // z-layer for the 3D mesh.
+  const std::int32_t gw = grid_w_ / 2;
+  const std::int32_t gh = grid_h_ / 2;
+  domain_count_ = gw * gh * depth_;
+  domain_of_.resize(static_cast<std::size_t>(tiles_));
+  domain_tiles_.resize(static_cast<std::size_t>(domain_count_));
+  const std::int32_t layer = grid_w_ * grid_h_;
+  for (TileId t = 0; t < tiles_; ++t) {
+    const std::int32_t z = t / layer;
+    const std::int32_t x = (t % layer) % grid_w_;
+    const std::int32_t y = (t % layer) / grid_w_;
+    domain_of_[static_cast<std::size_t>(t)] =
+        z * gw * gh + (y / 2) * gw + (x / 2);
+  }
+  for (DomainId d = 0; d < domain_count_; ++d) {
+    const std::int32_t z = d / (gw * gh);
+    const std::int32_t r = d % (gw * gh);
+    const std::int32_t x0 = (r % gw) * 2;
+    const std::int32_t y0 = (r / gw) * 2;
+    const TileId base = z * layer + y0 * grid_w_ + x0;
+    domain_tiles_[static_cast<std::size_t>(d)] = {
+        base, base + 1, base + grid_w_, base + grid_w_ + 1};
+  }
+}
+
+void Topology::build_chunk_domains() {
+  domain_count_ = (tiles_ + 3) / 4;
+  domain_of_.resize(static_cast<std::size_t>(tiles_));
+  domain_tiles_.assign(static_cast<std::size_t>(domain_count_),
+                       {kInvalidTile, kInvalidTile, kInvalidTile,
+                        kInvalidTile});
+  for (TileId t = 0; t < tiles_; ++t) {
+    domain_of_[static_cast<std::size_t>(t)] = t / 4;
+    domain_tiles_[static_cast<std::size_t>(t / 4)][t % 4] = t;
+  }
+}
+
+std::shared_ptr<const Topology> Topology::mesh(std::int32_t w,
+                                               std::int32_t h) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kMesh;
+  topo->spec_ = "mesh:" + dims_str(w, h);
+  PARM_CHECK(w >= 2 && h >= 2,
+             "mesh topology " + dims_str(w, h) + " must be at least 2x2");
+  PARM_CHECK(w % 2 == 0 && h % 2 == 0,
+             "mesh topology " + dims_str(w, h) +
+                 " needs even dimensions to tile into 2x2 power domains");
+  topo->grid_w_ = w;
+  topo->grid_h_ = h;
+  topo->tiles_ = w * h;
+  topo->ports_ = 5;  // E, W, N, S, Local — the legacy numbering.
+  topo->mesh_view_.emplace(w, h);
+  topo->link_dst_.assign(static_cast<std::size_t>(topo->tiles_) * 5,
+                         kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(topo->tiles_) * 5, -1);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const TileId t = y * w + x;
+      if (x + 1 < w) topo->wire(t, 0, t + 1, 1);      // East <-> West
+      if (y + 1 < h) topo->wire(t, 2, t + w, 3);      // North <-> South
+    }
+  }
+  topo->build_grid_domains();
+  topo->finalize();
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::torus(std::int32_t w,
+                                                std::int32_t h) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kTorus;
+  topo->spec_ = "torus:" + dims_str(w, h);
+  PARM_CHECK(w >= 4 && h >= 4,
+             "torus topology " + dims_str(w, h) +
+                 " must be at least 4x4 (a 2-wide ring would duplicate "
+                 "links between the same router pair)");
+  PARM_CHECK(w % 2 == 0 && h % 2 == 0,
+             "torus topology " + dims_str(w, h) +
+                 " needs even dimensions to tile into 2x2 power domains");
+  topo->grid_w_ = w;
+  topo->grid_h_ = h;
+  topo->tiles_ = w * h;
+  topo->ports_ = 5;
+  topo->mesh_view_.emplace(w, h);
+  topo->link_dst_.assign(static_cast<std::size_t>(topo->tiles_) * 5,
+                         kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(topo->tiles_) * 5, -1);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const TileId t = y * w + x;
+      const TileId east = y * w + (x + 1) % w;
+      const TileId north = ((y + 1) % h) * w + x;
+      topo->wire(t, 0, east, 1);   // East port meets the neighbor's West.
+      topo->wire(t, 2, north, 3);  // North port meets the neighbor's South.
+    }
+  }
+  topo->build_grid_domains();
+  topo->finalize();
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::cmesh(std::int32_t w,
+                                                std::int32_t h) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kCMesh;
+  topo->spec_ = "cmesh:" + dims_str(w, h);
+  PARM_CHECK(w >= 2 && h >= 2,
+             "cmesh topology " + dims_str(w, h) + " must be at least 2x2");
+  PARM_CHECK(w % 2 == 0 && h % 2 == 0,
+             "cmesh topology " + dims_str(w, h) +
+                 " needs even dimensions (hubs concentrate 2x2 power "
+                 "domains)");
+  topo->grid_w_ = w;
+  topo->grid_h_ = h;
+  topo->tiles_ = w * h;
+  // Hub routers need E/W/N/S on the domain grid (ports 0-3) plus three
+  // spokes (ports 4-6); spoke tiles use port 4 for their hub uplink.
+  topo->ports_ = 8;
+  topo->mesh_view_.emplace(w, h);
+  topo->link_dst_.assign(static_cast<std::size_t>(topo->tiles_) * 8,
+                         kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(topo->tiles_) * 8, -1);
+  const std::int32_t gw = w / 2;
+  const std::int32_t gh = h / 2;
+  for (std::int32_t gy = 0; gy < gh; ++gy) {
+    for (std::int32_t gx = 0; gx < gw; ++gx) {
+      const TileId hub = (gy * 2) * w + gx * 2;  // SW tile of the domain.
+      if (gx + 1 < gw) topo->wire(hub, 0, hub + 2, 1);
+      if (gy + 1 < gh) topo->wire(hub, 2, hub + 2 * w, 3);
+      // Spokes: SE, NW, NE mates on hub ports 4, 5, 6; their port 4.
+      topo->wire(hub, 4, hub + 1, 4);
+      topo->wire(hub, 5, hub + w, 4);
+      topo->wire(hub, 6, hub + w + 1, 4);
+    }
+  }
+  topo->build_grid_domains();
+  topo->finalize();
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::butterfly(std::int32_t w,
+                                                    std::int32_t h) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kButterfly;
+  topo->spec_ = "butterfly:" + dims_str(w, h);
+  PARM_CHECK(w >= 2 && h >= 2,
+             "butterfly topology " + dims_str(w, h) + " must be at least "
+                                                      "2x2");
+  PARM_CHECK(w % 2 == 0 && h % 2 == 0,
+             "butterfly topology " + dims_str(w, h) +
+                 " needs even dimensions to tile into 2x2 power domains");
+  topo->grid_w_ = w;
+  topo->grid_h_ = h;
+  topo->tiles_ = w * h;
+  // Flattened butterfly: ports 0..w-2 reach the other routers of the row
+  // (ascending x, own column skipped), ports w-1..w+h-3 reach the other
+  // routers of the column (ascending y).
+  topo->ports_ = (w - 1) + (h - 1) + 1;
+  topo->link_dst_.assign(
+      static_cast<std::size_t>(topo->tiles_) *
+          static_cast<std::size_t>(topo->ports_),
+      kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(topo->tiles_) *
+                                 static_cast<std::size_t>(topo->ports_),
+                             -1);
+  topo->mesh_view_.emplace(w, h);
+  const auto row_port = [&](std::int32_t from_x, std::int32_t to_x) {
+    return static_cast<int>(to_x < from_x ? to_x : to_x - 1);
+  };
+  const auto col_port = [&](std::int32_t from_y, std::int32_t to_y) {
+    return static_cast<int>(w - 1 + (to_y < from_y ? to_y : to_y - 1));
+  };
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const TileId t = y * w + x;
+      for (std::int32_t ox = x + 1; ox < w; ++ox) {
+        topo->wire(t, row_port(x, ox), y * w + ox, row_port(ox, x));
+      }
+      for (std::int32_t oy = y + 1; oy < h; ++oy) {
+        topo->wire(t, col_port(y, oy), oy * w + x, col_port(oy, y));
+      }
+    }
+  }
+  topo->build_grid_domains();
+  topo->finalize();
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::mesh3d(std::int32_t w,
+                                                 std::int32_t h,
+                                                 std::int32_t depth) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kMesh3d;
+  topo->spec_ = "mesh3d:" + dims_str(w, h) + "x" + std::to_string(depth);
+  PARM_CHECK(w >= 2 && h >= 2 && depth >= 2,
+             "mesh3d topology " + topo->spec_.substr(7) +
+                 " must be at least 2x2x2");
+  PARM_CHECK(w % 2 == 0 && h % 2 == 0,
+             "mesh3d topology " + topo->spec_.substr(7) +
+                 " needs even x/y dimensions to tile into 2x2x1 power "
+                 "domains");
+  topo->grid_w_ = w;
+  topo->grid_h_ = h;
+  topo->depth_ = depth;
+  topo->tiles_ = w * h * depth;
+  topo->ports_ = 7;  // E, W, N, S, Up, Down, Local.
+  topo->link_dst_.assign(static_cast<std::size_t>(topo->tiles_) * 7,
+                         kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(topo->tiles_) * 7, -1);
+  const std::int32_t layer = w * h;
+  for (std::int32_t z = 0; z < depth; ++z) {
+    for (std::int32_t y = 0; y < h; ++y) {
+      for (std::int32_t x = 0; x < w; ++x) {
+        const TileId t = z * layer + y * w + x;
+        if (x + 1 < w) topo->wire(t, 0, t + 1, 1);
+        if (y + 1 < h) topo->wire(t, 2, t + w, 3);
+        if (z + 1 < depth) topo->wire(t, 4, t + layer, 5);
+      }
+    }
+  }
+  topo->build_grid_domains();
+  topo->finalize();
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::from_text(const std::string& text,
+                                                    const std::string& where) {
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->kind_ = TopologyKind::kFile;
+  topo->spec_ = "file:" + where;
+  const auto fail = [&](int line, const std::string& why) {
+    PARM_CHECK(false, "topology file " + where + ", line " +
+                          std::to_string(line) + ": " + why);
+  };
+
+  std::int32_t tiles = 0;
+  bool have_tiles = false;
+  std::vector<std::pair<TileId, TileId>> links;
+  std::vector<std::vector<TileId>> adjacency;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream fields(raw);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "tiles") {
+      if (have_tiles) fail(line_no, "duplicate 'tiles' line");
+      if (!(fields >> tiles)) fail(line_no, "'tiles' needs a count");
+      if (tiles < 2 || tiles > 1024) {
+        fail(line_no, "tile count " + std::to_string(tiles) +
+                          " out of range [2, 1024]");
+      }
+      have_tiles = true;
+      adjacency.assign(static_cast<std::size_t>(tiles), {});
+    } else if (keyword == "link") {
+      if (!have_tiles) fail(line_no, "'link' before the 'tiles' line");
+      TileId a = kInvalidTile, b = kInvalidTile;
+      if (!(fields >> a >> b)) fail(line_no, "'link' needs two tile ids");
+      if (a < 0 || a >= tiles || b < 0 || b >= tiles) {
+        fail(line_no, "link " + std::to_string(a) + " " + std::to_string(b) +
+                          " references a tile outside [0, " +
+                          std::to_string(tiles - 1) + "]");
+      }
+      if (a == b) {
+        fail(line_no, "self-loop link at tile " + std::to_string(a));
+      }
+      auto& adj = adjacency[static_cast<std::size_t>(a)];
+      if (std::find(adj.begin(), adj.end(), b) != adj.end()) {
+        fail(line_no, "duplicate link between tiles " + std::to_string(a) +
+                          " and " + std::to_string(b));
+      }
+      adjacency[static_cast<std::size_t>(a)].push_back(b);
+      adjacency[static_cast<std::size_t>(b)].push_back(a);
+      links.emplace_back(a, b);
+    } else {
+      fail(line_no, "unknown keyword '" + keyword +
+                        "' (expected 'tiles' or 'link')");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      fail(line_no, "trailing garbage '" + extra + "'");
+    }
+  }
+  if (!have_tiles) {
+    PARM_CHECK(false,
+               "topology file " + where + ": missing 'tiles <N>' line");
+  }
+
+  int max_degree = 0;
+  for (TileId t = 0; t < tiles; ++t) {
+    auto& adj = adjacency[static_cast<std::size_t>(t)];
+    std::sort(adj.begin(), adj.end());
+    max_degree = std::max(max_degree, static_cast<int>(adj.size()));
+    if (adj.empty()) {
+      PARM_CHECK(false, "topology file " + where + ": tile " +
+                            std::to_string(t) + " has no links");
+    }
+  }
+  PARM_CHECK(max_degree <= 31,
+             "topology file " + where + ": router degree " +
+                 std::to_string(max_degree) + " exceeds the 31-port limit");
+
+  topo->tiles_ = tiles;
+  topo->ports_ = max_degree + 1;
+  topo->link_dst_.assign(static_cast<std::size_t>(tiles) *
+                             static_cast<std::size_t>(topo->ports_),
+                         kInvalidTile);
+  topo->reverse_port_.assign(static_cast<std::size_t>(tiles) *
+                                 static_cast<std::size_t>(topo->ports_),
+                             -1);
+  // Port k of a router reaches its (k+1)-th smallest-id neighbor.
+  const auto port_of = [&](TileId from, TileId to) {
+    const auto& adj = adjacency[static_cast<std::size_t>(from)];
+    return static_cast<int>(std::lower_bound(adj.begin(), adj.end(), to) -
+                            adj.begin());
+  };
+  for (const auto& [a, b] : links) {
+    topo->wire(a, port_of(a, b), b, port_of(b, a));
+  }
+  topo->build_chunk_domains();
+  topo->finalize();  // rejects disconnected graphs with a reason
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PARM_CHECK(in.good(),
+             "topology file " + path + ": cannot open for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(buf.str(), path);
+}
+
+std::shared_ptr<const Topology> Topology::make(const std::string& spec,
+                                               std::int32_t default_width,
+                                               std::int32_t default_height) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  const auto grid_dims = [&](std::int32_t* w, std::int32_t* h) {
+    if (arg.empty()) {
+      *w = default_width;
+      *h = default_height;
+      return;
+    }
+    std::vector<std::int32_t> dims;
+    PARM_CHECK(parse_dims(arg, &dims) && dims.size() == 2,
+               "topology spec '" + spec + "': expected '" + kind + ":WxH'");
+    *w = dims[0];
+    *h = dims[1];
+  };
+  std::int32_t w = 0, h = 0;
+  if (kind == "mesh") {
+    grid_dims(&w, &h);
+    return mesh(w, h);
+  }
+  if (kind == "torus") {
+    grid_dims(&w, &h);
+    return torus(w, h);
+  }
+  if (kind == "cmesh") {
+    grid_dims(&w, &h);
+    return cmesh(w, h);
+  }
+  if (kind == "butterfly") {
+    grid_dims(&w, &h);
+    return butterfly(w, h);
+  }
+  if (kind == "mesh3d") {
+    std::vector<std::int32_t> dims;
+    PARM_CHECK(!arg.empty() && parse_dims(arg, &dims) && dims.size() == 3,
+               "topology spec '" + spec + "': expected 'mesh3d:XxYxZ'");
+    return mesh3d(dims[0], dims[1], dims[2]);
+  }
+  if (kind == "file") {
+    PARM_CHECK(!arg.empty(),
+               "topology spec '" + spec + "': expected 'file:<path>'");
+    return from_file(arg);
+  }
+  PARM_CHECK(false, "unknown topology kind '" + kind +
+                        "' (expected mesh, torus, cmesh, butterfly, "
+                        "mesh3d:XxYxZ, or file:<path>)");
+  return nullptr;
+}
+
+}  // namespace parm::noc

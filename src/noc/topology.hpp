@@ -1,0 +1,186 @@
+// Universal NoC topology abstraction.
+//
+// A Topology is an immutable undirected multigraph-free port model: every
+// router exposes a uniform number of ports (the maximum live degree of
+// the graph plus one Local port), each non-Local port either carries a
+// link to a neighbor or is wired dead (kInvalidTile), and every live link
+// knows the port that points back at it from the far side. The 2D mesh
+// keeps the legacy port numbering (E=0, W=1, N=2, S=3, Local=4) exactly,
+// so the default topology is bit-identical to the historical
+// MeshGeometry-based network.
+//
+// Built-in kinds:
+//  - mesh:WxH       the paper's 2D mesh (default 10x6);
+//  - torus:WxH      mesh with wraparound links in both dimensions;
+//  - cmesh:WxH      concentrated mesh: the SW tile of every 2x2 power
+//                   domain is a hub, hubs form a mesh over the domain
+//                   grid, the other three tiles of a domain hang off
+//                   their hub as spokes;
+//  - butterfly:WxH  flattened butterfly: every router links to all
+//                   routers in its row and all routers in its column;
+//  - mesh3d:XxYxZ   3D mesh, id = z*X*Y + y*X + x, 2x2x1 power domains;
+//  - file:<path>    irregular point-to-point graph from a text file:
+//                       # comment
+//                       tiles <N>
+//                       link <a> <b>
+//                   Links are undirected, at most one per router pair,
+//                   no self-loops, and the graph must be connected. The
+//                   loader rejects every malformed input with a
+//                   descriptive CheckError naming the offending line.
+//
+// Every topology also carries the power-domain partition the PDN layer
+// consumes: partitions of at most four tiles (the domain circuit is a
+// 4-slot netlist; smaller partitions leave the spare slots dark). Grid
+// kinds use the classic 2x2 blocks; irregular graphs are chunked into
+// consecutive-id groups of four.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+
+namespace parm::noc {
+
+enum class TopologyKind : std::uint8_t {
+  kMesh = 0,
+  kTorus,
+  kCMesh,
+  kButterfly,
+  kMesh3d,
+  kFile,
+};
+
+const char* to_string(TopologyKind k);
+
+class Topology {
+ public:
+  /// Parses a topology spec string:
+  ///   "mesh" | "mesh:WxH" | "torus[:WxH]" | "cmesh[:WxH]"
+  ///   | "butterfly[:WxH]" | "mesh3d:XxYxZ" | "file:<path>"
+  /// Kinds without an explicit size use `default_width` x
+  /// `default_height` (the platform's mesh_width/mesh_height knobs).
+  /// Throws CheckError with the offending spec on any malformed input.
+  static std::shared_ptr<const Topology> make(const std::string& spec,
+                                              std::int32_t default_width,
+                                              std::int32_t default_height);
+
+  static std::shared_ptr<const Topology> mesh(std::int32_t w, std::int32_t h);
+  static std::shared_ptr<const Topology> torus(std::int32_t w,
+                                               std::int32_t h);
+  static std::shared_ptr<const Topology> cmesh(std::int32_t w,
+                                               std::int32_t h);
+  static std::shared_ptr<const Topology> butterfly(std::int32_t w,
+                                                   std::int32_t h);
+  static std::shared_ptr<const Topology> mesh3d(std::int32_t w,
+                                                std::int32_t h,
+                                                std::int32_t depth);
+  /// Irregular graph from the `tiles N` / `link a b` text format.
+  /// `where` names the source (file path, "<inline>") in error messages.
+  static std::shared_ptr<const Topology> from_text(const std::string& text,
+                                                   const std::string& where);
+  static std::shared_ptr<const Topology> from_file(const std::string& path);
+
+  TopologyKind kind() const { return kind_; }
+  /// Canonical spec string ("mesh:10x6", "file:/path", ...).
+  const std::string& spec() const { return spec_; }
+
+  std::int32_t tile_count() const { return tiles_; }
+  /// Uniform per-router port count, Local included.
+  int ports() const { return ports_; }
+  /// The ejection/injection port (always the last one).
+  int local_port() const { return ports_ - 1; }
+  /// Live link ports of a router (its degree).
+  int radix(TileId t) const;
+
+  /// Neighbor reached out of `port`, or kInvalidTile when the port is not
+  /// wired (edge of a mesh, unused slot of a low-degree router).
+  TileId link_dst(TileId t, int port) const {
+    return link_dst_[lane(t, port)];
+  }
+  /// Port at link_dst(t, port) whose link points back at `t`; -1 when
+  /// the port is not wired.
+  int reverse_port(TileId t, int port) const {
+    return reverse_port_[lane(t, port)];
+  }
+
+  /// Human-readable port name: "E"/"W"/"N"/"S" for grid ports 0..3 (and
+  /// "U"/"D" for the 3D mesh's z links), "p<k>" otherwise, "L" for Local.
+  std::string port_name(int port) const;
+  /// Inverse of port_name; -1 for unknown names or ports out of range.
+  int port_by_name(const std::string& name) const;
+
+  /// 2D grid coordinate view (mesh/torus/cmesh/butterfly share the
+  /// MeshGeometry coordinate and domain model); nullptr for mesh3d/file.
+  const MeshGeometry* mesh_view() const {
+    return mesh_view_.has_value() ? &*mesh_view_ : nullptr;
+  }
+
+  // --- Power-domain partition (PDN consumes partitions, not row-pairs) ---
+  std::int32_t domain_count() const { return domain_count_; }
+  DomainId domain_of(TileId t) const {
+    return domain_of_[static_cast<std::size_t>(t)];
+  }
+  /// The (up to four) tiles of a domain; unused slots hold kInvalidTile.
+  /// Grid kinds keep the classic {SW, SE, NW, NE} slot order.
+  std::array<TileId, 4> domain_tiles(DomainId d) const;
+  /// Number of live tiles in a domain (4 on every grid kind).
+  int domain_capacity(DomainId d) const;
+  /// Distance between two domains: manhattan on the domain grid for grid
+  /// kinds, hop distance between representative tiles for irregular ones.
+  std::int32_t domain_distance(DomainId a, DomainId b) const;
+
+  /// Shortest-path hop distance (all-pairs BFS; equals manhattan distance
+  /// on the mesh). Returns a large sentinel for distinct components —
+  /// built-in topologies are always connected.
+  std::int32_t hop_distance(TileId a, TileId b) const {
+    return hops_[static_cast<std::size_t>(a) *
+                     static_cast<std::size_t>(tiles_) +
+                 static_cast<std::size_t>(b)];
+  }
+  /// Distance of a tile from the topology's center (mapper tie-breaks).
+  std::int32_t center_distance(TileId t) const {
+    return center_dist_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  Topology() = default;
+
+  std::size_t lane(TileId t, int port) const {
+    PARM_DCHECK(t >= 0 && t < tiles_ && port >= 0 && port < ports_,
+                "topology port lookup out of range");
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(port);
+  }
+
+  /// Wires the undirected link a.port_a <-> b.port_b (both slots must be
+  /// free; enforces at most one link per router pair).
+  void wire(TileId a, int port_a, TileId b, int port_b);
+  /// Computes hops_/center_dist_/reverse consistency after wiring.
+  void finalize();
+  void build_grid_domains();  ///< 2x2 blocks over the mesh_view_ grid.
+  void build_chunk_domains();  ///< consecutive-id chunks of <= 4 tiles.
+
+  TopologyKind kind_ = TopologyKind::kMesh;
+  std::string spec_;
+  std::int32_t tiles_ = 0;
+  int ports_ = 0;
+  std::optional<MeshGeometry> mesh_view_;
+  std::int32_t grid_w_ = 0;  ///< x extent (grid kinds)
+  std::int32_t grid_h_ = 0;  ///< y extent (grid kinds)
+  std::int32_t depth_ = 1;   ///< z extent (mesh3d only)
+  std::vector<TileId> link_dst_;
+  std::vector<std::int8_t> reverse_port_;
+  std::int32_t domain_count_ = 0;
+  std::vector<DomainId> domain_of_;
+  std::vector<std::array<TileId, 4>> domain_tiles_;
+  std::vector<std::int16_t> hops_;
+  std::vector<std::int32_t> center_dist_;
+};
+
+}  // namespace parm::noc

@@ -24,9 +24,8 @@ WindowResult run_window(Network& net, TrafficGenerator& traffic,
   out.cycles = cfg.measure_cycles;
   out.injected_flits = net.total_injected_flits();
   out.delivered_flits = net.total_delivered_flits();
-  out.router_activity.resize(
-      static_cast<std::size_t>(net.mesh().tile_count()));
-  for (TileId t = 0; t < net.mesh().tile_count(); ++t) {
+  out.router_activity.resize(static_cast<std::size_t>(net.tile_count()));
+  for (TileId t = 0; t < net.tile_count(); ++t) {
     out.router_activity[static_cast<std::size_t>(t)] =
         static_cast<double>(net.flits_forwarded(t)) /
         static_cast<double>(cfg.measure_cycles);

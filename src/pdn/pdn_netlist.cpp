@@ -50,4 +50,21 @@ DomainCircuit build_domain_circuit(const power::TechnologyNode& tech,
   return out;
 }
 
+DomainCircuit build_partition_circuit(const power::TechnologyNode& tech,
+                                      double vdd,
+                                      const std::vector<TileLoad>& loads,
+                                      const std::string& partition_name) {
+  PARM_CHECK(!loads.empty(),
+             "PDN partition " + partition_name + " is empty; a power "
+             "domain needs at least one tile");
+  PARM_CHECK(loads.size() <= 4,
+             "PDN partition " + partition_name + " has " +
+                 std::to_string(loads.size()) +
+                 " tiles; domains are at most 2x2 (4 tiles) — "
+                 "repartition the topology into blocks of <= 4");
+  std::array<TileLoad, 4> slots{};  // trailing slots stay dark
+  for (std::size_t k = 0; k < loads.size(); ++k) slots[k] = loads[k];
+  return build_domain_circuit(tech, vdd, slots);
+}
+
 }  // namespace parm::pdn

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <array>
+#include <string>
+#include <vector>
 
 #include "pdn/circuit.hpp"
 #include "power/technology.hpp"
@@ -58,5 +60,19 @@ inline constexpr double kLowActivityModulation = activity_to_modulation(0.4);
 DomainCircuit build_domain_circuit(const power::TechnologyNode& tech,
                                    double vdd,
                                    const std::array<TileLoad, 4>& loads);
+
+/// Topology-partition entry point: builds the domain circuit for a
+/// partition of 1..4 tiles (short partitions of irregular topologies
+/// leave the trailing slots dark — decap only, no current source).
+/// Throws CheckError naming `partition_name` (e.g. "file:ring.topo
+/// domain 3") when the partition cannot be realized as a 2x2 PDN block
+/// — empty, or more than 4 tiles. This is the descriptive replacement
+/// for the old hard even-mesh-dimensions assumption: any topology whose
+/// partitioner emits oversized domains is rejected here with the
+/// offending partition spelled out.
+DomainCircuit build_partition_circuit(const power::TechnologyNode& tech,
+                                      double vdd,
+                                      const std::vector<TileLoad>& loads,
+                                      const std::string& partition_name);
 
 }  // namespace parm::pdn

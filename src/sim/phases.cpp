@@ -102,10 +102,9 @@ void AdmissionPhase::commit(EpochContext& ctx,
     const TileId first = adm.decision.mapping.front().tile;
     ctx.emit(obs::EventType::kAppMap, adm.app.id,
              static_cast<std::int32_t>(first),
-             static_cast<std::int32_t>(
-                 ctx.platform->mesh().domain_of(first)),
+             static_cast<std::int32_t>(ctx.platform->domain_of(first)),
              static_cast<double>(adm.decision.mapping.size()),
-             static_cast<double>(ctx.platform->mesh().domain_of(first)));
+             static_cast<double>(ctx.platform->domain_of(first)));
   }
 }
 
@@ -204,13 +203,14 @@ void AdmissionPhase::restore(snapshot::Reader& r, const EpochContext& ctx,
 
 // ------------------------------------------------------------ NoC sampling
 
-NocSamplingPhase::NocSamplingPhase(const MeshGeometry& mesh,
+NocSamplingPhase::NocSamplingPhase(std::shared_ptr<const noc::Topology> topo,
                                    const noc::NocConfig& noc,
                                    const std::string& routing,
                                    double panr_threshold, bool parallel_noc,
                                    int noc_shards, obs::Registry* registry)
     : network_(std::make_unique<noc::Network>(
-          mesh, noc, noc::make_routing(routing, panr_threshold, registry))),
+          topo, noc,
+          noc::make_routing_for(topo, routing, panr_threshold, registry))),
       window_metrics_(registry) {
   if (parallel_noc) {
     network_->set_shards(noc::Network::auto_shard_count(noc_shards));
@@ -359,7 +359,6 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   cmp::Platform& platform = *ctx.platform;
   const power::CorePowerModel core_model(platform.technology());
   const power::RouterPowerModel router_model(platform.technology());
-  const MeshGeometry& mesh = platform.mesh();
   const bool panr =
       cfg.framework.routing == "PANR";  // adds router logic power
 
@@ -395,13 +394,13 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   // walked in domain order so the chip-power accumulation is
   // deterministic.
   const std::size_t n_domains =
-      static_cast<std::size_t>(mesh.domain_count());
+      static_cast<std::size_t>(platform.domain_count());
   std::vector<double> domain_vdd(n_domains);
   std::vector<std::array<pdn::TileLoad, 4>> domain_loads(n_domains);
   std::vector<char> domain_active(n_domains, 0);
   double chip_power = 0.0;
-  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
-    const auto tiles = mesh.domain_tiles(d);
+  for (DomainId d = 0; d < platform.domain_count(); ++d) {
+    const auto tiles = platform.domain_tiles(d);
     const double vdd =
         platform.domain_vdd(d).value_or(cfg.dark_router_vdd);
 
@@ -409,6 +408,7 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
     bool any_load = false;
     for (std::size_t k = 0; k < 4; ++k) {
       const TileId t = tiles[k];
+      if (t == kInvalidTile) continue;  // short domain: slot stays dark
       const auto& asg = platform.tile(t);
       double i_avg = 0.0;
       double modulation = 0.0;
@@ -530,10 +530,11 @@ void PsnSamplingPhase::run(EpochContext& ctx) {
   const bool capture = ctx.capture_on();
   std::size_t captured = 0;
   std::size_t evicted = 0;
-  for (DomainId d = 0; d < mesh.domain_count(); ++d) {
-    const auto tiles = mesh.domain_tiles(d);
+  for (DomainId d = 0; d < platform.domain_count(); ++d) {
+    const auto tiles = platform.domain_tiles(d);
     const pdn::DomainPsn& psn = domain_psn[static_cast<std::size_t>(d)];
     for (std::size_t k = 0; k < 4; ++k) {
+      if (tiles[k] == kInvalidTile) continue;  // short domain slot
       ctx.tile_psn_peak[static_cast<std::size_t>(tiles[k])] =
           psn.tiles[k].peak_percent;
       ctx.tile_psn_avg[static_cast<std::size_t>(tiles[k])] =
@@ -736,15 +737,24 @@ void MigrationPhase::run(EpochContext& ctx) {
     // Closest free domain to the task's current one keeps paths short.
     DomainId best = free.front();
     double best_dist = 1e18;
-    const DomainId from_d = platform.mesh().domain_of(worst->tile);
+    const DomainId from_d = platform.domain_of(worst->tile);
     for (DomainId d : free) {
-      const double dist = platform.mesh().domain_distance(d, from_d);
+      const double dist = platform.domain_distance(d, from_d);
       if (dist < best_dist) {
         best_dist = dist;
         best = d;
       }
     }
-    const TileId target = platform.mesh().domain_tiles(best)[0];
+    // First live slot of the target domain (== slot 0 on grid domains;
+    // short irregular domains pad trailing slots with kInvalidTile).
+    TileId target = kInvalidTile;
+    for (const TileId t : platform.domain_tiles(best)) {
+      if (t != kInvalidTile) {
+        target = t;
+        break;
+      }
+    }
+    if (target == kInvalidTile) continue;
     obs::Tracer::instance().instant(
         "sim", "app.migrate",
         {{"app", app.outcome_index},
@@ -797,8 +807,8 @@ void TelemetryPhase::run(EpochContext& ctx, std::size_t queued_apps) {
     sample.chip_power_w = ctx.epoch_chip_power;
     sample.running_apps = static_cast<std::int32_t>(ctx.running.size());
     sample.queued_apps = static_cast<std::int32_t>(queued_apps);
-    sample.busy_tiles = ctx.platform->mesh().tile_count() -
-                        ctx.platform->free_tile_count();
+    sample.busy_tiles =
+        ctx.platform->tile_count() - ctx.platform->free_tile_count();
     sample.noc_latency_cycles = ctx.epoch_noc_latency;
     sample.ve_count = ctx.epoch_ves;
     sample.pdn_solves =

@@ -88,9 +88,11 @@ class NocSamplingPhase {
  public:
   /// `parallel_noc`/`noc_shards` select the sharded cycle engine
   /// (SimConfig fields of the same names); any setting is bit-identical.
-  NocSamplingPhase(const MeshGeometry& mesh, const noc::NocConfig& noc,
-                   const std::string& routing, double panr_threshold,
-                   bool parallel_noc, int noc_shards,
+  /// The routing policy comes from make_routing_for: the legacy
+  /// turn-model algorithms on a plain mesh, table-based ones elsewhere.
+  NocSamplingPhase(std::shared_ptr<const noc::Topology> topo,
+                   const noc::NocConfig& noc, const std::string& routing,
+                   double panr_threshold, bool parallel_noc, int noc_shards,
                    obs::Registry* registry);
 
   void run(EpochContext& ctx);

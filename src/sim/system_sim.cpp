@@ -44,6 +44,12 @@ SimConfig prepare(SimConfig cfg) {
 }  // namespace
 
 void SimConfig::validate() const {
+  // Building the topology exercises every construction-time check (spec
+  // syntax, dimension constraints, file parsing, graph connectivity), so
+  // a bad --topology fails here with its own descriptive CheckError
+  // before any platform is built.
+  noc::Topology::make(platform.topology, platform.mesh_width,
+                      platform.mesh_height);
   PARM_CHECK(epoch_s > 0.0, "SimConfig: epoch_s must be positive");
   PARM_CHECK(noc_every_epochs > 0,
              "SimConfig: noc_every_epochs must be positive");
@@ -104,13 +110,13 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
       arrivals_(std::move(arrivals)),
       rng_(cfg_.seed),
       admission_(cfg_.framework, cfg_.queue_max_stalls, &metrics_),
-      noc_(platform_.mesh(), cfg_.noc, cfg_.framework.routing,
+      noc_(platform_.topology_ptr(), cfg_.noc, cfg_.framework.routing,
            cfg_.framework.panr_threshold, cfg_.parallel_noc, cfg_.noc_shards,
            &metrics_),
       psn_(platform_.technology(), cfg_.psn, &metrics_),
       emergency_(cfg_.checkpoint, &metrics_),
       telemetry_(&metrics_),
-      fault_(cfg_.faults, platform_.mesh(), cfg_.seed) {
+      fault_(cfg_.faults, platform_.topology_ptr(), cfg_.seed) {
   PARM_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end(),
                             [](const auto& a, const auto& b) {
                               return a.arrival_s < b.arrival_s;
@@ -123,7 +129,7 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
   ctx_.timeseries = &timeseries_;
   ctx_.rng = &rng_;
   ctx_.arrivals = &arrivals_;
-  const std::size_t n = static_cast<std::size_t>(platform_.mesh().tile_count());
+  const std::size_t n = static_cast<std::size_t>(platform_.tile_count());
   ctx_.router_activity.assign(n, 0.0);
   ctx_.tile_psn_peak.assign(n, 0.0);
   ctx_.tile_psn_avg.assign(n, 0.0);
@@ -144,6 +150,11 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
   mix(h, cfg_.framework.fingerprint());
   mix(h, static_cast<std::uint64_t>(cfg_.platform.mesh_width));
   mix(h, static_cast<std::uint64_t>(cfg_.platform.mesh_height));
+  // Mixed only when non-default so every fingerprint of a plain-mesh
+  // config (including pre-topology snapshots) is unchanged.
+  if (cfg_.platform.topology != "mesh") {
+    mix_str(h, cfg_.platform.topology);
+  }
   mix(h, static_cast<std::uint64_t>(cfg_.platform.technology_nm));
   mix(h, cfg_.platform.vdd_levels.size());
   for (double v : cfg_.platform.vdd_levels) mix_f64(h, v);
@@ -357,7 +368,7 @@ void SystemSimulator::restore_state(snapshot::Reader& r) {
   platform_.restore(r);
 
   const std::size_t n_tiles =
-      static_cast<std::size_t>(platform_.mesh().tile_count());
+      static_cast<std::size_t>(platform_.tile_count());
   r.expect_section("EPCH");
   ctx_.epoch_peak_psn = r.f64();
   ctx_.epoch_avg_psn = r.f64();

@@ -102,11 +102,13 @@ class SystemSimulator {
   /// Completed control epochs so far (advances during run()).
   std::uint64_t epoch() const { return ctx_.epoch; }
 
- private:
-  /// FNV-1a over every determinism-relevant SimConfig field and the
-  /// arrival list (excluding parallel_psn, whose two paths are
-  /// bit-identical) — embedded in snapshots to reject mismatched resumes.
+  /// FNV-1a over every determinism-relevant SimConfig field (topology
+  /// included) and the arrival list (excluding parallel_psn, whose two
+  /// paths are bit-identical) — embedded in snapshots to reject
+  /// mismatched resumes.
   std::uint64_t config_fingerprint() const;
+
+ private:
   /// The engine serializes its own sections (clock, RNG, the context's
   /// cross-phase state) and delegates each phase's section to the phase.
   void save_state(snapshot::Writer& w) const;

@@ -26,6 +26,8 @@
 #include "common/rng.hpp"
 #include "exp/experiments.hpp"
 #include "fault/fault_model.hpp"
+#include "noc/routing_table.hpp"
+#include "noc/topology.hpp"
 #include "obs/blackbox.hpp"
 #include "power/technology.hpp"
 #include "power/vf_model.hpp"
@@ -595,6 +597,110 @@ TEST(FaultScheduleFuzz, RandomMutationsNeverCrashTheLoader) {
     } catch (const CheckError&) {
       // rejected cleanly — fine
     }
+  }
+}
+
+// ------------------------------------- topology file-loader robustness
+
+TEST(TopologyFileFuzz, MalformedCorpusIsRejectedWithAReason) {
+  // Every malformed topology file must surface as CheckError carrying
+  // the loader's diagnostic — never a crash, never a silently
+  // half-built topology.
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {"", "empty file"},
+      {"link 0 1\n", "link before tiles"},
+      {"tiles\n", "missing tile count"},
+      {"tiles zero\n", "unparsable tile count"},
+      {"tiles 0\nlink 0 1\n", "zero tiles"},
+      {"tiles 1\n", "single tile cannot be connected"},
+      {"tiles 2000\n", "tile count over the loader cap"},
+      {"tiles -4\n", "negative tile count"},
+      {"tiles 4\ntiles 4\nlink 0 1\n", "duplicate tiles line"},
+      {"tiles 4\nlink 0 1\nlink 1 2\n", "disconnected (tile 3 isolated)"},
+      {"tiles 4\nlink 0 1\nlink 2 3\n", "two components"},
+      {"tiles 4\nlink 0 0\nlink 0 1\nlink 1 2\nlink 2 3\n", "self-loop"},
+      {"tiles 4\nlink 0 1\nlink 0 1\nlink 1 2\nlink 2 3\n",
+       "duplicate edge"},
+      {"tiles 4\nlink 1 0\nlink 0 1\nlink 1 2\nlink 2 3\n",
+       "duplicate edge, reversed"},
+      {"tiles 4\nlink 0 4\n", "endpoint out of range"},
+      {"tiles 4\nlink -1 2\n", "negative endpoint"},
+      {"tiles 4\nlink 0\n", "missing endpoint"},
+      {"tiles 4\nlink 0 1 2\n", "trailing garbage on link line"},
+      {"tiles 4\nlink a b\n", "unparsable endpoints"},
+      {"tiles 4\nwire 0 1\n", "unknown keyword"},
+      {"tiles 4\nlink 0 1", "truncated final line"},
+  };
+  for (const auto& [text, what] : corpus) {
+    try {
+      noc::Topology::from_text(text, "<fuzz>");
+      FAIL() << "accepted " << what << " in: " << text;
+    } catch (const CheckError& e) {
+      // The reason must name the source so multi-file experiments can
+      // tell which topology file is broken.
+      EXPECT_NE(std::string(e.what()).find("<fuzz>"), std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(TopologyFileFuzz, TruncationsNeverCrashTheLoader) {
+  const std::string valid =
+      "# 8-tile ring with a chord\n"
+      "tiles 8\n"
+      "link 0 1\nlink 1 2\nlink 2 3\nlink 3 4\n"
+      "link 4 5\nlink 5 6\nlink 6 7\nlink 7 0\n"
+      "link 0 4\n";
+  EXPECT_NO_THROW(noc::Topology::from_text(valid, "<trunc>"));
+  // Every prefix either parses (a shorter but still connected graph) or
+  // is rejected with CheckError; nothing else may escape.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    try {
+      const auto topo =
+          noc::Topology::from_text(valid.substr(0, len), "<trunc>");
+      EXPECT_EQ(topo->tile_count(), 8);
+    } catch (const CheckError&) {
+      // rejected cleanly — fine
+    }
+  }
+}
+
+TEST(TopologyFileFuzz, RandomByteFlipsNeverCrashTheLoader) {
+  const std::string valid =
+      "# fuzz seed graph\n"
+      "tiles 12\n"
+      "link 0 1\nlink 1 2\nlink 2 3\nlink 3 4\nlink 4 5\n"
+      "link 5 6\nlink 6 7\nlink 7 8\nlink 8 9\nlink 9 10\n"
+      "link 10 11\nlink 11 0\nlink 0 6\nlink 3 9\n";
+  Rng rng(42424242);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutant = valid;
+    const int flips = 1 + static_cast<int>(rng.pick_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.pick_index(mutant.size());
+      mutant[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutant[pos]) ^
+          (1u << rng.pick_index(8)));
+    }
+    try {
+      const auto topo = noc::Topology::from_text(mutant, "<flip>");
+      // Whatever parsed must be a usable connected topology: the
+      // deadlock-free table builder has to accept it.
+      const noc::RoutingTable table = noc::RoutingTable::build(*topo);
+      table.verify(*topo);
+    } catch (const CheckError&) {
+      // rejected cleanly — fine
+    }
+  }
+}
+
+TEST(TopologyFileFuzz, MissingFileIsRejectedByName) {
+  try {
+    noc::Topology::from_file("/nonexistent/fuzz.topo");
+    FAIL() << "missing file accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/fuzz.topo"),
+              std::string::npos);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/geometry.hpp"
 #include "pdn/circuit.hpp"
 #include "pdn/linalg.hpp"
 #include "pdn/pdn_netlist.hpp"
@@ -300,6 +301,51 @@ TEST(DomainNetlist, StructureMatchesFig2) {
   EXPECT_EQ(dom.circuit.capacitor_count(), 4u);
   EXPECT_EQ(dom.circuit.voltage_source_count(), 1u);
   EXPECT_EQ(dom.circuit.current_source_count(), 1u);  // only loaded tiles
+}
+
+TEST(DomainNetlist, PartitionBuilderPadsShortPartitions) {
+  const auto& tech = power::technology_node(7);
+  std::vector<TileLoad> loads = {{0.3, 0.5, 0.0}, {0.2, 0.4, 0.0}};
+  const DomainCircuit dom =
+      build_partition_circuit(tech, 0.4, loads, "ring domain 0");
+  // Same fixed 2x2 structure as the full-domain builder; the two missing
+  // tiles are dark (decap present, no current source).
+  EXPECT_EQ(dom.circuit.node_count(), 8);
+  EXPECT_EQ(dom.circuit.capacitor_count(), 4u);
+  EXPECT_EQ(dom.circuit.current_source_count(), 2u);
+}
+
+TEST(DomainNetlist, PartitionBuilderRejectsIrregularPartitions) {
+  const auto& tech = power::technology_node(7);
+  // Oversized partition: the error must name the offending partition.
+  const std::vector<TileLoad> five(5, TileLoad{0.1, 0.3, 0.0});
+  try {
+    build_partition_circuit(tech, 0.4, five, "file:ring.topo domain 2");
+    FAIL() << "oversized partition accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("file:ring.topo domain 2"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos);
+  }
+  EXPECT_THROW(build_partition_circuit(tech, 0.4, {}, "empty domain"),
+               CheckError);
+}
+
+TEST(DomainNetlist, OddMeshDimensionsRejectedWithDims) {
+  // Domain partitioning needs even mesh dimensions; the rejection names
+  // the actual dims so config mistakes are self-explanatory.
+  try {
+    const MeshGeometry bad(5, 6);
+    FAIL() << "odd mesh width accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("5x6"), std::string::npos);
+  }
+  try {
+    const MeshGeometry bad(1, 2);
+    FAIL() << "degenerate mesh accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("1x2"), std::string::npos);
+  }
 }
 
 TEST(DomainNetlist, ActivityModulationMapping) {

@@ -66,6 +66,28 @@ TEST(SystemSim, DeterministicForSameConfiguration) {
   EXPECT_EQ(ra.completed_count, rb.completed_count);
 }
 
+TEST(SystemSim, NonMeshTopologyRunsAndChangesFingerprint) {
+  const auto seq = appmodel::make_sequence(
+      small_sequence(appmodel::SequenceKind::Compute, 3, 0.2, 5));
+  SimConfig mesh_cfg = fast_sim(fw("PARM", "PANR"));
+  SimConfig torus_cfg = mesh_cfg;
+  torus_cfg.platform.topology = "torus";
+  SystemSimulator on_mesh(mesh_cfg, seq);
+  SystemSimulator on_torus(torus_cfg, seq);
+  // The topology is part of the snapshot fingerprint (a torus snapshot
+  // must not restore into a mesh run), but the default "mesh" hashes
+  // like pre-topology builds so old snapshots stay loadable.
+  EXPECT_NE(on_mesh.config_fingerprint(), on_torus.config_fingerprint());
+  const SimResult r = on_torus.run();
+  EXPECT_EQ(r.completed_count, 3);
+}
+
+TEST(SystemSim, InvalidTopologySpecRejectedAtValidation) {
+  SimConfig cfg = fast_sim(fw("PARM", "PANR"));
+  cfg.platform.topology = "moebius";
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
 TEST(SystemSim, EveryAppAccountedExactlyOnce) {
   const auto seq = appmodel::make_sequence(
       small_sequence(appmodel::SequenceKind::Communication, 8, 0.05, 29));
