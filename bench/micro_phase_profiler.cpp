@@ -1,0 +1,155 @@
+// Phase-profiler microbenchmark: what does the built-in self-profiler
+// cost the engine's epoch loop?
+//
+// The profiler's pitch is that it can stay on under a live workload
+// (--serve turns it on implicitly), so its cost has to be measured
+// against the thing it instruments. This bench measures
+//   disabled scope — Scope construct/destroy on a disabled profiler
+//                    (the default-run cost: a branch, no clock reads)
+//   enabled scope  — Scope construct/destroy + histogram observe (two
+//                    steady_clock reads per phase)
+//   epoch          — median wall time per epoch of a real PARM+PANR
+//                    simulation (the denominator)
+// and derives the headline figure: six enabled scopes per epoch as a
+// percentage of the epoch itself.
+//
+// Emits BENCH_phase_profiler.json (path overridable via argv[1]) for CI
+// to archive; CI asserts overhead_percent <= 2.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "sim/system_sim.hpp"
+
+namespace {
+
+using namespace parm;
+using Clock = std::chrono::steady_clock;
+
+/// Median-of-repeats wall time per iteration, in nanoseconds.
+template <typename Fn>
+double time_per_iter_ns(int iters, int repeats, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn(iters);
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+appmodel::SequenceConfig bench_sequence() {
+  appmodel::SequenceConfig seq;
+  seq.kind = appmodel::SequenceKind::Mixed;
+  seq.app_count = 8;
+  seq.inter_arrival_s = 0.05;
+  seq.seed = 42;
+  return seq;
+}
+
+/// Median ns/epoch of a full simulation run under `cfg`.
+double epoch_ns(const sim::SimConfig& cfg, int repeats,
+                std::uint64_t* epochs_out) {
+  const auto seq = appmodel::make_sequence(bench_sequence());
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  std::uint64_t epochs = 0;
+  for (int r = 0; r < repeats; ++r) {
+    sim::SystemSimulator simulator(cfg, seq);
+    const auto t0 = Clock::now();
+    (void)simulator.run();
+    const auto t1 = Clock::now();
+    epochs = simulator.metrics().counter_value("sim.epochs");
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(epochs));
+  }
+  std::sort(samples.begin(), samples.end());
+  if (epochs_out != nullptr) *epochs_out = epochs;
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_phase_profiler.json";
+
+  constexpr int kScopes = 1000000;
+  constexpr int kRepeats = 9;
+  constexpr int kSimRepeats = 5;
+
+  // Scope cost, disabled: the price every default (non---serve) run pays.
+  obs::Registry off_reg;
+  obs::PhaseProfiler off(false, &off_reg);
+  const double disabled_ns = time_per_iter_ns(kScopes, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      obs::PhaseProfiler::Scope scope(off, obs::PhaseProfiler::kNoc);
+    }
+  });
+
+  // Scope cost, enabled: two clock reads plus a histogram observe.
+  obs::Registry on_reg;
+  obs::PhaseProfiler on(true, &on_reg);
+  const double enabled_ns = time_per_iter_ns(kScopes, kRepeats, [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      obs::PhaseProfiler::Scope scope(on, obs::PhaseProfiler::kNoc);
+    }
+  });
+
+  // The denominator: a real epoch, measured on the same workload with the
+  // profiler off and (as a cross-check) with it on.
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  std::uint64_t epochs = 0;
+  const double epoch_off_ns = epoch_ns(cfg, kSimRepeats, &epochs);
+  sim::SimConfig profiled = cfg;
+  profiled.profile_phases = true;
+  const double epoch_on_ns = epoch_ns(profiled, kSimRepeats, nullptr);
+
+  // Headline: six instrumented phases (+ the epoch counter, folded into
+  // the same figure by charging one extra scope) against the epoch.
+  const double per_epoch_cost_ns = 7.0 * enabled_ns;
+  const double overhead_percent = 100.0 * per_epoch_cost_ns / epoch_off_ns;
+
+  std::cout << "Phase-profiler cost (" << kScopes << " scopes/run, median of "
+            << kRepeats << " runs; epoch cost from " << kSimRepeats
+            << " full runs of " << epochs << " epochs)\n\n";
+  Table table({"path", "ns"});
+  table.set_precision(1);
+  table.add_row({"scope, disabled (default run)", disabled_ns});
+  table.add_row({"scope, enabled", enabled_ns});
+  table.add_row({"epoch, profiler off", epoch_off_ns});
+  table.add_row({"epoch, profiler on", epoch_on_ns});
+  table.print(std::cout);
+  std::cout << "\nprofiling cost per epoch: " << per_epoch_cost_ns
+            << " ns (6 phases + epoch counter) = " << overhead_percent
+            << " % of an epoch\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"phase_profiler\",\n"
+       << "  \"scopes_per_run\": " << kScopes << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"sim_repeats\": " << kSimRepeats << ",\n"
+       << "  \"epochs_per_sim\": " << epochs << ",\n"
+       << "  \"disabled_scope_ns\": " << disabled_ns << ",\n"
+       << "  \"enabled_scope_ns\": " << enabled_ns << ",\n"
+       << "  \"epoch_off_ns\": " << epoch_off_ns << ",\n"
+       << "  \"epoch_on_ns\": " << epoch_on_ns << ",\n"
+       << "  \"per_epoch_cost_ns\": " << per_epoch_cost_ns << ",\n"
+       << "  \"overhead_percent\": " << overhead_percent << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

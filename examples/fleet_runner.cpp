@@ -13,7 +13,8 @@
 //                [--arrival SECONDS] [--seed N] [--max-time SECONDS]
 //                [--metrics FILE.json] [--events FILE.jsonl]
 //                [--prom FILE.prom] [--spans FILE.json] [--health]
-//                [--timeseries FILE.jsonl] [--selfcheck]
+//                [--timeseries FILE.jsonl] [--timeseries-csv FILE.csv]
+//                [--serve PORT] [--selfcheck]
 //
 // --threads bounds the chips simulated concurrently (0 = shared pool,
 //   1 = serial); the results are bit-identical for every setting.
@@ -29,6 +30,19 @@
 // --timeseries enables every chip's bounded time-series capture and
 //   writes the merged store ("chip<k>."-prefixed droop/congestion/queue
 //   waveforms) as JSONL — parm_blackbox consumes it with --events.
+// --timeseries-csv writes the same merged samples as CSV with a header
+//   row (the plot-me export).
+// --serve PORT starts the embedded observability server on
+//   127.0.0.1:PORT (0 = ephemeral; the bound port is printed) with
+//   fleet-wide rollups behind every endpoint: /metrics and /profilez
+//   merge every chip's registry per scrape, /slo merges the chips'
+//   burn-rate windows (raw sums added, admit p99 = max over chips),
+//   /healthz evaluates the merged registry + merged SLO report, /eventz
+//   is the chip-stamped union of every chip's flight recorder, /seriesz
+//   serves the "chip<k>."-prefixed merged waveforms, and /varz dumps the
+//   per-chip config template. Implies every chip's self-observation
+//   (profiler, SLO engine, recorder, time-series); all observe-only, so
+//   fleet results are bit-identical with the server on or off.
 // --health prints the per-chip health rollup and the fleet-wide report;
 //   exit code 1 when any chip (or the fleet) is critical — CI fails on
 //   that.
@@ -38,18 +52,27 @@
 //
 // Example:
 //   fleet_runner --chips 4 --events ev.jsonl --prom metrics.prom --health
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/experiments.hpp"
 #include "fleet/fleet_sim.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/server.hpp"
 #include "obs/spans.hpp"
+#include "obs/timeseries.hpp"
+#include "serve_util.hpp"
+#include "sim/config_json.hpp"
 #include "sim/system_sim.hpp"
 
 namespace {
@@ -75,9 +98,10 @@ int main(int argc, char** argv) {
   seq.inter_arrival_s = 0.05;
   seq.seed = 1;
   std::string metrics_file, events_file, prom_file, spans_file;
-  std::string timeseries_file;
+  std::string timeseries_file, timeseries_csv_file;
   bool health = false;
   bool selfcheck = false;
+  int serve_port = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +151,13 @@ int main(int argc, char** argv) {
       spans_file = value();
     } else if (arg == "--timeseries") {
       timeseries_file = value();
+    } else if (arg == "--timeseries-csv") {
+      timeseries_csv_file = value();
+    } else if (arg == "--serve") {
+      serve_port = std::stoi(value());
+      if (serve_port < 0 || serve_port > 65535) {
+        usage("--serve port must be in [0, 65535] (0 = ephemeral)");
+      }
     } else if (arg == "--health") {
       health = true;
     } else if (arg == "--selfcheck") {
@@ -136,7 +167,16 @@ int main(int argc, char** argv) {
     }
   }
   cfg.chip.record_events = !events_file.empty() || !spans_file.empty();
-  cfg.chip.record_timeseries = !timeseries_file.empty();
+  cfg.chip.record_timeseries =
+      !timeseries_file.empty() || !timeseries_csv_file.empty();
+  if (serve_port >= 0) {
+    // --serve implies every chip's self-observation so the fleet
+    // endpoints have live data behind them. All observe-only.
+    cfg.chip.profile_phases = true;
+    cfg.chip.track_slo = true;
+    cfg.chip.record_events = true;
+    cfg.chip.record_timeseries = true;
+  }
   try {
     cfg.validate();
   } catch (const CheckError& e) {
@@ -148,6 +188,77 @@ int main(int argc, char** argv) {
             << " apps, dispatch " << cfg.dispatch << "\n";
 
   fleet::FleetSimulator fleet_sim(cfg, arrivals);
+
+  // Live observability: every endpoint serves a fleet-wide rollup built
+  // per scrape from the chips' instance-scoped stores (each read under
+  // that chip's obs mutex, so running chips are quiescent while their
+  // tables are walked).
+  obs::HttpServer server;
+  if (serve_port >= 0) {
+    obs::EndpointHooks hooks;
+    hooks.metrics = [&fleet_sim](std::ostream& os) {
+      obs::Registry merged;
+      fleet_sim.merge_live_metrics(merged);
+      merged.write_prometheus(os);
+    };
+    hooks.health = [&fleet_sim]() {
+      obs::Registry merged;
+      fleet_sim.merge_live_metrics(merged);
+      return obs::HealthMonitor().evaluate(merged,
+                                           fleet_sim.live_slo_report());
+    };
+    hooks.slo = [&fleet_sim]() { return fleet_sim.live_slo_report(); };
+    hooks.events = [&fleet_sim, &cfg](std::ostream& os, std::size_t limit) {
+      // Chip-stamped, globally re-id'ed union of every chip's recorder —
+      // the live counterpart of FleetSimulator::dump_events_jsonl.
+      std::vector<obs::Event> events;
+      for (int c = 0; c < cfg.chip_count; ++c) {
+        for (obs::Event e : fleet_sim.chip_sim(c).recorder().collect()) {
+          e.chip = static_cast<std::int16_t>(c);
+          if (e.app >= 0) e.app = fleet_sim.global_id(c, e.app);
+          events.push_back(e);
+        }
+      }
+      std::sort(events.begin(), events.end(),
+                [](const obs::Event& a, const obs::Event& b) {
+                  if (a.t != b.t) return a.t < b.t;
+                  if (a.chip != b.chip) return a.chip < b.chip;
+                  return a.seq < b.seq;
+                });
+      serve::write_events_tail(os, events, limit);
+    };
+    hooks.series = [&fleet_sim, &cfg](std::ostream& os,
+                                      const std::string& name, int level) {
+      obs::Registry scratch;
+      obs::TimeSeriesStore merged(
+          true,
+          obs::TimeSeriesConfig{cfg.chip.timeseries_capacity,
+                                cfg.chip.timeseries_levels,
+                                cfg.chip.timeseries_downsample},
+          &scratch);
+      for (int c = 0; c < cfg.chip_count; ++c) {
+        const sim::SystemSimulator& chip = fleet_sim.chip_sim(c);
+        std::lock_guard<std::mutex> lock(chip.obs_mutex());
+        merged.merge_from(chip.timeseries(), c);
+      }
+      serve::write_series(os, merged, name, level);
+    };
+    hooks.varz = [&cfg](std::ostream& os) {
+      sim::write_config_json(os, cfg.chip);
+    };
+    hooks.profile = [&fleet_sim](std::ostream& os) {
+      obs::Registry merged;
+      fleet_sim.merge_live_metrics(merged);
+      obs::write_profile_json(os, merged, ThreadPool::shared().stats());
+    };
+    obs::register_endpoints(server, std::move(hooks));
+    const std::uint16_t bound =
+        server.start(static_cast<std::uint16_t>(serve_port));
+    std::cout << "serving fleet observability on http://127.0.0.1:" << bound
+              << "/ (metrics healthz slo eventz seriesz varz profilez)\n"
+              << std::flush;
+  }
+
   const fleet::FleetResult r = fleet_sim.run();
 
   std::cout << "fleet makespan      " << r.makespan_s << " s"
@@ -200,6 +311,13 @@ int main(int argc, char** argv) {
               << fleet_sim.timeseries().series_count() << " series, "
               << fleet_sim.timeseries().samples_total()
               << " samples) written to " << timeseries_file << "\n";
+  }
+  if (!timeseries_csv_file.empty()) {
+    std::ofstream out(timeseries_csv_file);
+    if (!out) usage("cannot open timeseries CSV file for writing");
+    fleet_sim.timeseries().write_csv(out);
+    std::cout << "fleet time series CSV written to " << timeseries_csv_file
+              << "\n";
   }
 
   bool any_crit = false;

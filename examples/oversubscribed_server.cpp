@@ -12,6 +12,7 @@
 //                                                      [events.jsonl]
 //                                                      [spans.json]
 //                                                      [timeseries.jsonl]
+//                                                      [serve-port]
 //
 // Per-epoch telemetry is recorded for both runs; pass a CSV path as the
 // second argument to dump the PARM+PANR time series for plotting. The
@@ -30,15 +31,25 @@
 // time-series store (droop/congestion/queue waveforms) and dump it as
 // JSONL — feed it to parm_blackbox together with the events file for a
 // post-mortem incident report. Use "-" to skip an argument position.
+//
+// Pass a seventh argument (a port; 0 = ephemeral) to serve the live
+// observability endpoints (see examples/parm_runner.cpp, --serve) for
+// whichever configuration is currently running — the demo runs two
+// back-to-back, so a scraper watches the baseline first and PARM+PANR
+// second. Between runs the endpoints serve empty-but-well-formed
+// documents.
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <mutex>
 
 #include "common/table.hpp"
 #include "exp/experiments.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/spans.hpp"
+#include "serve_util.hpp"
 
 namespace {
 
@@ -84,6 +95,7 @@ int main(int argc, char** argv) {
   const std::string events_file = arg_or(4);
   const std::string spans_file = arg_or(5);
   const std::string timeseries_file = arg_or(6);
+  const std::string serve_port_arg = arg_or(7);
 
   appmodel::SequenceConfig seq;
   seq.kind = appmodel::SequenceKind::Mixed;
@@ -93,6 +105,68 @@ int main(int argc, char** argv) {
 
   std::cout << "Oversubscribed server: 20 mixed apps, one every 50 ms "
                "(seed " << seed << ")\n\n";
+
+  // Live observability across the two back-to-back runs: the endpoints
+  // follow a mutex-guarded pointer to whichever simulator is currently
+  // alive (null between runs — the hooks then serve well-formed empty
+  // documents). Lock order is current_mu, then the sim's obs_mutex();
+  // the engine thread only ever takes the latter, so this cannot
+  // deadlock.
+  std::mutex current_mu;
+  sim::SystemSimulator* current_sim = nullptr;
+  sim::SimConfig current_cfg = exp::default_sim_config();
+  obs::HttpServer server;
+  if (!serve_port_arg.empty()) {
+    obs::EndpointHooks hooks;
+    hooks.metrics = [&](std::ostream& os) {
+      std::lock_guard<std::mutex> lock(current_mu);
+      if (current_sim != nullptr) current_sim->metrics().write_prometheus(os);
+    };
+    hooks.health = [&]() {
+      std::lock_guard<std::mutex> lock(current_mu);
+      if (current_sim == nullptr) return obs::HealthReport{};
+      std::lock_guard<std::mutex> obs_lock(current_sim->obs_mutex());
+      return obs::HealthMonitor().evaluate(current_sim->metrics(),
+                                           current_sim->slo().report());
+    };
+    hooks.slo = [&]() {
+      std::lock_guard<std::mutex> lock(current_mu);
+      if (current_sim == nullptr) return obs::SloReport{};
+      std::lock_guard<std::mutex> obs_lock(current_sim->obs_mutex());
+      return current_sim->slo().report();
+    };
+    hooks.events = [&](std::ostream& os, std::size_t limit) {
+      std::lock_guard<std::mutex> lock(current_mu);
+      if (current_sim == nullptr) return;
+      serve::write_events_tail(os, current_sim->recorder().collect(), limit);
+    };
+    hooks.series = [&](std::ostream& os, const std::string& name,
+                       int level) {
+      std::lock_guard<std::mutex> lock(current_mu);
+      if (current_sim == nullptr) {
+        os << "{\"series\":[]}";
+        return;
+      }
+      std::lock_guard<std::mutex> obs_lock(current_sim->obs_mutex());
+      serve::write_series(os, current_sim->timeseries(), name, level);
+    };
+    hooks.varz = [&](std::ostream& os) {
+      std::lock_guard<std::mutex> lock(current_mu);
+      sim::write_config_json(os, current_cfg);
+    };
+    hooks.profile = [&](std::ostream& os) {
+      std::lock_guard<std::mutex> lock(current_mu);
+      obs::Registry scratch;
+      const obs::Registry& reg =
+          current_sim != nullptr ? current_sim->metrics() : scratch;
+      obs::write_profile_json(os, reg, parm::ThreadPool::shared().stats());
+    };
+    obs::register_endpoints(server, std::move(hooks));
+    const auto bound = server.start(static_cast<std::uint16_t>(
+        std::strtoul(serve_port_arg.c_str(), nullptr, 10)));
+    std::cout << "serving observability on http://127.0.0.1:" << bound
+              << "/\n\n" << std::flush;
+  }
 
   obs::Registry metrics_total;  // merged over both configurations
   for (const auto& [mapping, routing] :
@@ -107,9 +181,22 @@ int main(int argc, char** argv) {
                         (!events_file.empty() || !spans_file.empty());
     cfg.record_timeseries =
         fw.routing == std::string("PANR") && !timeseries_file.empty();
+    if (!serve_port_arg.empty()) {
+      // Serving implies self-observation (all observe-only) so the live
+      // endpoints have data for both configurations.
+      cfg.profile_phases = true;
+      cfg.track_slo = true;
+      cfg.record_events = true;
+      cfg.record_timeseries = true;
+    }
     sim::SystemSimulator simulator(cfg, appmodel::make_sequence(seq));
     if (fw.routing == std::string("PANR") && !snapshot_dir.empty()) {
       simulator.enable_periodic_snapshots(50, snapshot_dir);
+    }
+    {
+      std::lock_guard<std::mutex> lock(current_mu);
+      current_sim = &simulator;
+      current_cfg = cfg;
     }
     const sim::SimResult result = simulator.run();
     metrics_total.merge_from(simulator.metrics());
@@ -125,7 +212,8 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << telemetry_file << " for writing\n";
       }
     }
-    if (cfg.record_events && !events_file.empty()) {
+    if (fw.routing == std::string("PANR") && cfg.record_events &&
+        !events_file.empty()) {
       std::ofstream out(events_file);
       if (out) {
         simulator.recorder().dump_jsonl(out);
@@ -135,7 +223,8 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << events_file << " for writing\n";
       }
     }
-    if (cfg.record_events && !spans_file.empty()) {
+    if (fw.routing == std::string("PANR") && cfg.record_events &&
+        !spans_file.empty()) {
       std::ofstream out(spans_file);
       if (out) {
         obs::write_span_trace(out, simulator.recorder().collect());
@@ -145,7 +234,8 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << spans_file << " for writing\n";
       }
     }
-    if (cfg.record_timeseries) {
+    if (fw.routing == std::string("PANR") && cfg.record_timeseries &&
+        !timeseries_file.empty()) {
       std::ofstream out(timeseries_file);
       if (out) {
         simulator.timeseries().dump_jsonl(out);
@@ -156,6 +246,11 @@ int main(int argc, char** argv) {
       } else {
         std::cerr << "cannot open " << timeseries_file << " for writing\n";
       }
+    }
+    {
+      // The simulator dies with this loop iteration; unpublish it first.
+      std::lock_guard<std::mutex> lock(current_mu);
+      current_sim = nullptr;
     }
   }
 

@@ -18,7 +18,7 @@
 //               [--timeseries FILE.jsonl] [--timeseries-csv FILE.csv]
 //               [--snapshot-every N --snapshot-dir DIR]
 //               [--resume FILE.parmsnap] [--max-time SECONDS]
-//               [--noc-shards N]
+//               [--noc-shards N] [--serve PORT]
 //               [--faults FILE] [--fault-links N] [--fault-routers N]
 //               [--fault-window S] [--repair-after S]
 //               [--sensor-dropout P] [--bit-error-base P]
@@ -74,6 +74,22 @@
 //   captures are observe-only and snapshot-safe: a resumed run continues
 //   its waveform history exactly.
 //
+// Live observability (--serve):
+//   --serve PORT starts the embedded HTTP telemetry server on
+//   127.0.0.1:PORT (0 picks an ephemeral port; the bound port is
+//   printed) and enables the per-phase self-profiler, the rolling SLO
+//   engine, the flight recorder, and the time-series store so every
+//   endpoint has live data. Endpoints: /metrics (Prometheus text
+//   exposition), /healthz (threshold + SLO burn rules; HTTP 503 when
+//   critical), /slo (multi-window burn-rate report), /eventz?limit=N
+//   (flight-recorder tail as JSONL), /seriesz?name=S&level=L
+//   (time-series export), /varz (resolved config + build info), and
+//   /profilez (per-phase wall-clock + thread-pool stats). All endpoints
+//   are observe-only: results are bit-identical with the server on or
+//   off, even under active scraping (tests/obs_server_test.cpp). The
+//   server stays up until the process exits so post-run scrapes see the
+//   final state.
+//
 // Examples:
 //   parm_runner --mapping PARM --routing PANR --workload comm --arrival 0.05
 //   parm_runner --load-workload run.wl --telemetry run.csv
@@ -90,8 +106,10 @@
 #include "fault/fault_model.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
+#include "serve_util.hpp"
 #include "snapshot/serializer.hpp"
 
 namespace {
@@ -127,6 +145,7 @@ int main(int argc, char** argv) {
   std::string resume_file;
   double max_time_s = -1.0;
   int noc_shards = -1;
+  int serve_port = -1;
   std::string faults_file;
   int fault_links = 0;
   int fault_routers = 0;
@@ -204,6 +223,11 @@ int main(int argc, char** argv) {
       // serial. Results are bit-identical for every value (throughput
       // knob only, so it needn't match across a save/resume pair).
       noc_shards = std::stoi(value());
+    } else if (arg == "--serve") {
+      serve_port = std::stoi(value());
+      if (serve_port < 0 || serve_port > 65535) {
+        usage("--serve port must be in [0, 65535] (0 = ephemeral)");
+      }
     } else if (arg == "--faults") {
       faults_file = value();
     } else if (arg == "--fault-links") {
@@ -253,6 +277,16 @@ int main(int argc, char** argv) {
   cfg.events_dump_on_ve = events_on_ve_file;
   cfg.record_timeseries =
       !timeseries_file.empty() || !timeseries_csv_file.empty();
+  if (serve_port >= 0) {
+    // A live scrape surface without data behind it is useless, so --serve
+    // implies self-observation. All four captures are observe-only (the
+    // engine-equivalence tests pin bit-identity with them enabled), so
+    // this cannot change the run's results.
+    cfg.profile_phases = true;
+    cfg.track_slo = true;
+    cfg.record_events = true;
+    cfg.record_timeseries = true;
+  }
   if (max_time_s > 0.0) cfg.max_sim_time_s = max_time_s;
   if (noc_shards >= 0) {
     cfg.parallel_noc = noc_shards != 1;
@@ -307,6 +341,20 @@ int main(int argc, char** argv) {
   std::cout << "running " << framework.display_name() << " on "
             << arrivals.size() << " apps...\n";
   sim::SystemSimulator simulator(cfg, std::move(arrivals));
+
+  // Live observability: start the scrape surface before run() so CI (or
+  // an operator) can watch the simulation in flight. The server thread
+  // only ever reads — see examples/serve_util.hpp for the locking.
+  obs::HttpServer server;
+  if (serve_port >= 0) {
+    obs::register_endpoints(server, serve::hooks_for_simulator(simulator, cfg));
+    const std::uint16_t bound =
+        server.start(static_cast<std::uint16_t>(serve_port));
+    std::cout << "serving observability on http://127.0.0.1:" << bound
+              << "/ (metrics healthz slo eventz seriesz varz profilez)\n"
+              << std::flush;
+  }
+
   if (snapshot_every > 0) {
     simulator.enable_periodic_snapshots(snapshot_every, snapshot_dir);
     std::cout << "snapshotting every " << snapshot_every << " epoch(s) to "

@@ -1,0 +1,120 @@
+// Shared --serve plumbing for the example runners.
+//
+// Each runner that grows a --serve flag binds the standard observability
+// endpoint surface (obs/server.hpp) to its own data sources; this header
+// holds the pieces they share: the single-simulator hook set and the
+// /eventz + /seriesz body writers the fleet runner reuses with its own
+// merged sources. Header-only on purpose — the runners are separate
+// binaries and this is presentation glue, not library code.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/server.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/config_json.hpp"
+#include "sim/system_sim.hpp"
+
+namespace parm::serve {
+
+/// /eventz body: the newest `limit` events as JSONL (`limit` 0 = every
+/// retained event). `events` must already be in emission order, which is
+/// what FlightRecorder::collect() returns.
+inline void write_events_tail(std::ostream& os,
+                              const std::vector<obs::Event>& events,
+                              std::size_t limit) {
+  std::size_t first = 0;
+  if (limit != 0 && events.size() > limit) first = events.size() - limit;
+  for (std::size_t i = first; i < events.size(); ++i) {
+    obs::write_event_json(os, events[i]);
+    os << '\n';
+  }
+}
+
+/// /seriesz body: an empty `name` lists the store's series names as one
+/// JSON object; otherwise the named series' retained samples as JSONL in
+/// TimeSeriesStore::dump_jsonl's line format. `level` < 0 means every
+/// downsample level; an unknown name yields an {"error":...} object (the
+/// endpoint still returns 200 — the scrape itself succeeded).
+inline void write_series(std::ostream& os, const obs::TimeSeriesStore& store,
+                         const std::string& name, int level) {
+  if (name.empty()) {
+    os << "{\"series\":[";
+    bool first = true;
+    for (const std::string& n : store.series_names()) {
+      if (!first) os << ',';
+      first = false;
+      obs::json_string(os, n);
+    }
+    os << "]}";
+    return;
+  }
+  const obs::TimeSeries* series = store.find(name);
+  if (series == nullptr) {
+    os << "{\"error\":\"unknown series\",\"name\":";
+    obs::json_string(os, name);
+    os << '}';
+    return;
+  }
+  const auto old_precision = os.precision(15);
+  for (std::size_t lv = 0; lv < series->level_count(); ++lv) {
+    if (level >= 0 && static_cast<std::size_t>(level) != lv) continue;
+    for (const obs::TsSample& s : series->samples(lv)) {
+      os << "{\"series\":";
+      obs::json_string(os, name);
+      os << ",\"level\":" << lv << ",\"t_start\":" << s.t_start
+         << ",\"t_end\":" << s.t_end << ",\"min\":" << s.min
+         << ",\"max\":" << s.max << ",\"mean\":" << s.mean()
+         << ",\"count\":" << s.count << "}\n";
+    }
+  }
+  os.precision(old_precision);
+}
+
+/// The full endpoint surface of one SystemSimulator. Hooks that read
+/// non-thread-safe engine state (SLO engine, time-series store) lock
+/// sim.obs_mutex() so scrapes land on epoch boundaries; Registry,
+/// FlightRecorder, and pool-stats reads are thread-safe as-is. `sim` and
+/// `cfg` must outlive the server the hooks are registered on.
+inline obs::EndpointHooks hooks_for_simulator(sim::SystemSimulator& sim,
+                                              const sim::SimConfig& cfg) {
+  obs::EndpointHooks hooks;
+  hooks.metrics = [&sim](std::ostream& os) {
+    sim.metrics().write_prometheus(os);
+  };
+  hooks.health = [&sim]() {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    return obs::HealthMonitor().evaluate(sim.metrics(), sim.slo().report());
+  };
+  hooks.slo = [&sim]() {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    return sim.slo().report();
+  };
+  hooks.events = [&sim](std::ostream& os, std::size_t limit) {
+    write_events_tail(os, sim.recorder().collect(), limit);
+  };
+  hooks.series = [&sim](std::ostream& os, const std::string& name,
+                        int level) {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    write_series(os, sim.timeseries(), name, level);
+  };
+  hooks.varz = [&cfg](std::ostream& os) { sim::write_config_json(os, cfg); };
+  hooks.profile = [&sim](std::ostream& os) {
+    obs::write_profile_json(os, sim.metrics(), ThreadPool::shared().stats());
+  };
+  return hooks;
+}
+
+}  // namespace parm::serve

@@ -61,10 +61,30 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.threads = workers_.size();
+  s.parallel_fors = stat_parallel_fors_.load(std::memory_order_relaxed);
+  s.items = stat_items_.load(std::memory_order_relaxed);
+  s.pooled_batches = stat_pooled_batches_.load(std::memory_order_relaxed);
+  s.queue_wait_ns = stat_queue_wait_ns_.load(std::memory_order_relaxed);
+  s.batch_ns = stat_batch_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::run_batch(Batch& batch) {
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n) return;
+    if (i == 0) {
+      // Whoever claims the first index (a worker or the caller itself)
+      // stamps the queue-wait figure for this batch.
+      batch.first_claim_ns.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - batch.enqueued)
+              .count(),
+          std::memory_order_relaxed);
+    }
     try {
       (*batch.fn)(i);
     } catch (...) {
@@ -81,6 +101,8 @@ void ThreadPool::run_batch(Batch& batch) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  stat_parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  stat_items_.fetch_add(n, std::memory_order_relaxed);
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -88,6 +110,7 @@ void ThreadPool::parallel_for(std::size_t n,
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->fn = &fn;
+  batch->enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lk(mu_);
     pending_.push_back(batch);
@@ -99,6 +122,19 @@ void ThreadPool::parallel_for(std::size_t n,
     batch->finished.wait(lk, [&] {
       return batch->done.load(std::memory_order_acquire) == batch->n;
     });
+  }
+  stat_pooled_batches_.fetch_add(1, std::memory_order_relaxed);
+  stat_batch_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - batch->enqueued)
+              .count()),
+      std::memory_order_relaxed);
+  const std::int64_t wait =
+      batch->first_claim_ns.load(std::memory_order_relaxed);
+  if (wait > 0) {
+    stat_queue_wait_ns_.fetch_add(static_cast<std::uint64_t>(wait),
+                                  std::memory_order_relaxed);
   }
   {
     // Retire the batch eagerly; `fn` dies with this call frame.

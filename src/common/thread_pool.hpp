@@ -16,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -51,6 +53,25 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Lifetime utilization counters, maintained with three steady_clock
+  /// reads per *pooled* parallel_for (enqueue, first index claim, batch
+  /// completion) and relaxed atomics — cheap enough to stay always-on.
+  /// The observability server's /profilez endpoint reports them.
+  struct Stats {
+    std::size_t threads = 0;          ///< worker count (excludes caller)
+    std::uint64_t parallel_fors = 0;  ///< total invocations (any path)
+    std::uint64_t items = 0;          ///< indices executed, all paths
+    std::uint64_t pooled_batches = 0; ///< invocations that used workers
+    /// Enqueue → first index claim, summed over pooled batches (ns).
+    /// High values mean the pool is saturated and work is waiting.
+    std::uint64_t queue_wait_ns = 0;
+    /// Enqueue → last index done, summed over pooled batches (ns).
+    std::uint64_t batch_ns = 0;
+  };
+  /// Relaxed snapshot of the counters (fields may be skewed by in-flight
+  /// batches; each is individually consistent).
+  Stats stats() const;
+
  private:
   /// One parallel_for invocation: indices are claimed via `next`; the
   /// batch is finished when `done` reaches `n`.
@@ -62,6 +83,10 @@ class ThreadPool {
     std::mutex mu;
     std::condition_variable finished;
     std::exception_ptr error;  ///< first failure, guarded by `mu`
+    /// Instrumentation: set by parallel_for at enqueue; the claimer of
+    /// index 0 stamps first_claim (one clock read on one thread).
+    std::chrono::steady_clock::time_point enqueued;
+    std::atomic<std::int64_t> first_claim_ns{-1};  ///< since `enqueued`
   };
 
   void worker_loop();
@@ -72,6 +97,13 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::deque<std::shared_ptr<Batch>> pending_;
   bool stop_ = false;
+
+  // Utilization counters (see Stats); relaxed, always-on.
+  std::atomic<std::uint64_t> stat_parallel_fors_{0};
+  std::atomic<std::uint64_t> stat_items_{0};
+  std::atomic<std::uint64_t> stat_pooled_batches_{0};
+  std::atomic<std::uint64_t> stat_queue_wait_ns_{0};
+  std::atomic<std::uint64_t> stat_batch_ns_{0};
 };
 
 }  // namespace parm

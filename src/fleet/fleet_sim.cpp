@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <utility>
 
@@ -52,18 +53,66 @@ FleetSimulator::FleetSimulator(FleetConfig cfg,
         shard.push_back(std::move(copy));
       }
     }
-    return;
   }
-  const auto dispatcher = make_dispatcher(cfg_.dispatch, cfg_.chip_count);
-  for (appmodel::AppArrival& a : arrivals) {
-    const int chip = dispatcher->pick(a);
-    PARM_CHECK(chip >= 0 && chip < cfg_.chip_count,
-               "dispatcher returned an out-of-range chip index");
-    auto& shard = shards_[static_cast<std::size_t>(chip)];
-    global_ids_[static_cast<std::size_t>(chip)].push_back(a.id);
-    a.id = static_cast<int>(shard.size());
-    shard.push_back(std::move(a));
+  if (cfg_.dispatch != "replicate") {
+    const auto dispatcher = make_dispatcher(cfg_.dispatch, cfg_.chip_count);
+    for (appmodel::AppArrival& a : arrivals) {
+      const int chip = dispatcher->pick(a);
+      PARM_CHECK(chip >= 0 && chip < cfg_.chip_count,
+                 "dispatcher returned an out-of-range chip index");
+      auto& shard = shards_[static_cast<std::size_t>(chip)];
+      global_ids_[static_cast<std::size_t>(chip)].push_back(a.id);
+      a.id = static_cast<int>(shard.size());
+      shard.push_back(std::move(a));
+    }
   }
+  build_sims();
+}
+
+FleetSimulator::~FleetSimulator() = default;
+
+void FleetSimulator::build_sims() {
+  // Construct every chip up front: construction validates the config,
+  // the serial merge after the parallel run reads their registries, and
+  // live observers (the obs server's fleet endpoints) get a chip set
+  // that never reseats.
+  const auto n = static_cast<std::size_t>(cfg_.chip_count);
+  sims_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    sim::SimConfig chip_cfg = cfg_.chip;
+    chip_cfg.seed = cfg_.chip.seed + c;
+    sims_[c] = std::make_unique<sim::SystemSimulator>(chip_cfg, shards_[c]);
+  }
+}
+
+sim::SystemSimulator& FleetSimulator::chip_sim(int chip) {
+  PARM_CHECK(chip >= 0 && chip < cfg_.chip_count, "chip index out of range");
+  return *sims_[static_cast<std::size_t>(chip)];
+}
+
+const sim::SystemSimulator& FleetSimulator::chip_sim(int chip) const {
+  PARM_CHECK(chip >= 0 && chip < cfg_.chip_count, "chip index out of range");
+  return *sims_[static_cast<std::size_t>(chip)];
+}
+
+void FleetSimulator::merge_live_metrics(obs::Registry& into) const {
+  for (const auto& sim : sims_) {
+    // The chip's epoch loop holds this mutex across every epoch body, so
+    // acquiring it means the chip is quiescent (between epochs, or not
+    // running at all) — merge_from's read-unlocked contract holds.
+    std::lock_guard<std::mutex> lock(sim->obs_mutex());
+    into.merge_from(sim->metrics());
+  }
+}
+
+obs::SloReport FleetSimulator::live_slo_report() const {
+  std::vector<obs::SloReport> reports;
+  reports.reserve(sims_.size());
+  for (const auto& sim : sims_) {
+    std::lock_guard<std::mutex> lock(sim->obs_mutex());
+    reports.push_back(sim->slo().report());
+  }
+  return obs::merge_slo_reports(reports);
 }
 
 const std::vector<appmodel::AppArrival>& FleetSimulator::chip_arrivals(
@@ -83,16 +132,7 @@ int FleetSimulator::global_id(int chip, int local_id) const {
 
 FleetResult FleetSimulator::run() {
   const auto n = static_cast<std::size_t>(cfg_.chip_count);
-
-  // Construct every chip before any runs: construction validates the
-  // config, and keeping the simulators alive past the parallel section
-  // lets the serial merge below read their metric registries.
-  std::vector<std::unique_ptr<sim::SystemSimulator>> sims(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    sim::SimConfig chip_cfg = cfg_.chip;
-    chip_cfg.seed = cfg_.chip.seed + c;
-    sims[c] = std::make_unique<sim::SystemSimulator>(chip_cfg, shards_[c]);
-  }
+  auto& sims = sims_;
 
   // Chips write into pre-sized slots; aggregation stays serial, so the
   // fleet result is independent of scheduling (the pool's determinism

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,13 @@
 #include "obs/events.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/sim_config.hpp"
+
+namespace parm::sim {
+class SystemSimulator;
+}
 
 namespace parm::fleet {
 
@@ -94,10 +100,29 @@ class FleetSimulator {
   /// are kept aside and restored in FleetResult::apps.
   FleetSimulator(FleetConfig cfg,
                  std::vector<appmodel::AppArrival> arrivals);
+  ~FleetSimulator();
 
   /// Runs every chip (in parallel per FleetConfig::threads) and merges
   /// the results. Call once per simulator.
   FleetResult run();
+
+  /// The chip simulators. Constructed up front (construction validates
+  /// the per-chip config) and kept alive for the simulator's lifetime,
+  /// so live observers — the obs HTTP server's fleet endpoints — have a
+  /// stable set of chips to scrape before, during, and after run().
+  sim::SystemSimulator& chip_sim(int chip);
+  const sim::SystemSimulator& chip_sim(int chip) const;
+
+  /// Live fleet rollup: folds every chip's registry into `into`,
+  /// locking each chip's obs_mutex() first so running chips are
+  /// quiescent (between epochs) while their tables are read. Callable at
+  /// any time from any thread.
+  void merge_live_metrics(obs::Registry& into) const;
+
+  /// Live fleet SLO rollup: each chip's report (taken under its obs
+  /// mutex) merged with merge_slo_reports — raw window sums added, admit
+  /// p99 as the max over chips.
+  obs::SloReport live_slo_report() const;
 
   /// Union of every chip's metrics registry (counters/gauges summed,
   /// histograms merged bucket-wise). Populated by run().
@@ -127,9 +152,13 @@ class FleetSimulator {
   int global_id(int chip, int local_id) const;
 
  private:
+  void build_sims();
+
   FleetConfig cfg_;
   std::vector<std::vector<appmodel::AppArrival>> shards_;
   std::vector<std::vector<int>> global_ids_;  ///< [chip][local id]
+  /// One engine per chip, built in the constructor (see chip_sim()).
+  std::vector<std::unique_ptr<sim::SystemSimulator>> sims_;
   obs::Registry metrics_;
   std::vector<obs::Event> events_;  ///< merged fleet event log
   /// Merged fleet time-series store. Registers its self-metrics in the

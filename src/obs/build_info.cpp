@@ -1,0 +1,32 @@
+#include "obs/build_info.hpp"
+
+#ifndef PARM_VERSION
+#define PARM_VERSION "0.0.0-dev"
+#endif
+#ifndef PARM_BUILD_TYPE
+#define PARM_BUILD_TYPE "unknown"
+#endif
+
+namespace parm::obs {
+
+namespace {
+
+const char* compiler_string() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{PARM_VERSION, compiler_string(),
+                              PARM_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace parm::obs

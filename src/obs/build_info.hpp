@@ -1,0 +1,25 @@
+// Compile-time build identity, exposed as the conventional
+// `parm_build_info` gauge in the Prometheus exposition and in the /varz
+// endpoint of the embedded observability server.
+//
+// A scrape without a build identity is forensically worthless the moment
+// two binaries coexist in a fleet: dashboards need to group by version
+// and CI needs to prove which compiler produced the numbers it archived.
+// The values come from the build system (PARM_VERSION / PARM_BUILD_TYPE
+// compile definitions set in src/obs/CMakeLists.txt) with sane fallbacks
+// so ad-hoc builds outside CMake still report something truthful.
+#pragma once
+
+namespace parm::obs {
+
+/// Static build identity; every field points at a string literal.
+struct BuildInfo {
+  const char* version;     ///< project version (CMake PROJECT_VERSION)
+  const char* compiler;    ///< compiler id + version (__VERSION__)
+  const char* build_type;  ///< CMAKE_BUILD_TYPE ("unknown" outside CMake)
+};
+
+/// The identity baked into this binary.
+const BuildInfo& build_info();
+
+}  // namespace parm::obs

@@ -66,12 +66,19 @@ struct HealthConfig {
   double queue_depth_crit = 32.0;
 };
 
+struct SloReport;  // obs/slo.hpp
+
 /// Evaluates the rule set against `registry`. Stateless beyond config.
 class HealthMonitor {
  public:
   explicit HealthMonitor(HealthConfig config = {}) : config_(config) {}
 
   HealthReport evaluate(const Registry& registry) const;
+
+  /// Same built-in rules, plus one slo_<objective>_burn check per SLO
+  /// objective folded in from the rolling SLO engine's report (defined
+  /// in slo.cpp; see obs/slo.hpp for the burn-rate math).
+  HealthReport evaluate(const Registry& registry, const SloReport& slo) const;
 
   const HealthConfig& config() const { return config_; }
 

@@ -149,6 +149,12 @@ double Registry::gauge_value(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 void Registry::write_text(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {

@@ -172,6 +172,10 @@ class Registry {
   std::uint64_t counter_value(std::string_view name) const;
   /// Value of a gauge if registered, 0 otherwise (never registers).
   double gauge_value(std::string_view name) const;
+  /// The histogram if registered, null otherwise (never registers).
+  /// Like every histogram read accessor the result is an unsynchronized
+  /// snapshot — exact once mutation has quiesced.
+  const Histogram* find_histogram(std::string_view name) const;
 
   /// Human-readable report, one metric per line, sorted by name.
   void write_text(std::ostream& os) const;

@@ -1,0 +1,77 @@
+#include "obs/phase_profiler.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace parm::obs {
+
+const char* PhaseProfiler::phase_name(int phase) {
+  switch (phase) {
+    case kAdmission:
+      return "admission";
+    case kNoc:
+      return "noc";
+    case kPsn:
+      return "psn";
+    case kEmergency:
+      return "emergency";
+    case kMigration:
+      return "migration";
+    case kTelemetry:
+      return "telemetry";
+    default:
+      return "unknown";
+  }
+}
+
+PhaseProfiler::PhaseProfiler(bool enabled, Registry* registry)
+    : enabled_(enabled) {
+  if (!enabled_) return;
+  Registry& reg = resolve(registry);
+  for (int p = 0; p < kPhaseCount; ++p) {
+    phase_us_[p] = &reg.histogram(std::string("profile.phase.") +
+                                  phase_name(p) + "_us");
+  }
+  epochs_ = &reg.counter("profile.epochs");
+}
+
+void write_profile_json(std::ostream& os, const Registry& registry,
+                        const ThreadPool::Stats& pool) {
+  const auto old_precision = os.precision(15);
+  os << "{\"epochs\":" << registry.counter_value("profile.epochs")
+     << ",\"phases\":[";
+  for (int p = 0; p < PhaseProfiler::kPhaseCount; ++p) {
+    if (p != 0) os << ',';
+    os << "{\"phase\":\"" << PhaseProfiler::phase_name(p) << "\"";
+    const Histogram* h = registry.find_histogram(
+        std::string("profile.phase.") + PhaseProfiler::phase_name(p) +
+        "_us");
+    if (h == nullptr || h->count() == 0) {
+      os << ",\"count\":0}";
+      continue;
+    }
+    os << ",\"count\":" << h->count() << ",\"total_us\":" << h->sum()
+       << ",\"mean_us\":" << h->mean() << ",\"p50_us\":" << h->percentile(50)
+       << ",\"p99_us\":" << h->percentile(99) << ",\"min_us\":" << h->min()
+       << ",\"max_us\":" << h->max() << '}';
+  }
+  os << "],\"thread_pool\":{\"threads\":" << pool.threads
+     << ",\"parallel_fors\":" << pool.parallel_fors
+     << ",\"items\":" << pool.items
+     << ",\"pooled_batches\":" << pool.pooled_batches
+     << ",\"queue_wait_us_total\":"
+     << static_cast<double>(pool.queue_wait_ns) / 1e3
+     << ",\"batch_us_total\":" << static_cast<double>(pool.batch_ns) / 1e3;
+  if (pool.pooled_batches > 0) {
+    os << ",\"mean_queue_wait_us\":"
+       << static_cast<double>(pool.queue_wait_ns) / 1e3 /
+              static_cast<double>(pool.pooled_batches)
+       << ",\"mean_batch_us\":"
+       << static_cast<double>(pool.batch_ns) / 1e3 /
+              static_cast<double>(pool.pooled_batches);
+  }
+  os << "}}";
+  os.precision(old_precision);
+}
+
+}  // namespace parm::obs

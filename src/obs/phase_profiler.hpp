@@ -1,0 +1,106 @@
+// Per-epoch-phase wall-clock self-profiler for the six-phase engine.
+//
+// The engine's epoch loop is the hot path every ROADMAP item ultimately
+// pays for, but until now the only way to see where an epoch's wall
+// clock went was an external profiler. The PhaseProfiler gives the
+// engine a built-in answer cheap enough to leave on under a live
+// workload: one steady_clock read on phase entry, one on exit, and an
+// observe() into a registry histogram — ~100 ns per phase against epochs
+// costing hundreds of microseconds (bench/micro_phase_profiler pins the
+// ratio at ≤ 2 %).
+//
+// The histograms live in the owning simulator's instance registry under
+// "profile.phase.<name>_us" (plus a "profile.epochs" counter), so they
+// ride the existing machinery for free: Prometheus exposition, JSON
+// export, and the fleet driver's registry merge. /profilez renders them
+// (write_profile_json) together with the shared ThreadPool's
+// utilization/queue-wait counters.
+//
+// Observe-only contract: a Scope on a disabled profiler takes no clock
+// reads and touches nothing (a branch on a bool), and even when enabled
+// the profiler mutates only registry histograms — never simulation
+// state, the RNG, or anything snapshotted. Enabling it is bit-identity
+// safe (pinned by tests/obs_server_test.cpp) and the flag is excluded
+// from the snapshot fingerprint like record_events.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+class PhaseProfiler {
+ public:
+  /// The six engine phases, in pipeline order. kPhaseCount indexes the
+  /// slot arrays; phase_name() gives the registry/JSON spelling.
+  enum Phase {
+    kAdmission = 0,
+    kNoc,
+    kPsn,
+    kEmergency,
+    kMigration,
+    kTelemetry,
+    kPhaseCount
+  };
+
+  static const char* phase_name(int phase);
+
+  /// A disabled profiler registers nothing and its scopes are inert.
+  /// `registry` receives the histograms (null selects the
+  /// process-default registry, as everywhere in obs).
+  explicit PhaseProfiler(bool enabled = false, Registry* registry = nullptr);
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// RAII timing scope: construction stamps the clock, destruction
+  /// observes the elapsed wall time (µs) into the phase's histogram.
+  /// Inert (no clock reads) when the profiler is disabled.
+  class Scope {
+   public:
+    Scope(PhaseProfiler& profiler, Phase phase)
+        : hist_(profiler.enabled_ ? profiler.phase_us_[phase] : nullptr) {
+      if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if (hist_ == nullptr) return;
+      const auto end = std::chrono::steady_clock::now();
+      hist_->observe(
+          std::chrono::duration<double, std::micro>(end - start_).count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Histogram* hist_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Counts one completed epoch (profile.epochs). No-op when disabled.
+  void note_epoch() {
+    if (epochs_ != nullptr) epochs_->inc();
+  }
+
+ private:
+  bool enabled_;
+  Histogram* phase_us_[kPhaseCount] = {};
+  Counter* epochs_ = nullptr;
+};
+
+/// Renders the /profilez document from any registry holding
+/// profile.phase.* histograms (a live simulator's or the fleet's merged
+/// one) plus a thread-pool stats snapshot:
+/// {"epochs":N,"phases":[{"phase":"admission","count":...,"total_us":...,
+///  "mean_us":...,"p50_us":...,"p99_us":...,"max_us":...},...],
+///  "thread_pool":{...}}
+/// Phases the registry has never seen report count 0.
+void write_profile_json(std::ostream& os, const Registry& registry,
+                        const ThreadPool::Stats& pool);
+
+}  // namespace parm::obs

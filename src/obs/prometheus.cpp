@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 
@@ -42,6 +43,14 @@ void prom_value(std::ostream& os, double v) {
 void Registry::write_prometheus(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto old_precision = os.precision(15);
+  // Identity gauge, the Prometheus convention for exposing build
+  // metadata: constant value 1, the facts ride in the labels.
+  {
+    const BuildInfo& bi = build_info();
+    os << "# TYPE parm_build_info gauge\n"
+       << "parm_build_info{version=\"" << bi.version << "\",compiler=\""
+       << bi.compiler << "\",build_type=\"" << bi.build_type << "\"} 1\n";
+  }
   for (const auto& [name, c] : counters_) {
     const std::string pn = prom_name(name) + "_total";
     os << "# TYPE " << pn << " counter\n"

@@ -1,0 +1,343 @@
+#include "obs/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/health.hpp"
+#include "obs/json_util.hpp"
+#include "obs/slo.hpp"
+
+namespace parm::obs {
+
+namespace {
+
+/// Hard bound on the request head we are willing to buffer. Scrape
+/// requests are one line plus a few headers; anything bigger is hostile
+/// or confused.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// Per-socket I/O timeout: bounds the work a stalled client can pin the
+/// (single) server thread with.
+constexpr int kIoTimeoutSec = 5;
+
+int from_hex(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = from_hex(s[i + 1]);
+      const int lo = from_hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+HttpRequest parse_request_line(std::string_view line) {
+  HttpRequest req;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return req;  // empty method signals a malformed request
+  }
+  req.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  req.path = url_decode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        req.query[url_decode(pair.substr(0, eq))] =
+            eq == std::string_view::npos ? std::string()
+                                         : url_decode(pair.substr(eq + 1));
+      }
+      if (amp == std::string_view::npos) break;
+      qs.remove_prefix(amp + 1);
+    }
+  }
+  return req;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // client gone or timeout; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  PARM_CHECK(!running(), "HttpServer: handlers must be registered before start()");
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+std::uint16_t HttpServer::start(std::uint16_t port) {
+  PARM_CHECK(!running(), "HttpServer: already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PARM_CHECK(fd >= 0, "HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PARM_CHECK(false, std::string("HttpServer: cannot bind 127.0.0.1:") +
+                          std::to_string(port) + ": " + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running()) return;
+  // shutdown() unblocks the accept() in the server thread with an error;
+  // the loop then observes the failure and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::serve_loop() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down (stop()) or unrecoverable
+    }
+    timeval tv{};
+    tv.tv_sec = kIoTimeoutSec;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the request head (we never accept bodies).
+  std::string head;
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return;  // malformed or client gone
+
+  const HttpRequest req = parse_request_line(head.substr(0, line_end));
+  HttpResponse res;
+  if (req.method.empty()) {
+    res.status = 400;
+    res.body = "malformed request\n";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    res.status = 405;
+    res.body = "only GET is supported\n";
+  } else {
+    const auto it = handlers_.find(req.path);
+    if (it == handlers_.end()) {
+      res.status = 404;
+      res.body = "no such endpoint: " + req.path + "\n";
+    } else {
+      try {
+        res = it->second(req);
+      } catch (const std::exception& e) {
+        res = HttpResponse{};
+        res.status = 500;
+        res.body = std::string("handler error: ") + e.what() + "\n";
+      } catch (...) {
+        res = HttpResponse{};
+        res.status = 500;
+        res.body = "handler error\n";
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << res.status << ' ' << status_text(res.status)
+      << "\r\nContent-Type: " << res.content_type
+      << "\r\nContent-Length: " << res.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  if (req.method != "HEAD") out << res.body;
+  send_all(fd, out.str());
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void register_endpoints(HttpServer& server, EndpointHooks hooks) {
+  const auto text = [](std::string body) {
+    HttpResponse res;
+    res.body = std::move(body);
+    return res;
+  };
+
+  std::string index = "parm observability endpoints:\n";
+  const auto add = [&](const char* path, const char* desc) {
+    index += std::string("  ") + path + "  " + desc + "\n";
+  };
+
+  if (hooks.metrics) {
+    add("/metrics", "Prometheus text exposition");
+    server.handle("/metrics", [fn = hooks.metrics](const HttpRequest&) {
+      std::ostringstream os;
+      fn(os);
+      HttpResponse res;
+      res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.health) {
+    add("/healthz", "health verdict (503 when CRIT)");
+    server.handle("/healthz", [fn = hooks.health](const HttpRequest&) {
+      const HealthReport report = fn();
+      std::ostringstream os;
+      write_health_report(os, report);
+      HttpResponse res;
+      res.status = report.critical() ? 503 : 200;
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.slo) {
+    add("/slo", "rolling SLO burn-rate report (JSON)");
+    server.handle("/slo", [fn = hooks.slo](const HttpRequest&) {
+      std::ostringstream os;
+      write_slo_json(os, fn());
+      HttpResponse res;
+      res.content_type = "application/json";
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.events) {
+    add("/eventz", "flight-recorder tail (JSONL, ?limit=N)");
+    server.handle("/eventz", [fn = hooks.events](const HttpRequest& req) {
+      std::size_t limit = 0;
+      const std::string raw = req.param("limit", "0");
+      try {
+        limit = static_cast<std::size_t>(std::stoull(raw));
+      } catch (...) {
+        return HttpResponse{400, "text/plain; charset=utf-8",
+                            "bad limit: " + raw + "\n"};
+      }
+      std::ostringstream os;
+      fn(os, limit);
+      HttpResponse res;
+      res.content_type = "application/x-ndjson";
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.series) {
+    add("/seriesz", "time-series export (?name=S&level=L; no name lists)");
+    server.handle("/seriesz", [fn = hooks.series](const HttpRequest& req) {
+      int level = -1;
+      const std::string raw = req.param("level", "-1");
+      try {
+        level = std::stoi(raw);
+      } catch (...) {
+        return HttpResponse{400, "text/plain; charset=utf-8",
+                            "bad level: " + raw + "\n"};
+      }
+      std::ostringstream os;
+      fn(os, req.param("name"), level);
+      HttpResponse res;
+      res.content_type = "application/json";
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.varz) {
+    add("/varz", "resolved config + build info (JSON)");
+    server.handle("/varz", [fn = hooks.varz](const HttpRequest&) {
+      std::ostringstream os;
+      fn(os);
+      HttpResponse res;
+      res.content_type = "application/json";
+      res.body = os.str();
+      return res;
+    });
+  }
+  if (hooks.profile) {
+    add("/profilez", "per-phase wall-clock profile + pool stats (JSON)");
+    server.handle("/profilez", [fn = hooks.profile](const HttpRequest&) {
+      std::ostringstream os;
+      fn(os);
+      HttpResponse res;
+      res.content_type = "application/json";
+      res.body = os.str();
+      return res;
+    });
+  }
+  server.handle("/", [text, index](const HttpRequest&) { return text(index); });
+  server.handle("/index", [text, index](const HttpRequest&) { return text(index); });
+}
+
+}  // namespace parm::obs

@@ -1,0 +1,134 @@
+// Embedded HTTP/1.1 observability server: the live scrape surface of the
+// obs stack.
+//
+// Everything else in src/obs exports on demand to an ostream; this
+// server is the transport that lets an operator (or CI, or Prometheus)
+// pull those exports from a *running* simulation. It is deliberately
+// minimal and dependency-free: one dedicated thread runs a blocking
+// accept loop on a loopback-only listening socket; each connection is
+// served to completion before the next is accepted (scrapes are
+// millisecond-scale, and a single-tenant telemetry port has no reason to
+// multiplex); per-request work is bounded by socket send/receive
+// timeouts, a request-size cap, and Connection: close semantics.
+// stop() shuts the listening socket down, which unblocks accept() and
+// joins the thread — no polling, no self-pipe.
+//
+// Thread-safety contract with the engine: handlers run on the server
+// thread while the simulation runs on the caller's thread. Handlers that
+// touch non-thread-safe engine state (TimeSeriesStore, SloEngine,
+// SimConfig) must synchronize externally — the runners do this by
+// locking SystemSimulator::obs_mutex(), which the epoch loop holds for
+// the duration of each epoch, so scrapes land on epoch boundaries.
+// Handlers that only touch thread-safe obs structures (Registry,
+// FlightRecorder, ThreadPool::stats) need nothing extra.
+//
+// Observe-only contract: the server reads engine state and writes
+// sockets; it never mutates simulation state, so serving under active
+// scraping is bit-identity safe (pinned by tests/obs_server_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace parm::obs {
+
+struct HealthReport;
+struct SloReport;
+
+/// Parsed request: method, decoded path, decoded query parameters.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  /// The query parameter if present, `fallback` otherwise.
+  std::string param(const std::string& key, const std::string& fallback = "") const {
+    const auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Loopback-only HTTP/1.1 server with a fixed handler table.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path. Must be called before
+  /// start(); the table is immutable while the server runs (which is
+  /// what lets the accept thread read it without a lock).
+  void handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+  /// accept thread, and returns the bound port. Throws CheckError when
+  /// the socket cannot be created or bound, or if already running.
+  std::uint16_t start(std::uint16_t port);
+
+  /// Graceful shutdown: unblocks the accept loop and joins the thread.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  /// Requests served to completion so far (relaxed; tests poll this).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+/// The standard observability endpoints, as closures so every runner
+/// (single chip, fleet rollup, oversubscribed demo) can bind the same
+/// URL surface to its own data sources. Null hooks leave their endpoint
+/// unregistered (404). Each hook is responsible for its own locking —
+/// see the threading note in the header block.
+struct EndpointHooks {
+  /// GET /metrics — Prometheus text exposition (text/plain; version=0.0.4).
+  std::function<void(std::ostream&)> metrics;
+  /// GET /healthz — full report; HTTP 200 when OK/WARN, 503 when CRIT.
+  std::function<HealthReport()> health;
+  /// GET /slo — rolling SLO report as JSON.
+  std::function<SloReport()> slo;
+  /// GET /eventz?limit=N — flight-recorder tail, newest-`limit` events
+  /// as JSONL (limit 0 = everything retained).
+  std::function<void(std::ostream&, std::size_t limit)> events;
+  /// GET /seriesz?name=S&level=L — time-series export. Empty `name`
+  /// lists series names as JSON; `level` < 0 means all levels (JSONL).
+  std::function<void(std::ostream&, const std::string& name, int level)>
+      series;
+  /// GET /varz — resolved SimConfig + build info, JSON.
+  std::function<void(std::ostream&)> varz;
+  /// GET /profilez — per-phase wall-clock histograms + thread-pool
+  /// utilization, JSON.
+  std::function<void(std::ostream&)> profile;
+};
+
+/// Registers every non-null hook plus an index page at "/".
+void register_endpoints(HttpServer& server, EndpointHooks hooks);
+
+}  // namespace parm::obs

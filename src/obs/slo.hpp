@@ -1,0 +1,188 @@
+// Rolling SLO engine: multi-window burn-rate tracking over the engine's
+// per-epoch rates, the runtime counterpart to the offline statistical
+// verdicts (campaign properties) the repo already computes.
+//
+// An SLO gives each objective an error budget; the *burn rate* is how
+// fast a window of recent epochs is spending it (burn 1.0 = exactly on
+// budget, 2.0 = spending twice as fast as allowed). Following the
+// multi-window alerting recipe from SRE practice, every objective is
+// evaluated over a short window (fast detection, noisy) AND a long
+// window (slow, stable) and alerts only when BOTH burn above the
+// threshold — a one-epoch spike inside an otherwise healthy hour stays
+// quiet, while a sustained burn trips within `short_window` epochs.
+//
+// Objectives tracked:
+//   ve_rate        — voltage emergencies per epoch vs. the allowed rate
+//   deadline_miss  — deadline misses per completed app vs. the allowed
+//                    rate (no data until the window completes an app)
+//   delivery       — NoC flit loss (1 − delivered/injected) vs. the loss
+//                    budget (1 − delivery_ratio_slo)
+//   time_to_admit  — windowed p99 arrival→admit latency vs. the target
+//
+// The engine is fed from serial engine code only: observe_epoch() reads
+// cumulative registry counters once per epoch and keeps per-epoch deltas
+// in fixed rings (O(long_window) memory); observe_admit() records
+// individual admission waits. Observe-only contract: the engine mutates
+// nothing outside itself, so enabling it is bit-identity safe (pinned by
+// tests/obs_server_test.cpp) and SimConfig::track_slo is excluded from
+// the snapshot fingerprint. Like the flight recorder, SLO state is NOT
+// snapshotted — a resumed run's windows refill within long_window
+// epochs.
+//
+// Fleet rollup: SloReport carries the raw window sums (numerators and
+// denominators), so merge_slo_reports() adds them across chips and
+// recomputes rates/burns instead of averaging averages; the admit p99 is
+// the max over chips (conservative).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace parm::obs {
+
+/// Targets and window shape. Validated by SloConfig::validate() (called
+/// from SimConfig::validate()).
+struct SloConfig {
+  std::size_t short_window_epochs = 5;
+  std::size_t long_window_epochs = 50;
+  /// Allowed voltage emergencies per epoch (the error budget rate).
+  double ve_rate_slo = 0.5;
+  /// Allowed deadline misses per completed app.
+  double deadline_miss_rate_slo = 0.25;
+  /// Minimum acceptable NoC delivery ratio; the loss budget is
+  /// 1 − delivery_ratio_slo.
+  double delivery_ratio_slo = 0.95;
+  /// Target p99 arrival→admit latency (seconds).
+  double admit_p99_slo_s = 0.5;
+  /// Burn-rate alert thresholds (both windows must burn at or above).
+  double burn_warn = 1.0;
+  double burn_crit = 2.0;
+
+  /// Throws CheckError when windows or targets are out of range.
+  void validate() const;
+};
+
+/// Raw sums over one trailing window of epochs. Rates are derived, never
+/// stored, so fleet merges can add windows from chips whose epochs are
+/// not aligned.
+struct SloWindow {
+  std::uint64_t epochs = 0;
+  std::uint64_t ves = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t apps_completed = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t admits = 0;
+  double admit_p99_s = 0.0;  ///< windowed percentile (max on merge)
+
+  double ve_rate() const {
+    return epochs != 0 ? static_cast<double>(ves) / static_cast<double>(epochs)
+                       : 0.0;
+  }
+  double deadline_miss_rate() const {
+    return apps_completed != 0 ? static_cast<double>(deadline_misses) /
+                                     static_cast<double>(apps_completed)
+                               : 0.0;
+  }
+  double delivery_ratio() const {
+    return flits_injected != 0 ? static_cast<double>(flits_delivered) /
+                                     static_cast<double>(flits_injected)
+                               : 1.0;
+  }
+};
+
+/// One objective's verdict: burn rates in both windows and the
+/// multi-window alert status. A window without data (no completed apps,
+/// no NoC flits, no admits) reports burn 0 and can therefore never
+/// alert by itself.
+struct SloObjective {
+  std::string name;
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  HealthStatus status = HealthStatus::kOk;
+  std::string reason;
+};
+
+struct SloReport {
+  SloConfig config;
+  SloWindow short_window;
+  SloWindow long_window;
+  std::vector<SloObjective> objectives;
+  HealthStatus status = HealthStatus::kOk;  ///< worst objective
+};
+
+/// Recomputes report.objectives/status from its windows and config (the
+/// last step of SloEngine::report() and merge_slo_reports()).
+void evaluate_slo_objectives(SloReport& report);
+
+/// Fleet rollup: sums the raw windows across reports (max for admit
+/// p99), keeps the first report's config, and re-evaluates. Empty input
+/// yields a default (all-OK, no-data) report.
+SloReport merge_slo_reports(const std::vector<SloReport>& reports);
+
+/// {"status":"OK","short_window":{...},"long_window":{...},
+///  "objectives":[{"name":"ve_rate","short_burn":...,...},...]}
+void write_slo_json(std::ostream& os, const SloReport& report);
+
+class SloEngine {
+ public:
+  /// A disabled engine ignores both observe calls (one branch each).
+  explicit SloEngine(bool enabled = false, SloConfig config = {});
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  bool enabled() const { return enabled_; }
+  const SloConfig& config() const { return config_; }
+
+  /// Once per epoch, from serial engine code, after the telemetry phase:
+  /// reads the cumulative counters (sim.ves, sim.deadline_misses,
+  /// sim.apps_completed, noc.flits_injected/delivered) and stores this
+  /// epoch's deltas.
+  void observe_epoch(const Registry& registry);
+
+  /// One admitted app's arrival→admit wait, from the admission phase
+  /// (through EpochContext::slo).
+  void observe_admit(double wait_s);
+
+  /// Current windows + burn rates + alert verdicts. Cheap enough to call
+  /// per scrape (copies at most long_window ring entries).
+  SloReport report() const;
+
+ private:
+  struct EpochDelta {
+    std::uint32_t ves = 0;
+    std::uint32_t deadline_misses = 0;
+    std::uint32_t apps_completed = 0;
+    std::uint64_t flits_injected = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint32_t admits = 0;
+  };
+
+  SloWindow window(std::size_t epochs) const;
+
+  bool enabled_;
+  SloConfig config_;
+  /// Trailing per-epoch deltas, newest at the back; bounded at
+  /// long_window_epochs entries.
+  std::deque<EpochDelta> deltas_;
+  /// Admission waits of the epochs still inside the long window,
+  /// stamped with the engine's epoch ordinal at observation time.
+  std::deque<std::pair<std::uint64_t, double>> admit_waits_;
+  std::uint64_t epochs_seen_ = 0;
+  std::uint32_t admits_this_epoch_ = 0;
+  // Previous cumulative counter values (delta baseline).
+  std::uint64_t prev_ves_ = 0;
+  std::uint64_t prev_misses_ = 0;
+  std::uint64_t prev_completed_ = 0;
+  std::uint64_t prev_injected_ = 0;
+  std::uint64_t prev_delivered_ = 0;
+};
+
+}  // namespace parm::obs

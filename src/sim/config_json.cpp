@@ -1,0 +1,123 @@
+#include "sim/config_json.hpp"
+
+#include <ostream>
+
+#include "obs/build_info.hpp"
+#include "obs/json_util.hpp"
+
+namespace parm::sim {
+
+namespace {
+
+void key(std::ostream& os, const char* name) {
+  os << '"' << name << "\":";
+}
+
+void str(std::ostream& os, const char* name, std::string_view value) {
+  key(os, name);
+  obs::json_string(os, value);
+}
+
+}  // namespace
+
+void write_config_json(std::ostream& os, const SimConfig& cfg) {
+  const auto old_precision = os.precision(15);
+  const obs::BuildInfo& bi = obs::build_info();
+
+  os << "{\"build\":{";
+  str(os, "version", bi.version);
+  os << ',';
+  str(os, "compiler", bi.compiler);
+  os << ',';
+  str(os, "build_type", bi.build_type);
+  os << "},\"platform\":{";
+  key(os, "mesh_width");
+  os << cfg.platform.mesh_width << ',';
+  key(os, "mesh_height");
+  os << cfg.platform.mesh_height << ',';
+  str(os, "topology", cfg.platform.topology);
+  os << ',';
+  key(os, "technology_nm");
+  os << cfg.platform.technology_nm << ',';
+  key(os, "vdd_levels");
+  os << '[';
+  for (std::size_t i = 0; i < cfg.platform.vdd_levels.size(); ++i) {
+    if (i != 0) os << ',';
+    os << cfg.platform.vdd_levels[i];
+  }
+  os << "],";
+  key(os, "dark_silicon_budget_w");
+  os << cfg.platform.dark_silicon_budget_w << ',';
+  key(os, "ve_threshold_percent");
+  os << cfg.platform.ve_threshold_percent;
+  os << "},\"framework\":{";
+  str(os, "mapping", cfg.framework.mapping);
+  os << ',';
+  str(os, "routing", cfg.framework.routing);
+  os << ',';
+  str(os, "display_name", cfg.framework.display_name());
+  os << ',';
+  key(os, "panr_threshold");
+  os << cfg.framework.panr_threshold;
+  os << "},\"engine\":{";
+  key(os, "epoch_s");
+  os << cfg.epoch_s << ',';
+  key(os, "noc_every_epochs");
+  os << cfg.noc_every_epochs << ',';
+  key(os, "max_sim_time_s");
+  os << cfg.max_sim_time_s << ',';
+  key(os, "seed");
+  os << cfg.seed << ',';
+  key(os, "parallel_psn");
+  os << (cfg.parallel_psn ? "true" : "false") << ',';
+  key(os, "parallel_noc");
+  os << (cfg.parallel_noc ? "true" : "false") << ',';
+  key(os, "noc_shards");
+  os << cfg.noc_shards << ',';
+  key(os, "proactive_throttle");
+  os << (cfg.proactive_throttle ? "true" : "false") << ',';
+  key(os, "enable_migration");
+  os << (cfg.enable_migration ? "true" : "false") << ',';
+  key(os, "faults_enabled");
+  os << (cfg.faults.enabled ? "true" : "false");
+  os << "},\"observability\":{";
+  key(os, "record_telemetry");
+  os << (cfg.record_telemetry ? "true" : "false") << ',';
+  key(os, "record_events");
+  os << (cfg.record_events ? "true" : "false") << ',';
+  key(os, "events_capacity");
+  os << cfg.events_capacity << ',';
+  key(os, "record_timeseries");
+  os << (cfg.record_timeseries ? "true" : "false") << ',';
+  key(os, "timeseries_capacity");
+  os << cfg.timeseries_capacity << ',';
+  key(os, "timeseries_levels");
+  os << cfg.timeseries_levels << ',';
+  key(os, "timeseries_downsample");
+  os << cfg.timeseries_downsample << ',';
+  key(os, "profile_phases");
+  os << (cfg.profile_phases ? "true" : "false") << ',';
+  key(os, "track_slo");
+  os << (cfg.track_slo ? "true" : "false");
+  os << "},\"slo\":{";
+  key(os, "short_window_epochs");
+  os << cfg.slo.short_window_epochs << ',';
+  key(os, "long_window_epochs");
+  os << cfg.slo.long_window_epochs << ',';
+  key(os, "ve_rate_slo");
+  os << cfg.slo.ve_rate_slo << ',';
+  key(os, "deadline_miss_rate_slo");
+  os << cfg.slo.deadline_miss_rate_slo << ',';
+  key(os, "delivery_ratio_slo");
+  os << cfg.slo.delivery_ratio_slo << ',';
+  key(os, "admit_p99_slo_s");
+  os << cfg.slo.admit_p99_slo_s << ',';
+  key(os, "burn_warn");
+  os << cfg.slo.burn_warn << ',';
+  key(os, "burn_crit");
+  os << cfg.slo.burn_crit;
+  os << "}}";
+  os.precision(old_precision);
+}
+
+}  // namespace parm::sim

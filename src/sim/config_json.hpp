@@ -1,0 +1,22 @@
+// JSON export of a resolved SimConfig — the /varz document.
+//
+// Lives in sim (not obs) because obs cannot depend on the engine's
+// config types; the obs HTTP server only sees an opaque write closure.
+// The export is a faithful dump of the *resolved* configuration the
+// engine actually runs with (after SimConfig preparation), plus build
+// identity, so a scrape answers "what exactly is this process running?"
+// without access to its command line.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/sim_config.hpp"
+
+namespace parm::sim {
+
+/// {"build":{"version":...,"compiler":...,"build_type":...},
+///  "platform":{...},"framework":{...},"engine":{...},"observability":
+///  {...},"slo":{...}}
+void write_config_json(std::ostream& os, const SimConfig& cfg);
+
+}  // namespace parm::sim

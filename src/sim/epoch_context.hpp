@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/sim_config.hpp"
 
@@ -66,6 +67,7 @@ struct EpochContext {
   obs::Registry* metrics = nullptr;  ///< this simulator's registry
   obs::FlightRecorder* recorder = nullptr;  ///< this simulator's recorder
   obs::TimeSeriesStore* timeseries = nullptr;  ///< this simulator's store
+  obs::SloEngine* slo = nullptr;  ///< this simulator's SLO engine
   Rng* rng = nullptr;
   const std::vector<appmodel::AppArrival>* arrivals = nullptr;
 

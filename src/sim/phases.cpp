@@ -44,7 +44,10 @@ AdmissionPhase::AdmissionPhase(const core::FrameworkConfig& framework,
       queue_(queue_max_stalls, registry),
       completed_(&obs::resolve(registry).counter("sim.apps_completed")),
       deadline_misses_(
-          &obs::resolve(registry).counter("sim.deadline_misses")) {}
+          &obs::resolve(registry).counter("sim.deadline_misses")),
+      admit_wait_s_(&obs::resolve(registry).histogram(
+          "admission.time_to_admit_s",
+          obs::Histogram::exponential_bounds(1e-3, 2.0, 18))) {}
 
 void AdmissionPhase::commit(EpochContext& ctx,
                             const core::ServiceQueue::Admitted& adm,
@@ -88,6 +91,12 @@ void AdmissionPhase::commit(EpochContext& ctx,
   out.admit_s = now;
   out.vdd = adm.decision.vdd;
   out.dop = adm.decision.dop;
+
+  // Time-to-admit: histogram for exposition, SLO engine for the rolling
+  // p99 objective. Both observe-only.
+  const double wait_s = std::max(0.0, now - out.arrival_s);
+  admit_wait_s_->observe(wait_s);
+  if (ctx.slo != nullptr) ctx.slo->observe_admit(wait_s);
 
   obs::Tracer::instance().instant(
       "sim", "app.admit",

@@ -78,6 +78,10 @@ class AdmissionPhase {
   cmp::AppInstanceId next_instance_ = 1;
   obs::Counter* completed_;         ///< sim.apps_completed
   obs::Counter* deadline_misses_;   ///< sim.deadline_misses
+  /// admission.time_to_admit_s — arrival→commit wait of every admitted
+  /// app (the SLO engine's fourth objective reads the same waits through
+  /// EpochContext::slo).
+  obs::Histogram* admit_wait_s_;
 };
 
 /// Phase 2 — the cycle-accurate NoC window. Owns the network (routers,

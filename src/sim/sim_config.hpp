@@ -12,6 +12,7 @@
 #include "core/framework.hpp"
 #include "fault/fault_model.hpp"
 #include "noc/window_sim.hpp"
+#include "obs/slo.hpp"
 #include "pdn/psn_estimator.hpp"
 #include "sched/checkpoint.hpp"
 #include "sim/telemetry.hpp"
@@ -118,6 +119,25 @@ struct SimConfig {
   std::size_t timeseries_levels = 3;
   /// Aggregation fan-in between consecutive downsample levels.
   std::size_t timeseries_downsample = 8;
+
+  /// Time the six engine phases with the per-epoch self-profiler
+  /// (obs/phase_profiler.hpp): per-phase wall-clock histograms land in
+  /// the simulator's registry (profile.phase.*_us) and surface on
+  /// /profilez. Observe-only like record_events (pinned by
+  /// tests/obs_server_test.cpp) and excluded from the snapshot
+  /// fingerprint.
+  bool profile_phases = false;
+
+  /// Feed the rolling SLO engine (obs/slo.hpp): multi-window burn-rate
+  /// tracking over ve_rate, deadline-miss rate, NoC delivery ratio, and
+  /// time-to-admit p99, surfaced on /slo and foldable into the health
+  /// verdict. Observe-only like record_events (pinned by
+  /// tests/obs_server_test.cpp), excluded from the snapshot fingerprint,
+  /// and — like the flight recorder — not snapshotted: a resumed run's
+  /// windows refill within slo.long_window_epochs.
+  bool track_slo = false;
+  /// Window shape and objective targets of the SLO engine.
+  obs::SloConfig slo;
 
   /// Forced voltage emergencies for failure-injection testing: the task
   /// running on `tile` during the epoch containing `time_s` rolls back

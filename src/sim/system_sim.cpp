@@ -88,6 +88,7 @@ void SimConfig::validate() const {
              "SimConfig: noc_congestion_delivery_ratio must be in (0, 1]");
   PARM_CHECK(noc_shards >= 0 && noc_shards <= 256,
              "SimConfig: noc_shards must be in [0, 256] (0 = auto)");
+  slo.validate();
   PARM_CHECK(std::is_sorted(fault_injections.begin(), fault_injections.end(),
                             [](const auto& a, const auto& b) {
                               return a.time_s < b.time_s;
@@ -106,6 +107,8 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
                                         cfg_.timeseries_levels,
                                         cfg_.timeseries_downsample},
                   &metrics_),
+      profiler_(cfg_.profile_phases, &metrics_),
+      slo_(cfg_.track_slo, cfg_.slo),
       platform_(cfg_.platform),
       arrivals_(std::move(arrivals)),
       rng_(cfg_.seed),
@@ -129,6 +132,7 @@ SystemSimulator::SystemSimulator(SimConfig cfg,
   ctx_.timeseries = &timeseries_;
   ctx_.rng = &rng_;
   ctx_.arrivals = &arrivals_;
+  ctx_.slo = &slo_;
   const std::size_t n = static_cast<std::size_t>(platform_.tile_count());
   ctx_.router_activity.assign(n, 0.0);
   ctx_.tile_psn_peak.assign(n, 0.0);
@@ -186,6 +190,11 @@ std::uint64_t SystemSimulator::config_fingerprint() const {
   // same reason; a restored store adopts the snapshot's shape (see
   // obs::TimeSeriesStore::restore), so even shape changes resume
   // cleanly.
+  // profile_phases, track_slo, and the slo targets are excluded for the
+  // same reason again: the self-profiler and SLO engine are observe-only
+  // (pinned by tests/obs_server_test.cpp), so a snapshot taken without
+  // them may be resumed with them on — their histories simply start at
+  // the resume point.
   mix_f64(h, cfg_.max_sim_time_s);
   mix_f64(h, cfg_.ve_probability_slope);
   mix_f64(h, cfg_.ve_probability_cap);
@@ -516,23 +525,54 @@ SimResult SystemSimulator::run() {
 
   SimResult result;
   while (true) {
+    // Scrape barrier: the obs server's handlers lock this same mutex, so
+    // holding it across the epoch body lands every scrape of the
+    // non-thread-safe obs structures (time-series store, SLO engine) on
+    // an epoch boundary. A mutex cannot perturb simulation state, so the
+    // serve-while-running path stays bit-identical (pinned by
+    // tests/obs_server_test.cpp).
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
     obs::ScopedTrace epoch_trace("sim", "sim.epoch");
+    using ProfScope = obs::PhaseProfiler::Scope;
     // Topology faults fire first so admission, the NoC window, and the
     // power models all see this epoch's (possibly degraded) hardware.
     fault_.apply_topology(ctx_, noc_.network());
-    admission_.process_arrivals(ctx_);
-
-    if (ctx_.epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) ==
-        0) {
-      noc_.run(ctx_);
+    {
+      ProfScope ps(profiler_, obs::PhaseProfiler::kAdmission);
+      admission_.process_arrivals(ctx_);
     }
-    psn_.run(ctx_);
+    {
+      // The scope sits outside the reuse gate so skipped windows record
+      // as near-zero samples — the histogram then shows the true
+      // per-epoch cost including the noc_every_epochs amortization.
+      ProfScope ps(profiler_, obs::PhaseProfiler::kNoc);
+      if (ctx_.epoch % static_cast<std::uint64_t>(cfg_.noc_every_epochs) ==
+          0) {
+        noc_.run(ctx_);
+      }
+    }
+    {
+      ProfScope ps(profiler_, obs::PhaseProfiler::kPsn);
+      psn_.run(ctx_);
+    }
     // Observe-then-perturb: the PSN phase wrote the truth; the fault
     // phase derives what the sensors *report* before any consumer acts.
     fault_.perturb_sensors(ctx_, noc_.network());
-    emergency_.run(ctx_, ctx_.t);
-    if (cfg_.enable_migration) migration_.run(ctx_);
-    telemetry_.run(ctx_, admission_.queue_size());
+    {
+      ProfScope ps(profiler_, obs::PhaseProfiler::kEmergency);
+      emergency_.run(ctx_, ctx_.t);
+    }
+    {
+      // Outside the gate for the same reason as the NoC scope: a
+      // disabled migration phase still shows up (as ~0 µs samples).
+      ProfScope ps(profiler_, obs::PhaseProfiler::kMigration);
+      if (cfg_.enable_migration) migration_.run(ctx_);
+    }
+    {
+      ProfScope ps(profiler_, obs::PhaseProfiler::kTelemetry);
+      telemetry_.run(ctx_, admission_.queue_size());
+    }
+    profiler_.note_epoch();
 
     // Black-box read-out: on the first epoch that sees a voltage
     // emergency, dump everything the recorder retained leading up to it.
@@ -546,6 +586,9 @@ SimResult SystemSimulator::run() {
     ctx_.t += cfg_.epoch_s;
     ++ctx_.epoch;
     admission_.finish_and_readmit(ctx_, ctx_.t);
+    // After the exits and exit-triggered admissions so this epoch's SLO
+    // delta includes its own completions and admission waits.
+    slo_.observe_epoch(metrics_);
 
     const bool idle = admission_.next_arrival() == arrivals_.size() &&
                       admission_.queue_empty() && ctx_.running.empty();

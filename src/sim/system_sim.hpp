@@ -31,6 +31,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,8 @@
 #include "common/rng.hpp"
 #include "fault/fault_phase.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/slo.hpp"
 #include "sim/epoch_context.hpp"
 #include "sim/phases.hpp"
 #include "sim/sim_config.hpp"
@@ -76,6 +79,22 @@ class SystemSimulator {
   /// part of the snapshot, so a resumed run keeps its droop history.
   obs::TimeSeriesStore& timeseries() { return timeseries_; }
   const obs::TimeSeriesStore& timeseries() const { return timeseries_; }
+
+  /// This simulator's per-phase self-profiler (inert unless
+  /// SimConfig::profile_phases; its histograms live in metrics()).
+  const obs::PhaseProfiler& profiler() const { return profiler_; }
+
+  /// This simulator's rolling SLO engine (inert unless
+  /// SimConfig::track_slo). Not thread-safe — scrape under obs_mutex().
+  const obs::SloEngine& slo() const { return slo_; }
+
+  /// Scrape barrier for live observers: run() holds this mutex for the
+  /// duration of every epoch body, so an observer thread (the obs HTTP
+  /// server's handlers) that locks it reads the non-thread-safe obs
+  /// structures (timeseries(), slo(), the config) only on epoch
+  /// boundaries. Pure synchronization — locking it cannot perturb the
+  /// simulation (pinned by tests/obs_server_test.cpp).
+  std::mutex& obs_mutex() const { return obs_mu_; }
 
   // --- Snapshot / resume ---
   /// During run(), write `dir`/epoch_<N>.parmsnap after every
@@ -126,6 +145,13 @@ class SystemSimulator {
   /// for the same self-metrics reason as the recorder; snapshotted,
   /// unlike the recorder (section "TSDB" at the end of save_state).
   obs::TimeSeriesStore timeseries_;
+  /// Per-phase wall-clock self-profiler; histograms live in metrics_,
+  /// hence declared after it. Inert unless cfg_.profile_phases.
+  obs::PhaseProfiler profiler_;
+  /// Rolling SLO engine, fed once per epoch from metrics_ (and per
+  /// admission through ctx_.slo). Inert unless cfg_.track_slo; like the
+  /// recorder its state is not snapshotted.
+  obs::SloEngine slo_;
   cmp::Platform platform_;
   std::vector<appmodel::AppArrival> arrivals_;
   Rng rng_;
@@ -147,6 +173,8 @@ class SystemSimulator {
   std::string snapshot_dir_;
   /// First-VE event dump latch (SimConfig::events_dump_on_ve).
   bool ve_dump_done_ = false;
+  /// See obs_mutex().
+  mutable std::mutex obs_mu_;
 };
 
 }  // namespace parm::sim

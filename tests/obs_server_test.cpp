@@ -1,0 +1,403 @@
+// Embedded HTTP observability server tests: transport behavior (raw
+// POSIX-socket client, no HTTP library), endpoint content against a real
+// simulator, and the observe-only contract — a run with the full
+// self-observation stack enabled (profiler, SLO engine, recorder,
+// time-series capture) and a live server under active scraping must be
+// bit-identical to a bare run, straight and across snapshot/resume.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/experiments.hpp"
+#include "obs/blackbox.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/server.hpp"
+#include "obs/slo.hpp"
+#include "sim/config_json.hpp"
+#include "sim/system_sim.hpp"
+#include "sim_result_compare.hpp"
+
+namespace parm::obs {
+namespace {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` — raw sockets, so
+/// the tests exercise the server's real wire behavior.
+HttpResult http_get(std::uint16_t port, const std::string& target) {
+  HttpResult out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+  if (raw.compare(0, 9, "HTTP/1.1 ") == 0 && raw.size() > 12) {
+    out.status = std::atoi(raw.c_str() + 9);
+  }
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) out.body = raw.substr(split + 4);
+  return out;
+}
+
+appmodel::SequenceConfig small_sequence(std::uint64_t seed) {
+  appmodel::SequenceConfig cfg;
+  cfg.kind = appmodel::SequenceKind::Mixed;
+  cfg.app_count = 4;
+  cfg.inter_arrival_s = 0.05;
+  cfg.seed = seed;
+  return cfg;
+}
+
+sim::SimConfig engine_cfg() {
+  sim::SimConfig cfg = exp::default_sim_config();
+  cfg.framework.mapping = "PARM";
+  cfg.framework.routing = "PANR";
+  cfg.record_telemetry = true;
+  return cfg;
+}
+
+/// engine_cfg() with the whole self-observation stack on — what --serve
+/// implies in the runners.
+sim::SimConfig observed_cfg() {
+  sim::SimConfig cfg = engine_cfg();
+  cfg.profile_phases = true;
+  cfg.track_slo = true;
+  cfg.record_events = true;
+  cfg.record_timeseries = true;
+  return cfg;
+}
+
+/// The runners' endpoint wiring (examples/serve_util.hpp), rebuilt here
+/// because tests do not include example sources: same hooks, same
+/// locking discipline.
+EndpointHooks hooks_for(sim::SystemSimulator& sim, const sim::SimConfig& cfg) {
+  EndpointHooks hooks;
+  hooks.metrics = [&sim](std::ostream& os) {
+    sim.metrics().write_prometheus(os);
+  };
+  hooks.health = [&sim]() {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    return HealthMonitor().evaluate(sim.metrics(), sim.slo().report());
+  };
+  hooks.slo = [&sim]() {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    return sim.slo().report();
+  };
+  hooks.events = [&sim](std::ostream& os, std::size_t limit) {
+    const std::vector<Event> events = sim.recorder().collect();
+    const std::size_t first =
+        (limit == 0 || limit >= events.size()) ? 0 : events.size() - limit;
+    for (std::size_t i = first; i < events.size(); ++i) {
+      write_event_json(os, events[i]);
+      os << '\n';
+    }
+  };
+  hooks.series = [&sim](std::ostream& os, const std::string& name,
+                        int level) {
+    std::lock_guard<std::mutex> lock(sim.obs_mutex());
+    if (name.empty()) {
+      os << "{\"series\":[";
+      const auto names = sim.timeseries().series_names();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        os << (i != 0 ? "," : "") << '"' << names[i] << '"';
+      }
+      os << "]}";
+      return;
+    }
+    sim.timeseries().dump_jsonl(os);
+    (void)level;
+  };
+  hooks.varz = [&cfg](std::ostream& os) { sim::write_config_json(os, cfg); };
+  hooks.profile = [&sim](std::ostream& os) {
+    write_profile_json(os, sim.metrics(), ThreadPool::shared().stats());
+  };
+  return hooks;
+}
+
+/// Extracts the integer following `marker` in `json` (crude but enough
+/// for the fixed formats under test). -1 when the marker is absent.
+long long int_after(const std::string& json, const std::string& marker) {
+  const std::size_t pos = json.find(marker);
+  if (pos == std::string::npos) return -1;
+  return std::stoll(json.substr(pos + marker.size()));
+}
+
+TEST(HttpServer, ServesRegisteredPathsAndRejectsTheRest) {
+  HttpServer server;
+  server.handle("/hello", [](const HttpRequest&) {
+    HttpResponse res;
+    res.body = "world";
+    return res;
+  });
+  server.handle("/echo", [](const HttpRequest& req) {
+    HttpResponse res;
+    res.body = req.param("q", "<missing>");
+    return res;
+  });
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  const std::uint16_t port = server.start(0);  // ephemeral
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+
+  HttpResult r = http_get(port, "/hello");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "world");
+
+  // Query parameters are percent-decoded; missing ones hit the fallback.
+  r = http_get(port, "/echo?q=hello%20world&x=1");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "hello world");
+  r = http_get(port, "/echo");
+  EXPECT_EQ(r.body, "<missing>");
+
+  r = http_get(port, "/nope");
+  EXPECT_EQ(r.status, 404);
+
+  // A throwing handler becomes a 500, never a dead server.
+  r = http_get(port, "/boom");
+  EXPECT_EQ(r.status, 500);
+  EXPECT_NE(r.body.find("kaboom"), std::string::npos);
+  EXPECT_EQ(http_get(port, "/hello").status, 200);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(HttpServer, HealthzMapsCritTo503) {
+  HttpServer server;
+  EndpointHooks hooks;
+  std::atomic<bool> crit{false};
+  hooks.health = [&crit]() {
+    HealthReport report;
+    if (crit.load()) {
+      report.status = HealthStatus::kCrit;
+      report.checks.push_back(
+          {"synthetic", HealthStatus::kCrit, 1.0, "forced"});
+    }
+    return report;
+  };
+  register_endpoints(server, std::move(hooks));
+  const std::uint16_t port = server.start(0);
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  crit.store(true);
+  EXPECT_EQ(http_get(port, "/healthz").status, 503);
+  // The index page lists the wired endpoint.
+  const HttpResult index = http_get(port, "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/healthz"), std::string::npos);
+}
+
+TEST(ObsEndpoints, ServeACompletedSimulation) {
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  const sim::SimConfig cfg = observed_cfg();
+  sim::SystemSimulator sim(cfg, seq);
+  (void)sim.run();
+
+  HttpServer server;
+  register_endpoints(server, hooks_for(sim, cfg));
+  const std::uint16_t port = server.start(0);
+
+  // /metrics: Prometheus exposition with the build-identity gauge.
+  HttpResult r = http_get(port, "/metrics");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("parm_build_info{"), std::string::npos);
+  EXPECT_NE(r.body.find("parm_sim_epochs_total"), std::string::npos);
+
+  // /slo: all four objectives.
+  r = http_get(port, "/slo");
+  ASSERT_EQ(r.status, 200);
+  for (const char* name : {"ve_rate", "deadline_miss_rate",
+                           "delivery_ratio", "time_to_admit_p99"}) {
+    EXPECT_NE(r.body.find(name), std::string::npos) << name;
+  }
+
+  // /varz: resolved config + build identity.
+  r = http_get(port, "/varz");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"build\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"version\""), std::string::npos);
+
+  // /profilez: all six phases, each with nonzero samples (the acceptance
+  // bar for the self-profiler wiring).
+  r = http_get(port, "/profilez");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_GT(int_after(r.body, "\"epochs\":"), 0);
+  for (const char* phase : {"admission", "noc", "psn", "emergency",
+                            "migration", "telemetry"}) {
+    const std::string marker =
+        std::string("\"phase\":\"") + phase + "\",\"count\":";
+    EXPECT_GT(int_after(r.body, marker), 0) << phase;
+  }
+
+  // /eventz round-trips through the blackbox loader: every served line
+  // parses, and the loaded events are exactly the recorder's.
+  r = http_get(port, "/eventz");
+  ASSERT_EQ(r.status, 200);
+  std::istringstream served(r.body);
+  BlackboxLoadStats stats;
+  std::vector<Event> loaded = load_events_jsonl(served, &stats);
+  EXPECT_EQ(stats.skipped, 0u);
+  const std::vector<Event> recorded = sim.recorder().collect();
+  ASSERT_GT(recorded.size(), 0u);
+  ASSERT_EQ(loaded.size(), recorded.size());
+  std::sort(loaded.begin(), loaded.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_EQ(loaded[i].seq, recorded[i].seq);
+    EXPECT_EQ(loaded[i].type, recorded[i].type);
+    EXPECT_EQ(loaded[i].app, recorded[i].app);
+    EXPECT_EQ(loaded[i].chip, recorded[i].chip);
+    EXPECT_NEAR(loaded[i].t, recorded[i].t, 1e-9);
+  }
+
+  // ?limit= keeps the newest N.
+  r = http_get(port, "/eventz?limit=3");
+  ASSERT_EQ(r.status, 200);
+  std::size_t lines = 0;
+  for (char c : r.body) lines += c == '\n';
+  EXPECT_EQ(lines, std::min<std::size_t>(3, recorded.size()));
+  r = http_get(port, "/eventz?limit=bogus");
+  EXPECT_EQ(r.status, 400);
+
+  // /seriesz: the listing names the captured waveforms.
+  r = http_get(port, "/seriesz");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"series\""), std::string::npos);
+  EXPECT_NE(r.body.find("psn.chip.peak_percent"), std::string::npos);
+}
+
+/// Runs `cfg` with a live server and a scraper thread hammering every
+/// endpoint for the whole run.
+sim::SimResult run_under_scrape(const sim::SimConfig& cfg,
+                                const std::vector<appmodel::AppArrival>& seq) {
+  sim::SystemSimulator sim(cfg, seq);
+  HttpServer server;
+  register_endpoints(server, hooks_for(sim, cfg));
+  const std::uint16_t port = server.start(0);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    const char* paths[] = {"/metrics", "/healthz",  "/slo",    "/eventz",
+                           "/seriesz", "/profilez", "/varz"};
+    std::size_t i = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      if (http_get(port, paths[i % 7]).status != 0) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++i;
+    }
+  });
+  const sim::SimResult result = sim.run();
+  done.store(true);
+  scraper.join();
+  server.stop();
+  EXPECT_GT(scrapes.load(), 0u);  // the run really was scraped mid-flight
+  return result;
+}
+
+TEST(ObserveOnly, ServingUnderActiveScrapingIsBitIdentical) {
+  // The tentpole contract: --serve (profiler + SLO + recorder +
+  // time-series + HTTP server, scraped concurrently) must not perturb
+  // the simulation by a single bit.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  sim::SystemSimulator bare(engine_cfg(), seq);
+  const sim::SimResult r_bare = bare.run();
+  const sim::SimResult r_served = run_under_scrape(observed_cfg(), seq);
+  sim::expect_identical(r_bare, r_served);
+}
+
+TEST(ObserveOnly, SnapshotResumeUnderScrapingIsBitIdentical) {
+  // Same contract across the snapshot boundary: a snapshot taken by a
+  // bare run must resume — with the full observation stack on and a
+  // scraper attached — into the same bits as the uninterrupted bare run.
+  const auto seq = appmodel::make_sequence(small_sequence(42));
+  sim::SystemSimulator straight(engine_cfg(), seq);
+  const sim::SimResult r_straight = straight.run();
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "parm_obs_server_test";
+  std::filesystem::create_directories(dir);
+  sim::SystemSimulator first(engine_cfg(), seq);
+  first.enable_periodic_snapshots(40, dir.string());
+  (void)first.run();
+  const auto snap = dir / "epoch_40.parmsnap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  const sim::SimConfig cfg = observed_cfg();
+  sim::SystemSimulator resumed(cfg, seq);
+  resumed.restore_snapshot(snap.string());
+  EXPECT_EQ(resumed.epoch(), 40u);
+
+  HttpServer server;
+  register_endpoints(server, hooks_for(resumed, cfg));
+  const std::uint16_t port = server.start(0);
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      http_get(port, "/metrics");
+      http_get(port, "/slo");
+      http_get(port, "/profilez");
+    }
+  });
+  const sim::SimResult r_resumed = resumed.run();
+  done.store(true);
+  scraper.join();
+  server.stop();
+
+  sim::expect_identical(r_straight, r_resumed);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace parm::obs

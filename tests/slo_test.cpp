@@ -1,0 +1,354 @@
+// Rolling SLO engine + health-rule boundary tests.
+//
+// Pins the burn-rate math (windowed deltas over cumulative counters,
+// windowed admit p99, multi-window alert gating), the fleet merge
+// (raw sums added, never averaged averages), and the HealthMonitor rule
+// edges: the >= comparison means a value exactly at a threshold fires,
+// and an empty registry reports "no data" everywhere instead of
+// dividing by zero.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace parm::obs {
+namespace {
+
+/// Finds an objective by name; fails the test when absent.
+const SloObjective& objective(const SloReport& report,
+                              const std::string& name) {
+  for (const SloObjective& o : report.objectives) {
+    if (o.name == name) return o;
+  }
+  ADD_FAILURE() << "objective " << name << " missing from report";
+  static const SloObjective none;
+  return none;
+}
+
+/// Advances the engine one epoch after bumping the cumulative counters
+/// it reads.
+void step_epoch(SloEngine& engine, Registry& reg, std::uint64_t ves,
+                std::uint64_t misses, std::uint64_t completed,
+                std::uint64_t injected, std::uint64_t delivered) {
+  reg.counter("sim.ves").inc(ves);
+  reg.counter("sim.deadline_misses").inc(misses);
+  reg.counter("sim.apps_completed").inc(completed);
+  reg.counter("noc.flits_injected").inc(injected);
+  reg.counter("noc.flits_delivered").inc(delivered);
+  engine.observe_epoch(reg);
+}
+
+SloConfig tight_config() {
+  SloConfig cfg;
+  cfg.short_window_epochs = 2;
+  cfg.long_window_epochs = 5;
+  cfg.ve_rate_slo = 0.5;        // budget: one VE per two epochs
+  cfg.admit_p99_slo_s = 0.1;
+  return cfg;
+}
+
+TEST(SloWindow, DerivedRatesAndNoDataDefaults) {
+  SloWindow w;
+  EXPECT_DOUBLE_EQ(w.ve_rate(), 0.0);            // no epochs -> 0
+  EXPECT_DOUBLE_EQ(w.deadline_miss_rate(), 0.0); // no apps -> 0
+  EXPECT_DOUBLE_EQ(w.delivery_ratio(), 1.0);     // no flits -> perfect
+
+  w.epochs = 4;
+  w.ves = 2;
+  w.deadline_misses = 1;
+  w.apps_completed = 4;
+  w.flits_injected = 100;
+  w.flits_delivered = 95;
+  EXPECT_DOUBLE_EQ(w.ve_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(w.deadline_miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(w.delivery_ratio(), 0.95);
+}
+
+TEST(SloConfigValidate, RejectsOutOfRangeFields) {
+  EXPECT_NO_THROW(SloConfig{}.validate());
+
+  SloConfig inverted;
+  inverted.short_window_epochs = 10;
+  inverted.long_window_epochs = 10;  // long must exceed short
+  EXPECT_THROW(inverted.validate(), CheckError);
+
+  SloConfig zero_rate;
+  zero_rate.ve_rate_slo = 0.0;
+  EXPECT_THROW(zero_rate.validate(), CheckError);
+
+  SloConfig bad_delivery;
+  bad_delivery.delivery_ratio_slo = 1.0;  // loss budget would be zero
+  EXPECT_THROW(bad_delivery.validate(), CheckError);
+
+  SloConfig inverted_burn;
+  inverted_burn.burn_warn = 3.0;
+  inverted_burn.burn_crit = 2.0;
+  EXPECT_THROW(inverted_burn.validate(), CheckError);
+}
+
+TEST(SloEngine, DisabledEngineIsInert) {
+  Registry reg;
+  SloEngine engine(false);
+  step_epoch(engine, reg, 5, 1, 1, 10, 10);
+  engine.observe_admit(1.0);
+  const SloReport report = engine.report();
+  EXPECT_EQ(report.long_window.epochs, 0u);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+}
+
+TEST(SloEngine, WindowsHoldTrailingDeltasOfCumulativeCounters) {
+  Registry reg;
+  SloEngine engine(true, tight_config());
+  // Seven epochs; the long window (5) must retain only the last five,
+  // the short window (2) the last two — as deltas, not cumulative sums.
+  for (int e = 0; e < 7; ++e) {
+    step_epoch(engine, reg, /*ves=*/1, /*misses=*/0, /*completed=*/2,
+               /*injected=*/10, /*delivered=*/9);
+  }
+  const SloReport r = engine.report();
+  EXPECT_EQ(r.long_window.epochs, 5u);
+  EXPECT_EQ(r.long_window.ves, 5u);
+  EXPECT_EQ(r.long_window.apps_completed, 10u);
+  EXPECT_EQ(r.long_window.flits_injected, 50u);
+  EXPECT_EQ(r.long_window.flits_delivered, 45u);
+  EXPECT_EQ(r.short_window.epochs, 2u);
+  EXPECT_EQ(r.short_window.ves, 2u);
+  // ve burn: rate 1.0 per epoch vs budget 0.5 -> 2.0 in both windows.
+  const SloObjective& ve = objective(r, "ve_rate");
+  EXPECT_DOUBLE_EQ(ve.short_burn, 2.0);
+  EXPECT_DOUBLE_EQ(ve.long_burn, 2.0);
+  EXPECT_EQ(ve.status, HealthStatus::kCrit);  // burn_crit default 2.0
+  EXPECT_EQ(r.status, HealthStatus::kCrit);
+}
+
+TEST(SloEngine, OneEpochSpikeDoesNotAlert) {
+  Registry reg;
+  SloEngine engine(true, tight_config());
+  // Four quiet epochs, then one catastrophic epoch: the short window
+  // burns hot but the long window stays under the warn threshold, and
+  // the multi-window rule (BOTH must burn) keeps the alert quiet.
+  for (int e = 0; e < 4; ++e) step_epoch(engine, reg, 0, 0, 1, 10, 10);
+  step_epoch(engine, reg, /*ves=*/2, 0, 1, 10, 10);
+  const SloReport r = engine.report();
+  const SloObjective& ve = objective(r, "ve_rate");
+  EXPECT_GE(ve.short_burn, 2.0);  // 1 VE/epoch over budget 0.5
+  EXPECT_LT(ve.long_burn, 1.0);   // 2 VEs over 5 epochs = burn 0.8
+  EXPECT_EQ(ve.status, HealthStatus::kOk);
+  EXPECT_EQ(r.status, HealthStatus::kOk);
+}
+
+TEST(SloEngine, SustainedBurnBetweenWarnAndCritIsWarn) {
+  Registry reg;
+  SloConfig cfg = tight_config();
+  SloEngine engine(true, cfg);
+  // VEs 1,1,1,0,1 against a 0.5/epoch budget: long window burns 1.6
+  // (4 VEs over 5 epochs), short window burns exactly 1.0 (1 VE over
+  // the last 2 epochs) — both at or above warn, under crit.
+  const std::uint64_t ves_per_epoch[] = {1, 1, 1, 0, 1};
+  for (std::uint64_t ves : ves_per_epoch) {
+    step_epoch(engine, reg, ves, 0, 1, 10, 10);
+  }
+  const SloReport r = engine.report();
+  const SloObjective& ve = objective(r, "ve_rate");
+  EXPECT_GE(ve.short_burn, 1.0);
+  EXPECT_GE(ve.long_burn, 1.0);
+  EXPECT_LT(ve.long_burn, 2.0);
+  EXPECT_EQ(ve.status, HealthStatus::kWarn);
+  EXPECT_EQ(r.status, HealthStatus::kWarn);
+}
+
+TEST(SloEngine, NoDataWindowsNeverAlert) {
+  Registry reg;
+  SloEngine engine(true, tight_config());
+  // Epochs with no completed apps, no flits, no admits: the miss,
+  // delivery, and admit objectives have no data and must report burn 0.
+  for (int e = 0; e < 5; ++e) step_epoch(engine, reg, 0, 0, 0, 0, 0);
+  const SloReport r = engine.report();
+  EXPECT_DOUBLE_EQ(objective(r, "deadline_miss_rate").long_burn, 0.0);
+  EXPECT_DOUBLE_EQ(objective(r, "delivery_ratio").long_burn, 0.0);
+  EXPECT_DOUBLE_EQ(objective(r, "time_to_admit_p99").long_burn, 0.0);
+  EXPECT_EQ(r.status, HealthStatus::kOk);
+}
+
+TEST(SloEngine, AdmitP99IsWindowedAndRetired) {
+  Registry reg;
+  SloConfig cfg = tight_config();  // admit target 0.1 s, long window 5
+  SloEngine engine(true, cfg);
+  // A slow admit in epoch 0, fast ones afterwards. While the slow wait
+  // is inside the long window the p99 tracks it; after long_window
+  // epochs it retires and the p99 falls back to the fast waits.
+  engine.observe_admit(0.4);
+  step_epoch(engine, reg, 0, 0, 1, 10, 10);
+  SloReport r = engine.report();
+  EXPECT_DOUBLE_EQ(r.long_window.admit_p99_s, 0.4);
+  EXPECT_DOUBLE_EQ(objective(r, "time_to_admit_p99").long_burn, 4.0);
+
+  for (int e = 0; e < 6; ++e) {
+    engine.observe_admit(0.05);
+    step_epoch(engine, reg, 0, 0, 1, 10, 10);
+  }
+  r = engine.report();
+  EXPECT_DOUBLE_EQ(r.long_window.admit_p99_s, 0.05);
+  EXPECT_EQ(r.long_window.admits, 5u);  // one admit per retained epoch
+  EXPECT_DOUBLE_EQ(objective(r, "time_to_admit_p99").long_burn, 0.5);
+}
+
+TEST(SloEngine, SustainedAdmitOverrunAlerts) {
+  Registry reg;
+  SloConfig cfg = tight_config();  // admit target 0.1 s
+  SloEngine engine(true, cfg);
+  for (int e = 0; e < 5; ++e) {
+    engine.observe_admit(0.25);  // burn 2.5 every epoch
+    step_epoch(engine, reg, 0, 0, 1, 10, 10);
+  }
+  const SloReport r = engine.report();
+  const SloObjective& admit = objective(r, "time_to_admit_p99");
+  EXPECT_DOUBLE_EQ(admit.short_burn, 2.5);
+  EXPECT_DOUBLE_EQ(admit.long_burn, 2.5);
+  EXPECT_EQ(admit.status, HealthStatus::kCrit);
+}
+
+TEST(SloMerge, SumsRawWindowsAndTakesMaxAdmitP99) {
+  SloReport a, b;
+  a.long_window.epochs = 5;
+  a.long_window.ves = 5;  // chip A: rate 1.0
+  a.long_window.apps_completed = 10;
+  a.long_window.deadline_misses = 1;
+  a.long_window.admit_p99_s = 0.02;
+  b.long_window.epochs = 5;
+  b.long_window.ves = 0;  // chip B: rate 0.0
+  b.long_window.apps_completed = 30;
+  b.long_window.deadline_misses = 0;
+  b.long_window.admit_p99_s = 0.07;
+
+  const SloReport merged = merge_slo_reports({a, b});
+  // Rates recompute from summed numerators/denominators: 5 VEs over 10
+  // epochs — NOT the 0.5 average of the per-chip rates weighted equally
+  // by chip, but the correct epoch-weighted rate.
+  EXPECT_EQ(merged.long_window.epochs, 10u);
+  EXPECT_DOUBLE_EQ(merged.long_window.ve_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(merged.long_window.deadline_miss_rate(), 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(merged.long_window.admit_p99_s, 0.07);  // max, not sum
+
+  EXPECT_EQ(merge_slo_reports({}).status, HealthStatus::kOk);
+}
+
+TEST(SloJson, ReportSerializesAllObjectives) {
+  Registry reg;
+  SloEngine engine(true, tight_config());
+  for (int e = 0; e < 3; ++e) step_epoch(engine, reg, 1, 0, 1, 10, 10);
+  std::ostringstream os;
+  write_slo_json(os, engine.report());
+  const std::string json = os.str();
+  for (const char* name : {"ve_rate", "deadline_miss_rate",
+                           "delivery_ratio", "time_to_admit_p99"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\"status\""), std::string::npos);
+  EXPECT_NE(json.find("\"short_window\""), std::string::npos);
+  EXPECT_NE(json.find("\"long_window\""), std::string::npos);
+}
+
+// --- HealthMonitor rule boundaries -----------------------------------
+
+const HealthCheck& check_named(const HealthReport& report,
+                               const std::string& name) {
+  for (const HealthCheck& c : report.checks) {
+    if (c.name == name) return c;
+  }
+  ADD_FAILURE() << "check " << name << " missing from report";
+  static const HealthCheck none;
+  return none;
+}
+
+TEST(HealthBoundaries, ValueExactlyAtWarnThresholdFiresWarn) {
+  // ve_rate_warn defaults to 0.2: 1 VE over 5 epochs is exactly at the
+  // threshold, and the >= comparison means it must fire.
+  Registry reg;
+  reg.counter("sim.epochs").inc(5);
+  reg.counter("sim.ves").inc(1);
+  const HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_EQ(check_named(report, "ve_rate").status, HealthStatus::kWarn);
+
+  // One fewer VE-per-epoch stays OK: 1 over 6 is under 0.2.
+  Registry under;
+  under.counter("sim.epochs").inc(6);
+  under.counter("sim.ves").inc(1);
+  EXPECT_EQ(check_named(HealthMonitor().evaluate(under), "ve_rate").status,
+            HealthStatus::kOk);
+}
+
+TEST(HealthBoundaries, ValueExactlyAtCritThresholdFiresCrit) {
+  // ve_rate_crit defaults to 2.0: 10 VEs over 5 epochs sits exactly on
+  // it.
+  Registry reg;
+  reg.counter("sim.epochs").inc(5);
+  reg.counter("sim.ves").inc(10);
+  const HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_EQ(check_named(report, "ve_rate").status, HealthStatus::kCrit);
+  EXPECT_TRUE(report.critical());
+
+  // deadline_miss_rate_crit defaults to 0.5: 5 misses over 10 completed.
+  Registry miss;
+  miss.counter("sim.apps_completed").inc(10);
+  miss.counter("sim.deadline_misses").inc(5);
+  EXPECT_EQ(check_named(HealthMonitor().evaluate(miss),
+                        "deadline_miss_rate").status,
+            HealthStatus::kCrit);
+}
+
+TEST(HealthBoundaries, QueueDepthGaugeEdges) {
+  // queue_depth warn 8 / crit 32, gauge-valued (denominator 1).
+  Registry reg;
+  reg.gauge("sim.queue_depth").set(8.0);
+  EXPECT_EQ(check_named(HealthMonitor().evaluate(reg), "queue_depth").status,
+            HealthStatus::kWarn);
+  reg.gauge("sim.queue_depth").set(32.0);
+  EXPECT_EQ(check_named(HealthMonitor().evaluate(reg), "queue_depth").status,
+            HealthStatus::kCrit);
+  reg.gauge("sim.queue_depth").set(7.999);
+  EXPECT_EQ(check_named(HealthMonitor().evaluate(reg), "queue_depth").status,
+            HealthStatus::kOk);
+}
+
+TEST(HealthBoundaries, EmptyRegistryReportsNoDataEverywhere) {
+  Registry reg;
+  const HealthReport report = HealthMonitor().evaluate(reg);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+  EXPECT_EQ(check_named(report, "ve_rate").reason, "no data");
+  EXPECT_EQ(check_named(report, "deadline_miss_rate").reason, "no data");
+  EXPECT_EQ(check_named(report, "psn_cache_hit_rate").reason, "no data");
+}
+
+TEST(HealthBoundaries, SloOverloadAppendsBurnChecks) {
+  Registry reg;
+  SloEngine engine(true, tight_config());
+  for (int e = 0; e < 5; ++e) step_epoch(engine, reg, 1, 0, 1, 10, 10);
+
+  const HealthReport plain = HealthMonitor().evaluate(reg);
+  const HealthReport with_slo =
+      HealthMonitor().evaluate(reg, engine.report());
+  EXPECT_EQ(with_slo.checks.size(), plain.checks.size() + 4);
+  // Sustained burn 2.0 (1 VE/epoch vs budget 0.5) is exactly at
+  // burn_crit: the folded-in check must carry the CRIT into the overall
+  // verdict.
+  const HealthCheck& burn = check_named(with_slo, "slo_ve_rate_burn");
+  EXPECT_EQ(burn.status, HealthStatus::kCrit);
+  EXPECT_DOUBLE_EQ(burn.value, 2.0);  // min(short, long) burn
+  EXPECT_TRUE(with_slo.critical());
+  EXPECT_FALSE(plain.critical());  // ve_rate 1.0 alone is only WARN
+
+  // Render path: the SLO checks print like any other rule.
+  std::ostringstream os;
+  write_health_report(os, with_slo);
+  EXPECT_NE(os.str().find("slo_ve_rate_burn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parm::obs

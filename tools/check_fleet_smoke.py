@@ -65,6 +65,18 @@ def main():
 
     metrics = parse_prometheus(args.prom)
 
+    # Build identity: every exposition must carry the parm_build_info
+    # gauge (value 1, version/compiler/build-type in the labels) so a
+    # scrape is attributable to the binary that produced it.
+    build_info = [k for k in metrics if k.startswith("parm_build_info")]
+    if not build_info:
+        raise SystemExit("FAIL: parm_build_info gauge missing from "
+                         f"exposition ({len(metrics)} metrics parsed)")
+    for key in build_info:
+        if metrics[key] != 1:
+            raise SystemExit(f"FAIL: {key} = {metrics[key]} (identity "
+                             "gauges must have value 1)")
+
     emitted = require(metrics, "parm_recorder_events_emitted_total")
     dropped = require(metrics, "parm_recorder_events_dropped_total")
     if emitted <= 0:

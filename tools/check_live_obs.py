@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Mid-run scrape check for the live observability surface.
+
+Points at a runner started with --serve and hits every endpoint while
+the simulation is still in flight, asserting the whole surface is
+healthy — this is the CI proof that the embedded HTTP server works
+under active scraping, not just after the run:
+
+  * every endpoint answers 200 (``/healthz`` answering 503 means the
+    run itself went critical — that is a smoke failure too);
+  * ``/metrics`` parses as Prometheus text exposition, carries the
+    ``parm_build_info`` identity gauge, and reports zero flight-recorder
+    drops;
+  * ``/slo`` parses as JSON with all four burn-rate objectives;
+  * ``/profilez`` parses as JSON and shows all six engine phases with
+    nonzero sample counts (the tool first waits for the engine to
+    complete at least one epoch);
+  * ``/varz`` parses as JSON with build identity;
+  * every ``/eventz`` line parses as JSON and ``?limit=`` is honored;
+  * ``/seriesz`` parses as JSON.
+
+Usage:
+  check_live_obs.py PORT [--timeout SECONDS]
+
+Exits nonzero with a one-line reason per violated check.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+EXPECTED_PHASES = ("admission", "noc", "psn", "emergency", "migration",
+                   "telemetry")
+EXPECTED_OBJECTIVES = ("ve_rate", "deadline_miss_rate", "delivery_ratio",
+                       "time_to_admit_p99")
+
+
+def fetch(port, path, timeout=10):
+    """Return (status, body-as-text). HTTP error statuses are returned,
+    not raised; transport errors exit."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode("utf-8", errors="replace")
+    except OSError as err:
+        raise SystemExit(f"FAIL: cannot reach {url}: {err}") from err
+
+
+def parse_prometheus(text):
+    """{metric_name_or_name{labels}: value} — same grammar as
+    tools/check_fleet_smoke.py, from a string."""
+    metrics = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise SystemExit(f"FAIL: unparseable exposition line: {line!r}")
+        name, value = parts
+        try:
+            metrics[name] = float(value)
+        except ValueError as err:
+            raise SystemExit(
+                f"FAIL: non-numeric exposition value {line!r}: {err}"
+            ) from err
+    return metrics
+
+
+def expect_json(path, body):
+    try:
+        return json.loads(body)
+    except ValueError as err:
+        raise SystemExit(f"FAIL: {path} is not valid JSON: {err}\n"
+                         f"body head: {body[:200]!r}") from err
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("port", type=int, help="--serve port of a live runner")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="seconds to wait for the engine's first epoch")
+    args = ap.parse_args()
+    port = args.port
+
+    # Wait for the engine to complete epochs so every endpoint has data
+    # behind it (the server comes up before run() starts).
+    deadline = time.monotonic() + args.timeout
+    profile = None
+    while time.monotonic() < deadline:
+        status, body = fetch(port, "/profilez")
+        if status != 200:
+            raise SystemExit(f"FAIL: /profilez -> HTTP {status}")
+        profile = expect_json("/profilez", body)
+        if profile.get("epochs", 0) > 0:
+            break
+        time.sleep(0.1)
+    else:
+        raise SystemExit(
+            f"FAIL: no completed epochs within {args.timeout}s — "
+            "is the runner actually running?")
+
+    # /profilez: all six engine phases, every one with samples.
+    phases = {p.get("phase"): p for p in profile.get("phases", [])}
+    missing = [n for n in EXPECTED_PHASES if n not in phases]
+    if missing:
+        raise SystemExit(f"FAIL: /profilez missing phases {missing} "
+                         f"(got {sorted(phases)})")
+    empty = [n for n in EXPECTED_PHASES if phases[n].get("count", 0) <= 0]
+    if empty:
+        raise SystemExit(f"FAIL: /profilez phases with zero samples after "
+                         f"{profile['epochs']} epochs: {empty}")
+
+    # /metrics: parseable exposition, build identity, no recorder drops.
+    status, body = fetch(port, "/metrics")
+    if status != 200:
+        raise SystemExit(f"FAIL: /metrics -> HTTP {status}")
+    metrics = parse_prometheus(body)
+    build_info = [k for k in metrics if k.startswith("parm_build_info")]
+    if not build_info:
+        raise SystemExit("FAIL: parm_build_info gauge missing from /metrics")
+    if any(metrics[k] != 1 for k in build_info):
+        raise SystemExit("FAIL: parm_build_info must have value 1")
+    dropped = metrics.get("parm_recorder_events_dropped_total", 0.0)
+    if dropped > 0:
+        raise SystemExit(f"FAIL: flight recorder dropped {dropped:.0f} "
+                         "events mid-run")
+
+    # /healthz: 200 means OK/WARN; 503 means the run went critical.
+    status, body = fetch(port, "/healthz")
+    if status != 200:
+        raise SystemExit(f"FAIL: /healthz -> HTTP {status}\n{body}")
+
+    # /slo: all four objectives present.
+    status, body = fetch(port, "/slo")
+    if status != 200:
+        raise SystemExit(f"FAIL: /slo -> HTTP {status}")
+    slo = expect_json("/slo", body)
+    names = {o.get("name") for o in slo.get("objectives", [])}
+    missing = [n for n in EXPECTED_OBJECTIVES if n not in names]
+    if missing:
+        raise SystemExit(f"FAIL: /slo missing objectives {missing} "
+                         f"(got {sorted(names)})")
+
+    # /varz: JSON with build identity.
+    status, body = fetch(port, "/varz")
+    if status != 200:
+        raise SystemExit(f"FAIL: /varz -> HTTP {status}")
+    varz = expect_json("/varz", body)
+    if "version" not in varz.get("build", {}):
+        raise SystemExit(f"FAIL: /varz lacks build.version: {body[:200]!r}")
+
+    # /eventz: JSONL, limit honored.
+    status, body = fetch(port, "/eventz?limit=5")
+    if status != 200:
+        raise SystemExit(f"FAIL: /eventz -> HTTP {status}")
+    lines = [l for l in body.splitlines() if l.strip()]
+    if len(lines) > 5:
+        raise SystemExit(f"FAIL: /eventz?limit=5 returned {len(lines)} lines")
+    for line in lines:
+        expect_json("/eventz", line)
+
+    # /seriesz: the series listing parses.
+    status, body = fetch(port, "/seriesz")
+    if status != 200:
+        raise SystemExit(f"FAIL: /seriesz -> HTTP {status}")
+    listing = expect_json("/seriesz", body)
+    if "series" not in listing:
+        raise SystemExit(f"FAIL: /seriesz listing lacks 'series': "
+                         f"{body[:200]!r}")
+
+    print(f"OK: live scrape at epoch {profile['epochs']} — "
+          f"{len(metrics)} exposition samples, all six phases profiled, "
+          f"{len(names)} SLO objectives, {len(lines)} tail events, "
+          f"{len(listing['series'])} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
